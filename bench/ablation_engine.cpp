@@ -1,0 +1,152 @@
+// Ablations over the architecture parameters DESIGN.md calls out, plus the
+// paper's outlook what-if: replacing the PCI bus by an on-chip bus
+// (CoreConnect-style) with an embedded RISC host.
+//
+// Each sweep runs the cycle-accurate simulator on a CIF intra CON_8 call
+// (the canonical workload) and reports cycles, the bus-bound fraction and
+// the resource estimate where it changes.
+#include <iostream>
+
+#include "common/format.hpp"
+#include "core/core.hpp"
+#include "image/synth.hpp"
+
+using namespace ae;
+
+namespace {
+
+alib::Call canonical_call() {
+  alib::OpParams box;
+  box.coeffs.assign(9, 1);
+  box.shift = 3;
+  return alib::Call::make_intra(alib::PixelOp::Convolve,
+                                alib::Neighborhood::con8(), ChannelMask::y(),
+                                ChannelMask::y(), box);
+}
+
+core::EngineRunStats run(const core::EngineConfig& config,
+                         const img::Image& a) {
+  core::EngineRunStats stats;
+  core::simulate_call(config, canonical_call(), a, nullptr, &stats);
+  return stats;
+}
+
+std::string ms(const core::EngineConfig& cfg, const core::EngineRunStats& r) {
+  return format_fixed(static_cast<double>(r.cycles) *
+                          cfg.seconds_per_cycle() * 1e3,
+                      2) +
+         " ms";
+}
+
+}  // namespace
+
+int main() {
+  const img::Image a = img::make_test_frame(img::formats::kCif, 1);
+
+  std::cout << "== Ablation: strip size (paper: 16 lines; must cover the "
+               "9-line worst case) ==\n";
+  {
+    TextTable t({"strip lines", "cycles", "interrupts", "time"});
+    for (const i32 lines : {16, 32, 64}) {
+      core::EngineConfig cfg;
+      cfg.strip_lines = lines;
+      cfg.iim_lines = std::max(cfg.iim_lines, lines / 2);
+      const core::EngineRunStats r = run(cfg, a);
+      t.add_row({std::to_string(lines), format_thousands(r.cycles),
+                 std::to_string(r.interrupts), ms(cfg, r)});
+    }
+    std::cout << t << "  larger strips amortize interrupts; 16 already "
+                      "leaves the bus as the limit.\n\n";
+  }
+
+  std::cout << "== Ablation: OIM depth (absorbs the 2:1 write-rate "
+               "mismatch) ==\n";
+  {
+    TextTable t({"oim lines", "cycles", "PU stalls (OIM full)", "peak"});
+    for (const i32 lines : {1, 2, 4, 16}) {
+      core::EngineConfig cfg;
+      cfg.oim_lines = lines;
+      const core::EngineRunStats r = run(cfg, a);
+      t.add_row({std::to_string(lines), format_thousands(r.cycles),
+                 format_thousands(r.pu_stall_oim),
+                 std::to_string(r.oim_peak)});
+    }
+    std::cout << t << "  backpressure costs stalls, never correctness.\n\n";
+  }
+
+  std::cout << "== Ablation: host bus (the bottleneck itself) ==\n";
+  {
+    TextTable t({"bus", "cycles", "non-bus fraction", "time"});
+    struct BusCase {
+      std::string label;
+      int width;
+      double mhz;
+      double eff;
+      u32 call_ovh;
+    };
+    for (const BusCase& bc : std::vector<BusCase>{
+             {"PCI 32bit/66MHz (paper)", 32, 66.0, 0.85, 198000},
+             {"PCI 64bit/66MHz", 64, 66.0, 0.85, 198000},
+             {"on-chip bus 64bit/100MHz (outlook)", 64, 100.0, 0.95, 2000},
+         }) {
+      core::EngineConfig cfg;
+      cfg.bus_width_bits = bc.width;
+      cfg.clock_mhz = bc.mhz;
+      cfg.bus_efficiency = bc.eff;
+      cfg.call_setup_overhead_cycles = bc.call_ovh;
+      cfg.interrupt_overhead_cycles = bc.call_ovh > 10000 ? 1320 : 64;
+      const core::EngineRunStats r = run(cfg, a);
+      t.add_row({bc.label, format_thousands(r.cycles),
+                 format_percent(r.non_bus_fraction_of_transfer()),
+                 ms(cfg, r)});
+    }
+    std::cout << t
+              << "  the outlook's CoreConnect-style bus + embedded RISC\n"
+              << "  removes the PCI wall: the engine would then be limited\n"
+              << "  by its own 1 pixel/cycle datapath.\n\n";
+  }
+
+  std::cout << "== Ablation: scan direction vs. neighborhood orientation "
+               "(fig. 4) ==\n";
+  {
+    alib::OpParams fir;
+    fir.coeffs = {1, 2, 4, 6, 8, 6, 4, 2, 1};
+    fir.shift = 5;
+    TextTable t({"case", "sw loads/pixel", "engine cycles"});
+    for (const auto scan :
+         {alib::ScanOrder::RowMajor, alib::ScanOrder::ColumnMajor}) {
+      alib::Call call = alib::Call::make_intra(
+          alib::PixelOp::Convolve, alib::Neighborhood::vline(9),
+          ChannelMask::y(), ChannelMask::y(), fir);
+      call.scan = scan;
+      core::EngineRunStats r;
+      core::simulate_call({}, call, a, nullptr, &r);
+      t.add_row({"VLINE_9, " + to_string(scan),
+                 std::to_string(call.nbhd.loads_per_step(scan)),
+                 format_thousands(r.cycles)});
+    }
+    std::cout << t
+              << "  the software pays 9x the loads when the neighborhood is\n"
+              << "  perpendicular to the scan; the engine's IIM serves the\n"
+              << "  worst case in one cycle either way (same cycle count).\n\n";
+  }
+
+  std::cout << "== Ablation: FPGA resources vs. IIM/OIM depth (Table 1 "
+               "model) ==\n";
+  {
+    TextTable t({"iim=oim lines", "BRAMs", "fmax"});
+    for (const i32 lines : {16, 32}) {
+      core::EngineConfig cfg;
+      cfg.iim_lines = lines;
+      cfg.oim_lines = lines;
+      cfg.strip_lines = std::max(cfg.strip_lines, lines);
+      const core::ResourceEstimate e = core::estimate_resources(cfg);
+      t.add_row({std::to_string(lines), std::to_string(e.brams),
+                 format_fixed(e.max_frequency_mhz(), 1) + " MHz"});
+    }
+    std::cout << t << "  \"there is enough free memory for a possible "
+                      "extension ... with other\n  addressing schemes\" — "
+                      "even doubled buffers fit the 96-BRAM device.\n";
+  }
+  return 0;
+}

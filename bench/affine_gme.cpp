@@ -1,0 +1,124 @@
+// Extension study: translational vs. affine global motion estimation.
+//
+// The Table 3 reproduction uses the translational estimator (the synthetic
+// stand-ins are pan-dominated, like the paper's mosaicing material).  This
+// bench quantifies what the 6-parameter affine extension buys on camera
+// motion the translational model cannot express — rotation and zoom — and
+// what it costs in AddressLib calls and board time.
+#include <iostream>
+
+#include "common/format.hpp"
+#include "gme/affine_estimator.hpp"
+#include "gme/perspective_estimator.hpp"
+#include "gme/platform.hpp"
+#include "image/sequence.hpp"
+#include "image/synth.hpp"
+
+using namespace ae;
+
+namespace {
+
+struct CaseResult {
+  u64 sad = 0;
+  int iterations = 0;
+  double board_seconds = 0.0;
+  std::string detail;
+};
+
+img::SyntheticSequence make_sequence(const char* name, double rotate,
+                                     double zoom) {
+  img::SyntheticSequence::Params p;
+  p.name = name;
+  p.frame_size = img::formats::kCif;
+  p.frame_count = 2;
+  p.seed = 63;
+  p.script = img::MotionScript{1.0, 0.4, rotate, zoom, 0.0};
+  return img::SyntheticSequence(p);
+}
+
+CaseResult run_translational(const img::SyntheticSequence& seq) {
+  gme::DualPlatformBackend be;
+  gme::GmeEstimator est(be);
+  const gme::Pyramid ref = gme::build_pyramid(be, seq.frame(0), 3);
+  const gme::Pyramid cur = gme::build_pyramid(be, seq.frame(1), 3);
+  const gme::GmeResult r = est.estimate(ref, cur);
+  return {r.final_sad, r.iterations, be.engine_board_seconds(),
+          to_string(r.motion)};
+}
+
+CaseResult run_affine(const img::SyntheticSequence& seq) {
+  gme::DualPlatformBackend be;
+  gme::AffineGmeEstimator est(be);
+  const gme::Pyramid ref = gme::build_pyramid(be, seq.frame(0), 3);
+  const gme::Pyramid cur = gme::build_pyramid(be, seq.frame(1), 3);
+  const gme::AffineGmeResult r = est.estimate(ref, cur);
+  return {r.final_sad, r.iterations, be.engine_board_seconds(),
+          to_string(r.motion)};
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== Extension: affine vs. translational GME "
+               "(CIF frame pair) ==\n\n";
+  struct Scenario {
+    const char* label;
+    double rotate;
+    double zoom;
+  };
+  TextTable t({"camera motion", "model", "residual SAD", "iterations",
+               "board time"});
+  for (const Scenario& s : std::vector<Scenario>{
+           {"pure pan", 0.0, 1.0},
+           {"pan + 0.6 deg rotation", 0.0105, 1.0},
+           {"pan + 1% zoom", 0.0, 1.01},
+       }) {
+    const img::SyntheticSequence seq = make_sequence(s.label, s.rotate,
+                                                     s.zoom);
+    const CaseResult trans = run_translational(seq);
+    const CaseResult affine = run_affine(seq);
+    t.add_row({s.label, "translational", format_thousands(trans.sad),
+               std::to_string(trans.iterations),
+               format_fixed(trans.board_seconds * 1e3, 0) + " ms"});
+    t.add_row({"", "affine", format_thousands(affine.sad),
+               std::to_string(affine.iterations),
+               format_fixed(affine.board_seconds * 1e3, 0) + " ms"});
+  }
+  std::cout << t
+            << "\nOn pure pans both models converge to the same residual; "
+              "under rotation or\nzoom only the affine model keeps the "
+              "residual low.  The per-iteration\nAddressLib call mix is "
+              "identical (GradientPack + GmeAccum[Affine]); the\naffine "
+              "accumulator just carries 27 side-port sums instead of 5.\n\n";
+
+  // Third tier: the XM's perspective model on a projectively distorted
+  // pair (a camera tilt neither translation nor affine can express).
+  std::cout << "== Perspective tier (XM model class) ==\n\n";
+  {
+    gme::PerspectiveMotion truth;
+    truth.p = {2.0, 1.0, 0.0, -1.0, 0.0, 1.0, 6e-5, -4e-5};
+    const img::Image cur = img::make_test_frame(img::formats::kCif, 17);
+    const img::Image ref = warp_perspective(cur, truth);
+
+    gme::DualPlatformBackend be;
+    const gme::Pyramid rp = gme::build_pyramid(be, ref, 3);
+    const gme::Pyramid cp = gme::build_pyramid(be, cur, 3);
+    gme::GmeEstimator trans(be);
+    gme::AffineGmeEstimator affine(be);
+    gme::PerspectiveGmeEstimator persp(be);
+
+    TextTable t2({"model", "residual SAD", "iterations"});
+    const gme::GmeResult rt = trans.estimate(rp, cp);
+    t2.add_row({"translational", format_thousands(rt.final_sad),
+                std::to_string(rt.iterations)});
+    const gme::AffineGmeResult ra = affine.estimate(rp, cp);
+    t2.add_row({"affine", format_thousands(ra.final_sad),
+                std::to_string(ra.iterations)});
+    const gme::PerspectiveGmeResult rr = persp.estimate(rp, cp);
+    t2.add_row({"perspective", format_thousands(rr.final_sad),
+                std::to_string(rr.iterations)});
+    std::cout << t2 << "recovered warp: " << to_string(rr.motion)
+              << "\n(scripted:      " << to_string(truth) << ")\n";
+  }
+  return 0;
+}

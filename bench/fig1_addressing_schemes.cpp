@@ -1,0 +1,89 @@
+// Reproduces Figure 1: the four pixel addressing schemes of the AddressLib
+// — inter, intra, segment (and the segment-indexed table running alongside)
+// — demonstrated on a small frame with observable traversal evidence.
+#include <iostream>
+
+#include "addresslib/addresslib.hpp"
+#include "common/format.hpp"
+#include "image/synth.hpp"
+
+using namespace ae;
+
+namespace {
+
+void show_inter() {
+  std::cout << "-- inter addressing: one result per position from two "
+               "frames --\n";
+  const img::Image a = img::make_test_frame(Size{32, 16}, 1);
+  const img::Image b = img::make_test_frame(Size{32, 16}, 2);
+  alib::SoftwareBackend be;
+  const alib::CallResult diff =
+      be.execute(alib::Call::make_inter(alib::PixelOp::AbsDiff), a, &b);
+  const alib::CallResult sad =
+      be.execute(alib::Call::make_inter(alib::PixelOp::Sad), a, &b);
+  std::cout << "   difference picture over " << diff.stats.pixels
+            << " pixels, SAD side result = " << sad.side.sad << "\n"
+            << "   accesses/pixel: 2 loads (one per frame) + 1 store\n\n";
+}
+
+void show_intra() {
+  std::cout << "-- intra addressing: neighborhood ops within one frame --\n";
+  const img::Image a = img::make_test_frame(Size{32, 16}, 3);
+  alib::SoftwareBackend be;
+  for (const auto& nbhd : {alib::Neighborhood::con0(),
+                           alib::Neighborhood::con4(),
+                           alib::Neighborhood::con8(),
+                           alib::Neighborhood::vline(9)}) {
+    const alib::Call call =
+        alib::Call::make_intra(alib::PixelOp::Erode, nbhd);
+    const alib::CallResult r = be.execute(call, a);
+    std::cout << "   " << nbhd.name() << ": window of " << nbhd.size()
+              << " px, " << nbhd.loads_per_step(call.scan)
+              << " new px per scan step (row-major), loads = "
+              << format_thousands(r.stats.loads) << "\n";
+  }
+  std::cout << "\n";
+}
+
+void show_segment() {
+  std::cout << "-- segment addressing: geodesic expansion from start "
+               "pixels --\n";
+  img::Image a(Size{24, 10}, img::Pixel::gray(40));
+  img::draw_rect(a, Rect{12, 0, 12, 10}, img::Pixel::gray(200));
+  img::draw_disk(a, {6, 5}, 2, img::Pixel::gray(120));
+  alib::SegmentSpec spec;
+  spec.seeds = {{2, 2}, {20, 5}};
+  spec.luma_threshold = 30;
+  std::vector<alib::SegmentInfo> info;
+  const img::Image labels = alib::label_segments(a, spec, &info);
+  for (i32 y = 0; y < labels.height(); ++y) {
+    std::cout << "   ";
+    for (i32 x = 0; x < labels.width(); ++x) {
+      const u16 id = labels.at(x, y).alfa;
+      std::cout << (id == 0 ? '.' : static_cast<char>('0' + id % 10));
+    }
+    std::cout << "\n";
+  }
+  std::cout << "   (digits: segment id per pixel; '.': not reached — the\n"
+            << "   disk breaks the homogeneity criterion)\n";
+  std::cout << "-- segment-indexed addressing: the per-segment table --\n";
+  for (const alib::SegmentInfo& s : info)
+    std::cout << "   id " << s.id << ": seed " << to_string(s.seed) << ", "
+              << s.pixel_count << " px, geodesic radius "
+              << s.geodesic_radius << ", mean luma "
+              << (s.pixel_count ? s.sum_y / static_cast<u64>(s.pixel_count)
+                                : 0)
+              << "\n";
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== Figure 1: the four AddressLib pixel addressing schemes "
+               "==\n\n";
+  show_inter();
+  show_intra();
+  show_segment();
+  return 0;
+}

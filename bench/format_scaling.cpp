@@ -1,0 +1,58 @@
+// Frame-format scaling: the paper's two supported formats (QCIF ~200 kB
+// and CIF ~800 kB on the ZBT at 64 bit/pixel) through the cycle-accurate
+// engine — call time scales with the transferred bytes, as a
+// transfer-bound design must.
+#include <iostream>
+
+#include "common/format.hpp"
+#include "core/core.hpp"
+#include "image/synth.hpp"
+
+using namespace ae;
+
+int main() {
+  std::cout << "== Frame-format scaling (section 3.1's QCIF/CIF sizing) "
+               "==\n\n";
+  alib::OpParams box;
+  box.coeffs.assign(9, 1);
+  box.shift = 3;
+  const alib::Call intra = alib::Call::make_intra(
+      alib::PixelOp::Convolve, alib::Neighborhood::con8(), ChannelMask::y(),
+      ChannelMask::y(), box);
+  const alib::Call inter = alib::Call::make_inter(alib::PixelOp::AbsDiff);
+
+  TextTable t({"format", "pixels", "ZBT bytes", "intra cycles", "intra time",
+               "inter cycles", "inter time"});
+  const core::EngineConfig config;
+  double cif_intra = 0.0;
+  double qcif_intra = 0.0;
+  for (const Size size : {img::formats::kQcif, img::formats::kCif}) {
+    const img::Image a = img::make_test_frame(size, 1);
+    const img::Image b = img::make_test_frame(size, 2);
+    core::EngineRunStats run_intra;
+    core::simulate_call(config, intra, a, nullptr, &run_intra);
+    core::EngineRunStats run_inter;
+    core::simulate_call(config, inter, a, &b, &run_inter);
+    const double t_intra =
+        static_cast<double>(run_intra.cycles) * config.seconds_per_cycle();
+    const double t_inter =
+        static_cast<double>(run_inter.cycles) * config.seconds_per_cycle();
+    t.add_row({size == img::formats::kQcif ? "QCIF 176x144" : "CIF 352x288",
+               format_thousands(static_cast<u64>(size.area())),
+               format_thousands(static_cast<u64>(img::zbt_bytes(size))),
+               format_thousands(run_intra.cycles),
+               format_fixed(t_intra * 1e3, 2) + " ms",
+               format_thousands(run_inter.cycles),
+               format_fixed(t_inter * 1e3, 2) + " ms"});
+    (size == img::formats::kQcif ? qcif_intra : cif_intra) = t_intra;
+  }
+  std::cout << t;
+  std::cout << "\nCIF/QCIF intra-call time ratio: "
+            << format_fixed(cif_intra / qcif_intra, 2)
+            << " (4x the pixels; the fixed per-call driver overhead "
+            << "keeps it below 4)\n"
+            << "ZBT footprints match the paper: QCIF ~200 kB, CIF ~800 kB, "
+            << "so two inputs\nplus one result fit the 6 MB memory in both "
+            << "formats.\n";
+  return 0;
+}

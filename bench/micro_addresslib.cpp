@@ -1,0 +1,107 @@
+// Google-benchmark microbenchmarks of the AddressLib itself: real wall
+// clock of the reproduction's code paths (kernels, drivers, segment
+// expansion), as opposed to the modeled 2005 platforms.
+#include <benchmark/benchmark.h>
+
+#include "addresslib/addresslib.hpp"
+#include "image/synth.hpp"
+
+namespace {
+
+using namespace ae;
+
+const img::Image& qcif_a() {
+  static const img::Image a = img::make_test_frame(img::formats::kQcif, 1);
+  return a;
+}
+const img::Image& qcif_b() {
+  static const img::Image b = img::make_test_frame(img::formats::kQcif, 2);
+  return b;
+}
+
+void BM_InterAbsDiff(benchmark::State& state) {
+  alib::SoftwareBackend be;
+  const alib::Call call = alib::Call::make_inter(alib::PixelOp::AbsDiff);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(be.execute(call, qcif_a(), &qcif_b()));
+  }
+  state.SetItemsProcessed(state.iterations() * qcif_a().pixel_count());
+}
+BENCHMARK(BM_InterAbsDiff);
+
+void BM_IntraConvolve(benchmark::State& state) {
+  alib::SoftwareBackend be;
+  alib::OpParams p;
+  p.coeffs.assign(9, 1);
+  p.shift = 3;
+  const alib::Call call =
+      alib::Call::make_intra(alib::PixelOp::Convolve,
+                             alib::Neighborhood::con8(), ChannelMask::y(),
+                             ChannelMask::y(), p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(be.execute(call, qcif_a()));
+  }
+  state.SetItemsProcessed(state.iterations() * qcif_a().pixel_count());
+}
+BENCHMARK(BM_IntraConvolve);
+
+void BM_IntraMedian(benchmark::State& state) {
+  alib::SoftwareBackend be;
+  const alib::Call call = alib::Call::make_intra(
+      alib::PixelOp::Median, alib::Neighborhood::con8());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(be.execute(call, qcif_a()));
+  }
+  state.SetItemsProcessed(state.iterations() * qcif_a().pixel_count());
+}
+BENCHMARK(BM_IntraMedian);
+
+void BM_IntraGradientPack(benchmark::State& state) {
+  alib::SoftwareBackend be;
+  const alib::Call call = alib::Call::make_intra(
+      alib::PixelOp::GradientPack, alib::Neighborhood::con8(),
+      ChannelMask::y(),
+      ChannelMask::alfa().with(Channel::Aux));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(be.execute(call, qcif_a()));
+  }
+  state.SetItemsProcessed(state.iterations() * qcif_a().pixel_count());
+}
+BENCHMARK(BM_IntraGradientPack);
+
+void BM_SegmentExpansion(benchmark::State& state) {
+  alib::SegmentSpec spec;
+  spec.seeds = {{88, 72}};
+  spec.luma_threshold = static_cast<i32>(state.range(0));
+  for (auto _ : state) {
+    alib::SegmentTable<alib::SegmentInfo> table;
+    i64 visited = 0;
+    alib::expand_segments(qcif_a(), spec, table,
+                          [&](const alib::SegmentVisit&) { ++visited; });
+    benchmark::DoNotOptimize(visited);
+  }
+}
+BENCHMARK(BM_SegmentExpansion)->Arg(8)->Arg(32)->Arg(255);
+
+void BM_ScanIntraDriver(benchmark::State& state) {
+  // The raw templated driver without backend accounting.
+  img::Image out(qcif_a().size());
+  const alib::Neighborhood n = alib::Neighborhood::con8();
+  alib::SideAccum side;
+  for (auto _ : state) {
+    alib::scan_intra(qcif_a(), out, alib::ScanOrder::RowMajor,
+                     alib::BorderPolicy::Replicate, img::Pixel{},
+                     [&](const alib::ImageWindow& w) {
+                       return alib::apply_intra(
+                           alib::PixelOp::Dilate, alib::OpParams{}, n, w,
+                           ChannelMask::y(), ChannelMask::y(), side);
+                     });
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * qcif_a().pixel_count());
+}
+BENCHMARK(BM_ScanIntraDriver);
+
+}  // namespace
+
+BENCHMARK_MAIN();

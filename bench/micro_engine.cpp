@@ -1,0 +1,60 @@
+// Google-benchmark microbenchmarks of the engine simulator itself: cost of
+// cycle-accurate vs. analytic execution (the reason the analytic mode
+// exists for the call-heavy Table 3 experiment).
+#include <benchmark/benchmark.h>
+
+#include "core/core.hpp"
+#include "image/synth.hpp"
+
+namespace {
+
+using namespace ae;
+
+const img::Image& frame() {
+  static const img::Image a = img::make_test_frame(Size{96, 64}, 1);
+  return a;
+}
+
+alib::Call call() {
+  alib::OpParams p;
+  p.coeffs.assign(9, 1);
+  p.shift = 3;
+  return alib::Call::make_intra(alib::PixelOp::Convolve,
+                                alib::Neighborhood::con8(), ChannelMask::y(),
+                                ChannelMask::y(), p);
+}
+
+void BM_CycleAccurate(benchmark::State& state) {
+  core::EngineBackend be({}, core::EngineMode::CycleAccurate);
+  const alib::Call c = call();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(be.execute(c, frame()));
+  }
+  state.SetItemsProcessed(state.iterations() * frame().pixel_count());
+}
+BENCHMARK(BM_CycleAccurate);
+
+void BM_Analytic(benchmark::State& state) {
+  core::EngineBackend be({}, core::EngineMode::Analytic);
+  const alib::Call c = call();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(be.execute(c, frame()));
+  }
+  state.SetItemsProcessed(state.iterations() * frame().pixel_count());
+}
+BENCHMARK(BM_Analytic);
+
+void BM_CycleAccurateInter(benchmark::State& state) {
+  core::EngineBackend be({}, core::EngineMode::CycleAccurate);
+  static const img::Image b = img::make_test_frame(Size{96, 64}, 2);
+  const alib::Call c = alib::Call::make_inter(alib::PixelOp::AbsDiff);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(be.execute(c, frame(), &b));
+  }
+  state.SetItemsProcessed(state.iterations() * frame().pixel_count());
+}
+BENCHMARK(BM_CycleAccurateInter);
+
+}  // namespace
+
+BENCHMARK_MAIN();

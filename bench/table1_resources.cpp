@@ -1,0 +1,58 @@
+// Reproduces Table 1: device utilization summary and timing of the
+// AddressEngine on the Virtex-II 2v3000, paper numbers vs. the structural
+// resource model (see core/resources.hpp for the calibration notes).
+#include <iostream>
+
+#include "common/format.hpp"
+#include "core/resources.hpp"
+
+using namespace ae;
+
+namespace {
+
+std::string cell(int used, int available) {
+  return std::to_string(used) + " / " + std::to_string(available) + " (" +
+         format_percent(core::utilization(used, available)) + ")";
+}
+
+}  // namespace
+
+int main() {
+  const core::EngineConfig config;
+  const core::ResourceEstimate model = core::estimate_resources(config);
+  const core::ResourceEstimate paper = core::paper_table1();
+  const core::DeviceCapacity dev;
+
+  std::cout << "== Table 1: device utilization summary ("
+            << dev.name << ") ==\n\n";
+  TextTable t({"resource", "paper (ISE 6)", "model"});
+  t.add_row({"Slices", cell(paper.slices, dev.slices),
+             cell(model.slices, dev.slices)});
+  t.add_row({"Slice Flip Flops", cell(paper.flip_flops, dev.flip_flops),
+             cell(model.flip_flops, dev.flip_flops)});
+  t.add_row({"4 input LUTs", cell(paper.luts, dev.luts),
+             cell(model.luts, dev.luts)});
+  t.add_row({"Bonded IOBs", cell(paper.iobs, dev.iobs),
+             cell(model.iobs, dev.iobs)});
+  t.add_row({"BRAMs", cell(paper.brams, dev.brams),
+             cell(model.brams, dev.brams)});
+  t.add_row({"GCLKs", cell(paper.gclks, dev.gclks),
+             cell(model.gclks, dev.gclks)});
+  t.add_row({"Minimum period", format_fixed(paper.min_period_ns, 3) + " ns",
+             format_fixed(model.min_period_ns, 3) + " ns"});
+  t.add_row({"Maximum frequency",
+             format_fixed(paper.max_frequency_mhz(), 3) + " MHz",
+             format_fixed(model.max_frequency_mhz(), 3) + " MHz"});
+  std::cout << t;
+
+  std::cout << "\nNotes:\n"
+            << "  * BRAM demand is dominated by the IIM/OIM line buffers\n"
+            << "    (\"The high amount of block RAM used ... is due to the\n"
+            << "    IIM and OIM memories\"); the model derives "
+            << model.brams << " from the line-buffer\n"
+            << "    structure vs. 29 in the snapshot — see EXPERIMENTS.md.\n"
+            << "  * fmax " << format_fixed(model.max_frequency_mhz(), 1)
+            << " MHz >> the 66 MHz bus clock: the PCI bus, not the\n"
+            << "    fabric, limits the system (paper section 4.1).\n";
+  return 0;
+}

@@ -1,0 +1,209 @@
+// aetool — command-line utility around the image formats and the
+// AddressLib: convert between AEI/PGM/PPM, generate test content, and run
+// single calls on files.
+//
+//   aetool gen <out.aei> [WxH] [seed]        generate a test frame
+//   aetool convert <in> <out>                 by extension (.aei/.pgm/.ppm)
+//   aetool info <in.aei|in.pgm>               print image facts
+//   aetool run <op> <in> <out> [--engine]     run one intra call on a file
+//   aetool segment <in> <out> [grow|otsu]     segment and write the label
+//                                             rendering
+//
+// Supported ops for `run`: smooth, gradient, erode, dilate, median,
+// threshold, histogram.
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "addresslib/addresslib.hpp"
+#include "common/format.hpp"
+#include "core/core.hpp"
+#include "image/io.hpp"
+#include "image/synth.hpp"
+#include "segmentation/threshold_segmentation.hpp"
+
+using namespace ae;
+
+namespace {
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+img::Image load(const std::string& path) {
+  if (ends_with(path, ".aei")) return img::read_aei(path);
+  if (ends_with(path, ".pgm")) return img::read_pgm(path);
+  throw InvalidArgument("unsupported input format (want .aei or .pgm): " +
+                        path);
+}
+
+void store(const img::Image& image, const std::string& path) {
+  if (ends_with(path, ".aei")) {
+    img::write_aei(image, path);
+  } else if (ends_with(path, ".pgm")) {
+    img::write_pgm(image, path);
+  } else if (ends_with(path, ".ppm")) {
+    img::write_ppm(image, path);
+  } else {
+    throw InvalidArgument("unsupported output format: " + path);
+  }
+}
+
+alib::Call call_for(const std::string& op) {
+  using alib::Call;
+  using alib::Neighborhood;
+  using alib::PixelOp;
+  if (op == "smooth") {
+    alib::OpParams p;
+    p.coeffs = {1, 2, 1, 2, 4, 2, 1, 2, 1};
+    p.shift = 4;
+    return Call::make_intra(PixelOp::Convolve, Neighborhood::con8(),
+                            ChannelMask::y(), ChannelMask::y(), p);
+  }
+  if (op == "gradient")
+    return Call::make_intra(PixelOp::GradientMag, Neighborhood::con8());
+  if (op == "erode")
+    return Call::make_intra(PixelOp::Erode, Neighborhood::con8());
+  if (op == "dilate")
+    return Call::make_intra(PixelOp::Dilate, Neighborhood::con8());
+  if (op == "median")
+    return Call::make_intra(PixelOp::Median, Neighborhood::con8());
+  if (op == "threshold") {
+    alib::OpParams p;
+    p.threshold = 128;
+    return Call::make_intra(PixelOp::Threshold, Neighborhood::con0(),
+                            ChannelMask::y(), ChannelMask::y(), p);
+  }
+  if (op == "histogram")
+    return Call::make_intra(PixelOp::Histogram, Neighborhood::con0());
+  throw InvalidArgument("unknown op: " + op);
+}
+
+int cmd_gen(int argc, char** argv) {
+  if (argc < 1) throw InvalidArgument("gen needs an output path");
+  Size size = img::formats::kQcif;
+  u64 seed = 1;
+  if (argc >= 2) {
+    const std::string spec = argv[1];
+    const auto x = spec.find('x');
+    AE_EXPECTS(x != std::string::npos, "size must look like 176x144");
+    size = {std::atoi(spec.substr(0, x).c_str()),
+            std::atoi(spec.substr(x + 1).c_str())};
+  }
+  if (argc >= 3) seed = static_cast<u64>(std::atoll(argv[2]));
+  store(img::make_test_frame(size, seed), argv[0]);
+  std::cout << "wrote " << argv[0] << " (" << to_string(size) << ", seed "
+            << seed << ")\n";
+  return 0;
+}
+
+int cmd_convert(int argc, char** argv) {
+  if (argc < 2) throw InvalidArgument("convert needs <in> <out>");
+  store(load(argv[0]), argv[1]);
+  std::cout << "converted " << argv[0] << " -> " << argv[1] << "\n";
+  return 0;
+}
+
+int cmd_info(int argc, char** argv) {
+  if (argc < 1) throw InvalidArgument("info needs an input path");
+  const img::Image image = load(argv[0]);
+  u64 sum = 0;
+  u8 lo = 255;
+  u8 hi = 0;
+  i64 labeled = 0;
+  for (const img::Pixel& p : image.pixels()) {
+    sum += p.y;
+    lo = std::min(lo, p.y);
+    hi = std::max(hi, p.y);
+    labeled += p.alfa != 0 ? 1 : 0;
+  }
+  std::cout << argv[0] << ": " << to_string(image.size()) << ", "
+            << format_thousands(static_cast<u64>(image.pixel_count()))
+            << " px, Y mean "
+            << sum / static_cast<u64>(image.pixel_count()) << " range ["
+            << static_cast<int>(lo) << ", " << static_cast<int>(hi)
+            << "], labeled px " << labeled << ", ZBT footprint "
+            << format_thousands(static_cast<u64>(img::zbt_bytes(image.size())))
+            << " bytes\n";
+  return 0;
+}
+
+int cmd_run(int argc, char** argv) {
+  if (argc < 3) throw InvalidArgument("run needs <op> <in> <out>");
+  const bool engine = argc >= 4 && std::strcmp(argv[3], "--engine") == 0;
+  const alib::Call call = call_for(argv[0]);
+  const img::Image input = load(argv[1]);
+
+  alib::SoftwareBackend software;
+  core::EngineBackend hw;
+  alib::Backend& backend =
+      engine ? static_cast<alib::Backend&>(hw) : software;
+  const alib::CallResult result = backend.execute(call, input);
+  store(result.output, argv[2]);
+  std::cout << backend.name() << " ran " << call.describe() << "\n";
+  if (call.op == alib::PixelOp::Histogram) {
+    u64 peak = 0;
+    int peak_bin = 0;
+    for (int bin = 0; bin < 256; ++bin)
+      if (result.side.histogram[static_cast<std::size_t>(bin)] > peak) {
+        peak = result.side.histogram[static_cast<std::size_t>(bin)];
+        peak_bin = bin;
+      }
+    std::cout << "histogram peak: luma " << peak_bin << " ("
+              << format_thousands(peak) << " px)\n";
+  }
+  if (engine)
+    std::cout << "board time "
+              << format_fixed(result.stats.model_seconds * 1e3, 2)
+              << " ms, ZBT transactions "
+              << format_thousands(result.stats.access_transactions())
+              << "\n";
+  std::cout << "wrote " << argv[2] << "\n";
+  return 0;
+}
+
+int cmd_segment(int argc, char** argv) {
+  if (argc < 2) throw InvalidArgument("segment needs <in> <out>");
+  const std::string algo = argc >= 3 ? argv[2] : "grow";
+  const img::Image input = load(argv[0]);
+  alib::SoftwareBackend backend;
+  seg::SegmentationResult result;
+  if (algo == "grow") {
+    result = seg::segment_image(backend, input);
+  } else if (algo == "otsu") {
+    result = seg::threshold_segmentation(backend, input);
+  } else {
+    throw InvalidArgument("unknown segmentation algorithm: " + algo);
+  }
+  store(seg::render_labels(result.labels), argv[1]);
+  std::cout << algo << " segmentation: " << result.segments.size()
+            << " segments over " << result.addresslib_calls
+            << " AddressLib calls (" << result.merged_segments
+            << " merged)\n"
+            << "wrote " << argv[1] << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: aetool gen|convert|info|run|segment ... (see source "
+                 "header)\n";
+    return 2;
+  }
+  try {
+    const std::string cmd = argv[1];
+    if (cmd == "gen") return cmd_gen(argc - 2, argv + 2);
+    if (cmd == "convert") return cmd_convert(argc - 2, argv + 2);
+    if (cmd == "info") return cmd_info(argc - 2, argv + 2);
+    if (cmd == "run") return cmd_run(argc - 2, argv + 2);
+    if (cmd == "segment") return cmd_segment(argc - 2, argv + 2);
+    std::cerr << "unknown command: " << cmd << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

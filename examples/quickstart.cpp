@@ -1,0 +1,86 @@
+// Quickstart: the AddressLib in five minutes.
+//
+// Builds a test frame, runs calls under all three addressing schemes on
+// the software backend and on the AddressEngine simulator, verifies the
+// outputs are bit-identical, and prints the per-platform accounting.
+//
+//   $ ./quickstart
+#include <iostream>
+
+#include "addresslib/addresslib.hpp"
+#include "common/format.hpp"
+#include "core/core.hpp"
+#include "image/compare.hpp"
+#include "image/synth.hpp"
+
+using namespace ae;
+
+int main() {
+  // A deterministic 352x288 (CIF) test frame: Y/U/V video channels plus
+  // the 16-bit Alfa/Aux side channels.
+  const img::Image frame = img::make_test_frame(img::formats::kCif, 7);
+  const img::Image previous = img::make_test_frame(img::formats::kCif, 8);
+
+  // Two interchangeable executors of AddressLib calls.
+  alib::SoftwareBackend software;                              // the baseline
+  core::EngineBackend engine({}, core::EngineMode::CycleAccurate);
+
+  std::cout << "backends: " << software.name() << " | " << engine.name()
+            << "\n\n";
+
+  // --- inter addressing: difference picture between two frames ------------
+  const alib::Call diff = alib::Call::make_inter(alib::PixelOp::AbsDiff);
+  const alib::CallResult d_sw = software.execute(diff, frame, &previous);
+  const alib::CallResult d_hw = engine.execute(diff, frame, &previous);
+  std::cout << "inter AbsDiff: outputs identical = "
+            << std::boolalpha
+            << (d_sw.output == d_hw.output) << "\n"
+            << "  software accesses " << format_thousands(d_sw.stats.loads +
+                                                          d_sw.stats.stores)
+            << ", engine transactions "
+            << format_thousands(d_hw.stats.loads + d_hw.stats.stores)
+            << ", engine time "
+            << format_fixed(d_hw.stats.model_seconds * 1e3, 2) << " ms\n\n";
+
+  // --- intra addressing: 3x3 gaussian smoothing ----------------------------
+  alib::OpParams gauss;
+  gauss.coeffs = {1, 2, 1, 2, 4, 2, 1, 2, 1};
+  gauss.shift = 4;
+  const alib::Call smooth = alib::Call::make_intra(
+      alib::PixelOp::Convolve, alib::Neighborhood::con8(), ChannelMask::y(),
+      ChannelMask::y(), gauss);
+  const alib::CallResult s_sw = software.execute(smooth, frame);
+  const alib::CallResult s_hw = engine.execute(smooth, frame);
+  std::cout << "intra Convolve (CON_8): outputs identical = "
+            << (s_sw.output == s_hw.output) << "\n"
+            << "  PSNR vs input "
+            << format_fixed(img::psnr_y(frame, s_sw.output), 1) << " dB\n\n";
+
+  // --- segment addressing: grow a region from a seed -----------------------
+  alib::SegmentSpec spec;
+  spec.seeds = {{176, 144}};
+  spec.luma_threshold = 24;
+  const alib::Call grow = alib::Call::make_segment(
+      alib::PixelOp::Copy, alib::Neighborhood::con0(), spec,
+      ChannelMask::y(), ChannelMask::y().with(Channel::Alfa));
+  const alib::CallResult g_sw = software.execute(grow, frame);
+  std::cout << "segment growth from (176,144): "
+            << g_sw.segments[0].pixel_count << " px, geodesic radius "
+            << g_sw.segments[0].geodesic_radius
+            << ", indexed-table writes " << g_sw.stats.table_writes << "\n\n";
+
+  // --- where the time goes on the board ------------------------------------
+  const core::EngineRunStats& run = engine.last_run();
+  std::cout << "engine cycle breakdown of the last call (intra smoothing):\n"
+            << "  total cycles        " << format_thousands(run.cycles)
+            << "\n"
+            << "  bus busy            "
+            << format_thousands(run.bus_busy_cycles) << "\n"
+            << "  bus overhead        "
+            << format_thousands(run.bus_overhead_cycles) << "\n"
+            << "  PU stalls (IIM/OIM) "
+            << format_thousands(run.pu_stall_iim + run.pu_stall_oim) << "\n"
+            << "the call is transfer-bound: the coprocessor computes for "
+               "free behind the PCI bus.\n";
+  return 0;
+}

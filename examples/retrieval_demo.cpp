@@ -1,0 +1,75 @@
+// Region-based image retrieval demo — the SCHEMA use case the paper's
+// coprocessor was built to serve (ref [1]): segment a small synthetic
+// image collection through the AddressLib, index the region signatures,
+// and answer a query-by-example.
+//
+//   $ ./retrieval_demo
+#include <iostream>
+
+#include "common/format.hpp"
+#include "image/synth.hpp"
+#include "retrieval/database.hpp"
+
+using namespace ae;
+
+namespace {
+
+/// A tiny synthetic "collection": scenes composed of a backdrop and a few
+/// objects, in themed variants.
+img::Image scene(u8 backdrop, u8 object_luma, u8 object_u, int layout,
+                 u64 seed) {
+  img::Image f(Size{128, 96}, img::Pixel::gray(backdrop));
+  img::Pixel obj = img::Pixel::gray(object_luma);
+  obj.u = object_u;
+  Rng rng(seed);
+  switch (layout) {
+    case 0:  // one big centered object
+      img::draw_disk(f, {64, 48}, 24, obj);
+      break;
+    case 1:  // two smaller objects
+      img::draw_disk(f, {36, 30}, 14, obj);
+      img::draw_rect(f, Rect{76, 54, 30, 24}, obj);
+      break;
+    default:  // scattered small objects
+      for (int i = 0; i < 5; ++i)
+        img::draw_disk(f, {rng.uniform(10, 118), rng.uniform(10, 86)}, 7,
+                       obj);
+      break;
+  }
+  img::add_noise(f, rng, 4);
+  return f;
+}
+
+}  // namespace
+
+int main() {
+  alib::SoftwareBackend backend;
+  ret::RegionDatabase db(backend);
+
+  db.add("beach_big_sun", scene(200, 60, 100, 0, 1));
+  db.add("beach_two_rocks", scene(200, 60, 100, 1, 2));
+  db.add("night_big_moon", scene(30, 220, 128, 0, 3));
+  db.add("night_stars", scene(30, 220, 128, 2, 4));
+  db.add("forest_clearing", scene(110, 180, 80, 0, 5));
+  db.add("forest_flowers", scene(110, 180, 80, 2, 6));
+
+  std::cout << "indexed " << db.size() << " images through "
+            << db.addresslib_calls() << " AddressLib calls ("
+            << format_thousands(db.low_level().profile.total())
+            << " modeled instructions)\n\n";
+
+  const img::Image probe = scene(205, 65, 100, 0, 7);  // a new beach shot
+  std::cout << "query: a new 'beach with one big object' scene\n";
+  TextTable t({"rank", "image", "distance"});
+  int rank = 1;
+  for (const ret::QueryHit& hit : db.query(probe, 6))
+    t.add_row({std::to_string(rank++), hit.name,
+               format_fixed(hit.distance, 4)});
+  std::cout << t
+            << "\nThe beach scenes rank first on region color/size/layout; "
+              "the night and\nforest themes follow.  Every per-pixel step "
+              "(segmentation, descriptor\naccumulation) ran as AddressLib "
+              "calls — the retrieval logic itself is\nhost-side control, "
+              "exactly the paper's division of labor.\n";
+  return 0;
+}

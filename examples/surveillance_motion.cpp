@@ -1,0 +1,102 @@
+// Video-surveillance scenario from the paper's introduction: detect and
+// delineate a moving object against a static camera using the AddressLib —
+// difference pictures (inter), morphological cleanup (intra) and object
+// extraction by segment addressing, with the high-level logic on the host.
+//
+//   $ ./surveillance_motion [out_dir]
+#include <iostream>
+#include <string>
+
+#include "addresslib/addresslib.hpp"
+#include "common/format.hpp"
+#include "core/core.hpp"
+#include "image/io.hpp"
+#include "image/synth.hpp"
+
+using namespace ae;
+
+namespace {
+
+/// A static background with a disk-shaped intruder moving across it.
+img::Image scene_frame(int t) {
+  img::Image frame = img::make_test_frame(Size{176, 144}, 99);
+  img::Pixel intruder = img::Pixel::gray(235);
+  intruder.u = 90;
+  intruder.v = 170;
+  img::draw_disk(frame, Point{20 + 9 * t, 60 + 3 * t}, 11, intruder);
+  return frame;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_dir = argc > 1 ? argv[1] : ".";
+  alib::SoftwareBackend software;
+  core::EngineBackend engine({}, core::EngineMode::Analytic);
+  alib::Backend& backend = engine;  // swap to `software` freely: identical
+
+  double board_seconds = 0.0;
+  std::cout << "frame-by-frame motion analysis (QCIF, "
+            << backend.name() << "):\n";
+  for (int t = 1; t <= 6; ++t) {
+    const img::Image prev = scene_frame(t - 1);
+    const img::Image cur = scene_frame(t);
+
+    // 1. inter: where did anything move?  |cur - prev| > threshold.
+    alib::OpParams mask_params;
+    mask_params.threshold = 24;
+    const alib::Call diff_mask = alib::Call::make_inter(
+        alib::PixelOp::DiffMask, ChannelMask::y(), ChannelMask::y(),
+        mask_params);
+    alib::CallResult mask = backend.execute(diff_mask, cur, &prev);
+    board_seconds += mask.stats.model_seconds;
+
+    // 2. intra: erode the binary mask to kill isolated noise pixels.
+    const alib::Call clean = alib::Call::make_intra(
+        alib::PixelOp::Erode, alib::Neighborhood::con8());
+    mask = backend.execute(clean, mask.output);
+    board_seconds += mask.stats.model_seconds;
+
+    // 3. host logic: find a seed inside the detection.
+    Point seed{-1, -1};
+    for (i32 y = 0; y < mask.output.height() && seed.x < 0; ++y)
+      for (i32 x = 0; x < mask.output.width(); ++x)
+        if (mask.output.ref(x, y).y == 255) {
+          seed = {x, y};
+          break;
+        }
+    if (seed.x < 0) {
+      std::cout << "  t=" << t << ": no motion detected\n";
+      continue;
+    }
+
+    // 4. segment addressing: grow the detection blob over the binary mask
+    //    (threshold 0: only connected 255-pixels join — the object's
+    //    changed area, visited in geodesic order).
+    alib::SegmentSpec spec;
+    spec.seeds = {seed};
+    spec.luma_threshold = 0;
+    const alib::Call grow = alib::Call::make_segment(
+        alib::PixelOp::Copy, alib::Neighborhood::con0(), spec,
+        ChannelMask::y(), ChannelMask::y().with(Channel::Alfa));
+    const alib::CallResult object = backend.execute(grow, mask.output);
+    board_seconds += object.stats.model_seconds;
+
+    const alib::SegmentInfo& info = object.segments[0];
+    std::cout << "  t=" << t << ": object at " << to_string(info.bbox)
+              << ", " << info.pixel_count << " px changed\n";
+    if (t == 3) {
+      img::write_pgm(mask.output, out_dir + "/motion_mask.pgm");
+      img::Image vis = cur;
+      for (i32 y = 0; y < vis.height(); ++y)
+        for (i32 x = 0; x < vis.width(); ++x)
+          if (object.output.ref(x, y).alfa != 0) vis.ref(x, y).y = 255;
+      img::write_pgm(vis, out_dir + "/object_overlay.pgm");
+    }
+  }
+  std::cout << "modeled board time for the whole analysis: "
+            << format_fixed(board_seconds * 1e3, 1) << " ms\n"
+            << "wrote " << out_dir << "/motion_mask.pgm and "
+            << out_dir << "/object_overlay.pgm (t=3)\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Temporal video object tracking demo — the paper's motivating scenario
+// ("video surveillance and driver assistance"): a fixed surveillance
+// camera, two independently moving objects, and the full AddressLib
+// pipeline per frame (segmentation + global motion estimation confirming
+// the camera is static + host-side track management).
+//
+//   $ ./tracking_demo
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "common/format.hpp"
+#include "image/synth.hpp"
+#include "segmentation/tracker.hpp"
+
+using namespace ae;
+
+namespace {
+
+/// A textured scene watched by a fixed camera, with two movers.
+img::Image scene_frame(int t) {
+  img::Image f(Size{128, 96});
+  for (i32 y = 0; y < f.height(); ++y)
+    for (i32 x = 0; x < f.width(); ++x) {
+      // Gentle texture: enough gradient for the GME, low enough contrast
+      // that the background segments stay large and stable.
+      const double coarse = img::value_noise(x, y, 29, 2, 80.0);
+      const double fine = img::value_noise(x, y, 17, 3, 14.0);
+      f.ref(x, y) = img::Pixel::gray(img::clamp_u8(static_cast<i32>(
+          90 + 45 * coarse + 18 * fine)));
+    }
+  // A bright "vehicle" crossing left-to-right.
+  img::draw_disk(f, Point{20 + 5 * t, 34}, 9, img::Pixel::gray(230));
+  // A dark "pedestrian" walking down.
+  img::draw_rect(f, Rect{90, 14 + 4 * t, 10, 14}, img::Pixel::gray(12));
+  return f;
+}
+
+}  // namespace
+
+int main() {
+  alib::SoftwareBackend backend;
+  seg::TrackerParams params;
+  params.segmentation.luma_threshold = 14;
+  params.segmentation.min_segment_pixels = 40;
+  params.min_object_pixels = 60;
+  params.max_match_distance = 14.0;
+  seg::ObjectTracker tracker(backend, params);
+
+  constexpr int kFrames = 8;
+  for (int t = 0; t < kFrames; ++t) {
+    const int active = tracker.feed(scene_frame(t));
+    std::cout << "frame " << t << ": " << active
+              << " active tracks, camera so far "
+              << "(" << format_fixed(tracker.camera_motion().dx, 1) << ", "
+              << format_fixed(tracker.camera_motion().dy, 1) << ") px\n";
+  }
+
+  std::cout << "\ntracks observed over " << kFrames << " frames ("
+            << tracker.addresslib_calls() << " AddressLib calls):\n";
+  TextTable t({"track", "frames", "size (px)", "speed (px/frame)",
+               "net motion"});
+  for (const seg::Track& track : tracker.tracks()) {
+    if (track.length() < 3) continue;  // transient fragments
+    const seg::Observation& first = track.observations.front();
+    const seg::Observation& last = track.observations.back();
+    const double dx = (last.scene_x - first.scene_x) /
+                      std::max(1, last.frame - first.frame);
+    const double dy = (last.scene_y - first.scene_y) /
+                      std::max(1, last.frame - first.frame);
+    t.add_row({std::to_string(track.id),
+               std::to_string(track.first_frame()) + ".." +
+                   std::to_string(track.last_frame()),
+               std::to_string(last.pixels),
+               format_fixed(track.mean_scene_speed(), 2),
+               "(" + format_fixed(dx, 1) + ", " + format_fixed(dy, 1) +
+                   ")"});
+  }
+  std::cout << t
+            << "\nThe two compact fast tracks are the movers: the vehicle "
+              "(~250 px, net\nmotion ~(+5, 0)) and the pedestrian (~100 px, "
+              "~(0, +4)).  Large tracks\nare background regions; their "
+              "centroids jitter a little as the movers\nocclude them.  "
+              "AddressLib GME calls confirmed the camera is static —\npixel "
+              "work on the coprocessor, decisions on the host.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+#include "addresslib/access_model.hpp"
+
+namespace ae::alib {
+
+i64 software_words_per_load(const Call& call) {
+  return call.in_channels.has_side() ? 2 : 1;
+}
+
+AccessCounts software_accesses_per_pixel(const Call& call) {
+  AccessCounts per;
+  const i64 words = software_words_per_load(call);
+  switch (call.mode) {
+    case Mode::Inter:
+      per.loads = static_cast<u64>(2 * words);
+      break;
+    case Mode::Intra:
+      per.loads = static_cast<u64>(call.nbhd.loads_per_step(call.scan) * words);
+      break;
+    case Mode::Segment:
+      // Geodesic order has no scan locality: the window is reloaded fully
+      // for every processed pixel.
+      per.loads = static_cast<u64>(static_cast<i64>(call.nbhd.size()) * words);
+      break;
+  }
+  per.stores = static_cast<u64>(call.out_channels.count());
+  return per;
+}
+
+AccessCounts software_access_model(const Call& call, i64 pixels) {
+  AE_EXPECTS(pixels >= 0, "pixel count must be non-negative");
+  const AccessCounts per = software_accesses_per_pixel(call);
+  return AccessCounts{per.loads * static_cast<u64>(pixels),
+                      per.stores * static_cast<u64>(pixels)};
+}
+
+AccessCounts hardware_access_model(const Call& call, i64 pixels) {
+  AE_EXPECTS(pixels >= 0, "pixel count must be non-negative");
+  (void)call;  // parallelism makes the count mode- and channel-independent
+  return AccessCounts{static_cast<u64>(pixels), static_cast<u64>(pixels)};
+}
+
+double saving_fraction_of_software(const AccessCounts& sw,
+                                   const AccessCounts& hw) {
+  if (sw.total() == 0) return 0.0;
+  return 1.0 - static_cast<double>(hw.total()) / static_cast<double>(sw.total());
+}
+
+double saving_speedup_minus_one(const AccessCounts& sw,
+                                const AccessCounts& hw) {
+  if (hw.total() == 0) return 0.0;
+  return static_cast<double>(sw.total()) / static_cast<double>(hw.total()) -
+         1.0;
+}
+
+}  // namespace ae::alib

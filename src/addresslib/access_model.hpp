@@ -1,0 +1,62 @@
+// Analytic memory-access models — the accounting behind the paper's Table 2.
+//
+// The paper compares "memory accesses" of the 2005 software implementation
+// against the AddressEngine.  The counting rules reverse-engineered from the
+// published numbers (CIF = 101,376 pixels):
+//
+//   software: one access per load instruction touching image data plus one
+//     per output channel stored.  The software keeps the neighborhood in a
+//     register window, so advancing the scan loads only the offsets newly
+//     entering the window (3 for CON_8, 1 for CON_0, 2 frames for inter).
+//     A load fetches the packed Y/U/V word; ops touching Alfa/Aux fetch the
+//     second word too.  Output channels are stored individually.
+//       Inter  Y->Y   : (2 + 1) * 101,376 = 304,128
+//       Intra CON_0   : (1 + 1) * 101,376 = 202,752
+//       Intra CON_8   : (3 + 1) * 101,376 = 405,504
+//       Intra CON_8 YUV->YUV : (3 + 3) * 101,376 = 608,256
+//
+//   hardware: one access per ZBT pixel transaction, where accesses that the
+//     engine performs in parallel in the same cycle count once — both 32-bit
+//     words of a pixel (bank pair), all channels, and for inter both input
+//     frames (they live in different bank pairs).  Every input pixel enters
+//     the IIM exactly once (reuse happens inside the IIM) and every output
+//     pixel leaves the OIM once:
+//       always (1 + 1) * 101,376 = 202,752.
+//
+// The engine simulator counts its actual transactions and the tests check
+// they match this analytic model; the software backend increments its
+// counters with exactly these rules while executing functionally.
+#pragma once
+
+#include "addresslib/call.hpp"
+
+namespace ae::alib {
+
+struct AccessCounts {
+  u64 loads = 0;
+  u64 stores = 0;
+  u64 total() const { return loads + stores; }
+};
+
+/// Words fetched per pixel load by the software (1 video word, +1 if the op
+/// reads the 16-bit side channels).
+i64 software_words_per_load(const Call& call);
+
+/// Software image accesses per output pixel (loads, stores).
+AccessCounts software_accesses_per_pixel(const Call& call);
+
+/// Software model over a whole frame (inter/intra; `pixels` = frame area).
+/// For segment mode pass the number of processed pixels.
+AccessCounts software_access_model(const Call& call, i64 pixels);
+
+/// Hardware (engine) model: parallel-counted ZBT pixel transactions.
+AccessCounts hardware_access_model(const Call& call, i64 pixels);
+
+/// The paper's Table 2 prints a "Saving" column with two different formulas
+/// (rows 1-3 use (sw-hw)/sw, row 4 uses sw/hw-1).  Both are provided.
+double saving_fraction_of_software(const AccessCounts& sw,
+                                   const AccessCounts& hw);
+double saving_speedup_minus_one(const AccessCounts& sw,
+                                const AccessCounts& hw);
+
+}  // namespace ae::alib

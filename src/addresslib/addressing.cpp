@@ -1,0 +1,112 @@
+#include "addresslib/addressing.hpp"
+
+#include <algorithm>
+
+namespace ae::alib {
+
+std::string to_string(ScanOrder s) {
+  return s == ScanOrder::RowMajor ? "row-major" : "column-major";
+}
+
+std::string to_string(BorderPolicy b) {
+  return b == BorderPolicy::Replicate ? "replicate" : "constant";
+}
+
+std::string to_string(Connectivity c) {
+  return c == Connectivity::Four ? "4-connected" : "8-connected";
+}
+
+Neighborhood::Neighborhood(std::vector<Point> offsets, std::string name)
+    : offsets_(std::move(offsets)), name_(std::move(name)) {
+  AE_EXPECTS(!offsets_.empty(), "a neighborhood needs at least one offset");
+  std::sort(offsets_.begin(), offsets_.end(), [](Point a, Point b) {
+    return a.y != b.y ? a.y < b.y : a.x < b.x;
+  });
+  offsets_.erase(std::unique(offsets_.begin(), offsets_.end()),
+                 offsets_.end());
+  i32 min_x = offsets_.front().x, max_x = offsets_.front().x;
+  const i32 min_y = offsets_.front().y;
+  const i32 max_y = offsets_.back().y;
+  for (const Point p : offsets_) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+  }
+  bbox_ = Rect{min_x, min_y, max_x - min_x + 1, max_y - min_y + 1};
+  AE_EXPECTS(bbox_.height <= kMaxNeighborhoodLines,
+             "neighborhood exceeds the 9-line hardware limit");
+  AE_EXPECTS(bbox_.width <= kMaxNeighborhoodLines,
+             "neighborhood exceeds the 9-column hardware limit");
+  if (name_.empty())
+    name_ = "custom(" + std::to_string(offsets_.size()) + ")";
+}
+
+Neighborhood Neighborhood::con0() { return Neighborhood({{0, 0}}, "CON_0"); }
+
+Neighborhood Neighborhood::con4() {
+  return Neighborhood({{0, 0}, {-1, 0}, {1, 0}, {0, -1}, {0, 1}}, "CON_4");
+}
+
+Neighborhood Neighborhood::con8() {
+  std::vector<Point> offs;
+  for (i32 dy = -1; dy <= 1; ++dy)
+    for (i32 dx = -1; dx <= 1; ++dx) offs.push_back({dx, dy});
+  return Neighborhood(std::move(offs), "CON_8");
+}
+
+Neighborhood Neighborhood::rect(i32 width, i32 height) {
+  AE_EXPECTS(width > 0 && height > 0, "rect neighborhood needs positive size");
+  AE_EXPECTS(width % 2 == 1 && height % 2 == 1,
+             "rect neighborhood needs odd extents (centered)");
+  std::vector<Point> offs;
+  offs.reserve(static_cast<std::size_t>(width) *
+               static_cast<std::size_t>(height));
+  for (i32 dy = -(height / 2); dy <= height / 2; ++dy)
+    for (i32 dx = -(width / 2); dx <= width / 2; ++dx) offs.push_back({dx, dy});
+  return Neighborhood(std::move(offs), "RECT_" + std::to_string(width) + "x" +
+                                           std::to_string(height));
+}
+
+Neighborhood Neighborhood::vline(i32 lines) {
+  AE_EXPECTS(lines > 0 && lines % 2 == 1, "vline needs a positive odd count");
+  std::vector<Point> offs;
+  for (i32 dy = -(lines / 2); dy <= lines / 2; ++dy) offs.push_back({0, dy});
+  return Neighborhood(std::move(offs), "VLINE_" + std::to_string(lines));
+}
+
+Neighborhood Neighborhood::hline(i32 taps) {
+  AE_EXPECTS(taps > 0 && taps % 2 == 1, "hline needs a positive odd count");
+  std::vector<Point> offs;
+  for (i32 dx = -(taps / 2); dx <= taps / 2; ++dx) offs.push_back({dx, 0});
+  return Neighborhood(std::move(offs), "HLINE_" + std::to_string(taps));
+}
+
+bool Neighborhood::contains(Point offset) const {
+  return std::binary_search(offsets_.begin(), offsets_.end(), offset,
+                            [](Point a, Point b) {
+                              return a.y != b.y ? a.y < b.y : a.x < b.x;
+                            });
+}
+
+std::vector<Point> Neighborhood::entering_offsets(ScanOrder scan) const {
+  // Offsets not covered by the previous window position: the step moves the
+  // center by +1 in x (row-major) or +1 in y (column-major), so the previous
+  // window contained offset o iff (o + step) is still an offset.
+  const Point step = scan == ScanOrder::RowMajor ? Point{1, 0} : Point{0, 1};
+  std::vector<Point> fresh;
+  for (const Point o : offsets_)
+    if (!contains(o + step)) fresh.push_back(o);
+  return fresh;
+}
+
+i64 Neighborhood::loads_per_step(ScanOrder scan) const {
+  return static_cast<i64>(entering_offsets(scan).size());
+}
+
+const std::vector<Point>& connectivity_offsets(Connectivity c) {
+  static const std::vector<Point> four{{0, -1}, {-1, 0}, {1, 0}, {0, 1}};
+  static const std::vector<Point> eight{{-1, -1}, {0, -1}, {1, -1}, {-1, 0},
+                                        {1, 0},   {-1, 1}, {0, 1},  {1, 1}};
+  return c == Connectivity::Four ? four : eight;
+}
+
+}  // namespace ae::alib

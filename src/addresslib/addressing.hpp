@@ -1,0 +1,108 @@
+// The AddressLib addressing vocabulary (paper section 2.1).
+//
+// Four addressing schemes exist: inter, intra, segment and segment-indexed.
+// This header defines the pieces they are built from: scan orders,
+// border policies and neighborhoods.  A neighborhood is a set of integer
+// offsets around a center pixel; the paper's names are kept:
+//   CON_0 — the center pixel only ("one pixel neighborhood"),
+//   CON_4 — center plus the 4-connected cross,
+//   CON_8 — the full 3x3 square ("squared 8-pixels neighborhood").
+// The hardware supports neighborhoods up to 9 lines tall (section 3.1), the
+// limit that sized the 16-line strips and the IIM.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/geometry.hpp"
+
+namespace ae::alib {
+
+/// Direction in which the image is swept; strips are transferred
+/// horizontally or vertically to match (paper section 3.1).
+enum class ScanOrder {
+  RowMajor,     ///< left-to-right within a line, lines top-to-bottom
+  ColumnMajor,  ///< top-to-bottom within a column, columns left-to-right
+};
+
+std::string to_string(ScanOrder s);
+
+/// What a neighborhood read outside the frame returns.
+enum class BorderPolicy {
+  Replicate,  ///< clamp coordinates to the nearest border pixel (XM default)
+  Constant,   ///< a caller-supplied constant pixel
+};
+
+std::string to_string(BorderPolicy b);
+
+/// Pixel connectivity used by segment addressing expansion.
+enum class Connectivity {
+  Four,
+  Eight,
+};
+
+std::string to_string(Connectivity c);
+
+/// An immutable set of offsets around the center pixel.
+class Neighborhood {
+ public:
+  /// Builds from explicit offsets; deduplicates, sorts into scan order
+  /// (dy, then dx) and validates the 9-line height limit.
+  explicit Neighborhood(std::vector<Point> offsets, std::string name = "");
+
+  /// CON_0: the center pixel only.
+  static Neighborhood con0();
+  /// CON_4: center + 4-connected cross.
+  static Neighborhood con4();
+  /// CON_8: the 3x3 square.
+  static Neighborhood con8();
+  /// Full rectangle of width x height centered on the pixel (odd sizes).
+  static Neighborhood rect(i32 width, i32 height);
+  /// Vertical line of `lines` pixels (odd) — the paper's fig. 4 worst case
+  /// when perpendicular to a row-major scan.
+  static Neighborhood vline(i32 lines);
+  /// Horizontal line of `taps` pixels (odd).
+  static Neighborhood hline(i32 taps);
+
+  const std::vector<Point>& offsets() const { return offsets_; }
+  const std::string& name() const { return name_; }
+  std::size_t size() const { return offsets_.size(); }
+  bool contains(Point offset) const;
+
+  /// Bounding box of the offsets (includes the center by construction of
+  /// the named shapes; general shapes may exclude it).
+  Rect bounding_box() const { return bbox_; }
+  /// Number of image lines the neighborhood spans.
+  i32 height() const { return bbox_.height; }
+  i32 width() const { return bbox_.width; }
+
+  /// Offsets that newly enter the window when the center advances one step
+  /// in the given scan order — the pixels the 2005 software had to load per
+  /// step under strict window reuse, and the pixels the engine's SHIFT
+  /// instruction brings into the matrix register.
+  std::vector<Point> entering_offsets(ScanOrder scan) const;
+
+  /// Convenience: entering_offsets(scan).size().
+  i64 loads_per_step(ScanOrder scan) const;
+
+  friend bool operator==(const Neighborhood& a, const Neighborhood& b) {
+    return a.offsets_ == b.offsets_;
+  }
+
+ private:
+  std::vector<Point> offsets_;
+  Rect bbox_{};
+  std::string name_;
+};
+
+/// Maximum neighborhood height supported by the engine (paper: "the maximum
+/// range of input data required to process one pixel is nine lines").
+inline constexpr i32 kMaxNeighborhoodLines = 9;
+
+/// Offsets of a connectivity (excluding center), in deterministic scan
+/// order; used by segment expansion.
+const std::vector<Point>& connectivity_offsets(Connectivity c);
+
+}  // namespace ae::alib

@@ -1,0 +1,12 @@
+// Umbrella header for the AddressLib public API.
+#pragma once
+
+#include "addresslib/access_model.hpp"      // IWYU pragma: export
+#include "addresslib/addressing.hpp"        // IWYU pragma: export
+#include "addresslib/call.hpp"              // IWYU pragma: export
+#include "addresslib/cost_model.hpp"        // IWYU pragma: export
+#include "addresslib/ops.hpp"               // IWYU pragma: export
+#include "addresslib/scan.hpp"              // IWYU pragma: export
+#include "addresslib/segment.hpp"           // IWYU pragma: export
+#include "addresslib/segment_index.hpp"     // IWYU pragma: export
+#include "addresslib/software_backend.hpp"  // IWYU pragma: export

@@ -1,0 +1,24 @@
+#include "addresslib/cost_model.hpp"
+
+#include "addresslib/access_model.hpp"
+
+namespace ae::alib {
+
+InstructionProfile software_profile_per_pixel(const Call& call,
+                                              const SoftwareCostModel& model) {
+  const AccessCounts per = software_accesses_per_pixel(call);
+  const u64 accesses = per.total();
+  InstructionProfile p;
+  p.control = static_cast<u64>(model.control_instr_per_pixel);
+  p.address_calc =
+      accesses * static_cast<u64>(model.addr_instr_per_access) +
+      static_cast<u64>(model.addr_instr_per_scan_step);
+  const Neighborhood* nbhd = call.mode == Mode::Inter ? nullptr : &call.nbhd;
+  p.pixel_op = static_cast<u64>(
+      op_datapath_cost(call.op, nbhd ? *nbhd : Neighborhood::con0(),
+                       call.out_channels));
+  p.memory = accesses;
+  return p;
+}
+
+}  // namespace ae::alib

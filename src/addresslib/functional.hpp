@@ -1,0 +1,32 @@
+// Pure functional execution of an AddressLib call — output pixels, side
+// accumulators and segment records, with no platform accounting.
+//
+// This is the single semantic definition of what a call computes.  The
+// software backend adds the 2005-software cost accounting on top; the
+// engine's analytic mode adds the coprocessor timing model on top; the
+// engine's cycle simulator recomputes the same values through the simulated
+// dataflow and is tested bit-exact against this.
+#pragma once
+
+#include "addresslib/call.hpp"
+
+namespace ae::alib {
+
+/// Executes `call` functionally.  Performs full validation.
+/// Returned stats carry only `pixels`, `table_reads`/`table_writes` (segment
+/// mode); every platform metric is zero.
+CallResult execute_functional(const Call& call, const img::Image& a,
+                              const img::Image* b = nullptr);
+
+/// Segment-traversal bookkeeping the backends need for their cost models.
+struct SegmentRunInfo {
+  i64 processed_pixels = 0;
+  i64 criterion_tests = 0;
+};
+
+/// As execute_functional, but also reports traversal statistics (segment
+/// mode; zeros otherwise).
+CallResult execute_functional(const Call& call, const img::Image& a,
+                              const img::Image* b, SegmentRunInfo& info);
+
+}  // namespace ae::alib

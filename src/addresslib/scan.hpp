@@ -1,0 +1,82 @@
+// Generic iteration drivers for inter and intra addressing.
+//
+// These are the reusable "structured scheme for pixel addressing": user code
+// (and the software backend) supplies a kernel functor and the driver owns
+// the traversal, border handling and windowing.  Keeping traversal out of
+// the kernels is precisely the design move the paper makes — the addressing
+// is the part worth optimizing/accelerating, so it must be separable.
+#pragma once
+
+#include <utility>
+
+#include "addresslib/addressing.hpp"
+#include "common/error.hpp"
+#include "image/image.hpp"
+
+namespace ae::alib {
+
+/// Border-resolving view of an image around a movable center pixel.
+/// Models the `Source` concept consumed by the intra kernels.
+class ImageWindow {
+ public:
+  ImageWindow(const img::Image& image, BorderPolicy border,
+              img::Pixel border_constant)
+      : image_(&image), border_(border), constant_(border_constant) {}
+
+  void move_to(Point center) { center_ = center; }
+  Point center_position() const { return center_; }
+
+  img::Pixel at(Point offset) const {
+    const Point p = center_ + offset;
+    if (image_->contains(p)) return image_->ref(p.x, p.y);
+    if (border_ == BorderPolicy::Replicate)
+      return image_->clamped(p.x, p.y);
+    return constant_;
+  }
+
+ private:
+  const img::Image* image_;
+  Point center_{};
+  BorderPolicy border_;
+  img::Pixel constant_;
+};
+
+/// Visits every pixel position of `size` in the given scan order.
+/// Fn signature: void(Point).
+template <typename Fn>
+void for_each_position(Size size, ScanOrder scan, Fn&& fn) {
+  if (scan == ScanOrder::RowMajor) {
+    for (i32 y = 0; y < size.height; ++y)
+      for (i32 x = 0; x < size.width; ++x) fn(Point{x, y});
+  } else {
+    for (i32 x = 0; x < size.width; ++x)
+      for (i32 y = 0; y < size.height; ++y) fn(Point{x, y});
+  }
+}
+
+/// Intra addressing driver: out(p) = fn(window centered at p).
+/// Fn signature: img::Pixel(const ImageWindow&).
+template <typename Fn>
+void scan_intra(const img::Image& in, img::Image& out, ScanOrder scan,
+                BorderPolicy border, img::Pixel border_constant, Fn&& fn) {
+  AE_EXPECTS(out.size() == in.size(), "output frame must match input size");
+  ImageWindow window(in, border, border_constant);
+  for_each_position(in.size(), scan, [&](Point p) {
+    window.move_to(p);
+    out.ref(p.x, p.y) = fn(window);
+  });
+}
+
+/// Inter addressing driver: out(p) = fn(a(p), b(p), p).
+/// Fn signature: img::Pixel(img::Pixel, img::Pixel, Point).
+template <typename Fn>
+void scan_inter(const img::Image& a, const img::Image& b, img::Image& out,
+                ScanOrder scan, Fn&& fn) {
+  AE_EXPECTS(a.size() == b.size(), "inter frames must match in size");
+  AE_EXPECTS(out.size() == a.size(), "output frame must match input size");
+  for_each_position(a.size(), scan, [&](Point p) {
+    out.ref(p.x, p.y) = fn(a.ref(p.x, p.y), b.ref(p.x, p.y), p);
+  });
+}
+
+}  // namespace ae::alib

@@ -1,0 +1,115 @@
+#include "addresslib/segment.hpp"
+
+#include <cstdlib>
+#include <deque>
+
+namespace ae::alib {
+
+SegmentTraversalStats expand_segments(
+    const img::Image& image, const SegmentSpec& spec,
+    SegmentTable<SegmentInfo>& table,
+    const std::function<void(const SegmentVisit&)>& visit) {
+  AE_EXPECTS(!image.empty(), "segment expansion needs a non-empty image");
+  AE_EXPECTS(!spec.seeds.empty(), "segment expansion needs seeds");
+  AE_EXPECTS(spec.luma_threshold >= 0, "luma threshold must be >= 0");
+
+  SegmentTraversalStats stats;
+  const i32 width = image.width();
+  const i32 height = image.height();
+  // claimed_by[i] == 0 means unvisited.
+  std::vector<SegmentId> claimed_by(
+      static_cast<std::size_t>(width) * static_cast<std::size_t>(height), 0);
+  auto index = [width](Point p) {
+    return static_cast<std::size_t>(p.y) * static_cast<std::size_t>(width) +
+           static_cast<std::size_t>(p.x);
+  };
+  if (spec.respect_existing_labels) {
+    for (i32 y = 0; y < height; ++y)
+      for (i32 x = 0; x < width; ++x)
+        if (image.ref(x, y).alfa != 0)
+          claimed_by[index(Point{x, y})] = image.ref(x, y).alfa;
+  }
+
+  struct Item {
+    Point pos;
+    SegmentId id;
+  };
+  std::deque<Item> frontier;
+
+  for (const Point seed : spec.seeds) {
+    AE_EXPECTS(image.contains(seed), "seed outside the image");
+    SegmentInfo info;
+    info.seed = seed;
+    info.bbox = Rect{seed.x, seed.y, 1, 1};
+    const SegmentId local = table.allocate(info);
+    const auto global = static_cast<SegmentId>(spec.id_base + local);
+    AE_EXPECTS(global > spec.id_base, "segment id space exhausted");
+    table.modify(local).id = global;
+    // A seed may fall on a pixel already claimed by an earlier seed (or an
+    // existing label); that seed's segment then stays empty (deterministic,
+    // documented).
+    if (claimed_by[index(seed)] == 0) {
+      claimed_by[index(seed)] = global;
+      frontier.push_back({seed, local});
+    }
+  }
+
+  const auto& neighbor_offsets = connectivity_offsets(spec.connectivity);
+  i32 distance = 0;
+  while (!frontier.empty()) {
+    std::deque<Item> next;
+    for (const Item& item : frontier) {
+      // Process: deliver the visit in geodesic order.
+      const auto global = static_cast<SegmentId>(spec.id_base + item.id);
+      visit(SegmentVisit{item.pos, global, distance});
+      ++stats.processed_pixels;
+      stats.max_distance = distance;
+
+      // Segment-indexed update of the per-segment record.
+      SegmentInfo& rec = table.modify(item.id);
+      rec.pixel_count += 1;
+      rec.sum_y += image.ref(item.pos.x, item.pos.y).y;
+      rec.bbox = rec.bbox.unite(Rect{item.pos.x, item.pos.y, 1, 1});
+      rec.geodesic_radius = distance;
+
+      // Expand: test unclaimed neighbors against the local criterion
+      // (luma always; chroma when enabled — the paper's full
+      // luminance/chrominance homogeneity check).
+      const img::Pixel& own = image.ref(item.pos.x, item.pos.y);
+      for (const Point off : neighbor_offsets) {
+        const Point n = item.pos + off;
+        if (!image.contains(n)) continue;
+        if (claimed_by[index(n)] != 0) continue;
+        ++stats.criterion_tests;
+        const img::Pixel& cand = image.ref(n.x, n.y);
+        if (std::abs(static_cast<i32>(cand.y) - own.y) >
+            spec.luma_threshold)
+          continue;
+        if (spec.chroma_threshold >= 0) {
+          const i32 du = std::abs(static_cast<i32>(cand.u) - own.u);
+          const i32 dv = std::abs(static_cast<i32>(cand.v) - own.v);
+          if (std::max(du, dv) > spec.chroma_threshold) continue;
+        }
+        claimed_by[index(n)] = global;
+        next.push_back({n, item.id});
+      }
+    }
+    frontier = std::move(next);
+    ++distance;
+  }
+  return stats;
+}
+
+img::Image label_segments(const img::Image& image, const SegmentSpec& spec,
+                          std::vector<SegmentInfo>* out_info) {
+  img::Image out = image;
+  out.fill_channel(Channel::Alfa, 0);
+  SegmentTable<SegmentInfo> table;
+  expand_segments(image, spec, table, [&](const SegmentVisit& v) {
+    out.ref(v.position.x, v.position.y).alfa = v.segment;
+  });
+  if (out_info != nullptr) *out_info = table.records();
+  return out;
+}
+
+}  // namespace ae::alib

@@ -1,0 +1,57 @@
+// Segment addressing: geodesic expansion over arbitrarily shaped segments.
+//
+// "First, the pixel processing is done in the same way as for intra
+// addressing.  Second, all neighbor pixels which have not been processed
+// before, are tested if they fulfill specified neighborhood criteria. [...]
+// Beginning with a set of start pixels, all pixels of the segment are
+// processed in order of geodesic distance."
+//
+// The traversal is a deterministic multi-source breadth-first expansion:
+// layer k holds exactly the pixels at geodesic distance k from the seed set.
+// Ties (a pixel reachable from two segments in the same layer) resolve to
+// the earlier-queued claim, which is deterministic because layers are
+// processed in queue order and neighbors are pushed in canonical offset
+// order.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "addresslib/call.hpp"
+#include "addresslib/segment_index.hpp"
+#include "image/image.hpp"
+
+namespace ae::alib {
+
+/// One processed pixel visit delivered to the kernel callback.
+struct SegmentVisit {
+  Point position;
+  SegmentId segment = 0;
+  i32 geodesic_distance = 0;
+};
+
+/// Statistics of a full segment traversal.
+struct SegmentTraversalStats {
+  i64 processed_pixels = 0;
+  i64 criterion_tests = 0;  ///< neighbor admission tests performed
+  i32 max_distance = 0;
+};
+
+/// Runs the segment expansion over `image`.
+///
+/// * `visit` is called exactly once per admitted pixel, in geodesic order.
+/// * The admission criterion is local: a neighbor n of an admitted pixel p
+///   joins p's segment iff |Y(n) - Y(p)| <= spec.luma_threshold.
+/// * Returns per-segment records via the segment-indexed `table` (one entry
+///   per seed, ids 1..n in seed order).
+SegmentTraversalStats expand_segments(
+    const img::Image& image, const SegmentSpec& spec,
+    SegmentTable<SegmentInfo>& table,
+    const std::function<void(const SegmentVisit&)>& visit);
+
+/// Label map helper: runs expand_segments and paints segment ids into the
+/// Alfa channel of a copy of `image` (0 where no segment reached).
+img::Image label_segments(const img::Image& image, const SegmentSpec& spec,
+                          std::vector<SegmentInfo>* out_info = nullptr);
+
+}  // namespace ae::alib

@@ -1,0 +1,68 @@
+// Segment-indexed addressing (the fourth AddressLib scheme).
+//
+// "Segment indexed addressing is an addressing method, which is used in
+// parallel to one of the above addressing methods, when data associated to a
+// segment is needed or generated during the pixel processing, e.g. segment
+// identification numbers.  This is done accessing an indexed table."
+//
+// SegmentTable is that indexed table: a growable array of per-segment
+// records addressed by segment id, with read/write access counting so the
+// accounting and profiling models can see indexed-table traffic separately
+// from pixel traffic.
+#pragma once
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace ae::alib {
+
+/// Segment identifiers; id 0 is reserved for "no segment".
+using SegmentId = u16;
+
+template <typename Record>
+class SegmentTable {
+ public:
+  SegmentTable() = default;
+
+  /// Number of allocated records (ids run 1..size()).
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  /// Allocates the next id and returns it (1-based).
+  SegmentId allocate(Record initial = Record{}) {
+    AE_EXPECTS(records_.size() < 0xFFFF, "segment table full (65535 ids)");
+    records_.push_back(std::move(initial));
+    ++writes_;
+    return static_cast<SegmentId>(records_.size());
+  }
+
+  /// Read access to record `id` (1-based); counts one table read.
+  const Record& read(SegmentId id) const {
+    AE_EXPECTS(id >= 1 && id <= records_.size(), "segment id out of range");
+    ++reads_;
+    return records_[id - 1u];
+  }
+
+  /// Write access to record `id` (1-based); counts one table write.
+  Record& modify(SegmentId id) {
+    AE_EXPECTS(id >= 1 && id <= records_.size(), "segment id out of range");
+    ++writes_;
+    return records_[id - 1u];
+  }
+
+  /// Access counters (indexed-table traffic).
+  u64 reads() const { return reads_; }
+  u64 writes() const { return writes_; }
+
+  /// Iteration over all records (no access counting; used for reporting).
+  const std::vector<Record>& records() const { return records_; }
+
+ private:
+  std::vector<Record> records_;
+  mutable u64 reads_ = 0;
+  u64 writes_ = 0;
+};
+
+}  // namespace ae::alib

@@ -1,0 +1,30 @@
+// The software execution path of the AddressLib — the paper's baseline.
+//
+// Executes calls functionally (bit-exact reference for the engine) while
+// accounting memory accesses and dynamic instructions according to the
+// models in access_model.hpp / cost_model.hpp, i.e. it *behaves* like our
+// C++ but *counts* like the 2005 XM software it stands in for.
+#pragma once
+
+#include "addresslib/call.hpp"
+#include "addresslib/cost_model.hpp"
+
+namespace ae::alib {
+
+class SoftwareBackend : public Backend {
+ public:
+  explicit SoftwareBackend(SoftwareCostModel model = {});
+
+  std::string name() const override;
+  CallResult execute(const Call& call, const img::Image& a,
+                     const img::Image* b = nullptr) override;
+
+  const SoftwareCostModel& cost_model() const { return model_; }
+
+ private:
+  std::string format_ghz() const;
+
+  SoftwareCostModel model_;
+};
+
+}  // namespace ae::alib

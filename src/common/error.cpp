@@ -1,0 +1,28 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace ae {
+namespace {
+
+std::string compose(const char* kind, const char* cond, const char* file,
+                    int line, const std::string& msg) {
+  std::ostringstream os;
+  os << kind << ": " << msg << " [" << cond << "] at " << file << ":" << line;
+  return os.str();
+}
+
+}  // namespace
+
+void throw_invalid_argument(const char* cond, const char* file, int line,
+                            const std::string& msg) {
+  throw InvalidArgument(compose("invalid argument", cond, file, line, msg));
+}
+
+void throw_invariant(const char* cond, const char* file, int line,
+                     const std::string& msg) {
+  throw InvariantViolation(compose("invariant violation", cond, file, line,
+                                   msg));
+}
+
+}  // namespace ae

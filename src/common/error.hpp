@@ -1,0 +1,58 @@
+// Error handling: exception types plus precondition/invariant macros.
+//
+// Following the C++ Core Guidelines (I.5/I.7, E.2, E.3): preconditions are
+// stated at the top of functions with AE_EXPECTS, invariants with AE_ASSERT,
+// and violations throw (these are programming errors in simulator
+// configuration, not recoverable run-time conditions, but throwing keeps the
+// library testable and the simulator embeddable).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ae {
+
+/// Base class for all AddressEngine library errors.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A function argument or call configuration violates a documented
+/// precondition (bad image size, unsupported op/mode combination, ...).
+class InvalidArgument : public Error {
+ public:
+  using Error::Error;
+};
+
+/// An internal invariant of a simulator component was violated.
+class InvariantViolation : public Error {
+ public:
+  using Error::Error;
+};
+
+/// File or stream I/O failed (image load/store).
+class IoError : public Error {
+ public:
+  using Error::Error;
+};
+
+[[noreturn]] void throw_invalid_argument(const char* cond, const char* file,
+                                         int line, const std::string& msg);
+[[noreturn]] void throw_invariant(const char* cond, const char* file, int line,
+                                  const std::string& msg);
+
+}  // namespace ae
+
+/// Precondition check: throws ae::InvalidArgument with location info.
+#define AE_EXPECTS(cond, msg)                                             \
+  do {                                                                    \
+    if (!(cond)) ::ae::throw_invalid_argument(#cond, __FILE__, __LINE__, \
+                                              (msg));                    \
+  } while (false)
+
+/// Internal invariant check: throws ae::InvariantViolation.
+#define AE_ASSERT(cond, msg)                                                  \
+  do {                                                                        \
+    if (!(cond)) ::ae::throw_invariant(#cond, __FILE__, __LINE__, (msg));     \
+  } while (false)

@@ -1,0 +1,45 @@
+// Human-readable formatting helpers for bench/report output: durations in
+// the paper's minute'second'' notation, thousands separators, percentages,
+// and a minimal fixed-width ASCII table writer.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ae {
+
+/// 275.0 -> "4'35''" (the notation used in the paper's Table 3).
+std::string format_minsec(double seconds);
+
+/// 304128 -> "304.128" (the paper's European thousands separator).
+std::string format_thousands(u64 value);
+
+/// 0.333 -> "33%".
+std::string format_percent(double fraction);
+
+/// Fixed-point with the given number of decimals: (3.14159, 2) -> "3.14".
+std::string format_fixed(double value, int decimals);
+
+/// Minimal ASCII table: set headers, append rows, print aligned.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends one row; must have the same arity as the header row.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table with column alignment and +-+ rules.
+  std::string str() const;
+
+  /// Streams render output.
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ae

@@ -1,0 +1,25 @@
+#include "common/geometry.hpp"
+
+#include <sstream>
+
+namespace ae {
+
+std::string to_string(Point p) {
+  std::ostringstream os;
+  os << '(' << p.x << ',' << p.y << ')';
+  return os.str();
+}
+
+std::string to_string(Size s) {
+  std::ostringstream os;
+  os << s.width << 'x' << s.height;
+  return os.str();
+}
+
+std::string to_string(const Rect& r) {
+  std::ostringstream os;
+  os << '[' << r.x << ',' << r.y << ' ' << r.width << 'x' << r.height << ']';
+  return os.str();
+}
+
+}  // namespace ae

@@ -1,0 +1,96 @@
+// Small integer geometry vocabulary (points, sizes, rectangles) used for
+// image coordinates, strip layout and neighborhood extents.
+#pragma once
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace ae {
+
+/// 2-D integer coordinate.  x grows rightwards, y grows downwards, matching
+/// raster scan order.
+struct Point {
+  i32 x = 0;
+  i32 y = 0;
+
+  friend constexpr bool operator==(Point, Point) = default;
+  constexpr Point operator+(Point o) const { return {x + o.x, y + o.y}; }
+  constexpr Point operator-(Point o) const { return {x - o.x, y - o.y}; }
+};
+
+/// Chebyshev (chessboard) distance — the geodesic metric of the 8-connected
+/// neighborhood used by segment addressing.
+constexpr i32 chebyshev(Point a, Point b) {
+  const i32 dx = a.x > b.x ? a.x - b.x : b.x - a.x;
+  const i32 dy = a.y > b.y ? a.y - b.y : b.y - a.y;
+  return dx > dy ? dx : dy;
+}
+
+/// Manhattan distance — the geodesic metric of the 4-connected neighborhood.
+constexpr i32 manhattan(Point a, Point b) {
+  const i32 dx = a.x > b.x ? a.x - b.x : b.x - a.x;
+  const i32 dy = a.y > b.y ? a.y - b.y : b.y - a.y;
+  return dx + dy;
+}
+
+/// Width/height pair.
+struct Size {
+  i32 width = 0;
+  i32 height = 0;
+
+  friend constexpr bool operator==(Size, Size) = default;
+  constexpr i64 area() const {
+    return static_cast<i64>(width) * static_cast<i64>(height);
+  }
+  constexpr bool contains(Point p) const {
+    return p.x >= 0 && p.y >= 0 && p.x < width && p.y < height;
+  }
+};
+
+/// Half-open rectangle [x0, x0+width) x [y0, y0+height).
+struct Rect {
+  i32 x = 0;
+  i32 y = 0;
+  i32 width = 0;
+  i32 height = 0;
+
+  friend constexpr bool operator==(Rect, Rect) = default;
+
+  constexpr Point origin() const { return {x, y}; }
+  constexpr Size size() const { return {width, height}; }
+  constexpr i64 area() const { return size().area(); }
+  constexpr bool empty() const { return width <= 0 || height <= 0; }
+  constexpr bool contains(Point p) const {
+    return p.x >= x && p.y >= y && p.x < x + width && p.y < y + height;
+  }
+
+  /// Intersection of two rectangles (empty rect if disjoint).
+  constexpr Rect intersect(const Rect& o) const {
+    const i32 nx0 = std::max(x, o.x);
+    const i32 ny0 = std::max(y, o.y);
+    const i32 nx1 = std::min(x + width, o.x + o.width);
+    const i32 ny1 = std::min(y + height, o.y + o.height);
+    if (nx1 <= nx0 || ny1 <= ny0) return Rect{};
+    return Rect{nx0, ny0, nx1 - nx0, ny1 - ny0};
+  }
+
+  /// Smallest rectangle containing both (treats empty as identity).
+  constexpr Rect unite(const Rect& o) const {
+    if (empty()) return o;
+    if (o.empty()) return *this;
+    const i32 nx0 = std::min(x, o.x);
+    const i32 ny0 = std::min(y, o.y);
+    const i32 nx1 = std::max(x + width, o.x + o.width);
+    const i32 ny1 = std::max(y + height, o.y + o.height);
+    return Rect{nx0, ny0, nx1 - nx0, ny1 - ny0};
+  }
+};
+
+std::string to_string(Point p);
+std::string to_string(Size s);
+std::string to_string(const Rect& r);
+
+}  // namespace ae

@@ -1,0 +1,88 @@
+// Deterministic pseudo-random number generation.
+//
+// All synthetic workloads (sequences, noise, property-test sweeps) must be
+// reproducible run-to-run, so the library uses its own small PRNG
+// (splitmix64 seeded xoshiro256**) instead of std::random_device / unseeded
+// std::mt19937.
+#pragma once
+
+#include <array>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace ae {
+
+/// splitmix64 step; used to expand a user seed into generator state.
+constexpr u64 splitmix64(u64& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  u64 z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** — small, fast, high-quality PRNG with explicit seeding.
+class Rng {
+ public:
+  explicit constexpr Rng(u64 seed = 0x5EED5EED5EED5EEDull) {
+    u64 sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  /// Uniform 64-bit value.
+  constexpr u64 next_u64() {
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform u32.
+  constexpr u32 next_u32() { return static_cast<u32>(next_u64() >> 32); }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  u32 bounded(u32 bound) {
+    AE_EXPECTS(bound > 0, "bounded() requires a positive bound");
+    // Lemire's multiply-shift rejection method (unbiased).
+    u64 m = static_cast<u64>(next_u32()) * bound;
+    auto low = static_cast<u32>(m);
+    if (low < bound) {
+      const u32 threshold = (0u - bound) % bound;
+      while (low < threshold) {
+        m = static_cast<u64>(next_u32()) * bound;
+        low = static_cast<u32>(m);
+      }
+    }
+    return static_cast<u32>(m >> 32);
+  }
+
+  /// Uniform integer in the closed interval [lo, hi].
+  i32 uniform(i32 lo, i32 hi) {
+    AE_EXPECTS(lo <= hi, "uniform() requires lo <= hi");
+    const u32 span = static_cast<u32>(static_cast<i64>(hi) - lo + 1);
+    return static_cast<i32>(lo + static_cast<i64>(bounded(span)));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) { return uniform01() < p; }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<u64, 4> state_{};
+};
+
+}  // namespace ae

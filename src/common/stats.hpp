@@ -1,0 +1,53 @@
+// Lightweight counters and running statistics used by the instrumented
+// software backend, the cycle simulator and the benches.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/types.hpp"
+
+namespace ae {
+
+/// Running mean / min / max / stddev accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  u64 count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  u64 n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Saturating-free simple counter with named add helpers; kept trivial so it
+/// can be embedded in hot loops.
+struct Counter {
+  u64 value = 0;
+  void add(u64 n = 1) { value += n; }
+  void reset() { value = 0; }
+};
+
+}  // namespace ae

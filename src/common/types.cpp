@@ -1,0 +1,32 @@
+#include "common/types.hpp"
+
+namespace ae {
+
+std::string_view to_string(Channel c) {
+  switch (c) {
+    case Channel::Y:
+      return "Y";
+    case Channel::U:
+      return "U";
+    case Channel::V:
+      return "V";
+    case Channel::Alfa:
+      return "Alfa";
+    case Channel::Aux:
+      return "Aux";
+  }
+  return "?";
+}
+
+std::string to_string(ChannelMask m) {
+  std::string out;
+  for (int i = 0; i < kChannelCount; ++i) {
+    const auto c = static_cast<Channel>(i);
+    if (!m.contains(c)) continue;
+    if (!out.empty()) out += ',';
+    out += to_string(c);
+  }
+  return out.empty() ? std::string{"-"} : out;
+}
+
+}  // namespace ae

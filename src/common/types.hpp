@@ -1,0 +1,86 @@
+// Core scalar types and channel identifiers shared by every AddressEngine
+// module.
+//
+// The pixel format follows the paper (section 3.1): a pixel is 64 bits wide,
+// made of three 8-bit video channels (Y, U, V) and two 16-bit auxiliary
+// channels (Alfa, Aux).  The hardware stores the "lower" 32-bit word
+// (Y,U,V + 8 bits of padding) and the "upper" 32-bit word (Alfa,Aux) in the
+// same address of two different ZBT banks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ae {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// One of the five channels of the 64-bit AddressLib pixel.
+enum class Channel : u8 {
+  Y = 0,     ///< luminance, 8 bit
+  U = 1,     ///< chrominance, 8 bit
+  V = 2,     ///< chrominance, 8 bit
+  Alfa = 3,  ///< segment / alpha plane, 16 bit (paper spelling)
+  Aux = 4,   ///< auxiliary plane, 16 bit
+};
+
+inline constexpr int kChannelCount = 5;
+
+/// Printable channel name ("Y", "U", ...).
+std::string_view to_string(Channel c);
+
+/// Bit set of channels; used to describe which channels a call reads/writes.
+class ChannelMask {
+ public:
+  constexpr ChannelMask() = default;
+  constexpr explicit ChannelMask(u8 bits) : bits_(bits & 0x1Fu) {}
+
+  static constexpr ChannelMask none() { return ChannelMask{0x00u}; }
+  static constexpr ChannelMask y() { return ChannelMask{0x01u}; }
+  static constexpr ChannelMask yuv() { return ChannelMask{0x07u}; }
+  static constexpr ChannelMask alfa() { return ChannelMask{0x08u}; }
+  static constexpr ChannelMask aux() { return ChannelMask{0x10u}; }
+  static constexpr ChannelMask all() { return ChannelMask{0x1Fu}; }
+
+  constexpr bool contains(Channel c) const {
+    return (bits_ & (1u << static_cast<u8>(c))) != 0;
+  }
+  constexpr ChannelMask with(Channel c) const {
+    return ChannelMask{static_cast<u8>(bits_ | (1u << static_cast<u8>(c)))};
+  }
+  constexpr ChannelMask without(Channel c) const {
+    return ChannelMask{static_cast<u8>(bits_ & ~(1u << static_cast<u8>(c)))};
+  }
+  constexpr bool empty() const { return bits_ == 0; }
+  constexpr u8 bits() const { return bits_; }
+  /// Number of channels in the mask.
+  constexpr int count() const {
+    int n = 0;
+    for (u8 b = bits_; b != 0; b &= static_cast<u8>(b - 1)) ++n;
+    return n;
+  }
+  /// True if any of Y/U/V (the 8-bit video channels) is selected.
+  constexpr bool has_video() const { return (bits_ & 0x07u) != 0; }
+  /// True if Alfa or Aux (the 16-bit side channels) is selected.
+  constexpr bool has_side() const { return (bits_ & 0x18u) != 0; }
+
+  friend constexpr bool operator==(ChannelMask a, ChannelMask b) {
+    return a.bits_ == b.bits_;
+  }
+
+ private:
+  u8 bits_ = 0;
+};
+
+/// Printable mask, e.g. "Y,U,V".
+std::string to_string(ChannelMask m);
+
+}  // namespace ae

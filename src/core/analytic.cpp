@@ -1,0 +1,172 @@
+#include "core/analytic.hpp"
+
+#include <cmath>
+
+#include "core/scanspace.hpp"
+
+namespace ae::core {
+namespace {
+
+double words_per_cycle(const EngineConfig& config) {
+  return config.bus_efficiency * (config.bus_width_bits / 32.0);
+}
+
+u64 ceil_div_words(double words, double wpc) {
+  return static_cast<u64>(std::ceil(words / wpc));
+}
+
+}  // namespace
+
+AnalyticTiming analytic_streamed_timing(const EngineConfig& config,
+                                        const alib::Call& call, Size frame) {
+  const ScanSpace space(frame, call.scan);
+  const double wpc = words_per_cycle(config);
+  const auto pixels = static_cast<double>(frame.area());
+  const int images = call.mode == alib::Mode::Inter ? 2 : 1;
+  const i64 strips =
+      (space.line_count() + config.strip_lines - 1) / config.strip_lines;
+
+  AnalyticTiming t;
+  t.input_busy_cycles = ceil_div_words(2.0 * pixels * images, wpc);
+  // One handshake up front plus one per strip chunk (strip x image).
+  t.input_overhead_cycles =
+      static_cast<u64>(strips * images + 1) * config.interrupt_overhead_cycles;
+
+  const i64 strip_pixels =
+      static_cast<i64>(config.strip_lines) * space.line_length();
+  const u64 out_strips = static_cast<u64>(
+      (frame.area() + strip_pixels - 1) / strip_pixels);
+  t.output_busy_cycles = ceil_div_words(2.0 * pixels, wpc);
+  t.output_overhead_cycles = out_strips * config.interrupt_overhead_cycles;
+
+  const bool strict =
+      config.strict_inter_sequencing && call.mode == alib::Mode::Inter;
+  if (strict) {
+    // Nothing is processed before the inputs are resident.  Afterwards
+    // production is OIM-drain limited (2 cycles/pixel); the host reads
+    // Res_block_A while block B is produced, then drains block B.
+    const double produce_all = 2.0 * pixels;
+    const double produce_half = pixels;
+    const double read_half =
+        static_cast<double>(ceil_div_words(pixels, wpc));
+    const double post =
+        std::max(produce_all, produce_half + read_half) + read_half;
+    t.tail_cycles = static_cast<u64>(post) - t.output_busy_cycles;
+    t.total_cycles = t.input_busy_cycles + t.input_overhead_cycles +
+                     static_cast<u64>(post) + t.output_overhead_cycles;
+    return t;
+  }
+
+  // Overlapped operation: production trails the input stream; after the
+  // last input line arrives the process unit still owes the lookahead lines
+  // (drained at the OIM rate of 2 cycles/pixel), which is hidden behind the
+  // block-A output transfer unless it exceeds it.
+  const i32 lines_after =
+      call.mode == alib::Mode::Inter ? 0 : space.lines_after(call.nbhd);
+  const double tail = 2.0 * (lines_after + 1) * space.line_length() +
+                      config.pipeline_stages;
+  const double hidden = static_cast<double>(t.output_busy_cycles) / 2.0;
+  t.tail_cycles = static_cast<u64>(std::max(0.0, tail - hidden));
+  t.total_cycles = t.input_busy_cycles + t.input_overhead_cycles +
+                   t.tail_cycles + t.output_busy_cycles +
+                   t.output_overhead_cycles;
+  return t;
+}
+
+AnalyticTiming analytic_segment_timing(const EngineConfig& config,
+                                       const alib::Call& call, Size frame,
+                                       i64 processed_pixels,
+                                       i64 criterion_tests) {
+  const ScanSpace space(frame, call.scan);
+  const double wpc = words_per_cycle(config);
+  const auto pixels = static_cast<double>(frame.area());
+  const i64 strips =
+      (space.line_count() + config.strip_lines - 1) / config.strip_lines;
+
+  AnalyticTiming t;
+  t.input_busy_cycles = ceil_div_words(2.0 * pixels, wpc);
+  t.input_overhead_cycles =
+      static_cast<u64>(strips + 1) * config.interrupt_overhead_cycles;
+  // Traversal: neighborhood fetch one pixel-pair per cycle + one kernel
+  // cycle per visit, one cycle per criterion test; nothing overlaps the
+  // geodesic walk.
+  t.tail_cycles = static_cast<u64>(processed_pixels) *
+                      (call.nbhd.size() + 1) +
+                  static_cast<u64>(criterion_tests);
+  const i64 strip_pixels =
+      static_cast<i64>(config.strip_lines) * space.line_length();
+  const u64 out_strips = static_cast<u64>(
+      (frame.area() + strip_pixels - 1) / strip_pixels);
+  t.output_busy_cycles = ceil_div_words(2.0 * pixels, wpc);
+  t.output_overhead_cycles = out_strips * config.interrupt_overhead_cycles;
+  t.total_cycles = t.input_busy_cycles + t.input_overhead_cycles +
+                   t.tail_cycles + t.output_busy_cycles +
+                   t.output_overhead_cycles;
+  return t;
+}
+
+EngineRunStats analytic_run_stats(const EngineConfig& config,
+                                  const alib::Call& call, Size frame,
+                                  i64 processed_pixels, i64 criterion_tests) {
+  const ScanSpace space(frame, call.scan);
+  const i64 pixels = frame.area();
+  const int images = call.mode == alib::Mode::Inter ? 2 : 1;
+
+  EngineRunStats run;
+  AnalyticTiming t;
+  if (call.mode == alib::Mode::Segment) {
+    AE_EXPECTS(processed_pixels >= 0,
+               "segment analytic stats need the traversal size");
+    t = analytic_segment_timing(config, call, frame, processed_pixels,
+                                criterion_tests);
+    const auto visits = static_cast<u64>(processed_pixels);
+    const auto tests = static_cast<u64>(criterion_tests);
+    run.pixels = processed_pixels;
+    run.zbt_read_transactions = visits * call.nbhd.size() + tests;
+    run.zbt_write_transactions = visits;
+    run.zbt_word_accesses = static_cast<u64>(pixels) * 2 +
+                            (visits * call.nbhd.size() + tests) * 2 +
+                            visits * 2;
+    run.plc.pixel_cycles = visits;
+    run.plc.load_instr = visits;
+    run.plc.op_instr = visits;
+    run.plc.scan_instr = visits;
+    run.plc.store_instr = visits;
+    run.words_in = static_cast<u64>(pixels) * 2;
+  } else {
+    t = analytic_streamed_timing(config, call, frame);
+    run.pixels = pixels;
+    run.zbt_read_transactions = static_cast<u64>(pixels);
+    run.zbt_write_transactions = static_cast<u64>(pixels);
+    run.zbt_word_accesses =
+        static_cast<u64>(pixels) * 2 * static_cast<u64>(images)  // DMA in
+        + static_cast<u64>(pixels) * 2 * static_cast<u64>(images)  // TxU reads
+        + static_cast<u64>(pixels) * 2                           // TxU writes
+        + static_cast<u64>(pixels) * 2;                          // DMA out
+    run.plc.pixel_cycles = static_cast<u64>(pixels);
+    run.plc.scan_instr = static_cast<u64>(pixels);
+    run.plc.load_instr = static_cast<u64>(space.line_count());
+    run.plc.shift_instr =
+        static_cast<u64>(pixels) - static_cast<u64>(space.line_count());
+    run.plc.op_instr = static_cast<u64>(pixels);
+    run.plc.store_instr = static_cast<u64>(pixels);
+    run.plc.startup_cycles = static_cast<u64>(config.pipeline_stages - 1);
+    run.words_in = static_cast<u64>(pixels) * 2 * static_cast<u64>(images);
+    run.iim_parallel_reads = static_cast<u64>(pixels);
+  }
+  run.cycles = t.total_cycles + config.call_setup_overhead_cycles;
+  run.bus_busy_cycles = t.input_busy_cycles + t.output_busy_cycles;
+  run.bus_overhead_cycles = t.input_overhead_cycles +
+                            t.output_overhead_cycles +
+                            config.call_setup_overhead_cycles;
+  run.words_out = static_cast<u64>(pixels) * 2;
+  const i64 strips =
+      (space.line_count() + config.strip_lines - 1) / config.strip_lines;
+  const i64 strip_pixels =
+      static_cast<i64>(config.strip_lines) * space.line_length();
+  run.interrupts = static_cast<u64>(strips * images + 1) +
+                   static_cast<u64>((pixels + strip_pixels - 1) / strip_pixels);
+  return run;
+}
+
+}  // namespace ae::core

@@ -1,0 +1,44 @@
+// Closed-form timing model of the AddressEngine.
+//
+// The cycle simulator is authoritative but costs O(cycles) per call; the
+// GME end-to-end experiment (Table 3) issues thousands of calls, so the
+// engine backend also offers this O(1) model.  The formulas follow the
+// structure of the design — input DMA, strip interrupts, OIM-limited
+// production, Res-block-gated output DMA — and the test suite checks them
+// against the cycle simulator within a few percent across configurations.
+#pragma once
+
+#include "addresslib/call.hpp"
+#include "core/config.hpp"
+#include "core/engine_sim.hpp"
+
+namespace ae::core {
+
+struct AnalyticTiming {
+  u64 input_busy_cycles = 0;
+  u64 input_overhead_cycles = 0;
+  u64 tail_cycles = 0;  ///< post-input processing not hidden by output DMA
+  u64 output_busy_cycles = 0;
+  u64 output_overhead_cycles = 0;
+  u64 total_cycles = 0;
+};
+
+/// Timing of a streamed (inter/intra) call.
+AnalyticTiming analytic_streamed_timing(const EngineConfig& config,
+                                        const alib::Call& call, Size frame);
+
+/// Timing of a segment call given the traversal counts.
+AnalyticTiming analytic_segment_timing(const EngineConfig& config,
+                                       const alib::Call& call, Size frame,
+                                       i64 processed_pixels,
+                                       i64 criterion_tests);
+
+/// Fills an EngineRunStats (and, derived from it, CallStats-compatible
+/// numbers) from the analytic model.  `processed`/`tests` are only used for
+/// segment calls.
+EngineRunStats analytic_run_stats(const EngineConfig& config,
+                                  const alib::Call& call, Size frame,
+                                  i64 processed_pixels = -1,
+                                  i64 criterion_tests = 0);
+
+}  // namespace ae::core

@@ -1,0 +1,32 @@
+#include "core/asic.hpp"
+
+#include "core/iim.hpp"
+#include "core/oim.hpp"
+
+namespace ae::core {
+
+AsicEstimate project_asic(const EngineConfig& config,
+                          const AsicTechnology& tech) {
+  const ResourceEstimate fpga = estimate_resources(config);
+  AsicEstimate e;
+  e.logic_gates = fpga.luts * tech.gates_per_lut +
+                  fpga.flip_flops * tech.gates_per_ff;
+  e.sram_kbit = static_cast<double>(Iim::storage_bits(config) +
+                                    Oim::storage_bits(config)) /
+                1024.0;
+  e.area_mm2 = (e.logic_gates * tech.um2_per_gate +
+                e.sram_kbit * 1024.0 * tech.um2_per_sram_bit) /
+               1e6;
+  e.max_clock_mhz = fpga.max_frequency_mhz() * tech.clock_gain;
+  const double kgates = e.logic_gates / 1000.0;
+  auto power_at = [&](double mhz) {
+    return (kgates * tech.uw_per_mhz_per_kgate +
+            e.sram_kbit * tech.uw_per_mhz_per_kbit) *
+           mhz / 1000.0;
+  };
+  e.power_mw_at_clock = power_at(e.max_clock_mhz);
+  e.power_mw_at_bus_clock = power_at(config.clock_mhz);
+  return e;
+}
+
+}  // namespace ae::core

@@ -1,0 +1,49 @@
+// Standard-cell ASIC projection — the paper's outlook direction 1:
+// "Implementation in standard cell ASIC for further power and performance
+// optimization."
+//
+// First-order technology scaling from the FPGA resource estimate: the
+// design's logic maps to standard-cell gates, BRAM line buffers to
+// compiled SRAM macros, and the clock closes several times higher than on
+// the Virtex-II.  The constants model a 130 nm process (contemporary with
+// the paper) and are documented here, not fitted to any result — the
+// outlook names no numbers to reproduce; the projection quantifies its
+// direction (ablation bench `asic_projection`).
+#pragma once
+
+#include "core/resources.hpp"
+
+namespace ae::core {
+
+struct AsicTechnology {
+  std::string name = "130nm standard cell";
+  /// Equivalent NAND2 gates realized per FPGA 4-input LUT.
+  double gates_per_lut = 6.0;
+  /// Gates per flip-flop (DFF + clock gating share).
+  double gates_per_ff = 8.0;
+  /// Silicon area per gate, um^2 (130 nm, routed).
+  double um2_per_gate = 12.0;
+  /// SRAM macro area per bit, um^2.
+  double um2_per_sram_bit = 2.2;
+  /// Achievable clock relative to the FPGA fmax.
+  double clock_gain = 3.0;
+  /// Dynamic power: uW per MHz per kGate (toggling logic).
+  double uw_per_mhz_per_kgate = 18.0;
+  /// SRAM access energy share: uW per MHz per kbit.
+  double uw_per_mhz_per_kbit = 1.1;
+};
+
+struct AsicEstimate {
+  double logic_gates = 0.0;
+  double sram_kbit = 0.0;
+  double area_mm2 = 0.0;
+  double max_clock_mhz = 0.0;
+  double power_mw_at_clock = 0.0;  ///< at the projected max clock
+  double power_mw_at_bus_clock = 0.0;  ///< at the 66 MHz system clock
+};
+
+/// Projects the engine at `config` onto the given ASIC technology.
+AsicEstimate project_asic(const EngineConfig& config,
+                          const AsicTechnology& tech = {});
+
+}  // namespace ae::core

@@ -1,0 +1,10 @@
+// Umbrella header for the AddressEngine coprocessor simulator.
+#pragma once
+
+#include "core/analytic.hpp"     // IWYU pragma: export
+#include "core/config.hpp"       // IWYU pragma: export
+#include "core/engine.hpp"       // IWYU pragma: export
+#include "core/engine_sim.hpp"   // IWYU pragma: export
+#include "core/reconfig.hpp"     // IWYU pragma: export
+#include "core/resources.hpp"    // IWYU pragma: export
+#include "core/trace.hpp"        // IWYU pragma: export

@@ -1,0 +1,158 @@
+#include "core/dma.hpp"
+
+namespace ae::core {
+
+BusDma::BusDma(const EngineConfig& config, const ScanSpace& space,
+               ZbtMemory& zbt, const img::Image& a, const img::Image* b,
+               const ResultTracker& results, img::Image& output)
+    : config_(config),
+      space_(space),
+      zbt_(&zbt),
+      a_(&a),
+      b_(b),
+      results_(&results),
+      output_(&output) {
+  images_ = b == nullptr ? 1 : 2;
+  const i32 lines = space_.line_count();
+  strip_count_ = (lines + config.strip_lines - 1) / config.strip_lines;
+  lines_arrived_.assign(static_cast<std::size_t>(images_), 0);
+  out_strip_pixels_left_ =
+      static_cast<i64>(config.strip_lines) * space_.line_length();
+  // DMA setup handshake before the first strip.
+  gap_remaining_ = config.interrupt_overhead_cycles;
+  interrupts_ = 1;
+}
+
+const img::Image& BusDma::input(int image) const {
+  return image == 0 ? *a_ : *b_;
+}
+
+bool BusDma::frame_complete(int image) const {
+  return lines_arrived_[static_cast<std::size_t>(image)] >=
+         space_.line_count();
+}
+
+bool BusDma::line_arrived(int image, i32 line) const {
+  return line < lines_arrived_[static_cast<std::size_t>(image)];
+}
+
+void BusDma::tick() {
+  if (gap_remaining_ > 0) {
+    --gap_remaining_;
+    ++overhead_cycles_;
+    return;
+  }
+  if (!input_done_) {
+    tick_input();
+  } else if (!output_done_) {
+    tick_output();
+  }
+}
+
+bool BusDma::advance_input_cursor() {
+  // Order: strip-by-strip, within a strip image A then image B, within an
+  // image line-by-line, word pairs per pixel.  Returns true when a chunk
+  // boundary (strip x image) was crossed, which costs an interrupt.
+  if (++in_.word < 2) return false;
+  in_.word = 0;
+  if (++in_.pos < space_.line_length()) return false;
+  in_.pos = 0;
+  // Line completed for this image.
+  const i32 line = in_.strip * config_.strip_lines + in_.line_in_strip;
+  lines_arrived_[static_cast<std::size_t>(in_.image)] = line + 1;
+  const i32 lines_this_strip =
+      std::min(config_.strip_lines,
+               space_.line_count() - in_.strip * config_.strip_lines);
+  if (++in_.line_in_strip < lines_this_strip) return false;
+  in_.line_in_strip = 0;
+  // Chunk (one image's part of one strip) completed.
+  if (++in_.image < images_) return true;
+  in_.image = 0;
+  if (++in_.strip >= strip_count_) input_done_ = true;
+  return true;
+}
+
+void BusDma::tick_input() {
+  const int max_words = config_.bus_width_bits / 32;
+  credit_ += config_.bus_efficiency * max_words;
+  int moved = 0;
+  while (credit_ >= 1.0 && moved < max_words && !input_done_) {
+    const i32 line = in_.strip * config_.strip_lines + in_.line_in_strip;
+    const Point p = space_.to_image(line, in_.pos);
+    const img::Pixel px = input(in_.image).ref(p.x, p.y);
+    const u32 value = in_.word == 0 ? px.lower_word() : px.upper_word();
+    const ZbtRegion region =
+        input_region(in_.image, images_, line, config_.strip_lines);
+    zbt_->write_input_word(region, space_.pixel_addr(p), in_.word, value);
+    ++words_in_;
+    credit_ -= 1.0;
+    ++moved;
+    if (advance_input_cursor()) {
+      // Interrupt/handshake at the chunk boundary; credits do not carry
+      // across it.
+      gap_remaining_ = config_.interrupt_overhead_cycles;
+      ++interrupts_;
+      credit_ = 0.0;
+      break;
+    }
+  }
+  // The input stream never blocks: every cycle here is transfer time
+  // (credit-building sub-word cycles included).
+  ++busy_cycles_;
+  (void)moved;
+}
+
+bool BusDma::block_released(i64 pixel_addr) const {
+  return pixel_addr < results_->half ? results_->block_a_complete()
+                                     : results_->block_b_complete();
+}
+
+void BusDma::tick_output() {
+  const i64 pixels = space_.frame().area();
+  if (!block_released(out_pixel_)) {
+    ++wait_cycles_;  // bus idles until the TxU releases the block
+    credit_ = 0.0;
+    return;
+  }
+  const int max_words = config_.bus_width_bits / 32;
+  credit_ += config_.bus_efficiency * max_words;
+  int moved = 0;
+  while (credit_ >= 1.0 && moved < max_words && !output_done_) {
+    if (!block_released(out_pixel_)) break;
+    if (!zbt_->result_port_free(out_pixel_, out_word_)) break;
+    const u32 word = zbt_->read_result_word(out_pixel_, out_word_);
+    ++words_out_;
+    credit_ -= 1.0;
+    ++moved;
+    if (out_word_ == 0) {
+      out_lower_ = word;
+      out_word_ = 1;
+      continue;
+    }
+    // Pixel complete: place it in the host image.
+    const i32 width = space_.frame().width;
+    const auto x = static_cast<i32>(out_pixel_ % width);
+    const auto y = static_cast<i32>(out_pixel_ / width);
+    output_->ref(x, y) = img::Pixel::from_words(out_lower_, word);
+    out_word_ = 0;
+    ++out_pixel_;
+    if (--out_strip_pixels_left_ <= 0 && out_pixel_ < pixels) {
+      gap_remaining_ = config_.interrupt_overhead_cycles;
+      ++interrupts_;
+      out_strip_pixels_left_ =
+          static_cast<i64>(config_.strip_lines) * space_.line_length();
+      credit_ = 0.0;
+      break;
+    }
+    if (out_pixel_ >= pixels) output_done_ = true;
+  }
+  // A released stream counts as transfer time even on credit-building
+  // cycles; only a port conflict mid-stream is a wait.
+  if (moved > 0 || credit_ > 0.0) {
+    ++busy_cycles_;
+  } else {
+    ++wait_cycles_;
+  }
+}
+
+}  // namespace ae::core

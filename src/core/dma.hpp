@@ -1,0 +1,134 @@
+// Host-bus DMA model (PCI in the prototype, section 3.1).
+//
+// "The communication between PC and the board is interrupt oriented and
+// realized through DMA transfers.  The whole input image is not transferred
+// in one pass but it is divided into parts [strips of 16 lines] which are
+// written to alternate ZBT blocks", and the result is "transferred when the
+// PCI bus is free, i.e. when the input image is completely stored in the
+// ZBT."
+//
+// The model: one bus, input phase then output phase.  A busy bus cycle
+// earns `bus_efficiency * (width/32)` word credits; whole credits move
+// 32-bit words.  Every strip costs an interrupt/handshake gap of bus-idle
+// cycles.  During the output phase the DMA follows the pixels the TxU has
+// already written to the result banks.
+#pragma once
+
+#include <vector>
+
+#include "addresslib/call.hpp"
+#include "core/scanspace.hpp"
+#include "core/zbt.hpp"
+#include "image/image.hpp"
+
+namespace ae::core {
+
+/// Which result pixels have landed on the ZBT (shared TxuOut -> DMA state).
+/// Tracks completion per Res block (block A = first half of the addresses
+/// on bank 4, block B = second half on bank 5) because the scan order may
+/// differ from the host address order.
+struct ResultTracker {
+  std::vector<bool> written;
+  i64 written_count = 0;
+  i64 half = 0;
+  i64 written_block_a = 0;
+  i64 written_block_b = 0;
+
+  explicit ResultTracker(i64 pixels)
+      : written(static_cast<std::size_t>(pixels), false),
+        half((pixels + 1) / 2) {}
+  void mark(i64 addr) {
+    auto&& w = written[static_cast<std::size_t>(addr)];
+    AE_ASSERT(!w, "result pixel written twice");
+    w = true;
+    ++written_count;
+    (addr < half ? written_block_a : written_block_b) += 1;
+  }
+  bool is_written(i64 addr) const {
+    return written[static_cast<std::size_t>(addr)];
+  }
+  bool block_a_complete() const { return written_block_a >= half; }
+  bool block_b_complete() const {
+    return written_block_b >= static_cast<i64>(written.size()) - half;
+  }
+};
+
+class BusDma {
+ public:
+  BusDma(const EngineConfig& config, const ScanSpace& space, ZbtMemory& zbt,
+         const img::Image& a, const img::Image* b,
+         const ResultTracker& results, img::Image& output);
+
+  /// Advances one cycle; claims ZBT ports as needed.
+  void tick();
+
+  /// True once all words of input image `image` (0 = A, 1 = B) are on the
+  /// ZBT.
+  bool frame_complete(int image) const;
+  /// True once all input images are on the ZBT.
+  bool input_done() const { return input_done_; }
+  /// True once scan line `line` of input `image` is fully on the ZBT.
+  bool line_arrived(int image, i32 line) const;
+  /// True once the complete result reached the host.
+  bool output_done() const { return output_done_; }
+
+  // ---- accounting ----------------------------------------------------------
+  u64 busy_cycles() const { return busy_cycles_; }
+  u64 overhead_cycles() const { return overhead_cycles_; }
+  u64 wait_cycles() const { return wait_cycles_; }
+  u64 interrupts() const { return interrupts_; }
+  u64 words_in() const { return words_in_; }
+  u64 words_out() const { return words_out_; }
+
+ private:
+  struct InputCursor {
+    i32 strip = 0;
+    int image = 0;
+    i32 line_in_strip = 0;
+    i32 pos = 0;
+    int word = 0;
+  };
+
+  void tick_input();
+  void tick_output();
+  bool advance_input_cursor();
+  const img::Image& input(int image) const;
+  /// Res-block gating (paper: "the bank switching is performed only once,
+  /// as soon as it is possible to start transferring the resulting
+  /// image"): the host may read Res_block_A only after the TxU moved on to
+  /// Res_block_B, and block B only after the result is complete — so reads
+  /// and writes never share a result bank.
+  bool block_released(i64 pixel_addr) const;
+
+  EngineConfig config_;
+  ScanSpace space_;
+  ZbtMemory* zbt_;
+  const img::Image* a_;
+  const img::Image* b_;  // may be null
+  const ResultTracker* results_;
+  img::Image* output_;
+
+  int images_ = 1;
+  i32 strip_count_ = 0;
+  double credit_ = 0.0;
+  u32 gap_remaining_ = 0;
+
+  InputCursor in_;
+  bool input_done_ = false;
+  std::vector<i32> lines_arrived_;  // per image: lines fully on ZBT
+
+  i64 out_pixel_ = 0;
+  int out_word_ = 0;
+  u32 out_lower_ = 0;
+  bool output_done_ = false;
+  i64 out_strip_pixels_left_ = 0;
+
+  u64 busy_cycles_ = 0;
+  u64 overhead_cycles_ = 0;
+  u64 wait_cycles_ = 0;
+  u64 interrupts_ = 0;
+  u64 words_in_ = 0;
+  u64 words_out_ = 0;
+};
+
+}  // namespace ae::core

@@ -1,0 +1,49 @@
+#include "core/engine.hpp"
+
+#include <sstream>
+
+#include "addresslib/functional.hpp"
+
+namespace ae::core {
+
+std::string to_string(EngineMode m) {
+  return m == EngineMode::CycleAccurate ? "cycle" : "analytic";
+}
+
+EngineBackend::EngineBackend(EngineConfig config, EngineMode mode)
+    : config_(config), mode_(mode) {
+  validate_config(config_);
+}
+
+std::string EngineBackend::name() const {
+  std::ostringstream os;
+  os << "engine/" << config_.clock_mhz << "MHz/" << to_string(mode_);
+  return os.str();
+}
+
+alib::CallResult EngineBackend::execute(const alib::Call& call,
+                                        const img::Image& a,
+                                        const img::Image* b) {
+  if (mode_ == EngineMode::CycleAccurate) {
+    return simulate_call(config_, call, a, b, &last_run_, trace_);
+  }
+  alib::SegmentRunInfo seg;
+  alib::CallResult result = alib::execute_functional(call, a, b, seg);
+  validate_frame(config_, a.size());
+  last_run_ = analytic_run_stats(config_, call, a.size(),
+                                 seg.processed_pixels, seg.criterion_tests);
+  alib::CallStats& stats = result.stats;
+  stats.pixels = last_run_.pixels;
+  stats.loads = last_run_.zbt_read_transactions;
+  stats.stores = last_run_.zbt_write_transactions;
+  stats.cycles = last_run_.cycles;
+  stats.pci_cycles =
+      last_run_.bus_busy_cycles + last_run_.bus_overhead_cycles;
+  stats.stall_cycles = last_run_.pu_stall_iim + last_run_.pu_stall_oim;
+  stats.zbt_word_accesses = last_run_.zbt_word_accesses;
+  stats.model_seconds =
+      static_cast<double>(last_run_.cycles) * config_.seconds_per_cycle();
+  return result;
+}
+
+}  // namespace ae::core

@@ -1,0 +1,71 @@
+// Cycle-driven simulation of one AddressEngine call.
+//
+// Orchestrates the components per cycle in priority order (the bus DMA owns
+// its ZBT ports first, then the output TxU, the process unit, and the input
+// TxU), mirroring the image level controller's role: "the image level
+// controller deals with the interrupt generation and manages as well all
+// control blocks".
+#pragma once
+
+#include <optional>
+
+#include "addresslib/call.hpp"
+#include "core/config.hpp"
+#include "core/plc.hpp"
+#include "core/trace.hpp"
+
+namespace ae::core {
+
+/// Detailed statistics of one simulated call.
+struct EngineRunStats {
+  u64 cycles = 0;
+
+  // Bus (PCI) activity.
+  u64 bus_busy_cycles = 0;
+  u64 bus_overhead_cycles = 0;
+  u64 bus_wait_cycles = 0;
+  u64 interrupts = 0;
+  u64 words_in = 0;
+  u64 words_out = 0;
+
+  // Process unit.
+  PlcCounters plc;
+  u64 pu_stall_iim = 0;
+  u64 pu_stall_oim = 0;
+  u64 pu_wait_frames = 0;
+  i64 pixels = 0;
+
+  // Memories.
+  u64 zbt_read_transactions = 0;
+  u64 zbt_write_transactions = 0;
+  u64 zbt_word_accesses = 0;
+  u64 dma_word_accesses = 0;
+  u64 iim_parallel_reads = 0;
+  u64 iim_block_reads = 0;
+  u64 oim_peak = 0;
+
+  /// Cycles not explained by bus transfer activity — the paper's "time
+  /// wasted not due to the PCI transferences" (section 4.1).
+  u64 non_bus_cycles() const {
+    const u64 bus = bus_busy_cycles + bus_overhead_cycles;
+    return cycles > bus ? cycles - bus : 0;
+  }
+  double non_bus_fraction_of_transfer() const {
+    const u64 bus = bus_busy_cycles + bus_overhead_cycles;
+    return bus == 0 ? 0.0
+                    : static_cast<double>(non_bus_cycles()) /
+                          static_cast<double>(bus);
+  }
+};
+
+/// Runs one call through the cycle simulator.  Returns the functional
+/// result with CallStats filled from the hardware accounting, the detailed
+/// stats through `detail`, and a transition-level timeline through `trace`
+/// (both optional).
+alib::CallResult simulate_call(const EngineConfig& config,
+                               const alib::Call& call, const img::Image& a,
+                               const img::Image* b,
+                               EngineRunStats* detail = nullptr,
+                               EngineTrace* trace = nullptr);
+
+}  // namespace ae::core

@@ -1,0 +1,100 @@
+#include "core/iim.hpp"
+
+namespace ae::core {
+
+Iim::Iim(const EngineConfig& config, i32 line_length, i32 line_count,
+         int images)
+    : line_length_(line_length), line_count_(line_count), images_(images) {
+  AE_EXPECTS(images == 1 || images == 2, "IIM serves one or two frames");
+  AE_EXPECTS(line_length > 0 && line_count > 0, "IIM needs a real frame");
+  const i32 per_image_lines =
+      images == 1 ? config.iim_lines : config.iim_lines / 2;
+  AE_EXPECTS(per_image_lines >= 1, "IIM split leaves no lines per frame");
+  per_image_.resize(static_cast<std::size_t>(images));
+  for (auto& pi : per_image_) {
+    pi.slots.resize(static_cast<std::size_t>(per_image_lines));
+    for (auto& slot : pi.slots)
+      slot.pixels.assign(static_cast<std::size_t>(line_length), img::Pixel{});
+  }
+}
+
+i32 Iim::capacity_lines(int image) const {
+  return static_cast<i32>(per_image_[static_cast<std::size_t>(image)]
+                              .slots.size());
+}
+
+i32 Iim::next_line_to_fill(int image) const {
+  return per_image_[static_cast<std::size_t>(image)].next_fill;
+}
+
+bool Iim::slot_free(int image) const {
+  const PerImage& pi = per_image_[static_cast<std::size_t>(image)];
+  if (pi.next_fill >= line_count_) return false;  // everything fetched
+  const Slot& slot = pi.slots[static_cast<std::size_t>(
+      pi.next_fill % static_cast<i32>(pi.slots.size()))];
+  // Free, or already receiving this very line.
+  return slot.line < 0 || slot.line == pi.next_fill;
+}
+
+Iim::Slot& Iim::slot_for(int image, i32 line) {
+  PerImage& pi = per_image_[static_cast<std::size_t>(image)];
+  return pi.slots[static_cast<std::size_t>(
+      line % static_cast<i32>(pi.slots.size()))];
+}
+
+const Iim::Slot* Iim::find(int image, i32 line) const {
+  const PerImage& pi = per_image_[static_cast<std::size_t>(image)];
+  const Slot& slot = pi.slots[static_cast<std::size_t>(
+      line % static_cast<i32>(pi.slots.size()))];
+  return slot.line == line ? &slot : nullptr;
+}
+
+void Iim::store(int image, i32 line, i32 pos, img::Pixel value) {
+  PerImage& pi = per_image_[static_cast<std::size_t>(image)];
+  AE_ASSERT(line == pi.next_fill, "IIM lines must arrive in order");
+  Slot& slot = slot_for(image, line);
+  if (slot.filled == 0) {
+    AE_ASSERT(slot.line < 0, "IIM slot still occupied");
+    slot.line = line;
+    slot.ready = false;
+  }
+  AE_ASSERT(pos == slot.filled, "IIM pixels of a line arrive in order");
+  slot.pixels[static_cast<std::size_t>(pos)] = value;
+  ++slot.filled;
+  if (slot.filled == line_length_) {
+    slot.ready = true;
+    ++pi.next_fill;
+  }
+}
+
+bool Iim::line_ready(int image, i32 line) const {
+  const Slot* slot = find(image, line);
+  return slot != nullptr && slot->ready;
+}
+
+img::Pixel Iim::read(int image, i32 line, i32 pos) const {
+  const Slot* slot = find(image, line);
+  AE_ASSERT(slot != nullptr && slot->ready, "IIM read of a non-ready line");
+  AE_ASSERT(pos >= 0 && pos < line_length_, "IIM position out of range");
+  return slot->pixels[static_cast<std::size_t>(pos)];
+}
+
+void Iim::release_below(int image, i32 line) {
+  PerImage& pi = per_image_[static_cast<std::size_t>(image)];
+  for (i32 l = pi.released_below; l < line; ++l) {
+    Slot& slot = slot_for(image, l);
+    if (slot.line == l) {
+      slot.line = -1;
+      slot.filled = 0;
+      slot.ready = false;
+    }
+  }
+  if (line > pi.released_below) pi.released_below = line;
+}
+
+i64 Iim::storage_bits(const EngineConfig& config) {
+  // Two 32-bit blocks (lower/upper word) per line, max_line_pixels wide.
+  return static_cast<i64>(config.iim_lines) * 2 * config.max_line_pixels * 32;
+}
+
+}  // namespace ae::core

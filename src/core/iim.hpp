@@ -1,0 +1,89 @@
+// IIM — input intermediate memory (paper section 3.1).
+//
+// A ring of line buffers in FPGA block RAM between the ZBT and the process
+// unit.  It exists for pixel reuse: each input pixel is fetched from the
+// ZBT exactly once, and the whole neighborhood is readable in a single
+// cycle because every line lives in its own memory block ("the whole
+// neighbourhood can be obtained in only one cycle, even in the worst case
+// with perpendicular neighbourhood and scan direction").
+//
+// For inter addressing the structure splits into two FIFOs of half the
+// lines, one per input frame.  FULL/EMPTY-style conditions are exposed to
+// the image level controller through has_line/slot_free.
+#pragma once
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "core/config.hpp"
+#include "image/pixel.hpp"
+
+namespace ae::core {
+
+class Iim {
+ public:
+  /// `images` is 1 (intra) or 2 (inter: the capacity halves per image).
+  Iim(const EngineConfig& config, i32 line_length, i32 line_count, int images);
+
+  int images() const { return images_; }
+  i32 capacity_lines(int image) const;
+
+  /// Next line index this image's FIFO wants from the TxU (lines arrive
+  /// strictly in order); line_count() once everything was fetched.
+  i32 next_line_to_fill(int image) const;
+  /// True if a buffer slot is free for next_line_to_fill.
+  bool slot_free(int image) const;
+
+  /// Stores one pixel delivered by the TxU.  Pixels of a line arrive in
+  /// order; a line becomes readable when its last pixel arrived.
+  void store(int image, i32 line, i32 pos, img::Pixel value);
+
+  /// True if `line` is resident and completely filled.
+  bool line_ready(int image, i32 line) const;
+
+  /// Process-unit read (border handling happens in the caller; `line` must
+  /// be ready).  Reads within one pixel-cycle are parallel across blocks —
+  /// the caller groups them and reports one access via note_parallel_read.
+  img::Pixel read(int image, i32 line, i32 pos) const;
+
+  /// Releases all lines of an image strictly below `line` (scan advanced).
+  void release_below(int image, i32 line);
+
+  /// Accounting: parallel neighborhood fetches (1 per pixel-cycle) and raw
+  /// block reads.
+  void note_parallel_read(u64 block_reads) {
+    ++parallel_reads_;
+    block_reads_ += block_reads;
+  }
+  u64 parallel_reads() const { return parallel_reads_; }
+  u64 block_reads() const { return block_reads_; }
+
+  /// Total line-buffer bits needed (resource estimation).
+  static i64 storage_bits(const EngineConfig& config);
+
+ private:
+  struct Slot {
+    i32 line = -1;      ///< line currently held (-1: empty)
+    i32 filled = 0;     ///< pixels stored so far
+    bool ready = false; ///< fully filled
+    std::vector<img::Pixel> pixels;
+  };
+  struct PerImage {
+    std::vector<Slot> slots;
+    i32 next_fill = 0;     ///< next line index to fetch
+    i32 released_below = 0;
+  };
+
+  Slot& slot_for(int image, i32 line);
+  const Slot* find(int image, i32 line) const;
+
+  i32 line_length_ = 0;
+  i32 line_count_ = 0;
+  int images_ = 1;
+  std::vector<PerImage> per_image_;
+  u64 parallel_reads_ = 0;
+  u64 block_reads_ = 0;
+};
+
+}  // namespace ae::core

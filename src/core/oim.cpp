@@ -1,0 +1,31 @@
+#include "core/oim.hpp"
+
+namespace ae::core {
+
+Oim::Oim(const EngineConfig& config, i32 line_length) {
+  AE_EXPECTS(line_length > 0, "OIM needs a positive line length");
+  capacity_ = static_cast<i64>(config.oim_lines) * line_length;
+}
+
+void Oim::push(Entry entry) {
+  AE_ASSERT(!full(), "OIM push while FULL (controller must halt the PU)");
+  fifo_.push_back(entry);
+  ++pushes_;
+  peak_ = std::max<u64>(peak_, fifo_.size());
+}
+
+const Oim::Entry& Oim::front() const {
+  AE_ASSERT(!empty(), "OIM front while EMPTY");
+  return fifo_.front();
+}
+
+void Oim::pop() {
+  AE_ASSERT(!empty(), "OIM pop while EMPTY");
+  fifo_.pop_front();
+}
+
+i64 Oim::storage_bits(const EngineConfig& config) {
+  return static_cast<i64>(config.oim_lines) * 2 * config.max_line_pixels * 32;
+}
+
+}  // namespace ae::core

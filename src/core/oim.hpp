@@ -1,0 +1,53 @@
+// OIM — output intermediate memory (paper section 3.1).
+//
+// A FIFO between the process unit and the ZBT result banks.  The process
+// unit produces one pixel per pixel-cycle but a result pixel costs two ZBT
+// write cycles (lower and upper word sequentially in the same bank), so the
+// OIM absorbs the 2:1 rate mismatch; when it runs FULL the image level
+// controller halts the process unit.
+#pragma once
+
+#include <deque>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "core/config.hpp"
+#include "image/pixel.hpp"
+
+namespace ae::core {
+
+class Oim {
+ public:
+  Oim(const EngineConfig& config, i32 line_length);
+
+  struct Entry {
+    img::Pixel pixel;
+    i64 result_addr = 0;  ///< row-major pixel address on the result banks
+  };
+
+  bool full() const { return static_cast<i64>(fifo_.size()) >= capacity_; }
+  bool empty() const { return fifo_.empty(); }
+  i64 capacity_pixels() const { return capacity_; }
+  i64 occupancy() const { return static_cast<i64>(fifo_.size()); }
+
+  /// Process-unit side (stage 4).  Precondition: !full().
+  void push(Entry entry);
+
+  /// TxU side: the oldest pending pixel.
+  const Entry& front() const;
+  void pop();
+
+  u64 pushes() const { return pushes_; }
+  u64 peak_occupancy() const { return peak_; }
+
+  /// Total line-buffer bits needed (resource estimation).
+  static i64 storage_bits(const EngineConfig& config);
+
+ private:
+  std::deque<Entry> fifo_;
+  i64 capacity_ = 0;
+  u64 pushes_ = 0;
+  u64 peak_ = 0;
+};
+
+}  // namespace ae::core

@@ -1,0 +1,68 @@
+// PLC — pixel level controller (paper sections 3.2/3.4).
+//
+// "The PLC is compound by four modules: the arbiter, the instructions FSM,
+// the startpipeline and the control FSM.  The control FSM generates the set
+// of instructions to be performed in every pixel-cycle.  The arbiter makes
+// sure that the instructions in the different stages will not access the
+// same resources [...] the startpipeline deals with the correct order of
+// the execution of the instructions allowing [...] instructions of
+// different pixel-cycles in the different stages."
+//
+// In the simulator the PLC issues one four-instruction bundle per
+// pixel-cycle — SCAN (stage 1), LOAD or SHIFT (stage 2), the pixel
+// operation (stage 3) and STORE (stage 4) — and models the startpipeline as
+// a fill latency: the first result appears pipeline_stages-1 cycles after
+// issue begins, after which the overlap sustains one pixel per cycle.  The
+// arbiter's job (no two in-flight instructions on one resource) holds by
+// construction here because consecutive bundles use distinct stage
+// resources; the counters make the instruction streams observable.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace ae::core {
+
+struct PlcCounters {
+  u64 pixel_cycles = 0;  ///< bundles issued (= pixels produced)
+  u64 scan_instr = 0;    ///< stage 1: scan counter updates
+  u64 load_instr = 0;    ///< stage 2: full matrix-register fills
+  u64 shift_instr = 0;   ///< stage 2: shift + entering-column fill
+  u64 op_instr = 0;      ///< stage 3: pixel operations
+  u64 store_instr = 0;   ///< stage 4: OIM stores
+  u64 startup_cycles = 0;  ///< startpipeline fill cycles
+};
+
+class PixelLevelController {
+ public:
+  explicit PixelLevelController(int pipeline_stages)
+      : fill_remaining_(pipeline_stages > 0 ? pipeline_stages - 1 : 0) {}
+
+  /// True while the startpipeline is still filling; consumes one cycle.
+  bool consume_startup() {
+    if (fill_remaining_ == 0) return false;
+    --fill_remaining_;
+    ++counters_.startup_cycles;
+    return true;
+  }
+
+  /// Issues the bundle for one pixel-cycle.
+  void issue(bool full_load) {
+    ++counters_.pixel_cycles;
+    ++counters_.scan_instr;
+    if (full_load) {
+      ++counters_.load_instr;
+    } else {
+      ++counters_.shift_instr;
+    }
+    ++counters_.op_instr;
+    ++counters_.store_instr;
+  }
+
+  const PlcCounters& counters() const { return counters_; }
+
+ private:
+  int fill_remaining_;
+  PlcCounters counters_;
+};
+
+}  // namespace ae::core

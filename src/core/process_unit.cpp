@@ -1,0 +1,114 @@
+#include "core/process_unit.hpp"
+
+namespace ae::core {
+
+ProcessUnit::ProcessUnit(const EngineConfig& config, const ScanSpace& space,
+                         const alib::Call& call, Iim& iim, Oim& oim,
+                         const BusDma& dma, alib::SideAccum& side)
+    : config_(config),
+      space_(space),
+      call_(&call),
+      iim_(&iim),
+      oim_(&oim),
+      dma_(&dma),
+      side_(&side),
+      window_(iim, space, call.border, call.params.border_constant),
+      plc_(config.pipeline_stages) {
+  if (call.mode == alib::Mode::Intra) {
+    lines_before_ = space_.lines_before(call.nbhd);
+    lines_after_ = space_.lines_after(call.nbhd);
+  }
+  AE_EXPECTS(lines_before_ + lines_after_ + 1 <= iim.capacity_lines(0),
+             "neighborhood line span exceeds the IIM capacity");
+}
+
+bool ProcessUnit::lines_ready() const {
+  // Border replication clamps every read into the frame, so the needed set
+  // is the clamped window (handles asymmetric neighborhoods whose window
+  // lies entirely above/below the center).
+  const i32 max_line = space_.line_count() - 1;
+  const i32 first = std::clamp(line_ - lines_before_, 0, max_line);
+  const i32 last = std::clamp(line_ + lines_after_, 0, max_line);
+  for (int image = 0; image < iim_->images(); ++image) {
+    const i32 lo = iim_->images() == 2 ? line_ : std::min(first, last);
+    const i32 hi = iim_->images() == 2 ? line_ : std::max(first, last);
+    for (i32 l = lo; l <= hi; ++l)
+      if (!iim_->line_ready(image, l)) return false;
+  }
+  return true;
+}
+
+void ProcessUnit::advance() {
+  if (++pos_ >= space_.line_length()) {
+    pos_ = 0;
+    ++line_;
+    // Lines the matrix register can no longer reach are released; the
+    // clamp keeps the last line resident while border replication can
+    // still land on it.
+    const i32 max_line = space_.line_count() - 1;
+    const i32 keep_from = std::clamp(line_ - lines_before_, 0, max_line);
+    for (int image = 0; image < iim_->images(); ++image)
+      iim_->release_below(
+          image, iim_->images() == 2 ? std::min(line_, max_line) : keep_from);
+    if (line_ >= space_.line_count()) done_ = true;
+  }
+}
+
+void ProcessUnit::tick() {
+  if (done_) return;
+  if (config_.strict_inter_sequencing && call_->mode == alib::Mode::Inter) {
+    for (int image = 0; image < iim_->images(); ++image)
+      if (!dma_->frame_complete(image)) {
+        ++wait_frames_;
+        return;
+      }
+  }
+  if (!lines_ready()) {
+    ++stall_iim_;
+    return;
+  }
+  if (oim_->full()) {
+    ++stall_oim_;
+    return;
+  }
+  if (plc_.consume_startup()) return;
+
+  // Stage 1: scan — the current center.
+  const Point center = space_.to_image(line_, pos_);
+
+  // Stage 2: LOAD at a line start, SHIFT elsewhere; all blocks in parallel.
+  const bool full_load = pos_ == 0;
+  if (call_->mode == alib::Mode::Intra) {
+    const u64 blocks =
+        full_load ? static_cast<u64>(call_->nbhd.size())
+                  : static_cast<u64>(call_->nbhd.entering_offsets(call_->scan)
+                                         .size());
+    iim_->note_parallel_read(blocks == 0 ? 1 : blocks);
+  } else {
+    iim_->note_parallel_read(2);  // one pixel from each frame FIFO
+  }
+
+  // Stage 3: the pixel operation.
+  img::Pixel result;
+  if (call_->mode == alib::Mode::Inter) {
+    const img::Pixel a = iim_->read(0, line_, pos_);
+    const img::Pixel b = iim_->read(1, line_, pos_);
+    result = alib::apply_inter(call_->op, call_->params, a, b, center,
+                               call_->in_channels, call_->out_channels,
+                               *side_);
+  } else {
+    window_.move_to(center);
+    result = alib::apply_intra(call_->op, call_->params, call_->nbhd, window_,
+                               call_->in_channels, call_->out_channels,
+                               *side_);
+  }
+
+  // Stage 4: store into the OIM with the host-order address.
+  oim_->push(Oim::Entry{result, space_.pixel_addr(center)});
+
+  plc_.issue(full_load);
+  ++pixels_;
+  advance();
+}
+
+}  // namespace ae::core

@@ -1,0 +1,94 @@
+// Process unit (paper section 3.5): the four-stage datapath.
+//
+//   stage 1 — scan: pixel position counters for the next pixel-cycle,
+//   stage 2 — LOAD/SHIFT: matrix register fill from the IIM (whole
+//             neighborhood in one cycle thanks to per-line blocks),
+//   stage 3 — the pixel operation (gradient, filters, histogram, ...),
+//   stage 4 — store the result pixel into the OIM.
+//
+// The matrix register is modeled through the LOAD/SHIFT instruction stream
+// and the IIM residency invariants (lines the register would hold are
+// guaranteed resident); stage 3 runs the very same kernels as the software
+// backend, which is what the bit-exact equivalence tests rely on.
+#pragma once
+
+#include "addresslib/call.hpp"
+#include "core/dma.hpp"
+#include "core/iim.hpp"
+#include "core/oim.hpp"
+#include "core/plc.hpp"
+
+namespace ae::core {
+
+/// Border-resolving neighborhood source reading the IIM (the engine-side
+/// counterpart of alib::ImageWindow; models the kernels' Source concept).
+class IimWindowSource {
+ public:
+  IimWindowSource(const Iim& iim, const ScanSpace& space,
+                  alib::BorderPolicy border, img::Pixel border_constant)
+      : iim_(&iim), space_(space), border_(border), constant_(border_constant) {}
+
+  void move_to(Point center) { center_ = center; }
+
+  img::Pixel at(Point offset) const {
+    Point p = center_ + offset;
+    if (!space_.frame().contains(p)) {
+      if (border_ == alib::BorderPolicy::Constant) return constant_;
+      p.x = std::clamp(p.x, 0, space_.frame().width - 1);
+      p.y = std::clamp(p.y, 0, space_.frame().height - 1);
+    }
+    return iim_->read(0, space_.line_of(p), space_.pos_of(p));
+  }
+
+ private:
+  const Iim* iim_;
+  ScanSpace space_;
+  Point center_{};
+  alib::BorderPolicy border_;
+  img::Pixel constant_;
+};
+
+class ProcessUnit {
+ public:
+  ProcessUnit(const EngineConfig& config, const ScanSpace& space,
+              const alib::Call& call, Iim& iim, Oim& oim, const BusDma& dma,
+              alib::SideAccum& side);
+
+  /// Advances one cycle: either stalls (with a recorded reason) or runs one
+  /// pixel-cycle through the four stages.
+  void tick();
+
+  bool done() const { return done_; }
+  const PlcCounters& plc() const { return plc_.counters(); }
+
+  u64 stall_iim() const { return stall_iim_; }
+  u64 stall_oim() const { return stall_oim_; }
+  u64 wait_frames() const { return wait_frames_; }
+  i64 pixels_produced() const { return pixels_; }
+
+ private:
+  bool lines_ready() const;
+  void advance();
+
+  EngineConfig config_;
+  ScanSpace space_;
+  const alib::Call* call_;
+  Iim* iim_;
+  Oim* oim_;
+  const BusDma* dma_;
+  alib::SideAccum* side_;
+  IimWindowSource window_;
+  PixelLevelController plc_;
+
+  i32 lines_before_ = 0;
+  i32 lines_after_ = 0;
+  i32 line_ = 0;
+  i32 pos_ = 0;
+  bool done_ = false;
+  i64 pixels_ = 0;
+  u64 stall_iim_ = 0;
+  u64 stall_oim_ = 0;
+  u64 wait_frames_ = 0;
+};
+
+}  // namespace ae::core

@@ -1,0 +1,53 @@
+#include "core/reconfig.hpp"
+
+#include <sstream>
+
+namespace ae::core {
+
+i64 op_module_luts(alib::PixelOp op) {
+  // Scaled from the datapath operation count on the canonical CON_8
+  // neighborhood: each datapath step costs roughly a nibble-slice of LUTs
+  // in a 16-bit-wide module, plus fixed operand routing.
+  const i64 cost = alib::op_datapath_cost(op, alib::Neighborhood::con8(),
+                                          ChannelMask::y());
+  return 40 + cost * 12;
+}
+
+u64 reconfiguration_cycles(const ReconfigModel& model, alib::PixelOp op) {
+  AE_EXPECTS(model.config_bytes_per_cycle > 0.0,
+             "config port needs positive throughput");
+  const i64 bytes = std::max(model.min_bitstream_bytes,
+                             op_module_luts(op) *
+                                 model.bitstream_bytes_per_lut);
+  return model.swap_setup_cycles +
+         static_cast<u64>(static_cast<double>(bytes) /
+                          model.config_bytes_per_cycle);
+}
+
+ReconfigurableEngine::ReconfigurableEngine(EngineConfig config,
+                                           EngineMode mode,
+                                           ReconfigModel model)
+    : engine_(config, mode), model_(model) {}
+
+std::string ReconfigurableEngine::name() const {
+  return engine_.name() + "/reconfig";
+}
+
+alib::CallResult ReconfigurableEngine::execute(const alib::Call& call,
+                                               const img::Image& a,
+                                               const img::Image* b) {
+  alib::CallResult result = engine_.execute(call, a, b);
+  if (!loaded_.has_value() || *loaded_ != call.op) {
+    const u64 swap = reconfiguration_cycles(model_, call.op);
+    result.stats.cycles += swap;
+    result.stats.stall_cycles += swap;
+    result.stats.model_seconds +=
+        static_cast<double>(swap) * engine_.config().seconds_per_cycle();
+    loaded_ = call.op;
+    ++swaps_;
+    reconfig_cycles_ += swap;
+  }
+  return result;
+}
+
+}  // namespace ae::core

@@ -1,0 +1,71 @@
+// Dynamic partial reconfiguration model — the paper's outlook (section 5):
+// "The pixel addressing will be implemented in a statically configured
+// block of the FPGA, as all supported algorithms are using the same
+// AddressLib scheme, whereas the pixel processing, which might be changed
+// during the process of video analysis, will be implemented in a
+// dynamically reconfigurable block."
+//
+// The model: the addressing machinery (DMA, TxUs, IIM/OIM, PLC, scan) is
+// static; stage 3 is a swappable module, one per PixelOp.  Swapping loads a
+// partial bitstream through the configuration port, which costs bus-idle
+// time proportional to the module's size.  ReconfigurableEngine wraps an
+// EngineBackend, tracks the loaded module and charges the swap time — so
+// call schedules can be compared (alternating ops thrash, batched ops
+// amortize).
+#pragma once
+
+#include <optional>
+
+#include "core/engine.hpp"
+
+namespace ae::core {
+
+struct ReconfigModel {
+  /// Configuration-port throughput (Virtex-II ICAP: one byte per cycle at
+  /// the configuration clock; the prototype would run it at the bus clock).
+  double config_bytes_per_cycle = 1.0;
+  /// Partial bitstream bytes per reconfigurable-module LUT (frame-aligned
+  /// column granularity makes small modules cost full columns).
+  i64 bitstream_bytes_per_lut = 96;
+  /// Floor: one configuration frame column.
+  i64 min_bitstream_bytes = 4096;
+  /// Handshake with the host per swap (driver + ICAP setup).
+  u32 swap_setup_cycles = 2000;
+};
+
+/// Estimated stage-3 module size for one operation (LUTs of the swappable
+/// datapath block; derived from the op's datapath cost).
+i64 op_module_luts(alib::PixelOp op);
+
+/// Cycles to swap in the module for `op`.
+u64 reconfiguration_cycles(const ReconfigModel& model, alib::PixelOp op);
+
+/// Engine wrapper with a dynamically reconfigurable stage-3 block.
+class ReconfigurableEngine : public alib::Backend {
+ public:
+  explicit ReconfigurableEngine(EngineConfig config = {},
+                                EngineMode mode = EngineMode::Analytic,
+                                ReconfigModel model = {});
+
+  std::string name() const override;
+
+  /// Executes the call; if its op is not the loaded module, charges a
+  /// reconfiguration first (visible in the returned stats' cycles and
+  /// model_seconds).
+  alib::CallResult execute(const alib::Call& call, const img::Image& a,
+                           const img::Image* b = nullptr) override;
+
+  i64 swaps() const { return swaps_; }
+  u64 reconfig_cycles_total() const { return reconfig_cycles_; }
+  std::optional<alib::PixelOp> loaded_module() const { return loaded_; }
+  const EngineConfig& config() const { return engine_.config(); }
+
+ private:
+  EngineBackend engine_;
+  ReconfigModel model_;
+  std::optional<alib::PixelOp> loaded_;
+  i64 swaps_ = 0;
+  u64 reconfig_cycles_ = 0;
+};
+
+}  // namespace ae::core

@@ -1,0 +1,103 @@
+#include "core/resources.hpp"
+
+#include <cmath>
+
+namespace ae::core {
+namespace {
+
+// ---- calibration constants (fitted once against the ISE 6 snapshot of the
+// ---- paper at the default configuration; see EXPERIMENTS.md) -------------
+
+// Flip-flop budgets per controller block.
+constexpr int kIlcFf = 40;        // image level controller
+constexpr int kPlcFfPerFsm = 12;  // arbiter / instr FSM / startpipeline / ctrl
+constexpr int kTxuFf = 24;        // per transmission unit (in + out)
+constexpr int kDmaIfFf = 40;      // host-bus interface registers
+constexpr int kScanCounterFf = 10;  // per stage-1 position counter (x, y)
+constexpr int kMiscFf = 20;
+
+// LUT budgets.
+constexpr int kIlcLut = 60;
+constexpr int kPlcLut = 80;
+constexpr int kArbiterLut = 30;
+constexpr int kTxuLut = 40;
+constexpr int kAddrGenLut = 50;
+constexpr int kDatapathMuxLut = 49;
+
+// Slice composition: packing factors plus a per-stage datapath term.
+constexpr double kSlicePerLut = 0.7;
+constexpr double kSlicePerFf = 0.8;
+constexpr double kSlicePerStage = 36.75;
+
+// Timing: BRAM access + address decode depth + per-stage control fan-in.
+constexpr double kPeriodBaseNs = 6.0;
+constexpr double kPeriodPerAddrBitNs = 0.45;
+constexpr double kPeriodPerStageNs = 0.046;
+
+// The prototype's line buffers are 176 pixels wide (QCIF width; CIF lines
+// stream through in two halves), which lets a lower/upper block pair share
+// one dual-ported 18 kbit BRAM.
+constexpr i32 kBufferWidthPixels = 176;
+constexpr i32 kBramBits = 18 * 1024;
+// Calibration residual: the snapshot packs three BRAM pairs into the
+// host-interface FIFOs' spare capacity (29 reported vs. 32 structural).
+constexpr int kBramPacking = 3;
+
+int bram_blocks(i32 lines) {
+  // Two 32-bit blocks (lower/upper word) per buffered line.
+  return static_cast<int>(lines) * 2;
+}
+
+int brams_for(i32 lines) {
+  const i32 block_bits = kBufferWidthPixels * 32;
+  const i32 blocks_per_bram = std::max(1, kBramBits / block_bits);  // ports: <= 2
+  const int blocks = bram_blocks(lines);
+  return (blocks + std::min(blocks_per_bram, 2) - 1) /
+         std::min(blocks_per_bram, 2);
+}
+
+}  // namespace
+
+ResourceEstimate estimate_resources(const EngineConfig& config) {
+  validate_config(config);
+  ResourceEstimate e;
+
+  e.flip_flops = kIlcFf + kPlcFfPerFsm * config.pipeline_stages +
+                 kTxuFf * 2 + kDmaIfFf + kScanCounterFf * 2 + kMiscFf;
+  e.luts = kIlcLut + kPlcLut + kArbiterLut + kTxuLut * 2 + kAddrGenLut +
+           kDatapathMuxLut;
+  e.slices = static_cast<int>(std::lround(kSlicePerLut * e.luts +
+                                          kSlicePerFf * e.flip_flops +
+                                          kSlicePerStage *
+                                              config.pipeline_stages));
+
+  // Host-bus pins plus handshake/interrupt lines.
+  e.iobs = config.bus_width_bits + 20 + 8;
+  e.gclks = 1;  // single clock domain (bus clock drives everything)
+
+  e.brams = brams_for(config.iim_lines) + brams_for(config.oim_lines) -
+            kBramPacking;
+
+  const double addr_bits = std::ceil(std::log2(kBufferWidthPixels));
+  e.min_period_ns = kPeriodBaseNs + kPeriodPerAddrBitNs * addr_bits +
+                    kPeriodPerStageNs * config.pipeline_stages;
+  return e;
+}
+
+ResourceEstimate paper_table1() {
+  ResourceEstimate e;
+  e.slices = 564;
+  e.flip_flops = 216;
+  e.luts = 349;
+  e.iobs = 60;
+  e.brams = 29;
+  e.gclks = 1;
+  e.min_period_ns = 9.784;
+  return e;
+}
+
+double utilization(int used, int available) {
+  return available > 0 ? static_cast<double>(used) / available : 0.0;
+}
+
+}  // namespace ae::core

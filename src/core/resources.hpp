@@ -1,0 +1,53 @@
+// FPGA resource and timing estimator — the model behind Table 1.
+//
+// The paper reports one ISE 6 synthesis snapshot on a Virtex-II 2v3000:
+// 564 slices, 216 FFs, 349 LUTs, 60 IOBs, 29 BRAMs, 1 GCLK, minimum period
+// 9.784 ns (102.208 MHz).  This estimator rebuilds those numbers from the
+// architecture: per-controller FSM budgets, datapath width terms and the
+// BRAM demand of the IIM/OIM line buffers, so ablations (strip size, IIM
+// depth, wider neighborhoods, more stages) move the estimate the way a
+// synthesis run would.  Coefficients are calibrated once against the
+// paper's snapshot at the default configuration — see EXPERIMENTS.md for
+// the calibration notes, including the BRAM packing question (29 reported
+// vs. 32 line-buffer blocks described in the text).
+#pragma once
+
+#include <string>
+
+#include "core/config.hpp"
+
+namespace ae::core {
+
+/// Virtex-II 2v3000 device limits (for utilization percentages).
+struct DeviceCapacity {
+  std::string name = "2v3000ff1152-5";
+  int slices = 14336;
+  int flip_flops = 28672;
+  int luts = 28672;
+  int iobs = 720;
+  int brams = 96;
+  int gclks = 16;
+};
+
+struct ResourceEstimate {
+  int slices = 0;
+  int flip_flops = 0;
+  int luts = 0;
+  int iobs = 0;
+  int brams = 0;
+  int gclks = 0;
+  double min_period_ns = 0.0;
+
+  double max_frequency_mhz() const { return 1000.0 / min_period_ns; }
+};
+
+/// Estimates the synthesis footprint of the engine at `config`.
+ResourceEstimate estimate_resources(const EngineConfig& config);
+
+/// The numbers printed in the paper's Table 1 (for comparison columns).
+ResourceEstimate paper_table1();
+
+/// Utilization fraction helpers.
+double utilization(int used, int available);
+
+}  // namespace ae::core

@@ -1,0 +1,67 @@
+// Scan-space coordinates: the engine's strips, line buffers and transfer
+// order are defined relative to the scan direction (paper section 3.1: the
+// image is transferred "in strips, horizontal or vertical depending on the
+// way of scanning the image").  ScanSpace maps between image coordinates
+// (x, y) and scan coordinates (line, pos):
+//   row-major scan    : line = y, pos = x  (horizontal strips)
+//   column-major scan : line = x, pos = y  (vertical strips)
+// so the rest of the simulator is written once, in scan coordinates.
+#pragma once
+
+#include "addresslib/addressing.hpp"
+#include "common/geometry.hpp"
+
+namespace ae::core {
+
+class ScanSpace {
+ public:
+  ScanSpace(Size frame, alib::ScanOrder order) : frame_(frame), order_(order) {}
+
+  Size frame() const { return frame_; }
+  alib::ScanOrder order() const { return order_; }
+
+  bool row_major() const { return order_ == alib::ScanOrder::RowMajor; }
+
+  i32 line_count() const {
+    return row_major() ? frame_.height : frame_.width;
+  }
+  i32 line_length() const {
+    return row_major() ? frame_.width : frame_.height;
+  }
+
+  Point to_image(i32 line, i32 pos) const {
+    return row_major() ? Point{pos, line} : Point{line, pos};
+  }
+  i32 line_of(Point p) const { return row_major() ? p.y : p.x; }
+  i32 pos_of(Point p) const { return row_major() ? p.x : p.y; }
+
+  /// Scan-space line delta of a neighborhood offset.
+  i32 line_delta(Point offset) const {
+    return row_major() ? offset.y : offset.x;
+  }
+
+  /// Lines before/after the center the neighborhood reaches into.
+  i32 lines_before(const alib::Neighborhood& n) const {
+    const Rect b = n.bounding_box();
+    return row_major() ? -b.y : -b.x;
+  }
+  i32 lines_after(const alib::Neighborhood& n) const {
+    const Rect b = n.bounding_box();
+    return row_major() ? b.y + b.height - 1 : b.x + b.width - 1;
+  }
+
+  /// Row-major pixel address used on the ZBT and on the host (PC images are
+  /// stored row-major regardless of the scan direction).
+  i64 pixel_addr(Point p) const {
+    return static_cast<i64>(p.y) * frame_.width + p.x;
+  }
+  i64 pixel_addr(i32 line, i32 pos) const {
+    return pixel_addr(to_image(line, pos));
+  }
+
+ private:
+  Size frame_{};
+  alib::ScanOrder order_ = alib::ScanOrder::RowMajor;
+};
+
+}  // namespace ae::core

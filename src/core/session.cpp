@@ -1,0 +1,162 @@
+#include "core/session.hpp"
+
+#include <algorithm>
+
+#include "addresslib/functional.hpp"
+
+namespace ae::core {
+
+bool is_side_only_op(alib::PixelOp op) {
+  switch (op) {
+    case alib::PixelOp::Sad:
+    case alib::PixelOp::Histogram:
+    case alib::PixelOp::GmeAccum:
+    case alib::PixelOp::GmeAccumAffine:
+      return true;
+    default:
+      return false;
+  }
+}
+
+EngineSession::EngineSession(EngineConfig config, SessionOptions options)
+    : config_(config), options_(options) {
+  validate_config(config_);
+}
+
+std::string EngineSession::name() const {
+  return "engine/" + std::to_string(config_.clock_mhz) + "MHz/session";
+}
+
+void EngineSession::invalidate() {
+  input_slot_ = {};
+  result_slot_ = 0;
+}
+
+std::size_t EngineSession::victim_slot() const {
+  // Transient frames (relocated results, typically consumed once) go
+  // first; ties and the rest by least recent use.
+  std::size_t best = 0;
+  for (std::size_t s = 1; s < input_slot_.size(); ++s) {
+    const InputSlot& cand = input_slot_[s];
+    const InputSlot& cur = input_slot_[best];
+    if (cand.transient != cur.transient) {
+      if (cand.transient) best = s;
+    } else if (cand.last_use < cur.last_use) {
+      best = s;
+    }
+  }
+  return best;
+}
+
+void EngineSession::touch(std::size_t slot, bool transient) {
+  input_slot_[slot].last_use = ++use_clock_;
+  input_slot_[slot].transient = transient;
+}
+
+u64 EngineSession::frame_hash(const img::Image& image) const {
+  // FNV-1a over the pixel words plus the dimensions.
+  u64 h = 0xCBF29CE484222325ull;
+  auto mix = [&h](u64 v) {
+    h ^= v;
+    h *= 0x100000001B3ull;
+  };
+  mix(static_cast<u64>(image.width()));
+  mix(static_cast<u64>(image.height()));
+  for (const img::Pixel& p : image.pixels()) {
+    mix(p.lower_word());
+    mix(p.upper_word());
+  }
+  return h == 0 ? 1 : h;  // 0 means "empty slot"
+}
+
+EngineSession::Residency EngineSession::acquire_input(u64 hash) {
+  if (!options_.reuse_resident_frames) return Residency::NotResident;
+  for (std::size_t s = 0; s < input_slot_.size(); ++s)
+    if (input_slot_[s].hash == hash) {
+      touch(s, false);  // proven reusable: no longer transient
+      return Residency::InInputPair;
+    }
+  if (result_slot_ == hash) {
+    ++stats_.board_copies;
+    const std::size_t slot = victim_slot();
+    input_slot_[slot].hash = hash;
+    touch(slot, true);
+    return Residency::RelocatedFromResult;
+  }
+  return Residency::NotResident;
+}
+
+alib::CallResult EngineSession::execute(const alib::Call& call,
+                                        const img::Image& a,
+                                        const img::Image* b) {
+  alib::SegmentRunInfo seg;
+  alib::CallResult result = alib::execute_functional(call, a, b, seg);
+  ++stats_.calls;
+
+  const int images = call.mode == alib::Mode::Inter ? 2 : 1;
+  const EngineRunStats base = analytic_run_stats(
+      config_, call, a.size(), seg.processed_pixels, seg.criterion_tests);
+  const AnalyticTiming timing =
+      call.mode == alib::Mode::Segment
+          ? analytic_segment_timing(config_, call, a.size(),
+                                    seg.processed_pixels,
+                                    seg.criterion_tests)
+          : analytic_streamed_timing(config_, call, a.size());
+
+  u64 cycles = base.cycles;
+  const auto pixels = static_cast<u64>(a.pixel_count());
+
+  // Input transfers skipped for resident frames.
+  const u64 per_frame_in =
+      (timing.input_busy_cycles + timing.input_overhead_cycles) /
+      static_cast<u64>(images);
+  const u64 hash_a = frame_hash(a);
+  const u64 hash_b = b != nullptr ? frame_hash(*b) : 0;
+  std::array<u64, 2> wanted{hash_a, hash_b};
+  for (int f = 0; f < images; ++f) {
+    switch (acquire_input(wanted[static_cast<std::size_t>(f)])) {
+      case Residency::InInputPair:
+        ++stats_.inputs_reused;
+        cycles -= std::min(cycles, per_frame_in);
+        break;
+      case Residency::RelocatedFromResult:
+        ++stats_.inputs_reused;
+        cycles -= std::min(cycles, per_frame_in);
+        // Bank-to-bank relocation: two port cycles per pixel.
+        cycles += pixels * 2;
+        break;
+      case Residency::NotResident: {
+        ++stats_.inputs_transferred;
+        const std::size_t slot = victim_slot();
+        input_slot_[slot].hash = wanted[static_cast<std::size_t>(f)];
+        touch(slot, false);
+        break;
+      }
+    }
+  }
+
+  // Side-only calls keep their result on board.
+  if (options_.skip_side_only_readback && is_side_only_op(call.op)) {
+    ++stats_.outputs_elided;
+    cycles -= std::min(
+        cycles, timing.output_busy_cycles + timing.output_overhead_cycles);
+  } else {
+    ++stats_.outputs_read_back;
+  }
+  result_slot_ = frame_hash(result.output);
+
+  stats_.cycles += cycles;
+  result.stats.cycles = cycles;
+  // Whatever time remains is (at most) bus time: savings only ever remove
+  // transfers, never add non-bus work beyond the board copies.
+  result.stats.pci_cycles =
+      std::min(cycles, base.bus_busy_cycles + base.bus_overhead_cycles);
+  result.stats.loads = base.zbt_read_transactions;
+  result.stats.stores = base.zbt_write_transactions;
+  result.stats.pixels = base.pixels;
+  result.stats.model_seconds =
+      static_cast<double>(cycles) * config_.seconds_per_cycle();
+  return result;
+}
+
+}  // namespace ae::core

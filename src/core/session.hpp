@@ -1,0 +1,93 @@
+// EngineSession — a driver-level what-if study on top of the engine.
+//
+// The 2005 prototype re-transferred every input frame on every AddressLib
+// call and always read the result back ("the communication ... is
+// interrupt oriented and happens through the PCI bus").  Call-heavy
+// workloads pay for that: the GME loop sends the reference frame again on
+// every iteration and reads back difference pictures whose only useful
+// content is the side-port sums.
+//
+// EngineSession models a smarter driver on unchanged hardware:
+//   * frame residency — the ZBT keeps the last frames; an input whose
+//     content is already on board skips its transfer (an on-board
+//     bank-to-bank copy at one pixel per two cycles when it sits in the
+//     result banks),
+//   * side-only readback elision — calls whose value is entirely in the
+//     side port (Sad, Histogram, GmeAccum, GmeAccumAffine) skip the result
+//     readback.
+// Functional results are produced exactly as always; only the timing model
+// changes.  The `session_optimization` bench quantifies the effect on the
+// Table 3 workload.
+#pragma once
+
+#include <array>
+
+#include "addresslib/call.hpp"
+#include "core/analytic.hpp"
+#include "core/config.hpp"
+
+namespace ae::core {
+
+struct SessionOptions {
+  bool reuse_resident_frames = true;
+  bool skip_side_only_readback = true;
+};
+
+struct SessionStats {
+  i64 calls = 0;
+  i64 inputs_transferred = 0;
+  i64 inputs_reused = 0;      ///< already on board, no PCI traffic
+  i64 board_copies = 0;       ///< ZBT-to-ZBT relocations
+  i64 outputs_read_back = 0;
+  i64 outputs_elided = 0;     ///< side-only calls, no readback
+  u64 cycles = 0;
+
+  double seconds(const EngineConfig& config) const {
+    return static_cast<double>(cycles) * config.seconds_per_cycle();
+  }
+};
+
+/// True if the host consumes only the side port of this op (the output
+/// image is a by-product).
+bool is_side_only_op(alib::PixelOp op);
+
+class EngineSession : public alib::Backend {
+ public:
+  explicit EngineSession(EngineConfig config = {}, SessionOptions options = {});
+
+  std::string name() const override;
+  alib::CallResult execute(const alib::Call& call, const img::Image& a,
+                           const img::Image* b = nullptr) override;
+
+  const SessionStats& stats() const { return stats_; }
+  const EngineConfig& config() const { return config_; }
+  /// Forgets all residency (e.g. the host reused the buffers).
+  void invalidate();
+
+ private:
+  u64 frame_hash(const img::Image& image) const;
+  enum class Residency { NotResident, InInputPair, RelocatedFromResult };
+  /// Looks `hash` up on board; relocation moves it from the result banks
+  /// into an input pair (costed by the caller).
+  Residency acquire_input(u64 hash);
+
+  /// Picks the input pair to overwrite: transient (relocated result)
+  /// frames first, then least recently used.
+  std::size_t victim_slot() const;
+  void touch(std::size_t slot, bool transient);
+
+  EngineConfig config_;
+  SessionOptions options_;
+  SessionStats stats_;
+  // Content hashes of the frames in the input pairs and the result banks.
+  struct InputSlot {
+    u64 hash = 0;
+    u64 last_use = 0;
+    bool transient = false;  ///< relocated result, unlikely to be reused
+  };
+  std::array<InputSlot, 2> input_slot_{};
+  u64 result_slot_ = 0;
+  u64 use_clock_ = 0;
+};
+
+}  // namespace ae::core

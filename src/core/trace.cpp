@@ -1,0 +1,77 @@
+#include "core/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace ae::core {
+
+std::string to_string(TraceEvent e) {
+  switch (e) {
+    case TraceEvent::CallStart: return "call-start";
+    case TraceEvent::InputStripArrived: return "input-strip";
+    case TraceEvent::FrameComplete: return "frame-complete";
+    case TraceEvent::InputDone: return "input-done";
+    case TraceEvent::FirstPixelProduced: return "first-pixel";
+    case TraceEvent::PuStallBegin: return "pu-stall-begin";
+    case TraceEvent::PuStallEnd: return "pu-stall-end";
+    case TraceEvent::ProcessingDone: return "processing-done";
+    case TraceEvent::BlockReleased: return "block-released";
+    case TraceEvent::OutputDone: return "output-done";
+    case TraceEvent::Interrupt: return "interrupt";
+    case TraceEvent::CallEnd: return "call-end";
+  }
+  return "?";
+}
+
+void EngineTrace::record(u64 cycle, TraceEvent event, i64 arg) {
+  ++total_;
+  if (records_.size() < capacity_) records_.push_back({cycle, event, arg});
+}
+
+u64 EngineTrace::count(TraceEvent event) const {
+  return static_cast<u64>(
+      std::count_if(records_.begin(), records_.end(),
+                    [event](const TraceRecord& r) { return r.event == event; }));
+}
+
+u64 EngineTrace::longest_stall() const {
+  u64 longest = 0;
+  for (const TraceRecord& r : records_)
+    if (r.event == TraceEvent::PuStallEnd)
+      longest = std::max(longest, static_cast<u64>(r.arg));
+  return longest;
+}
+
+std::string EngineTrace::format(std::size_t max_lines) const {
+  std::ostringstream os;
+  os << "engine trace: " << total_ << " events";
+  if (dropped_events() > 0) os << " (" << dropped_events() << " dropped)";
+  os << "\n";
+  std::size_t shown = 0;
+  for (const TraceRecord& r : records_) {
+    if (shown >= max_lines) {
+      os << "  ... (" << records_.size() - shown << " more)\n";
+      break;
+    }
+    os << "  @" << r.cycle << " " << to_string(r.event);
+    if (r.arg != 0 || r.event == TraceEvent::PuStallBegin ||
+        r.event == TraceEvent::BlockReleased ||
+        r.event == TraceEvent::FrameComplete)
+      os << " [" << r.arg << "]";
+    os << "\n";
+    ++shown;
+  }
+  return os.str();
+}
+
+void EngineTrace::clear() {
+  records_.clear();
+  total_ = 0;
+}
+
+std::ostream& operator<<(std::ostream& os, const EngineTrace& trace) {
+  return os << trace.format();
+}
+
+}  // namespace ae::core

@@ -1,0 +1,69 @@
+// Execution trace of a simulated call — transition-level observability for
+// the engine (the closest software analogue of probing the FPGA with a
+// logic analyzer).  The simulator records *state transitions* (phase
+// changes, stall episodes, strip arrivals, block releases), not every
+// cycle, so traces stay small while still explaining a timeline.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ae::core {
+
+enum class TraceEvent : u8 {
+  CallStart,
+  InputStripArrived,   ///< arg = strip index (per frame chunk)
+  FrameComplete,       ///< arg = frame index (0/1)
+  InputDone,
+  FirstPixelProduced,
+  PuStallBegin,        ///< arg = 0: IIM starved, 1: OIM full, 2: frames
+  PuStallEnd,          ///< arg = stall length in cycles
+  ProcessingDone,      ///< arg = pixels produced
+  BlockReleased,       ///< arg = 0: Res_block_A, 1: Res_block_B
+  OutputDone,
+  Interrupt,
+  CallEnd,             ///< arg = total cycles
+};
+
+std::string to_string(TraceEvent e);
+
+struct TraceRecord {
+  u64 cycle = 0;
+  TraceEvent event = TraceEvent::CallStart;
+  i64 arg = 0;
+};
+
+class EngineTrace {
+ public:
+  /// `capacity` caps stored records; further events still count in the
+  /// per-event totals but drop their records (the summary says so).
+  explicit EngineTrace(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  void record(u64 cycle, TraceEvent event, i64 arg = 0);
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  u64 total_events() const { return total_; }
+  u64 dropped_events() const {
+    return total_ - static_cast<u64>(records_.size());
+  }
+  u64 count(TraceEvent event) const;
+
+  /// Longest recorded PU stall episode (cycles), from PuStallEnd args.
+  u64 longest_stall() const;
+
+  /// Human-readable timeline (up to `max_lines` records) plus totals.
+  std::string format(std::size_t max_lines = 64) const;
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceRecord> records_;
+  u64 total_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const EngineTrace& trace);
+
+}  // namespace ae::core

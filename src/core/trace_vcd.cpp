@@ -1,0 +1,129 @@
+#include "core/trace_vcd.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace ae::core {
+namespace {
+
+/// Signal identifiers (VCD short codes).
+constexpr char kPhase = 'p';
+constexpr char kStall = 's';
+constexpr char kStallReason = 'r';
+constexpr char kIrq = 'i';
+constexpr char kStrips = 'n';
+constexpr char kBlocks = 'b';
+
+void emit_vector(std::ostream& os, u64 value, int bits, char id) {
+  os << 'b';
+  for (int bit = bits - 1; bit >= 0; --bit)
+    os << ((value >> bit) & 1u ? '1' : '0');
+  os << ' ' << id << '\n';
+}
+
+}  // namespace
+
+void write_vcd(const EngineTrace& trace, std::ostream& os,
+               double clock_mhz) {
+  AE_EXPECTS(clock_mhz > 0.0, "clock must be positive");
+  const double ns_per_cycle = 1000.0 / clock_mhz;
+
+  os << "$date AddressEngine trace export $end\n"
+     << "$version ae::core::write_vcd $end\n"
+     << "$timescale 1ns $end\n"
+     << "$scope module address_engine $end\n"
+     << "$var wire 3 " << kPhase << " phase $end\n"
+     << "$var wire 1 " << kStall << " pu_stall $end\n"
+     << "$var wire 2 " << kStallReason << " stall_reason $end\n"
+     << "$var wire 1 " << kIrq << " irq $end\n"
+     << "$var wire 8 " << kStrips << " strips_arrived $end\n"
+     << "$var wire 2 " << kBlocks << " blocks_released $end\n"
+     << "$upscope $end\n"
+     << "$enddefinitions $end\n";
+
+  auto stamp = [&](u64 cycle) {
+    os << '#' << static_cast<u64>(std::llround(
+        static_cast<double>(cycle) * ns_per_cycle)) << '\n';
+  };
+
+  // Initial values.
+  os << "$dumpvars\n";
+  emit_vector(os, 0, 3, kPhase);
+  os << "0" << kStall << "\n";
+  emit_vector(os, 0, 2, kStallReason);
+  os << "0" << kIrq << "\n";
+  emit_vector(os, 0, 8, kStrips);
+  emit_vector(os, 0, 2, kBlocks);
+  os << "$end\n";
+
+  u64 strips = 0;
+  u64 blocks = 0;
+  bool irq_high = false;
+  u64 last_cycle = 0;
+  for (const TraceRecord& r : trace.records()) {
+    // Drop a pending one-cycle interrupt pulse.
+    if (irq_high && r.cycle > last_cycle) {
+      stamp(last_cycle + 1);
+      os << "0" << kIrq << "\n";
+      irq_high = false;
+    }
+    stamp(r.cycle);
+    switch (r.event) {
+      case TraceEvent::CallStart:
+        emit_vector(os, 1, 3, kPhase);
+        break;
+      case TraceEvent::InputStripArrived:
+        emit_vector(os, ++strips, 8, kStrips);
+        break;
+      case TraceEvent::FrameComplete:
+        break;  // visible through strips/phase
+      case TraceEvent::InputDone:
+        emit_vector(os, 2, 3, kPhase);
+        break;
+      case TraceEvent::FirstPixelProduced:
+        break;
+      case TraceEvent::PuStallBegin:
+        os << "1" << kStall << "\n";
+        emit_vector(os, static_cast<u64>(r.arg), 2, kStallReason);
+        break;
+      case TraceEvent::PuStallEnd:
+        os << "0" << kStall << "\n";
+        break;
+      case TraceEvent::ProcessingDone:
+        emit_vector(os, 3, 3, kPhase);
+        break;
+      case TraceEvent::BlockReleased:
+        blocks |= r.arg == 0 ? 1u : 2u;
+        emit_vector(os, blocks, 2, kBlocks);
+        break;
+      case TraceEvent::OutputDone:
+        emit_vector(os, 4, 3, kPhase);
+        break;
+      case TraceEvent::Interrupt:
+        os << "1" << kIrq << "\n";
+        irq_high = true;
+        break;
+      case TraceEvent::CallEnd:
+        break;
+    }
+    last_cycle = r.cycle;
+  }
+  if (irq_high) {
+    stamp(last_cycle + 1);
+    os << "0" << kIrq << "\n";
+  }
+}
+
+void write_vcd(const EngineTrace& trace, const std::string& path,
+               double clock_mhz) {
+  std::ofstream os(path);
+  if (!os) throw IoError("cannot open for writing: " + path);
+  write_vcd(trace, os, clock_mhz);
+  os.flush();
+  if (!os) throw IoError("write failed: " + path);
+}
+
+}  // namespace ae::core

@@ -1,0 +1,30 @@
+// VCD (Value Change Dump) export of an engine trace — open a simulated
+// call in GTKWave or any waveform viewer.
+//
+// The transition-level trace maps onto a small set of signals:
+//   phase   [2:0]  0=setup 1=input 2=processing-tail 3=output 4=done
+//   stall          PU stall level (0/1), with the begin/end episodes
+//   stall_reason[1:0]  0=IIM 1=OIM 2=frames (valid while stall=1)
+//   irq            one-cycle pulse per interrupt
+//   strips  [7:0]  input strips arrived so far
+//   blocks  [1:0]  Res blocks released (bitmask)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/trace.hpp"
+
+namespace ae::core {
+
+/// Writes the trace as VCD.  `timescale_ns` is the duration of one engine
+/// cycle (15.15 ns at 66 MHz; the header rounds to an integer nanosecond
+/// timescale and scales timestamps accordingly).
+void write_vcd(const EngineTrace& trace, std::ostream& os,
+               double clock_mhz = 66.0);
+
+/// Convenience: writes to a file.  Throws IoError on failure.
+void write_vcd(const EngineTrace& trace, const std::string& path,
+               double clock_mhz = 66.0);
+
+}  // namespace ae::core

@@ -1,0 +1,72 @@
+#include "core/txu.hpp"
+
+namespace ae::core {
+
+TxuIn::TxuIn(const EngineConfig& config, const ScanSpace& space,
+             ZbtMemory& zbt, Iim& iim, const BusDma& dma)
+    : config_(config), space_(space), zbt_(&zbt), iim_(&iim), dma_(&dma) {}
+
+void TxuIn::tick() {
+  if (done_) return;
+  const int images = iim_->images();
+  // Both frames' FIFOs are filled in lockstep (same line/pos cursor), so a
+  // single readiness check covers them.
+  const i32 line = iim_->next_line_to_fill(0);
+  if (line >= space_.line_count()) {
+    done_ = true;
+    return;
+  }
+  for (int image = 0; image < images; ++image) {
+    AE_ASSERT(iim_->next_line_to_fill(image) == line,
+              "inter IIM FIFOs must fill in lockstep");
+    if (!dma_->line_arrived(image, line) || !iim_->slot_free(image)) {
+      ++wait_cycles_;
+      return;
+    }
+  }
+  const ZbtRegion region =
+      input_region(0, images, line, config_.strip_lines);
+  if (!zbt_->pair_free(region) ||
+      (images == 2 && !zbt_->pair_free(ZbtRegion::InputB))) {
+    ++wait_cycles_;  // DMA holds the port this cycle
+    return;
+  }
+  const Point p = space_.to_image(line, pos_);
+  const i64 addr = space_.pixel_addr(p);
+  if (images == 2) {
+    img::Pixel a;
+    img::Pixel b;
+    zbt_->read_input_pixel_pair(addr, a, b);
+    iim_->store(0, line, pos_, a);
+    iim_->store(1, line, pos_, b);
+  } else {
+    iim_->store(0, line, pos_, zbt_->read_input_pixel(region, addr));
+  }
+  ++pixels_moved_;
+  if (++pos_ >= space_.line_length()) pos_ = 0;
+}
+
+TxuOut::TxuOut(ZbtMemory& zbt, Oim& oim, ResultTracker& results)
+    : zbt_(&zbt), oim_(&oim), results_(&results) {}
+
+void TxuOut::tick() {
+  if (oim_->empty()) return;  // nothing pending: idle, not a stall
+  const Oim::Entry& entry = oim_->front();
+  if (!zbt_->result_port_free(entry.result_addr, word_phase_)) {
+    ++wait_cycles_;  // output DMA holds the bank this cycle
+    return;
+  }
+  const u32 word = word_phase_ == 0 ? entry.pixel.lower_word()
+                                    : entry.pixel.upper_word();
+  zbt_->write_result_word(entry.result_addr, word_phase_, word);
+  ++words_written_;
+  if (word_phase_ == 0) {
+    word_phase_ = 1;
+  } else {
+    word_phase_ = 0;
+    results_->mark(entry.result_addr);
+    oim_->pop();
+  }
+}
+
+}  // namespace ae::core

@@ -1,0 +1,61 @@
+// Transmission units (paper section 3.2): "The transmission unit controls
+// the transfer of lines from the ZBT memory to the intermediate memory
+// system, in both the OIM- and the IIM structure."
+//
+// TxuIn moves input lines ZBT -> IIM, one pixel per cycle, both 32-bit
+// words through the bank pair in parallel — and, for inter calls, both
+// input frames in the same cycle (their pairs are independent banks).
+// TxuOut drains the OIM into the result banks, one word per cycle (two
+// cycles per pixel: the words sit sequentially in the same bank).
+#pragma once
+
+#include "core/dma.hpp"
+#include "core/iim.hpp"
+#include "core/oim.hpp"
+
+namespace ae::core {
+
+class TxuIn {
+ public:
+  TxuIn(const EngineConfig& config, const ScanSpace& space, ZbtMemory& zbt,
+        Iim& iim, const BusDma& dma);
+
+  /// Advances one cycle; fetches at most one pixel (per frame, in parallel).
+  void tick();
+
+  bool done() const { return done_; }
+  u64 pixels_moved() const { return pixels_moved_; }
+  u64 wait_cycles() const { return wait_cycles_; }
+
+ private:
+  EngineConfig config_;
+  ScanSpace space_;
+  ZbtMemory* zbt_;
+  Iim* iim_;
+  const BusDma* dma_;
+  i32 pos_ = 0;
+  bool done_ = false;
+  u64 pixels_moved_ = 0;
+  u64 wait_cycles_ = 0;
+};
+
+class TxuOut {
+ public:
+  TxuOut(ZbtMemory& zbt, Oim& oim, ResultTracker& results);
+
+  /// Advances one cycle; writes at most one result word.
+  void tick();
+
+  u64 words_written() const { return words_written_; }
+  u64 wait_cycles() const { return wait_cycles_; }
+
+ private:
+  ZbtMemory* zbt_;
+  Oim* oim_;
+  ResultTracker* results_;
+  int word_phase_ = 0;
+  u64 words_written_ = 0;
+  u64 wait_cycles_ = 0;
+};
+
+}  // namespace ae::core

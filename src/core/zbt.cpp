@@ -1,0 +1,114 @@
+#include "core/zbt.hpp"
+
+namespace ae::core {
+
+ZbtMemory::ZbtMemory(const EngineConfig& config, Size frame)
+    : config_(config), frame_(frame) {
+  validate_config(config);
+  validate_frame(config, frame);
+  // Each input bank holds one 32-bit plane of a full frame; each result
+  // bank holds half the frame as interleaved lower/upper words (rounded up
+  // to an even word count so an odd-sized frame's last pixel fits).
+  words_per_bank_ = std::max<i64>(2, (frame.area() + 1) / 2 * 2);
+  banks_.assign(static_cast<std::size_t>(config.zbt_banks),
+                std::vector<u32>(static_cast<std::size_t>(words_per_bank_),
+                                 0u));
+  ports_.busy.assign(static_cast<std::size_t>(config.zbt_banks), false);
+}
+
+void ZbtMemory::begin_cycle() {
+  std::fill(ports_.busy.begin(), ports_.busy.end(), false);
+}
+
+int ZbtMemory::input_bank(ZbtRegion region, int word_index) const {
+  AE_ASSERT(region != ZbtRegion::Result, "input_bank asked for result region");
+  AE_ASSERT(word_index == 0 || word_index == 1, "word index is 0 or 1");
+  const int base = region == ZbtRegion::InputA ? 0 : 2;
+  return base + word_index;
+}
+
+int ZbtMemory::result_bank(i64 pixel_addr, int word_index) const {
+  (void)word_index;  // both words of a pixel live in the same bank
+  const i64 half = (frame_.area() + 1) / 2;
+  return pixel_addr < half ? 4 : 5;
+}
+
+u32& ZbtMemory::word_ref(int bank, i64 addr) {
+  AE_ASSERT(bank >= 0 && bank < config_.zbt_banks, "bank out of range");
+  AE_ASSERT(addr >= 0 && addr < words_per_bank_, "ZBT address out of range");
+  return banks_[static_cast<std::size_t>(bank)][static_cast<std::size_t>(addr)];
+}
+
+void ZbtMemory::claim(int bank) {
+  auto&& flag = ports_.busy[static_cast<std::size_t>(bank)];
+  AE_ASSERT(!flag, "ZBT bank port double-booked in one cycle");
+  flag = true;
+}
+
+bool ZbtMemory::pair_free(ZbtRegion region) const {
+  if (region == ZbtRegion::Result) {
+    return !ports_.busy[4] && !ports_.busy[5];
+  }
+  const int base = region == ZbtRegion::InputA ? 0 : 2;
+  return !ports_.busy[static_cast<std::size_t>(base)] &&
+         !ports_.busy[static_cast<std::size_t>(base) + 1];
+}
+
+bool ZbtMemory::result_port_free(i64 pixel_addr, int word_index) const {
+  return !ports_.busy[static_cast<std::size_t>(
+      result_bank(pixel_addr, word_index))];
+}
+
+void ZbtMemory::write_input_word(ZbtRegion region, i64 pixel_addr,
+                                 int word_index, u32 value) {
+  const int bank = input_bank(region, word_index);
+  claim(bank);
+  word_ref(bank, pixel_addr) = value;
+  ++word_accesses_;
+  ++dma_words_;
+}
+
+img::Pixel ZbtMemory::read_input_pixel(ZbtRegion region, i64 pixel_addr) {
+  const int lo = input_bank(region, 0);
+  const int hi = input_bank(region, 1);
+  claim(lo);
+  claim(hi);
+  word_accesses_ += 2;
+  ++proc_reads_;  // both words in parallel: one transaction
+  return img::Pixel::from_words(word_ref(lo, pixel_addr),
+                                word_ref(hi, pixel_addr));
+}
+
+void ZbtMemory::read_input_pixel_pair(i64 pixel_addr, img::Pixel& a,
+                                      img::Pixel& b) {
+  claim(0);
+  claim(1);
+  claim(2);
+  claim(3);
+  word_accesses_ += 4;
+  ++proc_reads_;  // four banks in parallel: still one transaction
+  a = img::Pixel::from_words(word_ref(0, pixel_addr), word_ref(1, pixel_addr));
+  b = img::Pixel::from_words(word_ref(2, pixel_addr), word_ref(3, pixel_addr));
+}
+
+void ZbtMemory::write_result_word(i64 pixel_addr, int word_index, u32 value) {
+  const int bank = result_bank(pixel_addr, word_index);
+  claim(bank);
+  const i64 half = (frame_.area() + 1) / 2;
+  const i64 addr = (pixel_addr % half) * 2 + word_index;
+  word_ref(bank, addr) = value;
+  ++word_accesses_;
+  if (word_index == 0) ++proc_writes_;  // one transaction per result pixel
+}
+
+u32 ZbtMemory::read_result_word(i64 pixel_addr, int word_index) {
+  const int bank = result_bank(pixel_addr, word_index);
+  claim(bank);
+  const i64 half = (frame_.area() + 1) / 2;
+  const i64 addr = (pixel_addr % half) * 2 + word_index;
+  ++word_accesses_;
+  ++dma_words_;
+  return word_ref(bank, addr);
+}
+
+}  // namespace ae::core

@@ -1,0 +1,106 @@
+// ZBT SRAM model: independent banks, one 32-bit write-read port per bank,
+// one access per bank per cycle (paper section 3).
+//
+// Layout (paper fig. 3): bank pair 0/1 holds input image A (lower words in
+// bank 0, upper words in bank 1 at the same address — "it is possible to
+// access any pixel within only one memory cycle"), bank pair 2/3 holds input
+// image B for inter calls, and banks 4/5 hold the result, where the lower
+// and upper words of a pixel sit *sequentially in the same bank* so the PC
+// reads them back properly ordered (two write cycles per result pixel — the
+// rate mismatch the OIM exists to absorb).
+#pragma once
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "core/config.hpp"
+#include "image/pixel.hpp"
+
+namespace ae::core {
+
+/// Which logical image a ZBT access touches.
+enum class ZbtRegion : u8 { InputA, InputB, Result };
+
+/// Bank-pair assignment of an input line (paper fig. 3).  Inter calls give
+/// each frame its own pair.  Intra calls only have one input frame, so its
+/// strips alternate between the two pairs ("written to alternate ZBT
+/// blocks"): the TxU processes the strip in one pair while the DMA fills
+/// the other — which is what makes transfer and processing overlap without
+/// port conflicts.
+inline ZbtRegion input_region(int image, int images, i32 line,
+                              i32 strip_lines) {
+  if (images == 2) return image == 0 ? ZbtRegion::InputA : ZbtRegion::InputB;
+  return ((line / strip_lines) % 2 == 0) ? ZbtRegion::InputA
+                                         : ZbtRegion::InputB;
+}
+
+/// Per-cycle port arbitration result.
+struct ZbtPortState {
+  std::vector<bool> busy;  ///< one flag per bank, cleared every cycle
+};
+
+class ZbtMemory {
+ public:
+  ZbtMemory(const EngineConfig& config, Size frame);
+
+  Size frame() const { return frame_; }
+
+  /// Begins a new cycle: frees all bank ports.
+  void begin_cycle();
+
+  /// True if both banks of the region's pair are free this cycle
+  /// (pixel-parallel access needs the pair).
+  bool pair_free(ZbtRegion region) const;
+  /// True if the result bank holding word `word_index` of pixel `addr` is
+  /// free.
+  bool result_port_free(i64 pixel_addr, int word_index) const;
+
+  // ---- input image pairs (parallel lower/upper) ---------------------------
+  /// Writes one 32-bit word of an input pixel (DMA side).  Claims the
+  /// pair's bank for this cycle.
+  void write_input_word(ZbtRegion region, i64 pixel_addr, int word_index,
+                        u32 value);
+  /// Reads a whole input pixel — both words in the same cycle through the
+  /// bank pair (TxU side).  Claims both banks.
+  img::Pixel read_input_pixel(ZbtRegion region, i64 pixel_addr);
+  /// Reads two pixels, one from each input image, in the same cycle
+  /// (inter mode: the pairs are independent banks).  Claims four banks but
+  /// counts a single parallel transaction.
+  void read_input_pixel_pair(i64 pixel_addr, img::Pixel& a, img::Pixel& b);
+
+  // ---- result banks (sequential lower/upper in one bank) ------------------
+  /// Writes one word of a result pixel (TxU-out side; 2 cycles per pixel).
+  void write_result_word(i64 pixel_addr, int word_index, u32 value);
+  /// Reads one word of a result pixel (DMA-out side).
+  u32 read_result_word(i64 pixel_addr, int word_index);
+
+  // ---- accounting ----------------------------------------------------------
+  /// Pixel transactions with parallel accesses counted once — the paper's
+  /// "hardware solution memory accesses" (Table 2).  DMA traffic is counted
+  /// separately and excluded, as in the paper.
+  u64 processing_read_transactions() const { return proc_reads_; }
+  u64 processing_write_transactions() const { return proc_writes_; }
+  /// Raw 32-bit word accesses by anyone (DMA + processing).
+  u64 word_accesses() const { return word_accesses_; }
+  u64 dma_word_accesses() const { return dma_words_; }
+
+ private:
+  int input_bank(ZbtRegion region, int word_index) const;
+  int result_bank(i64 pixel_addr, int word_index) const;
+  u32& word_ref(int bank, i64 addr);
+  void claim(int bank);
+
+  EngineConfig config_;
+  Size frame_{};
+  i64 words_per_bank_ = 0;
+  std::vector<std::vector<u32>> banks_;
+  ZbtPortState ports_;
+
+  u64 proc_reads_ = 0;
+  u64 proc_writes_ = 0;
+  u64 word_accesses_ = 0;
+  u64 dma_words_ = 0;
+};
+
+}  // namespace ae::core

@@ -1,0 +1,113 @@
+#include "gme/affine.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace ae::gme {
+namespace {
+
+/// Sobel responses are 8x the central-difference derivative.
+constexpr double kSobelGain = 8.0;
+
+}  // namespace
+
+AffineMotion AffineMotion::compose(const AffineMotion& other) const {
+  // this(other(x)): substitute other's output into this.
+  AffineMotion r;
+  r.a0 = a0 + a1 * other.a0 + a2 * other.a3;
+  r.a1 = a1 * other.a1 + a2 * other.a4;
+  r.a2 = a1 * other.a2 + a2 * other.a5;
+  r.a3 = a3 + a4 * other.a0 + a5 * other.a3;
+  r.a4 = a4 * other.a1 + a5 * other.a4;
+  r.a5 = a4 * other.a2 + a5 * other.a5;
+  return r;
+}
+
+std::string to_string(const AffineMotion& m) {
+  std::ostringstream os;
+  os << "[" << m.a0 << " " << m.a1 << " " << m.a2 << "; " << m.a3 << " "
+     << m.a4 << " " << m.a5 << "]";
+  return os.str();
+}
+
+img::Image warp_affine(const img::Image& src, const AffineMotion& m) {
+  AE_EXPECTS(!src.empty(), "cannot warp an empty image");
+  img::Image out(src.size());
+  for (i32 y = 0; y < src.height(); ++y) {
+    for (i32 x = 0; x < src.width(); ++x) {
+      double sx = 0.0;
+      double sy = 0.0;
+      m.apply(x, y, sx, sy);
+      const double fx = std::floor(sx);
+      const double fy = std::floor(sy);
+      const auto x0 = static_cast<i32>(fx);
+      const auto y0 = static_cast<i32>(fy);
+      const double wx = sx - fx;
+      const double wy = sy - fy;
+      const img::Pixel& p00 = src.clamped(x0, y0);
+      const img::Pixel& p10 = src.clamped(x0 + 1, y0);
+      const img::Pixel& p01 = src.clamped(x0, y0 + 1);
+      const img::Pixel& p11 = src.clamped(x0 + 1, y0 + 1);
+      auto lerp2 = [&](u8 a, u8 b, u8 c, u8 d) {
+        const double top = a + (b - a) * wx;
+        const double bot = c + (d - c) * wx;
+        return static_cast<u8>(std::lround(top + (bot - top) * wy));
+      };
+      img::Pixel& o = out.ref(x, y);
+      o.y = lerp2(p00.y, p10.y, p01.y, p11.y);
+      o.u = lerp2(p00.u, p10.u, p01.u, p11.u);
+      o.v = lerp2(p00.v, p10.v, p01.v, p11.v);
+      o.alfa = p00.alfa;
+      o.aux = p00.aux;
+    }
+  }
+  return out;
+}
+
+bool solve_affine_step(const std::array<i64, alib::kAffineAccumTerms>& sums,
+                       std::array<double, 6>& delta) {
+  if (sums[27] < 256) return false;  // too few inliers for six parameters
+
+  // Rebuild the symmetric matrix and RHS.
+  double a[6][6];
+  double b[6];
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < 6; ++i)
+    for (std::size_t j = i; j < 6; ++j) {
+      a[i][j] = static_cast<double>(sums[k]);
+      a[j][i] = a[i][j];
+      ++k;
+    }
+  for (std::size_t i = 0; i < 6; ++i)
+    b[i] = static_cast<double>(sums[21 + i]);
+
+  // Gaussian elimination with partial pivoting.
+  for (std::size_t col = 0; col < 6; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < 6; ++row)
+      if (std::abs(a[row][col]) > std::abs(a[pivot][col])) pivot = row;
+    if (std::abs(a[pivot][col]) < 1e-6) return false;  // singular
+    if (pivot != col) {
+      for (std::size_t j = 0; j < 6; ++j) std::swap(a[col][j], a[pivot][j]);
+      std::swap(b[col], b[pivot]);
+    }
+    for (std::size_t row = col + 1; row < 6; ++row) {
+      const double f = a[row][col] / a[col][col];
+      for (std::size_t j = col; j < 6; ++j) a[row][j] -= f * a[col][j];
+      b[row] -= f * b[col];
+    }
+  }
+  for (std::size_t i = 6; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t j = i + 1; j < 6; ++j) acc -= a[i][j] * delta[j];
+    delta[i] = acc / a[i][i];
+  }
+  for (double& d : delta) d *= kSobelGain;
+  for (const double d : delta)
+    if (!std::isfinite(d)) return false;
+  return true;
+}
+
+}  // namespace ae::gme

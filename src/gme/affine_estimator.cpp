@@ -1,0 +1,103 @@
+#include "gme/affine_estimator.hpp"
+
+#include <cmath>
+
+namespace ae::gme {
+namespace {
+
+alib::Call make_gradpack_call() {
+  return alib::Call::make_intra(
+      alib::PixelOp::GradientPack, alib::Neighborhood::con8(),
+      ChannelMask::y(),
+      ChannelMask{static_cast<u8>(ChannelMask::alfa().bits() |
+                                  ChannelMask::aux().bits())});
+}
+
+alib::Call make_affine_accum_call(i32 robust_threshold) {
+  alib::OpParams p;
+  p.threshold = robust_threshold;
+  return alib::Call::make_inter(alib::PixelOp::GmeAccumAffine,
+                                ChannelMask::y(), ChannelMask::y(), p);
+}
+
+}  // namespace
+
+AffineGmeEstimator::AffineGmeEstimator(alib::Backend& backend,
+                                       GmeParams params)
+    : backend_(&backend), params_(params) {
+  AE_EXPECTS(params_.pyramid_levels >= 1, "GME needs at least one level");
+  AE_EXPECTS(params_.robust_threshold > 0, "robust cutoff must be positive");
+}
+
+AffineGmeResult AffineGmeEstimator::estimate(const Pyramid& ref,
+                                             const Pyramid& cur,
+                                             AffineMotion initial) {
+  AE_EXPECTS(ref.level_count() == cur.level_count(),
+             "pyramids must have matching depth");
+  AffineGmeResult result;
+  result.motion = initial;
+  result.converged = true;
+
+  const alib::Call gradpack = make_gradpack_call();
+  i32 cutoff = params_.robust_threshold;
+  for (int pass = 0; pass < params_.robust_passes; ++pass) {
+    const alib::Call accum = make_affine_accum_call(cutoff);
+    for (int level = ref.level_count() - 1; level >= 0; --level) {
+      const img::Image& ref_l = ref.level(level);
+      const img::Image& cur_l = cur.level(level);
+      const double scale = std::pow(2.0, level);
+      AffineMotion m = result.motion.scaled_translation(1.0 / scale);
+
+      bool level_converged = false;
+      u64 last_sad = ~0ull;
+      for (int it = 0; it < params_.max_iterations_per_level; ++it) {
+        const img::Image warped = warp_affine(cur_l, m);
+        high_level_instr_ += static_cast<u64>(cur_l.pixel_count()) * 26;
+
+        const img::Image packed = backend_->execute(gradpack, warped).output;
+        const alib::CallResult sums = backend_->execute(accum, ref_l, &packed);
+        result.final_sad = sums.side.sad;
+        ++result.iterations;
+
+        std::array<double, 6> delta{};
+        high_level_instr_ += 600;  // 6x6 elimination
+        if (!solve_affine_step(sums.side.gme_affine, delta)) break;
+
+        // The warp is linear in its parameters: additive update.
+        m.a0 += delta[0];
+        m.a1 += delta[1];
+        m.a2 += delta[2];
+        m.a3 += delta[3];
+        m.a4 += delta[4];
+        m.a5 += delta[5];
+
+        // Convergence: translation update in pixels plus the linear update
+        // expressed at the level's extent.
+        const double extent =
+            std::max(cur_l.width(), cur_l.height()) / 2.0;
+        const double step =
+            std::hypot(delta[0], delta[3]) +
+            extent * (std::abs(delta[1]) + std::abs(delta[2]) +
+                      std::abs(delta[4]) + std::abs(delta[5]));
+        if (step < params_.epsilon) {
+          level_converged = true;
+          break;
+        }
+        if (sums.side.sad > last_sad && it > 1) break;
+        last_sad = sums.side.sad;
+        if (m.translation().magnitude() * scale >
+                params_.max_expected_motion ||
+            m.linear_deviation() > 0.5) {
+          m = result.motion.scaled_translation(1.0 / scale);
+          break;
+        }
+      }
+      result.converged = result.converged && level_converged;
+      result.motion = m.scaled_translation(scale);
+    }
+    cutoff = std::max(32, cutoff / 2);
+  }
+  return result;
+}
+
+}  // namespace ae::gme

@@ -1,0 +1,39 @@
+// Hierarchical robust affine GME — the 6-parameter extension of the
+// translational estimator (closer to the XM's higher-order global motion
+// models; tracks rotation and zoom that a pure translation cannot).
+//
+// Same call structure as GmeEstimator: per Gauss-Newton iteration one
+// intra GradientPack call and one inter GmeAccumAffine call, warping and
+// the 6x6 solve on the host.
+#pragma once
+
+#include "addresslib/addresslib.hpp"
+#include "gme/affine.hpp"
+#include "gme/estimator.hpp"
+#include "gme/pyramid.hpp"
+
+namespace ae::gme {
+
+struct AffineGmeResult {
+  AffineMotion motion;
+  int iterations = 0;
+  u64 final_sad = 0;
+  bool converged = false;
+};
+
+class AffineGmeEstimator {
+ public:
+  AffineGmeEstimator(alib::Backend& backend, GmeParams params = {});
+
+  AffineGmeResult estimate(const Pyramid& ref, const Pyramid& cur,
+                           AffineMotion initial = {});
+
+  u64 high_level_instr() const { return high_level_instr_; }
+
+ private:
+  alib::Backend* backend_;
+  GmeParams params_;
+  u64 high_level_instr_ = 0;
+};
+
+}  // namespace ae::gme

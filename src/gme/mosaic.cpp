@@ -1,0 +1,88 @@
+#include "gme/mosaic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ae::gme {
+
+Mosaic::Mosaic(Size size, Point origin) : size_(size), origin_(origin) {
+  AE_EXPECTS(size.width > 0 && size.height > 0, "mosaic canvas must be real");
+  const auto n = static_cast<std::size_t>(size.area());
+  sum_y_.assign(n, 0);
+  sum_u_.assign(n, 0);
+  sum_v_.assign(n, 0);
+  count_.assign(n, 0);
+}
+
+void Mosaic::add_frame(const img::Image& frame, Translation global) {
+  AE_EXPECTS(!frame.empty(), "cannot add an empty frame");
+  // The frame's pixel (x, y) shows scene content that the anchor frame has
+  // at (x + dx, y + dy); paste it there.
+  const auto ox = static_cast<i32>(std::lround(global.dx)) + origin_.x;
+  const auto oy = static_cast<i32>(std::lround(global.dy)) + origin_.y;
+  for (i32 y = 0; y < frame.height(); ++y) {
+    const i32 cy = y + oy;
+    if (cy < 0 || cy >= size_.height) continue;
+    for (i32 x = 0; x < frame.width(); ++x) {
+      const i32 cx = x + ox;
+      if (cx < 0 || cx >= size_.width) continue;
+      const auto idx = static_cast<std::size_t>(cy) *
+                           static_cast<std::size_t>(size_.width) +
+                       static_cast<std::size_t>(cx);
+      if (count_[idx] == 0xFFFF) continue;
+      const img::Pixel& p = frame.ref(x, y);
+      sum_y_[idx] += p.y;
+      sum_u_[idx] += p.u;
+      sum_v_[idx] += p.v;
+      ++count_[idx];
+    }
+  }
+  ++frames_;
+}
+
+img::Image Mosaic::render() const {
+  img::Image out(size_, img::Pixel::gray(128));
+  for (i32 y = 0; y < size_.height; ++y)
+    for (i32 x = 0; x < size_.width; ++x) {
+      const auto idx = static_cast<std::size_t>(y) *
+                           static_cast<std::size_t>(size_.width) +
+                       static_cast<std::size_t>(x);
+      if (count_[idx] == 0) continue;
+      img::Pixel& p = out.ref(x, y);
+      p.y = static_cast<u8>(sum_y_[idx] / count_[idx]);
+      p.u = static_cast<u8>(sum_u_[idx] / count_[idx]);
+      p.v = static_cast<u8>(sum_v_[idx] / count_[idx]);
+    }
+  return out;
+}
+
+double Mosaic::coverage() const {
+  const i64 covered =
+      std::count_if(count_.begin(), count_.end(),
+                    [](u16 c) { return c > 0; });
+  return static_cast<double>(covered) / static_cast<double>(size_.area());
+}
+
+Size Mosaic::required_canvas(Size frame, const std::vector<Translation>& motions,
+                             Point& origin_out, i32 margin) {
+  double min_x = 0.0;
+  double min_y = 0.0;
+  double max_x = 0.0;
+  double max_y = 0.0;
+  for (const Translation& t : motions) {
+    min_x = std::min(min_x, t.dx);
+    min_y = std::min(min_y, t.dy);
+    max_x = std::max(max_x, t.dx);
+    max_y = std::max(max_y, t.dy);
+  }
+  origin_out = Point{static_cast<i32>(std::ceil(-min_x)) + margin,
+                     static_cast<i32>(std::ceil(-min_y)) + margin};
+  return Size{frame.width + static_cast<i32>(std::ceil(max_x - min_x)) +
+                  2 * margin,
+              frame.height + static_cast<i32>(std::ceil(max_y - min_y)) +
+                  2 * margin};
+}
+
+}  // namespace ae::gme

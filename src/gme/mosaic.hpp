@@ -1,0 +1,43 @@
+// Mosaic composition: frames are pasted into a world-aligned canvas at
+// their accumulated global motion ("this software creates a Mosaic with the
+// global motion of the scene", paper section 4.3).
+#pragma once
+
+#include <vector>
+
+#include "gme/motion.hpp"
+
+namespace ae::gme {
+
+class Mosaic {
+ public:
+  /// Canvas of `size` pixels; frame (0,0) of the anchor frame lands at
+  /// `origin` on the canvas.
+  Mosaic(Size size, Point origin);
+
+  /// Blends `frame` whose content is displaced by `global` relative to the
+  /// anchor frame (integer-rounded paste, running average blend).
+  void add_frame(const img::Image& frame, Translation global);
+
+  /// Rendered mosaic (unwritten pixels mid-gray).
+  img::Image render() const;
+
+  /// Fraction of canvas pixels covered by at least one frame.
+  double coverage() const;
+
+  i64 frames_added() const { return frames_; }
+
+  /// Canvas sizing helper: the bounding box of a frame swept along
+  /// `motions` (accumulated translations), plus a margin.
+  static Size required_canvas(Size frame, const std::vector<Translation>& motions,
+                              Point& origin_out, i32 margin = 8);
+
+ private:
+  Size size_{};
+  Point origin_{};
+  std::vector<u32> sum_y_, sum_u_, sum_v_;
+  std::vector<u16> count_;
+  i64 frames_ = 0;
+};
+
+}  // namespace ae::gme

@@ -1,0 +1,72 @@
+#include "gme/motion.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace ae::gme {
+
+std::string to_string(Translation t) {
+  std::ostringstream os;
+  os << "(dx=" << t.dx << ", dy=" << t.dy << ")";
+  return os.str();
+}
+
+img::Image warp_translational(const img::Image& src, Translation t) {
+  AE_EXPECTS(!src.empty(), "cannot warp an empty image");
+  img::Image out(src.size());
+  const i32 w = src.width();
+  const i32 h = src.height();
+  for (i32 y = 0; y < h; ++y) {
+    const double sy = y + t.dy;
+    const double fy = std::floor(sy);
+    const auto y0 = static_cast<i32>(fy);
+    const double wy = sy - fy;
+    for (i32 x = 0; x < w; ++x) {
+      const double sx = x + t.dx;
+      const double fx = std::floor(sx);
+      const auto x0 = static_cast<i32>(fx);
+      const double wx = sx - fx;
+      const img::Pixel& p00 = src.clamped(x0, y0);
+      const img::Pixel& p10 = src.clamped(x0 + 1, y0);
+      const img::Pixel& p01 = src.clamped(x0, y0 + 1);
+      const img::Pixel& p11 = src.clamped(x0 + 1, y0 + 1);
+      auto lerp2 = [&](u8 a, u8 b, u8 c, u8 d) {
+        const double top = a + (b - a) * wx;
+        const double bot = c + (d - c) * wx;
+        return static_cast<u8>(std::lround(top + (bot - top) * wy));
+      };
+      img::Pixel& o = out.ref(x, y);
+      o.y = lerp2(p00.y, p10.y, p01.y, p11.y);
+      o.u = lerp2(p00.u, p10.u, p01.u, p11.u);
+      o.v = lerp2(p00.v, p10.v, p01.v, p11.v);
+      o.alfa = p00.alfa;
+      o.aux = p00.aux;
+    }
+  }
+  return out;
+}
+
+img::Image decimate2(const img::Image& src) {
+  AE_EXPECTS(src.width() >= 2 && src.height() >= 2,
+             "decimation needs at least 2x2 input");
+  img::Image out(Size{src.width() / 2, src.height() / 2});
+  for (i32 y = 0; y < out.height(); ++y)
+    for (i32 x = 0; x < out.width(); ++x) {
+      auto avg = [&](auto get) {
+        const i32 sx = 2 * x;
+        const i32 sy = 2 * y;
+        const i32 sum = get(src.ref(sx, sy)) + get(src.ref(sx + 1, sy)) +
+                        get(src.ref(sx, sy + 1)) + get(src.ref(sx + 1, sy + 1));
+        return static_cast<u8>((sum + 2) / 4);
+      };
+      img::Pixel& o = out.ref(x, y);
+      o.y = avg([](const img::Pixel& p) { return static_cast<i32>(p.y); });
+      o.u = avg([](const img::Pixel& p) { return static_cast<i32>(p.u); });
+      o.v = avg([](const img::Pixel& p) { return static_cast<i32>(p.v); });
+    }
+  return out;
+}
+
+}  // namespace ae::gme

@@ -1,0 +1,39 @@
+// Global motion representation and warping for the MPEG-7-style Global
+// Motion Estimation experiment (paper section 4.3).
+//
+// The reproduction estimates translational global motion (the synthetic
+// test sequences are pan-dominated, as the paper's mosaicing material was);
+// see DESIGN.md for the substitution note versus the XM's higher-order
+// models.
+#pragma once
+
+#include <cmath>
+#include <string>
+
+#include "image/image.hpp"
+
+namespace ae::gme {
+
+/// Global translational motion in full-resolution pixels: the current frame
+/// sampled at (x + dx, y + dy) matches the reference at (x, y).
+struct Translation {
+  double dx = 0.0;
+  double dy = 0.0;
+
+  Translation operator+(Translation o) const { return {dx + o.dx, dy + o.dy}; }
+  Translation operator-(Translation o) const { return {dx - o.dx, dy - o.dy}; }
+  Translation scaled(double f) const { return {dx * f, dy * f}; }
+  double magnitude() const { return std::hypot(dx, dy); }
+};
+
+std::string to_string(Translation t);
+
+/// Warps `src` by `t`: out(x, y) = src(x + dx, y + dy), bilinear on Y/U/V,
+/// border-replicated.  Side channels are not interpolated (they carry
+/// packed gradients that are recomputed after warping).
+img::Image warp_translational(const img::Image& src, Translation t);
+
+/// Decimates by two with 2x2 averaging (pyramid construction).
+img::Image decimate2(const img::Image& src);
+
+}  // namespace ae::gme

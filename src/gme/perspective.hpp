@@ -1,0 +1,80 @@
+// Perspective global motion — the model class of the MPEG-7 XM's global
+// motion description used for mosaicing (paper ref [6]):
+//
+//   x' = (a0 + a1 x + a2 y) / (1 + c0 x + c1 y)
+//   y' = (a3 + a4 x + a5 y) / (1 + c0 x + c1 y)
+//
+// Eight parameters; affine is the c0 = c1 = 0 slice.  The estimator's
+// Gauss-Newton step consumes the 8x8 normal-equation sums that the
+// GmePerspective inter op accumulates (binary64 side port — a v2
+// coprocessor would carry wide fixed point; see DESIGN.md).
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "addresslib/ops.hpp"
+#include "gme/affine.hpp"
+
+namespace ae::gme {
+
+struct PerspectiveMotion {
+  /// [a0, a1, a2, a3, a4, a5, c0, c1]; defaults to identity.
+  std::array<double, 8> p{0.0, 1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0};
+
+  static PerspectiveMotion from_affine(const AffineMotion& m) {
+    PerspectiveMotion r;
+    r.p = {m.a0, m.a1, m.a2, m.a3, m.a4, m.a5, 0.0, 0.0};
+    return r;
+  }
+  static PerspectiveMotion from_translation(Translation t) {
+    PerspectiveMotion r;
+    r.p[0] = t.dx;
+    r.p[3] = t.dy;
+    return r;
+  }
+
+  Translation translation() const { return {p[0], p[3]}; }
+  /// Deviation of the non-translational part from identity.
+  double deviation_from_translation() const {
+    return std::abs(p[1] - 1.0) + std::abs(p[2]) + std::abs(p[4]) +
+           std::abs(p[5] - 1.0) + std::abs(p[6]) + std::abs(p[7]);
+  }
+
+  /// Applies the warp; returns false if the denominator degenerates.
+  bool apply(double x, double y, double& ox, double& oy) const {
+    const double den = 1.0 + p[6] * x + p[7] * y;
+    if (den < 0.25) return false;
+    ox = (p[0] + p[1] * x + p[2] * y) / den;
+    oy = (p[3] + p[4] * x + p[5] * y) / den;
+    return true;
+  }
+
+  /// Level rescale: coordinates shrink by `factor` (translation scales,
+  /// the linear part is invariant, the perspective terms scale inversely).
+  PerspectiveMotion scaled(double factor) const {
+    PerspectiveMotion r = *this;
+    r.p[0] *= factor;
+    r.p[3] *= factor;
+    r.p[6] /= factor;
+    r.p[7] /= factor;
+    return r;
+  }
+};
+
+std::string to_string(const PerspectiveMotion& m);
+
+/// Warps src by m: out(x, y) = src(m(x, y)), bilinear, border-replicated;
+/// degenerate pixels replicate the border.
+img::Image warp_perspective(const img::Image& src, const PerspectiveMotion& m);
+
+/// Solves the normal equations from the GmePerspective side port.
+/// `unknowns` is 8 (full perspective) or 6 (the affine subsystem — used at
+/// coarse pyramid levels where the perspective terms are unobservable and
+/// would contaminate the affine estimate).  Returns false on degenerate
+/// systems; `delta` is Sobel-gain corrected, unsolved entries zero.
+bool solve_perspective_step(
+    const std::array<double, alib::kPerspectiveAccumTerms>& sums,
+    std::array<double, 8>& delta, int unknowns = 8);
+
+}  // namespace ae::gme

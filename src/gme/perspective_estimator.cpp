@@ -1,0 +1,103 @@
+#include "gme/perspective_estimator.hpp"
+
+#include <cmath>
+
+namespace ae::gme {
+namespace {
+
+alib::Call make_gradpack_call() {
+  return alib::Call::make_intra(
+      alib::PixelOp::GradientPack, alib::Neighborhood::con8(),
+      ChannelMask::y(),
+      ChannelMask{static_cast<u8>(ChannelMask::alfa().bits() |
+                                  ChannelMask::aux().bits())});
+}
+
+alib::Call make_perspective_call(i32 robust_threshold,
+                                 const PerspectiveMotion& current) {
+  alib::OpParams p;
+  p.threshold = robust_threshold;
+  p.warp_params.assign(current.p.begin(), current.p.end());
+  return alib::Call::make_inter(alib::PixelOp::GmePerspective,
+                                ChannelMask::y(), ChannelMask::y(), p);
+}
+
+}  // namespace
+
+PerspectiveGmeEstimator::PerspectiveGmeEstimator(alib::Backend& backend,
+                                                 GmeParams params)
+    : backend_(&backend), params_(params) {
+  AE_EXPECTS(params_.pyramid_levels >= 1, "GME needs at least one level");
+  AE_EXPECTS(params_.robust_threshold > 0, "robust cutoff must be positive");
+}
+
+PerspectiveGmeResult PerspectiveGmeEstimator::estimate(
+    const Pyramid& ref, const Pyramid& cur, PerspectiveMotion initial) {
+  AE_EXPECTS(ref.level_count() == cur.level_count(),
+             "pyramids must have matching depth");
+  PerspectiveGmeResult result;
+  result.motion = initial;
+  result.converged = true;
+
+  const alib::Call gradpack = make_gradpack_call();
+  i32 cutoff = params_.robust_threshold;
+  for (int pass = 0; pass < params_.robust_passes; ++pass) {
+    for (int level = ref.level_count() - 1; level >= 0; --level) {
+      const img::Image& ref_l = ref.level(level);
+      const img::Image& cur_l = cur.level(level);
+      const double scale = std::pow(2.0, level);
+      PerspectiveMotion m = result.motion.scaled(1.0 / scale);
+      // The perspective terms only become observable at full resolution.
+      const bool refine_perspective = level == 0;
+
+      bool level_converged = false;
+      u64 last_sad = ~0ull;
+      for (int it = 0; it < params_.max_iterations_per_level; ++it) {
+        const img::Image warped = warp_perspective(cur_l, m);
+        high_level_instr_ += static_cast<u64>(cur_l.pixel_count()) * 32;
+
+        const img::Image packed = backend_->execute(gradpack, warped).output;
+        const alib::Call accum = make_perspective_call(cutoff, m);
+        const alib::CallResult sums = backend_->execute(accum, ref_l, &packed);
+        result.final_sad = sums.side.sad;
+        ++result.iterations;
+
+        std::array<double, 8> delta{};
+        high_level_instr_ += 1200;  // up-to-8x8 elimination
+        if (!solve_perspective_step(sums.side.gme_persp, delta,
+                                    refine_perspective ? 8 : 6))
+          break;
+        for (std::size_t i = 0; i < 8; ++i) m.p[i] += delta[i];
+
+        const double extent =
+            std::max(cur_l.width(), cur_l.height()) / 2.0;
+        const double step =
+            std::hypot(delta[0], delta[3]) +
+            extent * (std::abs(delta[1]) + std::abs(delta[2]) +
+                      std::abs(delta[4]) + std::abs(delta[5])) +
+            extent * extent * (std::abs(delta[6]) + std::abs(delta[7]));
+        if (step < params_.epsilon) {
+          level_converged = true;
+          break;
+        }
+        if (sums.side.sad > last_sad && it > 1) break;
+        last_sad = sums.side.sad;
+        const double persp_extent =
+            (std::abs(m.p[6]) + std::abs(m.p[7])) * extent;
+        if (m.translation().magnitude() * scale >
+                params_.max_expected_motion ||
+            m.deviation_from_translation() - persp_extent > 0.5 ||
+            persp_extent > 0.4) {
+          m = result.motion.scaled(1.0 / scale);
+          break;
+        }
+      }
+      result.converged = result.converged && level_converged;
+      result.motion = m.scaled(scale);
+    }
+    cutoff = std::max(32, cutoff / 2);
+  }
+  return result;
+}
+
+}  // namespace ae::gme

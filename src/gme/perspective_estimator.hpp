@@ -1,0 +1,40 @@
+// Hierarchical robust perspective GME — the full XM-class model.
+//
+// Same structure as the affine estimator; per Gauss-Newton iteration one
+// intra GradientPack call and one inter GmePerspective call whose
+// params.warp_params carry the current warp (the op is statically
+// configured per call, like every engine operation).  The coarse levels
+// run the affine update (the perspective terms are unobservable at low
+// resolution); the finest level refines all eight parameters.
+#pragma once
+
+#include "addresslib/addresslib.hpp"
+#include "gme/estimator.hpp"
+#include "gme/perspective.hpp"
+#include "gme/pyramid.hpp"
+
+namespace ae::gme {
+
+struct PerspectiveGmeResult {
+  PerspectiveMotion motion;
+  int iterations = 0;
+  u64 final_sad = 0;
+  bool converged = false;
+};
+
+class PerspectiveGmeEstimator {
+ public:
+  PerspectiveGmeEstimator(alib::Backend& backend, GmeParams params = {});
+
+  PerspectiveGmeResult estimate(const Pyramid& ref, const Pyramid& cur,
+                                PerspectiveMotion initial = {});
+
+  u64 high_level_instr() const { return high_level_instr_; }
+
+ private:
+  alib::Backend* backend_;
+  GmeParams params_;
+  u64 high_level_instr_ = 0;
+};
+
+}  // namespace ae::gme

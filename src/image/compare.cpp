@@ -1,0 +1,79 @@
+#include "image/compare.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace ae::img {
+
+u64 sad_y(const Image& a, const Image& b) {
+  AE_EXPECTS(a.size() == b.size(), "sad_y needs equal sizes");
+  u64 sum = 0;
+  const auto& pa = a.pixels();
+  const auto& pb = b.pixels();
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    sum += static_cast<u64>(std::abs(static_cast<int>(pa[i].y) -
+                                     static_cast<int>(pb[i].y)));
+  return sum;
+}
+
+double mse_y(const Image& a, const Image& b) {
+  AE_EXPECTS(a.size() == b.size(), "mse_y needs equal sizes");
+  AE_EXPECTS(!a.empty(), "mse_y needs non-empty images");
+  double sum = 0.0;
+  const auto& pa = a.pixels();
+  const auto& pb = b.pixels();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    const double d = static_cast<double>(pa[i].y) - static_cast<double>(pb[i].y);
+    sum += d * d;
+  }
+  return sum / static_cast<double>(pa.size());
+}
+
+double psnr_y(const Image& a, const Image& b) {
+  const double mse = mse_y(a, b);
+  if (mse == 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+i64 count_differing(const Image& a, const Image& b, ChannelMask mask) {
+  AE_EXPECTS(a.size() == b.size(), "count_differing needs equal sizes");
+  i64 count = 0;
+  for (i32 y = 0; y < a.height(); ++y)
+    for (i32 x = 0; x < a.width(); ++x) {
+      for (int c = 0; c < kChannelCount; ++c) {
+        const auto ch = static_cast<Channel>(c);
+        if (!mask.contains(ch)) continue;
+        if (a.ref(x, y).get(ch) != b.ref(x, y).get(ch)) {
+          ++count;
+          break;
+        }
+      }
+    }
+  return count;
+}
+
+std::string first_difference(const Image& a, const Image& b,
+                             ChannelMask mask) {
+  AE_EXPECTS(a.size() == b.size(), "first_difference needs equal sizes");
+  for (i32 y = 0; y < a.height(); ++y)
+    for (i32 x = 0; x < a.width(); ++x)
+      for (int c = 0; c < kChannelCount; ++c) {
+        const auto ch = static_cast<Channel>(c);
+        if (!mask.contains(ch)) continue;
+        const u16 va = a.ref(x, y).get(ch);
+        const u16 vb = b.ref(x, y).get(ch);
+        if (va != vb) {
+          std::ostringstream os;
+          os << "(" << x << "," << y << ") channel " << to_string(ch) << ": "
+             << va << " vs " << vb;
+          return os.str();
+        }
+      }
+  return {};
+}
+
+}  // namespace ae::img

@@ -1,0 +1,26 @@
+// Image comparison metrics used by tests and by GME quality reporting.
+#pragma once
+
+#include <string>
+
+#include "image/image.hpp"
+
+namespace ae::img {
+
+/// Sum of absolute Y differences over the common area.
+u64 sad_y(const Image& a, const Image& b);
+
+/// Mean squared Y error; images must have identical size.
+double mse_y(const Image& a, const Image& b);
+
+/// Peak signal-to-noise ratio on Y (dB); +inf for identical images.
+double psnr_y(const Image& a, const Image& b);
+
+/// Number of pixels where any of the channels in `mask` differs.
+i64 count_differing(const Image& a, const Image& b, ChannelMask mask);
+
+/// Human-readable description of the first differing pixel; empty string if
+/// the images are identical in the masked channels.  Used for test output.
+std::string first_difference(const Image& a, const Image& b, ChannelMask mask);
+
+}  // namespace ae::img

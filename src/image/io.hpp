@@ -1,0 +1,46 @@
+// Image file I/O.
+//
+// Supported formats:
+//  * PGM (P5)  — luma only (Y channel), for quick visual inspection.
+//  * PPM (P6)  — RGB derived from Y/U/V via BT.601, for mosaics/examples.
+//  * AEI       — "AddressEngine image", a raw dump of the full 64-bit
+//                pixels (lower word then upper word, little endian) with a
+//                16-byte header; lossless round-trip of all five channels.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "image/image.hpp"
+
+namespace ae::img {
+
+/// Writes the Y channel as binary PGM.  Throws IoError on failure.
+void write_pgm(const Image& image, const std::string& path);
+
+/// Reads a binary PGM into the Y channel (U=V=128, side channels zero).
+Image read_pgm(const std::string& path);
+
+/// Writes a BT.601 RGB rendering of Y/U/V as binary PPM.
+void write_ppm(const Image& image, const std::string& path);
+
+/// Writes all five channels losslessly (AEI container).
+void write_aei(const Image& image, const std::string& path);
+
+/// Reads an AEI container.  Throws IoError on malformed input.
+Image read_aei(const std::string& path);
+
+/// Stream-based variants (used by tests to avoid touching the filesystem).
+void write_pgm(const Image& image, std::ostream& os);
+Image read_pgm(std::istream& is);
+void write_ppm(const Image& image, std::ostream& os);
+void write_aei(const Image& image, std::ostream& os);
+Image read_aei(std::istream& is);
+
+/// BT.601 YUV -> RGB conversion for one pixel (full-range chroma offset 128).
+struct Rgb {
+  u8 r = 0, g = 0, b = 0;
+};
+Rgb to_rgb(const Pixel& p);
+
+}  // namespace ae::img

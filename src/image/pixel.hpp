@@ -1,0 +1,119 @@
+// The AddressLib pixel: 64 bits = Y,U,V (8 bit each) + Alfa,Aux (16 bit
+// each), as described in paper section 3.1.  The hardware splits a pixel
+// into a "lower" 32-bit word (video channels) and an "upper" 32-bit word
+// (side channels) stored at the same address of two different ZBT banks, so
+// the pack/unpack helpers here define the exact bit layout the engine
+// simulator moves around.
+#pragma once
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace ae::img {
+
+struct Pixel {
+  u8 y = 0;
+  u8 u = 128;
+  u8 v = 128;
+  u16 alfa = 0;
+  u16 aux = 0;
+
+  friend constexpr bool operator==(Pixel, Pixel) = default;
+
+  /// Lower ZBT word: Y | U<<8 | V<<16 (top byte zero-padded).
+  constexpr u32 lower_word() const {
+    return static_cast<u32>(y) | (static_cast<u32>(u) << 8) |
+           (static_cast<u32>(v) << 16);
+  }
+
+  /// Upper ZBT word: Alfa | Aux<<16.
+  constexpr u32 upper_word() const {
+    return static_cast<u32>(alfa) | (static_cast<u32>(aux) << 16);
+  }
+
+  static constexpr Pixel from_words(u32 lower, u32 upper) {
+    Pixel p;
+    p.y = static_cast<u8>(lower & 0xFFu);
+    p.u = static_cast<u8>((lower >> 8) & 0xFFu);
+    p.v = static_cast<u8>((lower >> 16) & 0xFFu);
+    p.alfa = static_cast<u16>(upper & 0xFFFFu);
+    p.aux = static_cast<u16>(upper >> 16);
+    return p;
+  }
+
+  /// Generic channel read; Y/U/V widen to 16 bits.
+  constexpr u16 get(Channel c) const {
+    switch (c) {
+      case Channel::Y:
+        return y;
+      case Channel::U:
+        return u;
+      case Channel::V:
+        return v;
+      case Channel::Alfa:
+        return alfa;
+      case Channel::Aux:
+        return aux;
+    }
+    return 0;
+  }
+
+  /// Generic channel write; Y/U/V narrow (caller clamps beforehand).
+  constexpr void set(Channel c, u16 value) {
+    switch (c) {
+      case Channel::Y:
+        y = static_cast<u8>(value);
+        break;
+      case Channel::U:
+        u = static_cast<u8>(value);
+        break;
+      case Channel::V:
+        v = static_cast<u8>(value);
+        break;
+      case Channel::Alfa:
+        alfa = value;
+        break;
+      case Channel::Aux:
+        aux = value;
+        break;
+    }
+  }
+
+  /// A neutral gray pixel (black luma, centered chroma).
+  static constexpr Pixel gray(u8 luma) { return Pixel{luma, 128, 128, 0, 0}; }
+};
+
+/// Clamp an integer to the 8-bit channel range.
+constexpr u8 clamp_u8(i32 v) {
+  return static_cast<u8>(v < 0 ? 0 : (v > 255 ? 255 : v));
+}
+
+/// Clamp an integer to the 16-bit channel range.
+constexpr u16 clamp_u16(i64 v) {
+  return static_cast<u16>(v < 0 ? 0 : (v > 0xFFFF ? 0xFFFF : v));
+}
+
+/// Number of bits in one channel.
+constexpr int channel_bits(Channel c) {
+  switch (c) {
+    case Channel::Y:
+    case Channel::U:
+    case Channel::V:
+      return 8;
+    case Channel::Alfa:
+    case Channel::Aux:
+      return 16;
+  }
+  return 0;
+}
+
+/// Clamp a wide intermediate value into the range of channel c.
+constexpr u16 clamp_channel(Channel c, i64 v) {
+  return channel_bits(c) == 8 ? clamp_u8(static_cast<i32>(
+                                    v < -2147483647 ? -2147483647
+                                    : v > 2147483647 ? 2147483647
+                                                     : v))
+                              : clamp_u16(v);
+}
+
+}  // namespace ae::img

@@ -1,0 +1,130 @@
+#include "image/synth.hpp"
+
+#include <cmath>
+
+namespace ae::img {
+namespace {
+
+/// Integer lattice hash -> [0,1] (deterministic, seedable).
+double lattice(u64 seed, i64 xi, i64 yi) {
+  u64 h = seed ^ (static_cast<u64>(xi) * 0x9E3779B97F4A7C15ull) ^
+          (static_cast<u64>(yi) * 0xC2B2AE3D27D4EB4Full);
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDull;
+  h ^= h >> 33;
+  h *= 0xC4CEB9FE1A85EC53ull;
+  h ^= h >> 33;
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double smoothstep(double t) { return t * t * (3.0 - 2.0 * t); }
+
+double noise_layer(double x, double y, u64 seed) {
+  const double fx = std::floor(x);
+  const double fy = std::floor(y);
+  const auto xi = static_cast<i64>(fx);
+  const auto yi = static_cast<i64>(fy);
+  const double tx = smoothstep(x - fx);
+  const double ty = smoothstep(y - fy);
+  const double v00 = lattice(seed, xi, yi);
+  const double v10 = lattice(seed, xi + 1, yi);
+  const double v01 = lattice(seed, xi, yi + 1);
+  const double v11 = lattice(seed, xi + 1, yi + 1);
+  const double a = v00 + (v10 - v00) * tx;
+  const double b = v01 + (v11 - v01) * tx;
+  return a + (b - a) * ty;
+}
+
+}  // namespace
+
+void draw_rect(Image& image, const Rect& r, Pixel p) {
+  const Rect c = r.intersect(image.bounds());
+  for (i32 y = c.y; y < c.y + c.height; ++y)
+    for (i32 x = c.x; x < c.x + c.width; ++x) image.ref(x, y) = p;
+}
+
+void draw_disk(Image& image, Point center, i32 radius, Pixel p) {
+  AE_EXPECTS(radius >= 0, "disk radius must be non-negative");
+  const Rect box{center.x - radius, center.y - radius, 2 * radius + 1,
+                 2 * radius + 1};
+  const Rect c = box.intersect(image.bounds());
+  const i64 r2 = static_cast<i64>(radius) * radius;
+  for (i32 y = c.y; y < c.y + c.height; ++y)
+    for (i32 x = c.x; x < c.x + c.width; ++x) {
+      const i64 dx = x - center.x;
+      const i64 dy = y - center.y;
+      if (dx * dx + dy * dy <= r2) image.ref(x, y) = p;
+    }
+}
+
+void draw_ramp(Image& image) {
+  if (image.empty()) return;
+  const i32 w = image.width();
+  for (i32 y = 0; y < image.height(); ++y)
+    for (i32 x = 0; x < w; ++x)
+      image.ref(x, y).y = static_cast<u8>(w > 1 ? (x * 255) / (w - 1) : 0);
+}
+
+void draw_checkerboard(Image& image, i32 cell, Pixel a, Pixel b) {
+  AE_EXPECTS(cell > 0, "checker cell must be positive");
+  for (i32 y = 0; y < image.height(); ++y)
+    for (i32 x = 0; x < image.width(); ++x)
+      image.ref(x, y) = (((x / cell) + (y / cell)) % 2 == 0) ? a : b;
+}
+
+void add_noise(Image& image, Rng& rng, i32 amplitude) {
+  AE_EXPECTS(amplitude >= 0, "noise amplitude must be non-negative");
+  for (auto& p : image.pixels())
+    p.y = clamp_u8(static_cast<i32>(p.y) + rng.uniform(-amplitude, amplitude));
+}
+
+double value_noise(double x, double y, u64 seed, int octaves, double scale) {
+  AE_EXPECTS(octaves > 0 && scale > 0.0, "noise needs octaves>0 and scale>0");
+  double sum = 0.0;
+  double amp = 1.0;
+  double norm = 0.0;
+  double freq = 1.0 / scale;
+  for (int o = 0; o < octaves; ++o) {
+    sum += amp * noise_layer(x * freq, y * freq, seed + static_cast<u64>(o));
+    norm += amp;
+    amp *= 0.5;
+    freq *= 2.0;
+  }
+  return sum / norm;
+}
+
+Image make_test_frame(Size size, u64 seed) {
+  Image frame(size);
+  draw_ramp(frame);
+  Rng rng(seed);
+  // A checker patch and a few disks at seed-dependent positions create
+  // gradients in every direction, which neighborhood ops need.
+  const i32 w = size.width;
+  const i32 h = size.height;
+  if (w >= 8 && h >= 8) {
+    Image checker(Size{w / 2, h / 2});
+    draw_checkerboard(checker, 4, Pixel::gray(40), Pixel::gray(210));
+    for (i32 y = 0; y < checker.height(); ++y)
+      for (i32 x = 0; x < checker.width(); ++x)
+        frame.ref(w / 4 + x, h / 4 + y) = checker.ref(x, y);
+    const int disks = 3 + static_cast<int>(rng.bounded(4));
+    for (int i = 0; i < disks; ++i) {
+      const Point c{rng.uniform(0, w - 1), rng.uniform(0, h - 1)};
+      const i32 radius = rng.uniform(2, std::max(3, w / 12));
+      Pixel p = Pixel::gray(static_cast<u8>(rng.uniform(0, 255)));
+      p.u = static_cast<u8>(rng.uniform(64, 192));
+      p.v = static_cast<u8>(rng.uniform(64, 192));
+      draw_disk(frame, c, radius, p);
+    }
+  }
+  add_noise(frame, rng, 6);
+  // Give the side channels content too so 16-bit paths are exercised.
+  for (i32 y = 0; y < h; ++y)
+    for (i32 x = 0; x < w; ++x) {
+      frame.ref(x, y).alfa = static_cast<u16>((x * 131 + y * 17) & 0xFFFF);
+      frame.ref(x, y).aux = static_cast<u16>((x ^ (y << 3)) & 0xFFFF);
+    }
+  return frame;
+}
+
+}  // namespace ae::img

@@ -1,0 +1,34 @@
+// Synthetic image content: fills, shapes, ramps, checkerboards and value
+// noise.  Used by tests (deterministic fixtures) and by the synthetic
+// sequence generator that stands in for the paper's MPEG-1 test material.
+#pragma once
+
+#include "common/rng.hpp"
+#include "image/image.hpp"
+
+namespace ae::img {
+
+/// Draws an axis-aligned filled rectangle (clipped to the image).
+void draw_rect(Image& image, const Rect& r, Pixel p);
+
+/// Draws a filled disk centered at `center` (clipped to the image).
+void draw_disk(Image& image, Point center, i32 radius, Pixel p);
+
+/// Horizontal luma ramp 0..255 across the image width.
+void draw_ramp(Image& image);
+
+/// Checkerboard with cells of `cell` pixels alternating between a and b.
+void draw_checkerboard(Image& image, i32 cell, Pixel a, Pixel b);
+
+/// Adds uniform noise in [-amplitude, +amplitude] to the Y channel.
+void add_noise(Image& image, Rng& rng, i32 amplitude);
+
+/// Deterministic smooth 2-D value noise in [0,1]; continuous in (x, y).
+/// `octaves` fractal layers, base feature size `scale` pixels.
+double value_noise(double x, double y, u64 seed, int octaves, double scale);
+
+/// A busy deterministic test frame: ramp + checkerboard region + disks +
+/// noise; distinct per seed.  Good default fixture for property tests.
+Image make_test_frame(Size size, u64 seed);
+
+}  // namespace ae::img

@@ -1,0 +1,32 @@
+#include "profiling/profiler.hpp"
+
+#include <sstream>
+
+#include "common/format.hpp"
+
+namespace ae::prof {
+
+std::string ProfileReport::summary() const {
+  std::ostringstream os;
+  os << "instructions: " << format_thousands(total_instr()) << " total ("
+     << format_thousands(low_level.address_calc) << " address calc, "
+     << format_thousands(low_level.pixel_op) << " pixel op, "
+     << format_thousands(low_level.memory) << " memory, "
+     << format_thousands(low_level.control) << " low-level control, "
+     << format_thousands(high_level_instr) << " high-level); "
+     << "address share " << format_percent(address_share())
+     << ", accelerable " << format_percent(accelerable_share())
+     << ", max speedup " << format_fixed(max_speedup(), 1) << "x over "
+     << addresslib_calls << " AddressLib calls";
+  return os.str();
+}
+
+ProfileReport make_report(const CallRecorder& recorder, u64 high_level_instr) {
+  ProfileReport report;
+  report.low_level = recorder.total().profile;
+  report.high_level_instr = high_level_instr;
+  report.addresslib_calls = recorder.calls();
+  return report;
+}
+
+}  // namespace ae::prof

@@ -1,0 +1,109 @@
+// Instruction-level profiling — the measurement behind the paper's two
+// motivating claims:
+//   * "pixel address calculations are the dominant operations" (abstract),
+//   * "the maximum achievable acceleration with AddressEngine is estimated
+//     as a factor of 30, taking into account that all high level parts of
+//     the algorithm are executed on the main CPU" (section 1).
+//
+// CallRecorder wraps any backend and accumulates the per-class dynamic
+// instruction counts of every AddressLib call; algorithms report their
+// host-side (high-level) instruction counts separately.  The Amdahl bound
+// then falls out: only the low-level AddressLib work can be moved to the
+// coprocessor, so speedup <= total / high_level.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "addresslib/addresslib.hpp"
+
+namespace ae::prof {
+
+/// Decorator backend that records per-call statistics.
+class CallRecorder : public alib::Backend {
+ public:
+  explicit CallRecorder(alib::Backend& inner) : inner_(&inner) {}
+
+  std::string name() const override { return inner_->name() + "+profile"; }
+
+  alib::CallResult execute(const alib::Call& call, const img::Image& a,
+                           const img::Image* b = nullptr) override {
+    alib::CallResult result = inner_->execute(call, a, b);
+    total_.merge(result.stats);
+    ++calls_;
+    auto& bucket = by_kind_[kind_key(call)];
+    bucket.stats.merge(result.stats);
+    ++bucket.calls;
+    return result;
+  }
+
+  struct Bucket {
+    alib::CallStats stats;
+    i64 calls = 0;
+  };
+
+  const alib::CallStats& total() const { return total_; }
+  i64 calls() const { return calls_; }
+  const std::map<std::string, Bucket>& by_kind() const { return by_kind_; }
+  void reset() {
+    total_ = {};
+    calls_ = 0;
+    by_kind_.clear();
+  }
+
+ private:
+  static std::string kind_key(const alib::Call& call) {
+    return to_string(call.mode) + "/" + to_string(call.op);
+  }
+
+  alib::Backend* inner_;
+  alib::CallStats total_;
+  i64 calls_ = 0;
+  std::map<std::string, Bucket> by_kind_;
+};
+
+/// Profile report of one workload run.
+struct ProfileReport {
+  alib::InstructionProfile low_level;  ///< summed over AddressLib calls
+  u64 high_level_instr = 0;            ///< host-side control instructions
+  i64 addresslib_calls = 0;
+
+  u64 total_instr() const { return low_level.total() + high_level_instr; }
+
+  /// Share of dynamic instructions spent on pixel address calculation
+  /// (the paper's "dominant operation" claim).
+  double address_share() const {
+    const u64 t = total_instr();
+    return t == 0 ? 0.0
+                  : static_cast<double>(low_level.address_calc) /
+                        static_cast<double>(t);
+  }
+
+  /// Share of instructions that an AddressEngine could absorb.
+  double accelerable_share() const {
+    const u64 t = total_instr();
+    return t == 0 ? 0.0
+                  : static_cast<double>(low_level.total()) /
+                        static_cast<double>(t);
+  }
+
+  /// Amdahl bound on the overall speedup when only the low-level part is
+  /// accelerated (infinitely fast coprocessor).
+  double max_speedup() const {
+    const u64 t = total_instr();
+    return high_level_instr == 0
+               ? 0.0
+               : static_cast<double>(t) /
+                     static_cast<double>(high_level_instr);
+  }
+
+  /// One-paragraph textual summary for reports.
+  std::string summary() const;
+};
+
+/// Builds a report from recorded low-level stats plus the workload's
+/// high-level instruction count.
+ProfileReport make_report(const CallRecorder& recorder, u64 high_level_instr);
+
+}  // namespace ae::prof

@@ -1,0 +1,50 @@
+#include "retrieval/database.hpp"
+
+#include <algorithm>
+
+namespace ae::ret {
+
+RegionDatabase::RegionDatabase(alib::Backend& backend,
+                               seg::SegmentationParams params,
+                               Segmenter segmenter)
+    : backend_(&backend), params_(params), segmenter_(segmenter) {}
+
+ImageSignature RegionDatabase::make_signature(const img::Image& frame) const {
+  seg::SegmentationResult segmented;
+  if (segmenter_ == Segmenter::RegionGrowing) {
+    segmented = seg::segment_image(*backend_, frame, params_);
+  } else {
+    seg::ThresholdSegmentationParams tp;
+    tp.min_segment_pixels = params_.min_segment_pixels;
+    segmented = seg::threshold_segmentation(*backend_, frame, tp);
+  }
+  low_level_.merge(segmented.low_level);
+  addresslib_calls_ += segmented.addresslib_calls;
+  return describe_regions(segmented.labels);
+}
+
+void RegionDatabase::add(const std::string& name, const img::Image& frame) {
+  AE_EXPECTS(!name.empty(), "database entries need a name");
+  entries_.push_back(DatabaseEntry{name, make_signature(frame)});
+}
+
+std::vector<QueryHit> RegionDatabase::query(const img::Image& frame,
+                                            std::size_t count) const {
+  AE_EXPECTS(!entries_.empty(), "query against an empty database");
+  const ImageSignature probe = make_signature(frame);
+  std::vector<QueryHit> hits;
+  hits.reserve(entries_.size());
+  for (const DatabaseEntry& entry : entries_) {
+    const double d = 0.5 * (signature_distance(probe, entry.signature) +
+                            signature_distance(entry.signature, probe));
+    hits.push_back({entry.name, d});
+  }
+  std::sort(hits.begin(), hits.end(), [](const QueryHit& a, const QueryHit& b) {
+    return a.distance != b.distance ? a.distance < b.distance
+                                    : a.name < b.name;
+  });
+  if (hits.size() > count) hits.resize(count);
+  return hits;
+}
+
+}  // namespace ae::ret

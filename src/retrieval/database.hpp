@@ -1,0 +1,67 @@
+// A small region-based image retrieval test-bed (the SCHEMA reference
+// system shape, paper ref [1]): segment every database image through the
+// AddressLib, store its region signature, answer queries by signature
+// distance.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "retrieval/descriptors.hpp"
+#include "segmentation/segmentation.hpp"
+#include "segmentation/threshold_segmentation.hpp"
+
+namespace ae::ret {
+
+struct DatabaseEntry {
+  std::string name;
+  ImageSignature signature;
+};
+
+struct QueryHit {
+  std::string name;
+  double distance = 0.0;
+};
+
+/// Which segmentation algorithm feeds the index — the SCHEMA test-bed's
+/// "multiple segmentation algorithms" (paper ref [1]).
+enum class Segmenter {
+  RegionGrowing,       ///< seeded geodesic expansion (ref [2] style)
+  HistogramThreshold,  ///< Otsu classes + connected components
+};
+
+class RegionDatabase {
+ public:
+  /// All low-level work (segmentation calls, descriptor accumulation) goes
+  /// through `backend`, as everywhere else in the system.
+  explicit RegionDatabase(alib::Backend& backend,
+                          seg::SegmentationParams params = {},
+                          Segmenter segmenter = Segmenter::RegionGrowing);
+
+  /// Segments and indexes one image.
+  void add(const std::string& name, const img::Image& frame);
+
+  std::size_t size() const { return entries_.size(); }
+  const std::vector<DatabaseEntry>& entries() const { return entries_; }
+
+  /// Builds the query signature with the same pipeline and returns the
+  /// best `count` matches, closest first (symmetric distance).
+  std::vector<QueryHit> query(const img::Image& frame,
+                              std::size_t count = 5) const;
+
+  /// Aggregate AddressLib cost of everything indexed so far.
+  const alib::CallStats& low_level() const { return low_level_; }
+  i64 addresslib_calls() const { return addresslib_calls_; }
+
+ private:
+  ImageSignature make_signature(const img::Image& frame) const;
+
+  alib::Backend* backend_;
+  seg::SegmentationParams params_;
+  Segmenter segmenter_;
+  std::vector<DatabaseEntry> entries_;
+  mutable alib::CallStats low_level_;
+  mutable i64 addresslib_calls_ = 0;
+};
+
+}  // namespace ae::ret

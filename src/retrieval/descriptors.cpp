@@ -1,0 +1,124 @@
+#include "retrieval/descriptors.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace ae::ret {
+namespace {
+
+struct Accumulator {
+  i64 n = 0;
+  double sum_y = 0.0, sum_u = 0.0, sum_v = 0.0;
+  double sum_y2 = 0.0;
+  double sum_x = 0.0, sum_yy = 0.0;
+  i32 min_x = 0, max_x = 0, min_y = 0, max_y = 0;
+};
+
+}  // namespace
+
+std::vector<RegionDescriptor> ImageSignature::dominant(
+    std::size_t count) const {
+  std::vector<RegionDescriptor> out = regions;
+  std::sort(out.begin(), out.end(),
+            [](const RegionDescriptor& a, const RegionDescriptor& b) {
+              return a.pixels != b.pixels ? a.pixels > b.pixels
+                                          : a.id < b.id;
+            });
+  if (out.size() > count) out.resize(count);
+  return out;
+}
+
+ImageSignature describe_regions(const img::Image& labeled_frame,
+                                u64* table_writes) {
+  AE_EXPECTS(!labeled_frame.empty(), "cannot describe an empty frame");
+  ImageSignature sig;
+  sig.frame_size = labeled_frame.size();
+
+  // Segment-indexed accumulation: one table update per pixel.
+  std::map<alib::SegmentId, Accumulator> table;
+  u64 writes = 0;
+  for (i32 y = 0; y < labeled_frame.height(); ++y)
+    for (i32 x = 0; x < labeled_frame.width(); ++x) {
+      const img::Pixel& px = labeled_frame.ref(x, y);
+      if (px.alfa == 0) continue;  // unlabeled
+      Accumulator& acc = table[px.alfa];
+      if (acc.n == 0) {
+        acc.min_x = acc.max_x = x;
+        acc.min_y = acc.max_y = y;
+      }
+      ++acc.n;
+      acc.sum_y += px.y;
+      acc.sum_u += px.u;
+      acc.sum_v += px.v;
+      acc.sum_y2 += static_cast<double>(px.y) * px.y;
+      acc.sum_x += x;
+      acc.sum_yy += y;
+      acc.min_x = std::min(acc.min_x, x);
+      acc.max_x = std::max(acc.max_x, x);
+      acc.min_y = std::min(acc.min_y, y);
+      acc.max_y = std::max(acc.max_y, y);
+      ++writes;
+    }
+  if (table_writes != nullptr) *table_writes = writes;
+
+  const double frame_pixels =
+      static_cast<double>(labeled_frame.pixel_count());
+  for (const auto& [id, acc] : table) {
+    RegionDescriptor d;
+    d.id = id;
+    d.pixels = acc.n;
+    const auto n = static_cast<double>(acc.n);
+    d.mean_y = acc.sum_y / n;
+    d.mean_u = acc.sum_u / n;
+    d.mean_v = acc.sum_v / n;
+    d.var_y = std::max(0.0, acc.sum_y2 / n - d.mean_y * d.mean_y);
+    d.area_fraction = n / frame_pixels;
+    const double bw = acc.max_x - acc.min_x + 1;
+    const double bh = acc.max_y - acc.min_y + 1;
+    d.elongation = std::max(bw, bh) / std::min(bw, bh);
+    d.rectangularity = n / (bw * bh);
+    d.centroid_x = acc.sum_x / n / labeled_frame.width();
+    d.centroid_y = acc.sum_yy / n / labeled_frame.height();
+    sig.regions.push_back(d);
+  }
+  return sig;
+}
+
+double region_distance(const RegionDescriptor& a, const RegionDescriptor& b) {
+  const double color = (std::abs(a.mean_y - b.mean_y) +
+                        std::abs(a.mean_u - b.mean_u) +
+                        std::abs(a.mean_v - b.mean_v)) /
+                       (3.0 * 255.0);
+  const double texture =
+      std::abs(std::sqrt(a.var_y) - std::sqrt(b.var_y)) / 128.0;
+  const double size = std::abs(a.area_fraction - b.area_fraction);
+  const double shape =
+      std::abs(a.elongation - b.elongation) /
+          std::max(1.0, std::max(a.elongation, b.elongation)) +
+      std::abs(a.rectangularity - b.rectangularity);
+  const double position = std::hypot(a.centroid_x - b.centroid_x,
+                                     a.centroid_y - b.centroid_y);
+  return 3.0 * color + texture + 2.0 * size + 0.5 * shape + position;
+}
+
+double signature_distance(const ImageSignature& query,
+                          const ImageSignature& candidate,
+                          std::size_t dominant_regions) {
+  const std::vector<RegionDescriptor> q = query.dominant(dominant_regions);
+  const std::vector<RegionDescriptor> c =
+      candidate.dominant(dominant_regions);
+  if (q.empty() || c.empty()) return 1e9;
+  double total = 0.0;
+  double weight = 0.0;
+  for (const RegionDescriptor& region : q) {
+    double best = 1e9;
+    for (const RegionDescriptor& other : c)
+      best = std::min(best, region_distance(region, other));
+    total += best * region.area_fraction;
+    weight += region.area_fraction;
+  }
+  return weight > 0.0 ? total / weight : 1e9;
+}
+
+}  // namespace ae::ret

@@ -1,0 +1,57 @@
+// Region descriptors for region-based image retrieval — the application of
+// the SCHEMA project the paper was built inside (ref [1]: "a test-bed for
+// region-based image retrieval using multiple segmentation algorithms and
+// the MPEG-7 eXperimentation Model").
+//
+// Descriptors are accumulated per segment through segment-indexed
+// addressing: one pass over the segmentation's label map updates the
+// per-region records (color moments, size, bounding geometry); matching is
+// host-side control.
+#pragma once
+
+#include <vector>
+
+#include "addresslib/addresslib.hpp"
+
+namespace ae::ret {
+
+/// MPEG-7-flavored region descriptor (dominant color + shape statistics).
+struct RegionDescriptor {
+  alib::SegmentId id = 0;
+  i64 pixels = 0;
+  // Color moments (means and variances of Y/U/V inside the region).
+  double mean_y = 0.0, mean_u = 0.0, mean_v = 0.0;
+  double var_y = 0.0;
+  // Shape: normalized area, elongation of the bounding box, fill ratio.
+  double area_fraction = 0.0;   ///< pixels / frame pixels
+  double elongation = 0.0;      ///< long side / short side of the bbox
+  double rectangularity = 0.0;  ///< pixels / bbox area
+  // Normalized centroid within the frame.
+  double centroid_x = 0.0, centroid_y = 0.0;
+};
+
+/// All regions of one image, with the frame they were computed on.
+struct ImageSignature {
+  std::vector<RegionDescriptor> regions;
+  Size frame_size{};
+
+  /// Regions sorted by size, largest first.
+  std::vector<RegionDescriptor> dominant(std::size_t count) const;
+};
+
+/// Accumulates descriptors from a label map (Alfa channel = segment id,
+/// video channels = pixel data).  Every pixel performs one indexed-table
+/// update — the traffic is reported through `table_writes`.
+ImageSignature describe_regions(const img::Image& labeled_frame,
+                                u64* table_writes = nullptr);
+
+/// Descriptor distance in [0, inf): weighted color + shape + position.
+double region_distance(const RegionDescriptor& a, const RegionDescriptor& b);
+
+/// Signature distance: greedy best-match over the dominant regions
+/// (asymmetric; callers average both directions for a symmetric score).
+double signature_distance(const ImageSignature& query,
+                          const ImageSignature& candidate,
+                          std::size_t dominant_regions = 8);
+
+}  // namespace ae::ret

@@ -1,0 +1,58 @@
+// Shared merging machinery for the segmentation algorithms: a union-find
+// forest over segment ids and the host-side adjacency scan.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "addresslib/segment_index.hpp"
+#include "image/image.hpp"
+
+namespace ae::seg {
+
+/// Union-find over segment ids (1-based; index 0 is the null label).
+class MergeForest {
+ public:
+  explicit MergeForest(std::size_t max_id) : parent_(max_id + 1) {
+    for (std::size_t i = 0; i < parent_.size(); ++i)
+      parent_[i] = static_cast<alib::SegmentId>(i);
+  }
+  alib::SegmentId find(alib::SegmentId id) {
+    while (parent_[id] != id) {
+      parent_[id] = parent_[parent_[id]];
+      id = parent_[id];
+    }
+    return id;
+  }
+  void unite(alib::SegmentId child, alib::SegmentId into) {
+    parent_[find(child)] = find(into);
+  }
+
+ private:
+  std::vector<alib::SegmentId> parent_;
+};
+
+/// Region adjacency from horizontal/vertical label transitions of the Alfa
+/// plane; keys are (min, max) id pairs, values count boundary pixels.
+using Adjacency = std::map<std::pair<alib::SegmentId, alib::SegmentId>, i64>;
+
+inline Adjacency build_adjacency(const img::Image& labels) {
+  Adjacency adjacency;
+  for (i32 y = 0; y < labels.height(); ++y)
+    for (i32 x = 0; x < labels.width(); ++x) {
+      const u16 id = labels.ref(x, y).alfa;
+      if (x + 1 < labels.width()) {
+        const u16 right = labels.ref(x + 1, y).alfa;
+        if (right != id)
+          ++adjacency[{std::min<u16>(id, right), std::max<u16>(id, right)}];
+      }
+      if (y + 1 < labels.height()) {
+        const u16 down = labels.ref(x, y + 1).alfa;
+        if (down != id)
+          ++adjacency[{std::min<u16>(id, down), std::max<u16>(id, down)}];
+      }
+    }
+  return adjacency;
+}
+
+}  // namespace ae::seg

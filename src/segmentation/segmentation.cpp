@@ -1,0 +1,384 @@
+#include "segmentation/segmentation.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+namespace ae::seg {
+namespace {
+
+/// Gaussian 3x3 with power-of-two normalization (exact in integers).
+alib::Call make_smooth_call() {
+  alib::OpParams p;
+  p.coeffs = {1, 2, 1, 2, 4, 2, 1, 2, 1};
+  p.shift = 4;
+  return alib::Call::make_intra(alib::PixelOp::Convolve,
+                                alib::Neighborhood::con8(), ChannelMask::y(),
+                                ChannelMask::y(), p);
+}
+
+alib::Call make_gradient_call() {
+  return alib::Call::make_intra(alib::PixelOp::GradientMag,
+                                alib::Neighborhood::con8());
+}
+
+struct SeedCandidate {
+  Point pos;
+  u8 gradient;
+};
+
+/// Picks up to `count` unlabeled seeds, flattest gradient first, spaced at
+/// least `spacing` apart (Chebyshev).  Deterministic ties by (y, x).
+std::vector<Point> pick_seeds(const img::Image& labels,
+                              const img::Image& gradient, i32 count,
+                              i32 spacing, u64& high_level_instr) {
+  std::vector<SeedCandidate> candidates;
+  for (i32 y = 0; y < labels.height(); ++y)
+    for (i32 x = 0; x < labels.width(); ++x) {
+      if (labels.ref(x, y).alfa != 0) continue;
+      candidates.push_back({Point{x, y}, gradient.ref(x, y).y});
+    }
+  // Host-side cost: one compare per pixel scanned plus the selection sort.
+  high_level_instr += static_cast<u64>(labels.pixel_count()) * 2;
+  std::sort(candidates.begin(), candidates.end(),
+            [](const SeedCandidate& a, const SeedCandidate& b) {
+              if (a.gradient != b.gradient) return a.gradient < b.gradient;
+              return a.pos.y != b.pos.y ? a.pos.y < b.pos.y
+                                        : a.pos.x < b.pos.x;
+            });
+  high_level_instr += candidates.size() / 4;  // partial-sort equivalent
+
+  std::vector<Point> seeds;
+  for (const SeedCandidate& c : candidates) {
+    if (static_cast<i32>(seeds.size()) >= count) break;
+    bool clear = true;
+    for (const Point s : seeds)
+      if (chebyshev(s, c.pos) < spacing) {
+        clear = false;
+        break;
+      }
+    if (clear) seeds.push_back(c.pos);
+  }
+  return seeds;
+}
+
+/// Union-find over segment ids (1-based, index 0 unused).
+class MergeForest {
+ public:
+  explicit MergeForest(std::size_t n) : parent_(n + 1) {
+    for (std::size_t i = 0; i < parent_.size(); ++i)
+      parent_[i] = static_cast<alib::SegmentId>(i);
+  }
+  alib::SegmentId find(alib::SegmentId id) {
+    while (parent_[id] != id) {
+      parent_[id] = parent_[parent_[id]];
+      id = parent_[id];
+    }
+    return id;
+  }
+  void unite(alib::SegmentId child, alib::SegmentId into) {
+    parent_[find(child)] = find(into);
+  }
+
+ private:
+  std::vector<alib::SegmentId> parent_;
+};
+
+}  // namespace
+
+SegmentationResult segment_image(alib::Backend& backend,
+                                 const img::Image& frame,
+                                 const SegmentationParams& params) {
+  AE_EXPECTS(!frame.empty(), "cannot segment an empty frame");
+  AE_EXPECTS(params.luma_threshold >= 0 && params.seeds_per_round > 0 &&
+                 params.seed_spacing > 0 && params.max_rounds > 0,
+             "invalid segmentation parameters");
+  SegmentationResult result;
+
+  auto run_call = [&](const alib::Call& call, const img::Image& a,
+                      const img::Image* b = nullptr) {
+    alib::CallResult r = backend.execute(call, a, b);
+    result.low_level.merge(r.stats);
+    ++result.addresslib_calls;
+    return r;
+  };
+
+  // 1. Pre-smoothing.
+  img::Image work = frame;
+  const alib::Call smooth = make_smooth_call();
+  for (i32 i = 0; i < params.smooth_passes; ++i)
+    work = run_call(smooth, work).output;
+
+  // 2. Gradient map.
+  const img::Image gradient = run_call(make_gradient_call(), work).output;
+
+  // 3. Seeded geodesic expansion rounds.
+  work.fill_channel(Channel::Alfa, 0);
+  std::vector<alib::SegmentInfo> raw_segments;
+  alib::SegmentId id_base = 0;
+  i64 labeled = 0;
+  const i64 total = frame.pixel_count();
+  while (labeled < total && result.rounds < params.max_rounds) {
+    // Late rounds escalate: more seeds and a relaxed criterion, so isolated
+    // noisy pixels get absorbed instead of starving the loop (deterministic
+    // coverage guarantee).
+    const i32 escalation =
+        result.rounds > 16 ? (result.rounds - 16) * 4 : 0;
+    const i32 seed_budget = std::min<i32>(
+        256, params.seeds_per_round * (1 + result.rounds / 8));
+    const std::vector<Point> seeds =
+        pick_seeds(work, gradient, seed_budget, params.seed_spacing,
+                   result.high_level_instr);
+    AE_ASSERT(!seeds.empty(), "unlabeled pixels but no seed candidates");
+    alib::SegmentSpec spec;
+    spec.seeds = seeds;
+    spec.luma_threshold = params.luma_threshold + escalation;
+    spec.respect_existing_labels = true;
+    spec.id_base = id_base;
+    alib::Call grow = alib::Call::make_segment(
+        alib::PixelOp::Copy, alib::Neighborhood::con0(), spec,
+        ChannelMask::y(), ChannelMask::y().with(Channel::Alfa));
+    alib::CallResult r = run_call(grow, work);
+    work = std::move(r.output);
+    for (const alib::SegmentInfo& info : r.segments)
+      if (info.pixel_count > 0) raw_segments.push_back(info);
+    labeled += r.stats.pixels;
+    id_base = static_cast<alib::SegmentId>(id_base + seeds.size());
+    ++result.rounds;
+    if (result.rounds >= 24 && labeled < total) break;  // absorb the rest
+  }
+
+  // Isolated unlabeled pixels are walled in by existing labels (new growth
+  // cannot pass through processed pixels), so a host-side absorption sweep
+  // hands each to an adjacent segment — the small-structure cleanup every
+  // region-growing segmenter ends with.
+  while (labeled < total) {
+    i64 absorbed = 0;
+    for (i32 y = 0; y < work.height(); ++y)
+      for (i32 x = 0; x < work.width(); ++x) {
+        if (work.ref(x, y).alfa != 0) continue;
+        for (const Point off :
+             alib::connectivity_offsets(alib::Connectivity::Eight)) {
+          const Point n = Point{x, y} + off;
+          if (!work.contains(n)) continue;
+          const u16 neighbor_id = work.ref(n.x, n.y).alfa;
+          if (neighbor_id != 0) {
+            work.ref(x, y).alfa = neighbor_id;
+            // The absorbed pixel joins the record of its adopter.
+            for (alib::SegmentInfo& s : raw_segments)
+              if (s.id == neighbor_id) {
+                s.pixel_count += 1;
+                s.sum_y += work.ref(x, y).y;
+                s.bbox = s.bbox.unite(Rect{x, y, 1, 1});
+                break;
+              }
+            ++absorbed;
+            break;
+          }
+        }
+      }
+    result.high_level_instr += static_cast<u64>(total) * 4;
+    labeled += absorbed;
+    AE_ASSERT(absorbed > 0, "absorption sweep made no progress");
+  }
+  AE_ASSERT(labeled == total, "segmentation did not reach full coverage");
+
+  // 4. Merge small segments into their most similar neighbor (host-side
+  // control, as the paper's split prescribes).
+  std::map<alib::SegmentId, std::size_t> by_id;
+  for (std::size_t i = 0; i < raw_segments.size(); ++i)
+    by_id[raw_segments[i].id] = i;
+
+  // Region adjacency from horizontal/vertical label transitions.
+  std::map<std::pair<alib::SegmentId, alib::SegmentId>, i64> adjacency;
+  for (i32 y = 0; y < work.height(); ++y)
+    for (i32 x = 0; x < work.width(); ++x) {
+      const u16 id = work.ref(x, y).alfa;
+      if (x + 1 < work.width()) {
+        const u16 right = work.ref(x + 1, y).alfa;
+        if (right != id)
+          ++adjacency[{std::min<u16>(id, right), std::max<u16>(id, right)}];
+      }
+      if (y + 1 < work.height()) {
+        const u16 down = work.ref(x, y + 1).alfa;
+        if (down != id)
+          ++adjacency[{std::min<u16>(id, down), std::max<u16>(id, down)}];
+      }
+    }
+  result.high_level_instr += static_cast<u64>(total) * 6;
+
+  MergeForest forest(id_base);
+  auto mean_y = [&](const alib::SegmentInfo& s) {
+    return s.pixel_count > 0
+               ? static_cast<double>(s.sum_y) /
+                     static_cast<double>(s.pixel_count)
+               : 0.0;
+  };
+  // Effective (merged) sizes, luma sums and bounding boxes.
+  std::vector<i64> size_of(raw_segments.size());
+  std::vector<u64> sum_of(raw_segments.size());
+  std::vector<Rect> bbox_of(raw_segments.size());
+  std::vector<i32> radius_of(raw_segments.size());
+  for (std::size_t i = 0; i < raw_segments.size(); ++i) {
+    size_of[i] = raw_segments[i].pixel_count;
+    sum_of[i] = raw_segments[i].sum_y;
+    bbox_of[i] = raw_segments[i].bbox;
+    radius_of[i] = raw_segments[i].geodesic_radius;
+  }
+  auto slot_of_root = [&](alib::SegmentId root) {
+    const auto it = by_id.find(root);
+    AE_ASSERT(it != by_id.end(), "unknown segment id");
+    return it->second;
+  };
+
+  // Smallest-first merging until nothing is below the size floor.
+  for (;;) {
+    i64 best_size = params.min_segment_pixels;
+    alib::SegmentId victim = 0;
+    for (const alib::SegmentInfo& s : raw_segments) {
+      const alib::SegmentId root = forest.find(s.id);
+      if (root != s.id) continue;  // already merged away
+      const i64 sz = size_of[slot_of_root(root)];
+      if (sz > 0 && sz < best_size) {
+        best_size = sz;
+        victim = root;
+      }
+    }
+    if (victim == 0) break;
+
+    // Most similar adjacent root by mean luma.
+    const std::size_t vslot = slot_of_root(victim);
+    const double vmean = static_cast<double>(sum_of[vslot]) /
+                         static_cast<double>(size_of[vslot]);
+    alib::SegmentId best_neighbor = 0;
+    double best_delta = 1e18;
+    for (const auto& [pair, count] : adjacency) {
+      (void)count;
+      alib::SegmentId other = 0;
+      if (forest.find(pair.first) == victim)
+        other = forest.find(pair.second);
+      else if (forest.find(pair.second) == victim)
+        other = forest.find(pair.first);
+      if (other == 0 || other == victim) continue;
+      const std::size_t oslot = slot_of_root(other);
+      if (size_of[oslot] <= 0) continue;
+      const double delta = std::abs(static_cast<double>(sum_of[oslot]) /
+                                        static_cast<double>(size_of[oslot]) -
+                                    vmean);
+      if (delta < best_delta ||
+          (delta == best_delta && other < best_neighbor)) {
+        best_delta = delta;
+        best_neighbor = other;
+      }
+    }
+    // Host cost of one merge step in a sensible implementation: pop the
+    // smallest segment from a size-ordered queue, scan its neighbor list,
+    // splice the records.  (The exhaustive scans above are a simplicity
+    // choice of this reproduction, not of the modeled 2005 software.)
+    result.high_level_instr += 120;
+    if (best_neighbor == 0) break;  // isolated small segment: keep it
+
+    const std::size_t nslot = slot_of_root(best_neighbor);
+    size_of[nslot] += size_of[vslot];
+    sum_of[nslot] += sum_of[vslot];
+    bbox_of[nslot] = bbox_of[nslot].unite(bbox_of[vslot]);
+    radius_of[nslot] = std::max(radius_of[nslot], radius_of[vslot]);
+    size_of[vslot] = 0;
+    forest.unite(victim, best_neighbor);
+    ++result.merged_segments;
+  }
+
+  // Similarity merging (the hierarchical step of ref [2]): adjacent
+  // segments whose mean luma is within merge_luma_threshold unify.  This
+  // collapses over-seeded homogeneous areas into single objects.
+  for (bool merged_any = true; merged_any;) {
+    merged_any = false;
+    for (const auto& [pair, count] : adjacency) {
+      (void)count;
+      if (pair.first == 0 || pair.second == 0) continue;  // unlabeled edge
+      const alib::SegmentId ra = forest.find(pair.first);
+      const alib::SegmentId rb = forest.find(pair.second);
+      if (ra == rb) continue;
+      const std::size_t sa = slot_of_root(ra);
+      const std::size_t sb = slot_of_root(rb);
+      if (size_of[sa] <= 0 || size_of[sb] <= 0) continue;
+      const double mean_a = static_cast<double>(sum_of[sa]) /
+                            static_cast<double>(size_of[sa]);
+      const double mean_b = static_cast<double>(sum_of[sb]) /
+                            static_cast<double>(size_of[sb]);
+      if (std::abs(mean_a - mean_b) > params.merge_luma_threshold) continue;
+      const alib::SegmentId into = ra < rb ? ra : rb;
+      const alib::SegmentId from = ra < rb ? rb : ra;
+      const std::size_t si = slot_of_root(into);
+      const std::size_t sf = slot_of_root(from);
+      size_of[si] += size_of[sf];
+      sum_of[si] += sum_of[sf];
+      bbox_of[si] = bbox_of[si].unite(bbox_of[sf]);
+      radius_of[si] = std::max(radius_of[si], radius_of[sf]);
+      size_of[sf] = 0;
+      forest.unite(from, into);
+      ++result.merged_segments;
+      result.high_level_instr += 120;
+      merged_any = true;
+    }
+  }
+
+  // Relabel through segment-indexed addressing: the host prepares the
+  // id-translation table (one find per id), the per-pixel pass is an
+  // AddressLib TableLookup call — exactly the fourth addressing scheme.
+  {
+    alib::OpParams lut;
+    lut.table.resize(static_cast<std::size_t>(id_base) + 1);
+    for (std::size_t id = 0; id < lut.table.size(); ++id)
+      lut.table[id] = forest.find(static_cast<alib::SegmentId>(id));
+    lut.table[0] = 0;
+    result.high_level_instr += 4 * lut.table.size();
+    const alib::Call relabel = alib::Call::make_intra(
+        alib::PixelOp::TableLookup, alib::Neighborhood::con0(),
+        ChannelMask::alfa(), ChannelMask::alfa(), std::move(lut));
+    work = run_call(relabel, work).output;
+  }
+
+  // Final segment records.
+  for (const alib::SegmentInfo& s : raw_segments) {
+    if (forest.find(s.id) != s.id) continue;
+    alib::SegmentInfo merged = s;
+    const std::size_t slot = slot_of_root(s.id);
+    merged.pixel_count = size_of[slot];
+    merged.sum_y = sum_of[slot];
+    merged.bbox = bbox_of[slot];
+    merged.geodesic_radius = radius_of[slot];
+    if (merged.pixel_count > 0) result.segments.push_back(merged);
+  }
+  (void)mean_y;
+
+  result.labels = std::move(work);
+  return result;
+}
+
+double label_coverage(const img::Image& labels) {
+  if (labels.empty()) return 0.0;
+  i64 covered = 0;
+  for (const auto& px : labels.pixels())
+    if (px.alfa != 0) ++covered;
+  return static_cast<double>(covered) /
+         static_cast<double>(labels.pixel_count());
+}
+
+img::Image render_labels(const img::Image& labels) {
+  img::Image out = labels;
+  for (auto& px : out.pixels()) {
+    u32 h = px.alfa;
+    h = (h ^ 61u) ^ (h >> 16);
+    h *= 9u;
+    h ^= h >> 4;
+    h *= 0x27D4EB2Du;
+    h ^= h >> 15;
+    px.y = static_cast<u8>(40 + (h % 200));
+    px.u = 128;
+    px.v = 128;
+  }
+  return out;
+}
+
+}  // namespace ae::seg

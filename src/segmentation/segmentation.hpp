@@ -1,0 +1,67 @@
+// Video object segmentation on top of the AddressLib — the workload class
+// the paper built the coprocessor for ("a key technique is video object
+// segmentation", ref [2]) and the algorithm whose instruction profile
+// motivates the whole design (ref [3]: address calculation dominates,
+// estimated max acceleration 30x).
+//
+// The algorithm is a region-growing segmentation in the spirit of
+// Herrmann's hierarchical object representation:
+//   1. smooth the luma (intra Convolve call),
+//   2. compute a gradient map (intra GradientMag call),
+//   3. iteratively seed at the flattest unlabeled pixels and grow segments
+//      by geodesic expansion with a luma homogeneity criterion (segment
+//      calls with respect_existing_labels, i.e. segment + segment-indexed
+//      addressing),
+//   4. merge small segments into their most similar neighbor (high-level
+//      control on the host, as the paper prescribes).
+//
+// Every low-level step goes through an alib::Backend, so the same algorithm
+// runs on the software path or on the AddressEngine — the paper's central
+// programmability claim.
+#pragma once
+
+#include <vector>
+
+#include "addresslib/addresslib.hpp"
+
+namespace ae::seg {
+
+struct SegmentationParams {
+  i32 luma_threshold = 12;      ///< homogeneity criterion for expansion
+  i32 smooth_passes = 1;        ///< pre-smoothing Convolve calls
+  i32 seeds_per_round = 24;     ///< seeds added per expansion round
+  i32 seed_spacing = 8;         ///< minimum Chebyshev distance between seeds
+  i32 min_segment_pixels = 16;  ///< smaller segments get merged away
+  /// Adjacent segments whose mean luma differs by at most this merge into
+  /// one (the hierarchical merging of ref [2]; collapses over-seeded flat
+  /// areas).
+  i32 merge_luma_threshold = 8;
+  i32 max_rounds = 256;  ///< safety bound on expansion rounds
+};
+
+struct SegmentationResult {
+  img::Image labels;  ///< per-pixel segment id in the Alfa channel
+  std::vector<alib::SegmentInfo> segments;  ///< after merging
+  i32 rounds = 0;                           ///< expansion rounds used
+  i64 merged_segments = 0;                  ///< segments removed by merging
+
+  /// Aggregate cost of all AddressLib calls issued.
+  alib::CallStats low_level;
+  i64 addresslib_calls = 0;
+  /// Modeled host-side (high-level) instruction count: seed scans, merge
+  /// decisions, relabeling — the part that stays on the CPU.
+  u64 high_level_instr = 0;
+};
+
+/// Segments `frame` through `backend`.  Deterministic for a given input.
+SegmentationResult segment_image(alib::Backend& backend,
+                                 const img::Image& frame,
+                                 const SegmentationParams& params = {});
+
+/// Fraction of pixels covered by a label (diagnostic; 1.0 after success).
+double label_coverage(const img::Image& labels);
+
+/// Renders labels as luma for visual inspection (id hashing to gray).
+img::Image render_labels(const img::Image& labels);
+
+}  // namespace ae::seg

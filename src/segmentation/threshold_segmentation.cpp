@@ -1,0 +1,314 @@
+#include "segmentation/threshold_segmentation.hpp"
+
+#include <algorithm>
+
+#include "segmentation/merge_util.hpp"
+
+namespace ae::seg {
+namespace {
+
+alib::Call make_smooth_call() {
+  alib::OpParams p;
+  p.coeffs = {1, 2, 1, 2, 4, 2, 1, 2, 1};
+  p.shift = 4;
+  return alib::Call::make_intra(alib::PixelOp::Convolve,
+                                alib::Neighborhood::con8(), ChannelMask::y(),
+                                ChannelMask::y(), p);
+}
+
+/// Between-class variance contribution of bins [lo, hi] given prefix sums.
+struct OtsuPrefix {
+  std::array<double, 257> weight{};
+  std::array<double, 257> moment{};
+
+  explicit OtsuPrefix(const std::array<u64, 256>& histogram) {
+    for (int i = 0; i < 256; ++i) {
+      weight[static_cast<std::size_t>(i) + 1] =
+          weight[static_cast<std::size_t>(i)] +
+          static_cast<double>(histogram[static_cast<std::size_t>(i)]);
+      moment[static_cast<std::size_t>(i) + 1] =
+          moment[static_cast<std::size_t>(i)] +
+          static_cast<double>(i) *
+              static_cast<double>(histogram[static_cast<std::size_t>(i)]);
+    }
+  }
+
+  /// w * mu^2 of the class covering bins [lo, hi] (inclusive).
+  double term(int lo, int hi) const {
+    const double w = weight[static_cast<std::size_t>(hi) + 1] -
+                     weight[static_cast<std::size_t>(lo)];
+    if (w <= 0.0) return 0.0;
+    const double m = moment[static_cast<std::size_t>(hi) + 1] -
+                     moment[static_cast<std::size_t>(lo)];
+    return m * m / w;
+  }
+};
+
+}  // namespace
+
+std::vector<i32> otsu_thresholds(const std::array<u64, 256>& histogram,
+                                 int classes) {
+  AE_EXPECTS(classes >= 2 && classes <= 4, "2 to 4 luma classes supported");
+  const OtsuPrefix prefix(histogram);
+  std::vector<i32> best;
+  double best_score = -1.0;
+  if (classes == 2) {
+    for (int t = 0; t < 255; ++t) {
+      const double score = prefix.term(0, t) + prefix.term(t + 1, 255);
+      if (score > best_score) {
+        best_score = score;
+        best = {t};
+      }
+    }
+  } else if (classes == 3) {
+    for (int t1 = 0; t1 < 254; ++t1)
+      for (int t2 = t1 + 1; t2 < 255; ++t2) {
+        const double score = prefix.term(0, t1) + prefix.term(t1 + 1, t2) +
+                             prefix.term(t2 + 1, 255);
+        if (score > best_score) {
+          best_score = score;
+          best = {t1, t2};
+        }
+      }
+  } else {
+    // classes == 4: coarse-to-fine — evaluate triples on a stride-4 grid,
+    // then refine around the winner (exact search would be 256^3).
+    std::array<int, 3> coarse{};
+    for (int t1 = 0; t1 < 252; t1 += 4)
+      for (int t2 = t1 + 4; t2 < 253; t2 += 4)
+        for (int t3 = t2 + 4; t3 < 254; t3 += 4) {
+          const double score = prefix.term(0, t1) + prefix.term(t1 + 1, t2) +
+                               prefix.term(t2 + 1, t3) +
+                               prefix.term(t3 + 1, 255);
+          if (score > best_score) {
+            best_score = score;
+            coarse = {t1, t2, t3};
+          }
+        }
+    for (int t1 = std::max(0, coarse[0] - 4); t1 <= coarse[0] + 4; ++t1)
+      for (int t2 = std::max(t1 + 1, coarse[1] - 4); t2 <= coarse[1] + 4;
+           ++t2)
+        for (int t3 = std::max(t2 + 1, coarse[2] - 4);
+             t3 <= std::min(254, coarse[2] + 4); ++t3) {
+          const double score = prefix.term(0, t1) + prefix.term(t1 + 1, t2) +
+                               prefix.term(t2 + 1, t3) +
+                               prefix.term(t3 + 1, 255);
+          if (score > best_score) {
+            best_score = score;
+            best = {t1, t2, t3};
+          }
+        }
+    if (best.empty()) best = {coarse[0], coarse[1], coarse[2]};
+  }
+  return best;
+}
+
+SegmentationResult threshold_segmentation(
+    alib::Backend& backend, const img::Image& frame,
+    const ThresholdSegmentationParams& params) {
+  AE_EXPECTS(!frame.empty(), "cannot segment an empty frame");
+  AE_EXPECTS(params.classes >= 2 && params.classes <= 4,
+             "2 to 4 luma classes supported");
+  SegmentationResult result;
+
+  auto run_call = [&](const alib::Call& call, const img::Image& a,
+                      const img::Image* b = nullptr) {
+    alib::CallResult r = backend.execute(call, a, b);
+    result.low_level.merge(r.stats);
+    ++result.addresslib_calls;
+    return r;
+  };
+
+  // 1. Smooth, 2. histogram through the side port.
+  img::Image work = frame;
+  const alib::Call smooth = make_smooth_call();
+  for (i32 i = 0; i < params.smooth_passes; ++i)
+    work = run_call(smooth, work).output;
+  const alib::CallResult hist = run_call(
+      alib::Call::make_intra(alib::PixelOp::Histogram,
+                             alib::Neighborhood::con0()),
+      work);
+
+  // 3. Otsu thresholds (host-side control over the side-port data).
+  const std::vector<i32> thresholds =
+      otsu_thresholds(hist.side.histogram, params.classes);
+  result.high_level_instr += params.classes == 3 ? 256u * 256u / 2 : 65536u;
+
+  // 4. Class image = sum over thresholds of step(Y > t), all AddressLib:
+  //    Threshold -> 0/255 mask, Scale >>7 -> 0/1, Add accumulates.
+  img::Image class_image;
+  bool first = true;
+  for (const i32 t : thresholds) {
+    alib::OpParams tp;
+    tp.threshold = t;
+    const img::Image mask =
+        run_call(alib::Call::make_intra(alib::PixelOp::Threshold,
+                                        alib::Neighborhood::con0(),
+                                        ChannelMask::y(), ChannelMask::y(),
+                                        tp),
+                 work)
+            .output;
+    alib::OpParams sp;
+    sp.shift = 7;  // 255 >> 7 = 1
+    const img::Image bit =
+        run_call(alib::Call::make_intra(alib::PixelOp::Scale,
+                                        alib::Neighborhood::con0(),
+                                        ChannelMask::y(), ChannelMask::y(),
+                                        sp),
+                 mask)
+            .output;
+    if (first) {
+      class_image = bit;
+      first = false;
+    } else {
+      class_image = run_call(alib::Call::make_inter(alib::PixelOp::Add),
+                             class_image, &bit)
+                        .output;
+    }
+  }
+  class_image.fill_channel(Channel::Alfa, 0);
+
+  // 5. Connected components: batched seeds, zero-threshold expansion on the
+  //    class image (same class <=> same value <=> |diff| <= 0).
+  std::vector<alib::SegmentInfo> raw_segments;
+  alib::SegmentId id_base = 0;
+  i64 labeled = 0;
+  const i64 total = frame.pixel_count();
+  while (labeled < total) {
+    std::vector<Point> seeds;
+    for (i32 y = 0; y < class_image.height() && seeds.size() < 128; ++y)
+      for (i32 x = 0; x < class_image.width() && seeds.size() < 128; ++x)
+        if (class_image.ref(x, y).alfa == 0) {
+          // Skip pixels adjacent to an existing same-class label: they
+          // will be absorbed by that component's own seed anyway; seeding
+          // them separately would fragment components.
+          seeds.push_back({x, y});
+          x += 4;  // stride: cheap spatial spread
+        }
+    AE_ASSERT(!seeds.empty(), "uncovered pixels but no seeds");
+    result.high_level_instr += static_cast<u64>(total);
+    alib::SegmentSpec spec;
+    spec.seeds = seeds;
+    spec.luma_threshold = 0;
+    spec.respect_existing_labels = true;
+    spec.id_base = id_base;
+    AE_EXPECTS(id_base < 60000, "component id space exhausted");
+    const alib::CallResult r = run_call(
+        alib::Call::make_segment(alib::PixelOp::Copy,
+                                 alib::Neighborhood::con0(), spec,
+                                 ChannelMask::y(),
+                                 ChannelMask::y().with(Channel::Alfa)),
+        class_image);
+    class_image = r.output;
+    for (const alib::SegmentInfo& info : r.segments)
+      if (info.pixel_count > 0) raw_segments.push_back(info);
+    labeled += r.stats.pixels;
+    id_base = static_cast<alib::SegmentId>(id_base + seeds.size());
+    ++result.rounds;
+  }
+
+  // 6a. Reconstruct true connected components: simultaneous multi-seed
+  //     expansion tiles one component into first-reacher cells, so adjacent
+  //     cells of equal class merge back (exact by induction: a connected
+  //     equal-class region always has an internal cell boundary to union).
+  MergeForest forest(id_base);
+  const Adjacency adjacency = build_adjacency(class_image);
+  result.high_level_instr += static_cast<u64>(total) * 6;
+  std::map<alib::SegmentId, i64> class_of;
+  for (const alib::SegmentInfo& s : raw_segments)
+    class_of[s.id] = static_cast<i64>(s.sum_y / static_cast<u64>(s.pixel_count));  // Y == class
+  for (const auto& [pair, border] : adjacency) {
+    (void)border;
+    if (pair.first == 0 || pair.second == 0) continue;
+    if (class_of.at(pair.first) == class_of.at(pair.second))
+      forest.unite(pair.second, pair.first);
+  }
+
+  // 6b. Merge small components into their most-bordering neighbor, relabel
+  //     via TableLookup (segment-indexed addressing).
+  std::map<alib::SegmentId, i64> size_of;
+  for (const alib::SegmentInfo& s : raw_segments)
+    size_of[forest.find(s.id)] += s.pixel_count;
+  for (bool merged = true; merged;) {
+    merged = false;
+    for (const alib::SegmentInfo& s : raw_segments) {
+      const alib::SegmentId root = forest.find(s.id);
+      if (root != s.id || size_of[root] >= params.min_segment_pixels)
+        continue;
+      // Most-bordering neighbor of this small component.
+      alib::SegmentId best = 0;
+      i64 best_border = 0;
+      for (const auto& [pair, border] : adjacency) {
+        alib::SegmentId other = 0;
+        if (forest.find(pair.first) == root)
+          other = forest.find(pair.second);
+        else if (forest.find(pair.second) == root)
+          other = forest.find(pair.first);
+        if (other == 0 || other == root) continue;
+        if (border > best_border) {
+          best_border = border;
+          best = other;
+        }
+      }
+      result.high_level_instr += 120;
+      if (best == 0) continue;
+      size_of[best] += size_of[root];
+      size_of[root] = 0;
+      forest.unite(root, best);
+      ++result.merged_segments;
+      merged = true;
+    }
+  }
+  {
+    alib::OpParams lut;
+    lut.table.resize(static_cast<std::size_t>(id_base) + 1);
+    for (std::size_t id = 0; id < lut.table.size(); ++id)
+      lut.table[id] = forest.find(static_cast<alib::SegmentId>(id));
+    lut.table[0] = 0;
+    result.high_level_instr += 4 * lut.table.size();
+    class_image = run_call(alib::Call::make_intra(
+                               alib::PixelOp::TableLookup,
+                               alib::Neighborhood::con0(),
+                               ChannelMask::alfa(), ChannelMask::alfa(),
+                               std::move(lut)),
+                           class_image)
+                      .output;
+  }
+
+  // 7. Final records and the output label map (smoothed luma + ids).
+  for (const alib::SegmentInfo& s : raw_segments) {
+    if (forest.find(s.id) != s.id || size_of[s.id] == 0) continue;
+    alib::SegmentInfo final_info = s;
+    final_info.pixel_count = size_of[s.id];
+    result.segments.push_back(final_info);
+  }
+  result.labels = work;
+  for (i32 y = 0; y < work.height(); ++y)
+    for (i32 x = 0; x < work.width(); ++x)
+      result.labels.ref(x, y).alfa = class_image.ref(x, y).alfa;
+  result.high_level_instr += static_cast<u64>(total);
+
+  // Recompute merged statistics from the final map (sum/bbox are simplest
+  // to rebuild exactly after arbitrary merging).
+  std::map<alib::SegmentId, std::size_t> slot;
+  for (std::size_t i = 0; i < result.segments.size(); ++i) {
+    result.segments[i].pixel_count = 0;
+    result.segments[i].sum_y = 0;
+    result.segments[i].bbox = Rect{};
+    slot[result.segments[i].id] = i;
+  }
+  for (i32 y = 0; y < result.labels.height(); ++y)
+    for (i32 x = 0; x < result.labels.width(); ++x) {
+      const u16 id = result.labels.ref(x, y).alfa;
+      const auto it = slot.find(id);
+      if (it == slot.end()) continue;
+      alib::SegmentInfo& s = result.segments[it->second];
+      s.pixel_count += 1;
+      s.sum_y += result.labels.ref(x, y).y;
+      s.bbox = s.bbox.unite(Rect{x, y, 1, 1});
+    }
+  result.high_level_instr += static_cast<u64>(total) * 2;
+  return result;
+}
+
+}  // namespace ae::seg

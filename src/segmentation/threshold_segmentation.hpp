@@ -1,0 +1,34 @@
+// A second segmentation algorithm — the SCHEMA reference system (paper
+// ref [1]) is "a test-bed for region-based image retrieval using multiple
+// segmentation algorithms", so the reproduction ships more than one.
+//
+// Global histogram thresholding into luma classes (Otsu's criterion on the
+// Histogram op's side port), class quantization assembled from Threshold +
+// Scale + Add calls, then connected components and small-component cleanup
+// through segment addressing and TableLookup relabeling.  Same
+// SegmentationResult contract as the region-growing algorithm, so the two
+// are interchangeable downstream (e.g. in the retrieval database).
+#pragma once
+
+#include "segmentation/segmentation.hpp"
+
+namespace ae::seg {
+
+struct ThresholdSegmentationParams {
+  int classes = 3;              ///< luma classes (2..4)
+  i32 min_segment_pixels = 16;  ///< smaller components merge into neighbors
+  i32 smooth_passes = 1;        ///< pre-smoothing Convolve calls
+};
+
+/// Segments `frame` by global luma thresholding + connected components.
+SegmentationResult threshold_segmentation(
+    alib::Backend& backend, const img::Image& frame,
+    const ThresholdSegmentationParams& params = {});
+
+/// Otsu's multi-threshold selection on a 256-bin histogram: returns
+/// `classes - 1` thresholds maximizing between-class variance (exhaustive
+/// over 1 or 2 thresholds; host-side control).
+std::vector<i32> otsu_thresholds(const std::array<u64, 256>& histogram,
+                                 int classes);
+
+}  // namespace ae::seg

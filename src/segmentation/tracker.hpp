@@ -1,0 +1,99 @@
+// Temporal video object segmentation — tracking segmented objects across
+// frames, the end-to-end shape of the paper's motivating applications
+// ("video surveillance and driver assistance") and of ref [2]'s
+// hierarchical object representation over time.
+//
+// Per frame: segment (AddressLib region growing), estimate the camera's
+// global motion against the previous frame (AddressLib GME calls), project
+// the previous regions by that motion, and match regions greedily on
+// camera-compensated position + appearance.  Matching and track management
+// are host-side control; every pixel pass is an AddressLib call.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "gme/estimator.hpp"
+#include "segmentation/segmentation.hpp"
+
+namespace ae::seg {
+
+struct TrackerParams {
+  SegmentationParams segmentation;
+  /// Camera-motion estimation settings.  Defaults differ from plain GME
+  /// and suit near-static surveillance cameras: a single-level estimate
+  /// (deep pyramids' coarse levels can be dominated by a moving foreground
+  /// object on small frames) and no level smoothing (smoothing pulls a
+  /// mover's rim residuals under the robust cutoff, letting the minority
+  /// motion vote).  For strongly panning cameras on fine-grained scenes
+  /// raise pyramid_levels — and validate on footage, as ever.
+  gme::GmeParams gme{
+      .pyramid_levels = 1, .robust_passes = 2, .smooth_levels = false};
+  /// Maximum camera-compensated centroid distance (pixels) for a match.
+  double max_match_distance = 12.0;
+  /// Maximum relative size change between matched observations.
+  double max_size_ratio = 2.0;
+  /// Tracks below this size are ignored (background clutter).
+  i64 min_object_pixels = 24;
+};
+
+/// One observation of a tracked object in one frame.
+struct Observation {
+  int frame = 0;
+  alib::SegmentId segment = 0;
+  Rect bbox{};
+  i64 pixels = 0;
+  double centroid_x = 0.0, centroid_y = 0.0;  ///< frame coordinates
+  double scene_x = 0.0, scene_y = 0.0;  ///< camera-compensated coordinates
+  double mean_y = 0.0;
+};
+
+struct Track {
+  int id = 0;
+  std::vector<Observation> observations;
+
+  int first_frame() const { return observations.front().frame; }
+  int last_frame() const { return observations.back().frame; }
+  int length() const { return static_cast<int>(observations.size()); }
+
+  /// Mean per-frame displacement relative to the scene (camera motion
+  /// removed) over the track's life.
+  double mean_scene_speed() const;
+};
+
+class ObjectTracker {
+ public:
+  ObjectTracker(alib::Backend& backend, TrackerParams params = {});
+
+  /// Processes the next frame; returns the number of active tracks.
+  int feed(const img::Image& frame);
+
+  int frames_seen() const { return frame_index_; }
+  const std::vector<Track>& tracks() const { return tracks_; }
+  /// Tracks still matched in the most recent frame.
+  std::vector<const Track*> active_tracks() const;
+  /// Accumulated camera motion since the first frame.
+  gme::Translation camera_motion() const { return camera_accum_; }
+
+  i64 addresslib_calls() const { return addresslib_calls_; }
+
+ private:
+  struct Region {
+    Observation observation;
+    double scene_x = 0.0, scene_y = 0.0;  ///< camera-compensated position
+  };
+  std::vector<Region> extract_regions(const SegmentationResult& seg) const;
+
+  alib::Backend* backend_;
+  TrackerParams params_;
+  int frame_index_ = 0;
+  gme::Translation camera_accum_;
+  std::optional<gme::Pyramid> prev_pyramid_;
+  std::vector<Track> tracks_;
+  std::vector<int> active_;  ///< indices into tracks_ matched last frame
+  std::vector<double> scene_x_;  ///< scene position per active track
+  std::vector<double> scene_y_;
+  i64 addresslib_calls_ = 0;
+};
+
+}  // namespace ae::seg

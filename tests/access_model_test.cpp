@@ -1,0 +1,143 @@
+// The memory-access accounting behind Table 2 — the analytic models must
+// reproduce the paper's published numbers exactly on CIF frames.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "addresslib/access_model.hpp"
+#include "image/image.hpp"
+
+namespace ae::alib {
+namespace {
+
+constexpr i64 kCifPixels = 352 * 288;  // 101,376
+
+Call inter_y() { return Call::make_inter(PixelOp::AbsDiff); }
+
+Call intra_con0_y() {
+  return Call::make_intra(PixelOp::Copy, Neighborhood::con0());
+}
+
+Call intra_con8_y() {
+  OpParams p;
+  p.coeffs.assign(9, 1);
+  p.shift = 3;
+  return Call::make_intra(PixelOp::Convolve, Neighborhood::con8(),
+                          ChannelMask::y(), ChannelMask::y(), p);
+}
+
+Call intra_con8_yuv() {
+  return Call::make_intra(PixelOp::MorphGradient, Neighborhood::con8(),
+                          ChannelMask::yuv(), ChannelMask::yuv());
+}
+
+struct Table2Row {
+  const char* label;
+  Call call;
+  u64 paper_software;
+  u64 paper_hardware;
+  int paper_saving_percent;
+};
+
+std::vector<Table2Row> table2_rows() {
+  return {
+      {"Inter Y", inter_y(), 304128, 202752, 33},
+      {"Intra CON_0 Y", intra_con0_y(), 202752, 202752, 0},
+      {"Intra CON_8 Y", intra_con8_y(), 405504, 202752, 50},
+      {"Intra CON_8 YUV", intra_con8_yuv(), 608256, 202752, 200},
+  };
+}
+
+class Table2Model : public ::testing::TestWithParam<int> {};
+
+TEST_P(Table2Model, SoftwareCountMatchesPaper) {
+  const Table2Row row = table2_rows()[static_cast<std::size_t>(GetParam())];
+  const AccessCounts sw = software_access_model(row.call, kCifPixels);
+  EXPECT_EQ(sw.total(), row.paper_software) << row.label;
+}
+
+TEST_P(Table2Model, HardwareCountMatchesPaper) {
+  const Table2Row row = table2_rows()[static_cast<std::size_t>(GetParam())];
+  const AccessCounts hw = hardware_access_model(row.call, kCifPixels);
+  EXPECT_EQ(hw.total(), row.paper_hardware) << row.label;
+}
+
+TEST_P(Table2Model, SavingColumnReproduced) {
+  // The paper's Saving column mixes two formulas: rows 1-3 use
+  // (sw-hw)/sw, row 4 uses sw/hw - 1.
+  const int index = GetParam();
+  const Table2Row row = table2_rows()[static_cast<std::size_t>(index)];
+  const AccessCounts sw = software_access_model(row.call, kCifPixels);
+  const AccessCounts hw = hardware_access_model(row.call, kCifPixels);
+  const double saving = index < 3 ? saving_fraction_of_software(sw, hw)
+                                  : saving_speedup_minus_one(sw, hw);
+  EXPECT_EQ(static_cast<int>(std::lround(saving * 100.0)),
+            row.paper_saving_percent)
+      << row.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRows, Table2Model, ::testing::Range(0, 4));
+
+TEST(AccessModel, PerPixelCounts) {
+  EXPECT_EQ(software_accesses_per_pixel(inter_y()).loads, 2u);
+  EXPECT_EQ(software_accesses_per_pixel(inter_y()).stores, 1u);
+  EXPECT_EQ(software_accesses_per_pixel(intra_con8_y()).loads, 3u);
+  EXPECT_EQ(software_accesses_per_pixel(intra_con8_yuv()).stores, 3u);
+}
+
+TEST(AccessModel, SideChannelOpsLoadTwoWords) {
+  // An op reading Alfa/Aux needs the second 32-bit word per pixel load.
+  OpParams p;
+  p.threshold = 10;
+  Call c = Call::make_intra(
+      PixelOp::Homogeneity, Neighborhood::con8(), ChannelMask::all(),
+      ChannelMask::alfa().with(Channel::Aux), p);
+  EXPECT_EQ(software_words_per_load(c), 2);
+  EXPECT_EQ(software_accesses_per_pixel(c).loads, 6u);  // 3 pixels x 2 words
+}
+
+TEST(AccessModel, ColumnScanSymmetry) {
+  // A vertical 9-line FIR costs 9 loads/pixel in row-major scan but only 1
+  // in column-major scan (fig. 4's point: align strips with the scan).
+  OpParams p;
+  p.coeffs.assign(9, 1);
+  p.shift = 3;
+  Call c = Call::make_intra(PixelOp::Convolve, Neighborhood::vline(9),
+                            ChannelMask::y(), ChannelMask::y(), p);
+  c.scan = ScanOrder::RowMajor;
+  EXPECT_EQ(software_accesses_per_pixel(c).loads, 9u);
+  c.scan = ScanOrder::ColumnMajor;
+  EXPECT_EQ(software_accesses_per_pixel(c).loads, 1u);
+}
+
+TEST(AccessModel, SegmentModeReloadsWindow) {
+  SegmentSpec spec;
+  spec.seeds = {{0, 0}};
+  const Call c = Call::make_segment(PixelOp::Copy, Neighborhood::con8(), spec,
+                                    ChannelMask::y(),
+                                    ChannelMask::y().with(Channel::Alfa));
+  EXPECT_EQ(software_accesses_per_pixel(c).loads, 9u);
+}
+
+TEST(AccessModel, HardwareCountIndependentOfChannelsAndMode) {
+  const u64 pixels = 1000;
+  EXPECT_EQ(hardware_access_model(inter_y(), 1000).total(), 2 * pixels);
+  EXPECT_EQ(hardware_access_model(intra_con8_yuv(), 1000).total(), 2 * pixels);
+}
+
+TEST(AccessModel, RejectsNegativePixelCount) {
+  EXPECT_THROW(software_access_model(inter_y(), -1), InvalidArgument);
+  EXPECT_THROW(hardware_access_model(inter_y(), -5), InvalidArgument);
+}
+
+TEST(AccessModel, SavingFormulasDifferAsInPaper) {
+  // 608,256 vs 202,752: 67% by the first formula, 200% by the second — the
+  // discrepancy the reproduction documents.
+  const AccessCounts sw{608256, 0};
+  const AccessCounts hw{202752, 0};
+  EXPECT_NEAR(saving_fraction_of_software(sw, hw), 0.6667, 1e-3);
+  EXPECT_NEAR(saving_speedup_minus_one(sw, hw), 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace ae::alib

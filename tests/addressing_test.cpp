@@ -1,0 +1,119 @@
+// Tests for the addressing vocabulary: neighborhood shapes, the window
+// reuse model (entering offsets) and the hardware's 9-line limit.
+#include <gtest/gtest.h>
+
+#include "addresslib/addressing.hpp"
+
+namespace ae::alib {
+namespace {
+
+TEST(Neighborhood, NamedShapesHaveExpectedSizes) {
+  EXPECT_EQ(Neighborhood::con0().size(), 1u);
+  EXPECT_EQ(Neighborhood::con4().size(), 5u);
+  EXPECT_EQ(Neighborhood::con8().size(), 9u);
+  EXPECT_EQ(Neighborhood::rect(5, 3).size(), 15u);
+  EXPECT_EQ(Neighborhood::vline(9).size(), 9u);
+  EXPECT_EQ(Neighborhood::hline(7).size(), 7u);
+}
+
+TEST(Neighborhood, BoundingBoxes) {
+  EXPECT_EQ(Neighborhood::con8().bounding_box(), (Rect{-1, -1, 3, 3}));
+  EXPECT_EQ(Neighborhood::vline(9).bounding_box(), (Rect{0, -4, 1, 9}));
+  EXPECT_EQ(Neighborhood::con0().bounding_box(), (Rect{0, 0, 1, 1}));
+  EXPECT_EQ(Neighborhood::con8().height(), 3);
+  EXPECT_EQ(Neighborhood::vline(9).height(), 9);
+  EXPECT_EQ(Neighborhood::hline(5).width(), 5);
+}
+
+TEST(Neighborhood, OffsetsDeduplicatedAndSorted) {
+  const Neighborhood n({{1, 0}, {0, 0}, {1, 0}, {-1, 0}});
+  EXPECT_EQ(n.size(), 3u);
+  EXPECT_EQ(n.offsets().front(), (Point{-1, 0}));
+  EXPECT_EQ(n.offsets().back(), (Point{1, 0}));
+}
+
+TEST(Neighborhood, NineLineLimitEnforced) {
+  EXPECT_NO_THROW(Neighborhood::vline(9));
+  EXPECT_THROW(Neighborhood({{0, -5}, {0, 5}}), InvalidArgument);
+  EXPECT_THROW(Neighborhood({{-5, 0}, {5, 0}}), InvalidArgument);
+  EXPECT_THROW(Neighborhood(std::vector<Point>{}), InvalidArgument);
+}
+
+TEST(Neighborhood, RectRequiresOddExtents) {
+  EXPECT_THROW(Neighborhood::rect(4, 3), InvalidArgument);
+  EXPECT_THROW(Neighborhood::rect(3, 0), InvalidArgument);
+  EXPECT_THROW(Neighborhood::vline(4), InvalidArgument);
+  EXPECT_THROW(Neighborhood::hline(-1), InvalidArgument);
+}
+
+TEST(Neighborhood, Contains) {
+  const Neighborhood n = Neighborhood::con4();
+  EXPECT_TRUE(n.contains({0, 0}));
+  EXPECT_TRUE(n.contains({0, -1}));
+  EXPECT_FALSE(n.contains({1, 1}));
+}
+
+// The Table 2 loads-per-step model: CON_8 loads 3 new pixels per step,
+// CON_0 loads 1, and the 9-line vertical worst case loads 9 when the scan
+// runs perpendicular to it.
+struct EnteringCase {
+  Neighborhood nbhd;
+  ScanOrder scan;
+  i64 expected;
+};
+
+class EnteringOffsets : public ::testing::TestWithParam<int> {};
+
+std::vector<EnteringCase> entering_cases() {
+  return {
+      {Neighborhood::con0(), ScanOrder::RowMajor, 1},
+      {Neighborhood::con0(), ScanOrder::ColumnMajor, 1},
+      {Neighborhood::con8(), ScanOrder::RowMajor, 3},
+      {Neighborhood::con8(), ScanOrder::ColumnMajor, 3},
+      {Neighborhood::con4(), ScanOrder::RowMajor, 3},
+      {Neighborhood::con4(), ScanOrder::ColumnMajor, 3},
+      {Neighborhood::vline(9), ScanOrder::RowMajor, 9},
+      {Neighborhood::vline(9), ScanOrder::ColumnMajor, 1},
+      {Neighborhood::hline(9), ScanOrder::RowMajor, 1},
+      {Neighborhood::hline(9), ScanOrder::ColumnMajor, 9},
+      {Neighborhood::rect(5, 5), ScanOrder::RowMajor, 5},
+      {Neighborhood::rect(5, 5), ScanOrder::ColumnMajor, 5},
+  };
+}
+
+TEST_P(EnteringOffsets, LoadsPerStepMatchesWindowModel) {
+  const EnteringCase c = entering_cases()[static_cast<std::size_t>(GetParam())];
+  EXPECT_EQ(c.nbhd.loads_per_step(c.scan), c.expected)
+      << c.nbhd.name() << " scan=" << to_string(c.scan);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, EnteringOffsets,
+    ::testing::Range(0, static_cast<int>(entering_cases().size())));
+
+TEST(Neighborhood, EnteringOffsetsAreWithinShape) {
+  const Neighborhood n = Neighborhood::con8();
+  for (const Point p : n.entering_offsets(ScanOrder::RowMajor))
+    EXPECT_TRUE(n.contains(p));
+  // For CON_8 under row-major scan the entering column is the right edge.
+  for (const Point p : n.entering_offsets(ScanOrder::RowMajor))
+    EXPECT_EQ(p.x, 1);
+}
+
+TEST(Connectivity, OffsetCounts) {
+  EXPECT_EQ(connectivity_offsets(Connectivity::Four).size(), 4u);
+  EXPECT_EQ(connectivity_offsets(Connectivity::Eight).size(), 8u);
+}
+
+TEST(Names, ToStringCoverage) {
+  EXPECT_EQ(to_string(ScanOrder::RowMajor), "row-major");
+  EXPECT_EQ(to_string(ScanOrder::ColumnMajor), "column-major");
+  EXPECT_EQ(to_string(BorderPolicy::Replicate), "replicate");
+  EXPECT_EQ(to_string(BorderPolicy::Constant), "constant");
+  EXPECT_EQ(to_string(Connectivity::Four), "4-connected");
+  EXPECT_EQ(Neighborhood::con8().name(), "CON_8");
+  EXPECT_EQ(Neighborhood::rect(3, 5).name(), "RECT_3x5");
+}
+
+}  // namespace
+}  // namespace ae::alib

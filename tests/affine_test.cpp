@@ -1,0 +1,216 @@
+// Affine GME extension tests: the motion algebra, the position-aware
+// GmeAccumAffine kernel, the 6x6 solver, and end-to-end recovery of
+// scripted rotation/zoom that the translational model cannot express.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/engine.hpp"
+#include "gme/affine_estimator.hpp"
+#include "image/compare.hpp"
+#include "image/sequence.hpp"
+#include "image/synth.hpp"
+#include "test_util.hpp"
+
+namespace ae::gme {
+namespace {
+
+TEST(AffineMotion, IdentityByDefault) {
+  const AffineMotion m;
+  double x = 0.0;
+  double y = 0.0;
+  m.apply(13.0, 7.0, x, y);
+  EXPECT_DOUBLE_EQ(x, 13.0);
+  EXPECT_DOUBLE_EQ(y, 7.0);
+  EXPECT_DOUBLE_EQ(m.linear_deviation(), 0.0);
+}
+
+TEST(AffineMotion, ComposeMatchesSequentialApplication) {
+  AffineMotion rot;  // small rotation
+  rot.a1 = std::cos(0.1);
+  rot.a2 = -std::sin(0.1);
+  rot.a4 = std::sin(0.1);
+  rot.a5 = std::cos(0.1);
+  AffineMotion shift = AffineMotion::from_translation({3.0, -2.0});
+  const AffineMotion both = rot.compose(shift);
+  double x1 = 0.0;
+  double y1 = 0.0;
+  shift.apply(5.0, 6.0, x1, y1);
+  double x2 = 0.0;
+  double y2 = 0.0;
+  rot.apply(x1, y1, x2, y2);
+  double xc = 0.0;
+  double yc = 0.0;
+  both.apply(5.0, 6.0, xc, yc);
+  EXPECT_NEAR(xc, x2, 1e-12);
+  EXPECT_NEAR(yc, y2, 1e-12);
+}
+
+TEST(AffineMotion, TranslationScaling) {
+  AffineMotion m = AffineMotion::from_translation({4.0, 8.0});
+  m.a1 = 1.01;
+  const AffineMotion half = m.scaled_translation(0.5);
+  EXPECT_DOUBLE_EQ(half.a0, 2.0);
+  EXPECT_DOUBLE_EQ(half.a3, 4.0);
+  EXPECT_DOUBLE_EQ(half.a1, 1.01);  // linear part untouched
+}
+
+TEST(WarpAffine, MatchesTranslationalWarpForPureShift) {
+  const img::Image src = img::make_test_frame(Size{32, 24}, 1);
+  const img::Image a = warp_affine(src, AffineMotion::from_translation({2.5, 1.25}));
+  const img::Image b = warp_translational(src, {2.5, 1.25});
+  EXPECT_EQ(img::count_differing(a, b, ChannelMask::yuv()), 0);
+}
+
+TEST(WarpAffine, ScalingSamplesCorrectly) {
+  img::Image src(Size{8, 8});
+  for (i32 y = 0; y < 8; ++y)
+    for (i32 x = 0; x < 8; ++x)
+      src.at(x, y).y = static_cast<u8>(10 * x);
+  AffineMotion zoom;
+  zoom.a1 = 2.0;  // out(x) samples src(2x)
+  const img::Image out = warp_affine(src, zoom);
+  EXPECT_EQ(out.at(2, 0).y, src.at(4, 0).y);
+  EXPECT_EQ(out.at(3, 3).y, src.at(6, 3).y);
+}
+
+TEST(GmeAccumAffineKernel, AccumulatesJacobianOuterProduct) {
+  alib::OpParams p;
+  p.threshold = 100;
+  alib::SideAccum side;
+  img::Pixel ref = img::Pixel::gray(120);
+  img::Pixel warped = img::Pixel::gray(100);  // r = 20
+  warped.alfa = static_cast<u16>(alib::kGradBias + 2);  // gx = 2
+  warped.aux = static_cast<u16>(alib::kGradBias - 1);   // gy = -1
+  alib::apply_inter(alib::PixelOp::GmeAccumAffine, p, ref, warped,
+                    Point{3, 5}, ChannelMask::y(), ChannelMask::y(), side);
+  // g = [2, 6, 10, -1, -3, -5]
+  EXPECT_EQ(side.gme_affine[0], 4);    // g0*g0
+  EXPECT_EQ(side.gme_affine[1], 12);   // g0*g1
+  EXPECT_EQ(side.gme_affine[2], 20);   // g0*g2
+  EXPECT_EQ(side.gme_affine[3], -2);   // g0*g3
+  EXPECT_EQ(side.gme_affine[21], 40);  // g0*r
+  EXPECT_EQ(side.gme_affine[26], -100);  // g5*r
+  EXPECT_EQ(side.gme_affine[27], 1);
+}
+
+TEST(SolveAffine, RecoversKnownSolution) {
+  // Build sums from synthetic per-pixel data with a known delta.
+  const std::array<double, 6> truth{0.5, 0.001, -0.002, -0.25, 0.003, 0.0005};
+  std::array<i64, alib::kAffineAccumTerms> sums{};
+  Rng rng(5);
+  for (int n = 0; n < 4000; ++n) {
+    const i64 gx = rng.uniform(-400, 400);
+    const i64 gy = rng.uniform(-400, 400);
+    const i64 x = rng.uniform(0, 351);
+    const i64 y = rng.uniform(0, 287);
+    const std::array<i64, 6> g{gx, gx * x, gx * y, gy, gy * x, gy * y};
+    double r = 0.0;
+    for (std::size_t i = 0; i < 6; ++i)
+      r += static_cast<double>(g[i]) * truth[i] / 8.0;  // Sobel-gain scaled
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < 6; ++i)
+      for (std::size_t j = i; j < 6; ++j) sums[k++] += g[i] * g[j];
+    for (std::size_t i = 0; i < 6; ++i)
+      sums[21 + i] += static_cast<i64>(std::llround(static_cast<double>(g[i]) * r));
+    sums[27] += 1;
+  }
+  std::array<double, 6> delta{};
+  ASSERT_TRUE(solve_affine_step(sums, delta));
+  for (std::size_t i = 0; i < 6; ++i)
+    EXPECT_NEAR(delta[i], truth[i], 0.05 * std::abs(truth[i]) + 1e-3) << i;
+}
+
+TEST(SolveAffine, RejectsDegenerateSystems) {
+  std::array<i64, alib::kAffineAccumTerms> sums{};
+  std::array<double, 6> delta{};
+  EXPECT_FALSE(solve_affine_step(sums, delta));  // no inliers
+  sums[27] = 10'000;                             // inliers but zero matrix
+  EXPECT_FALSE(solve_affine_step(sums, delta));
+}
+
+img::SyntheticSequence rotating_sequence(double rotate, double zoom) {
+  img::SyntheticSequence::Params p;
+  p.name = "affine-test";
+  p.frame_size = Size{192, 160};
+  p.frame_count = 2;
+  p.seed = 31;
+  p.script = img::MotionScript{0.5, 0.2, rotate, zoom, 0.0};
+  return img::SyntheticSequence(p);
+}
+
+TEST(AffineEstimator, RecoversRotationTranslationalCannot) {
+  const auto seq = rotating_sequence(0.01, 1.0);  // ~0.57 deg per frame
+  alib::SoftwareBackend be;
+  const Pyramid ref = build_pyramid(be, seq.frame(0), 3);
+  const Pyramid cur = build_pyramid(be, seq.frame(1), 3);
+
+  GmeEstimator trans(be);
+  AffineGmeEstimator affine(be);
+  const GmeResult rt = trans.estimate(ref, cur);
+  const AffineGmeResult ra = affine.estimate(ref, cur);
+
+  // Residual SAD under the affine model must clearly beat translational.
+  EXPECT_LT(static_cast<double>(ra.final_sad),
+            static_cast<double>(rt.final_sad) * 0.8)
+      << "affine " << ra.final_sad << " vs translational " << rt.final_sad;
+  // The recovered linear part reflects the rotation: a2 ≈ +sin(theta) for
+  // a frame-centered rotation expressed around the origin... check the
+  // antisymmetry and magnitude instead of exact values.
+  EXPECT_GT(ra.motion.linear_deviation(), 1e-4);
+  EXPECT_LT(std::abs(ra.motion.a2 + ra.motion.a4), 0.004);  // a2 ≈ -a4
+}
+
+TEST(AffineEstimator, RecoversZoom) {
+  const auto seq = rotating_sequence(0.0, 1.01);  // 1% zoom per frame
+  alib::SoftwareBackend be;
+  const Pyramid ref = build_pyramid(be, seq.frame(0), 3);
+  const Pyramid cur = build_pyramid(be, seq.frame(1), 3);
+  AffineGmeEstimator affine(be);
+  const AffineGmeResult ra = affine.estimate(ref, cur);
+  // Scene zooms by ~1.01: the diagonal terms move together away from 1.
+  EXPECT_NEAR(ra.motion.a1, ra.motion.a5, 0.004);
+  EXPECT_GT(std::abs(ra.motion.a1 - 1.0), 0.002);
+}
+
+TEST(AffineEstimator, PureTranslationStaysTranslational) {
+  const auto seq = rotating_sequence(0.0, 1.0);
+  alib::SoftwareBackend be;
+  const Pyramid ref = build_pyramid(be, seq.frame(0), 3);
+  const Pyramid cur = build_pyramid(be, seq.frame(1), 3);
+  AffineGmeEstimator affine(be);
+  const AffineGmeResult ra = affine.estimate(ref, cur);
+  EXPECT_NEAR(ra.motion.a0, -0.5, 0.35);
+  EXPECT_NEAR(ra.motion.a3, -0.2, 0.35);
+  EXPECT_LT(ra.motion.linear_deviation(), 0.01);
+}
+
+TEST(AffineEstimator, EngineBackendBitEqual) {
+  // The affine op goes through the engine too (position comes from stage 1).
+  const auto seq = rotating_sequence(0.005, 1.0);
+  const img::Image ref = seq.frame(0);
+  img::Image packed;
+  {
+    alib::SoftwareBackend sw;
+    packed = sw.execute(alib::Call::make_intra(
+                            alib::PixelOp::GradientPack,
+                            alib::Neighborhood::con8(), ChannelMask::y(),
+                            ChannelMask::alfa().with(Channel::Aux)),
+                        seq.frame(1))
+                 .output;
+  }
+  alib::OpParams p;
+  p.threshold = 64;
+  const alib::Call accum = alib::Call::make_inter(
+      alib::PixelOp::GmeAccumAffine, ChannelMask::y(), ChannelMask::y(), p);
+  alib::SoftwareBackend sw;
+  core::EngineBackend hw({}, core::EngineMode::CycleAccurate);
+  const alib::CallResult rs = sw.execute(accum, ref, &packed);
+  const alib::CallResult rh = hw.execute(accum, ref, &packed);
+  test::expect_images_equal(rs.output, rh.output);
+  EXPECT_EQ(rs.side.gme_affine, rh.side.gme_affine);
+  EXPECT_EQ(rs.side.sad, rh.side.sad);
+}
+
+}  // namespace
+}  // namespace ae::gme

@@ -1,0 +1,143 @@
+// Direct unit tests of the closed-form timing model's structure (the
+// cross-validation against the cycle simulator lives in
+// engine_timing_test.cpp; here the formulas themselves are pinned).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/analytic.hpp"
+
+namespace ae::core {
+namespace {
+
+alib::Call intra_call() {
+  alib::OpParams p;
+  p.coeffs.assign(9, 1);
+  p.shift = 3;
+  return alib::Call::make_intra(alib::PixelOp::Convolve,
+                                alib::Neighborhood::con8(), ChannelMask::y(),
+                                ChannelMask::y(), p);
+}
+
+TEST(AnalyticModel, InputBusyIsWordsOverEfficiency) {
+  const EngineConfig cfg;
+  const Size frame{352, 288};
+  const AnalyticTiming t = analytic_streamed_timing(cfg, intra_call(), frame);
+  const double words = 2.0 * static_cast<double>(frame.area());
+  EXPECT_EQ(t.input_busy_cycles,
+            static_cast<u64>(std::ceil(words / cfg.bus_efficiency)));
+}
+
+TEST(AnalyticModel, InterDoublesInputTraffic) {
+  const EngineConfig cfg;
+  const Size frame{352, 288};
+  const AnalyticTiming intra =
+      analytic_streamed_timing(cfg, intra_call(), frame);
+  const AnalyticTiming inter = analytic_streamed_timing(
+      cfg, alib::Call::make_inter(alib::PixelOp::AbsDiff), frame);
+  EXPECT_EQ(inter.input_busy_cycles, 2 * intra.input_busy_cycles);
+  EXPECT_EQ(inter.output_busy_cycles, intra.output_busy_cycles);
+}
+
+TEST(AnalyticModel, OverheadCountsStripChunks) {
+  const EngineConfig cfg;
+  const Size frame{352, 288};  // 18 strips of 16 lines
+  const AnalyticTiming t = analytic_streamed_timing(cfg, intra_call(), frame);
+  EXPECT_EQ(t.input_overhead_cycles,
+            (18 + 1) * static_cast<u64>(cfg.interrupt_overhead_cycles));
+  const AnalyticTiming inter = analytic_streamed_timing(
+      cfg, alib::Call::make_inter(alib::PixelOp::AbsDiff), frame);
+  EXPECT_EQ(inter.input_overhead_cycles,
+            (2 * 18 + 1) * static_cast<u64>(cfg.interrupt_overhead_cycles));
+}
+
+TEST(AnalyticModel, ColumnScanCountsVerticalStrips) {
+  const EngineConfig cfg;
+  alib::Call call = intra_call();
+  call.scan = alib::ScanOrder::ColumnMajor;
+  const Size frame{352, 288};  // 22 vertical strips of 16 columns
+  const AnalyticTiming t = analytic_streamed_timing(cfg, call, frame);
+  EXPECT_EQ(t.input_overhead_cycles,
+            (22 + 1) * static_cast<u64>(cfg.interrupt_overhead_cycles));
+}
+
+TEST(AnalyticModel, StrictInterAddsNonOverlappedProcessing) {
+  EngineConfig strict;
+  strict.strict_inter_sequencing = true;
+  const EngineConfig relaxed;
+  const Size frame{352, 288};
+  const alib::Call inter = alib::Call::make_inter(alib::PixelOp::AbsDiff);
+  const AnalyticTiming ts = analytic_streamed_timing(strict, inter, frame);
+  const AnalyticTiming tr = analytic_streamed_timing(relaxed, inter, frame);
+  EXPECT_GT(ts.total_cycles, tr.total_cycles);
+  // The extra time is on the order of the paper's 12.5% of transfers.
+  const double extra = static_cast<double>(ts.total_cycles - tr.total_cycles);
+  const double transfers = static_cast<double>(
+      tr.input_busy_cycles + tr.output_busy_cycles);
+  EXPECT_GT(extra / transfers, 0.05);
+  EXPECT_LT(extra / transfers, 0.25);
+}
+
+TEST(AnalyticModel, WiderBusHalvesBusyCycles) {
+  EngineConfig wide;
+  wide.bus_width_bits = 64;
+  const EngineConfig narrow;
+  const Size frame{352, 288};
+  const AnalyticTiming tn =
+      analytic_streamed_timing(narrow, intra_call(), frame);
+  const AnalyticTiming tw = analytic_streamed_timing(wide, intra_call(), frame);
+  EXPECT_NEAR(static_cast<double>(tw.input_busy_cycles),
+              static_cast<double>(tn.input_busy_cycles) / 2.0, 2.0);
+}
+
+TEST(AnalyticModel, SegmentTimingScalesWithTraversal) {
+  const EngineConfig cfg;
+  alib::SegmentSpec spec;
+  spec.seeds = {{0, 0}};
+  const alib::Call call = alib::Call::make_segment(
+      alib::PixelOp::Copy, alib::Neighborhood::con8(), spec, ChannelMask::y(),
+      ChannelMask::y().with(Channel::Alfa));
+  const Size frame{64, 48};
+  const AnalyticTiming small =
+      analytic_segment_timing(cfg, call, frame, 100, 300);
+  const AnalyticTiming large =
+      analytic_segment_timing(cfg, call, frame, 1000, 3000);
+  EXPECT_GT(large.tail_cycles, small.tail_cycles);
+  EXPECT_EQ(large.input_busy_cycles, small.input_busy_cycles);
+  // Per visit: nbhd.size() + 1 cycles, plus one per criterion test.
+  EXPECT_EQ(small.tail_cycles, 100u * 10 + 300u);
+}
+
+TEST(AnalyticModel, RunStatsIncludeCallOverhead) {
+  const EngineConfig cfg;
+  const Size frame{64, 48};
+  const AnalyticTiming t = analytic_streamed_timing(cfg, intra_call(), frame);
+  const EngineRunStats run = analytic_run_stats(cfg, intra_call(), frame);
+  EXPECT_EQ(run.cycles, t.total_cycles + cfg.call_setup_overhead_cycles);
+  EXPECT_EQ(run.zbt_read_transactions, static_cast<u64>(frame.area()));
+  EXPECT_EQ(run.zbt_write_transactions, static_cast<u64>(frame.area()));
+}
+
+TEST(AnalyticModel, SegmentStatsNeedTraversalSize) {
+  const EngineConfig cfg;
+  alib::SegmentSpec spec;
+  spec.seeds = {{0, 0}};
+  const alib::Call call = alib::Call::make_segment(
+      alib::PixelOp::Copy, alib::Neighborhood::con0(), spec, ChannelMask::y(),
+      ChannelMask::y().with(Channel::Alfa));
+  EXPECT_THROW(analytic_run_stats(cfg, call, Size{32, 32}),
+               InvalidArgument);
+  EXPECT_NO_THROW(analytic_run_stats(cfg, call, Size{32, 32}, 500, 2000));
+}
+
+TEST(AnalyticModel, PlcInstructionMix) {
+  const EngineConfig cfg;
+  const Size frame{48, 32};
+  const EngineRunStats run = analytic_run_stats(cfg, intra_call(), frame);
+  EXPECT_EQ(run.plc.load_instr, 32u);             // one per line
+  EXPECT_EQ(run.plc.shift_instr, 48u * 32 - 32);  // the rest
+  EXPECT_EQ(run.plc.pixel_cycles, 48u * 32);
+}
+
+}  // namespace
+}  // namespace ae::core

@@ -1,0 +1,132 @@
+// Call descriptor tests: builders, validation matrix, stats merging.
+#include <gtest/gtest.h>
+
+#include "addresslib/call.hpp"
+#include "image/synth.hpp"
+
+namespace ae::alib {
+namespace {
+
+img::Image frame() { return img::make_test_frame(Size{16, 16}, 1); }
+
+TEST(CallBuilders, InterDefaults) {
+  const Call c = Call::make_inter(PixelOp::AbsDiff);
+  EXPECT_EQ(c.mode, Mode::Inter);
+  EXPECT_EQ(c.op, PixelOp::AbsDiff);
+  EXPECT_EQ(c.in_channels, ChannelMask::y());
+  EXPECT_EQ(c.scan, ScanOrder::RowMajor);
+}
+
+TEST(CallBuilders, SegmentCarriesSpec) {
+  SegmentSpec spec;
+  spec.seeds = {{1, 1}};
+  spec.luma_threshold = 7;
+  const Call c = Call::make_segment(PixelOp::Copy, Neighborhood::con0(), spec,
+                                    ChannelMask::y(),
+                                    ChannelMask::y().with(Channel::Alfa));
+  EXPECT_EQ(c.mode, Mode::Segment);
+  EXPECT_EQ(c.segment.luma_threshold, 7);
+  EXPECT_EQ(c.segment.seeds.size(), 1u);
+}
+
+TEST(CallDescribe, MentionsKeyFields) {
+  const Call c = Call::make_intra(PixelOp::Erode, Neighborhood::con8());
+  const std::string d = c.describe();
+  EXPECT_NE(d.find("intra"), std::string::npos);
+  EXPECT_NE(d.find("Erode"), std::string::npos);
+  EXPECT_NE(d.find("CON_8"), std::string::npos);
+}
+
+TEST(CallValidation, InterNeedsSecondFrame) {
+  const img::Image a = frame();
+  const Call c = Call::make_inter(PixelOp::Add);
+  EXPECT_THROW(validate_call(c, a, nullptr), InvalidArgument);
+  const img::Image b = frame();
+  EXPECT_NO_THROW(validate_call(c, a, &b));
+}
+
+TEST(CallValidation, InterNeedsEqualSizes) {
+  const img::Image a = frame();
+  const img::Image b = img::make_test_frame(Size{8, 8}, 1);
+  EXPECT_THROW(validate_call(Call::make_inter(PixelOp::Add), a, &b),
+               InvalidArgument);
+}
+
+TEST(CallValidation, ModeOpMismatchRejected) {
+  const img::Image a = frame();
+  const img::Image b = frame();
+  Call inter_with_intra_op = Call::make_inter(PixelOp::Add);
+  inter_with_intra_op.op = PixelOp::Erode;
+  EXPECT_THROW(validate_call(inter_with_intra_op, a, &b), InvalidArgument);
+
+  Call intra_with_inter_op = Call::make_intra(PixelOp::Copy,
+                                              Neighborhood::con0());
+  intra_with_inter_op.op = PixelOp::AbsDiff;
+  EXPECT_THROW(validate_call(intra_with_inter_op, a, nullptr),
+               InvalidArgument);
+}
+
+TEST(CallValidation, EmptyFrameRejected) {
+  const img::Image empty;
+  EXPECT_THROW(validate_call(Call::make_intra(PixelOp::Copy,
+                                              Neighborhood::con0()),
+                             empty, nullptr),
+               InvalidArgument);
+}
+
+TEST(CallValidation, SegmentSeedChecks) {
+  const img::Image a = frame();
+  SegmentSpec spec;  // no seeds
+  Call c = Call::make_segment(PixelOp::Copy, Neighborhood::con0(), spec,
+                              ChannelMask::y(),
+                              ChannelMask::y().with(Channel::Alfa));
+  EXPECT_THROW(validate_call(c, a, nullptr), InvalidArgument);
+
+  c.segment.seeds = {{99, 99}};  // outside
+  EXPECT_THROW(validate_call(c, a, nullptr), InvalidArgument);
+
+  c.segment.seeds = {{3, 3}};
+  c.segment.luma_threshold = -1;
+  EXPECT_THROW(validate_call(c, a, nullptr), InvalidArgument);
+
+  c.segment.luma_threshold = 10;
+  EXPECT_NO_THROW(validate_call(c, a, nullptr));
+}
+
+TEST(CallValidation, WriteIdsNeedsAlfaOut) {
+  const img::Image a = frame();
+  SegmentSpec spec;
+  spec.seeds = {{3, 3}};
+  spec.write_ids = true;
+  Call c = Call::make_segment(PixelOp::Copy, Neighborhood::con0(), spec,
+                              ChannelMask::y(), ChannelMask::y());
+  EXPECT_THROW(validate_call(c, a, nullptr), InvalidArgument);
+}
+
+TEST(CallStatsTest, MergeSumsAllFields) {
+  CallStats a;
+  a.pixels = 10;
+  a.loads = 5;
+  a.stores = 2;
+  a.cycles = 100;
+  a.profile.address_calc = 7;
+  a.model_seconds = 0.5;
+  CallStats b = a;
+  b.merge(a);
+  EXPECT_EQ(b.pixels, 20);
+  EXPECT_EQ(b.loads, 10u);
+  EXPECT_EQ(b.stores, 4u);
+  EXPECT_EQ(b.cycles, 200u);
+  EXPECT_EQ(b.profile.address_calc, 14u);
+  EXPECT_DOUBLE_EQ(b.model_seconds, 1.0);
+  EXPECT_EQ(b.access_transactions(), 14u);
+}
+
+TEST(ModeNames, ToString) {
+  EXPECT_EQ(to_string(Mode::Inter), "inter");
+  EXPECT_EQ(to_string(Mode::Intra), "intra");
+  EXPECT_EQ(to_string(Mode::Segment), "segment");
+}
+
+}  // namespace
+}  // namespace ae::alib

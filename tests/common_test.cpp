@@ -1,0 +1,226 @@
+// Unit tests for the common substrate: channel masks, geometry, PRNG,
+// formatting and error machinery.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/error.hpp"
+#include "common/format.hpp"
+#include "common/geometry.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace ae {
+namespace {
+
+TEST(ChannelMask, NamedMasksContainExpectedChannels) {
+  EXPECT_TRUE(ChannelMask::y().contains(Channel::Y));
+  EXPECT_FALSE(ChannelMask::y().contains(Channel::U));
+  EXPECT_TRUE(ChannelMask::yuv().contains(Channel::V));
+  EXPECT_FALSE(ChannelMask::yuv().contains(Channel::Alfa));
+  EXPECT_TRUE(ChannelMask::all().contains(Channel::Aux));
+  EXPECT_TRUE(ChannelMask::none().empty());
+}
+
+TEST(ChannelMask, WithWithoutRoundTrip) {
+  const ChannelMask m = ChannelMask::y().with(Channel::Aux);
+  EXPECT_TRUE(m.contains(Channel::Aux));
+  EXPECT_EQ(m.without(Channel::Aux), ChannelMask::y());
+}
+
+TEST(ChannelMask, CountMatchesPopcount) {
+  EXPECT_EQ(ChannelMask::none().count(), 0);
+  EXPECT_EQ(ChannelMask::y().count(), 1);
+  EXPECT_EQ(ChannelMask::yuv().count(), 3);
+  EXPECT_EQ(ChannelMask::all().count(), 5);
+}
+
+TEST(ChannelMask, VideoAndSideClassification) {
+  EXPECT_TRUE(ChannelMask::yuv().has_video());
+  EXPECT_FALSE(ChannelMask::yuv().has_side());
+  EXPECT_TRUE(ChannelMask::alfa().has_side());
+  EXPECT_FALSE(ChannelMask::alfa().has_video());
+}
+
+TEST(ChannelMask, ToStringListsChannels) {
+  EXPECT_EQ(to_string(ChannelMask::yuv()), "Y,U,V");
+  EXPECT_EQ(to_string(ChannelMask::none()), "-");
+  EXPECT_EQ(to_string(ChannelMask::alfa()), "Alfa");
+}
+
+TEST(Geometry, PointArithmetic) {
+  EXPECT_EQ((Point{1, 2} + Point{3, 4}), (Point{4, 6}));
+  EXPECT_EQ((Point{5, 5} - Point{2, 3}), (Point{3, 2}));
+}
+
+TEST(Geometry, Distances) {
+  EXPECT_EQ(chebyshev({0, 0}, {3, -4}), 4);
+  EXPECT_EQ(chebyshev({2, 2}, {2, 2}), 0);
+  EXPECT_EQ(manhattan({0, 0}, {3, -4}), 7);
+}
+
+TEST(Geometry, SizeContainsAndArea) {
+  const Size s{4, 3};
+  EXPECT_EQ(s.area(), 12);
+  EXPECT_TRUE(s.contains({0, 0}));
+  EXPECT_TRUE(s.contains({3, 2}));
+  EXPECT_FALSE(s.contains({4, 0}));
+  EXPECT_FALSE(s.contains({0, -1}));
+}
+
+TEST(Geometry, RectIntersect) {
+  const Rect a{0, 0, 10, 10};
+  const Rect b{5, 5, 10, 10};
+  EXPECT_EQ(a.intersect(b), (Rect{5, 5, 5, 5}));
+  EXPECT_TRUE(a.intersect(Rect{20, 20, 3, 3}).empty());
+  EXPECT_EQ(a.intersect(a), a);
+}
+
+TEST(Geometry, RectUnite) {
+  const Rect a{0, 0, 2, 2};
+  const Rect b{5, 5, 1, 1};
+  EXPECT_EQ(a.unite(b), (Rect{0, 0, 6, 6}));
+  EXPECT_EQ(Rect{}.unite(b), b);
+  EXPECT_EQ(b.unite(Rect{}), b);
+}
+
+TEST(Geometry, RectContains) {
+  const Rect r{2, 3, 4, 5};
+  EXPECT_TRUE(r.contains({2, 3}));
+  EXPECT_TRUE(r.contains({5, 7}));
+  EXPECT_FALSE(r.contains({6, 3}));
+  EXPECT_FALSE(r.contains({2, 8}));
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.bounded(17), 17u);
+}
+
+TEST(Rng, BoundedRejectsZero) {
+  Rng rng(7);
+  EXPECT_THROW(rng.bounded(0), InvalidArgument);
+}
+
+TEST(Rng, UniformCoversClosedInterval) {
+  Rng rng(3);
+  std::array<bool, 5> seen{};
+  for (int i = 0; i < 500; ++i) {
+    const i32 v = rng.uniform(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    seen[static_cast<std::size_t>(v + 2)] = true;
+  }
+  for (const bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Rng, Uniform01InHalfOpenRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformRejectsInvertedRange) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform(3, 2), InvalidArgument);
+}
+
+TEST(Format, MinSecMatchesPaperNotation) {
+  EXPECT_EQ(format_minsec(275.0), "4'35''");
+  EXPECT_EQ(format_minsec(64.0), "1'04''");
+  EXPECT_EQ(format_minsec(0.0), "0'00''");
+  EXPECT_EQ(format_minsec(745.0), "12'25''");
+}
+
+TEST(Format, MinSecRejectsNegative) {
+  EXPECT_THROW(format_minsec(-1.0), InvalidArgument);
+}
+
+TEST(Format, ThousandsUsesPaperSeparator) {
+  EXPECT_EQ(format_thousands(304128), "304.128");
+  EXPECT_EQ(format_thousands(0), "0");
+  EXPECT_EQ(format_thousands(999), "999");
+  EXPECT_EQ(format_thousands(1000), "1.000");
+  EXPECT_EQ(format_thousands(1234567), "1.234.567");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(format_percent(0.333), "33%");
+  EXPECT_EQ(format_percent(2.0), "200%");
+  EXPECT_EQ(format_percent(0.0), "0%");
+}
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(5.0, 0), "5");
+}
+
+TEST(Format, TextTableAlignsColumns) {
+  TextTable t({"a", "long-header"});
+  t.add_row({"xxx", "1"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("| a   | long-header |"), std::string::npos);
+  EXPECT_NE(s.find("| xxx | 1           |"), std::string::npos);
+}
+
+TEST(Format, TextTableRejectsWrongArity) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgument);
+}
+
+TEST(Errors, MacrosThrowTypedExceptions) {
+  EXPECT_THROW(AE_EXPECTS(false, "nope"), InvalidArgument);
+  EXPECT_THROW(AE_ASSERT(false, "broken"), InvariantViolation);
+  EXPECT_NO_THROW(AE_EXPECTS(true, "fine"));
+}
+
+TEST(Errors, MessageCarriesContext) {
+  try {
+    AE_EXPECTS(1 == 2, "math works");
+    FAIL() << "should have thrown";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("math works"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(RunningStats, WelfordBasics) {
+  RunningStats s;
+  for (const double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  const RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace ae

@@ -1,0 +1,108 @@
+// Pins the software cost model's arithmetic: the per-pixel instruction
+// profiles and cycle formula that every Pentium-M second in the repo is
+// derived from (Table 3, the profiler, the examples).
+#include <gtest/gtest.h>
+
+#include "addresslib/access_model.hpp"
+#include "addresslib/cost_model.hpp"
+
+namespace ae::alib {
+namespace {
+
+Call con8_call() {
+  return Call::make_intra(PixelOp::MorphGradient, Neighborhood::con8());
+}
+
+TEST(CostModel, PerPixelProfileForCon8) {
+  const SoftwareCostModel m;
+  const InstructionProfile p = software_profile_per_pixel(con8_call(), m);
+  // CON_8 Y->Y: 3 loads + 1 store = 4 accesses.
+  EXPECT_EQ(p.memory, 4u);
+  EXPECT_EQ(p.control, static_cast<u64>(m.control_instr_per_pixel));
+  EXPECT_EQ(p.address_calc,
+            4u * static_cast<u64>(m.addr_instr_per_access) +
+                static_cast<u64>(m.addr_instr_per_scan_step));
+  EXPECT_EQ(p.pixel_op,
+            static_cast<u64>(op_datapath_cost(
+                PixelOp::MorphGradient, Neighborhood::con8(),
+                ChannelMask::y())));
+}
+
+TEST(CostModel, PerPixelProfileForInter) {
+  const SoftwareCostModel m;
+  const Call c = Call::make_inter(PixelOp::AbsDiff);
+  const InstructionProfile p = software_profile_per_pixel(c, m);
+  EXPECT_EQ(p.memory, 3u);  // 2 loads + 1 store
+  EXPECT_EQ(p.address_calc,
+            3u * static_cast<u64>(m.addr_instr_per_access) +
+                static_cast<u64>(m.addr_instr_per_scan_step));
+}
+
+TEST(CostModel, CycleFormula) {
+  const SoftwareCostModel m;
+  InstructionProfile p;
+  p.control = 10;
+  p.address_calc = 20;
+  p.pixel_op = 30;
+  p.memory = 5;
+  // cycles = total * cpi + memory * stall.
+  EXPECT_DOUBLE_EQ(m.cycles(p),
+                   65.0 * m.cpi +
+                       5.0 * static_cast<double>(m.memory_stall_cycles));
+  EXPECT_DOUBLE_EQ(m.seconds(p), m.cycles(p) / m.clock_hz);
+}
+
+TEST(CostModel, AddressShareDominatesForNeighborhoodOps) {
+  // The defining property of the model (and of the XM it stands in for).
+  const SoftwareCostModel m;
+  const InstructionProfile p = software_profile_per_pixel(con8_call(), m);
+  EXPECT_GT(static_cast<double>(p.address_calc) /
+                static_cast<double>(p.total()),
+            0.75);
+}
+
+TEST(CostModel, SideChannelReadsDoubleTheLoads) {
+  const SoftwareCostModel m;
+  OpParams params;
+  params.threshold = 10;
+  const Call c = Call::make_intra(
+      PixelOp::Homogeneity, Neighborhood::con8(), ChannelMask::all(),
+      ChannelMask::alfa().with(Channel::Aux), params);
+  const InstructionProfile p = software_profile_per_pixel(c, m);
+  // 3 entering pixels x 2 words + 2 channel stores = 8 accesses.
+  EXPECT_EQ(p.memory, 8u);
+}
+
+TEST(CostModel, ScanDirectionChangesLoadCount) {
+  const SoftwareCostModel m;
+  OpParams fir;
+  fir.coeffs.assign(9, 1);
+  fir.shift = 3;
+  Call c = Call::make_intra(PixelOp::Convolve, Neighborhood::vline(9),
+                            ChannelMask::y(), ChannelMask::y(), fir);
+  c.scan = ScanOrder::RowMajor;
+  const u64 row_mem = software_profile_per_pixel(c, m).memory;
+  c.scan = ScanOrder::ColumnMajor;
+  const u64 col_mem = software_profile_per_pixel(c, m).memory;
+  EXPECT_EQ(row_mem, 10u);  // 9 loads + 1 store
+  EXPECT_EQ(col_mem, 2u);   // 1 load + 1 store
+}
+
+TEST(CostModel, CifCon8CallCostsTensOfMilliseconds) {
+  // Sanity anchor for Table 3: one CON_8 call over CIF on the modeled
+  // Pentium-M costs tens of milliseconds (the paper's ~36 ms/call average).
+  const SoftwareCostModel m;
+  const InstructionProfile per = software_profile_per_pixel(con8_call(), m);
+  InstructionProfile total;
+  constexpr u64 kCifPixels = 101376;
+  total.control = per.control * kCifPixels;
+  total.address_calc = per.address_calc * kCifPixels;
+  total.pixel_op = per.pixel_op * kCifPixels;
+  total.memory = per.memory * kCifPixels;
+  const double seconds = m.seconds(total);
+  EXPECT_GT(seconds, 0.02);
+  EXPECT_LT(seconds, 0.12);
+}
+
+}  // namespace
+}  // namespace ae::alib

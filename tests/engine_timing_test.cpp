@@ -1,0 +1,276 @@
+// Engine timing and architecture-behaviour tests:
+//  * the analytic model tracks the cycle simulator across configurations,
+//  * normal calls are bus-bound (the paper's central performance claim),
+//  * strict inter sequencing exposes ~12.5% non-transfer time (section 4.1),
+//  * Table 2's hardware transaction counts fall out of the simulated
+//    dataflow, on CIF, exactly.
+#include <gtest/gtest.h>
+
+#include "core/core.hpp"
+#include "test_util.hpp"
+
+namespace ae {
+namespace {
+
+using alib::Call;
+using alib::PixelOp;
+using alib::ScanOrder;
+
+alib::Call con8_convolve() {
+  alib::OpParams p;
+  p.coeffs.assign(9, 1);
+  p.shift = 3;
+  return Call::make_intra(PixelOp::Convolve, alib::Neighborhood::con8(),
+                          ChannelMask::y(), ChannelMask::y(), p);
+}
+
+struct TimingCase {
+  std::string label;
+  core::EngineConfig config;
+  Call call;
+  bool needs_b;
+  Size frame;
+};
+
+std::vector<TimingCase> timing_cases() {
+  std::vector<TimingCase> cases;
+  const Size small{48, 32};
+  const Size tall{32, 64};
+
+  cases.push_back({"intra_small", {}, con8_convolve(), false, small});
+  cases.push_back(
+      {"inter_small", {}, Call::make_inter(PixelOp::AbsDiff), true, small});
+  {
+    Call c = con8_convolve();
+    c.scan = ScanOrder::ColumnMajor;
+    cases.push_back({"intra_colscan", {}, c, false, tall});
+  }
+  {
+    core::EngineConfig fast_bus;
+    fast_bus.bus_width_bits = 64;
+    cases.push_back({"bus64", fast_bus, con8_convolve(), false, small});
+  }
+  {
+    core::EngineConfig eff;
+    eff.bus_efficiency = 0.6;
+    cases.push_back({"low_efficiency", eff, con8_convolve(), false, small});
+  }
+  {
+    core::EngineConfig strict;
+    strict.strict_inter_sequencing = true;
+    cases.push_back(
+        {"strict_inter", strict, Call::make_inter(PixelOp::Add), true, small});
+  }
+  {
+    Call c = Call::make_intra(PixelOp::Convolve, alib::Neighborhood::vline(9),
+                              ChannelMask::y(), ChannelMask::y(),
+                              [] {
+                                alib::OpParams p;
+                                p.coeffs.assign(9, 1);
+                                p.shift = 3;
+                                return p;
+                              }());
+    cases.push_back({"vline9_worstcase", {}, c, false, small});
+  }
+  return cases;
+}
+
+class AnalyticVsCycle : public ::testing::TestWithParam<int> {};
+
+TEST_P(AnalyticVsCycle, TotalCyclesWithinFivePercent) {
+  const TimingCase tc =
+      timing_cases()[static_cast<std::size_t>(GetParam())];
+  const img::Image a = img::make_test_frame(tc.frame, 1);
+  const img::Image b = img::make_test_frame(tc.frame, 2);
+
+  core::EngineRunStats cycle;
+  core::simulate_call(tc.config, tc.call, a, tc.needs_b ? &b : nullptr,
+                      &cycle);
+  const core::EngineRunStats analytic =
+      core::analytic_run_stats(tc.config, tc.call, tc.frame);
+
+  const double rel =
+      std::abs(static_cast<double>(analytic.cycles) -
+               static_cast<double>(cycle.cycles)) /
+      static_cast<double>(cycle.cycles);
+  EXPECT_LT(rel, 0.05) << tc.label << ": cycle=" << cycle.cycles
+                       << " analytic=" << analytic.cycles;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, AnalyticVsCycle,
+    ::testing::Range(0, static_cast<int>(timing_cases().size())),
+    [](const ::testing::TestParamInfo<int>& tpi) {
+      return timing_cases()[static_cast<std::size_t>(tpi.param)].label;
+    });
+
+TEST(EngineTiming, NormalCallsAreBusBound) {
+  // "the performance of the design is constraint by the bandwidth of the
+  // PCI bus which happens to be the bottleneck of the system".
+  const img::Image a = test::small_frame();
+  const img::Image b = test::small_frame_b();
+  for (const bool inter : {false, true}) {
+    core::EngineRunStats run;
+    core::simulate_call({}, inter ? Call::make_inter(PixelOp::AbsDiff)
+                                  : con8_convolve(),
+                        a, inter ? &b : nullptr, &run);
+    EXPECT_LT(run.non_bus_fraction_of_transfer(), 0.02)
+        << (inter ? "inter" : "intra");
+  }
+}
+
+TEST(EngineTiming, StrictInterWastesAboutOneEighth) {
+  // "Even in this situation the time wasted not due to the PCI
+  // transferences is a 12.5% of the time needed to transfer the images."
+  core::EngineConfig strict;
+  strict.strict_inter_sequencing = true;
+  const img::Image a = img::make_test_frame(img::formats::kCif, 1);
+  const img::Image b = img::make_test_frame(img::formats::kCif, 2);
+  core::EngineRunStats run;
+  core::simulate_call(strict, Call::make_inter(PixelOp::AbsDiff), a, &b,
+                      &run);
+  EXPECT_GT(run.non_bus_fraction_of_transfer(), 0.08);
+  EXPECT_LT(run.non_bus_fraction_of_transfer(), 0.18);
+}
+
+TEST(EngineTiming, Table2HardwareCountsEmergeFromDataflowOnCif) {
+  // The simulated TxU traffic must land exactly on the paper's 202,752
+  // transactions for a CIF frame, for all four table rows.
+  const img::Image a = img::make_test_frame(img::formats::kCif, 1);
+  const img::Image b = img::make_test_frame(img::formats::kCif, 2);
+  const u64 expected = 202752;
+
+  struct Row {
+    const char* label;
+    Call call;
+    bool needs_b;
+  };
+  const std::vector<Row> rows = {
+      {"inter_y", Call::make_inter(PixelOp::AbsDiff), true},
+      {"intra_con0",
+       Call::make_intra(PixelOp::Scale, alib::Neighborhood::con0()), false},
+      {"intra_con8", con8_convolve(), false},
+      {"intra_con8_yuv",
+       Call::make_intra(PixelOp::MorphGradient, alib::Neighborhood::con8(),
+                        ChannelMask::yuv(), ChannelMask::yuv()),
+       false},
+  };
+  for (const Row& row : rows) {
+    core::EngineRunStats run;
+    core::simulate_call({}, row.call, a, row.needs_b ? &b : nullptr, &run);
+    EXPECT_EQ(run.zbt_read_transactions + run.zbt_write_transactions,
+              expected)
+        << row.label;
+  }
+}
+
+TEST(EngineTiming, WiderBusIsFaster) {
+  const img::Image a = test::small_frame();
+  core::EngineConfig narrow;
+  core::EngineConfig wide;
+  wide.bus_width_bits = 64;
+  core::EngineRunStats n;
+  core::EngineRunStats w;
+  core::simulate_call(narrow, con8_convolve(), a, nullptr, &n);
+  core::simulate_call(wide, con8_convolve(), a, nullptr, &w);
+  EXPECT_LT(w.cycles, n.cycles);
+}
+
+TEST(EngineTiming, LowerEfficiencyIsSlower) {
+  const img::Image a = test::small_frame();
+  core::EngineConfig good;
+  core::EngineConfig bad;
+  bad.bus_efficiency = 0.5;
+  core::EngineRunStats g;
+  core::EngineRunStats b;
+  core::simulate_call(good, con8_convolve(), a, nullptr, &g);
+  core::simulate_call(bad, con8_convolve(), a, nullptr, &b);
+  EXPECT_GT(b.cycles, g.cycles);
+}
+
+TEST(EngineTiming, TinyOimForcesStallsButSameResult) {
+  const img::Image a = test::small_frame();
+  core::EngineConfig tiny;
+  tiny.oim_lines = 1;
+  core::EngineRunStats constrained;
+  const alib::CallResult r1 =
+      core::simulate_call(tiny, con8_convolve(), a, nullptr, &constrained);
+  core::EngineRunStats roomy;
+  const alib::CallResult r2 =
+      core::simulate_call({}, con8_convolve(), a, nullptr, &roomy);
+  EXPECT_EQ(r1.output, r2.output);  // backpressure never corrupts data
+  EXPECT_GE(constrained.pu_stall_oim, roomy.pu_stall_oim);
+}
+
+TEST(EngineTiming, PlcInstructionStreamShape) {
+  const img::Image a = test::small_frame();
+  core::EngineRunStats run;
+  core::simulate_call({}, con8_convolve(), a, nullptr, &run);
+  const auto pixels = static_cast<u64>(a.pixel_count());
+  EXPECT_EQ(run.plc.pixel_cycles, pixels);
+  EXPECT_EQ(run.plc.scan_instr, pixels);
+  EXPECT_EQ(run.plc.op_instr, pixels);
+  EXPECT_EQ(run.plc.store_instr, pixels);
+  // One LOAD per line start, SHIFTs elsewhere.
+  EXPECT_EQ(run.plc.load_instr, static_cast<u64>(a.height()));
+  EXPECT_EQ(run.plc.shift_instr, pixels - static_cast<u64>(a.height()));
+  EXPECT_EQ(run.plc.startup_cycles,
+            static_cast<u64>(core::EngineConfig{}.pipeline_stages - 1));
+}
+
+TEST(EngineTiming, IimParallelReadsOnePerPixelCycle) {
+  // "the whole neighbourhood can be obtained in only one cycle".
+  const img::Image a = test::small_frame();
+  core::EngineRunStats run;
+  core::simulate_call({}, con8_convolve(), a, nullptr, &run);
+  EXPECT_EQ(run.iim_parallel_reads, static_cast<u64>(a.pixel_count()));
+  EXPECT_GT(run.iim_block_reads, run.iim_parallel_reads);
+}
+
+TEST(EngineTiming, InterruptsCountedPerStripChunk) {
+  const img::Image a = test::small_frame();  // 32 lines = 2 strips
+  core::EngineRunStats run;
+  core::simulate_call({}, con8_convolve(), a, nullptr, &run);
+  // setup + 2 input strips + 1 output strip-chunk... at least 4.
+  EXPECT_GE(run.interrupts, 4u);
+}
+
+TEST(EngineTiming, SegmentCallNeedsFullFrameFirst) {
+  // The segment extension cannot overlap with the transfer: its cycle count
+  // must exceed input + output transfer plus one traversal.
+  const img::Image a = test::small_frame();
+  alib::SegmentSpec spec;
+  spec.seeds = {{10, 10}};
+  spec.luma_threshold = 255;
+  const Call call = Call::make_segment(
+      PixelOp::Copy, alib::Neighborhood::con8(), spec, ChannelMask::y(),
+      ChannelMask::y().with(Channel::Alfa));
+  core::EngineRunStats run;
+  core::simulate_call({}, call, a, nullptr, &run);
+  const auto pixels = static_cast<u64>(a.pixel_count());
+  EXPECT_GE(run.cycles, run.bus_busy_cycles + pixels * 9);
+  EXPECT_EQ(run.zbt_write_transactions, pixels);
+}
+
+TEST(EngineTiming, AnalyticSegmentMatchesSimulatedShape) {
+  const img::Image a = test::small_frame();
+  alib::SegmentSpec spec;
+  spec.seeds = {{10, 10}};
+  spec.luma_threshold = 255;
+  const Call call = Call::make_segment(
+      PixelOp::Copy, alib::Neighborhood::con8(), spec, ChannelMask::y(),
+      ChannelMask::y().with(Channel::Alfa));
+  core::EngineRunStats cycle;
+  core::simulate_call({}, call, a, nullptr, &cycle);
+  const core::EngineRunStats analytic = core::analytic_run_stats(
+      {}, call, a.size(), cycle.pixels,
+      static_cast<i64>(cycle.zbt_read_transactions -
+                       static_cast<u64>(cycle.pixels) * 9));
+  const double rel = std::abs(static_cast<double>(analytic.cycles) -
+                              static_cast<double>(cycle.cycles)) /
+                     static_cast<double>(cycle.cycles);
+  EXPECT_LT(rel, 0.08);
+}
+
+}  // namespace
+}  // namespace ae

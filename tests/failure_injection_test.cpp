@@ -1,0 +1,199 @@
+// Failure injection and configuration validation: every documented
+// precondition of the engine must reject bad inputs with a typed error, and
+// degraded-but-legal configurations must degrade gracefully, never corrupt.
+#include <gtest/gtest.h>
+
+#include "core/core.hpp"
+#include "test_util.hpp"
+
+namespace ae {
+namespace {
+
+using alib::Call;
+using alib::PixelOp;
+
+TEST(ConfigValidation, RejectsBadClock) {
+  core::EngineConfig c;
+  c.clock_mhz = 0.0;
+  EXPECT_THROW(core::validate_config(c), InvalidArgument);
+}
+
+TEST(ConfigValidation, RejectsOddBusWidth) {
+  core::EngineConfig c;
+  c.bus_width_bits = 48;
+  EXPECT_THROW(core::validate_config(c), InvalidArgument);
+}
+
+TEST(ConfigValidation, RejectsBadEfficiency) {
+  core::EngineConfig c;
+  c.bus_efficiency = 0.0;
+  EXPECT_THROW(core::validate_config(c), InvalidArgument);
+  c.bus_efficiency = 1.5;
+  EXPECT_THROW(core::validate_config(c), InvalidArgument);
+}
+
+TEST(ConfigValidation, RejectsTooFewBanks) {
+  core::EngineConfig c;
+  c.zbt_banks = 4;
+  EXPECT_THROW(core::validate_config(c), InvalidArgument);
+}
+
+TEST(ConfigValidation, RejectsNonPowerOfTwoStrip) {
+  core::EngineConfig c;
+  c.strip_lines = 12;
+  EXPECT_THROW(core::validate_config(c), InvalidArgument);
+}
+
+TEST(ConfigValidation, RejectsStripBelowNeighborhoodSpan) {
+  // "The selected strip size is sixteen lines, as the maximum range of
+  // input data required to process one pixel is nine lines."
+  core::EngineConfig c;
+  c.strip_lines = 8;
+  EXPECT_THROW(core::validate_config(c), InvalidArgument);
+}
+
+TEST(ConfigValidation, RejectsShallowIim) {
+  core::EngineConfig c;
+  c.iim_lines = 4;
+  EXPECT_THROW(core::validate_config(c), InvalidArgument);
+}
+
+TEST(ConfigValidation, RejectsWrongStageCount) {
+  core::EngineConfig c;
+  c.pipeline_stages = 5;
+  EXPECT_THROW(core::validate_config(c), InvalidArgument);
+}
+
+TEST(FrameValidation, RejectsOversizedFrames) {
+  core::EngineConfig c;
+  EXPECT_THROW(core::validate_frame(c, Size{400, 288}), InvalidArgument);
+  EXPECT_THROW(core::validate_frame(c, Size{0, 10}), InvalidArgument);
+}
+
+TEST(FrameValidation, RejectsFramesBeyondBankCapacity) {
+  core::EngineConfig c;
+  c.zbt_bank_bytes = 64 * 1024;
+  c.max_line_pixels = 352;
+  EXPECT_THROW(core::validate_frame(c, img::formats::kCif), InvalidArgument);
+  EXPECT_NO_THROW(core::validate_frame(c, Size{96, 96}));
+}
+
+TEST(EngineBackendErrors, RejectsBadCalls) {
+  core::EngineBackend be;
+  const img::Image a = test::small_frame();
+  // Inter without a second frame.
+  EXPECT_THROW(be.execute(Call::make_inter(PixelOp::Add), a),
+               InvalidArgument);
+}
+
+TEST(Degradation, AsymmetricNeighborhoodsWork) {
+  // A window lying entirely above (or below) the center: the clamped line
+  // window logic must still feed the matrix register correctly.
+  const img::Image a = test::small_frame();
+  alib::SoftwareBackend sw;
+  core::EngineBackend hw;
+  for (const Point off : {Point{0, -5}, Point{0, 4}, Point{-3, 0}}) {
+    const Call call = Call::make_intra(
+        PixelOp::Erode, alib::Neighborhood({off, Point{0, 0}}));
+    SCOPED_TRACE(to_string(off));
+    test::expect_images_equal(sw.execute(call, a).output,
+                              hw.execute(call, a).output);
+  }
+}
+
+TEST(EngineBackendErrors, OversizedFrameRejectedInBothModes) {
+  const img::Image big(Size{300, 400});  // height > 352 buffer sizing
+  for (const auto mode :
+       {core::EngineMode::CycleAccurate, core::EngineMode::Analytic}) {
+    core::EngineBackend be({}, mode);
+    EXPECT_THROW(
+        be.execute(Call::make_intra(PixelOp::Copy, alib::Neighborhood::con0()),
+                   big),
+        InvalidArgument)
+        << to_string(mode);
+  }
+}
+
+TEST(Degradation, MinimalIimStillCorrect) {
+  // 9-line neighborhood through a 9-line IIM: maximum pressure, same bits.
+  core::EngineConfig tight;
+  tight.iim_lines = 9;
+  tight.strip_lines = 16;
+  alib::OpParams p;
+  p.coeffs.assign(9, 1);
+  p.shift = 3;
+  const Call call = Call::make_intra(PixelOp::Convolve,
+                                     alib::Neighborhood::vline(9),
+                                     ChannelMask::y(), ChannelMask::y(), p);
+  const img::Image a = test::small_frame();
+  alib::SoftwareBackend sw;
+  core::EngineBackend hw(tight);
+  test::expect_images_equal(sw.execute(call, a).output,
+                            hw.execute(call, a).output);
+}
+
+TEST(Degradation, TallNeighborhoodRejectedWhenIimTooSmall) {
+  core::EngineConfig tight;
+  tight.iim_lines = 9;
+  // Inter mode halves the IIM: a 9-line window can't fit 4 lines per
+  // frame... (inter uses CON_0 windows, so instead check intra rejection
+  // with a halved custom config is not expressible — use vline on a
+  // config whose IIM is 9 and neighborhood needing 9 works, but an
+  // 11-line neighborhood is impossible to build at all.)
+  EXPECT_THROW(alib::Neighborhood::vline(11), InvalidArgument);
+}
+
+TEST(Degradation, SlowBusOnlyChangesTiming) {
+  const img::Image a = test::small_frame();
+  const img::Image b = test::small_frame_b();
+  core::EngineConfig slow;
+  slow.bus_efficiency = 0.3;
+  slow.interrupt_overhead_cycles = 5000;
+  core::EngineBackend fast_be;
+  core::EngineBackend slow_be(slow);
+  const Call call = Call::make_inter(PixelOp::Average);
+  const alib::CallResult rf = fast_be.execute(call, a, &b);
+  const alib::CallResult rs = slow_be.execute(call, a, &b);
+  test::expect_images_equal(rf.output, rs.output);
+  EXPECT_GT(rs.stats.cycles, rf.stats.cycles);
+  EXPECT_EQ(rf.stats.loads, rs.stats.loads);  // traffic identical
+}
+
+TEST(Degradation, ColumnScanOfWideFrameWorks) {
+  // Column-major scan turns width into the line count: a wide frame then
+  // has many short lines; the dataflow must still be exact.
+  img::Image a = img::make_test_frame(Size{96, 16}, 3);
+  Call call = Call::make_intra(PixelOp::MorphGradient,
+                               alib::Neighborhood::con8());
+  call.scan = alib::ScanOrder::ColumnMajor;
+  alib::SoftwareBackend sw;
+  core::EngineBackend hw;
+  test::expect_images_equal(sw.execute(call, a).output,
+                            hw.execute(call, a).output);
+}
+
+TEST(Degradation, SingleLineFrame) {
+  // Degenerate 1-line image: border replication everywhere.
+  img::Image a = img::make_test_frame(Size{64, 1}, 4);
+  const Call call = Call::make_intra(PixelOp::MorphGradient,
+                                     alib::Neighborhood::con8());
+  alib::SoftwareBackend sw;
+  core::EngineBackend hw;
+  test::expect_images_equal(sw.execute(call, a).output,
+                            hw.execute(call, a).output);
+}
+
+TEST(Degradation, TinyFrames) {
+  for (const Size s : {Size{1, 1}, Size{2, 2}, Size{3, 5}}) {
+    img::Image a = img::make_test_frame(s, 6);
+    const Call call = Call::make_intra(PixelOp::Dilate,
+                                       alib::Neighborhood::con8());
+    alib::SoftwareBackend sw;
+    core::EngineBackend hw;
+    test::expect_images_equal(sw.execute(call, a).output,
+                              hw.execute(call, a).output);
+  }
+}
+
+}  // namespace
+}  // namespace ae

@@ -1,0 +1,241 @@
+// Randomized equivalence sweep: generate hundreds of *valid* random calls
+// (op, neighborhood shape, channels, params, scan, border, frame size) and
+// assert the software backend and the cycle-accurate engine agree
+// bit-exactly on outputs and side results.  Seeded and deterministic.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/core.hpp"
+#include "test_util.hpp"
+
+namespace ae {
+namespace {
+
+using alib::Call;
+using alib::Neighborhood;
+using alib::OpParams;
+using alib::PixelOp;
+
+/// Random odd value in [1, max_odd].
+i32 random_odd(Rng& rng, i32 max_odd) {
+  return 1 + 2 * rng.uniform(0, (max_odd - 1) / 2);
+}
+
+Neighborhood random_neighborhood(Rng& rng) {
+  switch (rng.bounded(6)) {
+    case 0:
+      return Neighborhood::con0();
+    case 1:
+      return Neighborhood::con4();
+    case 2:
+      return Neighborhood::con8();
+    case 3:
+      return Neighborhood::vline(random_odd(rng, 9));
+    case 4:
+      return Neighborhood::hline(random_odd(rng, 9));
+    default:
+      return Neighborhood::rect(random_odd(rng, 5), random_odd(rng, 5));
+  }
+}
+
+ChannelMask random_video_mask(Rng& rng) {
+  switch (rng.bounded(3)) {
+    case 0:
+      return ChannelMask::y();
+    case 1:
+      return ChannelMask::yuv();
+    default:
+      return ChannelMask::y().with(Channel::U);
+  }
+}
+
+/// Builds a random *valid* call; returns whether it needs a second frame.
+Call random_call(Rng& rng, bool& needs_b) {
+  needs_b = rng.chance(0.4);
+  if (needs_b) {
+    static const PixelOp inter_ops[] = {
+        PixelOp::Copy,    PixelOp::Add,     PixelOp::Sub,
+        PixelOp::AbsDiff, PixelOp::Mult,    PixelOp::Min,
+        PixelOp::Max,     PixelOp::Average, PixelOp::Sad,
+        PixelOp::DiffMask, PixelOp::BitAnd, PixelOp::BitOr,
+        PixelOp::BitXor};
+    const PixelOp op = inter_ops[rng.bounded(13)];
+    OpParams p;
+    p.shift = op == PixelOp::Mult ? rng.uniform(4, 8) : 0;
+    p.threshold = rng.uniform(0, 64);
+    const ChannelMask mask = random_video_mask(rng);
+    Call c = Call::make_inter(op, mask, mask, p);
+    c.scan = rng.chance(0.5) ? alib::ScanOrder::RowMajor
+                             : alib::ScanOrder::ColumnMajor;
+    return c;
+  }
+  static const PixelOp intra_ops[] = {
+      PixelOp::Copy,   PixelOp::Convolve, PixelOp::MorphGradient,
+      PixelOp::Erode,  PixelOp::Dilate,   PixelOp::Median,
+      PixelOp::Threshold, PixelOp::Scale, PixelOp::Histogram};
+  const PixelOp op = intra_ops[rng.bounded(9)];
+  Neighborhood nbhd =
+      op == PixelOp::Convolve || op == PixelOp::Median ||
+              op == PixelOp::Erode || op == PixelOp::Dilate ||
+              op == PixelOp::MorphGradient
+          ? random_neighborhood(rng)
+          : Neighborhood::con0();
+  OpParams p;
+  if (op == PixelOp::Convolve) {
+    p.coeffs.resize(nbhd.size());
+    for (auto& c : p.coeffs) c = rng.uniform(-4, 4);
+    p.shift = rng.uniform(0, 3);
+    p.bias = rng.uniform(-20, 20);
+  }
+  if (op == PixelOp::Scale) {
+    p.scale_num = rng.uniform(1, 5);
+    p.shift = rng.uniform(0, 2);
+    p.bias = rng.uniform(-30, 30);
+  }
+  p.threshold = rng.uniform(0, 255);
+  const ChannelMask mask = random_video_mask(rng);
+  Call c = Call::make_intra(op, std::move(nbhd), mask, mask, p);
+  c.scan = rng.chance(0.5) ? alib::ScanOrder::RowMajor
+                           : alib::ScanOrder::ColumnMajor;
+  c.border = rng.chance(0.3) ? alib::BorderPolicy::Constant
+                             : alib::BorderPolicy::Replicate;
+  c.params.border_constant = img::Pixel::gray(static_cast<u8>(rng.bounded(256)));
+  return c;
+}
+
+Size random_size(Rng& rng) {
+  // Mix of strip-aligned and awkward sizes.
+  static const Size sizes[] = {{48, 32}, {33, 17}, {64, 48},
+                               {16, 16}, {21, 40}, {96, 16}};
+  return sizes[rng.bounded(6)];
+}
+
+class FuzzEquivalence : public ::testing::TestWithParam<u64> {};
+
+TEST_P(FuzzEquivalence, RandomCallsMatchAcrossBackends) {
+  Rng rng(GetParam() * 7919);
+  alib::SoftwareBackend sw;
+  core::EngineBackend cycle({}, core::EngineMode::CycleAccurate);
+  core::EngineBackend analytic({}, core::EngineMode::Analytic);
+
+  for (int i = 0; i < 40; ++i) {
+    bool needs_b = false;
+    const Call call = random_call(rng, needs_b);
+    const Size size = random_size(rng);
+    const img::Image a = img::make_test_frame(size, rng.next_u64());
+    const img::Image b = img::make_test_frame(size, rng.next_u64());
+    SCOPED_TRACE("iteration " + std::to_string(i) + ": " + call.describe() +
+                 " on " + to_string(size));
+
+    const alib::CallResult rs = sw.execute(call, a, needs_b ? &b : nullptr);
+    const alib::CallResult rc =
+        cycle.execute(call, a, needs_b ? &b : nullptr);
+    const alib::CallResult ra =
+        analytic.execute(call, a, needs_b ? &b : nullptr);
+
+    test::expect_images_equal(rs.output, rc.output);
+    test::expect_images_equal(rs.output, ra.output);
+    ASSERT_EQ(rs.side.sad, rc.side.sad);
+    ASSERT_EQ(rs.side.histogram, rc.side.histogram);
+    // Hardware transaction counts follow the Table 2 rule on every frame.
+    ASSERT_EQ(rc.stats.access_transactions(),
+              static_cast<u64>(2 * size.area()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzEquivalence,
+                         ::testing::Range<u64>(1, 7));
+
+class FuzzSegment : public ::testing::TestWithParam<u64> {};
+
+TEST_P(FuzzSegment, RandomSegmentCallsMatchAcrossBackends) {
+  Rng rng(GetParam() * 104729);
+  alib::SoftwareBackend sw;
+  core::EngineBackend cycle({}, core::EngineMode::CycleAccurate);
+
+  for (int i = 0; i < 12; ++i) {
+    const Size size = random_size(rng);
+    const img::Image a = img::make_test_frame(size, rng.next_u64());
+    alib::SegmentSpec spec;
+    const int seeds = 1 + static_cast<int>(rng.bounded(4));
+    for (int s = 0; s < seeds; ++s)
+      spec.seeds.push_back(
+          {rng.uniform(0, size.width - 1), rng.uniform(0, size.height - 1)});
+    spec.luma_threshold = rng.uniform(0, 80);
+    if (rng.chance(0.4)) spec.chroma_threshold = rng.uniform(0, 60);
+    spec.connectivity = rng.chance(0.5) ? alib::Connectivity::Four
+                                        : alib::Connectivity::Eight;
+    const Call call = Call::make_segment(
+        PixelOp::Copy, alib::Neighborhood::con0(), spec, ChannelMask::y(),
+        ChannelMask::y().with(Channel::Alfa));
+    SCOPED_TRACE("iteration " + std::to_string(i) + ": " + call.describe());
+
+    const alib::CallResult rs = sw.execute(call, a);
+    const alib::CallResult rc = cycle.execute(call, a);
+    test::expect_images_equal(rs.output, rc.output);
+    ASSERT_EQ(rs.segments.size(), rc.segments.size());
+    for (std::size_t s = 0; s < rs.segments.size(); ++s) {
+      ASSERT_EQ(rs.segments[s].pixel_count, rc.segments[s].pixel_count);
+      ASSERT_EQ(rs.segments[s].geodesic_radius,
+                rc.segments[s].geodesic_radius);
+      ASSERT_EQ(rs.segments[s].sum_y, rc.segments[s].sum_y);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSegment, ::testing::Range<u64>(1, 4));
+
+class FuzzConfig : public ::testing::TestWithParam<u64> {};
+
+TEST_P(FuzzConfig, RandomBoardConfigsStayExactAndAnalyticTracks) {
+  Rng rng(GetParam() * 31337);
+  alib::SoftwareBackend sw;
+
+  for (int i = 0; i < 8; ++i) {
+    core::EngineConfig cfg;
+    const std::array<i32, 3> strips{16, 32, 64};
+    cfg.strip_lines = strips[rng.bounded(3)];
+    cfg.iim_lines = std::max<i32>(cfg.strip_lines / 2,
+                                  9 + static_cast<i32>(rng.bounded(12)));
+    cfg.oim_lines = 1 + static_cast<i32>(rng.bounded(16));
+    cfg.bus_width_bits = rng.chance(0.5) ? 32 : 64;
+    cfg.bus_efficiency = 0.5 + rng.uniform01() * 0.5;
+    cfg.interrupt_overhead_cycles = rng.bounded(3000);
+    cfg.strict_inter_sequencing = rng.chance(0.3);
+
+    bool needs_b = false;
+    const Call call = random_call(rng, needs_b);
+    const Size size = random_size(rng);
+    const img::Image a = img::make_test_frame(size, rng.next_u64());
+    const img::Image b = img::make_test_frame(size, rng.next_u64());
+    SCOPED_TRACE("config " + std::to_string(i) + ": strip=" +
+                 std::to_string(cfg.strip_lines) + " iim=" +
+                 std::to_string(cfg.iim_lines) + " oim=" +
+                 std::to_string(cfg.oim_lines) + " bus=" +
+                 std::to_string(cfg.bus_width_bits) + " call=" +
+                 call.describe());
+
+    core::EngineRunStats run;
+    const alib::CallResult rc = core::simulate_call(
+        cfg, call, a, needs_b ? &b : nullptr, &run);
+    const alib::CallResult rs = sw.execute(call, a, needs_b ? &b : nullptr);
+    test::expect_images_equal(rs.output, rc.output);
+
+    // The analytic model follows the simulator on every configuration.
+    const core::EngineRunStats analytic =
+        core::analytic_run_stats(cfg, call, size);
+    const double rel = std::abs(static_cast<double>(analytic.cycles) -
+                                static_cast<double>(run.cycles)) /
+                       static_cast<double>(run.cycles);
+    EXPECT_LT(rel, 0.08) << "cycle=" << run.cycles
+                         << " analytic=" << analytic.cycles;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzConfig, ::testing::Range<u64>(1, 4));
+
+}  // namespace
+}  // namespace ae

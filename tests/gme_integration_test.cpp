@@ -1,0 +1,96 @@
+// GME integration tests on the full simulated system: a frame pair
+// estimated entirely through the cycle-accurate engine, and mosaic quality
+// against the scripted world.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/engine.hpp"
+#include "gme/mosaic.hpp"
+#include "gme/table3.hpp"
+#include "image/compare.hpp"
+
+namespace ae::gme {
+namespace {
+
+img::SyntheticSequence pan_sequence(int frames) {
+  img::SyntheticSequence::Params p;
+  p.name = "integration";
+  p.frame_size = Size{160, 128};
+  p.frame_count = frames;
+  p.seed = 55;
+  p.script = img::MotionScript{3.0, 0.0, 0.0, 1.0, 0.0};
+  return img::SyntheticSequence(p);
+}
+
+TEST(GmeIntegration, EstimationThroughCycleAccurateEngine) {
+  // Every AddressLib call of a full estimate runs on the simulated board —
+  // the slowest, most faithful configuration.
+  const auto seq = pan_sequence(2);
+  core::EngineBackend engine({}, core::EngineMode::CycleAccurate);
+  GmeParams params;
+  params.robust_passes = 1;  // keep the cycle-simulated call count modest
+  GmeEstimator est(engine, params);
+  const Pyramid ref = build_pyramid(engine, seq.frame(0), 3);
+  const Pyramid cur = build_pyramid(engine, seq.frame(1), 3);
+  const GmeResult r = est.estimate(ref, cur);
+  EXPECT_NEAR(r.motion.dx, -3.0, 0.5);
+  EXPECT_NEAR(r.motion.dy, 0.0, 0.5);
+  // And the engine was really exercised.
+  EXPECT_GT(engine.last_run().cycles, 0u);
+}
+
+TEST(GmeIntegration, CycleAndAnalyticEstimatesIdentical) {
+  // The two engine modes must produce the same motion to the last bit
+  // (bit-exact calls in, identical host arithmetic out).
+  const auto seq = pan_sequence(2);
+  GmeParams params;
+  params.robust_passes = 1;
+
+  core::EngineBackend cycle({}, core::EngineMode::CycleAccurate);
+  GmeEstimator est_c(cycle, params);
+  const GmeResult rc = est_c.estimate(build_pyramid(cycle, seq.frame(0), 3),
+                                      build_pyramid(cycle, seq.frame(1), 3));
+
+  core::EngineBackend analytic({}, core::EngineMode::Analytic);
+  GmeEstimator est_a(analytic, params);
+  const GmeResult ra =
+      est_a.estimate(build_pyramid(analytic, seq.frame(0), 3),
+                     build_pyramid(analytic, seq.frame(1), 3));
+
+  EXPECT_EQ(rc.motion.dx, ra.motion.dx);
+  EXPECT_EQ(rc.motion.dy, ra.motion.dy);
+  EXPECT_EQ(rc.final_sad, ra.final_sad);
+  EXPECT_EQ(rc.iterations, ra.iterations);
+}
+
+TEST(GmeIntegration, MosaicMatchesScriptedWorld) {
+  // Build the mosaic from estimated motion and compare its center against
+  // a frame rendered at the mosaic's viewpoint: high PSNR means the whole
+  // chain (estimation, accumulation, compositing) is consistent.
+  const auto seq = pan_sequence(8);
+  SequenceRunOptions options;
+  options.build_mosaic = true;
+  const SequenceExperiment e = run_sequence_experiment(seq, options);
+  ASSERT_FALSE(e.mosaic.empty());
+  EXPECT_LT(e.mean_motion_error_px, 0.6);
+  EXPECT_GT(e.mosaic_coverage, 0.75);  // canvas margin stays uncovered
+
+  // The anchor frame must be embedded (nearly) verbatim around its origin.
+  const img::Image f0 = seq.frame(0);
+  // Locate frame 0 in the canvas: placements put it at the mosaic origin.
+  double best_psnr = 0.0;
+  for (i32 oy = 0; oy < e.mosaic.height() - f0.height(); ++oy) {
+    for (i32 ox = 0; ox < e.mosaic.width() - f0.width(); ++ox) {
+      // Only plausible origins: scan a coarse grid for speed.
+      if (ox % 4 != 0 || oy % 4 != 0) continue;
+      const img::Image crop =
+          e.mosaic.crop(Rect{ox, oy, f0.width(), f0.height()});
+      best_psnr = std::max(best_psnr, img::psnr_y(crop, f0));
+    }
+  }
+  EXPECT_GT(best_psnr, 24.0);
+}
+
+}  // namespace
+}  // namespace ae::gme

@@ -1,0 +1,140 @@
+// Intermediate memory tests: IIM line windowing, in-order fill contracts,
+// inter-mode FIFO split; OIM FIFO discipline and capacity.
+#include <gtest/gtest.h>
+
+#include "core/iim.hpp"
+#include "core/oim.hpp"
+
+namespace ae::core {
+namespace {
+
+EngineConfig cfg() { return EngineConfig{}; }
+
+void fill_line(Iim& iim, int image, i32 line, i32 length, u8 luma) {
+  for (i32 pos = 0; pos < length; ++pos)
+    iim.store(image, line, pos, img::Pixel::gray(luma));
+}
+
+TEST(Iim, LineBecomesReadyWhenComplete) {
+  Iim iim(cfg(), 8, 32, 1);
+  EXPECT_FALSE(iim.line_ready(0, 0));
+  for (i32 pos = 0; pos < 7; ++pos)
+    iim.store(0, 0, pos, img::Pixel::gray(1));
+  EXPECT_FALSE(iim.line_ready(0, 0));
+  iim.store(0, 0, 7, img::Pixel::gray(1));
+  EXPECT_TRUE(iim.line_ready(0, 0));
+  EXPECT_EQ(iim.next_line_to_fill(0), 1);
+}
+
+TEST(Iim, ReadReturnsStoredPixels) {
+  Iim iim(cfg(), 4, 32, 1);
+  for (i32 pos = 0; pos < 4; ++pos)
+    iim.store(0, 0, pos, img::Pixel::gray(static_cast<u8>(10 + pos)));
+  EXPECT_EQ(iim.read(0, 0, 2).y, 12);
+}
+
+TEST(Iim, OutOfOrderStoresRejected) {
+  Iim iim(cfg(), 8, 32, 1);
+  EXPECT_THROW(iim.store(0, 1, 0, img::Pixel{}), InvariantViolation);
+  iim.store(0, 0, 0, img::Pixel{});
+  EXPECT_THROW(iim.store(0, 0, 5, img::Pixel{}), InvariantViolation);
+}
+
+TEST(Iim, CapacityBlocksUntilRelease) {
+  Iim iim(cfg(), 4, 64, 1);
+  const i32 cap = iim.capacity_lines(0);
+  EXPECT_EQ(cap, cfg().iim_lines);
+  for (i32 l = 0; l < cap; ++l) fill_line(iim, 0, l, 4, 1);
+  EXPECT_FALSE(iim.slot_free(0));  // ring full
+  iim.release_below(0, 1);        // free line 0
+  EXPECT_TRUE(iim.slot_free(0));
+  fill_line(iim, 0, cap, 4, 2);
+  EXPECT_TRUE(iim.line_ready(0, cap));
+  EXPECT_FALSE(iim.line_ready(0, 0));  // evicted
+}
+
+TEST(Iim, ReadOfEvictedLineCaught) {
+  Iim iim(cfg(), 4, 64, 1);
+  fill_line(iim, 0, 0, 4, 1);
+  iim.release_below(0, 1);
+  EXPECT_THROW(iim.read(0, 0, 0), InvariantViolation);
+}
+
+TEST(Iim, InterModeSplitsCapacity) {
+  Iim iim(cfg(), 4, 64, 2);
+  EXPECT_EQ(iim.capacity_lines(0), cfg().iim_lines / 2);
+  EXPECT_EQ(iim.capacity_lines(1), cfg().iim_lines / 2);
+  fill_line(iim, 0, 0, 4, 1);
+  fill_line(iim, 1, 0, 4, 2);
+  EXPECT_EQ(iim.read(0, 0, 0).y, 1);
+  EXPECT_EQ(iim.read(1, 0, 0).y, 2);
+}
+
+TEST(Iim, ParallelReadAccounting) {
+  Iim iim(cfg(), 4, 64, 1);
+  iim.note_parallel_read(9);
+  iim.note_parallel_read(3);
+  EXPECT_EQ(iim.parallel_reads(), 2u);
+  EXPECT_EQ(iim.block_reads(), 12u);
+}
+
+TEST(Iim, SlotFreeFalseWhenAllFetched) {
+  Iim iim(cfg(), 4, 2, 1);
+  fill_line(iim, 0, 0, 4, 1);
+  fill_line(iim, 0, 1, 4, 1);
+  EXPECT_FALSE(iim.slot_free(0));
+  EXPECT_EQ(iim.next_line_to_fill(0), 2);
+}
+
+TEST(Iim, StorageBitsFormula) {
+  // 16 lines x 2 blocks x 352 px x 32 bit.
+  EXPECT_EQ(Iim::storage_bits(cfg()), 16LL * 2 * 352 * 32);
+}
+
+TEST(Oim, FifoOrderPreserved) {
+  Oim oim(cfg(), 8);
+  oim.push({img::Pixel::gray(1), 100});
+  oim.push({img::Pixel::gray(2), 101});
+  EXPECT_EQ(oim.front().result_addr, 100);
+  oim.pop();
+  EXPECT_EQ(oim.front().pixel.y, 2);
+}
+
+TEST(Oim, CapacityIsLinesTimesLength) {
+  Oim oim(cfg(), 8);
+  EXPECT_EQ(oim.capacity_pixels(), cfg().oim_lines * 8);
+  for (i64 i = 0; i < oim.capacity_pixels(); ++i)
+    oim.push({img::Pixel{}, i});
+  EXPECT_TRUE(oim.full());
+  EXPECT_THROW(oim.push({img::Pixel{}, 999}), InvariantViolation);
+  oim.pop();
+  EXPECT_FALSE(oim.full());
+}
+
+TEST(Oim, EmptyAccessCaught) {
+  Oim oim(cfg(), 4);
+  EXPECT_THROW(oim.front(), InvariantViolation);
+  EXPECT_THROW(oim.pop(), InvariantViolation);
+}
+
+TEST(Oim, PeakOccupancyTracked) {
+  Oim oim(cfg(), 4);
+  oim.push({img::Pixel{}, 0});
+  oim.push({img::Pixel{}, 1});
+  oim.pop();
+  oim.push({img::Pixel{}, 2});
+  EXPECT_EQ(oim.peak_occupancy(), 2u);
+  EXPECT_EQ(oim.pushes(), 3u);
+}
+
+TEST(Oim, BadConstruction) {
+  EXPECT_THROW(Oim(cfg(), 0), InvalidArgument);
+}
+
+TEST(Iim, BadConstruction) {
+  EXPECT_THROW(Iim(cfg(), 0, 10, 1), InvalidArgument);
+  EXPECT_THROW(Iim(cfg(), 4, 10, 3), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ae::core

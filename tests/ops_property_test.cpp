@@ -1,0 +1,229 @@
+// Property-based tests over the pixel operations: algebraic identities
+// (morphological duality, convolution linearity, ordering relations,
+// conservation laws) checked across whole frames and multiple seeds.
+#include <gtest/gtest.h>
+
+#include "addresslib/functional.hpp"
+#include "image/synth.hpp"
+
+namespace ae::alib {
+namespace {
+
+class OpProperties : public ::testing::TestWithParam<u64> {
+ protected:
+  img::Image frame() const {
+    return img::make_test_frame(Size{40, 32}, GetParam());
+  }
+  img::Image run(const Call& call, const img::Image& a,
+                 const img::Image* b = nullptr) const {
+    return execute_functional(call, a, b).output;
+  }
+};
+
+TEST_P(OpProperties, ErodeDilateDuality) {
+  // dilate(I) == invert(erode(invert(I))) on Y.
+  const img::Image a = frame();
+  img::Image inverted = a;
+  for (auto& px : inverted.pixels()) px.y = static_cast<u8>(255 - px.y);
+
+  const Call dilate = Call::make_intra(PixelOp::Dilate, Neighborhood::con8());
+  const Call erode = Call::make_intra(PixelOp::Erode, Neighborhood::con8());
+  const img::Image lhs = run(dilate, a);
+  img::Image rhs = run(erode, inverted);
+  for (auto& px : rhs.pixels()) px.y = static_cast<u8>(255 - px.y);
+  for (i32 y = 0; y < a.height(); ++y)
+    for (i32 x = 0; x < a.width(); ++x)
+      ASSERT_EQ(lhs.ref(x, y).y, rhs.ref(x, y).y) << x << "," << y;
+}
+
+TEST_P(OpProperties, ErodeBelowCenterBelowDilate) {
+  const img::Image a = frame();
+  const img::Image lo = run(Call::make_intra(PixelOp::Erode,
+                                             Neighborhood::con8()),
+                            a);
+  const img::Image hi = run(Call::make_intra(PixelOp::Dilate,
+                                             Neighborhood::con8()),
+                            a);
+  for (i32 y = 0; y < a.height(); ++y)
+    for (i32 x = 0; x < a.width(); ++x) {
+      ASSERT_LE(lo.ref(x, y).y, a.ref(x, y).y);
+      ASSERT_GE(hi.ref(x, y).y, a.ref(x, y).y);
+    }
+}
+
+TEST_P(OpProperties, MedianBoundedByErodeAndDilate) {
+  const img::Image a = frame();
+  const img::Image med = run(Call::make_intra(PixelOp::Median,
+                                              Neighborhood::con8()),
+                             a);
+  const img::Image lo = run(Call::make_intra(PixelOp::Erode,
+                                             Neighborhood::con8()),
+                            a);
+  const img::Image hi = run(Call::make_intra(PixelOp::Dilate,
+                                             Neighborhood::con8()),
+                            a);
+  for (i32 y = 0; y < a.height(); ++y)
+    for (i32 x = 0; x < a.width(); ++x) {
+      ASSERT_GE(med.ref(x, y).y, lo.ref(x, y).y);
+      ASSERT_LE(med.ref(x, y).y, hi.ref(x, y).y);
+    }
+}
+
+TEST_P(OpProperties, MorphGradientIsDilateMinusErode) {
+  const img::Image a = frame();
+  const img::Image grad = run(Call::make_intra(PixelOp::MorphGradient,
+                                               Neighborhood::con8()),
+                              a);
+  const img::Image lo = run(Call::make_intra(PixelOp::Erode,
+                                             Neighborhood::con8()),
+                            a);
+  const img::Image hi = run(Call::make_intra(PixelOp::Dilate,
+                                             Neighborhood::con8()),
+                            a);
+  for (i32 y = 0; y < a.height(); ++y)
+    for (i32 x = 0; x < a.width(); ++x)
+      ASSERT_EQ(grad.ref(x, y).y, hi.ref(x, y).y - lo.ref(x, y).y);
+}
+
+TEST_P(OpProperties, ConvolutionIsLinearWithoutClamping) {
+  // Keep values small so no clamping occurs: dim frame, tiny coefficients.
+  img::Image a = frame();
+  for (auto& px : a.pixels()) px.y = static_cast<u8>(px.y / 8);  // <= 31
+
+  auto conv = [&](std::vector<i32> coeffs) {
+    OpParams p;
+    p.coeffs = std::move(coeffs);
+    return run(Call::make_intra(PixelOp::Convolve, Neighborhood::con8(),
+                                ChannelMask::y(), ChannelMask::y(), p),
+               a);
+  };
+  const img::Image via_k1 = conv({1, 0, 0, 0, 1, 0, 0, 0, 0});
+  const img::Image via_k2 = conv({0, 1, 0, 0, 0, 0, 0, 0, 1});
+  const img::Image via_sum = conv({1, 1, 0, 0, 1, 0, 0, 0, 1});
+  for (i32 y = 0; y < a.height(); ++y)
+    for (i32 x = 0; x < a.width(); ++x)
+      ASSERT_EQ(via_sum.ref(x, y).y,
+                via_k1.ref(x, y).y + via_k2.ref(x, y).y);
+}
+
+TEST_P(OpProperties, GradientMagConsistentWithComponents) {
+  // Use a dim frame so neither component clamps.
+  img::Image a = frame();
+  for (auto& px : a.pixels()) px.y = static_cast<u8>(px.y / 8);
+  const img::Image gx = run(Call::make_intra(PixelOp::GradientX,
+                                             Neighborhood::con8()),
+                            a);
+  const img::Image gy = run(Call::make_intra(PixelOp::GradientY,
+                                             Neighborhood::con8()),
+                            a);
+  const img::Image mag = run(Call::make_intra(PixelOp::GradientMag,
+                                              Neighborhood::con8()),
+                             a);
+  for (i32 y = 0; y < a.height(); ++y)
+    for (i32 x = 0; x < a.width(); ++x)
+      ASSERT_EQ(mag.ref(x, y).y,
+                (gx.ref(x, y).y + gy.ref(x, y).y) / 2);
+}
+
+TEST_P(OpProperties, HistogramIsConservedAcrossScanOrders) {
+  const img::Image a = frame();
+  Call call = Call::make_intra(PixelOp::Histogram, Neighborhood::con0());
+  const CallResult row = execute_functional(call, a);
+  call.scan = ScanOrder::ColumnMajor;
+  const CallResult col = execute_functional(call, a);
+  u64 total = 0;
+  for (std::size_t i = 0; i < row.side.histogram.size(); ++i) {
+    EXPECT_EQ(row.side.histogram[i], col.side.histogram[i]);
+    total += row.side.histogram[i];
+  }
+  EXPECT_EQ(total, static_cast<u64>(a.pixel_count()));
+}
+
+TEST_P(OpProperties, SadIsSymmetric) {
+  const img::Image a = frame();
+  const img::Image b = img::make_test_frame(a.size(), GetParam() + 100);
+  const Call call = Call::make_inter(PixelOp::Sad);
+  EXPECT_EQ(execute_functional(call, a, &b).side.sad,
+            execute_functional(call, b, &a).side.sad);
+}
+
+TEST_P(OpProperties, DiffMaskMonotoneInThreshold) {
+  const img::Image a = frame();
+  const img::Image b = img::make_test_frame(a.size(), GetParam() + 55);
+  auto mask_count = [&](i32 threshold) {
+    OpParams p;
+    p.threshold = threshold;
+    const img::Image m = run(Call::make_inter(PixelOp::DiffMask,
+                                              ChannelMask::y(),
+                                              ChannelMask::y(), p),
+                             a, &b);
+    i64 n = 0;
+    for (const auto& px : m.pixels()) n += px.y == 255 ? 1 : 0;
+    return n;
+  };
+  EXPECT_GE(mask_count(4), mask_count(16));
+  EXPECT_GE(mask_count(16), mask_count(64));
+}
+
+TEST_P(OpProperties, ThresholdIsIdempotent) {
+  const img::Image a = frame();
+  OpParams p;
+  p.threshold = 100;
+  const Call call = Call::make_intra(PixelOp::Threshold, Neighborhood::con0(),
+                                     ChannelMask::y(), ChannelMask::y(), p);
+  const img::Image once = run(call, a);
+  const img::Image twice = run(call, once);
+  for (i32 y = 0; y < a.height(); ++y)
+    for (i32 x = 0; x < a.width(); ++x)
+      ASSERT_EQ(once.ref(x, y).y, twice.ref(x, y).y);
+}
+
+TEST_P(OpProperties, MinMaxPartitionTheRange) {
+  const img::Image a = frame();
+  const img::Image b = img::make_test_frame(a.size(), GetParam() + 7);
+  const img::Image lo = run(Call::make_inter(PixelOp::Min), a, &b);
+  const img::Image hi = run(Call::make_inter(PixelOp::Max), a, &b);
+  for (i32 y = 0; y < a.height(); ++y)
+    for (i32 x = 0; x < a.width(); ++x) {
+      ASSERT_EQ(static_cast<int>(lo.ref(x, y).y) + hi.ref(x, y).y,
+                static_cast<int>(a.ref(x, y).y) + b.ref(x, y).y);
+    }
+}
+
+TEST_P(OpProperties, AverageBetweenMinAndMax) {
+  const img::Image a = frame();
+  const img::Image b = img::make_test_frame(a.size(), GetParam() + 7);
+  const img::Image avg = run(Call::make_inter(PixelOp::Average), a, &b);
+  const img::Image lo = run(Call::make_inter(PixelOp::Min), a, &b);
+  const img::Image hi = run(Call::make_inter(PixelOp::Max), a, &b);
+  for (i32 y = 0; y < a.height(); ++y)
+    for (i32 x = 0; x < a.width(); ++x) {
+      ASSERT_GE(avg.ref(x, y).y, lo.ref(x, y).y);
+      ASSERT_LE(avg.ref(x, y).y, hi.ref(x, y).y);
+    }
+}
+
+TEST_P(OpProperties, GradientPackMatchesComponentMagnitudes) {
+  img::Image a = frame();
+  for (auto& px : a.pixels()) px.y = static_cast<u8>(px.y / 8);
+  const img::Image packed =
+      run(Call::make_intra(PixelOp::GradientPack, Neighborhood::con8(),
+                           ChannelMask::y(),
+                           ChannelMask::alfa().with(Channel::Aux)),
+          a);
+  const img::Image gx = run(Call::make_intra(PixelOp::GradientX,
+                                             Neighborhood::con8()),
+                            a);
+  for (i32 y = 0; y < a.height(); ++y)
+    for (i32 x = 0; x < a.width(); ++x) {
+      const i32 signed_gx =
+          static_cast<i32>(packed.ref(x, y).alfa) - kGradBias;
+      ASSERT_EQ(std::abs(signed_gx), gx.ref(x, y).y);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OpProperties,
+                         ::testing::Values(11, 22, 33));
+
+}  // namespace
+}  // namespace ae::alib

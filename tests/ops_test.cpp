@@ -1,0 +1,440 @@
+// Kernel-level tests: every pixel sub-operation against hand-computed
+// expectations on tiny fixtures, clamping behaviour, side-port accumulators
+// and parameter validation.
+#include <gtest/gtest.h>
+
+#include "addresslib/ops.hpp"
+#include "addresslib/scan.hpp"
+#include "image/image.hpp"
+
+namespace ae::alib {
+namespace {
+
+/// 3x3 fixture with known luma values:
+///   10  20  30
+///   40  50  60
+///   70  80  90
+img::Image fixture3x3() {
+  img::Image im(3, 3);
+  u8 v = 10;
+  for (i32 y = 0; y < 3; ++y)
+    for (i32 x = 0; x < 3; ++x) {
+      im.at(x, y) = img::Pixel::gray(v);
+      v = static_cast<u8>(v + 10);
+    }
+  return im;
+}
+
+/// Window centered on the fixture's middle pixel.
+ImageWindow center_window(const img::Image& im) {
+  ImageWindow w(im, BorderPolicy::Replicate, img::Pixel{});
+  w.move_to({1, 1});
+  return w;
+}
+
+img::Pixel run_intra(PixelOp op, const Neighborhood& n, const OpParams& p,
+                     ChannelMask out, SideAccum* side_out = nullptr) {
+  const img::Image im = fixture3x3();
+  const ImageWindow w = center_window(im);
+  SideAccum side;
+  const img::Pixel r = apply_intra(op, p, n, w, ChannelMask::y(), out, side);
+  if (side_out != nullptr) *side_out = side;
+  return r;
+}
+
+TEST(IntraOps, CopyReturnsCenter) {
+  EXPECT_EQ(run_intra(PixelOp::Copy, Neighborhood::con0(), {},
+                      ChannelMask::y())
+                .y,
+            50);
+}
+
+TEST(IntraOps, ConvolveBoxSum) {
+  OpParams p;
+  p.coeffs.assign(9, 1);
+  // sum = 10+20+...+90 = 450; >>0 = 450 -> clamps to 255.
+  EXPECT_EQ(run_intra(PixelOp::Convolve, Neighborhood::con8(), p,
+                      ChannelMask::y())
+                .y,
+            255);
+  p.shift = 4;  // 450 >> 4 = 28
+  EXPECT_EQ(run_intra(PixelOp::Convolve, Neighborhood::con8(), p,
+                      ChannelMask::y())
+                .y,
+            28);
+  p.bias = 100;  // 28 + 100
+  EXPECT_EQ(run_intra(PixelOp::Convolve, Neighborhood::con8(), p,
+                      ChannelMask::y())
+                .y,
+            128);
+}
+
+TEST(IntraOps, ConvolveNegativeClampsToZero) {
+  OpParams p;
+  p.coeffs.assign(9, -1);
+  EXPECT_EQ(run_intra(PixelOp::Convolve, Neighborhood::con8(), p,
+                      ChannelMask::y())
+                .y,
+            0);
+}
+
+TEST(IntraOps, GradientXOnRamp) {
+  // gx = (30+2*60+90) - (10+2*40+70) = 240 - 170... recompute: columns are
+  // x: left 10,40,70 right 30,60,90 -> gx = (30+120+90)-(10+80+70) = 80.
+  EXPECT_EQ(run_intra(PixelOp::GradientX, Neighborhood::con8(), {},
+                      ChannelMask::y())
+                .y,
+            80);
+}
+
+TEST(IntraOps, GradientYOnRamp) {
+  // rows: top 10,20,30 bottom 70,80,90 -> gy = (70+160+90)... = 240.
+  EXPECT_EQ(run_intra(PixelOp::GradientY, Neighborhood::con8(), {},
+                      ChannelMask::y())
+                .y,
+            240);
+}
+
+TEST(IntraOps, GradientMagIsHalfSum) {
+  // (80 + 240) / 2 = 160.
+  EXPECT_EQ(run_intra(PixelOp::GradientMag, Neighborhood::con8(), {},
+                      ChannelMask::y())
+                .y,
+            160);
+}
+
+TEST(IntraOps, MorphGradientMaxMinusMin) {
+  EXPECT_EQ(run_intra(PixelOp::MorphGradient, Neighborhood::con8(), {},
+                      ChannelMask::y())
+                .y,
+            80);  // 90 - 10
+}
+
+TEST(IntraOps, ErodeDilate) {
+  EXPECT_EQ(run_intra(PixelOp::Erode, Neighborhood::con8(), {},
+                      ChannelMask::y())
+                .y,
+            10);
+  EXPECT_EQ(run_intra(PixelOp::Dilate, Neighborhood::con8(), {},
+                      ChannelMask::y())
+                .y,
+            90);
+  EXPECT_EQ(run_intra(PixelOp::Erode, Neighborhood::con4(), {},
+                      ChannelMask::y())
+                .y,
+            20);  // cross: 20,40,50,60,80
+}
+
+TEST(IntraOps, MedianOfNine) {
+  EXPECT_EQ(run_intra(PixelOp::Median, Neighborhood::con8(), {},
+                      ChannelMask::y())
+                .y,
+            50);
+  EXPECT_EQ(run_intra(PixelOp::Median, Neighborhood::con4(), {},
+                      ChannelMask::y())
+                .y,
+            50);
+}
+
+TEST(IntraOps, ThresholdBinarizes) {
+  OpParams p;
+  p.threshold = 40;
+  EXPECT_EQ(run_intra(PixelOp::Threshold, Neighborhood::con0(), p,
+                      ChannelMask::y())
+                .y,
+            255);  // center 50 > 40
+  p.threshold = 60;
+  EXPECT_EQ(run_intra(PixelOp::Threshold, Neighborhood::con0(), p,
+                      ChannelMask::y())
+                .y,
+            0);
+}
+
+TEST(IntraOps, ScaleAffine) {
+  OpParams p;
+  p.scale_num = 3;
+  p.shift = 1;
+  p.bias = 5;
+  // 50*3>>1 + 5 = 75 + 5 = 80.
+  EXPECT_EQ(run_intra(PixelOp::Scale, Neighborhood::con0(), p,
+                      ChannelMask::y())
+                .y,
+            80);
+}
+
+TEST(IntraOps, HomogeneityDistanceAndVerdict) {
+  OpParams p;
+  p.threshold = 45;
+  const ChannelMask out = ChannelMask::alfa().with(Channel::Aux);
+  const img::Pixel r =
+      run_intra(PixelOp::Homogeneity, Neighborhood::con8(), p, out);
+  EXPECT_EQ(r.aux, 40);   // max |neighbor - 50| = |10-50| = |90-50| = 40
+  EXPECT_EQ(r.alfa, 1);   // 40 <= 45: homogeneous
+  p.threshold = 39;
+  const img::Pixel r2 =
+      run_intra(PixelOp::Homogeneity, Neighborhood::con8(), p, out);
+  EXPECT_EQ(r2.alfa, 0);
+}
+
+TEST(IntraOps, HistogramAccumulatesCenter) {
+  SideAccum side;
+  run_intra(PixelOp::Histogram, Neighborhood::con0(), {}, ChannelMask::y(),
+            &side);
+  EXPECT_EQ(side.histogram[50], 1u);
+}
+
+TEST(IntraOps, GradientPackBiasesSobel) {
+  const ChannelMask out = ChannelMask::alfa().with(Channel::Aux);
+  const img::Pixel r =
+      run_intra(PixelOp::GradientPack, Neighborhood::con8(), {}, out);
+  EXPECT_EQ(static_cast<i32>(r.alfa) - kGradBias, 80);   // gx
+  EXPECT_EQ(static_cast<i32>(r.aux) - kGradBias, 240);   // gy
+  EXPECT_EQ(r.y, 50);  // luma passthrough
+}
+
+TEST(IntraOps, TableLookupTranslatesAlfa) {
+  img::Image im = fixture3x3();
+  im.at(1, 1).alfa = 3;
+  ImageWindow w(im, BorderPolicy::Replicate, img::Pixel{});
+  w.move_to({1, 1});
+  OpParams p;
+  p.table = {0, 10, 20, 30};
+  SideAccum side;
+  const img::Pixel r =
+      apply_intra(PixelOp::TableLookup, p, Neighborhood::con0(), w,
+                  ChannelMask::alfa(), ChannelMask::alfa(), side);
+  EXPECT_EQ(r.alfa, 30);
+  EXPECT_EQ(r.y, 50);  // passthrough
+  // Out-of-table ids pass through unchanged.
+  im.at(1, 1).alfa = 99;
+  const img::Pixel r2 =
+      apply_intra(PixelOp::TableLookup, p, Neighborhood::con0(), w,
+                  ChannelMask::alfa(), ChannelMask::alfa(), side);
+  EXPECT_EQ(r2.alfa, 99);
+}
+
+TEST(OpValidation, TableLookupNeedsTableAndAlfa) {
+  EXPECT_THROW(validate_op(PixelOp::TableLookup, {}, nullptr,
+                           ChannelMask::alfa(), ChannelMask::alfa()),
+               InvalidArgument);
+  OpParams p;
+  p.table = {0, 1};
+  EXPECT_THROW(validate_op(PixelOp::TableLookup, p, nullptr, ChannelMask::y(),
+                           ChannelMask::y()),
+               InvalidArgument);
+  EXPECT_NO_THROW(validate_op(PixelOp::TableLookup, p, nullptr,
+                              ChannelMask::alfa(), ChannelMask::alfa()));
+}
+
+TEST(IntraOps, PassthroughOfUnselectedChannels) {
+  img::Image im = fixture3x3();
+  im.at(1, 1).alfa = 777;
+  ImageWindow w(im, BorderPolicy::Replicate, img::Pixel{});
+  w.move_to({1, 1});
+  SideAccum side;
+  const img::Pixel r = apply_intra(PixelOp::Dilate, {}, Neighborhood::con8(),
+                                   w, ChannelMask::y(), ChannelMask::y(),
+                                   side);
+  EXPECT_EQ(r.alfa, 777);  // untouched
+  EXPECT_EQ(r.y, 90);
+}
+
+// ---- inter ops -------------------------------------------------------------
+
+struct InterCase {
+  PixelOp op;
+  u8 a, b;
+  i32 threshold;
+  i32 shift;
+  u8 expected;
+};
+
+class InterOps : public ::testing::TestWithParam<int> {};
+
+std::vector<InterCase> inter_cases() {
+  return {
+      {PixelOp::Copy, 7, 99, 0, 0, 7},
+      {PixelOp::Add, 200, 100, 0, 0, 255},  // clamps
+      {PixelOp::Add, 100, 50, 0, 0, 150},
+      {PixelOp::Sub, 100, 30, 0, 0, 70},
+      {PixelOp::Sub, 30, 100, 0, 0, 0},  // clamps at zero
+      {PixelOp::AbsDiff, 30, 100, 0, 0, 70},
+      {PixelOp::AbsDiff, 100, 30, 0, 0, 70},
+      {PixelOp::Mult, 16, 16, 0, 4, 16},  // 256 >> 4
+      {PixelOp::Min, 12, 90, 0, 0, 12},
+      {PixelOp::Max, 12, 90, 0, 0, 90},
+      {PixelOp::Average, 10, 11, 0, 0, 11},  // rounds up
+      {PixelOp::DiffMask, 10, 40, 20, 0, 255},
+      {PixelOp::DiffMask, 10, 25, 20, 0, 0},
+      {PixelOp::BitAnd, 0xF0, 0x3C, 0, 0, 0x30},
+      {PixelOp::BitOr, 0xF0, 0x3C, 0, 0, 0xFC},
+      {PixelOp::BitXor, 0xF0, 0x3C, 0, 0, 0xCC},
+  };
+}
+
+TEST_P(InterOps, ChannelArithmetic) {
+  const InterCase c = inter_cases()[static_cast<std::size_t>(GetParam())];
+  OpParams p;
+  p.threshold = c.threshold;
+  p.shift = c.shift;
+  SideAccum side;
+  const img::Pixel r =
+      apply_inter(c.op, p, img::Pixel::gray(c.a), img::Pixel::gray(c.b),
+                  Point{3, 4}, ChannelMask::y(), ChannelMask::y(), side);
+  EXPECT_EQ(r.y, c.expected) << to_string(c.op);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table, InterOps,
+    ::testing::Range(0, static_cast<int>(inter_cases().size())));
+
+TEST(InterOpsExtra, SadAccumulatesMaskedChannels) {
+  SideAccum side;
+  img::Pixel a = img::Pixel::gray(100);
+  img::Pixel b = img::Pixel::gray(90);
+  a.u = 50;
+  b.u = 60;
+  apply_inter(PixelOp::Sad, {}, a, b, Point{0, 0}, ChannelMask::yuv(),
+              ChannelMask::yuv(), side);
+  EXPECT_EQ(side.sad, 10u + 10u + 0u);  // |y| + |u| + |v|
+}
+
+TEST(InterOpsExtra, GmeAccumSums) {
+  OpParams p;
+  p.threshold = 100;
+  SideAccum side;
+  img::Pixel ref = img::Pixel::gray(120);
+  img::Pixel warped = img::Pixel::gray(100);  // r = +20
+  warped.alfa = static_cast<u16>(kGradBias + 3);   // gx = 3
+  warped.aux = static_cast<u16>(kGradBias - 2);    // gy = -2
+  const img::Pixel out =
+      apply_inter(PixelOp::GmeAccum, p, ref, warped, Point{0, 0},
+                  ChannelMask::y(), ChannelMask::y(), side);
+  EXPECT_EQ(out.y, 20);
+  EXPECT_EQ(side.gme[0], 9);    // gx*gx
+  EXPECT_EQ(side.gme[1], -6);   // gx*gy
+  EXPECT_EQ(side.gme[2], 4);    // gy*gy
+  EXPECT_EQ(side.gme[3], 60);   // gx*r
+  EXPECT_EQ(side.gme[4], -40);  // gy*r
+  EXPECT_EQ(side.gme[5], 1);    // inliers
+  EXPECT_EQ(side.sad, 20u);
+}
+
+TEST(InterOpsExtra, GmeAccumRobustCutoffSkipsOutliers) {
+  OpParams p;
+  p.threshold = 10;
+  SideAccum side;
+  apply_inter(PixelOp::GmeAccum, p, img::Pixel::gray(200),
+              img::Pixel::gray(100), Point{0, 0}, ChannelMask::y(),
+              ChannelMask::y(), side);
+  EXPECT_EQ(side.gme[5], 0);   // outlier did not vote
+  EXPECT_EQ(side.sad, 100u);   // but SAD still counts it
+}
+
+TEST(InterOpsExtra, MultiChannelMaskApplies) {
+  SideAccum side;
+  img::Pixel a = img::Pixel::gray(10);
+  img::Pixel b = img::Pixel::gray(30);
+  a.u = 100;
+  b.u = 90;
+  const img::Pixel r = apply_inter(PixelOp::AbsDiff, {}, a, b, Point{0, 0},
+                                   ChannelMask::yuv(), ChannelMask::yuv(),
+                                   side);
+  EXPECT_EQ(r.y, 20);
+  EXPECT_EQ(r.u, 10);
+  EXPECT_EQ(r.v, 0);
+}
+
+TEST(SideAccum, MergeAddsEverything) {
+  SideAccum a;
+  SideAccum b;
+  a.sad = 5;
+  b.sad = 7;
+  a.histogram[3] = 2;
+  b.histogram[3] = 3;
+  a.gme[0] = 10;
+  b.gme[0] = -4;
+  a.merge(b);
+  EXPECT_EQ(a.sad, 12u);
+  EXPECT_EQ(a.histogram[3], 5u);
+  EXPECT_EQ(a.gme[0], 6);
+}
+
+// ---- classification / validation ------------------------------------------
+
+TEST(OpClassification, InterIntraPartition) {
+  EXPECT_TRUE(is_inter_op(PixelOp::Sad));
+  EXPECT_TRUE(is_inter_op(PixelOp::GmeAccum));
+  EXPECT_FALSE(is_inter_op(PixelOp::Erode));
+  EXPECT_TRUE(is_intra_op(PixelOp::GradientPack));
+  EXPECT_TRUE(is_intra_op(PixelOp::Copy));
+  EXPECT_TRUE(is_inter_op(PixelOp::Copy));  // Copy works in both modes
+  EXPECT_FALSE(is_intra_op(PixelOp::AbsDiff));
+}
+
+TEST(OpValidation, ConvolveNeedsMatchingCoeffs) {
+  OpParams p;
+  p.coeffs.assign(5, 1);
+  const Neighborhood n = Neighborhood::con8();
+  EXPECT_THROW(validate_op(PixelOp::Convolve, p, &n, ChannelMask::y(),
+                           ChannelMask::y()),
+               InvalidArgument);
+  p.coeffs.assign(9, 1);
+  EXPECT_NO_THROW(validate_op(PixelOp::Convolve, p, &n, ChannelMask::y(),
+                              ChannelMask::y()));
+}
+
+TEST(OpValidation, GradientNeedsCon8) {
+  const Neighborhood n4 = Neighborhood::con4();
+  EXPECT_THROW(validate_op(PixelOp::GradientX, {}, &n4, ChannelMask::y(),
+                           ChannelMask::y()),
+               InvalidArgument);
+}
+
+TEST(OpValidation, HomogeneityNeedsSideOutputs) {
+  const Neighborhood n = Neighborhood::con8();
+  EXPECT_THROW(validate_op(PixelOp::Homogeneity, {}, &n, ChannelMask::y(),
+                           ChannelMask::y()),
+               InvalidArgument);
+}
+
+TEST(OpValidation, ShiftRangeChecked) {
+  OpParams p;
+  p.shift = 32;
+  EXPECT_THROW(validate_op(PixelOp::Scale, p, nullptr, ChannelMask::y(),
+                           ChannelMask::y()),
+               InvalidArgument);
+  p.shift = -1;
+  EXPECT_THROW(validate_op(PixelOp::Scale, p, nullptr, ChannelMask::y(),
+                           ChannelMask::y()),
+               InvalidArgument);
+}
+
+TEST(OpValidation, EmptyMasksRejected) {
+  EXPECT_THROW(validate_op(PixelOp::Add, {}, nullptr, ChannelMask::none(),
+                           ChannelMask::y()),
+               InvalidArgument);
+  EXPECT_THROW(validate_op(PixelOp::Add, {}, nullptr, ChannelMask::y(),
+                           ChannelMask::none()),
+               InvalidArgument);
+}
+
+TEST(OpCost, GrowsWithNeighborhoodAndChannels) {
+  const i64 c1 = op_datapath_cost(PixelOp::Convolve, Neighborhood::con8(),
+                                  ChannelMask::y());
+  const i64 c2 = op_datapath_cost(PixelOp::Convolve, Neighborhood::rect(5, 5),
+                                  ChannelMask::y());
+  const i64 c3 = op_datapath_cost(PixelOp::Convolve, Neighborhood::con8(),
+                                  ChannelMask::yuv());
+  EXPECT_GT(c2, c1);
+  EXPECT_EQ(c3, 3 * c1);
+}
+
+TEST(OpNames, AllOpsHaveNames) {
+  for (int i = 0; i <= static_cast<int>(PixelOp::GmeAccum); ++i) {
+    EXPECT_NE(to_string(static_cast<PixelOp>(i)), "?");
+  }
+}
+
+}  // namespace
+}  // namespace ae::alib

@@ -1,0 +1,94 @@
+// Profiling tests: the CallRecorder decorator, the report arithmetic, and
+// the paper's two profiling claims on the segmentation workload — address
+// calculation dominates, and the Amdahl bound is around a factor of 30.
+#include <gtest/gtest.h>
+
+#include "profiling/profiler.hpp"
+#include "segmentation/segmentation.hpp"
+#include "image/synth.hpp"
+
+namespace ae::prof {
+namespace {
+
+TEST(CallRecorder, AccumulatesAcrossCalls) {
+  alib::SoftwareBackend inner;
+  CallRecorder rec(inner);
+  const img::Image a = img::make_test_frame(Size{32, 32}, 1);
+  const img::Image b = img::make_test_frame(Size{32, 32}, 2);
+  rec.execute(alib::Call::make_inter(alib::PixelOp::AbsDiff), a, &b);
+  rec.execute(alib::Call::make_intra(alib::PixelOp::MorphGradient,
+                                     alib::Neighborhood::con8()),
+              a);
+  EXPECT_EQ(rec.calls(), 2);
+  EXPECT_EQ(rec.total().pixels, 2 * a.pixel_count());
+  EXPECT_EQ(rec.by_kind().size(), 2u);
+  EXPECT_EQ(rec.by_kind().at("inter/AbsDiff").calls, 1);
+  rec.reset();
+  EXPECT_EQ(rec.calls(), 0);
+  EXPECT_TRUE(rec.by_kind().empty());
+}
+
+TEST(CallRecorder, TransparentToResults) {
+  alib::SoftwareBackend inner;
+  alib::SoftwareBackend reference;
+  CallRecorder rec(inner);
+  const img::Image a = img::make_test_frame(Size{24, 24}, 3);
+  const alib::Call call = alib::Call::make_intra(
+      alib::PixelOp::Erode, alib::Neighborhood::con4());
+  EXPECT_EQ(rec.execute(call, a).output, reference.execute(call, a).output);
+  EXPECT_NE(rec.name().find("+profile"), std::string::npos);
+}
+
+TEST(ProfileReport, ArithmeticIdentities) {
+  ProfileReport r;
+  r.low_level.address_calc = 60;
+  r.low_level.pixel_op = 20;
+  r.low_level.memory = 10;
+  r.low_level.control = 5;
+  r.high_level_instr = 5;
+  EXPECT_EQ(r.total_instr(), 100u);
+  EXPECT_DOUBLE_EQ(r.address_share(), 0.60);
+  EXPECT_DOUBLE_EQ(r.accelerable_share(), 0.95);
+  EXPECT_DOUBLE_EQ(r.max_speedup(), 20.0);
+}
+
+TEST(ProfileReport, EmptyReportIsSafe) {
+  const ProfileReport r;
+  EXPECT_EQ(r.total_instr(), 0u);
+  EXPECT_EQ(r.address_share(), 0.0);
+  EXPECT_EQ(r.max_speedup(), 0.0);
+}
+
+TEST(ProfileReport, SummaryMentionsKeyNumbers) {
+  ProfileReport r;
+  r.low_level.address_calc = 1000;
+  r.high_level_instr = 100;
+  r.addresslib_calls = 7;
+  const std::string s = r.summary();
+  EXPECT_NE(s.find("address share"), std::string::npos);
+  EXPECT_NE(s.find("max speedup"), std::string::npos);
+  EXPECT_NE(s.find("7 AddressLib calls"), std::string::npos);
+}
+
+// The paper's section-1 claim, reproduced on the segmentation workload.
+class SpeedupBound : public ::testing::TestWithParam<u64> {};
+
+TEST_P(SpeedupBound, AroundThirtyOnSegmentationWorkload) {
+  alib::SoftwareBackend sw;
+  CallRecorder rec(sw);
+  const img::Image f = img::make_test_frame(img::formats::kQcif, GetParam());
+  const seg::SegmentationResult r = seg::segment_image(rec, f);
+  const ProfileReport report = make_report(rec, r.high_level_instr);
+  // "the maximum achievable acceleration with AddressEngine is estimated
+  // as a factor of 30" — land in the same band.
+  EXPECT_GT(report.max_speedup(), 15.0) << report.summary();
+  EXPECT_LT(report.max_speedup(), 60.0) << report.summary();
+  // "pixel address calculations are the dominant operations".
+  EXPECT_GT(report.address_share(), 0.75) << report.summary();
+  EXPECT_GT(report.accelerable_share(), 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Frames, SpeedupBound, ::testing::Values(5, 6, 7));
+
+}  // namespace
+}  // namespace ae::prof

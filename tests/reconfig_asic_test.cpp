@@ -1,0 +1,108 @@
+// Tests for the outlook models: dynamic partial reconfiguration of the
+// stage-3 block and the standard-cell ASIC projection.
+#include <gtest/gtest.h>
+
+#include "core/asic.hpp"
+#include "core/reconfig.hpp"
+#include "image/synth.hpp"
+#include "test_util.hpp"
+
+namespace ae::core {
+namespace {
+
+TEST(Reconfig, FirstCallLoadsModule) {
+  ReconfigurableEngine engine;
+  const img::Image a = test::small_frame();
+  EXPECT_FALSE(engine.loaded_module().has_value());
+  engine.execute(alib::Call::make_intra(alib::PixelOp::Erode,
+                                        alib::Neighborhood::con8()),
+                 a);
+  ASSERT_TRUE(engine.loaded_module().has_value());
+  EXPECT_EQ(*engine.loaded_module(), alib::PixelOp::Erode);
+  EXPECT_EQ(engine.swaps(), 1);
+}
+
+TEST(Reconfig, RepeatedOpDoesNotSwap) {
+  ReconfigurableEngine engine;
+  const img::Image a = test::small_frame();
+  const alib::Call call = alib::Call::make_intra(alib::PixelOp::Dilate,
+                                                 alib::Neighborhood::con4());
+  const alib::CallResult first = engine.execute(call, a);
+  const alib::CallResult second = engine.execute(call, a);
+  EXPECT_EQ(engine.swaps(), 1);
+  EXPECT_GT(first.stats.cycles, second.stats.cycles);  // swap charged once
+}
+
+TEST(Reconfig, AlternatingOpsThrash) {
+  ReconfigurableEngine engine;
+  const img::Image a = test::small_frame();
+  const alib::Call erode = alib::Call::make_intra(alib::PixelOp::Erode,
+                                                  alib::Neighborhood::con8());
+  const alib::Call dilate = alib::Call::make_intra(alib::PixelOp::Dilate,
+                                                   alib::Neighborhood::con8());
+  for (int i = 0; i < 3; ++i) {
+    engine.execute(erode, a);
+    engine.execute(dilate, a);
+  }
+  EXPECT_EQ(engine.swaps(), 6);
+  EXPECT_GT(engine.reconfig_cycles_total(), 0u);
+}
+
+TEST(Reconfig, OutputsUnaffectedBySwaps) {
+  ReconfigurableEngine reconfig;
+  EngineBackend plain({}, EngineMode::Analytic);
+  const img::Image a = test::small_frame();
+  const alib::Call call = alib::Call::make_intra(alib::PixelOp::Median,
+                                                 alib::Neighborhood::con8());
+  test::expect_images_equal(reconfig.execute(call, a).output,
+                            plain.execute(call, a).output);
+}
+
+TEST(Reconfig, SwapCostScalesWithModuleSize) {
+  const ReconfigModel model;
+  // Convolve's datapath is bigger than Copy's, so its bitstream is bigger.
+  EXPECT_GT(op_module_luts(alib::PixelOp::Convolve),
+            op_module_luts(alib::PixelOp::Copy));
+  EXPECT_GE(reconfiguration_cycles(model, alib::PixelOp::Convolve),
+            reconfiguration_cycles(model, alib::PixelOp::Copy));
+  // Tiny modules still pay the configuration-frame floor.
+  EXPECT_GE(reconfiguration_cycles(model, alib::PixelOp::Copy),
+            model.swap_setup_cycles +
+                static_cast<u64>(model.min_bitstream_bytes));
+}
+
+TEST(Reconfig, NameAdvertisesWrapper) {
+  EXPECT_NE(ReconfigurableEngine().name().find("/reconfig"),
+            std::string::npos);
+}
+
+TEST(Asic, ProjectionIsPhysicallyPlausible) {
+  const AsicEstimate e = project_asic(EngineConfig{});
+  EXPECT_GT(e.logic_gates, 1000.0);
+  EXPECT_LT(e.logic_gates, 100'000.0);  // the datapath is small
+  EXPECT_GT(e.sram_kbit, 100.0);        // line buffers dominate
+  EXPECT_GT(e.area_mm2, 0.1);
+  EXPECT_LT(e.area_mm2, 20.0);
+  EXPECT_GT(e.max_clock_mhz, 200.0);  // "further performance optimization"
+  EXPECT_GT(e.power_mw_at_clock, e.power_mw_at_bus_clock);
+  EXPECT_LT(e.power_mw_at_bus_clock, 500.0);  // "power optimization"
+}
+
+TEST(Asic, ClockGainAppliedToFpgaFmax) {
+  AsicTechnology tech;
+  tech.clock_gain = 2.0;
+  const AsicEstimate e = project_asic(EngineConfig{}, tech);
+  const ResourceEstimate fpga = estimate_resources(EngineConfig{});
+  EXPECT_NEAR(e.max_clock_mhz, fpga.max_frequency_mhz() * 2.0, 1e-6);
+}
+
+TEST(Asic, SramTracksBufferDepth) {
+  EngineConfig deeper;
+  deeper.iim_lines = 32;
+  deeper.strip_lines = 32;
+  EXPECT_GT(project_asic(deeper).sram_kbit,
+            project_asic(EngineConfig{}).sram_kbit);
+}
+
+}  // namespace
+}  // namespace ae::core

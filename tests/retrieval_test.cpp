@@ -1,0 +1,160 @@
+// Region-based retrieval tests: descriptor math, signature matching and
+// the retrieval property that matters — an image retrieves itself, and
+// similar content ranks above dissimilar content.
+#include <gtest/gtest.h>
+
+#include "retrieval/database.hpp"
+#include "image/synth.hpp"
+
+namespace ae::ret {
+namespace {
+
+/// A frame with two controllable regions on a flat background.
+img::Image two_region_frame(u8 bg, u8 disk_luma, Point disk_at,
+                            u8 rect_luma) {
+  img::Image f(Size{96, 64}, img::Pixel::gray(bg));
+  img::draw_disk(f, disk_at, 12, img::Pixel::gray(disk_luma));
+  img::draw_rect(f, Rect{60, 10, 24, 16}, img::Pixel::gray(rect_luma));
+  return f;
+}
+
+/// Labels via the segmentation substrate.
+img::Image labeled(const img::Image& frame) {
+  alib::SoftwareBackend be;
+  seg::SegmentationParams params;
+  params.min_segment_pixels = 8;
+  return seg::segment_image(be, frame, params).labels;
+}
+
+TEST(Descriptors, AccumulateBasicStatistics) {
+  img::Image f(Size{10, 10}, img::Pixel::gray(100));
+  f.fill_channel(Channel::Alfa, 1);
+  u64 writes = 0;
+  const ImageSignature sig = describe_regions(f, &writes);
+  ASSERT_EQ(sig.regions.size(), 1u);
+  const RegionDescriptor& d = sig.regions[0];
+  EXPECT_EQ(d.pixels, 100);
+  EXPECT_DOUBLE_EQ(d.mean_y, 100.0);
+  EXPECT_DOUBLE_EQ(d.var_y, 0.0);
+  EXPECT_DOUBLE_EQ(d.area_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(d.elongation, 1.0);
+  EXPECT_DOUBLE_EQ(d.rectangularity, 1.0);
+  EXPECT_NEAR(d.centroid_x, 0.45, 0.01);  // mean(0..9)/10
+  EXPECT_EQ(writes, 100u);
+}
+
+TEST(Descriptors, UnlabeledPixelsIgnored) {
+  img::Image f(Size{4, 4}, img::Pixel::gray(10));
+  f.at(0, 0).alfa = 2;
+  const ImageSignature sig = describe_regions(f);
+  ASSERT_EQ(sig.regions.size(), 1u);
+  EXPECT_EQ(sig.regions[0].pixels, 1);
+}
+
+TEST(Descriptors, DominantSortsBySize) {
+  img::Image f(Size{8, 8}, img::Pixel::gray(10));
+  f.fill_channel(Channel::Alfa, 1);
+  for (i32 x = 0; x < 3; ++x) f.at(x, 0).alfa = 2;
+  const ImageSignature sig = describe_regions(f);
+  const auto top = sig.dominant(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].id, 1);
+  EXPECT_EQ(top[0].pixels, 61);
+}
+
+TEST(Descriptors, DistanceIsZeroForIdentical) {
+  const ImageSignature sig = describe_regions(labeled(
+      two_region_frame(40, 200, {25, 32}, 120)));
+  ASSERT_FALSE(sig.regions.empty());
+  EXPECT_DOUBLE_EQ(region_distance(sig.regions[0], sig.regions[0]), 0.0);
+  EXPECT_NEAR(signature_distance(sig, sig), 0.0, 1e-12);
+}
+
+TEST(Descriptors, ColorDifferenceIncreasesDistance) {
+  RegionDescriptor a;
+  a.mean_y = 100;
+  RegionDescriptor b = a;
+  b.mean_y = 200;
+  EXPECT_GT(region_distance(a, b), region_distance(a, a));
+}
+
+TEST(Retrieval, SelfQueryRanksFirst) {
+  alib::SoftwareBackend be;
+  RegionDatabase db(be);
+  const img::Image a = two_region_frame(40, 200, {25, 32}, 120);
+  const img::Image b = two_region_frame(90, 60, {50, 20}, 230);
+  const img::Image c = img::make_test_frame(Size{96, 64}, 3);
+  db.add("a", a);
+  db.add("b", b);
+  db.add("c", c);
+  const std::vector<QueryHit> hits = db.query(a, 3);
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0].name, "a");
+  EXPECT_NEAR(hits[0].distance, 0.0, 1e-9);
+  EXPECT_LT(hits[0].distance, hits[1].distance);
+}
+
+TEST(Retrieval, SimilarContentOutranksDissimilar) {
+  alib::SoftwareBackend be;
+  RegionDatabase db(be);
+  // "a-like": same scene, slightly shifted disk.
+  db.add("a_like", two_region_frame(40, 195, {28, 34}, 125));
+  db.add("different", two_region_frame(200, 20, {70, 50}, 15));
+  const std::vector<QueryHit> hits =
+      db.query(two_region_frame(40, 200, {25, 32}, 120), 2);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].name, "a_like");
+}
+
+TEST(Retrieval, CountsLowLevelWork) {
+  alib::SoftwareBackend be;
+  RegionDatabase db(be);
+  db.add("x", two_region_frame(40, 200, {25, 32}, 120));
+  EXPECT_GT(db.addresslib_calls(), 0);
+  EXPECT_GT(db.low_level().profile.total(), 0u);
+}
+
+TEST(Retrieval, EmptyDatabaseRejected) {
+  alib::SoftwareBackend be;
+  const RegionDatabase db(be);
+  EXPECT_THROW(db.query(two_region_frame(40, 200, {25, 32}, 120)),
+               InvalidArgument);
+}
+
+TEST(Retrieval, BothSegmentersWorkAndSelfRetrieve) {
+  // The SCHEMA test-bed point: the retrieval layer is agnostic to which
+  // segmentation algorithm produced the regions.
+  for (const Segmenter which :
+       {Segmenter::RegionGrowing, Segmenter::HistogramThreshold}) {
+    alib::SoftwareBackend be;
+    RegionDatabase db(be, {}, which);
+    const img::Image a = two_region_frame(40, 200, {25, 32}, 120);
+    const img::Image b = two_region_frame(200, 20, {70, 50}, 15);
+    db.add("a", a);
+    db.add("b", b);
+    const std::vector<QueryHit> hits = db.query(a, 2);
+    ASSERT_EQ(hits.size(), 2u);
+    EXPECT_EQ(hits[0].name, "a")
+        << (which == Segmenter::RegionGrowing ? "grow" : "threshold");
+  }
+}
+
+TEST(Retrieval, DeterministicRanking) {
+  alib::SoftwareBackend be;
+  RegionDatabase db(be);
+  for (u64 s = 1; s <= 4; ++s)
+    db.add("img" + std::to_string(s),
+           img::make_test_frame(Size{96, 64}, s));
+  const img::Image probe = img::make_test_frame(Size{96, 64}, 2);
+  const auto h1 = db.query(probe, 4);
+  const auto h2 = db.query(probe, 4);
+  ASSERT_EQ(h1.size(), h2.size());
+  for (std::size_t i = 0; i < h1.size(); ++i) {
+    EXPECT_EQ(h1[i].name, h2[i].name);
+    EXPECT_DOUBLE_EQ(h1[i].distance, h2[i].distance);
+  }
+  EXPECT_EQ(h1[0].name, "img2");  // self-similar frame wins
+}
+
+}  // namespace
+}  // namespace ae::ret

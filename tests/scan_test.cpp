@@ -1,0 +1,119 @@
+// Scan driver tests: traversal orders, windows, border policies and the
+// scan-space coordinate adapter used by the engine.
+#include <gtest/gtest.h>
+
+#include "addresslib/scan.hpp"
+#include "core/scanspace.hpp"
+#include "image/synth.hpp"
+
+namespace ae {
+namespace {
+
+TEST(ForEachPosition, RowMajorOrder) {
+  std::vector<Point> visits;
+  alib::for_each_position(Size{3, 2}, alib::ScanOrder::RowMajor,
+                          [&](Point p) { visits.push_back(p); });
+  const std::vector<Point> expected{{0, 0}, {1, 0}, {2, 0},
+                                    {0, 1}, {1, 1}, {2, 1}};
+  EXPECT_EQ(visits, expected);
+}
+
+TEST(ForEachPosition, ColumnMajorOrder) {
+  std::vector<Point> visits;
+  alib::for_each_position(Size{2, 3}, alib::ScanOrder::ColumnMajor,
+                          [&](Point p) { visits.push_back(p); });
+  const std::vector<Point> expected{{0, 0}, {0, 1}, {0, 2},
+                                    {1, 0}, {1, 1}, {1, 2}};
+  EXPECT_EQ(visits, expected);
+}
+
+TEST(ImageWindow, ReplicateBorder) {
+  const img::Image im = img::make_test_frame(Size{8, 8}, 1);
+  alib::ImageWindow w(im, alib::BorderPolicy::Replicate, img::Pixel{});
+  w.move_to({0, 0});
+  EXPECT_EQ(w.at({-3, -3}), im.at(0, 0));
+  w.move_to({7, 7});
+  EXPECT_EQ(w.at({5, 0}), im.at(7, 7));
+  EXPECT_EQ(w.at({0, 0}), im.at(7, 7));
+}
+
+TEST(ImageWindow, ConstantBorder) {
+  const img::Image im = img::make_test_frame(Size{8, 8}, 1);
+  const img::Pixel sentinel = img::Pixel::gray(123);
+  alib::ImageWindow w(im, alib::BorderPolicy::Constant, sentinel);
+  w.move_to({0, 0});
+  EXPECT_EQ(w.at({-1, 0}), sentinel);
+  EXPECT_EQ(w.at({1, 1}), im.at(1, 1));
+}
+
+TEST(ScanIntra, OutputSizeValidated) {
+  const img::Image in(Size{4, 4});
+  img::Image wrong(Size{3, 4});
+  EXPECT_THROW(
+      alib::scan_intra(in, wrong, alib::ScanOrder::RowMajor,
+                       alib::BorderPolicy::Replicate, img::Pixel{},
+                       [](const alib::ImageWindow& w) { return w.at({0, 0}); }),
+      InvalidArgument);
+}
+
+TEST(ScanIntra, ResultIndependentOfScanOrder) {
+  // The per-pixel function is pure, so both scan orders compute the same
+  // image (the engine exploits this for strip orientation).
+  const img::Image in = img::make_test_frame(Size{16, 12}, 4);
+  img::Image row(in.size());
+  img::Image col(in.size());
+  auto fn = [](const alib::ImageWindow& w) {
+    img::Pixel p = w.at({0, 0});
+    p.y = img::clamp_u8((w.at({-1, 0}).y + w.at({1, 0}).y) / 2);
+    return p;
+  };
+  alib::scan_intra(in, row, alib::ScanOrder::RowMajor,
+                   alib::BorderPolicy::Replicate, img::Pixel{}, fn);
+  alib::scan_intra(in, col, alib::ScanOrder::ColumnMajor,
+                   alib::BorderPolicy::Replicate, img::Pixel{}, fn);
+  EXPECT_EQ(row, col);
+}
+
+TEST(ScanInter, SizeChecks) {
+  const img::Image a(Size{4, 4});
+  const img::Image b(Size{5, 4});
+  img::Image out(Size{4, 4});
+  EXPECT_THROW(alib::scan_inter(a, b, out, alib::ScanOrder::RowMajor,
+                                [](img::Pixel x, img::Pixel, Point) { return x; }),
+               InvalidArgument);
+}
+
+TEST(ScanSpace, RowMajorMapping) {
+  const core::ScanSpace s(Size{10, 6}, alib::ScanOrder::RowMajor);
+  EXPECT_EQ(s.line_count(), 6);
+  EXPECT_EQ(s.line_length(), 10);
+  EXPECT_EQ(s.to_image(2, 7), (Point{7, 2}));
+  EXPECT_EQ(s.line_of({7, 2}), 2);
+  EXPECT_EQ(s.pos_of({7, 2}), 7);
+  EXPECT_EQ(s.pixel_addr(2, 7), 2 * 10 + 7);
+}
+
+TEST(ScanSpace, ColumnMajorMapping) {
+  const core::ScanSpace s(Size{10, 6}, alib::ScanOrder::ColumnMajor);
+  EXPECT_EQ(s.line_count(), 10);
+  EXPECT_EQ(s.line_length(), 6);
+  EXPECT_EQ(s.to_image(2, 5), (Point{2, 5}));
+  EXPECT_EQ(s.line_of({2, 5}), 2);
+  // Host addresses stay row-major regardless of the scan.
+  EXPECT_EQ(s.pixel_addr(2, 5), 5 * 10 + 2);
+}
+
+TEST(ScanSpace, NeighborhoodLineExtents) {
+  const alib::Neighborhood v9 = alib::Neighborhood::vline(9);
+  const core::ScanSpace row(Size{8, 8}, alib::ScanOrder::RowMajor);
+  const core::ScanSpace col(Size{8, 8}, alib::ScanOrder::ColumnMajor);
+  EXPECT_EQ(row.lines_before(v9), 4);
+  EXPECT_EQ(row.lines_after(v9), 4);
+  EXPECT_EQ(col.lines_before(v9), 0);  // vline lies along a column scan
+  EXPECT_EQ(col.lines_after(v9), 0);
+  EXPECT_EQ(row.line_delta({0, -3}), -3);
+  EXPECT_EQ(col.line_delta({0, -3}), 0);
+}
+
+}  // namespace
+}  // namespace ae

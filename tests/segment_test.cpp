@@ -1,0 +1,281 @@
+// Segment addressing tests: geodesic expansion semantics, determinism,
+// criterion behaviour, incremental labeling and the segment-indexed table.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+
+#include "addresslib/segment.hpp"
+#include "image/synth.hpp"
+
+namespace ae::alib {
+namespace {
+
+/// Flat gray frame: a single seed must flood everything in geodesic order.
+TEST(SegmentExpansion, FloodsHomogeneousImage) {
+  const img::Image a(Size{16, 12}, img::Pixel::gray(100));
+  SegmentSpec spec;
+  spec.seeds = {{3, 4}};
+  SegmentTable<SegmentInfo> table;
+  std::vector<SegmentVisit> visits;
+  const SegmentTraversalStats stats = expand_segments(
+      a, spec, table, [&](const SegmentVisit& v) { visits.push_back(v); });
+  EXPECT_EQ(stats.processed_pixels, a.pixel_count());
+  EXPECT_EQ(table.records()[0].pixel_count, a.pixel_count());
+  EXPECT_EQ(table.records()[0].bbox, a.bounds());
+}
+
+TEST(SegmentExpansion, GeodesicOrderIsChebyshevOnHomogeneous) {
+  // On an unobstructed 8-connected expansion the geodesic distance equals
+  // the Chebyshev distance to the seed.
+  const img::Image a(Size{15, 15}, img::Pixel::gray(50));
+  SegmentSpec spec;
+  spec.seeds = {{7, 7}};
+  SegmentTable<SegmentInfo> table;
+  expand_segments(a, spec, table, [&](const SegmentVisit& v) {
+    EXPECT_EQ(v.geodesic_distance, chebyshev(v.position, Point{7, 7}));
+  });
+}
+
+TEST(SegmentExpansion, FourConnectedUsesManhattan) {
+  const img::Image a(Size{11, 11}, img::Pixel::gray(50));
+  SegmentSpec spec;
+  spec.seeds = {{5, 5}};
+  spec.connectivity = Connectivity::Four;
+  SegmentTable<SegmentInfo> table;
+  expand_segments(a, spec, table, [&](const SegmentVisit& v) {
+    EXPECT_EQ(v.geodesic_distance, manhattan(v.position, Point{5, 5}));
+  });
+}
+
+TEST(SegmentExpansion, VisitsAreMonotoneInDistance) {
+  const img::Image a = img::make_test_frame(Size{24, 24}, 3);
+  SegmentSpec spec;
+  spec.seeds = {{12, 12}};
+  spec.luma_threshold = 255;
+  SegmentTable<SegmentInfo> table;
+  i32 last = 0;
+  expand_segments(a, spec, table, [&](const SegmentVisit& v) {
+    EXPECT_GE(v.geodesic_distance, last);
+    last = v.geodesic_distance;
+  });
+}
+
+TEST(SegmentExpansion, ThresholdStopsAtEdges) {
+  // Left half 10, right half 200: a seed on the left must not cross.
+  img::Image a(Size{16, 8}, img::Pixel::gray(10));
+  img::draw_rect(a, Rect{8, 0, 8, 8}, img::Pixel::gray(200));
+  SegmentSpec spec;
+  spec.seeds = {{2, 2}};
+  spec.luma_threshold = 20;
+  SegmentTable<SegmentInfo> table;
+  expand_segments(a, spec, table, [&](const SegmentVisit& v) {
+    EXPECT_LT(v.position.x, 8);
+  });
+  EXPECT_EQ(table.records()[0].pixel_count, 64);
+}
+
+TEST(SegmentExpansion, LocalCriterionFollowsGradients) {
+  // A smooth ramp: each step differs by 2, so threshold 2 crosses the whole
+  // ramp even though endpoints differ by far more (the criterion is local).
+  img::Image a(Size{100, 1});
+  for (i32 x = 0; x < 100; ++x)
+    a.at(x, 0).y = static_cast<u8>(2 * x);
+  SegmentSpec spec;
+  spec.seeds = {{0, 0}};
+  spec.luma_threshold = 2;
+  SegmentTable<SegmentInfo> table;
+  expand_segments(a, spec, table, [](const SegmentVisit&) {});
+  EXPECT_EQ(table.records()[0].pixel_count, 100);
+}
+
+TEST(SegmentExpansion, EveryPixelClaimedOnce) {
+  const img::Image a = img::make_test_frame(Size{32, 32}, 9);
+  SegmentSpec spec;
+  spec.seeds = {{4, 4}, {20, 20}, {30, 4}};
+  spec.luma_threshold = 255;
+  SegmentTable<SegmentInfo> table;
+  std::map<std::pair<i32, i32>, int> seen;
+  expand_segments(a, spec, table, [&](const SegmentVisit& v) {
+    ++seen[{v.position.x, v.position.y}];
+  });
+  for (const auto& [pos, count] : seen) EXPECT_EQ(count, 1);
+  i64 total = 0;
+  for (const auto& rec : table.records()) total += rec.pixel_count;
+  EXPECT_EQ(total, a.pixel_count());
+}
+
+TEST(SegmentExpansion, DeterministicTieBreak) {
+  const img::Image a = img::make_test_frame(Size{24, 24}, 5);
+  SegmentSpec spec;
+  spec.seeds = {{6, 6}, {18, 18}};
+  spec.luma_threshold = 40;
+  std::vector<SegmentInfo> first;
+  std::vector<SegmentInfo> second;
+  const img::Image l1 = label_segments(a, spec, &first);
+  const img::Image l2 = label_segments(a, spec, &second);
+  EXPECT_EQ(l1, l2);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i)
+    EXPECT_EQ(first[i].pixel_count, second[i].pixel_count);
+}
+
+TEST(SegmentExpansion, SeedOnClaimedPixelYieldsEmptySegment) {
+  const img::Image a(Size{8, 8}, img::Pixel::gray(10));
+  SegmentSpec spec;
+  spec.seeds = {{4, 4}, {4, 4}};  // duplicate seed
+  SegmentTable<SegmentInfo> table;
+  expand_segments(a, spec, table, [](const SegmentVisit&) {});
+  EXPECT_EQ(table.records()[0].pixel_count, 64);
+  EXPECT_EQ(table.records()[1].pixel_count, 0);
+}
+
+TEST(SegmentExpansion, RespectExistingLabelsActsAsBarrier) {
+  img::Image a(Size{16, 4}, img::Pixel::gray(10));
+  // A labeled vertical wall at x == 8.
+  for (i32 y = 0; y < 4; ++y) a.at(8, y).alfa = 42;
+  SegmentSpec spec;
+  spec.seeds = {{2, 2}};
+  spec.luma_threshold = 255;
+  spec.respect_existing_labels = true;
+  SegmentTable<SegmentInfo> table;
+  expand_segments(a, spec, table, [&](const SegmentVisit& v) {
+    EXPECT_LT(v.position.x, 8);
+  });
+  EXPECT_EQ(table.records()[0].pixel_count, 8 * 4);
+}
+
+TEST(SegmentExpansion, IdBaseOffsetsIds) {
+  const img::Image a(Size{8, 8}, img::Pixel::gray(10));
+  SegmentSpec spec;
+  spec.seeds = {{1, 1}};
+  spec.id_base = 100;
+  SegmentTable<SegmentInfo> table;
+  expand_segments(a, spec, table,
+                  [&](const SegmentVisit& v) { EXPECT_EQ(v.segment, 101); });
+  EXPECT_EQ(table.records()[0].id, 101);
+}
+
+TEST(SegmentExpansion, PathConnectivityProperty) {
+  // Every pixel in a segment is reachable from the seed by steps whose luma
+  // difference never exceeds the threshold: verify via re-expansion from
+  // the claimed map itself (a pixel's distance-1 ancestor must exist).
+  const img::Image a = img::make_test_frame(Size{32, 32}, 11);
+  SegmentSpec spec;
+  spec.seeds = {{16, 16}};
+  spec.luma_threshold = 24;
+  SegmentTable<SegmentInfo> table;
+  std::map<std::pair<i32, i32>, i32> dist;
+  expand_segments(a, spec, table, [&](const SegmentVisit& v) {
+    dist[{v.position.x, v.position.y}] = v.geodesic_distance;
+  });
+  for (const auto& [pos, d] : dist) {
+    if (d == 0) continue;
+    bool has_closer_compatible_neighbor = false;
+    for (const Point off : connectivity_offsets(Connectivity::Eight)) {
+      const auto it = dist.find({pos.first + off.x, pos.second + off.y});
+      if (it == dist.end() || it->second != d - 1) continue;
+      const i32 a_y = a.at(pos.first, pos.second).y;
+      const i32 b_y = a.at(pos.first + off.x, pos.second + off.y).y;
+      if (std::abs(a_y - b_y) <= spec.luma_threshold) {
+        has_closer_compatible_neighbor = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(has_closer_compatible_neighbor)
+        << "orphan pixel at (" << pos.first << "," << pos.second << ")";
+  }
+}
+
+TEST(SegmentExpansion, LabelSegmentsPaintsAlfa) {
+  const img::Image a(Size{8, 8}, img::Pixel::gray(10));
+  SegmentSpec spec;
+  spec.seeds = {{0, 0}};
+  const img::Image labels = label_segments(a, spec);
+  for (i32 y = 0; y < 8; ++y)
+    for (i32 x = 0; x < 8; ++x) EXPECT_EQ(labels.at(x, y).alfa, 1);
+}
+
+TEST(SegmentExpansion, CriterionTestCountPlausible) {
+  const img::Image a(Size{10, 10}, img::Pixel::gray(10));
+  SegmentSpec spec;
+  spec.seeds = {{5, 5}};
+  SegmentTable<SegmentInfo> table;
+  const SegmentTraversalStats stats =
+      expand_segments(a, spec, table, [](const SegmentVisit&) {});
+  // Each pixel tests at most its 8 neighbors, and unclaimed ones only once.
+  EXPECT_GT(stats.criterion_tests, 0);
+  EXPECT_LE(stats.criterion_tests, a.pixel_count() * 8);
+}
+
+TEST(SegmentExpansion, ChromaCriterionSplitsEqualLuma) {
+  // Two halves with identical luma but different chroma: luma-only
+  // expansion floods everything, the chroma criterion stops at the edge.
+  img::Image a(Size{16, 8}, img::Pixel::gray(100));
+  for (i32 y = 0; y < 8; ++y)
+    for (i32 x = 8; x < 16; ++x) a.at(x, y).u = 200;
+
+  SegmentSpec luma_only;
+  luma_only.seeds = {{2, 4}};
+  luma_only.luma_threshold = 10;
+  SegmentTable<SegmentInfo> t1;
+  expand_segments(a, luma_only, t1, [](const SegmentVisit&) {});
+  EXPECT_EQ(t1.records()[0].pixel_count, 16 * 8);
+
+  SegmentSpec with_chroma = luma_only;
+  with_chroma.chroma_threshold = 16;
+  SegmentTable<SegmentInfo> t2;
+  expand_segments(a, with_chroma, t2, [&](const SegmentVisit& v) {
+    EXPECT_LT(v.position.x, 8);
+  });
+  EXPECT_EQ(t2.records()[0].pixel_count, 8 * 8);
+}
+
+TEST(SegmentExpansion, ChromaCriterionIsLocal) {
+  // A smooth chroma ramp passes a tight local chroma threshold end to end.
+  img::Image a(Size{60, 1}, img::Pixel::gray(100));
+  for (i32 x = 0; x < 60; ++x) a.at(x, 0).u = static_cast<u8>(60 + 2 * x);
+  SegmentSpec spec;
+  spec.seeds = {{0, 0}};
+  spec.luma_threshold = 4;
+  spec.chroma_threshold = 2;
+  SegmentTable<SegmentInfo> table;
+  expand_segments(a, spec, table, [](const SegmentVisit&) {});
+  EXPECT_EQ(table.records()[0].pixel_count, 60);
+}
+
+TEST(SegmentTableTest, CountsReadsAndWrites) {
+  SegmentTable<int> table;
+  const SegmentId id = table.allocate(5);
+  EXPECT_EQ(id, 1);
+  EXPECT_EQ(table.read(id), 5);
+  table.modify(id) = 7;
+  EXPECT_EQ(table.read(id), 7);
+  EXPECT_EQ(table.reads(), 2u);
+  EXPECT_EQ(table.writes(), 2u);  // allocate + modify
+}
+
+TEST(SegmentTableTest, RejectsBadIds) {
+  SegmentTable<int> table;
+  EXPECT_THROW(table.read(1), InvalidArgument);
+  table.allocate(1);
+  EXPECT_THROW(table.read(2), InvalidArgument);
+  EXPECT_THROW(table.modify(0), InvalidArgument);
+}
+
+TEST(SegmentExpansion, InputValidation) {
+  const img::Image a(Size{4, 4}, img::Pixel::gray(1));
+  SegmentTable<SegmentInfo> table;
+  SegmentSpec no_seeds;
+  EXPECT_THROW(
+      expand_segments(a, no_seeds, table, [](const SegmentVisit&) {}),
+      InvalidArgument);
+  SegmentSpec bad_seed;
+  bad_seed.seeds = {{9, 9}};
+  EXPECT_THROW(
+      expand_segments(a, bad_seed, table, [](const SegmentVisit&) {}),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ae::alib

@@ -1,0 +1,132 @@
+// EngineSession (smart-driver what-if) tests: frame residency, side-only
+// readback elision, and the invariant that only timing changes.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "core/session.hpp"
+#include "test_util.hpp"
+
+namespace ae::core {
+namespace {
+
+alib::Call gradpack() {
+  return alib::Call::make_intra(
+      alib::PixelOp::GradientPack, alib::Neighborhood::con8(),
+      ChannelMask::y(), ChannelMask::alfa().with(Channel::Aux));
+}
+
+alib::Call gme_accum() {
+  alib::OpParams p;
+  p.threshold = 64;
+  return alib::Call::make_inter(alib::PixelOp::GmeAccum, ChannelMask::y(),
+                                ChannelMask::y(), p);
+}
+
+TEST(Session, SideOnlyOpsClassified) {
+  EXPECT_TRUE(is_side_only_op(alib::PixelOp::Sad));
+  EXPECT_TRUE(is_side_only_op(alib::PixelOp::Histogram));
+  EXPECT_TRUE(is_side_only_op(alib::PixelOp::GmeAccumAffine));
+  EXPECT_FALSE(is_side_only_op(alib::PixelOp::AbsDiff));
+  EXPECT_FALSE(is_side_only_op(alib::PixelOp::Erode));
+}
+
+TEST(Session, FunctionalResultsUnchanged) {
+  EngineSession session;
+  EngineBackend plain({}, EngineMode::Analytic);
+  const img::Image a = test::small_frame();
+  const img::Image b = test::small_frame_b();
+  const alib::Call call = alib::Call::make_inter(alib::PixelOp::AbsDiff);
+  test::expect_images_equal(session.execute(call, a, &b).output,
+                            plain.execute(call, a, &b).output);
+}
+
+TEST(Session, RepeatedInputSkipsTransfer) {
+  EngineSession session;
+  const img::Image a = test::small_frame();
+  const alib::Call call = alib::Call::make_intra(
+      alib::PixelOp::MorphGradient, alib::Neighborhood::con8());
+  const u64 first = session.execute(call, a).stats.cycles;
+  const u64 second = session.execute(call, a).stats.cycles;
+  EXPECT_LT(second, first);
+  EXPECT_EQ(session.stats().inputs_transferred, 1);
+  EXPECT_EQ(session.stats().inputs_reused, 1);
+}
+
+TEST(Session, ResultFeedsNextCallViaBoardCopy) {
+  EngineSession session;
+  const img::Image ref = test::small_frame(1);
+  const img::Image warped = test::small_frame(2);
+  // GradientPack produces packed; GmeAccum consumes it as frame B.
+  const alib::CallResult packed = session.execute(gradpack(), warped);
+  session.execute(gme_accum(), ref, &packed.output);
+  EXPECT_EQ(session.stats().board_copies, 1);
+  // warped + ref were transferred; packed was relocated on board.
+  EXPECT_EQ(session.stats().inputs_transferred, 2);
+  EXPECT_EQ(session.stats().inputs_reused, 1);
+}
+
+TEST(Session, SideOnlyReadbackElided) {
+  EngineSession session;
+  const img::Image a = test::small_frame(1);
+  const img::Image b = test::small_frame(2);
+  session.execute(gme_accum(), a, &b);
+  EXPECT_EQ(session.stats().outputs_elided, 1);
+  session.execute(alib::Call::make_inter(alib::PixelOp::AbsDiff), a, &b);
+  EXPECT_EQ(session.stats().outputs_read_back, 1);
+}
+
+TEST(Session, OptionsDisableOptimizations) {
+  SessionOptions off;
+  off.reuse_resident_frames = false;
+  off.skip_side_only_readback = false;
+  EngineSession session({}, off);
+  const img::Image a = test::small_frame();
+  const alib::Call call = alib::Call::make_intra(
+      alib::PixelOp::MorphGradient, alib::Neighborhood::con8());
+  const u64 first = session.execute(call, a).stats.cycles;
+  const u64 second = session.execute(call, a).stats.cycles;
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(session.stats().inputs_reused, 0);
+}
+
+TEST(Session, InvalidateForgetsResidency) {
+  EngineSession session;
+  const img::Image a = test::small_frame();
+  const alib::Call call = alib::Call::make_intra(
+      alib::PixelOp::Erode, alib::Neighborhood::con4());
+  session.execute(call, a);
+  session.invalidate();
+  session.execute(call, a);
+  EXPECT_EQ(session.stats().inputs_transferred, 2);
+  EXPECT_EQ(session.stats().inputs_reused, 0);
+}
+
+TEST(Session, GmeIterationTrafficShrinks) {
+  // The canonical GME inner loop on the session vs. the plain driver: the
+  // per-iteration board time must drop substantially.  CIF frames — on
+  // tiny frames the per-call driver overhead dominates and residency
+  // cannot help (that is itself part of the story).
+  const img::Image ref = img::make_test_frame(img::formats::kCif, 1);
+  EngineSession session;
+  EngineBackend plain({}, EngineMode::Analytic);
+  u64 session_cycles = 0;
+  u64 plain_cycles = 0;
+  for (int it = 0; it < 4; ++it) {
+    const img::Image warped =
+        img::make_test_frame(img::formats::kCif, 10 + static_cast<u64>(it));
+    const alib::CallResult p1 = session.execute(gradpack(), warped);
+    session_cycles += p1.stats.cycles;
+    session_cycles += session.execute(gme_accum(), ref, &p1.output).stats.cycles;
+    const alib::CallResult p2 = plain.execute(gradpack(), warped);
+    plain_cycles += p2.stats.cycles;
+    plain_cycles += plain.execute(gme_accum(), ref, &p2.output).stats.cycles;
+  }
+  EXPECT_LT(session_cycles, plain_cycles * 7 / 10);
+}
+
+TEST(Session, NameSaysSession) {
+  EXPECT_NE(EngineSession().name().find("session"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ae::core

@@ -1,0 +1,142 @@
+// Software backend tests: functional behaviour plus the consistency of its
+// accounting with the analytic access/cost models.
+#include <gtest/gtest.h>
+
+#include "addresslib/access_model.hpp"
+#include "addresslib/functional.hpp"
+#include "addresslib/software_backend.hpp"
+#include "image/compare.hpp"
+#include "image/synth.hpp"
+
+namespace ae::alib {
+namespace {
+
+img::Image frame(u64 seed = 1) {
+  return img::make_test_frame(Size{32, 24}, seed);
+}
+
+TEST(SoftwareBackend, NameEncodesClock) {
+  SoftwareBackend be;
+  EXPECT_EQ(be.name(), "software/PM-1.6GHz");
+  SoftwareCostModel fast;
+  fast.clock_hz = 3.0e9;
+  EXPECT_EQ(SoftwareBackend(fast).name(), "software/PM-3GHz");
+}
+
+TEST(SoftwareBackend, LoadsMatchAnalyticModel) {
+  SoftwareBackend be;
+  const img::Image a = frame();
+  for (const Call& c :
+       {Call::make_intra(PixelOp::Copy, Neighborhood::con0()),
+        Call::make_intra(PixelOp::MorphGradient, Neighborhood::con8()),
+        Call::make_intra(PixelOp::Erode, Neighborhood::con4(),
+                         ChannelMask::yuv(), ChannelMask::yuv())}) {
+    const CallResult r = be.execute(c, a);
+    const AccessCounts model = software_access_model(c, a.pixel_count());
+    EXPECT_EQ(r.stats.loads, model.loads) << c.describe();
+    EXPECT_EQ(r.stats.stores, model.stores) << c.describe();
+  }
+}
+
+TEST(SoftwareBackend, InterLoadsMatchModel) {
+  SoftwareBackend be;
+  const img::Image a = frame(1);
+  const img::Image b = frame(2);
+  const Call c = Call::make_inter(PixelOp::AbsDiff);
+  const CallResult r = be.execute(c, a, &b);
+  EXPECT_EQ(r.stats.loads, static_cast<u64>(2 * a.pixel_count()));
+  EXPECT_EQ(r.stats.stores, static_cast<u64>(a.pixel_count()));
+}
+
+TEST(SoftwareBackend, ProfileScalesWithPixels) {
+  SoftwareBackend be;
+  const Call c = Call::make_intra(PixelOp::MorphGradient,
+                                  Neighborhood::con8());
+  const CallResult small = be.execute(c, img::make_test_frame({16, 16}, 1));
+  const CallResult large = be.execute(c, img::make_test_frame({32, 32}, 1));
+  // 4x the pixels -> ~4x the instructions (minus fixed call overhead).
+  const double ratio =
+      static_cast<double>(large.stats.profile.total() -
+                          static_cast<u64>(be.cost_model().call_overhead_instr)) /
+      static_cast<double>(small.stats.profile.total() -
+                          static_cast<u64>(be.cost_model().call_overhead_instr));
+  EXPECT_NEAR(ratio, 4.0, 0.01);
+}
+
+TEST(SoftwareBackend, ModelSecondsPositiveAndClockScaled) {
+  const img::Image a = frame();
+  const Call c = Call::make_intra(PixelOp::MorphGradient,
+                                  Neighborhood::con8());
+  SoftwareBackend slow;  // 1.6 GHz
+  SoftwareCostModel fast_model;
+  fast_model.clock_hz = 3.2e9;
+  SoftwareBackend fast(fast_model);
+  const double t_slow = slow.execute(c, a).stats.model_seconds;
+  const double t_fast = fast.execute(c, a).stats.model_seconds;
+  EXPECT_GT(t_slow, 0.0);
+  EXPECT_NEAR(t_slow / t_fast, 2.0, 1e-9);
+}
+
+TEST(SoftwareBackend, AddressCalculationDominatesProfile) {
+  // The paper's core observation, visible in any neighborhood call.
+  SoftwareBackend be;
+  const CallResult r = be.execute(
+      Call::make_intra(PixelOp::MorphGradient, Neighborhood::con8()),
+      frame());
+  const InstructionProfile& p = r.stats.profile;
+  EXPECT_GT(p.address_calc, p.pixel_op);
+  EXPECT_GT(p.address_calc, p.control);
+  EXPECT_GT(p.address_calc, p.memory);
+  EXPECT_GT(static_cast<double>(p.address_calc) /
+                static_cast<double>(p.total()),
+            0.5);
+}
+
+TEST(SoftwareBackend, SegmentCountsTableTraffic) {
+  SegmentSpec spec;
+  spec.seeds = {{5, 5}};
+  spec.luma_threshold = 255;  // grows over everything
+  const Call c = Call::make_segment(PixelOp::Copy, Neighborhood::con0(), spec,
+                                    ChannelMask::y(),
+                                    ChannelMask::y().with(Channel::Alfa));
+  SoftwareBackend be;
+  const img::Image a = frame();
+  const CallResult r = be.execute(c, a);
+  EXPECT_EQ(r.stats.pixels, a.pixel_count());  // full coverage
+  EXPECT_GT(r.stats.table_writes, 0u);
+  EXPECT_EQ(r.segments.size(), 1u);
+  EXPECT_EQ(r.segments[0].pixel_count, a.pixel_count());
+}
+
+TEST(SoftwareBackend, MatchesPureFunctionalExecution) {
+  SoftwareBackend be;
+  const img::Image a = frame(3);
+  const img::Image b = frame(4);
+  const Call c = Call::make_inter(PixelOp::Max);
+  const CallResult viaBackend = be.execute(c, a, &b);
+  const CallResult viaFunctional = execute_functional(c, a, &b);
+  EXPECT_EQ(viaBackend.output, viaFunctional.output);
+}
+
+TEST(SoftwareBackend, HistogramSideResultComplete) {
+  SoftwareBackend be;
+  const img::Image a = frame();
+  const CallResult r = be.execute(
+      Call::make_intra(PixelOp::Histogram, Neighborhood::con0()), a);
+  u64 total = 0;
+  for (const u64 bin : r.side.histogram) total += bin;
+  EXPECT_EQ(total, static_cast<u64>(a.pixel_count()));  // conservation
+}
+
+TEST(CostModel, CyclesIncludeMemoryStalls) {
+  SoftwareCostModel m;
+  InstructionProfile p;
+  p.control = 100;
+  p.memory = 10;
+  const double with_stalls = m.cycles(p);
+  m.memory_stall_cycles = 0;
+  EXPECT_GT(with_stalls, m.cycles(p));
+}
+
+}  // namespace
+}  // namespace ae::alib

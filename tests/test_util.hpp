@@ -1,0 +1,146 @@
+// Shared fixtures and helpers for the test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "addresslib/addresslib.hpp"
+#include "image/compare.hpp"
+#include "image/synth.hpp"
+
+namespace ae::test {
+
+/// A small strip-compatible frame (height and width multiples of 16) that
+/// keeps the cycle simulator fast.
+inline img::Image small_frame(u64 seed = 1) {
+  return img::make_test_frame(Size{48, 32}, seed);
+}
+
+/// A second frame of the same size with different content.
+inline img::Image small_frame_b(u64 seed = 2) {
+  return img::make_test_frame(Size{48, 32}, seed);
+}
+
+/// Asserts two images identical in the masked channels with a useful
+/// message.
+inline void expect_images_equal(const img::Image& a, const img::Image& b,
+                                ChannelMask mask = ChannelMask::all()) {
+  ASSERT_EQ(a.size(), b.size());
+  const std::string diff = img::first_difference(a, b, mask);
+  EXPECT_TRUE(diff.empty()) << "first difference at " << diff;
+}
+
+/// A representative set of intra calls covering every intra op.
+std::vector<alib::Call> representative_intra_calls();
+
+/// A representative set of inter calls covering every inter op.
+std::vector<alib::Call> representative_inter_calls();
+
+inline std::vector<alib::Call> representative_intra_calls() {
+  using alib::Call;
+  using alib::Neighborhood;
+  using alib::OpParams;
+  using alib::PixelOp;
+  std::vector<Call> calls;
+  calls.push_back(Call::make_intra(PixelOp::Copy, Neighborhood::con0()));
+  {
+    OpParams box;
+    box.coeffs.assign(9, 1);
+    box.shift = 3;  // sum of 9 ones >> 3 — deliberately not exact mean
+    calls.push_back(Call::make_intra(PixelOp::Convolve, Neighborhood::con8(),
+                                     ChannelMask::y(), ChannelMask::y(), box));
+  }
+  calls.push_back(
+      Call::make_intra(PixelOp::GradientX, Neighborhood::con8()));
+  calls.push_back(
+      Call::make_intra(PixelOp::GradientY, Neighborhood::con8()));
+  calls.push_back(
+      Call::make_intra(PixelOp::GradientMag, Neighborhood::con8()));
+  calls.push_back(
+      Call::make_intra(PixelOp::MorphGradient, Neighborhood::con8()));
+  calls.push_back(Call::make_intra(PixelOp::Erode, Neighborhood::con4()));
+  calls.push_back(Call::make_intra(PixelOp::Dilate, Neighborhood::con4()));
+  calls.push_back(Call::make_intra(PixelOp::Median, Neighborhood::con8()));
+  {
+    OpParams p;
+    p.threshold = 128;
+    calls.push_back(Call::make_intra(PixelOp::Threshold, Neighborhood::con0(),
+                                     ChannelMask::y(), ChannelMask::y(), p));
+  }
+  {
+    OpParams p;
+    p.scale_num = 3;
+    p.shift = 1;
+    p.bias = 10;
+    calls.push_back(Call::make_intra(PixelOp::Scale, Neighborhood::con0(),
+                                     ChannelMask::y(), ChannelMask::y(), p));
+  }
+  {
+    OpParams p;
+    p.threshold = 24;
+    calls.push_back(Call::make_intra(
+        PixelOp::Homogeneity, Neighborhood::con8(), ChannelMask::yuv(),
+        ChannelMask{ChannelMask::alfa().bits() | ChannelMask::aux().bits()},
+        p));
+  }
+  calls.push_back(Call::make_intra(PixelOp::Histogram, Neighborhood::con0()));
+  {
+    OpParams p;
+    p.table.resize(256);
+    for (std::size_t i = 0; i < p.table.size(); ++i)
+      p.table[i] = static_cast<u16>(255 - i);
+    calls.push_back(Call::make_intra(PixelOp::TableLookup,
+                                     Neighborhood::con0(),
+                                     ChannelMask::alfa(), ChannelMask::alfa(),
+                                     p));
+  }
+  // A worst-case perpendicular neighborhood (paper fig. 4).
+  {
+    OpParams fir;
+    fir.coeffs = {1, 2, 4, 6, 8, 6, 4, 2, 1};
+    fir.shift = 5;
+    calls.push_back(Call::make_intra(PixelOp::Convolve, Neighborhood::vline(9),
+                                     ChannelMask::y(), ChannelMask::y(), fir));
+  }
+  // Multi-channel variant (Table 2 row 4 shape).
+  calls.push_back(Call::make_intra(PixelOp::MorphGradient,
+                                   Neighborhood::con8(), ChannelMask::yuv(),
+                                   ChannelMask::yuv()));
+  return calls;
+}
+
+inline std::vector<alib::Call> representative_inter_calls() {
+  using alib::Call;
+  using alib::OpParams;
+  using alib::PixelOp;
+  std::vector<Call> calls;
+  calls.push_back(Call::make_inter(PixelOp::Copy));
+  calls.push_back(Call::make_inter(PixelOp::Add));
+  calls.push_back(Call::make_inter(PixelOp::Sub));
+  calls.push_back(Call::make_inter(PixelOp::AbsDiff));
+  {
+    OpParams p;
+    p.shift = 8;
+    calls.push_back(Call::make_inter(PixelOp::Mult, ChannelMask::y(),
+                                     ChannelMask::y(), p));
+  }
+  calls.push_back(Call::make_inter(PixelOp::Min));
+  calls.push_back(Call::make_inter(PixelOp::Max));
+  calls.push_back(Call::make_inter(PixelOp::Average));
+  calls.push_back(Call::make_inter(PixelOp::Sad));
+  {
+    OpParams p;
+    p.threshold = 16;
+    calls.push_back(Call::make_inter(PixelOp::DiffMask, ChannelMask::y(),
+                                     ChannelMask::y(), p));
+  }
+  calls.push_back(Call::make_inter(PixelOp::AbsDiff, ChannelMask::yuv(),
+                                   ChannelMask::yuv()));
+  calls.push_back(Call::make_inter(PixelOp::BitAnd));
+  calls.push_back(Call::make_inter(PixelOp::BitOr));
+  calls.push_back(Call::make_inter(PixelOp::BitXor));
+  return calls;
+}
+
+}  // namespace ae::test

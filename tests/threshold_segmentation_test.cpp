@@ -1,0 +1,193 @@
+// Tests for the second (histogram-threshold) segmentation algorithm and
+// Otsu's threshold selection.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "segmentation/threshold_segmentation.hpp"
+#include "image/synth.hpp"
+
+namespace ae::seg {
+namespace {
+
+std::array<u64, 256> bimodal_histogram(int lo, int hi, u64 n) {
+  std::array<u64, 256> h{};
+  for (int d = -3; d <= 3; ++d) {
+    h[static_cast<std::size_t>(lo + d)] += n;
+    h[static_cast<std::size_t>(hi + d)] += n;
+  }
+  return h;
+}
+
+TEST(Otsu, BimodalSplitsBetweenModes) {
+  const auto h = bimodal_histogram(50, 200, 100);
+  const std::vector<i32> t = otsu_thresholds(h, 2);
+  ASSERT_EQ(t.size(), 1u);
+  // Any split strictly between the modes is optimal; the argmax picks the
+  // first, which sits at the upper edge of the lower mode.
+  EXPECT_GT(t[0], 52);
+  EXPECT_LT(t[0], 197);
+}
+
+TEST(Otsu, TrimodalFindsTwoThresholds) {
+  std::array<u64, 256> h{};
+  for (int d = -2; d <= 2; ++d) {
+    h[static_cast<std::size_t>(40 + d)] += 50;
+    h[static_cast<std::size_t>(128 + d)] += 50;
+    h[static_cast<std::size_t>(220 + d)] += 50;
+  }
+  const std::vector<i32> t = otsu_thresholds(h, 3);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_GT(t[0], 41);
+  EXPECT_LT(t[0], 126);
+  EXPECT_GT(t[1], 129);
+  EXPECT_LT(t[1], 218);
+}
+
+TEST(Otsu, FourClassesSupported) {
+  std::array<u64, 256> h{};
+  for (int mode : {30, 90, 160, 230})
+    h[static_cast<std::size_t>(mode)] = 100;
+  const std::vector<i32> t = otsu_thresholds(h, 4);
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_LT(t[0], t[1]);
+  EXPECT_LT(t[1], t[2]);
+}
+
+TEST(Otsu, RejectsBadClassCounts) {
+  std::array<u64, 256> h{};
+  EXPECT_THROW(otsu_thresholds(h, 1), InvalidArgument);
+  EXPECT_THROW(otsu_thresholds(h, 5), InvalidArgument);
+}
+
+img::Image two_tone() {
+  img::Image f(Size{48, 32}, img::Pixel::gray(40));
+  img::draw_rect(f, Rect{24, 0, 24, 32}, img::Pixel::gray(210));
+  return f;
+}
+
+TEST(ThresholdSegmentation, TwoToneYieldsTwoComponents) {
+  alib::SoftwareBackend be;
+  ThresholdSegmentationParams params;
+  params.classes = 2;
+  const SegmentationResult r = threshold_segmentation(be, two_tone(), params);
+  EXPECT_DOUBLE_EQ(label_coverage(r.labels), 1.0);
+  ASSERT_EQ(r.segments.size(), 2u);
+  EXPECT_NE(r.labels.at(4, 16).alfa, r.labels.at(44, 16).alfa);
+  // Both halves are one component each (smoothing blurs only the border).
+  EXPECT_GT(r.segments[0].pixel_count, 500);
+  EXPECT_GT(r.segments[1].pixel_count, 500);
+}
+
+TEST(ThresholdSegmentation, SegmentsPartitionFrame) {
+  alib::SoftwareBackend be;
+  const img::Image f = img::make_test_frame(Size{64, 48}, 9);
+  const SegmentationResult r = threshold_segmentation(be, f);
+  i64 total = 0;
+  std::set<alib::SegmentId> ids;
+  for (const alib::SegmentInfo& s : r.segments) {
+    EXPECT_GT(s.pixel_count, 0);
+    EXPECT_TRUE(ids.insert(s.id).second);
+    total += s.pixel_count;
+  }
+  EXPECT_EQ(total, f.pixel_count());
+  for (const auto& px : r.labels.pixels()) EXPECT_TRUE(ids.count(px.alfa));
+}
+
+TEST(ThresholdSegmentation, SmallComponentsMerged) {
+  alib::SoftwareBackend be;
+  const img::Image f = img::make_test_frame(Size{64, 48}, 9);
+  ThresholdSegmentationParams params;
+  params.min_segment_pixels = 24;
+  const SegmentationResult r = threshold_segmentation(be, f, params);
+  i64 small = 0;
+  for (const alib::SegmentInfo& s : r.segments)
+    if (s.pixel_count < params.min_segment_pixels) ++small;
+  // Only components with no mergeable neighbor may remain small.
+  EXPECT_LT(small, static_cast<i64>(r.segments.size()) / 4 + 2);
+  EXPECT_GT(r.merged_segments, 0);
+}
+
+TEST(ThresholdSegmentation, LabelsAreExactConnectedComponents) {
+  // With merging disabled, the labeling must be exactly the connected
+  // components of the class map: 4-adjacent pixels share a label iff they
+  // share a class.  (The multi-seed expansion tiles components into cells;
+  // the same-class union must reconstruct them exactly.)
+  alib::SoftwareBackend be;
+  const img::Image f = img::make_test_frame(Size{48, 40}, 21);
+  ThresholdSegmentationParams params;
+  params.min_segment_pixels = 1;  // no merging
+  const SegmentationResult r = threshold_segmentation(be, f, params);
+
+  // Every label must form one 8-connected region (a flood fill from any of
+  // its pixels reaches all of them) — tiling residue would leave a label
+  // split into disjoint islands.
+  std::map<u16, std::set<std::pair<i32, i32>>> by_label;
+  for (i32 y = 0; y < r.labels.height(); ++y)
+    for (i32 x = 0; x < r.labels.width(); ++x)
+      by_label[r.labels.at(x, y).alfa].insert({x, y});
+  for (const auto& [label, pixels] : by_label) {
+    // BFS from any pixel must reach all pixels of the label through
+    // same-label 4/8-neighbors: i.e., each label is one connected region.
+    std::set<std::pair<i32, i32>> seen;
+    std::vector<std::pair<i32, i32>> queue{*pixels.begin()};
+    seen.insert(queue[0]);
+    while (!queue.empty()) {
+      const auto [x, y] = queue.back();
+      queue.pop_back();
+      for (const Point off :
+           alib::connectivity_offsets(alib::Connectivity::Eight)) {
+        const std::pair<i32, i32> n{x + off.x, y + off.y};
+        if (!pixels.count(n) || seen.count(n)) continue;
+        seen.insert(n);
+        queue.push_back(n);
+      }
+    }
+    EXPECT_EQ(seen.size(), pixels.size()) << "label " << label
+                                          << " is disconnected";
+  }
+}
+
+TEST(ThresholdSegmentation, Deterministic) {
+  alib::SoftwareBackend be;
+  const img::Image f = img::make_test_frame(Size{48, 32}, 3);
+  const SegmentationResult a = threshold_segmentation(be, f);
+  const SegmentationResult b = threshold_segmentation(be, f);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.segments.size(), b.segments.size());
+}
+
+TEST(ThresholdSegmentation, RunsOnEngineBackendIdentically) {
+  alib::SoftwareBackend sw;
+  core::EngineBackend hw({}, core::EngineMode::Analytic);
+  const img::Image f = img::make_test_frame(Size{48, 32}, 5);
+  const SegmentationResult rs = threshold_segmentation(sw, f);
+  const SegmentationResult rh = threshold_segmentation(hw, f);
+  EXPECT_EQ(rs.labels, rh.labels);
+}
+
+TEST(ThresholdSegmentation, DiffersFromRegionGrowing) {
+  // Two genuinely different algorithms — the SCHEMA "multiple segmentation
+  // algorithms" requirement: the same frame yields different partitions.
+  alib::SoftwareBackend be;
+  const img::Image f = img::make_test_frame(Size{64, 48}, 9);
+  const SegmentationResult grow = segment_image(be, f);
+  const SegmentationResult thresh = threshold_segmentation(be, f);
+  EXPECT_NE(grow.segments.size(), thresh.segments.size());
+}
+
+TEST(ThresholdSegmentation, CountsAddressLibWork) {
+  alib::SoftwareBackend be;
+  const SegmentationResult r =
+      threshold_segmentation(be, img::make_test_frame(Size{48, 32}, 5));
+  // smoothing + histogram + per-threshold (threshold/scale/add) + CC
+  // rounds + relabel.
+  EXPECT_GE(r.addresslib_calls, 8);
+  EXPECT_GT(r.low_level.table_writes, 0u);
+}
+
+}  // namespace
+}  // namespace ae::seg

@@ -1,0 +1,162 @@
+// Engine trace tests: the transition timeline must tell a consistent story
+// of a call — ordered phases, balanced stall episodes, bounded capacity.
+#include <gtest/gtest.h>
+
+#include "core/core.hpp"
+#include "core/trace.hpp"
+#include "test_util.hpp"
+
+namespace ae::core {
+namespace {
+
+EngineTrace run_traced(const alib::Call& call, const img::Image& a,
+                       const img::Image* b = nullptr,
+                       EngineConfig config = {}) {
+  EngineTrace trace;
+  simulate_call(config, call, a, b, nullptr, &trace);
+  return trace;
+}
+
+u64 cycle_of(const EngineTrace& trace, TraceEvent event) {
+  for (const TraceRecord& r : trace.records())
+    if (r.event == event) return r.cycle;
+  ADD_FAILURE() << "event " << to_string(event) << " missing";
+  return 0;
+}
+
+TEST(Trace, PhasesAppearInCausalOrder) {
+  const img::Image a = test::small_frame();
+  const EngineTrace trace = run_traced(
+      alib::Call::make_intra(alib::PixelOp::MorphGradient,
+                             alib::Neighborhood::con8()),
+      a);
+  ASSERT_EQ(trace.count(TraceEvent::CallStart), 1u);
+  ASSERT_EQ(trace.count(TraceEvent::CallEnd), 1u);
+  const u64 start = cycle_of(trace, TraceEvent::CallStart);
+  const u64 first_pixel = cycle_of(trace, TraceEvent::FirstPixelProduced);
+  const u64 input_done = cycle_of(trace, TraceEvent::InputDone);
+  const u64 processing_done = cycle_of(trace, TraceEvent::ProcessingDone);
+  const u64 output_done = cycle_of(trace, TraceEvent::OutputDone);
+  EXPECT_LT(start, first_pixel);
+  EXPECT_LT(first_pixel, input_done);  // overlap: processing starts early
+  EXPECT_LE(input_done, processing_done);
+  EXPECT_LE(processing_done, output_done);
+}
+
+TEST(Trace, CyclesAreMonotone) {
+  const img::Image a = test::small_frame();
+  const EngineTrace trace = run_traced(
+      alib::Call::make_intra(alib::PixelOp::Erode,
+                             alib::Neighborhood::con4()),
+      a);
+  u64 last = 0;
+  for (const TraceRecord& r : trace.records()) {
+    EXPECT_GE(r.cycle, last);
+    last = r.cycle;
+  }
+}
+
+TEST(Trace, StallEpisodesBalance) {
+  const img::Image a = test::small_frame();
+  const EngineTrace trace = run_traced(
+      alib::Call::make_intra(alib::PixelOp::Copy, alib::Neighborhood::con0()),
+      a);
+  EXPECT_EQ(trace.count(TraceEvent::PuStallBegin),
+            trace.count(TraceEvent::PuStallEnd));
+  EXPECT_GT(trace.longest_stall(), 0u);  // the PU waits on the bus
+}
+
+TEST(Trace, StripArrivalsAndInterruptsCounted) {
+  const img::Image a = test::small_frame();  // 32 lines = 2 full strips
+  const EngineTrace trace = run_traced(
+      alib::Call::make_intra(alib::PixelOp::Copy, alib::Neighborhood::con0()),
+      a);
+  EXPECT_EQ(trace.count(TraceEvent::InputStripArrived), 2u);
+  EXPECT_GE(trace.count(TraceEvent::Interrupt), 3u);
+  EXPECT_EQ(trace.count(TraceEvent::FrameComplete), 1u);
+}
+
+TEST(Trace, StrictInterShowsBothFramesBeforeFirstPixel) {
+  EngineConfig strict;
+  strict.strict_inter_sequencing = true;
+  const img::Image a = test::small_frame();
+  const img::Image b = test::small_frame_b();
+  const EngineTrace trace = run_traced(
+      alib::Call::make_inter(alib::PixelOp::AbsDiff), a, &b, strict);
+  EXPECT_EQ(trace.count(TraceEvent::FrameComplete), 2u);
+  const u64 first_pixel = cycle_of(trace, TraceEvent::FirstPixelProduced);
+  const u64 input_done = cycle_of(trace, TraceEvent::InputDone);
+  EXPECT_GT(first_pixel, input_done);  // the "special inter" behaviour
+}
+
+TEST(Trace, BlockReleasesInOrder) {
+  const img::Image a = test::small_frame();
+  const EngineTrace trace = run_traced(
+      alib::Call::make_intra(alib::PixelOp::Copy, alib::Neighborhood::con0()),
+      a);
+  ASSERT_EQ(trace.count(TraceEvent::BlockReleased), 2u);
+  u64 block_a = 0;
+  u64 block_b = 0;
+  for (const TraceRecord& r : trace.records())
+    if (r.event == TraceEvent::BlockReleased)
+      (r.arg == 0 ? block_a : block_b) = r.cycle;
+  EXPECT_LT(block_a, block_b);
+}
+
+TEST(Trace, CapacityBoundsRecordsNotCounts) {
+  EngineTrace tiny(4);
+  for (int i = 0; i < 10; ++i)
+    tiny.record(static_cast<u64>(i), TraceEvent::Interrupt);
+  EXPECT_EQ(tiny.records().size(), 4u);
+  EXPECT_EQ(tiny.total_events(), 10u);
+  EXPECT_EQ(tiny.dropped_events(), 6u);
+  EXPECT_NE(tiny.format().find("dropped"), std::string::npos);
+}
+
+TEST(Trace, FormatListsEvents) {
+  const img::Image a = test::small_frame();
+  const EngineTrace trace = run_traced(
+      alib::Call::make_intra(alib::PixelOp::Copy, alib::Neighborhood::con0()),
+      a);
+  const std::string text = trace.format(8);
+  EXPECT_NE(text.find("call-start"), std::string::npos);
+  EXPECT_NE(text.find("@"), std::string::npos);
+}
+
+TEST(Trace, ClearResets) {
+  EngineTrace trace;
+  trace.record(1, TraceEvent::Interrupt);
+  trace.clear();
+  EXPECT_EQ(trace.total_events(), 0u);
+  EXPECT_TRUE(trace.records().empty());
+}
+
+TEST(Trace, BackendAttachment) {
+  EngineBackend be;
+  EngineTrace trace;
+  be.set_trace(&trace);
+  const img::Image a = test::small_frame();
+  be.execute(alib::Call::make_intra(alib::PixelOp::Copy,
+                                    alib::Neighborhood::con0()),
+             a);
+  EXPECT_GT(trace.total_events(), 0u);
+}
+
+TEST(Trace, SegmentCallsTraced) {
+  const img::Image a = test::small_frame();
+  alib::SegmentSpec spec;
+  spec.seeds = {{5, 5}};
+  spec.luma_threshold = 255;
+  const EngineTrace trace = run_traced(
+      alib::Call::make_segment(alib::PixelOp::Copy,
+                               alib::Neighborhood::con0(), spec,
+                               ChannelMask::y(),
+                               ChannelMask::y().with(Channel::Alfa)),
+      a);
+  EXPECT_EQ(trace.count(TraceEvent::CallStart), 1u);
+  EXPECT_EQ(trace.count(TraceEvent::ProcessingDone), 1u);
+  EXPECT_EQ(trace.count(TraceEvent::CallEnd), 1u);
+}
+
+}  // namespace
+}  // namespace ae::core

@@ -1,0 +1,112 @@
+// VCD export tests: structural validity of the dump and consistency with
+// the trace it was generated from.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/core.hpp"
+#include "core/trace_vcd.hpp"
+#include "test_util.hpp"
+
+namespace ae::core {
+namespace {
+
+EngineTrace traced_call() {
+  EngineTrace trace;
+  const img::Image a = test::small_frame();
+  simulate_call({}, alib::Call::make_intra(alib::PixelOp::MorphGradient,
+                                           alib::Neighborhood::con8()),
+                a, nullptr, nullptr, &trace);
+  return trace;
+}
+
+TEST(TraceVcd, HeaderAndDefinitionsPresent) {
+  const EngineTrace trace = traced_call();
+  std::ostringstream os;
+  write_vcd(trace, os);
+  const std::string vcd = os.str();
+  EXPECT_NE(vcd.find("$timescale 1ns $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$var wire 3 p phase $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$var wire 1 s pu_stall $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$enddefinitions $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$dumpvars"), std::string::npos);
+}
+
+TEST(TraceVcd, TimestampsAreMonotone) {
+  const EngineTrace trace = traced_call();
+  std::ostringstream os;
+  write_vcd(trace, os);
+  std::istringstream is(os.str());
+  std::string line;
+  u64 last = 0;
+  bool any = false;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] != '#') continue;
+    const u64 t = std::stoull(line.substr(1));
+    EXPECT_GE(t, last);
+    last = t;
+    any = true;
+  }
+  EXPECT_TRUE(any);
+}
+
+TEST(TraceVcd, StallTransitionsBalance) {
+  const EngineTrace trace = traced_call();
+  std::ostringstream os;
+  write_vcd(trace, os);
+  std::istringstream is(os.str());
+  std::string line;
+  i64 ups = 0;
+  i64 downs = 0;
+  bool in_defs = true;
+  while (std::getline(is, line)) {
+    if (line.find("$enddefinitions") != std::string::npos) in_defs = false;
+    if (in_defs) continue;
+    if (line == "1s") ++ups;
+    if (line == "0s" && ups > 0) ++downs;  // skip the dumpvars initial 0
+  }
+  EXPECT_EQ(ups, downs);
+  EXPECT_GT(ups, 0);
+}
+
+TEST(TraceVcd, TimescaleScalesWithClock) {
+  const EngineTrace trace = traced_call();
+  std::ostringstream slow;
+  std::ostringstream fast;
+  write_vcd(trace, slow, 66.0);
+  write_vcd(trace, fast, 132.0);
+  // Find the final timestamp of each dump: double clock = half the span.
+  auto last_stamp = [](const std::string& vcd) {
+    u64 last = 0;
+    std::istringstream is(vcd);
+    std::string line;
+    while (std::getline(is, line))
+      if (!line.empty() && line[0] == '#') last = std::stoull(line.substr(1));
+    return last;
+  };
+  const u64 t_slow = last_stamp(slow.str());
+  const u64 t_fast = last_stamp(fast.str());
+  EXPECT_NEAR(static_cast<double>(t_slow),
+              2.0 * static_cast<double>(t_fast), 4.0);
+}
+
+TEST(TraceVcd, FileRoundTrip) {
+  const EngineTrace trace = traced_call();
+  const std::string path = ::testing::TempDir() + "/ae_trace.vcd";
+  write_vcd(trace, path);
+  std::ifstream is(path);
+  ASSERT_TRUE(is.good());
+  std::string first;
+  std::getline(is, first);
+  EXPECT_NE(first.find("$date"), std::string::npos);
+  EXPECT_THROW(write_vcd(trace, "/nonexistent-dir/x.vcd"), IoError);
+}
+
+TEST(TraceVcd, RejectsBadClock) {
+  std::ostringstream os;
+  EXPECT_THROW(write_vcd(EngineTrace{}, os, 0.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ae::core

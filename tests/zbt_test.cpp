@@ -1,0 +1,125 @@
+// ZBT memory model tests: bank-pair layout, port arbitration, the
+// parallel-transaction accounting and the strip region mapping.
+#include <gtest/gtest.h>
+
+#include "core/zbt.hpp"
+
+namespace ae::core {
+namespace {
+
+EngineConfig cfg() { return EngineConfig{}; }
+
+TEST(Zbt, InputPixelRoundTripThroughBankPair) {
+  ZbtMemory zbt(cfg(), Size{32, 16});
+  img::Pixel p;
+  p.y = 1;
+  p.u = 2;
+  p.v = 3;
+  p.alfa = 400;
+  p.aux = 500;
+  zbt.begin_cycle();
+  zbt.write_input_word(ZbtRegion::InputA, 7, 0, p.lower_word());
+  zbt.begin_cycle();
+  zbt.write_input_word(ZbtRegion::InputA, 7, 1, p.upper_word());
+  zbt.begin_cycle();
+  EXPECT_EQ(zbt.read_input_pixel(ZbtRegion::InputA, 7), p);
+}
+
+TEST(Zbt, PairReadCountsOneTransaction) {
+  ZbtMemory zbt(cfg(), Size{32, 16});
+  zbt.begin_cycle();
+  zbt.read_input_pixel(ZbtRegion::InputA, 0);
+  EXPECT_EQ(zbt.processing_read_transactions(), 1u);
+  EXPECT_EQ(zbt.word_accesses(), 2u);
+}
+
+TEST(Zbt, InterPairReadIsStillOneTransaction) {
+  ZbtMemory zbt(cfg(), Size{32, 16});
+  zbt.begin_cycle();
+  img::Pixel a;
+  img::Pixel b;
+  zbt.read_input_pixel_pair(3, a, b);
+  EXPECT_EQ(zbt.processing_read_transactions(), 1u);
+  EXPECT_EQ(zbt.word_accesses(), 4u);  // four banks touched in parallel
+}
+
+TEST(Zbt, ResultWordsLiveSequentiallyInOneBank) {
+  ZbtMemory zbt(cfg(), Size{32, 16});
+  img::Pixel p;
+  p.y = 77;
+  p.alfa = 888;
+  zbt.begin_cycle();
+  zbt.write_result_word(5, 0, p.lower_word());
+  zbt.begin_cycle();
+  zbt.write_result_word(5, 1, p.upper_word());
+  zbt.begin_cycle();
+  const u32 lo = zbt.read_result_word(5, 0);
+  zbt.begin_cycle();
+  const u32 hi = zbt.read_result_word(5, 1);
+  EXPECT_EQ(img::Pixel::from_words(lo, hi), p);
+  // One write transaction per result pixel (two word cycles).
+  EXPECT_EQ(zbt.processing_write_transactions(), 1u);
+}
+
+TEST(Zbt, ResultSplitsAcrossBlockBanks) {
+  // First-half addresses land in bank 4, second half in bank 5 — writing
+  // both in the same cycle must be legal (different ports).
+  ZbtMemory zbt(cfg(), Size{32, 16});
+  const i64 pixels = 32 * 16;
+  zbt.begin_cycle();
+  zbt.write_result_word(0, 0, 1);
+  EXPECT_NO_THROW(zbt.write_result_word(pixels - 1, 0, 2));
+}
+
+TEST(Zbt, PortDoubleBookingCaught) {
+  ZbtMemory zbt(cfg(), Size{32, 16});
+  zbt.begin_cycle();
+  zbt.read_input_pixel(ZbtRegion::InputA, 0);
+  EXPECT_THROW(zbt.read_input_pixel(ZbtRegion::InputA, 1),
+               InvariantViolation);
+  zbt.begin_cycle();  // next cycle frees the port
+  EXPECT_NO_THROW(zbt.read_input_pixel(ZbtRegion::InputA, 1));
+}
+
+TEST(Zbt, PairFreeReflectsClaims) {
+  ZbtMemory zbt(cfg(), Size{32, 16});
+  zbt.begin_cycle();
+  EXPECT_TRUE(zbt.pair_free(ZbtRegion::InputA));
+  zbt.write_input_word(ZbtRegion::InputA, 0, 0, 1);
+  EXPECT_FALSE(zbt.pair_free(ZbtRegion::InputA));
+  EXPECT_TRUE(zbt.pair_free(ZbtRegion::InputB));
+  EXPECT_TRUE(zbt.pair_free(ZbtRegion::Result));
+}
+
+TEST(Zbt, DmaTrafficCountedSeparately) {
+  ZbtMemory zbt(cfg(), Size{32, 16});
+  zbt.begin_cycle();
+  zbt.write_input_word(ZbtRegion::InputA, 0, 0, 1);
+  EXPECT_EQ(zbt.dma_word_accesses(), 1u);
+  EXPECT_EQ(zbt.processing_read_transactions(), 0u);
+  EXPECT_EQ(zbt.processing_write_transactions(), 0u);
+}
+
+TEST(Zbt, FrameTooLargeRejected) {
+  EngineConfig small = cfg();
+  small.zbt_bank_bytes = 1024;
+  EXPECT_THROW(ZbtMemory(small, Size{352, 288}), InvalidArgument);
+}
+
+TEST(Zbt, InputRegionAlternatesForIntra) {
+  // Intra (one frame): strips alternate pairs.  Inter: fixed per frame.
+  EXPECT_EQ(input_region(0, 1, 0, 16), ZbtRegion::InputA);
+  EXPECT_EQ(input_region(0, 1, 16, 16), ZbtRegion::InputB);
+  EXPECT_EQ(input_region(0, 1, 32, 16), ZbtRegion::InputA);
+  EXPECT_EQ(input_region(0, 2, 100, 16), ZbtRegion::InputA);
+  EXPECT_EQ(input_region(1, 2, 100, 16), ZbtRegion::InputB);
+}
+
+TEST(Zbt, BankBandwidthMatchesPaper) {
+  // "a 264 Mbytes/s rate can be achieved between every one of the 6 ZBT RAM
+  // banks and the FPGA" at 66 MHz x 32 bit.
+  EXPECT_NEAR(cfg().zbt_bank_mbytes_per_s(), 264.0, 0.1);
+}
+
+}  // namespace
+}  // namespace ae::core
