@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/affine_gme.dir/affine_gme.cpp.o"
+  "CMakeFiles/affine_gme.dir/affine_gme.cpp.o.d"
+  "affine_gme"
+  "affine_gme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/affine_gme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_addressing_schemes.dir/fig1_addressing_schemes.cpp.o"
+  "CMakeFiles/fig1_addressing_schemes.dir/fig1_addressing_schemes.cpp.o.d"
+  "fig1_addressing_schemes"
+  "fig1_addressing_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_addressing_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

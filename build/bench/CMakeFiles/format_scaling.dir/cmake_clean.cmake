@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/format_scaling.dir/format_scaling.cpp.o"
+  "CMakeFiles/format_scaling.dir/format_scaling.cpp.o.d"
+  "format_scaling"
+  "format_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/format_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

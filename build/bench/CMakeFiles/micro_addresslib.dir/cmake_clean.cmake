@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_addresslib.dir/micro_addresslib.cpp.o"
+  "CMakeFiles/micro_addresslib.dir/micro_addresslib.cpp.o.d"
+  "micro_addresslib"
+  "micro_addresslib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_addresslib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_applications.dir/micro_applications.cpp.o"
+  "CMakeFiles/micro_applications.dir/micro_applications.cpp.o.d"
+  "micro_applications"
+  "micro_applications.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_applications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

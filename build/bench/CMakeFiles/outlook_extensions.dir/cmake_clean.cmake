@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outlook_extensions.dir/outlook_extensions.cpp.o"
+  "CMakeFiles/outlook_extensions.dir/outlook_extensions.cpp.o.d"
+  "outlook_extensions"
+  "outlook_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outlook_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pci_bottleneck.dir/pci_bottleneck.cpp.o"
+  "CMakeFiles/pci_bottleneck.dir/pci_bottleneck.cpp.o.d"
+  "pci_bottleneck"
+  "pci_bottleneck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pci_bottleneck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

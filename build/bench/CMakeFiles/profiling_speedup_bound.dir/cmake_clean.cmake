@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profiling_speedup_bound.dir/profiling_speedup_bound.cpp.o"
+  "CMakeFiles/profiling_speedup_bound.dir/profiling_speedup_bound.cpp.o.d"
+  "profiling_speedup_bound"
+  "profiling_speedup_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profiling_speedup_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

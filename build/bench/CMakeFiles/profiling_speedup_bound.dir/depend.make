@@ -1,0 +1,2 @@
+# Empty dependencies file for profiling_speedup_bound.
+# This may be replaced when dependencies are built.

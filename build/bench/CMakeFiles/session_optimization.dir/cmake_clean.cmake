@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_optimization.dir/session_optimization.cpp.o"
+  "CMakeFiles/session_optimization.dir/session_optimization.cpp.o.d"
+  "session_optimization"
+  "session_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_gme_speedup.dir/table3_gme_speedup.cpp.o"
+  "CMakeFiles/table3_gme_speedup.dir/table3_gme_speedup.cpp.o.d"
+  "table3_gme_speedup"
+  "table3_gme_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_gme_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/aetool.cpp" "examples/CMakeFiles/aetool.dir/aetool.cpp.o" "gcc" "examples/CMakeFiles/aetool.dir/aetool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ae_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/segmentation/CMakeFiles/ae_seg.dir/DependInfo.cmake"
+  "/root/repo/build/src/gme/CMakeFiles/ae_gme.dir/DependInfo.cmake"
+  "/root/repo/build/src/addresslib/CMakeFiles/ae_addresslib.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/ae_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ae_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

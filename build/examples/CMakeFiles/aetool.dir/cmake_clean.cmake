@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aetool.dir/aetool.cpp.o"
+  "CMakeFiles/aetool.dir/aetool.cpp.o.d"
+  "aetool"
+  "aetool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aetool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for aetool.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for aetool.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coprocessor_explorer.dir/coprocessor_explorer.cpp.o"
+  "CMakeFiles/coprocessor_explorer.dir/coprocessor_explorer.cpp.o.d"
+  "coprocessor_explorer"
+  "coprocessor_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coprocessor_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mosaic_demo.dir/mosaic_demo.cpp.o"
+  "CMakeFiles/mosaic_demo.dir/mosaic_demo.cpp.o.d"
+  "mosaic_demo"
+  "mosaic_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mosaic_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retrieval_demo.dir/retrieval_demo.cpp.o"
+  "CMakeFiles/retrieval_demo.dir/retrieval_demo.cpp.o.d"
+  "retrieval_demo"
+  "retrieval_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retrieval_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segmentation_demo.dir/segmentation_demo.cpp.o"
+  "CMakeFiles/segmentation_demo.dir/segmentation_demo.cpp.o.d"
+  "segmentation_demo"
+  "segmentation_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segmentation_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surveillance_motion.dir/surveillance_motion.cpp.o"
+  "CMakeFiles/surveillance_motion.dir/surveillance_motion.cpp.o.d"
+  "surveillance_motion"
+  "surveillance_motion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surveillance_motion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/addresslib/access_model.cpp" "src/addresslib/CMakeFiles/ae_addresslib.dir/access_model.cpp.o" "gcc" "src/addresslib/CMakeFiles/ae_addresslib.dir/access_model.cpp.o.d"
+  "/root/repo/src/addresslib/addressing.cpp" "src/addresslib/CMakeFiles/ae_addresslib.dir/addressing.cpp.o" "gcc" "src/addresslib/CMakeFiles/ae_addresslib.dir/addressing.cpp.o.d"
+  "/root/repo/src/addresslib/call.cpp" "src/addresslib/CMakeFiles/ae_addresslib.dir/call.cpp.o" "gcc" "src/addresslib/CMakeFiles/ae_addresslib.dir/call.cpp.o.d"
+  "/root/repo/src/addresslib/cost_model.cpp" "src/addresslib/CMakeFiles/ae_addresslib.dir/cost_model.cpp.o" "gcc" "src/addresslib/CMakeFiles/ae_addresslib.dir/cost_model.cpp.o.d"
+  "/root/repo/src/addresslib/functional.cpp" "src/addresslib/CMakeFiles/ae_addresslib.dir/functional.cpp.o" "gcc" "src/addresslib/CMakeFiles/ae_addresslib.dir/functional.cpp.o.d"
+  "/root/repo/src/addresslib/ops.cpp" "src/addresslib/CMakeFiles/ae_addresslib.dir/ops.cpp.o" "gcc" "src/addresslib/CMakeFiles/ae_addresslib.dir/ops.cpp.o.d"
+  "/root/repo/src/addresslib/segment.cpp" "src/addresslib/CMakeFiles/ae_addresslib.dir/segment.cpp.o" "gcc" "src/addresslib/CMakeFiles/ae_addresslib.dir/segment.cpp.o.d"
+  "/root/repo/src/addresslib/software_backend.cpp" "src/addresslib/CMakeFiles/ae_addresslib.dir/software_backend.cpp.o" "gcc" "src/addresslib/CMakeFiles/ae_addresslib.dir/software_backend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/image/CMakeFiles/ae_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ae_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ae_addresslib.dir/access_model.cpp.o"
+  "CMakeFiles/ae_addresslib.dir/access_model.cpp.o.d"
+  "CMakeFiles/ae_addresslib.dir/addressing.cpp.o"
+  "CMakeFiles/ae_addresslib.dir/addressing.cpp.o.d"
+  "CMakeFiles/ae_addresslib.dir/call.cpp.o"
+  "CMakeFiles/ae_addresslib.dir/call.cpp.o.d"
+  "CMakeFiles/ae_addresslib.dir/cost_model.cpp.o"
+  "CMakeFiles/ae_addresslib.dir/cost_model.cpp.o.d"
+  "CMakeFiles/ae_addresslib.dir/functional.cpp.o"
+  "CMakeFiles/ae_addresslib.dir/functional.cpp.o.d"
+  "CMakeFiles/ae_addresslib.dir/ops.cpp.o"
+  "CMakeFiles/ae_addresslib.dir/ops.cpp.o.d"
+  "CMakeFiles/ae_addresslib.dir/segment.cpp.o"
+  "CMakeFiles/ae_addresslib.dir/segment.cpp.o.d"
+  "CMakeFiles/ae_addresslib.dir/software_backend.cpp.o"
+  "CMakeFiles/ae_addresslib.dir/software_backend.cpp.o.d"
+  "libae_addresslib.a"
+  "libae_addresslib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ae_addresslib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ae_common.dir/error.cpp.o"
+  "CMakeFiles/ae_common.dir/error.cpp.o.d"
+  "CMakeFiles/ae_common.dir/format.cpp.o"
+  "CMakeFiles/ae_common.dir/format.cpp.o.d"
+  "CMakeFiles/ae_common.dir/geometry.cpp.o"
+  "CMakeFiles/ae_common.dir/geometry.cpp.o.d"
+  "CMakeFiles/ae_common.dir/types.cpp.o"
+  "CMakeFiles/ae_common.dir/types.cpp.o.d"
+  "libae_common.a"
+  "libae_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ae_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

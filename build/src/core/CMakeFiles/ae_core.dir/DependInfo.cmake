@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analytic.cpp" "src/core/CMakeFiles/ae_core.dir/analytic.cpp.o" "gcc" "src/core/CMakeFiles/ae_core.dir/analytic.cpp.o.d"
+  "/root/repo/src/core/asic.cpp" "src/core/CMakeFiles/ae_core.dir/asic.cpp.o" "gcc" "src/core/CMakeFiles/ae_core.dir/asic.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/ae_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/ae_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/dma.cpp" "src/core/CMakeFiles/ae_core.dir/dma.cpp.o" "gcc" "src/core/CMakeFiles/ae_core.dir/dma.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/core/CMakeFiles/ae_core.dir/engine.cpp.o" "gcc" "src/core/CMakeFiles/ae_core.dir/engine.cpp.o.d"
+  "/root/repo/src/core/engine_sim.cpp" "src/core/CMakeFiles/ae_core.dir/engine_sim.cpp.o" "gcc" "src/core/CMakeFiles/ae_core.dir/engine_sim.cpp.o.d"
+  "/root/repo/src/core/iim.cpp" "src/core/CMakeFiles/ae_core.dir/iim.cpp.o" "gcc" "src/core/CMakeFiles/ae_core.dir/iim.cpp.o.d"
+  "/root/repo/src/core/oim.cpp" "src/core/CMakeFiles/ae_core.dir/oim.cpp.o" "gcc" "src/core/CMakeFiles/ae_core.dir/oim.cpp.o.d"
+  "/root/repo/src/core/process_unit.cpp" "src/core/CMakeFiles/ae_core.dir/process_unit.cpp.o" "gcc" "src/core/CMakeFiles/ae_core.dir/process_unit.cpp.o.d"
+  "/root/repo/src/core/reconfig.cpp" "src/core/CMakeFiles/ae_core.dir/reconfig.cpp.o" "gcc" "src/core/CMakeFiles/ae_core.dir/reconfig.cpp.o.d"
+  "/root/repo/src/core/resources.cpp" "src/core/CMakeFiles/ae_core.dir/resources.cpp.o" "gcc" "src/core/CMakeFiles/ae_core.dir/resources.cpp.o.d"
+  "/root/repo/src/core/session.cpp" "src/core/CMakeFiles/ae_core.dir/session.cpp.o" "gcc" "src/core/CMakeFiles/ae_core.dir/session.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/core/CMakeFiles/ae_core.dir/trace.cpp.o" "gcc" "src/core/CMakeFiles/ae_core.dir/trace.cpp.o.d"
+  "/root/repo/src/core/trace_vcd.cpp" "src/core/CMakeFiles/ae_core.dir/trace_vcd.cpp.o" "gcc" "src/core/CMakeFiles/ae_core.dir/trace_vcd.cpp.o.d"
+  "/root/repo/src/core/txu.cpp" "src/core/CMakeFiles/ae_core.dir/txu.cpp.o" "gcc" "src/core/CMakeFiles/ae_core.dir/txu.cpp.o.d"
+  "/root/repo/src/core/zbt.cpp" "src/core/CMakeFiles/ae_core.dir/zbt.cpp.o" "gcc" "src/core/CMakeFiles/ae_core.dir/zbt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/addresslib/CMakeFiles/ae_addresslib.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/ae_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ae_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libae_core.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gme/affine.cpp" "src/gme/CMakeFiles/ae_gme.dir/affine.cpp.o" "gcc" "src/gme/CMakeFiles/ae_gme.dir/affine.cpp.o.d"
+  "/root/repo/src/gme/affine_estimator.cpp" "src/gme/CMakeFiles/ae_gme.dir/affine_estimator.cpp.o" "gcc" "src/gme/CMakeFiles/ae_gme.dir/affine_estimator.cpp.o.d"
+  "/root/repo/src/gme/estimator.cpp" "src/gme/CMakeFiles/ae_gme.dir/estimator.cpp.o" "gcc" "src/gme/CMakeFiles/ae_gme.dir/estimator.cpp.o.d"
+  "/root/repo/src/gme/mosaic.cpp" "src/gme/CMakeFiles/ae_gme.dir/mosaic.cpp.o" "gcc" "src/gme/CMakeFiles/ae_gme.dir/mosaic.cpp.o.d"
+  "/root/repo/src/gme/motion.cpp" "src/gme/CMakeFiles/ae_gme.dir/motion.cpp.o" "gcc" "src/gme/CMakeFiles/ae_gme.dir/motion.cpp.o.d"
+  "/root/repo/src/gme/perspective.cpp" "src/gme/CMakeFiles/ae_gme.dir/perspective.cpp.o" "gcc" "src/gme/CMakeFiles/ae_gme.dir/perspective.cpp.o.d"
+  "/root/repo/src/gme/perspective_estimator.cpp" "src/gme/CMakeFiles/ae_gme.dir/perspective_estimator.cpp.o" "gcc" "src/gme/CMakeFiles/ae_gme.dir/perspective_estimator.cpp.o.d"
+  "/root/repo/src/gme/pyramid.cpp" "src/gme/CMakeFiles/ae_gme.dir/pyramid.cpp.o" "gcc" "src/gme/CMakeFiles/ae_gme.dir/pyramid.cpp.o.d"
+  "/root/repo/src/gme/table3.cpp" "src/gme/CMakeFiles/ae_gme.dir/table3.cpp.o" "gcc" "src/gme/CMakeFiles/ae_gme.dir/table3.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/addresslib/CMakeFiles/ae_addresslib.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ae_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/ae_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ae_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

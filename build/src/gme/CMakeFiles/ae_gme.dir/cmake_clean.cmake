@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ae_gme.dir/affine.cpp.o"
+  "CMakeFiles/ae_gme.dir/affine.cpp.o.d"
+  "CMakeFiles/ae_gme.dir/affine_estimator.cpp.o"
+  "CMakeFiles/ae_gme.dir/affine_estimator.cpp.o.d"
+  "CMakeFiles/ae_gme.dir/estimator.cpp.o"
+  "CMakeFiles/ae_gme.dir/estimator.cpp.o.d"
+  "CMakeFiles/ae_gme.dir/mosaic.cpp.o"
+  "CMakeFiles/ae_gme.dir/mosaic.cpp.o.d"
+  "CMakeFiles/ae_gme.dir/motion.cpp.o"
+  "CMakeFiles/ae_gme.dir/motion.cpp.o.d"
+  "CMakeFiles/ae_gme.dir/perspective.cpp.o"
+  "CMakeFiles/ae_gme.dir/perspective.cpp.o.d"
+  "CMakeFiles/ae_gme.dir/perspective_estimator.cpp.o"
+  "CMakeFiles/ae_gme.dir/perspective_estimator.cpp.o.d"
+  "CMakeFiles/ae_gme.dir/pyramid.cpp.o"
+  "CMakeFiles/ae_gme.dir/pyramid.cpp.o.d"
+  "CMakeFiles/ae_gme.dir/table3.cpp.o"
+  "CMakeFiles/ae_gme.dir/table3.cpp.o.d"
+  "libae_gme.a"
+  "libae_gme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ae_gme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/image/compare.cpp" "src/image/CMakeFiles/ae_image.dir/compare.cpp.o" "gcc" "src/image/CMakeFiles/ae_image.dir/compare.cpp.o.d"
+  "/root/repo/src/image/image.cpp" "src/image/CMakeFiles/ae_image.dir/image.cpp.o" "gcc" "src/image/CMakeFiles/ae_image.dir/image.cpp.o.d"
+  "/root/repo/src/image/io.cpp" "src/image/CMakeFiles/ae_image.dir/io.cpp.o" "gcc" "src/image/CMakeFiles/ae_image.dir/io.cpp.o.d"
+  "/root/repo/src/image/sequence.cpp" "src/image/CMakeFiles/ae_image.dir/sequence.cpp.o" "gcc" "src/image/CMakeFiles/ae_image.dir/sequence.cpp.o.d"
+  "/root/repo/src/image/synth.cpp" "src/image/CMakeFiles/ae_image.dir/synth.cpp.o" "gcc" "src/image/CMakeFiles/ae_image.dir/synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ae_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ae_image.dir/compare.cpp.o"
+  "CMakeFiles/ae_image.dir/compare.cpp.o.d"
+  "CMakeFiles/ae_image.dir/image.cpp.o"
+  "CMakeFiles/ae_image.dir/image.cpp.o.d"
+  "CMakeFiles/ae_image.dir/io.cpp.o"
+  "CMakeFiles/ae_image.dir/io.cpp.o.d"
+  "CMakeFiles/ae_image.dir/sequence.cpp.o"
+  "CMakeFiles/ae_image.dir/sequence.cpp.o.d"
+  "CMakeFiles/ae_image.dir/synth.cpp.o"
+  "CMakeFiles/ae_image.dir/synth.cpp.o.d"
+  "libae_image.a"
+  "libae_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ae_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ae_prof.dir/profiler.cpp.o"
+  "CMakeFiles/ae_prof.dir/profiler.cpp.o.d"
+  "libae_prof.a"
+  "libae_prof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ae_prof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ae_ret.dir/database.cpp.o"
+  "CMakeFiles/ae_ret.dir/database.cpp.o.d"
+  "CMakeFiles/ae_ret.dir/descriptors.cpp.o"
+  "CMakeFiles/ae_ret.dir/descriptors.cpp.o.d"
+  "libae_ret.a"
+  "libae_ret.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ae_ret.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ae_ret.
+# This may be replaced when dependencies are built.

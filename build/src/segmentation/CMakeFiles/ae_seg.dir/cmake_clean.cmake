@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ae_seg.dir/segmentation.cpp.o"
+  "CMakeFiles/ae_seg.dir/segmentation.cpp.o.d"
+  "CMakeFiles/ae_seg.dir/threshold_segmentation.cpp.o"
+  "CMakeFiles/ae_seg.dir/threshold_segmentation.cpp.o.d"
+  "CMakeFiles/ae_seg.dir/tracker.cpp.o"
+  "CMakeFiles/ae_seg.dir/tracker.cpp.o.d"
+  "libae_seg.a"
+  "libae_seg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ae_seg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/access_model_test.dir/access_model_test.cpp.o"
+  "CMakeFiles/access_model_test.dir/access_model_test.cpp.o.d"
+  "access_model_test"
+  "access_model_test.pdb"
+  "access_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/access_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/call_test.dir/call_test.cpp.o"
+  "CMakeFiles/call_test.dir/call_test.cpp.o.d"
+  "call_test"
+  "call_test.pdb"
+  "call_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/call_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dma_txu_test.dir/dma_txu_test.cpp.o"
+  "CMakeFiles/dma_txu_test.dir/dma_txu_test.cpp.o.d"
+  "dma_txu_test"
+  "dma_txu_test.pdb"
+  "dma_txu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dma_txu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

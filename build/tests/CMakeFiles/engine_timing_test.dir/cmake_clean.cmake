@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_timing_test.dir/engine_timing_test.cpp.o"
+  "CMakeFiles/engine_timing_test.dir/engine_timing_test.cpp.o.d"
+  "engine_timing_test"
+  "engine_timing_test.pdb"
+  "engine_timing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_timing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gme_integration_test.dir/gme_integration_test.cpp.o"
+  "CMakeFiles/gme_integration_test.dir/gme_integration_test.cpp.o.d"
+  "gme_integration_test"
+  "gme_integration_test.pdb"
+  "gme_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gme_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iim_oim_test.dir/iim_oim_test.cpp.o"
+  "CMakeFiles/iim_oim_test.dir/iim_oim_test.cpp.o.d"
+  "iim_oim_test"
+  "iim_oim_test.pdb"
+  "iim_oim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iim_oim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

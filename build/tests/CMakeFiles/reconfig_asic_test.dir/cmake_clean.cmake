@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reconfig_asic_test.dir/reconfig_asic_test.cpp.o"
+  "CMakeFiles/reconfig_asic_test.dir/reconfig_asic_test.cpp.o.d"
+  "reconfig_asic_test"
+  "reconfig_asic_test.pdb"
+  "reconfig_asic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reconfig_asic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/software_backend_test.dir/software_backend_test.cpp.o"
+  "CMakeFiles/software_backend_test.dir/software_backend_test.cpp.o.d"
+  "software_backend_test"
+  "software_backend_test.pdb"
+  "software_backend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/software_backend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/table3_test.cpp" "tests/CMakeFiles/table3_test.dir/table3_test.cpp.o" "gcc" "tests/CMakeFiles/table3_test.dir/table3_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gme/CMakeFiles/ae_gme.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ae_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/addresslib/CMakeFiles/ae_addresslib.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/ae_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ae_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

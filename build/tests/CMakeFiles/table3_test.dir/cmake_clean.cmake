@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_test.dir/table3_test.cpp.o"
+  "CMakeFiles/table3_test.dir/table3_test.cpp.o.d"
+  "table3_test"
+  "table3_test.pdb"
+  "table3_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

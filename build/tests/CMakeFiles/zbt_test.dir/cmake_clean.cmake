@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zbt_test.dir/zbt_test.cpp.o"
+  "CMakeFiles/zbt_test.dir/zbt_test.cpp.o.d"
+  "zbt_test"
+  "zbt_test.pdb"
+  "zbt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zbt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
