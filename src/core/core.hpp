@@ -5,6 +5,8 @@
 #include "core/config.hpp"       // IWYU pragma: export
 #include "core/engine.hpp"       // IWYU pragma: export
 #include "core/engine_sim.hpp"   // IWYU pragma: export
+#include "core/fault.hpp"        // IWYU pragma: export
 #include "core/reconfig.hpp"     // IWYU pragma: export
+#include "core/resilient.hpp"    // IWYU pragma: export
 #include "core/resources.hpp"    // IWYU pragma: export
 #include "core/trace.hpp"        // IWYU pragma: export

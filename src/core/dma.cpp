@@ -4,21 +4,24 @@ namespace ae::core {
 
 BusDma::BusDma(const EngineConfig& config, const ScanSpace& space,
                ZbtMemory& zbt, const img::Image& a, const img::Image* b,
-               const ResultTracker& results, img::Image& output)
+               const ResultTracker& results, img::Image& output,
+               FaultInjector* fault)
     : config_(config),
       space_(space),
       zbt_(&zbt),
       a_(&a),
       b_(b),
       results_(&results),
-      output_(&output) {
+      output_(&output),
+      fault_(fault != nullptr && fault->enabled() ? fault : nullptr) {
   images_ = b == nullptr ? 1 : 2;
   const i32 lines = space_.line_count();
   strip_count_ = (lines + config.strip_lines - 1) / config.strip_lines;
   lines_arrived_.assign(static_cast<std::size_t>(images_), 0);
   out_strip_pixels_left_ =
       static_cast<i64>(config.strip_lines) * space_.line_length();
-  // DMA setup handshake before the first strip.
+  // DMA setup handshake before the first strip (host-side, not an FPGA
+  // interrupt — never lost).
   gap_remaining_ = config.interrupt_overhead_cycles;
   interrupts_ = 1;
 }
@@ -36,7 +39,24 @@ bool BusDma::line_arrived(int image, i32 line) const {
   return line < lines_arrived_[static_cast<std::size_t>(image)];
 }
 
+i32 BusDma::lines_in_strip(i32 strip) const {
+  return std::min(config_.strip_lines,
+                  space_.line_count() - strip * config_.strip_lines);
+}
+
+void BusDma::raise_interrupt() {
+  ++interrupts_;
+  if (fault_ != nullptr && fault_->drop_interrupt()) {
+    // The interrupt was raised on the board but never reached the host:
+    // nothing restarts the stream; only the driver watchdog ends the call.
+    hung_ = true;
+    return;
+  }
+  gap_remaining_ = config_.interrupt_overhead_cycles;
+}
+
 void BusDma::tick() {
+  if (hung_ || transport_failed_) return;
   if (gap_remaining_ > 0) {
     --gap_remaining_;
     ++overhead_cycles_;
@@ -57,19 +77,56 @@ bool BusDma::advance_input_cursor() {
   in_.word = 0;
   if (++in_.pos < space_.line_length()) return false;
   in_.pos = 0;
-  // Line completed for this image.
+  // Line completed for this image.  Under a CRC-checked transport the
+  // chunk's lines are published only after verify_chunk passes.
   const i32 line = in_.strip * config_.strip_lines + in_.line_in_strip;
-  lines_arrived_[static_cast<std::size_t>(in_.image)] = line + 1;
-  const i32 lines_this_strip =
-      std::min(config_.strip_lines,
-               space_.line_count() - in_.strip * config_.strip_lines);
-  if (++in_.line_in_strip < lines_this_strip) return false;
+  if (fault_ == nullptr)
+    lines_arrived_[static_cast<std::size_t>(in_.image)] = line + 1;
+  if (++in_.line_in_strip < lines_in_strip(in_.strip)) return false;
   in_.line_in_strip = 0;
   // Chunk (one image's part of one strip) completed.
   if (++in_.image < images_) return true;
   in_.image = 0;
   if (++in_.strip >= strip_count_) input_done_ = true;
   return true;
+}
+
+bool BusDma::verify_chunk(i32 strip, int image) {
+  // The board accumulates a CRC over the words that actually landed in the
+  // banks (read-after-write, pipelined with the transfer — no extra
+  // cycles); the host compares it against its own CRC at the strip
+  // handshake.
+  Crc32 stored;
+  for (i32 l = 0; l < lines_in_strip(strip); ++l) {
+    const i32 line = strip * config_.strip_lines + l;
+    const ZbtRegion region =
+        input_region(image, images_, line, config_.strip_lines);
+    for (i32 pos = 0; pos < space_.line_length(); ++pos) {
+      const i64 addr = space_.pixel_addr(line, pos);
+      stored.add(zbt_->peek_input_word(region, addr, 0));
+      stored.add(zbt_->peek_input_word(region, addr, 1));
+    }
+  }
+  const bool ok = stored.value() == crc_chunk_.value();
+  crc_chunk_.reset();
+  if (!ok) return false;
+  chunk_retries_ = 0;
+  lines_arrived_[static_cast<std::size_t>(image)] =
+      strip * config_.strip_lines + lines_in_strip(strip);
+  return true;
+}
+
+void BusDma::rewind_chunk(i32 strip, int image) {
+  fault_->note_strip_mismatch();
+  ++strip_retries_;
+  if (++chunk_retries_ > fault_->policy().max_strip_retries)
+    transport_failed_ = true;
+  in_.strip = strip;
+  in_.image = image;
+  in_.line_in_strip = 0;
+  in_.pos = 0;
+  in_.word = 0;
+  input_done_ = false;
 }
 
 void BusDma::tick_input() {
@@ -80,18 +137,38 @@ void BusDma::tick_input() {
     const i32 line = in_.strip * config_.strip_lines + in_.line_in_strip;
     const Point p = space_.to_image(line, in_.pos);
     const img::Pixel px = input(in_.image).ref(p.x, p.y);
-    const u32 value = in_.word == 0 ? px.lower_word() : px.upper_word();
+    u32 value = in_.word == 0 ? px.lower_word() : px.upper_word();
     const ZbtRegion region =
         input_region(in_.image, images_, line, config_.strip_lines);
-    zbt_->write_input_word(region, space_.pixel_addr(p), in_.word, value);
+    const i64 addr = space_.pixel_addr(p);
+    if (fault_ == nullptr) {
+      zbt_->write_input_word(region, addr, in_.word, value);
+    } else {
+      crc_chunk_.add(value);  // host CRC covers the intended word
+      switch (fault_->input_word_fate(value)) {
+        case FaultInjector::WordFate::Drop:
+          // The bus slot is consumed but nothing lands in the bank; a
+          // drop onto already-correct bits is physically unobservable.
+          if (zbt_->peek_input_word(region, addr, in_.word) != value)
+            fault_->count_effective_drop();
+          break;
+        case FaultInjector::WordFate::Corrupt:
+        case FaultInjector::WordFate::Deliver:
+          zbt_->write_input_word(region, addr, in_.word, value);
+          break;
+      }
+    }
     ++words_in_;
     credit_ -= 1.0;
     ++moved;
+    const i32 chunk_strip = in_.strip;
+    const int chunk_image = in_.image;
     if (advance_input_cursor()) {
-      // Interrupt/handshake at the chunk boundary; credits do not carry
-      // across it.
-      gap_remaining_ = config_.interrupt_overhead_cycles;
-      ++interrupts_;
+      if (fault_ != nullptr && !verify_chunk(chunk_strip, chunk_image))
+        rewind_chunk(chunk_strip, chunk_image);
+      // Interrupt/handshake at the chunk boundary (transmit or
+      // retransmit); credits do not carry across it.
+      if (!transport_failed_) raise_interrupt();
       credit_ = 0.0;
       break;
     }
@@ -107,6 +184,28 @@ bool BusDma::block_released(i64 pixel_addr) const {
                                      : results_->block_b_complete();
 }
 
+void BusDma::finish_output() {
+  if (fault_ == nullptr || check_readback_ == zbt_->result_check()) {
+    output_done_ = true;
+    return;
+  }
+  // Whole-frame checksum mismatch: the host re-reads the result banks
+  // (the result still sits on board; only the output phase repeats).
+  fault_->note_readback_mismatch();
+  ++readback_retries_;
+  if (++readback_attempts_ > fault_->policy().max_readback_retries) {
+    // A persistent mismatch (result-bank bit flip) never re-reads clean.
+    transport_failed_ = true;
+    return;
+  }
+  out_pixel_ = 0;
+  out_word_ = 0;
+  check_readback_ = 0;
+  out_strip_pixels_left_ =
+      static_cast<i64>(config_.strip_lines) * space_.line_length();
+  raise_interrupt();
+}
+
 void BusDma::tick_output() {
   const i64 pixels = space_.frame().area();
   if (!block_released(out_pixel_)) {
@@ -120,7 +219,11 @@ void BusDma::tick_output() {
   while (credit_ >= 1.0 && moved < max_words && !output_done_) {
     if (!block_released(out_pixel_)) break;
     if (!zbt_->result_port_free(out_pixel_, out_word_)) break;
-    const u32 word = zbt_->read_result_word(out_pixel_, out_word_);
+    u32 word = zbt_->read_result_word(out_pixel_, out_word_);
+    if (fault_ != nullptr) {
+      fault_->corrupt_readback_word(word);
+      check_readback_ ^= frame_check_mix(out_pixel_, out_word_, word);
+    }
     ++words_out_;
     credit_ -= 1.0;
     ++moved;
@@ -137,14 +240,17 @@ void BusDma::tick_output() {
     out_word_ = 0;
     ++out_pixel_;
     if (--out_strip_pixels_left_ <= 0 && out_pixel_ < pixels) {
-      gap_remaining_ = config_.interrupt_overhead_cycles;
-      ++interrupts_;
+      raise_interrupt();
       out_strip_pixels_left_ =
           static_cast<i64>(config_.strip_lines) * space_.line_length();
       credit_ = 0.0;
       break;
     }
-    if (out_pixel_ >= pixels) output_done_ = true;
+    if (out_pixel_ >= pixels) {
+      finish_output();
+      credit_ = 0.0;
+      break;
+    }
   }
   // A released stream counts as transfer time even on credit-building
   // cycles; only a port conflict mid-stream is a wait.

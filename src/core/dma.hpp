@@ -12,11 +12,20 @@
 // 32-bit words.  Every strip costs an interrupt/handshake gap of bus-idle
 // cycles.  During the output phase the DMA follows the pixels the TxU has
 // already written to the result banks.
+// With a `FaultInjector` attached the DMA becomes a self-checking
+// transport: each strip chunk carries a host-side CRC32 compared against
+// the words that actually landed on the ZBT (the strip is published to
+// processing only after its CRC checks out, and retransmitted otherwise),
+// the result readback is verified against the TxU's whole-frame checksum
+// (and re-read on mismatch), and a lost strip/completion interrupt hangs
+// the stream until the driver watchdog fires.  Without an injector, none
+// of these paths run and timing is bit-identical to the fault-free model.
 #pragma once
 
 #include <vector>
 
 #include "addresslib/call.hpp"
+#include "core/fault.hpp"
 #include "core/scanspace.hpp"
 #include "core/zbt.hpp"
 #include "image/image.hpp"
@@ -57,7 +66,8 @@ class BusDma {
  public:
   BusDma(const EngineConfig& config, const ScanSpace& space, ZbtMemory& zbt,
          const img::Image& a, const img::Image* b,
-         const ResultTracker& results, img::Image& output);
+         const ResultTracker& results, img::Image& output,
+         FaultInjector* fault = nullptr);
 
   /// Advances one cycle; claims ZBT ports as needed.
   void tick();
@@ -71,6 +81,20 @@ class BusDma {
   bool line_arrived(int image, i32 line) const;
   /// True once the complete result reached the host.
   bool output_done() const { return output_done_; }
+
+  // ---- transport health (fault-injection mode) -----------------------------
+  /// True once a strip/completion interrupt was lost: the stream is dead
+  /// and only the driver watchdog can end the call.
+  bool hung() const { return hung_; }
+  /// True once an integrity retry budget was exhausted; the call must be
+  /// abandoned with a TransportError.
+  bool transport_failed() const { return transport_failed_; }
+  /// Strip retransmissions (input CRC mismatches) so far.
+  u64 strip_retries() const { return strip_retries_; }
+  /// Whole-result re-reads (readback checksum mismatches) so far.
+  u64 readback_retries() const { return readback_retries_; }
+  /// Scan-space strip the input cursor currently sits in.
+  i32 current_input_strip() const { return in_.strip; }
 
   // ---- accounting ----------------------------------------------------------
   u64 busy_cycles() const { return busy_cycles_; }
@@ -93,6 +117,16 @@ class BusDma {
   void tick_output();
   bool advance_input_cursor();
   const img::Image& input(int image) const;
+  /// Raises a strip/completion interrupt; a lost one hangs the stream.
+  void raise_interrupt();
+  /// Compares the chunk's host CRC against the words stored on the ZBT;
+  /// publishes the chunk's lines on success.
+  bool verify_chunk(i32 strip, int image);
+  /// Rewinds the input cursor to the start of the failed chunk.
+  void rewind_chunk(i32 strip, int image);
+  i32 lines_in_strip(i32 strip) const;
+  /// Host-side readback verification at the end of the output stream.
+  void finish_output();
   /// Res-block gating (paper: "the bank switching is performed only once,
   /// as soon as it is possible to start transferring the resulting
   /// image"): the host may read Res_block_A only after the TxU moved on to
@@ -129,6 +163,17 @@ class BusDma {
   u64 interrupts_ = 0;
   u64 words_in_ = 0;
   u64 words_out_ = 0;
+
+  // Fault-injection transport state (inert while fault_ == nullptr).
+  FaultInjector* fault_ = nullptr;
+  Crc32 crc_chunk_;          // host CRC of the chunk in flight
+  int chunk_retries_ = 0;    // retransmissions of the chunk in flight
+  u64 strip_retries_ = 0;
+  u64 readback_retries_ = 0;
+  int readback_attempts_ = 0;
+  u64 check_readback_ = 0;   // host XOR accumulator over received words
+  bool hung_ = false;
+  bool transport_failed_ = false;
 };
 
 }  // namespace ae::core

@@ -1,5 +1,7 @@
 #include "core/engine_sim.hpp"
 
+#include <algorithm>
+
 #include "addresslib/scan.hpp"
 #include "addresslib/segment.hpp"
 #include "core/dma.hpp"
@@ -124,14 +126,80 @@ class TraceObserver {
   u64 wait_seen_ = 0;
 };
 
+/// Diff-observes the fault injector's counters and the DMA's recovery
+/// counters each cycle and emits the corresponding trace events.  The
+/// injector outlives the call (its counters accumulate across a session),
+/// so the baseline is captured at construction.
+class FaultObserver {
+ public:
+  FaultObserver(EngineTrace* trace, const FaultInjector* fault)
+      : trace_(trace), fault_(fault) {
+    if (fault_ != nullptr) seen_ = fault_->counters();
+  }
+
+  void observe(u64 cycle, const BusDma& dma) {
+    if (fault_ == nullptr || trace_ == nullptr) return;
+    const FaultCounters& now = fault_->counters();
+    emit(cycle, FaultKind::DmaWordCorrupt, now.words_corrupted,
+         seen_.words_corrupted);
+    emit(cycle, FaultKind::DmaWordDrop, now.words_dropped,
+         seen_.words_dropped);
+    emit(cycle, FaultKind::LostInterrupt, now.interrupts_lost,
+         seen_.interrupts_lost);
+    emit(cycle, FaultKind::ZbtBitFlip, now.zbt_bits_flipped,
+         seen_.zbt_bits_flipped);
+    emit(cycle, FaultKind::ReadbackCorrupt, now.readback_corrupted,
+         seen_.readback_corrupted);
+    for (; strip_retries_ < dma.strip_retries(); ++strip_retries_)
+      trace_->record(cycle, TraceEvent::StripRetry,
+                     dma.current_input_strip());
+    for (; readback_retries_ < dma.readback_retries(); ++readback_retries_)
+      trace_->record(cycle, TraceEvent::ReadbackRetry,
+                     static_cast<i64>(readback_retries_) + 1);
+  }
+
+ private:
+  void emit(u64 cycle, FaultKind kind, u64 now, u64& seen) {
+    for (; seen < now; ++seen)
+      trace_->record(cycle, TraceEvent::FaultInjected,
+                     static_cast<i64>(kind));
+  }
+
+  EngineTrace* trace_;
+  const FaultInjector* fault_;
+  FaultCounters seen_;
+  u64 strip_retries_ = 0;
+  u64 readback_retries_ = 0;
+};
+
+/// Throws once the transport declared the attempt dead.  A hung stream is
+/// charged the full watchdog deadline: the driver learns nothing until its
+/// timer fires, however early the interrupt was lost.
+void check_transport(const BusDma& dma, FaultInjector* fault,
+                     EngineTrace* trace, u64 cycles) {
+  if (fault == nullptr) return;
+  if (dma.hung()) {
+    const u64 deadline =
+        std::max(cycles, fault->policy().watchdog_deadline_cycles);
+    fault->note_watchdog();
+    if (trace != nullptr) trace->record(deadline, TraceEvent::Watchdog);
+    throw EngineHang("engine call hung (lost interrupt); watchdog fired",
+                     deadline);
+  }
+  if (dma.transport_failed())
+    throw TransportError("transport integrity retries exhausted", cycles);
+}
+
 /// Streamed (intra / inter) call: full per-cycle simulation.
 alib::CallResult simulate_streamed(const EngineConfig& config,
                                    const alib::Call& call, const img::Image& a,
                                    const img::Image* b,
                                    EngineRunStats* detail,
-                                   EngineTrace* trace) {
+                                   EngineTrace* trace,
+                                   FaultInjector* fault) {
   const ScanSpace space(a.size(), call.scan);
   ZbtMemory zbt(config, a.size());
+  zbt.set_fault(fault);
   const int images = call.mode == alib::Mode::Inter ? 2 : 1;
   Iim iim(config, space.line_length(), space.line_count(), images);
   Oim oim(config, space.line_length());
@@ -141,15 +209,17 @@ alib::CallResult simulate_streamed(const EngineConfig& config,
   result.output = img::Image(a.size());
 
   BusDma dma(config, space, zbt, a, images == 2 ? b : nullptr, results,
-             result.output);
+             result.output, fault);
   TxuIn txu_in(config, space, zbt, iim, dma);
   TxuOut txu_out(zbt, oim, results);
   ProcessUnit pu(config, space, call, iim, oim, dma, result.side);
 
   EngineRunStats run;
   TraceObserver observer(trace, config);
+  FaultObserver fault_observer(trace, fault);
   const u64 cycle_guard =
-      10'000'000ull + static_cast<u64>(a.pixel_count()) * 200ull;
+      10'000'000ull + static_cast<u64>(a.pixel_count()) * 200ull +
+      (fault != nullptr ? fault->policy().watchdog_deadline_cycles : 0u);
   while (!dma.output_done()) {
     zbt.begin_cycle();
     dma.tick();
@@ -158,11 +228,15 @@ alib::CallResult simulate_streamed(const EngineConfig& config,
     txu_in.tick();
     ++run.cycles;
     observer.observe(run.cycles, dma, pu, results, images);
+    fault_observer.observe(run.cycles, dma);
+    check_transport(dma, fault, trace, run.cycles);
     AE_ASSERT(run.cycles < cycle_guard,
               "engine simulation exceeded the cycle guard (deadlock?)");
   }
   observer.finish(run.cycles + config.call_setup_overhead_cycles);
 
+  run.strip_retries = dma.strip_retries();
+  run.readback_retries = dma.readback_retries();
   run.bus_busy_cycles = dma.busy_cycles();
   run.bus_overhead_cycles = dma.overhead_cycles();
   run.bus_wait_cycles = dma.wait_cycles();
@@ -196,24 +270,33 @@ alib::CallResult simulate_streamed(const EngineConfig& config,
 alib::CallResult simulate_segment(const EngineConfig& config,
                                   const alib::Call& call, const img::Image& a,
                                   EngineRunStats* detail,
-                                  EngineTrace* trace) {
+                                  EngineTrace* trace,
+                                  FaultInjector* fault) {
   if (trace != nullptr) trace->record(0, TraceEvent::CallStart);
   const ScanSpace space(a.size(), call.scan);
   ZbtMemory zbt(config, a.size());
+  zbt.set_fault(fault);
   ResultTracker results(a.pixel_count());
 
   alib::CallResult result;
   result.output = img::Image(a.size());
 
-  // Phase 1: full input transfer (cycle-accurate, nothing overlaps).
-  BusDma dma(config, space, zbt, a, nullptr, results, result.output);
+  // Phase 1: full input transfer (cycle-accurate, nothing overlaps).  The
+  // CRC-checked transport applies here exactly as in streamed mode; phases
+  // 2 and 3 are transaction-level, so readback faults have no opportunity
+  // in segment mode.
+  BusDma dma(config, space, zbt, a, nullptr, results, result.output, fault);
+  FaultObserver fault_observer(trace, fault);
   EngineRunStats run;
   while (!dma.input_done()) {
     zbt.begin_cycle();
     dma.tick();
     ++run.cycles;
+    fault_observer.observe(run.cycles, dma);
+    check_transport(dma, fault, trace, run.cycles);
     AE_ASSERT(run.cycles < 100'000'000ull, "segment input transfer hung");
   }
+  run.strip_retries = dma.strip_retries();
 
   // Phase 2: traversal.  Functional semantics are shared with the software
   // backend (same expand_segments, same kernels); costs are added per visit.
@@ -291,13 +374,14 @@ alib::CallResult simulate_segment(const EngineConfig& config,
 alib::CallResult simulate_call(const EngineConfig& config,
                                const alib::Call& call, const img::Image& a,
                                const img::Image* b, EngineRunStats* detail,
-                               EngineTrace* trace) {
+                               EngineTrace* trace, FaultInjector* fault) {
   validate_config(config);
   alib::validate_call(call, a, b);
   validate_frame(config, a.size());
+  if (fault != nullptr && !fault->enabled()) fault = nullptr;
   if (call.mode == alib::Mode::Segment)
-    return simulate_segment(config, call, a, detail, trace);
-  return simulate_streamed(config, call, a, b, detail, trace);
+    return simulate_segment(config, call, a, detail, trace, fault);
+  return simulate_streamed(config, call, a, b, detail, trace, fault);
 }
 
 }  // namespace ae::core

@@ -11,6 +11,7 @@
 
 #include "addresslib/call.hpp"
 #include "core/config.hpp"
+#include "core/fault.hpp"
 #include "core/plc.hpp"
 #include "core/trace.hpp"
 
@@ -27,6 +28,10 @@ struct EngineRunStats {
   u64 interrupts = 0;
   u64 words_in = 0;
   u64 words_out = 0;
+
+  // Transport recovery (fault-injection mode; zero otherwise).
+  u64 strip_retries = 0;
+  u64 readback_retries = 0;
 
   // Process unit.
   PlcCounters plc;
@@ -62,10 +67,18 @@ struct EngineRunStats {
 /// result with CallStats filled from the hardware accounting, the detailed
 /// stats through `detail`, and a transition-level timeline through `trace`
 /// (both optional).
+///
+/// With an enabled `fault` injector attached the transport becomes
+/// adversarial and self-checking (see fault.hpp): the call either completes
+/// with a bit-exact result (retries included in the cycle count) or throws
+/// `EngineHang` (lost interrupt, watchdog deadline charged) /
+/// `TransportError` (integrity retry budget exhausted), both carrying the
+/// cycles burned.
 alib::CallResult simulate_call(const EngineConfig& config,
                                const alib::Call& call, const img::Image& a,
                                const img::Image* b,
                                EngineRunStats* detail = nullptr,
-                               EngineTrace* trace = nullptr);
+                               EngineTrace* trace = nullptr,
+                               FaultInjector* fault = nullptr);
 
 }  // namespace ae::core

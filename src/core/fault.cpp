@@ -1,0 +1,124 @@
+#include "core/fault.hpp"
+
+#include <algorithm>
+
+namespace ae::core {
+
+std::string to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::DmaWordCorrupt: return "dma-word-corrupt";
+    case FaultKind::DmaWordDrop: return "dma-word-drop";
+    case FaultKind::LostInterrupt: return "lost-interrupt";
+    case FaultKind::ZbtBitFlip: return "zbt-bit-flip";
+    case FaultKind::ReadbackCorrupt: return "readback-corrupt";
+  }
+  return "?";
+}
+
+void validate_plan(const FaultPlan& plan) {
+  const double rates[] = {plan.dma_corrupt_rate, plan.dma_drop_rate,
+                          plan.interrupt_loss_rate, plan.zbt_flip_rate,
+                          plan.readback_corrupt_rate};
+  for (const double r : rates)
+    AE_EXPECTS(r >= 0.0 && r <= 1.0, "fault rates must lie in [0, 1]");
+}
+
+void validate_policy(const TransportPolicy& policy) {
+  AE_EXPECTS(policy.max_strip_retries > 0,
+             "transport needs at least one strip retry");
+  AE_EXPECTS(policy.max_readback_retries > 0,
+             "transport needs at least one readback retry");
+  AE_EXPECTS(policy.watchdog_deadline_cycles > 0,
+             "watchdog deadline must be positive");
+}
+
+const std::array<u32, 256>& Crc32::table() {
+  static const std::array<u32, 256> kTable = [] {
+    std::array<u32, 256> t{};
+    for (u32 i = 0; i < 256; ++i) {
+      u32 c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return kTable;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, TransportPolicy policy)
+    : policy_(policy) {
+  validate_policy(policy_);
+  set_plan(std::move(plan));
+}
+
+void FaultInjector::set_plan(FaultPlan plan) {
+  validate_plan(plan);
+  plan_ = std::move(plan);
+  enabled_ = plan_.any();
+  rng_ = Rng(plan_.seed);
+  for (auto& s : script_) s.clear();
+  for (const ScriptedFault& f : plan_.script)
+    script_[static_cast<std::size_t>(f.kind)].push_back(f.opportunity);
+  for (auto& s : script_) std::sort(s.begin(), s.end());
+  // Scripted opportunities already consumed this session cannot fire.
+  for (std::size_t k = 0; k < script_.size(); ++k) {
+    const auto& s = script_[k];
+    script_pos_[k] = static_cast<std::size_t>(
+        std::lower_bound(s.begin(), s.end(), opportunities_[k]) - s.begin());
+  }
+}
+
+bool FaultInjector::fires(FaultKind kind, double rate) {
+  const auto k = static_cast<std::size_t>(kind);
+  const u64 n = opportunities_[k]++;
+  bool hit = false;
+  while (script_pos_[k] < script_[k].size() &&
+         script_[k][script_pos_[k]] <= n) {
+    if (script_[k][script_pos_[k]] == n) hit = true;
+    ++script_pos_[k];
+  }
+  if (rate > 0.0 && rng_.chance(rate)) hit = true;
+  return hit;
+}
+
+FaultInjector::WordFate FaultInjector::input_word_fate(u32& value) {
+  if (!enabled_) return WordFate::Deliver;
+  // Corruption and loss are independent hazards; a word both corrupted and
+  // dropped is simply dropped.
+  const bool corrupt = fires(FaultKind::DmaWordCorrupt, plan_.dma_corrupt_rate);
+  if (fires(FaultKind::DmaWordDrop, plan_.dma_drop_rate)) return WordFate::Drop;
+  if (corrupt) {
+    value ^= flip_mask();
+    ++counters_.words_corrupted;
+    return WordFate::Corrupt;
+  }
+  return WordFate::Deliver;
+}
+
+bool FaultInjector::drop_interrupt() {
+  if (!enabled_) return false;
+  if (!fires(FaultKind::LostInterrupt, plan_.interrupt_loss_rate))
+    return false;
+  ++counters_.interrupts_lost;
+  return true;
+}
+
+bool FaultInjector::flip_stored_word(u32& value) {
+  if (!enabled_) return false;
+  if (!fires(FaultKind::ZbtBitFlip, plan_.zbt_flip_rate)) return false;
+  value ^= flip_mask();
+  ++counters_.zbt_bits_flipped;
+  return true;
+}
+
+bool FaultInjector::corrupt_readback_word(u32& value) {
+  if (!enabled_) return false;
+  if (!fires(FaultKind::ReadbackCorrupt, plan_.readback_corrupt_rate))
+    return false;
+  value ^= flip_mask();
+  ++counters_.readback_corrupted;
+  return true;
+}
+
+}  // namespace ae::core

@@ -1,0 +1,247 @@
+// Transport fault injection for the engine simulator.
+//
+// The prototype hangs everything off a 32-bit/66 MHz PCI bus with
+// interrupt-driven strip DMA (section 3.1).  On real ADM-XRC-II boards that
+// link is exactly where transfers corrupt, interrupts get lost and SRAM bits
+// flip — so the simulator can play the adversary: a seeded `FaultPlan`
+// describes per-channel fault rates and/or a scripted fault list, and a
+// `FaultInjector` is consulted by the transport components (`BusDma`,
+// `ZbtMemory`) at every fault opportunity.  Every injected fault is meant to
+// be *detected*, never silently wrong:
+//
+//   * DMA input words carry a per-strip CRC32 (host side) checked against
+//     the words that actually landed on the ZBT; a mismatch retransmits
+//     only that strip,
+//   * result readback carries a whole-frame checksum computed by the TxU as
+//     the words enter the result banks and re-computed by the host from the
+//     words it received; a mismatch re-reads the result banks,
+//   * a lost completion interrupt hangs the call until the driver watchdog
+//     deadline fires,
+//
+// and exhausted retries surface as typed `TransportError` / `EngineHang`
+// failures that carry the cycles burned, so the driver layer
+// (`ResilientSession`) can keep the timing model honest while it retries,
+// backs off, or falls back to software.
+//
+// All hooks are behind a null-pointer check: with no injector attached the
+// simulator's datapath and cycle counts are bit-identical to the fault-free
+// build.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace ae::core {
+
+/// The transport fault channels the simulator can corrupt.
+enum class FaultKind : u8 {
+  DmaWordCorrupt,   ///< input-strip word flipped on the bus
+  DmaWordDrop,      ///< input-strip word lost; stale ZBT content remains
+  LostInterrupt,    ///< strip/completion interrupt never reaches the host
+  ZbtBitFlip,       ///< SRAM bit flip as a word is stored in a bank
+  ReadbackCorrupt,  ///< result word flipped on the bus during readback
+};
+constexpr int kFaultKinds = 5;
+
+std::string to_string(FaultKind k);
+
+/// One scripted fault: fire on the `opportunity`-th chance (0-based, counted
+/// per kind) regardless of the random rates.  Scripted faults make single
+/// failure scenarios reproducible without rate tuning.
+struct ScriptedFault {
+  FaultKind kind = FaultKind::DmaWordCorrupt;
+  u64 opportunity = 0;
+};
+
+/// The adversary: seeded randomness plus optional scripted faults.  Rates
+/// are per opportunity (per word for the word channels, per raised
+/// interrupt for LostInterrupt).  An all-zero plan with an empty script
+/// means a clean transport.
+struct FaultPlan {
+  u64 seed = 0x5EED5EED5EED5EEDull;
+  double dma_corrupt_rate = 0.0;      ///< per input word
+  double dma_drop_rate = 0.0;         ///< per input word
+  double interrupt_loss_rate = 0.0;   ///< per raised interrupt
+  double zbt_flip_rate = 0.0;         ///< per word stored in any bank
+  double readback_corrupt_rate = 0.0; ///< per result word read back
+  std::vector<ScriptedFault> script;
+
+  bool any() const {
+    return dma_corrupt_rate > 0.0 || dma_drop_rate > 0.0 ||
+           interrupt_loss_rate > 0.0 || zbt_flip_rate > 0.0 ||
+           readback_corrupt_rate > 0.0 || !script.empty();
+  }
+};
+
+/// Throws InvalidArgument on rates outside [0, 1].
+void validate_plan(const FaultPlan& plan);
+
+/// Detection/retry budget of the transport layer (the part of the driver
+/// that lives below the call boundary).
+struct TransportPolicy {
+  /// Retransmissions of one strip before the call is abandoned.
+  int max_strip_retries = 8;
+  /// Whole-result re-reads before the call is abandoned (a persistent
+  /// result-bank flip never re-reads clean; the driver must re-run the
+  /// call).
+  int max_readback_retries = 4;
+  /// Driver watchdog: cycles from call start until a hung call (lost
+  /// completion interrupt) is declared dead.  ~60 ms at 66 MHz.
+  u64 watchdog_deadline_cycles = 4'000'000;
+};
+
+/// Throws InvalidArgument on non-positive retry budgets or deadline.
+void validate_policy(const TransportPolicy& policy);
+
+/// Everything the injector did, per channel.  Drops count only when they
+/// left wrong bits behind (a lost word whose slot already held the right
+/// value is physically unobservable).
+struct FaultCounters {
+  u64 words_corrupted = 0;
+  u64 words_dropped = 0;
+  u64 interrupts_lost = 0;
+  u64 zbt_bits_flipped = 0;
+  u64 readback_corrupted = 0;
+
+  u64 total() const {
+    return words_corrupted + words_dropped + interrupts_lost +
+           zbt_bits_flipped + readback_corrupted;
+  }
+};
+
+/// Where the transport *noticed* trouble.  One mismatch may cover several
+/// injected faults (a strip CRC check sees the whole strip), so these count
+/// detection events, not faults.
+struct DetectionCounters {
+  u64 strip_crc_mismatches = 0;
+  u64 readback_mismatches = 0;
+  u64 watchdog_fires = 0;
+
+  u64 total() const {
+    return strip_crc_mismatches + readback_mismatches + watchdog_fires;
+  }
+};
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over 32-bit words,
+/// little-endian byte order — the per-strip integrity check the host and
+/// the board both compute.
+class Crc32 {
+ public:
+  void add(u32 word) {
+    for (int byte = 0; byte < 4; ++byte) {
+      const u8 b = static_cast<u8>(word >> (8 * byte));
+      state_ = table()[(state_ ^ b) & 0xFFu] ^ (state_ >> 8);
+    }
+  }
+  u32 value() const { return ~state_; }
+  void reset() { state_ = 0xFFFFFFFFu; }
+
+ private:
+  static const std::array<u32, 256>& table();
+  u32 state_ = 0xFFFFFFFFu;
+};
+
+/// Position-keyed mixing for the whole-frame readback checksum.  XOR of
+/// mixed (address, word, value) triples is order-independent, so the TxU
+/// (scan order) and the host (address order) accumulate the same value.
+inline u64 frame_check_mix(i64 pixel_addr, int word_index, u32 value) {
+  u64 x = (static_cast<u64>(pixel_addr * 2 + word_index) << 32) | value;
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// A detected transport failure the driver can recover from.  Carries the
+/// cycles the failed attempt burned so retry accounting stays honest.
+class TransportFailure : public Error {
+ public:
+  TransportFailure(const std::string& msg, u64 cycles)
+      : Error(msg), cycles_spent(cycles) {}
+  u64 cycles_spent = 0;
+};
+
+/// Integrity-check retries exhausted (strip CRC or readback checksum).
+class TransportError : public TransportFailure {
+ public:
+  using TransportFailure::TransportFailure;
+};
+
+/// The call hung (lost completion interrupt) until the watchdog deadline.
+class EngineHang : public TransportFailure {
+ public:
+  using TransportFailure::TransportFailure;
+};
+
+/// Consulted by the transport components at every fault opportunity.
+/// Deterministic: the same plan produces the same fault sequence.  One
+/// injector may serve many calls (a driver session); opportunity counters
+/// and fault counters accumulate across calls.
+class FaultInjector {
+ public:
+  /// A default-constructed injector is disabled: every hook says "no
+  /// fault" without consuming randomness.
+  FaultInjector() = default;
+  explicit FaultInjector(FaultPlan plan, TransportPolicy policy = {});
+
+  bool enabled() const { return enabled_; }
+  const FaultPlan& plan() const { return plan_; }
+  const TransportPolicy& policy() const { return policy_; }
+
+  /// Swaps the adversary mid-session (reseeds the RNG from the new plan;
+  /// counters keep accumulating).  Lets tests and sweeps heal or break the
+  /// transport between calls.
+  void set_plan(FaultPlan plan);
+
+  /// What happened to an input word on the bus.
+  enum class WordFate : u8 { Deliver, Corrupt, Drop };
+  /// Decides the fate of one DMA input word.  On Corrupt, `value` has one
+  /// random bit flipped (counted).  On Drop the caller must check whether
+  /// the stale ZBT word differs and report via count_effective_drop().
+  WordFate input_word_fate(u32& value);
+  void count_effective_drop() { ++counters_.words_dropped; }
+
+  /// True if this raised interrupt never reaches the host.
+  bool drop_interrupt();
+
+  /// SRAM corruption: maybe flips one bit of a word being stored in a ZBT
+  /// bank.  Returns true if flipped.
+  bool flip_stored_word(u32& value);
+
+  /// Bus corruption on result readback: maybe flips one bit of the word
+  /// the host receives.  Returns true if flipped.
+  bool corrupt_readback_word(u32& value);
+
+  const FaultCounters& counters() const { return counters_; }
+
+  // Detection sites report here so a driver session can account every
+  // noticed fault even when the attempt itself failed and threw.
+  void note_strip_mismatch() { ++detections_.strip_crc_mismatches; }
+  void note_readback_mismatch() { ++detections_.readback_mismatches; }
+  void note_watchdog() { ++detections_.watchdog_fires; }
+  const DetectionCounters& detections() const { return detections_; }
+
+ private:
+  /// Consumes one opportunity on `kind`'s channel; true if a scripted
+  /// fault lands there or the rate fires.
+  bool fires(FaultKind kind, double rate);
+  u32 flip_mask() { return 1u << rng_.bounded(32); }
+
+  FaultPlan plan_;
+  TransportPolicy policy_;
+  bool enabled_ = false;
+  Rng rng_;
+  std::array<u64, kFaultKinds> opportunities_{};
+  std::array<std::vector<u64>, kFaultKinds> script_;  // sorted per kind
+  std::array<std::size_t, kFaultKinds> script_pos_{};
+  FaultCounters counters_;
+  DetectionCounters detections_;
+};
+
+}  // namespace ae::core

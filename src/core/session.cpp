@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "addresslib/functional.hpp"
+#include "core/engine_sim.hpp"
+#include "core/fault.hpp"
 
 namespace ae::core {
 
@@ -30,6 +32,31 @@ std::string EngineSession::name() const {
 void EngineSession::invalidate() {
   input_slot_ = {};
   result_slot_ = 0;
+}
+
+void EngineSession::set_fault(FaultInjector* fault) {
+  fault_ = fault;
+  // Board content is untrusted across a mode change either way.
+  invalidate();
+}
+
+alib::CallResult EngineSession::execute_simulated(const alib::Call& call,
+                                                  const img::Image& a,
+                                                  const img::Image* b) {
+  // The adversary is in the loop: run the full cycle simulator so faults
+  // hit a real datapath and the CRC/watchdog machinery earns its cycles.
+  // Throws TransportFailure on unrecoverable attempts; stats below count
+  // completed calls only (the resilient layer accounts failed attempts).
+  EngineRunStats run;
+  alib::CallResult result =
+      simulate_call(config_, call, a, b, &run, trace_, fault_);
+  ++stats_.calls;
+  stats_.inputs_transferred += call.mode == alib::Mode::Inter ? 2 : 1;
+  ++stats_.outputs_read_back;
+  stats_.strip_retries += run.strip_retries;
+  stats_.readback_retries += run.readback_retries;
+  stats_.cycles += result.stats.cycles;
+  return result;
 }
 
 std::size_t EngineSession::victim_slot() const {
@@ -89,6 +116,8 @@ EngineSession::Residency EngineSession::acquire_input(u64 hash) {
 alib::CallResult EngineSession::execute(const alib::Call& call,
                                         const img::Image& a,
                                         const img::Image* b) {
+  if (fault_ != nullptr && fault_->enabled())
+    return execute_simulated(call, a, b);
   alib::SegmentRunInfo seg;
   alib::CallResult result = alib::execute_functional(call, a, b, seg);
   ++stats_.calls;

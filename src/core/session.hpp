@@ -28,6 +28,9 @@
 
 namespace ae::core {
 
+class EngineTrace;
+class FaultInjector;
+
 struct SessionOptions {
   bool reuse_resident_frames = true;
   bool skip_side_only_readback = true;
@@ -40,6 +43,8 @@ struct SessionStats {
   i64 board_copies = 0;       ///< ZBT-to-ZBT relocations
   i64 outputs_read_back = 0;
   i64 outputs_elided = 0;     ///< side-only calls, no readback
+  u64 strip_retries = 0;      ///< fault mode: strip retransmissions
+  u64 readback_retries = 0;   ///< fault mode: whole-result re-reads
   u64 cycles = 0;
 
   double seconds(const EngineConfig& config) const {
@@ -64,7 +69,21 @@ class EngineSession : public alib::Backend {
   /// Forgets all residency (e.g. the host reused the buffers).
   void invalidate();
 
+  /// Attaches a transport adversary: subsequent calls run through the full
+  /// cycle simulator with the injector in the loop and may throw
+  /// `TransportFailure`.  Residency reuse is off on this path — the
+  /// transfers must actually happen for the CRCs to protect them — and the
+  /// residency table is invalidated on attach/detach.  Pass nullptr (or a
+  /// disabled injector) to restore the analytic fast path.
+  void set_fault(FaultInjector* fault);
+  FaultInjector* fault() const { return fault_; }
+  /// Timeline sink for simulated (faulted) calls; may be null.
+  void set_trace(EngineTrace* trace) { trace_ = trace; }
+
  private:
+  alib::CallResult execute_simulated(const alib::Call& call,
+                                     const img::Image& a,
+                                     const img::Image* b);
   u64 frame_hash(const img::Image& image) const;
   enum class Residency { NotResident, InInputPair, RelocatedFromResult };
   /// Looks `hash` up on board; relocation moves it from the result banks
@@ -88,6 +107,8 @@ class EngineSession : public alib::Backend {
   std::array<InputSlot, 2> input_slot_{};
   u64 result_slot_ = 0;
   u64 use_clock_ = 0;
+  FaultInjector* fault_ = nullptr;
+  EngineTrace* trace_ = nullptr;
 };
 
 }  // namespace ae::core

@@ -20,6 +20,11 @@ std::string to_string(TraceEvent e) {
     case TraceEvent::OutputDone: return "output-done";
     case TraceEvent::Interrupt: return "interrupt";
     case TraceEvent::CallEnd: return "call-end";
+    case TraceEvent::FaultInjected: return "fault-injected";
+    case TraceEvent::StripRetry: return "strip-retry";
+    case TraceEvent::ReadbackRetry: return "readback-retry";
+    case TraceEvent::Watchdog: return "watchdog";
+    case TraceEvent::FallbackEngaged: return "fallback-engaged";
   }
   return "?";
 }
@@ -57,7 +62,9 @@ std::string EngineTrace::format(std::size_t max_lines) const {
     os << "  @" << r.cycle << " " << to_string(r.event);
     if (r.arg != 0 || r.event == TraceEvent::PuStallBegin ||
         r.event == TraceEvent::BlockReleased ||
-        r.event == TraceEvent::FrameComplete)
+        r.event == TraceEvent::FrameComplete ||
+        r.event == TraceEvent::FaultInjected ||
+        r.event == TraceEvent::StripRetry)
       os << " [" << r.arg << "]";
     os << "\n";
     ++shown;

@@ -26,6 +26,13 @@ enum class TraceEvent : u8 {
   OutputDone,
   Interrupt,
   CallEnd,             ///< arg = total cycles
+
+  // Transport fault injection and recovery (fault.hpp).
+  FaultInjected,       ///< arg = FaultKind of the injected fault
+  StripRetry,          ///< arg = scan-space strip being retransmitted
+  ReadbackRetry,       ///< arg = re-read attempt number (1-based)
+  Watchdog,            ///< hung call declared dead at the driver deadline
+  FallbackEngaged,     ///< arg = consecutive failures that opened the breaker
 };
 
 std::string to_string(TraceEvent e);

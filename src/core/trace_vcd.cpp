@@ -1,8 +1,10 @@
 #include "core/trace_vcd.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <ostream>
+#include <vector>
 
 #include "common/error.hpp"
 
@@ -16,6 +18,11 @@ constexpr char kStallReason = 'r';
 constexpr char kIrq = 'i';
 constexpr char kStrips = 'n';
 constexpr char kBlocks = 'b';
+constexpr char kFault = 'f';
+constexpr char kFaultKind = 'e';
+constexpr char kRetry = 'y';
+constexpr char kWatchdog = 'w';
+constexpr char kFallback = 'k';
 
 void emit_vector(std::ostream& os, u64 value, int bits, char id) {
   os << 'b';
@@ -41,6 +48,11 @@ void write_vcd(const EngineTrace& trace, std::ostream& os,
      << "$var wire 1 " << kIrq << " irq $end\n"
      << "$var wire 8 " << kStrips << " strips_arrived $end\n"
      << "$var wire 2 " << kBlocks << " blocks_released $end\n"
+     << "$var wire 1 " << kFault << " fault $end\n"
+     << "$var wire 3 " << kFaultKind << " fault_kind $end\n"
+     << "$var wire 1 " << kRetry << " transport_retry $end\n"
+     << "$var wire 1 " << kWatchdog << " watchdog $end\n"
+     << "$var wire 1 " << kFallback << " fallback $end\n"
      << "$upscope $end\n"
      << "$enddefinitions $end\n";
 
@@ -57,18 +69,29 @@ void write_vcd(const EngineTrace& trace, std::ostream& os,
   os << "0" << kIrq << "\n";
   emit_vector(os, 0, 8, kStrips);
   emit_vector(os, 0, 2, kBlocks);
+  os << "0" << kFault << "\n";
+  emit_vector(os, 0, 3, kFaultKind);
+  os << "0" << kRetry << "\n";
+  os << "0" << kWatchdog << "\n";
+  os << "0" << kFallback << "\n";
   os << "$end\n";
 
   u64 strips = 0;
   u64 blocks = 0;
-  bool irq_high = false;
+  std::vector<char> pulses_high;  // one-cycle pulse signals awaiting a 0
   u64 last_cycle = 0;
+  auto pulse = [&](char id) {
+    os << "1" << id << "\n";
+    if (std::find(pulses_high.begin(), pulses_high.end(), id) ==
+        pulses_high.end())
+      pulses_high.push_back(id);
+  };
   for (const TraceRecord& r : trace.records()) {
-    // Drop a pending one-cycle interrupt pulse.
-    if (irq_high && r.cycle > last_cycle) {
+    // Drop pending one-cycle pulses before the next change.
+    if (!pulses_high.empty() && r.cycle > last_cycle) {
       stamp(last_cycle + 1);
-      os << "0" << kIrq << "\n";
-      irq_high = false;
+      for (const char id : pulses_high) os << "0" << id << "\n";
+      pulses_high.clear();
     }
     stamp(r.cycle);
     switch (r.event) {
@@ -103,17 +126,30 @@ void write_vcd(const EngineTrace& trace, std::ostream& os,
         emit_vector(os, 4, 3, kPhase);
         break;
       case TraceEvent::Interrupt:
-        os << "1" << kIrq << "\n";
-        irq_high = true;
+        pulse(kIrq);
+        break;
+      case TraceEvent::FaultInjected:
+        emit_vector(os, static_cast<u64>(r.arg), 3, kFaultKind);
+        pulse(kFault);
+        break;
+      case TraceEvent::StripRetry:
+      case TraceEvent::ReadbackRetry:
+        pulse(kRetry);
+        break;
+      case TraceEvent::Watchdog:
+        pulse(kWatchdog);
+        break;
+      case TraceEvent::FallbackEngaged:
+        os << "1" << kFallback << "\n";  // level: sticks until the dump ends
         break;
       case TraceEvent::CallEnd:
         break;
     }
     last_cycle = r.cycle;
   }
-  if (irq_high) {
+  if (!pulses_high.empty()) {
     stamp(last_cycle + 1);
-    os << "0" << kIrq << "\n";
+    for (const char id : pulses_high) os << "0" << id << "\n";
   }
 }
 

@@ -1,5 +1,7 @@
 #include "core/zbt.hpp"
 
+#include "core/fault.hpp"
+
 namespace ae::core {
 
 ZbtMemory::ZbtMemory(const EngineConfig& config, Size frame)
@@ -63,9 +65,19 @@ void ZbtMemory::write_input_word(ZbtRegion region, i64 pixel_addr,
                                  int word_index, u32 value) {
   const int bank = input_bank(region, word_index);
   claim(bank);
+  if (fault_ != nullptr) fault_->flip_stored_word(value);
   word_ref(bank, pixel_addr) = value;
   ++word_accesses_;
   ++dma_words_;
+}
+
+u32 ZbtMemory::peek_input_word(ZbtRegion region, i64 pixel_addr,
+                               int word_index) const {
+  const int bank = input_bank(region, word_index);
+  AE_ASSERT(pixel_addr >= 0 && pixel_addr < words_per_bank_,
+            "ZBT peek address out of range");
+  return banks_[static_cast<std::size_t>(bank)]
+               [static_cast<std::size_t>(pixel_addr)];
 }
 
 img::Pixel ZbtMemory::read_input_pixel(ZbtRegion region, i64 pixel_addr) {
@@ -96,6 +108,12 @@ void ZbtMemory::write_result_word(i64 pixel_addr, int word_index, u32 value) {
   claim(bank);
   const i64 half = (frame_.area() + 1) / 2;
   const i64 addr = (pixel_addr % half) * 2 + word_index;
+  if (fault_ != nullptr) {
+    // The TxU checksums the word before it enters the bank, so a flip in
+    // the SRAM below is caught by the host's readback compare.
+    check_result_ ^= frame_check_mix(pixel_addr, word_index, value);
+    fault_->flip_stored_word(value);
+  }
   word_ref(bank, addr) = value;
   ++word_accesses_;
   if (word_index == 0) ++proc_writes_;  // one transaction per result pixel

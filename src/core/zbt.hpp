@@ -19,6 +19,8 @@
 
 namespace ae::core {
 
+class FaultInjector;
+
 /// Which logical image a ZBT access touches.
 enum class ZbtRegion : u8 { InputA, InputB, Result };
 
@@ -45,6 +47,11 @@ class ZbtMemory {
   ZbtMemory(const EngineConfig& config, Size frame);
 
   Size frame() const { return frame_; }
+
+  /// Attaches a transport fault injector (nullptr detaches).  While
+  /// attached, stored words may suffer SRAM bit flips, and result writes
+  /// accumulate the TxU-side frame checksum the host verifies on readback.
+  void set_fault(FaultInjector* fault) { fault_ = fault; }
 
   /// Begins a new cycle: frees all bank ports.
   void begin_cycle();
@@ -75,6 +82,15 @@ class ZbtMemory {
   /// Reads one word of a result pixel (DMA-out side).
   u32 read_result_word(i64 pixel_addr, int word_index);
 
+  // ---- integrity (fault-injection mode) ------------------------------------
+  /// Reads a stored input word without claiming a port or counting traffic
+  /// — models the board-side CRC check over the words that actually landed
+  /// in the banks.
+  u32 peek_input_word(ZbtRegion region, i64 pixel_addr, int word_index) const;
+  /// Frame checksum the TxU accumulated over result words *before* they
+  /// entered the banks (XOR of frame_check_mix; order-independent).
+  u64 result_check() const { return check_result_; }
+
   // ---- accounting ----------------------------------------------------------
   /// Pixel transactions with parallel accesses counted once — the paper's
   /// "hardware solution memory accesses" (Table 2).  DMA traffic is counted
@@ -96,6 +112,8 @@ class ZbtMemory {
   i64 words_per_bank_ = 0;
   std::vector<std::vector<u32>> banks_;
   ZbtPortState ports_;
+  FaultInjector* fault_ = nullptr;
+  u64 check_result_ = 0;
 
   u64 proc_reads_ = 0;
   u64 proc_writes_ = 0;

@@ -108,5 +108,67 @@ TEST(TraceVcd, RejectsBadClock) {
   EXPECT_THROW(write_vcd(EngineTrace{}, os, 0.0), InvalidArgument);
 }
 
+TEST(TraceVcd, FaultedCallShowsInjectionAndRecoverySignals) {
+  // End to end: a scripted corrupt word plus a readback flip run through
+  // the simulator; the trace carries the fault events and the VCD dump
+  // pulses the fault/retry wires and names the fault kind.
+  EngineTrace trace;
+  FaultPlan plan;
+  plan.script = {{FaultKind::DmaWordCorrupt, 0},
+                 {FaultKind::ReadbackCorrupt, 40}};
+  FaultInjector injector(plan);
+  const img::Image a = test::small_frame();
+  simulate_call({}, alib::Call::make_intra(alib::PixelOp::Copy,
+                                           alib::Neighborhood::con0()),
+                a, nullptr, nullptr, &trace, &injector);
+  EXPECT_EQ(trace.count(TraceEvent::FaultInjected), 2u);
+  EXPECT_EQ(trace.count(TraceEvent::StripRetry), 1u);
+  EXPECT_EQ(trace.count(TraceEvent::ReadbackRetry), 1u);
+
+  std::ostringstream os;
+  write_vcd(trace, os);
+  const std::string vcd = os.str();
+  EXPECT_NE(vcd.find("$var wire 1 f fault $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$var wire 3 e fault_kind $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$var wire 1 y transport_retry $end"),
+            std::string::npos);
+  EXPECT_NE(vcd.find("$var wire 1 w watchdog $end"), std::string::npos);
+  // Each fault raises the pulse and the pulse falls again: equal edges.
+  std::istringstream is(vcd);
+  std::string line;
+  i64 fault_ups = 0;
+  i64 fault_downs = 0;
+  i64 retry_ups = 0;
+  bool in_defs = true;
+  while (std::getline(is, line)) {
+    if (line.find("$enddefinitions") != std::string::npos) in_defs = false;
+    if (in_defs) continue;
+    if (line == "1f") ++fault_ups;
+    if (line == "0f" && fault_ups > 0) ++fault_downs;
+    if (line == "1y") ++retry_ups;
+  }
+  EXPECT_GT(fault_ups, 0);
+  EXPECT_EQ(fault_ups, fault_downs);
+  EXPECT_GT(retry_ups, 0);
+  // The corrupt word was healed by the retransmit: the result is intact.
+}
+
+TEST(TraceVcd, WatchdogEventAppearsInDump) {
+  EngineTrace trace;
+  FaultPlan plan;
+  plan.script = {{FaultKind::LostInterrupt, 0}};
+  FaultInjector injector(plan);
+  const img::Image a = test::small_frame();
+  EXPECT_THROW(
+      simulate_call({}, alib::Call::make_intra(alib::PixelOp::Copy,
+                                               alib::Neighborhood::con0()),
+                    a, nullptr, nullptr, &trace, &injector),
+      EngineHang);
+  EXPECT_EQ(trace.count(TraceEvent::Watchdog), 1u);
+  std::ostringstream os;
+  write_vcd(trace, os);
+  EXPECT_NE(os.str().find("1w"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace ae::core
