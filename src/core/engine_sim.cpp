@@ -227,6 +227,10 @@ alib::CallResult simulate_streamed(const EngineConfig& config,
     pu.tick();
     txu_in.tick();
     ++run.cycles;
+    if (run.input_done_cycle == 0 && dma.input_done())
+      run.input_done_cycle = run.cycles;
+    if (run.processing_done_cycle == 0 && pu.done())
+      run.processing_done_cycle = run.cycles;
     observer.observe(run.cycles, dma, pu, results, images);
     fault_observer.observe(run.cycles, dma);
     check_transport(dma, fault, trace, run.cycles);
@@ -296,6 +300,7 @@ alib::CallResult simulate_segment(const EngineConfig& config,
     check_transport(dma, fault, trace, run.cycles);
     AE_ASSERT(run.cycles < 100'000'000ull, "segment input transfer hung");
   }
+  run.input_done_cycle = run.cycles;
   run.strip_retries = dma.strip_retries();
 
   // Phase 2: traversal.  Functional semantics are shared with the software
@@ -323,6 +328,7 @@ alib::CallResult simulate_segment(const EngineConfig& config,
   // kernel cycle; criterion tests one read-and-compare cycle each.  Result
   // writes (2 word cycles through the OIM) overlap the next fetch.
   run.cycles += visits * (nbhd_size + 1) + tests;
+  run.processing_done_cycle = run.cycles;
   run.pixels = traversal.processed_pixels;
   run.zbt_read_transactions = visits * nbhd_size + tests;
   run.zbt_write_transactions = visits;

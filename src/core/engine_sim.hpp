@@ -33,6 +33,12 @@ struct EngineRunStats {
   u64 strip_retries = 0;
   u64 readback_retries = 0;
 
+  // Strip-progress milestones (cycle the condition first held; 0 if never).
+  // A pipelining scheduler reads these to know how much of a call's tail is
+  // free of input-bus traffic and can hide the next call's strip DMA.
+  u64 input_done_cycle = 0;       ///< last input word landed on the ZBT
+  u64 processing_done_cycle = 0;  ///< process unit drained
+
   // Process unit.
   PlcCounters plc;
   u64 pu_stall_iim = 0;

@@ -56,14 +56,30 @@ alib::CallResult EngineSession::execute_simulated(const alib::Call& call,
   stats_.strip_retries += run.strip_retries;
   stats_.readback_retries += run.readback_retries;
   stats_.cycles += result.stats.cycles;
+  // Simulated phase split: the cycle the last input word landed divides the
+  // call (setup overhead charged to the input side, where the driver spends
+  // it).
+  last_phases_.input_cycles =
+      run.input_done_cycle + config_.call_setup_overhead_cycles;
+  last_phases_.total_cycles = result.stats.cycles;
+  last_phases_.post_input_cycles =
+      last_phases_.total_cycles -
+      std::min(last_phases_.total_cycles, last_phases_.input_cycles);
   return result;
 }
 
-std::size_t EngineSession::victim_slot() const {
+std::size_t EngineSession::victim_slot(
+    const std::array<bool, 2>& claimed) const {
   // Transient frames (relocated results, typically consumed once) go
-  // first; ties and the rest by least recent use.
-  std::size_t best = 0;
-  for (std::size_t s = 1; s < input_slot_.size(); ++s) {
+  // first; ties and the rest by least recent use.  Slots already feeding
+  // the current call are never victims.
+  std::size_t best = input_slot_.size();
+  for (std::size_t s = 0; s < input_slot_.size(); ++s) {
+    if (claimed[s]) continue;
+    if (best == input_slot_.size()) {
+      best = s;
+      continue;
+    }
     const InputSlot& cand = input_slot_[s];
     const InputSlot& cur = input_slot_[best];
     if (cand.transient != cur.transient) {
@@ -72,6 +88,8 @@ std::size_t EngineSession::victim_slot() const {
       best = s;
     }
   }
+  AE_ASSERT(best < input_slot_.size(),
+            "no free input pair: both slots claimed by the current call");
   return best;
 }
 
@@ -80,7 +98,7 @@ void EngineSession::touch(std::size_t slot, bool transient) {
   input_slot_[slot].transient = transient;
 }
 
-u64 EngineSession::frame_hash(const img::Image& image) const {
+u64 frame_content_hash(const img::Image& image) {
   // FNV-1a over the pixel words plus the dimensions.
   u64 h = 0xCBF29CE484222325ull;
   auto mix = [&h](u64 v) {
@@ -96,17 +114,20 @@ u64 EngineSession::frame_hash(const img::Image& image) const {
   return h == 0 ? 1 : h;  // 0 means "empty slot"
 }
 
-EngineSession::Residency EngineSession::acquire_input(u64 hash) {
+EngineSession::Residency EngineSession::acquire_input(
+    u64 hash, std::array<bool, 2>& claimed) {
   if (!options_.reuse_resident_frames) return Residency::NotResident;
   for (std::size_t s = 0; s < input_slot_.size(); ++s)
-    if (input_slot_[s].hash == hash) {
+    if (!claimed[s] && input_slot_[s].hash == hash) {
+      claimed[s] = true;
       touch(s, false);  // proven reusable: no longer transient
       return Residency::InInputPair;
     }
   if (result_slot_ == hash) {
     ++stats_.board_copies;
-    const std::size_t slot = victim_slot();
+    const std::size_t slot = victim_slot(claimed);
     input_slot_[slot].hash = hash;
+    claimed[slot] = true;
     touch(slot, true);
     return Residency::RelocatedFromResult;
   }
@@ -135,29 +156,37 @@ alib::CallResult EngineSession::execute(const alib::Call& call,
   u64 cycles = base.cycles;
   const auto pixels = static_cast<u64>(a.pixel_count());
 
-  // Input transfers skipped for resident frames.
+  // Input transfers skipped for resident frames.  `claimed` pins the slots
+  // feeding this call so an inter call with identical inputs cannot count
+  // one on-board copy twice (the engine reads both bank pairs in parallel).
   const u64 per_frame_in =
       (timing.input_busy_cycles + timing.input_overhead_cycles) /
       static_cast<u64>(images);
-  const u64 hash_a = frame_hash(a);
-  const u64 hash_b = b != nullptr ? frame_hash(*b) : 0;
+  u64 input_cycles = timing.input_busy_cycles + timing.input_overhead_cycles;
+  const u64 hash_a = frame_content_hash(a);
+  const u64 hash_b = b != nullptr ? frame_content_hash(*b) : 0;
   std::array<u64, 2> wanted{hash_a, hash_b};
+  std::array<bool, 2> claimed{false, false};
   for (int f = 0; f < images; ++f) {
-    switch (acquire_input(wanted[static_cast<std::size_t>(f)])) {
+    switch (acquire_input(wanted[static_cast<std::size_t>(f)], claimed)) {
       case Residency::InInputPair:
         ++stats_.inputs_reused;
         cycles -= std::min(cycles, per_frame_in);
+        input_cycles -= std::min(input_cycles, per_frame_in);
         break;
       case Residency::RelocatedFromResult:
         ++stats_.inputs_reused;
         cycles -= std::min(cycles, per_frame_in);
+        input_cycles -= std::min(input_cycles, per_frame_in);
         // Bank-to-bank relocation: two port cycles per pixel.
         cycles += pixels * 2;
+        input_cycles += pixels * 2;
         break;
       case Residency::NotResident: {
         ++stats_.inputs_transferred;
-        const std::size_t slot = victim_slot();
+        const std::size_t slot = victim_slot(claimed);
         input_slot_[slot].hash = wanted[static_cast<std::size_t>(f)];
+        claimed[slot] = true;
         touch(slot, false);
         break;
       }
@@ -172,7 +201,14 @@ alib::CallResult EngineSession::execute(const alib::Call& call,
   } else {
     ++stats_.outputs_read_back;
   }
-  result_slot_ = frame_hash(result.output);
+  result_slot_ = frame_content_hash(result.output);
+
+  // Setup overhead is driver time spent before/while streaming strips, so
+  // it belongs to the input phase of the pipelining view.
+  last_phases_.input_cycles = std::min(
+      cycles, input_cycles + config_.call_setup_overhead_cycles);
+  last_phases_.total_cycles = cycles;
+  last_phases_.post_input_cycles = cycles - last_phases_.input_cycles;
 
   stats_.cycles += cycles;
   result.stats.cycles = cycles;

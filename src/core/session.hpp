@@ -36,6 +36,25 @@ struct SessionOptions {
   bool skip_side_only_readback = true;
 };
 
+/// Content hash of a frame as the residency tables key it (FNV-1a over the
+/// pixel words plus the dimensions; never 0, which means "empty slot").
+/// Exposed so schedulers above the session (serve::EngineFarm) can route by
+/// residency affinity without re-deriving the hashing scheme.
+u64 frame_content_hash(const img::Image& image);
+
+/// Phase split of one executed call, in engine cycles — the non-blocking
+/// strip-progress view a pipelining scheduler needs: while a call is in its
+/// post-input phases (processing tail + result readback), the bus-side input
+/// phase of the *next* call can already stream strips into the free bank
+/// pair.  `input_cycles` counts bus transfer + strip-interrupt overhead of
+/// the inputs; `post_input_cycles` is everything after the last input word
+/// (tail processing, result readback, completion handshake).
+struct CallPhases {
+  u64 input_cycles = 0;
+  u64 post_input_cycles = 0;
+  u64 total_cycles = 0;
+};
+
 struct SessionStats {
   i64 calls = 0;
   i64 inputs_transferred = 0;
@@ -66,6 +85,10 @@ class EngineSession : public alib::Backend {
 
   const SessionStats& stats() const { return stats_; }
   const EngineConfig& config() const { return config_; }
+  /// Phase split of the most recent call (all-zero before the first call).
+  /// Residency reuse is already folded in: a call whose inputs were all
+  /// resident reports `input_cycles == 0`.
+  const CallPhases& last_phases() const { return last_phases_; }
   /// Forgets all residency (e.g. the host reused the buffers).
   void invalidate();
 
@@ -84,20 +107,27 @@ class EngineSession : public alib::Backend {
   alib::CallResult execute_simulated(const alib::Call& call,
                                      const img::Image& a,
                                      const img::Image* b);
-  u64 frame_hash(const img::Image& image) const;
   enum class Residency { NotResident, InInputPair, RelocatedFromResult };
   /// Looks `hash` up on board; relocation moves it from the result banks
-  /// into an input pair (costed by the caller).
-  Residency acquire_input(u64 hash);
+  /// into an input pair (costed by the caller).  `claimed` marks slots
+  /// already feeding this call — an inter call whose two inputs share
+  /// content still needs the frame in *both* bank pairs, so one resident
+  /// copy may only satisfy one of them.
+  Residency acquire_input(u64 hash, std::array<bool, 2>& claimed);
 
-  /// Picks the input pair to overwrite: transient (relocated result)
-  /// frames first, then least recently used.
-  std::size_t victim_slot() const;
+  /// Picks the input pair to overwrite among unclaimed slots: transient
+  /// (relocated result) frames first, then least recently used.
+  std::size_t victim_slot(const std::array<bool, 2>& claimed) const;
   void touch(std::size_t slot, bool transient);
 
+  // Threading contract: an EngineSession (and the SessionStats it
+  // accumulates) is single-owner — exactly one thread may call execute().
+  // Concurrency lives a layer up: serve::EngineFarm pins each session to
+  // its shard worker thread and publishes stats snapshots under a lock.
   EngineConfig config_;
   SessionOptions options_;
   SessionStats stats_;
+  CallPhases last_phases_;
   // Content hashes of the frames in the input pairs and the result banks.
   struct InputSlot {
     u64 hash = 0;

@@ -25,6 +25,9 @@ std::string to_string(TraceEvent e) {
     case TraceEvent::ReadbackRetry: return "readback-retry";
     case TraceEvent::Watchdog: return "watchdog";
     case TraceEvent::FallbackEngaged: return "fallback-engaged";
+    case TraceEvent::QueueDepth: return "queue-depth";
+    case TraceEvent::BatchDispatched: return "batch-dispatched";
+    case TraceEvent::ShardOccupancy: return "shard-occupancy";
   }
   return "?";
 }

@@ -33,6 +33,13 @@ enum class TraceEvent : u8 {
   ReadbackRetry,       ///< arg = re-read attempt number (1-based)
   Watchdog,            ///< hung call declared dead at the driver deadline
   FallbackEngaged,     ///< arg = consecutive failures that opened the breaker
+
+  // Serving layer (serve::EngineFarm).  The farm records these on its
+  // scheduler/shard traces with farm-domain timestamps (dispatch sequence
+  // numbers on the scheduler trace, shard-clock cycles on shard traces).
+  QueueDepth,          ///< arg = pending submissions after a queue change
+  BatchDispatched,     ///< arg = calls routed in this scheduling round
+  ShardOccupancy,      ///< arg = shard queue depth at dispatch (per shard)
 };
 
 std::string to_string(TraceEvent e);

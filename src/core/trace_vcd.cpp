@@ -144,6 +144,10 @@ void write_vcd(const EngineTrace& trace, std::ostream& os,
         break;
       case TraceEvent::CallEnd:
         break;
+      case TraceEvent::QueueDepth:
+      case TraceEvent::BatchDispatched:
+      case TraceEvent::ShardOccupancy:
+        break;  // farm-level events carry no per-call waveform signal
     }
     last_cycle = r.cycle;
   }

@@ -1,0 +1,331 @@
+#include "serve/farm.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace ae::serve {
+
+void validate_farm_options(const FarmOptions& options) {
+  AE_EXPECTS(options.shards > 0, "farm needs at least one shard");
+  AE_EXPECTS(options.queue_capacity > 0, "queue capacity must be positive");
+  AE_EXPECTS(options.max_batch > 0, "batch size must be positive");
+  AE_EXPECTS(options.affinity_spill_depth > 0,
+             "affinity spill depth must be positive");
+  AE_EXPECTS(options.shard_faults.size() <=
+                 static_cast<std::size_t>(options.shards),
+             "more per-shard fault plans than shards");
+  for (const core::FaultPlan& plan : options.shard_faults)
+    core::validate_plan(plan);
+  validate_resilient_options(options.resilient);
+}
+
+u64 FarmStats::makespan_cycles() const {
+  u64 makespan = 0;
+  for (const ShardStats& s : shards)
+    makespan = std::max(makespan, s.busy_cycles);
+  return makespan;
+}
+
+double FarmStats::makespan_seconds(const core::EngineConfig& config) const {
+  return static_cast<double>(makespan_cycles()) * config.seconds_per_cycle();
+}
+
+double FarmStats::throughput_calls_per_s(
+    const core::EngineConfig& config) const {
+  const double seconds = makespan_seconds(config);
+  return seconds > 0.0 ? static_cast<double>(completed) / seconds : 0.0;
+}
+
+EngineFarm::EngineFarm(FarmOptions options) : options_(std::move(options)) {
+  validate_farm_options(options_);
+  shards_.reserve(static_cast<std::size_t>(options_.shards));
+  for (int s = 0; s < options_.shards; ++s) {
+    core::ResilientOptions shard_options = options_.resilient;
+    if (static_cast<std::size_t>(s) < options_.shard_faults.size())
+      shard_options.plan = options_.shard_faults[static_cast<std::size_t>(s)];
+    shards_.push_back(
+        std::make_unique<Shard>(options_.config, shard_options));
+  }
+  for (auto& shard : shards_)
+    shard->worker = std::thread([this, &shard] { worker_loop(*shard); });
+  scheduler_ = std::thread([this] { scheduler_loop(); });
+}
+
+EngineFarm::~EngineFarm() { shutdown(); }
+
+std::string EngineFarm::name() const {
+  return "farm/" + std::to_string(shards_.size()) + "x" +
+         shards_.front()->session.name();
+}
+
+alib::CallResult EngineFarm::execute(const alib::Call& call,
+                                     const img::Image& a,
+                                     const img::Image* b) {
+  return submit(call, a, b).get();
+}
+
+std::future<alib::CallResult> EngineFarm::submit(const alib::Call& call,
+                                                 const img::Image& a,
+                                                 const img::Image* b) {
+  // Fail malformed calls in the caller's context, not on a worker.
+  alib::validate_call(call, a, b);
+  Request request;
+  request.call = call;
+  request.a = &a;
+  request.b = b;
+  if (options_.affinity_routing) {
+    request.hash_a = core::frame_content_hash(a);
+    request.hash_b = b != nullptr ? core::frame_content_hash(*b) : 0;
+  }
+  std::future<alib::CallResult> future = request.promise.get_future();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  space_cv_.wait(lock, [this] {
+    return stop_ || pending_.size() < options_.queue_capacity;
+  });
+  AE_EXPECTS(!stop_, "submit() on a farm that is shut down");
+  pending_.push_back(std::move(request));
+  ++submitted_;
+  ++in_flight_;
+  peak_queue_depth_ = std::max(peak_queue_depth_, pending_.size());
+  if (scheduler_trace_ != nullptr)
+    scheduler_trace_->record(dispatch_seq_, core::TraceEvent::QueueDepth,
+                             static_cast<i64>(pending_.size()));
+  sched_cv_.notify_one();
+  return future;
+}
+
+int EngineFarm::route(const Request& request, bool& affinity_hit) {
+  affinity_hit = false;
+  // Affinity first: a shard already holding one of the input frames skips
+  // that frame's strip DMA entirely.
+  if (options_.affinity_routing) {
+    for (const u64 hash : {request.hash_a, request.hash_b}) {
+      if (hash == 0) continue;
+      const auto hit = affinity_.find(hash);
+      if (hit == affinity_.end()) continue;
+      Shard& shard = *shards_[static_cast<std::size_t>(hit->second)];
+      {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        const std::size_t backlog =
+            shard.queue.size() + (shard.busy ? 1 : 0);
+        if (shard.breaker == core::BreakerState::Closed &&
+            backlog < options_.affinity_spill_depth) {
+          affinity_hit = true;
+          return hit->second;
+        }
+      }
+      // Affinity shard convoyed or unhealthy: spill to load balancing.
+      {
+        std::lock_guard<std::mutex> farm_lock(mu_);
+        ++affinity_spills_;
+      }
+      break;
+    }
+  }
+  // Least-loaded healthy shard; modeled shard clock breaks backlog ties so
+  // work spreads even when every queue is empty.  An open breaker only
+  // wins when every shard is broken (the farm still answers, via each
+  // shard's software fallback).
+  int best = 0;
+  u64 best_key[3] = {~0ull, ~0ull, ~0ull};
+  for (int s = 0; s < static_cast<int>(shards_.size()); ++s) {
+    Shard& shard = *shards_[static_cast<std::size_t>(s)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const u64 key[3] = {
+        shard.breaker == core::BreakerState::Closed ? 0ull : 1ull,
+        shard.queue.size() + (shard.busy ? 1u : 0u), shard.clock_cycles};
+    if (std::lexicographical_compare(key, key + 3, best_key, best_key + 3)) {
+      std::copy(key, key + 3, best_key);
+      best = s;
+    }
+  }
+  return best;
+}
+
+void EngineFarm::dispatch(Request request, int shard_index,
+                          bool affinity_hit) {
+  if (options_.affinity_routing) {
+    // The shard will hold these frames after the call; later submissions
+    // with the same content follow them (batch-mates included).
+    if (request.hash_a != 0) affinity_[request.hash_a] = shard_index;
+    if (request.hash_b != 0) affinity_[request.hash_b] = shard_index;
+  }
+  Shard& shard = *shards_[static_cast<std::size_t>(shard_index)];
+  std::size_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (affinity_hit) ++shard.affinity_calls;
+    shard.queue.push_back(std::move(request));
+    depth = shard.queue.size();
+    shard.peak_depth = std::max(shard.peak_depth, depth);
+  }
+  shard.cv.notify_one();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (affinity_hit) ++affinity_hits_;
+  if (scheduler_trace_ != nullptr)
+    scheduler_trace_->record(dispatch_seq_, core::TraceEvent::ShardOccupancy,
+                             static_cast<i64>(depth));
+}
+
+void EngineFarm::scheduler_loop() {
+  for (;;) {
+    std::vector<Request> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      sched_cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
+      if (pending_.empty()) return;  // stop_ and nothing left to route
+      const auto take = std::min(pending_.size(),
+                                 static_cast<std::size_t>(options_.max_batch));
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(pending_.front()));
+        pending_.pop_front();
+      }
+      ++batches_;
+      ++dispatch_seq_;
+      if (scheduler_trace_ != nullptr) {
+        scheduler_trace_->record(dispatch_seq_,
+                                 core::TraceEvent::BatchDispatched,
+                                 static_cast<i64>(take));
+        scheduler_trace_->record(dispatch_seq_, core::TraceEvent::QueueDepth,
+                                 static_cast<i64>(pending_.size()));
+      }
+      space_cv_.notify_all();
+    }
+    for (Request& request : batch) {
+      bool hit = false;
+      const int shard = route(request, hit);
+      dispatch(std::move(request), shard, hit);
+    }
+  }
+}
+
+void EngineFarm::worker_loop(Shard& shard) {
+  for (;;) {
+    Request request;
+    bool can_overlap = false;
+    {
+      std::unique_lock<std::mutex> lock(shard.mu);
+      shard.cv.wait(lock,
+                    [&shard] { return shard.stopping || !shard.queue.empty(); });
+      if (shard.queue.empty()) return;  // stopping and drained
+      request = std::move(shard.queue.front());
+      shard.queue.pop_front();
+      shard.busy = true;
+      // Overlap is only physical when this request was already queued
+      // while the previous call ran — its strips had a tail to hide in.
+      can_overlap = shard.prev_on_engine && options_.overlap_strips;
+    }
+
+    const i64 fallbacks_before = shard.session.stats().fallback_calls;
+    u64 overlap = 0;
+    bool on_engine = false;
+    try {
+      alib::CallResult result =
+          shard.session.execute(request.call, *request.a, request.b);
+      on_engine = shard.session.stats().fallback_calls == fallbacks_before;
+      if (on_engine && can_overlap) {
+        const core::CallPhases& phases = shard.session.session().last_phases();
+        overlap = std::min(phases.input_cycles,
+                           shard.prev_phases.post_input_cycles);
+        result.stats.cycles -= std::min(result.stats.cycles, overlap);
+        result.stats.model_seconds = static_cast<double>(result.stats.cycles) *
+                                     options_.config.seconds_per_cycle();
+      }
+      {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        ++shard.calls;
+        shard.clock_cycles += result.stats.cycles;
+        shard.overlap_saved += overlap;
+        shard.breaker = shard.session.breaker();
+        shard.resilient = shard.session.stats();
+        shard.session_stats = shard.session.session().stats();
+        shard.busy = false;
+        // Pipeline continuity: the *next* call may overlap only if it is
+        // already waiting now (otherwise its strips missed this tail).
+        shard.prev_on_engine = on_engine && !shard.queue.empty();
+        if (on_engine) shard.prev_phases = shard.session.session().last_phases();
+      }
+      request.promise.set_value(std::move(result));
+    } catch (...) {
+      // ResilientSession absorbs transport faults; anything arriving here
+      // is a programming error (bad call slipped past validation).  The
+      // caller gets the exception; the shard keeps serving.
+      {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        shard.busy = false;
+        shard.prev_on_engine = false;
+      }
+      request.promise.set_exception(std::current_exception());
+    }
+
+    std::lock_guard<std::mutex> lock(mu_);
+    ++completed_;
+    if (--in_flight_ == 0) idle_cv_.notify_all();
+  }
+}
+
+void EngineFarm::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void EngineFarm::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_ && !scheduler_.joinable()) return;  // already shut down
+  }
+  drain();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    sched_cv_.notify_all();
+    space_cv_.notify_all();
+  }
+  if (scheduler_.joinable()) scheduler_.join();
+  for (auto& shard : shards_) {
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      shard->stopping = true;
+    }
+    shard->cv.notify_all();
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+FarmStats EngineFarm::stats() const {
+  FarmStats stats;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats.submitted = submitted_;
+    stats.completed = completed_;
+    stats.batches = batches_;
+    stats.affinity_hits = affinity_hits_;
+    stats.affinity_spills = affinity_spills_;
+    stats.peak_queue_depth = peak_queue_depth_;
+  }
+  stats.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    ShardStats s;
+    s.calls = shard->calls;
+    s.affinity_calls = shard->affinity_calls;
+    s.busy_cycles = shard->clock_cycles;
+    s.overlap_cycles_saved = shard->overlap_saved;
+    s.peak_queue_depth = shard->peak_depth;
+    s.breaker = shard->breaker;
+    s.resilient = shard->resilient;
+    s.session = shard->session_stats;
+    stats.overlap_cycles_saved += shard->overlap_saved;
+    stats.shards.push_back(std::move(s));
+  }
+  return stats;
+}
+
+void EngineFarm::set_scheduler_trace(core::EngineTrace* trace) {
+  std::lock_guard<std::mutex> lock(mu_);
+  scheduler_trace_ = trace;
+}
+
+}  // namespace ae::serve

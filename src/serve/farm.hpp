@@ -1,0 +1,228 @@
+// EngineFarm — the serving layer: many concurrent AddressLib callers
+// multiplexed over a pool of simulated AddressEngine boards.
+//
+// The 2005 prototype serves one host over one PCI board.  A production
+// deployment of the same design looks like an inference-serving stack: N
+// boards (shards), each with its own ZBT banks, transport and fault domain,
+// behind a thread-safe submission queue.  Clients submit `alib::Call`s
+// (sync via the Backend interface or future-based async via submit());
+// a scheduler thread drains the queue in batches and routes every call to a
+// shard:
+//
+//   * affinity routing — a call lands on the shard where its input frames
+//     are already resident (keyed by `core::frame_content_hash`), so the
+//     per-session residency cache keeps saving re-DMA even with many
+//     clients interleaving frames,
+//   * load spill — when the affinity shard's backlog is too deep (or its
+//     circuit breaker is open), the call spills to the least-loaded healthy
+//     shard instead of convoying,
+//   * strip pipelining — per shard, the input-strip DMA of the next queued
+//     call overlaps the post-input phases of the current one (the bank-pair
+//     alternation that already overlaps transfer and processing *within* a
+//     call, applied *across* calls).  The overlap is priced from
+//     `EngineSession::last_phases()` and removed from the modeled latency.
+//
+// Every shard is a `core::ResilientSession`, so transport faults stay
+// shard-local: one faulty board opens its own circuit breaker and degrades
+// to bit-exact software fallback while the rest of the farm keeps serving
+// from hardware.  Results are bit-exact regardless of shard count,
+// scheduling order or faults — the differential test suite holds the farm
+// to the serial backends.
+//
+// Timing model: real threads execute the simulation, but throughput and
+// latency are reported in the *modeled* engine-time domain, like every
+// other number in this repo.  Each shard advances its own cycle clock by
+// the modeled latency of the calls it serves (minus pipelining overlap);
+// the farm's makespan is the slowest shard's clock.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "addresslib/call.hpp"
+#include "core/resilient.hpp"
+
+namespace ae::serve {
+
+struct FarmOptions {
+  /// Number of engine shards (simulated boards).
+  int shards = 4;
+  /// Board configuration, shared by every shard.
+  core::EngineConfig config;
+  /// Driver options applied to every shard (fault plan, retry budgets,
+  /// breaker tuning, session residency switches).
+  core::ResilientOptions resilient;
+  /// Per-shard fault-plan overrides: shard s uses shard_faults[s] when
+  /// s < shard_faults.size(), else `resilient.plan`.  This is how a test or
+  /// sweep makes exactly one board faulty.
+  std::vector<core::FaultPlan> shard_faults;
+  /// Route calls to the shard holding their input frames (vs round robin).
+  bool affinity_routing = true;
+  /// Overlap the next call's input strips with the current call's tail.
+  bool overlap_strips = true;
+  /// An affinity shard with this many calls already queued spills to the
+  /// least-loaded healthy shard instead.
+  std::size_t affinity_spill_depth = 8;
+  /// Bound on not-yet-dispatched submissions; submit() blocks above it.
+  std::size_t queue_capacity = 4096;
+  /// Calls the scheduler routes per wakeup (one batch).
+  int max_batch = 16;
+};
+
+/// Throws InvalidArgument on non-positive shard count / capacities, or more
+/// shard fault overrides than shards.
+void validate_farm_options(const FarmOptions& options);
+
+/// Snapshot of one shard, taken under the shard lock.
+struct ShardStats {
+  i64 calls = 0;                ///< calls completed by this shard
+  i64 affinity_calls = 0;       ///< calls routed here by frame affinity
+  u64 busy_cycles = 0;          ///< modeled shard-clock time serving calls
+  u64 overlap_cycles_saved = 0; ///< strip-pipelining savings
+  std::size_t peak_queue_depth = 0;
+  core::BreakerState breaker = core::BreakerState::Closed;
+  core::ResilientStats resilient;  ///< the shard driver's own accounting
+  core::SessionStats session;      ///< residency/readback accounting
+};
+
+/// Snapshot of the whole farm.
+struct FarmStats {
+  i64 submitted = 0;
+  i64 completed = 0;
+  i64 batches = 0;           ///< scheduler wakeups that routed >= 1 call
+  i64 affinity_hits = 0;     ///< routed to the shard holding the frames
+  i64 affinity_spills = 0;   ///< affinity shard too deep/unhealthy; rerouted
+  u64 overlap_cycles_saved = 0;
+  std::size_t peak_queue_depth = 0;  ///< pending submissions high-water mark
+  std::vector<ShardStats> shards;
+
+  /// Modeled makespan: the busiest shard's clock (cycles / seconds).
+  u64 makespan_cycles() const;
+  double makespan_seconds(const core::EngineConfig& config) const;
+  /// Completed calls per second of modeled engine time.
+  double throughput_calls_per_s(const core::EngineConfig& config) const;
+};
+
+/// A pool of resilient engine sessions behind a batching scheduler.
+///
+/// Lifetime: input frames are NOT copied; the caller keeps `a`/`b` alive
+/// and unmodified until the returned future is ready (the sync execute()
+/// path trivially satisfies this).
+class EngineFarm : public alib::Backend {
+ public:
+  explicit EngineFarm(FarmOptions options = {});
+  ~EngineFarm() override;  // drains, then stops the threads
+
+  EngineFarm(const EngineFarm&) = delete;
+  EngineFarm& operator=(const EngineFarm&) = delete;
+
+  std::string name() const override;
+  /// Synchronous convenience: submit + wait.  Makes the farm a drop-in
+  /// `alib::Backend` for code written against single sessions.
+  alib::CallResult execute(const alib::Call& call, const img::Image& a,
+                           const img::Image* b = nullptr) override;
+
+  /// Asynchronous submission.  Blocks only while the submission queue is at
+  /// capacity.  The future carries the bit-exact result; its modeled cycle
+  /// count is the call's own latency net of pipelining overlap (queue wait
+  /// shows up in the shard clocks / makespan, not per call).
+  std::future<alib::CallResult> submit(const alib::Call& call,
+                                       const img::Image& a,
+                                       const img::Image* b = nullptr);
+
+  /// Waits until every accepted submission has completed.
+  void drain();
+  /// Drains, then stops the scheduler and shard workers.  Idempotent;
+  /// called by the destructor.  Further submit() calls throw.
+  void shutdown();
+
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  const FarmOptions& options() const { return options_; }
+  const core::EngineConfig& config() const { return options_.config; }
+
+  /// Thread-safe snapshot of the farm and every shard.
+  FarmStats stats() const;
+
+  /// Attaches a timeline sink for scheduler events (QueueDepth,
+  /// BatchDispatched, ShardOccupancy).  Attach while idle; the farm does
+  /// not synchronize trace reconfiguration against in-flight traffic.
+  void set_scheduler_trace(core::EngineTrace* trace);
+
+ private:
+  struct Request {
+    alib::Call call;
+    const img::Image* a = nullptr;
+    const img::Image* b = nullptr;
+    u64 hash_a = 0;  ///< affinity keys (0 when affinity routing is off)
+    u64 hash_b = 0;
+    std::promise<alib::CallResult> promise;
+  };
+
+  struct Shard {
+    explicit Shard(const core::EngineConfig& config,
+                   const core::ResilientOptions& options)
+        : session(config, options) {}
+
+    core::ResilientSession session;  // worker-thread-only after start
+    std::thread worker;
+
+    mutable std::mutex mu;
+    std::condition_variable cv;      // work available / worker stopping
+    std::deque<Request> queue;       // guarded by mu
+    bool busy = false;               // guarded by mu
+    bool stopping = false;           // guarded by mu
+    // Stats below are guarded by mu; the worker publishes after each call.
+    i64 calls = 0;
+    i64 affinity_calls = 0;
+    u64 clock_cycles = 0;            ///< modeled shard clock
+    u64 overlap_saved = 0;
+    std::size_t peak_depth = 0;
+    core::BreakerState breaker = core::BreakerState::Closed;
+    core::ResilientStats resilient;
+    core::SessionStats session_stats;
+
+    // Worker-thread-only pipelining state: phase split of the previous
+    // engine-served call (software-fallback calls break the pipeline).
+    core::CallPhases prev_phases;
+    bool prev_on_engine = false;
+  };
+
+  void scheduler_loop();
+  void worker_loop(Shard& shard);
+  /// Picks the shard for a request; sets `affinity_hit` when the choice
+  /// came from frame residency rather than load balancing.
+  int route(const Request& request, bool& affinity_hit);
+  void dispatch(Request request, int shard_index, bool affinity_hit);
+
+  FarmOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::thread scheduler_;
+
+  mutable std::mutex mu_;             // guards everything below
+  std::condition_variable sched_cv_;  // pending work / stop for scheduler
+  std::condition_variable space_cv_;  // submission queue has room
+  std::condition_variable idle_cv_;   // in-flight count reached zero
+  std::deque<Request> pending_;
+  bool stop_ = false;
+  i64 in_flight_ = 0;  ///< accepted but not yet completed
+  i64 submitted_ = 0;
+  i64 completed_ = 0;
+  i64 batches_ = 0;
+  i64 affinity_hits_ = 0;
+  i64 affinity_spills_ = 0;
+  std::size_t peak_queue_depth_ = 0;
+  u64 dispatch_seq_ = 0;  ///< scheduler-trace timestamp domain
+  core::EngineTrace* scheduler_trace_ = nullptr;
+
+  // Scheduler-thread-only: frame hash -> shard that last received it.
+  std::unordered_map<u64, int> affinity_;
+};
+
+}  // namespace ae::serve

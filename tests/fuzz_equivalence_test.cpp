@@ -15,103 +15,9 @@ namespace ae {
 namespace {
 
 using alib::Call;
-using alib::Neighborhood;
-using alib::OpParams;
 using alib::PixelOp;
-
-/// Random odd value in [1, max_odd].
-i32 random_odd(Rng& rng, i32 max_odd) {
-  return 1 + 2 * rng.uniform(0, (max_odd - 1) / 2);
-}
-
-Neighborhood random_neighborhood(Rng& rng) {
-  switch (rng.bounded(6)) {
-    case 0:
-      return Neighborhood::con0();
-    case 1:
-      return Neighborhood::con4();
-    case 2:
-      return Neighborhood::con8();
-    case 3:
-      return Neighborhood::vline(random_odd(rng, 9));
-    case 4:
-      return Neighborhood::hline(random_odd(rng, 9));
-    default:
-      return Neighborhood::rect(random_odd(rng, 5), random_odd(rng, 5));
-  }
-}
-
-ChannelMask random_video_mask(Rng& rng) {
-  switch (rng.bounded(3)) {
-    case 0:
-      return ChannelMask::y();
-    case 1:
-      return ChannelMask::yuv();
-    default:
-      return ChannelMask::y().with(Channel::U);
-  }
-}
-
-/// Builds a random *valid* call; returns whether it needs a second frame.
-Call random_call(Rng& rng, bool& needs_b) {
-  needs_b = rng.chance(0.4);
-  if (needs_b) {
-    static const PixelOp inter_ops[] = {
-        PixelOp::Copy,    PixelOp::Add,     PixelOp::Sub,
-        PixelOp::AbsDiff, PixelOp::Mult,    PixelOp::Min,
-        PixelOp::Max,     PixelOp::Average, PixelOp::Sad,
-        PixelOp::DiffMask, PixelOp::BitAnd, PixelOp::BitOr,
-        PixelOp::BitXor};
-    const PixelOp op = inter_ops[rng.bounded(13)];
-    OpParams p;
-    p.shift = op == PixelOp::Mult ? rng.uniform(4, 8) : 0;
-    p.threshold = rng.uniform(0, 64);
-    const ChannelMask mask = random_video_mask(rng);
-    Call c = Call::make_inter(op, mask, mask, p);
-    c.scan = rng.chance(0.5) ? alib::ScanOrder::RowMajor
-                             : alib::ScanOrder::ColumnMajor;
-    return c;
-  }
-  static const PixelOp intra_ops[] = {
-      PixelOp::Copy,   PixelOp::Convolve, PixelOp::MorphGradient,
-      PixelOp::Erode,  PixelOp::Dilate,   PixelOp::Median,
-      PixelOp::Threshold, PixelOp::Scale, PixelOp::Histogram};
-  const PixelOp op = intra_ops[rng.bounded(9)];
-  Neighborhood nbhd =
-      op == PixelOp::Convolve || op == PixelOp::Median ||
-              op == PixelOp::Erode || op == PixelOp::Dilate ||
-              op == PixelOp::MorphGradient
-          ? random_neighborhood(rng)
-          : Neighborhood::con0();
-  OpParams p;
-  if (op == PixelOp::Convolve) {
-    p.coeffs.resize(nbhd.size());
-    for (auto& c : p.coeffs) c = rng.uniform(-4, 4);
-    p.shift = rng.uniform(0, 3);
-    p.bias = rng.uniform(-20, 20);
-  }
-  if (op == PixelOp::Scale) {
-    p.scale_num = rng.uniform(1, 5);
-    p.shift = rng.uniform(0, 2);
-    p.bias = rng.uniform(-30, 30);
-  }
-  p.threshold = rng.uniform(0, 255);
-  const ChannelMask mask = random_video_mask(rng);
-  Call c = Call::make_intra(op, std::move(nbhd), mask, mask, p);
-  c.scan = rng.chance(0.5) ? alib::ScanOrder::RowMajor
-                           : alib::ScanOrder::ColumnMajor;
-  c.border = rng.chance(0.3) ? alib::BorderPolicy::Constant
-                             : alib::BorderPolicy::Replicate;
-  c.params.border_constant = img::Pixel::gray(static_cast<u8>(rng.bounded(256)));
-  return c;
-}
-
-Size random_size(Rng& rng) {
-  // Mix of strip-aligned and awkward sizes.
-  static const Size sizes[] = {{48, 32}, {33, 17}, {64, 48},
-                               {16, 16}, {21, 40}, {96, 16}};
-  return sizes[rng.bounded(6)];
-}
+using test::random_frame_size;
+using test::random_streamed_call;
 
 class FuzzEquivalence : public ::testing::TestWithParam<u64> {};
 
@@ -123,8 +29,8 @@ TEST_P(FuzzEquivalence, RandomCallsMatchAcrossBackends) {
 
   for (int i = 0; i < 40; ++i) {
     bool needs_b = false;
-    const Call call = random_call(rng, needs_b);
-    const Size size = random_size(rng);
+    const Call call = random_streamed_call(rng, needs_b);
+    const Size size = random_frame_size(rng);
     const img::Image a = img::make_test_frame(size, rng.next_u64());
     const img::Image b = img::make_test_frame(size, rng.next_u64());
     SCOPED_TRACE("iteration " + std::to_string(i) + ": " + call.describe() +
@@ -157,20 +63,9 @@ TEST_P(FuzzSegment, RandomSegmentCallsMatchAcrossBackends) {
   core::EngineBackend cycle({}, core::EngineMode::CycleAccurate);
 
   for (int i = 0; i < 12; ++i) {
-    const Size size = random_size(rng);
+    const Size size = random_frame_size(rng);
     const img::Image a = img::make_test_frame(size, rng.next_u64());
-    alib::SegmentSpec spec;
-    const int seeds = 1 + static_cast<int>(rng.bounded(4));
-    for (int s = 0; s < seeds; ++s)
-      spec.seeds.push_back(
-          {rng.uniform(0, size.width - 1), rng.uniform(0, size.height - 1)});
-    spec.luma_threshold = rng.uniform(0, 80);
-    if (rng.chance(0.4)) spec.chroma_threshold = rng.uniform(0, 60);
-    spec.connectivity = rng.chance(0.5) ? alib::Connectivity::Four
-                                        : alib::Connectivity::Eight;
-    const Call call = Call::make_segment(
-        PixelOp::Copy, alib::Neighborhood::con0(), spec, ChannelMask::y(),
-        ChannelMask::y().with(Channel::Alfa));
+    const Call call = test::random_segment_call(rng, size);
     SCOPED_TRACE("iteration " + std::to_string(i) + ": " + call.describe());
 
     const alib::CallResult rs = sw.execute(call, a);
@@ -207,8 +102,8 @@ TEST_P(FuzzConfig, RandomBoardConfigsStayExactAndAnalyticTracks) {
     cfg.strict_inter_sequencing = rng.chance(0.3);
 
     bool needs_b = false;
-    const Call call = random_call(rng, needs_b);
-    const Size size = random_size(rng);
+    const Call call = random_streamed_call(rng, needs_b);
+    const Size size = random_frame_size(rng);
     const img::Image a = img::make_test_frame(size, rng.next_u64());
     const img::Image b = img::make_test_frame(size, rng.next_u64());
     SCOPED_TRACE("config " + std::to_string(i) + ": strip=" +

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "addresslib/addresslib.hpp"
+#include "common/rng.hpp"
 #include "image/compare.hpp"
 #include "image/synth.hpp"
 
@@ -29,6 +30,29 @@ inline void expect_images_equal(const img::Image& a, const img::Image& b,
   ASSERT_EQ(a.size(), b.size());
   const std::string diff = img::first_difference(a, b, mask);
   EXPECT_TRUE(diff.empty()) << "first difference at " << diff;
+}
+
+/// Asserts two call results bit-exact: output frame, every side-port
+/// accumulator, and the segment-indexed table records.  The one assertion
+/// every backend pair (software / engine sim / analytic / farm) must pass.
+inline void expect_results_equal(const alib::CallResult& ref,
+                                 const alib::CallResult& out,
+                                 ChannelMask mask = ChannelMask::all()) {
+  expect_images_equal(ref.output, out.output, mask);
+  EXPECT_EQ(ref.side.sad, out.side.sad);
+  EXPECT_EQ(ref.side.histogram, out.side.histogram);
+  EXPECT_EQ(ref.side.gme, out.side.gme);
+  EXPECT_EQ(ref.side.gme_affine, out.side.gme_affine);
+  ASSERT_EQ(ref.segments.size(), out.segments.size());
+  for (std::size_t i = 0; i < ref.segments.size(); ++i) {
+    const alib::SegmentInfo& r = ref.segments[i];
+    const alib::SegmentInfo& o = out.segments[i];
+    EXPECT_EQ(r.id, o.id) << "segment " << i;
+    EXPECT_EQ(r.pixel_count, o.pixel_count) << "segment " << i;
+    EXPECT_EQ(r.geodesic_radius, o.geodesic_radius) << "segment " << i;
+    EXPECT_EQ(r.sum_y, o.sum_y) << "segment " << i;
+    EXPECT_TRUE(r.bbox == o.bbox) << "segment " << i << " bbox";
+  }
 }
 
 /// A representative set of intra calls covering every intra op.
@@ -141,6 +165,145 @@ inline std::vector<alib::Call> representative_inter_calls() {
   calls.push_back(Call::make_inter(PixelOp::BitOr));
   calls.push_back(Call::make_inter(PixelOp::BitXor));
   return calls;
+}
+
+// ---- seeded random-call generator -----------------------------------------
+//
+// One generator for every differential/fuzz test: builds random *valid*
+// calls across all four addressing schemes of the paper — interframe,
+// intraframe, segment-based, and segment-indexed (the side table of segment
+// calls) — plus random frame sizes mixing strip-aligned and awkward shapes.
+// Deterministic per seed.
+
+/// Random odd value in [1, max_odd].
+inline i32 random_odd(Rng& rng, i32 max_odd) {
+  return 1 + 2 * rng.uniform(0, (max_odd - 1) / 2);
+}
+
+inline alib::Neighborhood random_neighborhood(Rng& rng) {
+  using alib::Neighborhood;
+  switch (rng.bounded(6)) {
+    case 0:
+      return Neighborhood::con0();
+    case 1:
+      return Neighborhood::con4();
+    case 2:
+      return Neighborhood::con8();
+    case 3:
+      return Neighborhood::vline(random_odd(rng, 9));
+    case 4:
+      return Neighborhood::hline(random_odd(rng, 9));
+    default:
+      return Neighborhood::rect(random_odd(rng, 5), random_odd(rng, 5));
+  }
+}
+
+inline ChannelMask random_video_mask(Rng& rng) {
+  switch (rng.bounded(3)) {
+    case 0:
+      return ChannelMask::y();
+    case 1:
+      return ChannelMask::yuv();
+    default:
+      return ChannelMask::y().with(Channel::U);
+  }
+}
+
+/// Mix of strip-aligned and awkward frame sizes.
+inline Size random_frame_size(Rng& rng) {
+  static const Size sizes[] = {{48, 32}, {33, 17}, {64, 48},
+                               {16, 16}, {21, 40}, {96, 16}};
+  return sizes[rng.bounded(6)];
+}
+
+/// Builds a random *valid* streamed (inter/intra) call; sets whether it
+/// needs a second frame.
+inline alib::Call random_streamed_call(Rng& rng, bool& needs_b) {
+  using alib::Call;
+  using alib::Neighborhood;
+  using alib::OpParams;
+  using alib::PixelOp;
+  needs_b = rng.chance(0.4);
+  if (needs_b) {
+    static const PixelOp inter_ops[] = {
+        PixelOp::Copy,     PixelOp::Add,    PixelOp::Sub,
+        PixelOp::AbsDiff,  PixelOp::Mult,   PixelOp::Min,
+        PixelOp::Max,      PixelOp::Average, PixelOp::Sad,
+        PixelOp::DiffMask, PixelOp::BitAnd, PixelOp::BitOr,
+        PixelOp::BitXor};
+    const PixelOp op = inter_ops[rng.bounded(13)];
+    OpParams p;
+    p.shift = op == PixelOp::Mult ? rng.uniform(4, 8) : 0;
+    p.threshold = rng.uniform(0, 64);
+    const ChannelMask mask = random_video_mask(rng);
+    Call c = Call::make_inter(op, mask, mask, p);
+    c.scan = rng.chance(0.5) ? alib::ScanOrder::RowMajor
+                             : alib::ScanOrder::ColumnMajor;
+    return c;
+  }
+  static const PixelOp intra_ops[] = {
+      PixelOp::Copy,      PixelOp::Convolve, PixelOp::MorphGradient,
+      PixelOp::Erode,     PixelOp::Dilate,   PixelOp::Median,
+      PixelOp::Threshold, PixelOp::Scale,    PixelOp::Histogram};
+  const PixelOp op = intra_ops[rng.bounded(9)];
+  alib::Neighborhood nbhd =
+      op == PixelOp::Convolve || op == PixelOp::Median ||
+              op == PixelOp::Erode || op == PixelOp::Dilate ||
+              op == PixelOp::MorphGradient
+          ? random_neighborhood(rng)
+          : Neighborhood::con0();
+  OpParams p;
+  if (op == PixelOp::Convolve) {
+    p.coeffs.resize(nbhd.size());
+    for (auto& c : p.coeffs) c = rng.uniform(-4, 4);
+    p.shift = rng.uniform(0, 3);
+    p.bias = rng.uniform(-20, 20);
+  }
+  if (op == PixelOp::Scale) {
+    p.scale_num = rng.uniform(1, 5);
+    p.shift = rng.uniform(0, 2);
+    p.bias = rng.uniform(-30, 30);
+  }
+  p.threshold = rng.uniform(0, 255);
+  const ChannelMask mask = random_video_mask(rng);
+  Call c = Call::make_intra(op, std::move(nbhd), mask, mask, p);
+  c.scan = rng.chance(0.5) ? alib::ScanOrder::RowMajor
+                           : alib::ScanOrder::ColumnMajor;
+  c.border = rng.chance(0.3) ? alib::BorderPolicy::Constant
+                             : alib::BorderPolicy::Replicate;
+  c.params.border_constant =
+      img::Pixel::gray(static_cast<u8>(rng.bounded(256)));
+  return c;
+}
+
+/// Builds a random valid segment call for a frame of `size`.  Always
+/// exercises the segment-indexed side table (every segment call accumulates
+/// per-segment records); luma/chroma criteria, connectivity, seed count,
+/// incremental labeling and id bases all vary.
+inline alib::Call random_segment_call(Rng& rng, Size size) {
+  alib::SegmentSpec spec;
+  const int seeds = 1 + static_cast<int>(rng.bounded(4));
+  for (int s = 0; s < seeds; ++s)
+    spec.seeds.push_back(
+        {rng.uniform(0, size.width - 1), rng.uniform(0, size.height - 1)});
+  spec.luma_threshold = rng.uniform(0, 80);
+  if (rng.chance(0.4)) spec.chroma_threshold = rng.uniform(0, 60);
+  spec.connectivity = rng.chance(0.5) ? alib::Connectivity::Four
+                                      : alib::Connectivity::Eight;
+  spec.id_base = static_cast<alib::SegmentId>(rng.bounded(64));
+  return alib::Call::make_segment(
+      alib::PixelOp::Copy, alib::Neighborhood::con0(), spec, ChannelMask::y(),
+      ChannelMask::y().with(Channel::Alfa));
+}
+
+/// One random call across any of the four addressing schemes (~20% are
+/// segment calls, the rest streamed).  Sets `needs_b` for inter calls.
+inline alib::Call random_any_call(Rng& rng, Size size, bool& needs_b) {
+  if (rng.chance(0.2)) {
+    needs_b = false;
+    return random_segment_call(rng, size);
+  }
+  return random_streamed_call(rng, needs_b);
 }
 
 }  // namespace ae::test
