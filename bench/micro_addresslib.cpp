@@ -1,10 +1,27 @@
 // Google-benchmark microbenchmarks of the AddressLib itself: real wall
 // clock of the reproduction's code paths (kernels, drivers, segment
 // expansion), as opposed to the modeled 2005 platforms.
+//
+// The kernel-vs-interpreter pairs (BM_Kern*) each run one CIF call through
+// the functional interpreter and through the kernel backend at 1 and 4
+// threads.  A custom main() pairs the rates up after the run and writes
+// BENCH_kernels.json (pixels/s + speedups) next to the working directory —
+// the machine-readable record of the host-path optimization.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
 #include "addresslib/addresslib.hpp"
+#include "addresslib/kernels/kernel_backend.hpp"
+#include "common/parallel.hpp"
 #include "image/synth.hpp"
+
+#ifndef AE_KERNEL_ISA
+#define AE_KERNEL_ISA "unknown"
+#endif
 
 namespace {
 
@@ -16,6 +33,14 @@ const img::Image& qcif_a() {
 }
 const img::Image& qcif_b() {
   static const img::Image b = img::make_test_frame(img::formats::kQcif, 2);
+  return b;
+}
+const img::Image& cif_a() {
+  static const img::Image a = img::make_test_frame(img::formats::kCif, 3);
+  return a;
+}
+const img::Image& cif_b() {
+  static const img::Image b = img::make_test_frame(img::formats::kCif, 4);
   return b;
 }
 
@@ -102,6 +127,165 @@ void BM_ScanIntraDriver(benchmark::State& state) {
 }
 BENCHMARK(BM_ScanIntraDriver);
 
+// ---- kernel backend vs functional interpreter ------------------------------
+//
+// One CIF call per workload; "_Interp" runs execute_functional, "_Kernel_T1"
+// and "_Kernel_T4" run the kernel backend on pools of 1 and 4 lanes.  The
+// segment workload has no kernel lowering, so its pair documents fallback
+// parity instead of a speedup.
+
+struct KernWorkload {
+  std::string name;
+  alib::Call call;
+  bool needs_b = false;
+};
+
+std::vector<KernWorkload>& kern_workloads() {
+  static std::vector<KernWorkload> w = [] {
+    using alib::Call;
+    using alib::Neighborhood;
+    using alib::OpParams;
+    using alib::PixelOp;
+    std::vector<KernWorkload> v;
+    v.push_back({"InterAbsDiff", Call::make_inter(PixelOp::AbsDiff), true});
+    v.push_back({"InterSad",
+                 Call::make_inter(PixelOp::Sad, ChannelMask::yuv(),
+                                  ChannelMask::yuv()),
+                 true});
+    {
+      OpParams p;
+      p.coeffs.assign(9, 1);
+      p.shift = 3;
+      v.push_back({"IntraConvolve",
+                   Call::make_intra(PixelOp::Convolve, Neighborhood::con8(),
+                                    ChannelMask::y(), ChannelMask::y(), p),
+                   false});
+    }
+    v.push_back({"IntraErode",
+                 Call::make_intra(PixelOp::Erode, Neighborhood::con8()),
+                 false});
+    v.push_back({"IntraMedian",
+                 Call::make_intra(PixelOp::Median, Neighborhood::con8()),
+                 false});
+    {
+      alib::SegmentSpec spec;
+      spec.seeds = {{176, 144}};
+      spec.luma_threshold = 255;  // floods the frame: worst-case traversal
+      v.push_back({"SegmentFlood",
+                   Call::make_segment(PixelOp::Copy, Neighborhood::con0(),
+                                      spec, ChannelMask::y(),
+                                      ChannelMask::y().with(Channel::Alfa)),
+                   false});
+    }
+    return v;
+  }();
+  return w;
+}
+
+void run_kern_interp(benchmark::State& state, const KernWorkload& w) {
+  const img::Image* b = w.needs_b ? &cif_b() : nullptr;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alib::execute_functional(w.call, cif_a(), b));
+  }
+  state.SetItemsProcessed(state.iterations() * cif_a().pixel_count());
+}
+
+void run_kern_kernel(benchmark::State& state, const KernWorkload& w,
+                     int threads) {
+  par::ThreadPool pool(threads);
+  alib::KernelBackend backend({&pool, 16});
+  const img::Image* b = w.needs_b ? &cif_b() : nullptr;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(backend.execute(w.call, cif_a(), b));
+  }
+  state.SetItemsProcessed(state.iterations() * cif_a().pixel_count());
+}
+
+void register_kern_benchmarks() {
+  // UseRealTime: with a worker pool the main thread's CPU time misses the
+  // workers' share; wall clock is the honest rate for every pair member.
+  for (const KernWorkload& w : kern_workloads()) {
+    benchmark::RegisterBenchmark(
+        ("BM_Kern_" + w.name + "_Interp").c_str(),
+        [&w](benchmark::State& s) { run_kern_interp(s, w); })
+        ->UseRealTime();
+    benchmark::RegisterBenchmark(
+        ("BM_Kern_" + w.name + "_Kernel_T1").c_str(),
+        [&w](benchmark::State& s) { run_kern_kernel(s, w, 1); })
+        ->UseRealTime();
+    benchmark::RegisterBenchmark(
+        ("BM_Kern_" + w.name + "_Kernel_T4").c_str(),
+        [&w](benchmark::State& s) { run_kern_kernel(s, w, 4); })
+        ->UseRealTime();
+  }
+}
+
+// Captures every run's items_per_second on top of the normal console output.
+class RateCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end())
+        rates_[run.benchmark_name()] = static_cast<double>(it->second);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::map<std::string, double>& rates() const { return rates_; }
+
+ private:
+  std::map<std::string, double> rates_;
+};
+
+/// Looks a benchmark's rate up, tolerating the "/real_time" name suffix
+/// UseRealTime appends.  0 when the benchmark did not run.
+double rate_of(const std::map<std::string, double>& rates,
+               const std::string& name) {
+  auto it = rates.find(name + "/real_time");
+  if (it == rates.end()) it = rates.find(name);
+  return it == rates.end() ? 0.0 : it->second;
+}
+
+/// Pairs BM_Kern_<name>_{Interp,Kernel_T1,Kernel_T4} rates into
+/// BENCH_kernels.json.  Skips silently when the kernel benchmarks were
+/// filtered out of the run.
+void write_kernels_json(const std::map<std::string, double>& rates) {
+  std::FILE* f = std::fopen("BENCH_kernels.json", "w");
+  if (f == nullptr) return;
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"isa\": \"%s\",\n", AE_KERNEL_ISA);
+  std::fprintf(f, "  \"frame\": \"CIF 352x288\",\n");
+  std::fprintf(f, "  \"workloads\": [");
+  bool first = true;
+  for (const KernWorkload& w : kern_workloads()) {
+    const double interp = rate_of(rates, "BM_Kern_" + w.name + "_Interp");
+    const double t1 = rate_of(rates, "BM_Kern_" + w.name + "_Kernel_T1");
+    const double t4 = rate_of(rates, "BM_Kern_" + w.name + "_Kernel_T4");
+    if (interp <= 0.0 || t1 <= 0.0 || t4 <= 0.0) continue;
+    std::fprintf(f, "%s\n    {\"name\": \"%s\",", first ? "" : ",",
+                 w.name.c_str());
+    first = false;
+    std::fprintf(f, " \"interp_pixels_per_s\": %.0f,", interp);
+    std::fprintf(f, " \"kernel_t1_pixels_per_s\": %.0f,", t1);
+    std::fprintf(f, " \"kernel_t4_pixels_per_s\": %.0f,", t4);
+    std::fprintf(f, " \"speedup_t1\": %.2f,", t1 / interp);
+    std::fprintf(f, " \"speedup_t4\": %.2f,", t4 / interp);
+    std::fprintf(f, " \"scaling_t4_over_t1\": %.2f}", t4 / t1);
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_kernels.json\n");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  register_kern_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  RateCaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  write_kernels_json(reporter.rates());
+  return 0;
+}

@@ -18,6 +18,7 @@ std::string to_string(Mode m) {
 
 void CallStats::merge(const CallStats& o) {
   pixels += o.pixels;
+  passthrough_pixels += o.passthrough_pixels;
   loads += o.loads;
   stores += o.stores;
   table_reads += o.table_reads;

@@ -84,6 +84,12 @@ struct InstructionProfile {
 struct CallStats {
   i64 pixels = 0;  ///< output pixels produced
 
+  /// Pixels copied input->output wholesale without per-pixel processing.
+  /// Segment mode seeds its output with a full copy of the input frame (only
+  /// the expanded segments are then overwritten); the copy is real memory
+  /// traffic the cost models must see even though no kernel ran on it.
+  i64 passthrough_pixels = 0;
+
   /// Image-memory accesses under the backend's accounting model — the
   /// numbers of the paper's Table 2.  For the software backend: load/store
   /// instructions touching image data (strict window reuse).  For the

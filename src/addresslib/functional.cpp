@@ -58,6 +58,10 @@ CallResult execute_functional(const Call& call, const img::Image& a,
           });
       result.segments = table.records();
       result.stats.pixels = traversal.processed_pixels;
+      // The seed copy above touched every input pixel; report it so the
+      // backends can price the traffic (it is not free just because no
+      // kernel ran on it).
+      result.stats.passthrough_pixels = a.pixel_count();
       result.stats.table_reads = table.reads();
       result.stats.table_writes = table.writes();
       info.processed_pixels = traversal.processed_pixels;

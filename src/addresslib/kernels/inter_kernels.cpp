@@ -1,0 +1,84 @@
+// Specialized inter row kernels: one flat loop per (op, channel), dispatch
+// folded at compile time.  The arithmetic is detail::inter_channel_value —
+// the same inline function the interpreter executes — called with a
+// constant op so the switch disappears and the loop body is the bare
+// per-channel expression, which the compiler can auto-vectorize.
+#include <cstring>
+
+#include "addresslib/kernels/row_kernels.hpp"
+
+namespace ae::alib::kern {
+namespace {
+
+template <PixelOp Op, Channel C>
+void inter_channel_row(const InterRowArgs& args) {
+  const img::Pixel* a = args.a;
+  const img::Pixel* b = args.b;
+  img::Pixel* out = args.out;
+  const OpParams& params = *args.params;
+  for (i32 i = 0; i < args.n; ++i) {
+    const i64 v = detail::inter_channel_value(
+        Op, params, C, static_cast<i64>(a[i].get(C)),
+        static_cast<i64>(b[i].get(C)));
+    out[i].set(C, img::clamp_channel(C, v));
+  }
+}
+
+template <PixelOp Op>
+void inter_row(const InterRowArgs& args) {
+  // Pass-through baseline, exactly apply_inter's `result = a`.
+  std::memcpy(args.out, args.a,
+              sizeof(img::Pixel) * static_cast<std::size_t>(args.n));
+  for_each_mask_channel(args.mask, [&](auto tag) {
+    inter_channel_row<Op, decltype(tag)::value>(args);
+  });
+  if constexpr (Op == PixelOp::Sad) {
+    // Side accumulator: sum of |a - b| over the masked video channels.
+    // u64 addition commutes, so summing per row (and per band) is bit-exact
+    // with the interpreter's per-pixel order.
+    const bool sy = args.mask.contains(Channel::Y);
+    const bool su = args.mask.contains(Channel::U);
+    const bool sv = args.mask.contains(Channel::V);
+    const img::Pixel* a = args.a;
+    const img::Pixel* b = args.b;
+    u64 sum = 0;
+    for (i32 i = 0; i < args.n; ++i) {
+      if (sy)
+        sum += static_cast<u64>(a[i].y > b[i].y ? a[i].y - b[i].y
+                                                : b[i].y - a[i].y);
+      if (su)
+        sum += static_cast<u64>(a[i].u > b[i].u ? a[i].u - b[i].u
+                                                : b[i].u - a[i].u);
+      if (sv)
+        sum += static_cast<u64>(a[i].v > b[i].v ? a[i].v - b[i].v
+                                                : b[i].v - a[i].v);
+    }
+    args.side->sad += sum;
+  }
+}
+
+}  // namespace
+
+InterRowFn lower_inter_row(PixelOp op) {
+  switch (op) {
+    case PixelOp::Copy: return &inter_row<PixelOp::Copy>;
+    case PixelOp::Add: return &inter_row<PixelOp::Add>;
+    case PixelOp::Sub: return &inter_row<PixelOp::Sub>;
+    case PixelOp::AbsDiff: return &inter_row<PixelOp::AbsDiff>;
+    case PixelOp::Mult: return &inter_row<PixelOp::Mult>;
+    case PixelOp::Min: return &inter_row<PixelOp::Min>;
+    case PixelOp::Max: return &inter_row<PixelOp::Max>;
+    case PixelOp::Average: return &inter_row<PixelOp::Average>;
+    case PixelOp::Sad: return &inter_row<PixelOp::Sad>;
+    case PixelOp::DiffMask: return &inter_row<PixelOp::DiffMask>;
+    case PixelOp::BitAnd: return &inter_row<PixelOp::BitAnd>;
+    case PixelOp::BitOr: return &inter_row<PixelOp::BitOr>;
+    case PixelOp::BitXor: return &inter_row<PixelOp::BitXor>;
+    default:
+      // The Gme* accumulators carry position-dependent normal-equation
+      // state; they stay on the generic interpreter path.
+      return nullptr;
+  }
+}
+
+}  // namespace ae::alib::kern

@@ -1,0 +1,186 @@
+// Specialized intra interior-row kernels.  The KernelBackend guarantees
+// every neighborhood tap of every pixel in the segment is in-bounds, so a
+// tap is a single flat offset load (`center[x + flat[i]]`) — one add per
+// tap, against the interpreter's per-tap window/border resolution.  The
+// arithmetic mirrors apply_intra (ops.hpp) expression for expression; any
+// divergence is a bug the differential fuzz suite is built to catch.
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+#include <cstring>
+
+#include "addresslib/kernels/row_kernels.hpp"
+
+namespace ae::alib::kern {
+namespace {
+
+// 3x3 Sobel responses via raw stride offsets; identical tap weights and
+// summation as detail::channel_sum_abs_sobel / GradientPack in apply_intra
+// (exact integer sums, so regrouping the additions is value-preserving).
+template <Channel C>
+inline i64 sobel_gx(const img::Pixel* p, i32 s) {
+  return (static_cast<i64>(p[-s + 1].get(C)) + 2 * p[1].get(C) +
+          p[s + 1].get(C)) -
+         (static_cast<i64>(p[-s - 1].get(C)) + 2 * p[-1].get(C) +
+          p[s - 1].get(C));
+}
+
+template <Channel C>
+inline i64 sobel_gy(const img::Pixel* p, i32 s) {
+  return (static_cast<i64>(p[s - 1].get(C)) + 2 * p[s].get(C) +
+          p[s + 1].get(C)) -
+         (static_cast<i64>(p[-s - 1].get(C)) + 2 * p[-s].get(C) +
+          p[-s + 1].get(C));
+}
+
+template <PixelOp Op, Channel C>
+void intra_channel_seg(const IntraRowArgs& args) {
+  const IntraPlan& plan = *args.plan;
+  const OpParams& params = *plan.params;
+  const img::Pixel* center = args.center;
+  img::Pixel* out = args.out;
+  const i32 s = plan.stride;
+  const i32* flat = plan.flat.data();
+  const std::size_t taps = plan.flat.size();
+
+  for (i32 x = 0; x < args.n; ++x) {
+    const img::Pixel* p = center + x;
+    if constexpr (Op == PixelOp::Convolve) {
+      i64 acc = 0;
+      for (std::size_t i = 0; i < taps; ++i)
+        acc += static_cast<i64>(params.coeffs[i]) * p[flat[i]].get(C);
+      acc >>= params.shift;
+      acc += params.bias;
+      out[x].set(C, img::clamp_channel(C, acc));
+    } else if constexpr (Op == PixelOp::GradientX) {
+      const i64 g = sobel_gx<C>(p, s);
+      out[x].set(C, img::clamp_channel(C, (g < 0 ? -g : g) >> params.shift));
+    } else if constexpr (Op == PixelOp::GradientY) {
+      const i64 g = sobel_gy<C>(p, s);
+      out[x].set(C, img::clamp_channel(C, (g < 0 ? -g : g) >> params.shift));
+    } else if constexpr (Op == PixelOp::GradientMag) {
+      const i64 gx = sobel_gx<C>(p, s);
+      const i64 gy = sobel_gy<C>(p, s);
+      const i64 ax = gx < 0 ? -gx : gx;
+      const i64 ay = gy < 0 ? -gy : gy;
+      out[x].set(C, img::clamp_channel(C, ((ax + ay) / 2) >> params.shift));
+    } else if constexpr (Op == PixelOp::MorphGradient) {
+      i64 lo = p[flat[0]].get(C);
+      i64 hi = lo;
+      for (std::size_t i = 0; i < taps; ++i) {
+        const i64 v = p[flat[i]].get(C);
+        lo = v < lo ? v : lo;
+        hi = v > hi ? v : hi;
+      }
+      out[x].set(C, img::clamp_channel(C, hi - lo));
+    } else if constexpr (Op == PixelOp::Erode) {
+      i64 lo = p[flat[0]].get(C);
+      for (std::size_t i = 0; i < taps; ++i) {
+        const i64 v = p[flat[i]].get(C);
+        lo = v < lo ? v : lo;
+      }
+      out[x].set(C, static_cast<u16>(lo));
+    } else if constexpr (Op == PixelOp::Dilate) {
+      i64 hi = p[flat[0]].get(C);
+      for (std::size_t i = 0; i < taps; ++i) {
+        const i64 v = p[flat[i]].get(C);
+        hi = v > hi ? v : hi;
+      }
+      out[x].set(C, static_cast<u16>(hi));
+    } else if constexpr (Op == PixelOp::Median) {
+      std::array<u16, kMaxNeighborhoodLines * kMaxNeighborhoodLines> buf{};
+      for (std::size_t i = 0; i < taps; ++i) buf[i] = p[flat[i]].get(C);
+      const auto mid = buf.begin() + static_cast<i64>(taps / 2);
+      std::nth_element(buf.begin(), mid,
+                       buf.begin() + static_cast<i64>(taps));
+      out[x].set(C, *mid);
+    } else if constexpr (Op == PixelOp::Threshold) {
+      constexpr u16 maxv = img::channel_bits(C) == 8 ? 255 : 0xFFFF;
+      out[x].set(C, p->get(C) > params.threshold ? maxv : 0);
+    } else if constexpr (Op == PixelOp::Scale) {
+      const i64 v = ((static_cast<i64>(p->get(C)) * params.scale_num) >>
+                     params.shift) +
+                    params.bias;
+      out[x].set(C, img::clamp_channel(C, v));
+    } else {
+      static_assert(Op == PixelOp::Convolve, "op has no per-channel kernel");
+    }
+  }
+}
+
+template <PixelOp Op>
+void intra_row(const IntraRowArgs& args) {
+  const IntraPlan& plan = *args.plan;
+  // Center pass-through baseline, exactly apply_intra's `result = center`.
+  std::memcpy(args.out, args.center,
+              sizeof(img::Pixel) * static_cast<std::size_t>(args.n));
+  if constexpr (Op == PixelOp::Copy) {
+    return;
+  } else if constexpr (Op == PixelOp::Homogeneity) {
+    const OpParams& params = *plan.params;
+    const i32* nbr = plan.flat_neighbors.data();
+    const std::size_t taps = plan.flat_neighbors.size();
+    for (i32 x = 0; x < args.n; ++x) {
+      const img::Pixel* p = args.center + x;
+      const img::Pixel c = *p;
+      i64 max_diff = 0;
+      for (std::size_t i = 0; i < taps; ++i) {
+        const img::Pixel nb = p[nbr[i]];
+        const i64 dy_ = std::abs(static_cast<i64>(nb.y) - c.y);
+        const i64 du = std::abs(static_cast<i64>(nb.u) - c.u);
+        const i64 dv = std::abs(static_cast<i64>(nb.v) - c.v);
+        const i64 d = dy_ > du ? (dy_ > dv ? dy_ : dv) : (du > dv ? du : dv);
+        max_diff = d > max_diff ? d : max_diff;
+      }
+      args.out[x].aux = img::clamp_u16(max_diff);
+      args.out[x].alfa = max_diff <= params.threshold ? 1 : 0;
+    }
+  } else if constexpr (Op == PixelOp::Histogram) {
+    for (i32 x = 0; x < args.n; ++x)
+      args.side->histogram[args.center[x].y] += 1;
+  } else if constexpr (Op == PixelOp::TableLookup) {
+    const auto& table = plan.params->table;
+    for (i32 x = 0; x < args.n; ++x)
+      if (args.center[x].alfa < table.size())
+        args.out[x].alfa = table[args.center[x].alfa];
+  } else if constexpr (Op == PixelOp::GradientPack) {
+    const i32 s = plan.stride;
+    for (i32 x = 0; x < args.n; ++x) {
+      const img::Pixel* p = args.center + x;
+      args.out[x].alfa = img::clamp_u16(sobel_gx<Channel::Y>(p, s) +
+                                        kGradBias);
+      args.out[x].aux = img::clamp_u16(sobel_gy<Channel::Y>(p, s) +
+                                       kGradBias);
+    }
+  } else {
+    for_each_mask_channel(plan.mask, [&](auto tag) {
+      intra_channel_seg<Op, decltype(tag)::value>(args);
+    });
+  }
+}
+
+}  // namespace
+
+IntraRowFn lower_intra_row(PixelOp op) {
+  switch (op) {
+    case PixelOp::Copy: return &intra_row<PixelOp::Copy>;
+    case PixelOp::Convolve: return &intra_row<PixelOp::Convolve>;
+    case PixelOp::GradientX: return &intra_row<PixelOp::GradientX>;
+    case PixelOp::GradientY: return &intra_row<PixelOp::GradientY>;
+    case PixelOp::GradientMag: return &intra_row<PixelOp::GradientMag>;
+    case PixelOp::MorphGradient: return &intra_row<PixelOp::MorphGradient>;
+    case PixelOp::Erode: return &intra_row<PixelOp::Erode>;
+    case PixelOp::Dilate: return &intra_row<PixelOp::Dilate>;
+    case PixelOp::Median: return &intra_row<PixelOp::Median>;
+    case PixelOp::Threshold: return &intra_row<PixelOp::Threshold>;
+    case PixelOp::Scale: return &intra_row<PixelOp::Scale>;
+    case PixelOp::Homogeneity: return &intra_row<PixelOp::Homogeneity>;
+    case PixelOp::Histogram: return &intra_row<PixelOp::Histogram>;
+    case PixelOp::TableLookup: return &intra_row<PixelOp::TableLookup>;
+    case PixelOp::GradientPack: return &intra_row<PixelOp::GradientPack>;
+    default:
+      return nullptr;
+  }
+}
+
+}  // namespace ae::alib::kern

@@ -1,0 +1,148 @@
+#include "addresslib/kernels/kernel_backend.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "addresslib/kernels/row_kernels.hpp"
+#include "addresslib/scan.hpp"
+
+namespace ae::alib {
+
+bool KernelBackend::supports(const Call& call) {
+  switch (call.mode) {
+    case Mode::Inter:
+      return kern::lower_inter_row(call.op) != nullptr;
+    case Mode::Intra:
+      return kern::lower_intra_row(call.op) != nullptr;
+    case Mode::Segment:
+      // Segment expansion is an inherently sequential frontier traversal;
+      // it stays on the interpreter.
+      return false;
+  }
+  return false;
+}
+
+CallResult KernelBackend::execute(const Call& call, const img::Image& a,
+                                  const img::Image* b,
+                                  SegmentRunInfo& info) const {
+  if (!supports(call)) return execute_functional(call, a, b, info);
+  validate_call(call, a, b);
+  info = SegmentRunInfo{};
+  if (call.mode == Mode::Inter) return execute_inter(call, a, *b);
+  return execute_intra(call, a);
+}
+
+CallResult KernelBackend::execute_inter(const Call& call, const img::Image& a,
+                                        const img::Image& b) const {
+  const i32 w = a.width();
+  const i32 h = a.height();
+  CallResult result;
+  result.output = img::Image(a.size());
+
+  const kern::InterRowFn row_fn = kern::lower_inter_row(call.op);
+  const i32 grain = std::max<i32>(1, options_.row_grain);
+  const i32 bands = h > 0 ? (h + grain - 1) / grain : 0;
+  std::vector<SideAccum> band_side(static_cast<std::size_t>(bands));
+
+  const img::Pixel* pa = a.pixels().data();
+  const img::Pixel* pb = b.pixels().data();
+  img::Pixel* po = result.output.pixels().data();
+
+  pool().parallel_rows(h, grain, [&](i32 y0, i32 y1) {
+    SideAccum& side = band_side[static_cast<std::size_t>(y0 / grain)];
+    for (i32 y = y0; y < y1; ++y) {
+      const std::size_t row = static_cast<std::size_t>(y) *
+                              static_cast<std::size_t>(w);
+      kern::InterRowArgs args;
+      args.a = pa + row;
+      args.b = pb + row;
+      args.out = po + row;
+      args.n = w;
+      args.mask = call.out_channels;
+      args.params = &call.params;
+      args.side = &side;
+      row_fn(args);
+    }
+  });
+
+  for (const SideAccum& s : band_side) result.side.merge(s);
+  result.stats.pixels = a.pixel_count();
+  return result;
+}
+
+CallResult KernelBackend::execute_intra(const Call& call,
+                                        const img::Image& a) const {
+  const i32 w = a.width();
+  const i32 h = a.height();
+  CallResult result;
+  result.output = img::Image(a.size());
+
+  // Lower the neighborhood once: canonical offsets -> flat strides.
+  kern::IntraPlan plan;
+  plan.stride = w;
+  plan.mask = call.out_channels;
+  plan.params = &call.params;
+  plan.flat.reserve(call.nbhd.size());
+  for (const Point o : call.nbhd.offsets()) {
+    const i32 f = o.y * w + o.x;
+    plan.flat.push_back(f);
+    if (!(o == Point{0, 0})) plan.flat_neighbors.push_back(f);
+  }
+
+  // Interior rectangle: every tap of every pixel inside it is in-bounds.
+  const Rect bbox = call.nbhd.bounding_box();
+  const i32 min_dx = bbox.x;
+  const i32 max_dx = bbox.x + bbox.width - 1;
+  const i32 min_dy = bbox.y;
+  const i32 max_dy = bbox.y + bbox.height - 1;
+  const i32 x_lo = std::min(w, std::max<i32>(0, -min_dx));
+  const i32 x_hi = std::max(x_lo, std::min(w, w - std::max<i32>(0, max_dx)));
+  const i32 y_lo = std::min(h, std::max<i32>(0, -min_dy));
+  const i32 y_hi = std::max(y_lo, std::min(h, h - std::max<i32>(0, max_dy)));
+
+  const kern::IntraRowFn row_fn = kern::lower_intra_row(call.op);
+  const i32 grain = std::max<i32>(1, options_.row_grain);
+  const i32 bands = h > 0 ? (h + grain - 1) / grain : 0;
+  std::vector<SideAccum> band_side(static_cast<std::size_t>(bands));
+
+  const img::Pixel* pa = a.pixels().data();
+  img::Pixel* po = result.output.pixels().data();
+
+  pool().parallel_rows(h, grain, [&](i32 y0, i32 y1) {
+    SideAccum& side = band_side[static_cast<std::size_t>(y0 / grain)];
+    // Border cells run the exact interpreter path (window + apply_intra),
+    // so border handling is bit-exact by construction, not by re-derivation.
+    ImageWindow window(a, call.border, call.params.border_constant);
+    const auto cell = [&](i32 x, i32 y) {
+      window.move_to(Point{x, y});
+      po[static_cast<std::size_t>(y) * static_cast<std::size_t>(w) +
+         static_cast<std::size_t>(x)] =
+          apply_intra(call.op, call.params, call.nbhd, window,
+                      call.in_channels, call.out_channels, side);
+    };
+    for (i32 y = y0; y < y1; ++y) {
+      if (y < y_lo || y >= y_hi || x_hi <= x_lo) {
+        for (i32 x = 0; x < w; ++x) cell(x, y);
+        continue;
+      }
+      for (i32 x = 0; x < x_lo; ++x) cell(x, y);
+      const std::size_t base = static_cast<std::size_t>(y) *
+                                   static_cast<std::size_t>(w) +
+                               static_cast<std::size_t>(x_lo);
+      kern::IntraRowArgs args;
+      args.center = pa + base;
+      args.out = po + base;
+      args.n = x_hi - x_lo;
+      args.plan = &plan;
+      args.side = &side;
+      row_fn(args);
+      for (i32 x = x_hi; x < w; ++x) cell(x, y);
+    }
+  });
+
+  for (const SideAccum& s : band_side) result.side.merge(s);
+  result.stats.pixels = a.pixel_count();
+  return result;
+}
+
+}  // namespace ae::alib

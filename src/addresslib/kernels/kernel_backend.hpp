@@ -1,0 +1,66 @@
+// KernelBackend — the specialized host execution path for AddressLib calls.
+//
+// The generic interpreter (execute_functional) re-dispatches per pixel: scan
+// driver -> op switch -> channel loop -> window/border resolution per tap.
+// The kernel backend lowers a call ONCE into a row kernel and runs flat
+// loops over raw channel pointers:
+//   * inter ops become a single branch-free pass over both frames;
+//   * intra ops split each row into border segments (handled by the exact
+//     generic ImageWindow + apply_intra path) and an interior segment where
+//     every neighborhood tap is a precomputed flat offset from the stride.
+// Rows are banded across a par::ThreadPool; the band partition depends only
+// on (rows, grain) and per-band side accumulators are merged in band order,
+// so the output — pixels AND side accumulators — is bit-exact with
+// execute_functional for any thread count.  Calls with no lowering (segment
+// mode, the Gme* accumulators) transparently fall back to the interpreter.
+#pragma once
+
+#include "addresslib/functional.hpp"
+#include "common/parallel.hpp"
+
+namespace ae::alib {
+
+/// Tuning knobs of the kernel backend.
+struct KernelOptions {
+  /// Pool the row bands are scheduled on; nullptr uses
+  /// par::ThreadPool::shared().
+  par::ThreadPool* pool = nullptr;
+  /// Rows per band.  Small grains expose more parallelism, large grains
+  /// amortize scheduling; the output never depends on it.
+  i32 row_grain = 16;
+};
+
+class KernelBackend {
+ public:
+  explicit KernelBackend(KernelOptions options = {}) : options_(options) {}
+
+  /// True when `call` has a specialized lowering.  Unsupported calls still
+  /// execute correctly via execute(), through the interpreter.
+  static bool supports(const Call& call);
+
+  /// Executes one call, bit-exact with execute_functional.  Validates the
+  /// call; reports segment traversal stats (only the fallback path can
+  /// produce non-zero values, since segment mode has no lowering).
+  CallResult execute(const Call& call, const img::Image& a,
+                     const img::Image* b, SegmentRunInfo& info) const;
+
+  CallResult execute(const Call& call, const img::Image& a,
+                     const img::Image* b = nullptr) const {
+    SegmentRunInfo unused;
+    return execute(call, a, b, unused);
+  }
+
+  const KernelOptions& options() const { return options_; }
+
+ private:
+  CallResult execute_inter(const Call& call, const img::Image& a,
+                           const img::Image& b) const;
+  CallResult execute_intra(const Call& call, const img::Image& a) const;
+  par::ThreadPool& pool() const {
+    return options_.pool ? *options_.pool : par::ThreadPool::shared();
+  }
+
+  KernelOptions options_;
+};
+
+}  // namespace ae::alib

@@ -1,0 +1,86 @@
+// Internal interface between the KernelBackend and its specialized row
+// kernels (inter_kernels.cpp / intra_kernels.cpp).
+//
+// A row kernel is the per-call lowering of one pixel operation: dispatch
+// (op, channel mask, neighborhood shape) is resolved ONCE when the call is
+// lowered, and the returned function runs a flat, branch-free-per-pixel loop
+// over raw pixel pointers.  Intra kernels additionally receive the
+// neighborhood pre-resolved to flat offsets (`dy * stride + dx`), which is
+// exactly the address arithmetic the paper says dominates the software path
+// — here it is one add per tap instead of an accessor chain.
+//
+// Not part of the public AddressLib API; include kernel_backend.hpp instead.
+#pragma once
+
+#include <type_traits>
+#include <vector>
+
+#include "addresslib/ops.hpp"
+#include "image/pixel.hpp"
+
+namespace ae::alib::kern {
+
+static_assert(std::is_trivially_copyable_v<img::Pixel>,
+              "row kernels memcpy pixel rows");
+
+/// One inter row: out[0..n) = op(a[0..n), b[0..n)) on the masked channels,
+/// everything else passed through from `a`.
+struct InterRowArgs {
+  const img::Pixel* a = nullptr;
+  const img::Pixel* b = nullptr;
+  img::Pixel* out = nullptr;
+  i32 n = 0;
+  ChannelMask mask;                  ///< output channel mask
+  const OpParams* params = nullptr;
+  SideAccum* side = nullptr;
+};
+using InterRowFn = void (*)(const InterRowArgs&);
+
+/// The specialized row kernel of an inter op, or nullptr when the op has no
+/// flat lowering (the Gme* normal-equation accumulators).
+InterRowFn lower_inter_row(PixelOp op);
+
+/// Per-call lowering of an intra op: the neighborhood resolved to flat
+/// pixel offsets from the row stride, plus the parameters the interior loop
+/// reads.  Built once per call by the KernelBackend.
+struct IntraPlan {
+  std::vector<i32> flat;            ///< nbhd offsets as dy * stride + dx
+  std::vector<i32> flat_neighbors;  ///< flat without the center offset
+  i32 stride = 0;                   ///< input row stride in pixels
+  ChannelMask mask;                 ///< output channel mask
+  const OpParams* params = nullptr;
+};
+
+/// One interior row segment: every neighborhood tap of every pixel in
+/// [center, center + n) is in-bounds, so taps are unchecked flat loads.
+struct IntraRowArgs {
+  const img::Pixel* center = nullptr;  ///< input pixel at the first column
+  img::Pixel* out = nullptr;           ///< output pixel at the first column
+  i32 n = 0;
+  const IntraPlan* plan = nullptr;
+  SideAccum* side = nullptr;
+};
+using IntraRowFn = void (*)(const IntraRowArgs&);
+
+/// The specialized interior row kernel of an intra op, or nullptr when the
+/// op has no flat lowering.
+IntraRowFn lower_intra_row(PixelOp op);
+
+/// Invokes `f` once per channel present in `m`, passing the channel as a
+/// compile-time constant (std::integral_constant<Channel, C>) so the
+/// per-channel loops fold their channel accessors.
+template <typename F>
+inline void for_each_mask_channel(ChannelMask m, F&& f) {
+  if (m.contains(Channel::Y))
+    f(std::integral_constant<Channel, Channel::Y>{});
+  if (m.contains(Channel::U))
+    f(std::integral_constant<Channel, Channel::U>{});
+  if (m.contains(Channel::V))
+    f(std::integral_constant<Channel, Channel::V>{});
+  if (m.contains(Channel::Alfa))
+    f(std::integral_constant<Channel, Channel::Alfa>{});
+  if (m.contains(Channel::Aux))
+    f(std::integral_constant<Channel, Channel::Aux>{});
+}
+
+}  // namespace ae::alib::kern

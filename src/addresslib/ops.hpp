@@ -140,9 +140,48 @@ struct SideAccum {
 
 namespace detail {
 
-/// Per-channel binary arithmetic shared by the inter kernels.
-i64 inter_channel_value(PixelOp op, const OpParams& params, Channel c, i64 a,
-                        i64 b);
+/// Per-channel binary arithmetic shared by the inter kernels.  Inline (and
+/// written against a compile-time-foldable `op`) so the interpreter and the
+/// specialized row kernels of kernels/ execute literally the same
+/// expressions — bit-exactness between the two backends is structural, not
+/// coincidental.
+inline i64 inter_channel_value(PixelOp op, const OpParams& params, Channel c,
+                               i64 a, i64 b) {
+  switch (op) {
+    case PixelOp::Copy:
+      return a;
+    case PixelOp::Add:
+      return a + b;
+    case PixelOp::Sub:
+      return a - b;
+    case PixelOp::AbsDiff:
+    case PixelOp::Sad:
+      return a > b ? a - b : b - a;
+    case PixelOp::Mult:
+      return (a * b) >> params.shift;
+    case PixelOp::Min:
+      return a < b ? a : b;
+    case PixelOp::Max:
+      return a > b ? a : b;
+    case PixelOp::Average:
+      return (a + b + 1) / 2;
+    case PixelOp::DiffMask: {
+      const i64 d = a > b ? a - b : b - a;
+      return d > params.threshold
+                 ? (img::channel_bits(c) == 8 ? 255 : 0xFFFF)
+                 : 0;
+    }
+    case PixelOp::BitAnd:
+      return a & b;
+    case PixelOp::BitOr:
+      return a | b;
+    case PixelOp::BitXor:
+      return a ^ b;
+    default:
+      AE_ASSERT(false, "inter_channel_value called with a non-inter op");
+  }
+  return 0;
+}
 
 }  // namespace detail
 

@@ -5,7 +5,9 @@
 
 namespace ae::alib {
 
-SoftwareBackend::SoftwareBackend(SoftwareCostModel model) : model_(model) {}
+SoftwareBackend::SoftwareBackend(SoftwareCostModel model,
+                                 SoftwareOptions options)
+    : model_(model), options_(options), kernels_(options.kernels) {}
 
 std::string SoftwareBackend::format_ghz() const {
   const double ghz = model_.clock_hz / 1e9;
@@ -22,7 +24,9 @@ std::string SoftwareBackend::name() const {
 CallResult SoftwareBackend::execute(const Call& call, const img::Image& a,
                                     const img::Image* b) {
   SegmentRunInfo seg;
-  CallResult result = execute_functional(call, a, b, seg);
+  CallResult result = options_.use_kernels
+                          ? kernels_.execute(call, a, b, seg)
+                          : execute_functional(call, a, b, seg);
   CallStats& stats = result.stats;
   const auto pixels = static_cast<u64>(stats.pixels);
 
@@ -48,6 +52,18 @@ CallResult SoftwareBackend::execute(const Call& call, const img::Image& a,
     stats.profile.address_calc +=
         tests * static_cast<u64>(model_.addr_instr_per_access);
     stats.profile.pixel_op += 2 * tests;
+  }
+
+  // Segment mode also seeds its output with a wholesale copy of the input
+  // frame (stats.passthrough_pixels).  The 2005 code did this as a flat
+  // bulk copy — one load and one store per pixel, loop bookkeeping, no
+  // accessor chain — so it is priced below the per-pixel processing rates.
+  const auto copied = static_cast<u64>(stats.passthrough_pixels);
+  if (copied > 0) {
+    stats.loads += copied;
+    stats.stores += copied;
+    stats.profile.memory += 2 * copied;
+    stats.profile.control += copied;
   }
 
   stats.model_seconds = model_.seconds(stats.profile);

@@ -4,27 +4,48 @@
 // accounting memory accesses and dynamic instructions according to the
 // models in access_model.hpp / cost_model.hpp, i.e. it *behaves* like our
 // C++ but *counts* like the 2005 XM software it stands in for.
+//
+// By default the pixels are produced by the kernel backend (specialized row
+// kernels, see kernels/kernel_backend.hpp) — bit-exact with the interpreter
+// but far faster on the host.  The accounting is unaffected by the switch:
+// the cost models read only the call descriptor and the traversal counts,
+// never how this process happened to compute the pixels.
 #pragma once
 
 #include "addresslib/call.hpp"
 #include "addresslib/cost_model.hpp"
+#include "addresslib/kernels/kernel_backend.hpp"
 
 namespace ae::alib {
 
+/// Host-execution knobs of the software backend (modeled costs are
+/// controlled separately, via SoftwareCostModel).
+struct SoftwareOptions {
+  /// Route supported calls through the specialized kernel backend; when
+  /// false every call runs the generic per-pixel interpreter.
+  bool use_kernels = true;
+  /// Pool/grain of the kernel backend (ignored when use_kernels is false).
+  KernelOptions kernels;
+};
+
 class SoftwareBackend : public Backend {
  public:
-  explicit SoftwareBackend(SoftwareCostModel model = {});
+  explicit SoftwareBackend(SoftwareCostModel model = {},
+                           SoftwareOptions options = {});
 
   std::string name() const override;
   CallResult execute(const Call& call, const img::Image& a,
                      const img::Image* b = nullptr) override;
 
   const SoftwareCostModel& cost_model() const { return model_; }
+  const SoftwareOptions& options() const { return options_; }
 
  private:
   std::string format_ghz() const;
 
   SoftwareCostModel model_;
+  SoftwareOptions options_;
+  KernelBackend kernels_;
 };
 
 }  // namespace ae::alib

@@ -1,0 +1,103 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace ae::par {
+
+int default_thread_count() {
+  if (const char* env = std::getenv("AE_THREADS")) {
+    const int v = std::atoi(env);
+    if (v >= 1) return std::min(v, 256);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : static_cast<int>(std::min(hw, 64u));
+}
+
+ThreadPool::ThreadPool(int threads) {
+  const int total = threads <= 0 ? default_thread_count() : threads;
+  workers_.reserve(static_cast<std::size_t>(total - 1));
+  for (int i = 1; i < total; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::run_one_band(Job& job, std::unique_lock<std::mutex>& lk) {
+  const i32 band = job.next++;
+  if (job.next >= job.bands) {
+    // Last band claimed: nothing left to hand out, retire the job from the
+    // queue (it stays alive on its caller's stack until done == bands).
+    const auto it = std::find(jobs_.begin(), jobs_.end(), &job);
+    if (it != jobs_.end()) jobs_.erase(it);
+  }
+  lk.unlock();
+  const i32 y0 = band * job.grain;
+  const i32 y1 = std::min(job.rows, y0 + job.grain);
+  std::exception_ptr error;
+  try {
+    (*job.fn)(y0, y1);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  lk.lock();
+  if (error != nullptr && job.error == nullptr) job.error = error;
+  if (++job.done == job.bands) done_cv_.notify_all();
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    work_cv_.wait(lk, [this] { return stop_ || !jobs_.empty(); });
+    if (jobs_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    run_one_band(*jobs_.front(), lk);
+  }
+}
+
+void ThreadPool::parallel_rows(i32 rows, i32 grain,
+                               const std::function<void(i32, i32)>& fn) {
+  if (rows <= 0) return;
+  if (grain <= 0) grain = 1;
+  const i32 bands = (rows + grain - 1) / grain;
+  if (workers_.empty() || bands == 1) {
+    for (i32 b = 0; b < bands; ++b)
+      fn(b * grain, std::min(rows, (b + 1) * grain));
+    return;
+  }
+
+  Job job;
+  job.fn = &fn;
+  job.rows = rows;
+  job.grain = grain;
+  job.bands = bands;
+
+  std::unique_lock<std::mutex> lk(mu_);
+  jobs_.push_back(&job);
+  work_cv_.notify_all();
+  // The caller is a lane too: claim bands until none remain, then wait for
+  // the workers' stragglers.
+  while (job.next < job.bands) run_one_band(job, lk);
+  done_cv_.wait(lk, [&job] { return job.done == job.bands; });
+  if (job.error != nullptr) {
+    std::exception_ptr error = job.error;
+    lk.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace ae::par

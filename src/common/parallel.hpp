@@ -1,0 +1,87 @@
+// A small reusable worker pool for row-banded data parallelism.
+//
+// The AddressLib kernel backend (and any other frame-shaped loop, e.g. the
+// GME pyramid decimation) splits an image into horizontal bands and runs one
+// band per task.  The banding is a pure function of (rows, grain): band b
+// covers rows [b*grain, min(rows, (b+1)*grain)).  Threads only decide *who*
+// runs a band, never *what* a band is, so any per-band partial results a
+// caller keeps (indexed by band) merge in band order into a result that is
+// bit-exact regardless of the worker count — the determinism guarantee the
+// differential tests hold the kernel backend to.
+//
+// The calling thread participates in its own job (a pool constructed with
+// `threads = 1` has no workers and degrades to a plain serial loop), and
+// several threads may run parallel_rows on one pool concurrently — the farm
+// shards share the process-wide pool without serializing behind each other.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ae::par {
+
+/// Worker-thread budget used by pools constructed with `threads <= 0` (and
+/// by the shared pool): the AE_THREADS environment variable when set to a
+/// positive integer, otherwise the hardware concurrency.
+int default_thread_count();
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `threads` total lanes of execution: the calling
+  /// thread plus `threads - 1` workers.  `threads <= 0` uses
+  /// default_thread_count().
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total lanes (workers + the calling thread).
+  int thread_count() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs `fn(row_begin, row_end)` once per band of up to `grain` rows,
+  /// covering [0, rows) exactly.  Blocks until every band completed.  The
+  /// calling thread executes bands too.  The first exception thrown by `fn`
+  /// is rethrown here after all bands have finished.
+  ///
+  /// `fn` must tolerate concurrent invocation on distinct bands; the band
+  /// partition depends only on (rows, grain), never on the thread count.
+  void parallel_rows(i32 rows, i32 grain,
+                     const std::function<void(i32, i32)>& fn);
+
+  /// The process-wide pool (created on first use, sized by
+  /// default_thread_count()).
+  static ThreadPool& shared();
+
+ private:
+  struct Job {
+    const std::function<void(i32, i32)>* fn = nullptr;
+    i32 rows = 0;
+    i32 grain = 1;
+    i32 bands = 0;
+    i32 next = 0;  ///< next band to claim (guarded by mu_)
+    i32 done = 0;  ///< bands completed (guarded by mu_)
+    std::exception_ptr error;
+  };
+
+  void worker_loop();
+  /// Claims and runs one band of `job`.  `lk` must be held; it is released
+  /// while the band runs and re-acquired before returning.
+  void run_one_band(Job& job, std::unique_lock<std::mutex>& lk);
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  ///< jobs available / stopping
+  std::condition_variable done_cv_;  ///< some job finished a band
+  std::deque<Job*> jobs_;            ///< jobs with unclaimed bands
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ae::par

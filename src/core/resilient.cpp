@@ -31,7 +31,8 @@ ResilientSession::ResilientSession(EngineConfig config,
                                    ResilientOptions options)
     : options_(std::move(options)),
       injector_(options_.plan, options_.transport),
-      session_(config, options_.session) {
+      session_(config, options_.session),
+      software_(alib::SoftwareCostModel{}, options_.software) {
   validate_resilient_options(options_);
   session_.set_fault(&injector_);
 }

@@ -44,6 +44,9 @@ struct ResilientOptions {
   /// Calls served by software before a half-open hardware probe.
   int breaker_cooldown_calls = 8;
   SessionOptions session;      ///< passed through to the EngineSession
+  /// Host-execution knobs of the software fallback (kernel backend on by
+  /// default; results are bit-exact either way).
+  alib::SoftwareOptions software;
 };
 
 /// Throws InvalidArgument on non-positive budgets/backoff.

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace ae::gme {
 
@@ -52,20 +53,30 @@ img::Image decimate2(const img::Image& src) {
   AE_EXPECTS(src.width() >= 2 && src.height() >= 2,
              "decimation needs at least 2x2 input");
   img::Image out(Size{src.width() / 2, src.height() / 2});
-  for (i32 y = 0; y < out.height(); ++y)
-    for (i32 x = 0; x < out.width(); ++x) {
-      auto avg = [&](auto get) {
-        const i32 sx = 2 * x;
-        const i32 sy = 2 * y;
-        const i32 sum = get(src.ref(sx, sy)) + get(src.ref(sx + 1, sy)) +
-                        get(src.ref(sx, sy + 1)) + get(src.ref(sx + 1, sy + 1));
-        return static_cast<u8>((sum + 2) / 4);
-      };
-      img::Pixel& o = out.ref(x, y);
-      o.y = avg([](const img::Pixel& p) { return static_cast<i32>(p.y); });
-      o.u = avg([](const img::Pixel& p) { return static_cast<i32>(p.u); });
-      o.v = avg([](const img::Pixel& p) { return static_cast<i32>(p.v); });
-    }
+  // Output rows are independent; band them across the shared pool.  Each
+  // output pixel is a pure function of its 2x2 source block, so the banding
+  // does not change any value.
+  par::ThreadPool::shared().parallel_rows(
+      out.height(), 16, [&](i32 band_y0, i32 band_y1) {
+        for (i32 y = band_y0; y < band_y1; ++y)
+          for (i32 x = 0; x < out.width(); ++x) {
+            auto avg = [&](auto get) {
+              const i32 sx = 2 * x;
+              const i32 sy = 2 * y;
+              const i32 sum = get(src.ref(sx, sy)) + get(src.ref(sx + 1, sy)) +
+                              get(src.ref(sx, sy + 1)) +
+                              get(src.ref(sx + 1, sy + 1));
+              return static_cast<u8>((sum + 2) / 4);
+            };
+            img::Pixel& o = out.ref(x, y);
+            o.y =
+                avg([](const img::Pixel& p) { return static_cast<i32>(p.y); });
+            o.u =
+                avg([](const img::Pixel& p) { return static_cast<i32>(p.u); });
+            o.v =
+                avg([](const img::Pixel& p) { return static_cast<i32>(p.v); });
+          }
+      });
   return out;
 }
 

@@ -1,15 +1,19 @@
-// Differential fuzzing (tier2): hundreds of seeded random calls across all
-// four addressing schemes of the paper (interframe, intraframe,
-// segment-based, segment-indexed side table), asserting bit-exactness of
+// Differential fuzzing: hundreds of seeded random calls across all four
+// addressing schemes of the paper (interframe, intraframe, segment-based,
+// segment-indexed side table), asserting bit-exactness of
 //
+//   * the specialized kernel backend against the functional interpreter
+//     (KernelVsFunctional*, tier1 — this is the correctness gate of the
+//     host hot path, across thread counts and band grains),
 //   * the cycle-accurate engine simulator against the software backend
-//     (single-engine differential), and
+//     (single-engine differential, tier2), and
 //   * a multi-shard EngineFarm fed by concurrent clients against a serial
-//     software sweep of the same workload (farm differential) — scheduling,
-//     affinity routing and strip pipelining must be invisible in results.
+//     software sweep of the same workload (farm differential, tier2) —
+//     scheduling, affinity routing and strip pipelining must be invisible
+//     in results.
 //
 // The generator lives in test_util.hpp (random_any_call) so every suite
-// fuzzes the same call space.  520 cases total, all seeded/deterministic.
+// fuzzes the same call space.  All cases are seeded/deterministic.
 #include <gtest/gtest.h>
 
 #include <deque>
@@ -17,6 +21,8 @@
 #include <thread>
 #include <vector>
 
+#include "addresslib/kernels/kernel_backend.hpp"
+#include "common/parallel.hpp"
 #include "core/core.hpp"
 #include "serve/farm.hpp"
 #include "test_util.hpp"
@@ -25,6 +31,145 @@ namespace ae {
 namespace {
 
 using alib::Call;
+
+// ---- kernel backend vs functional interpreter (tier1) ----------------------
+
+/// Pools of 1, 2 and 8 lanes plus deliberately awkward band grains; the
+/// kernel backend's contract is that none of this is visible in results.
+struct KernelConfigs {
+  par::ThreadPool pool1{1};
+  par::ThreadPool pool2{2};
+  par::ThreadPool pool8{8};
+
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    fn(alib::KernelBackend({&pool1, 16}), "threads=1 grain=16");
+    fn(alib::KernelBackend({&pool2, 3}), "threads=2 grain=3");
+    fn(alib::KernelBackend({&pool8, 1}), "threads=8 grain=1");
+  }
+};
+
+class KernelVsFunctional : public ::testing::TestWithParam<u64> {};
+
+// 8 seeds x 40 calls = 320 random cases, each checked on three pool/grain
+// combinations against the interpreter.  Segment calls (~20% of the mix)
+// exercise the transparent fallback path.
+TEST_P(KernelVsFunctional, RandomCallsAreBitExactAcrossThreadCounts) {
+  Rng rng(GetParam() * 0xA24BAED4963EE407ull);
+  KernelConfigs configs;
+  for (int i = 0; i < 40; ++i) {
+    const Size size = test::random_frame_size(rng);
+    bool needs_b = false;
+    const Call call = test::random_any_call(rng, size, needs_b);
+    const img::Image a = img::make_test_frame(size, rng.next_u64());
+    const img::Image b = img::make_test_frame(size, rng.next_u64());
+    const alib::CallResult ref =
+        alib::execute_functional(call, a, needs_b ? &b : nullptr);
+    configs.for_each([&](const alib::KernelBackend& kernels,
+                         const char* config) {
+      SCOPED_TRACE("case " + std::to_string(i) + " [" + config + "]: " +
+                   call.describe() + " on " + to_string(size));
+      test::expect_results_equal(
+          ref, kernels.execute(call, a, needs_b ? &b : nullptr));
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelVsFunctional, ::testing::Range<u64>(1, 9));
+
+// Degenerate frame shapes: single pixel, single row/column, odd strides —
+// the interior/border split must collapse gracefully (often to an all-border
+// frame) and still agree with the interpreter.
+TEST(KernelVsFunctionalEdge, DegenerateFrameShapes) {
+  static const Size kSizes[] = {{1, 1}, {7, 1}, {1, 9},
+                                {33, 1}, {2, 2}, {17, 3}};
+  Rng rng(0xED6Eu);
+  KernelConfigs configs;
+  for (const Size size : kSizes) {
+    for (const Call& call : test::representative_intra_calls()) {
+      const img::Image a = img::make_test_frame(size, rng.next_u64());
+      const alib::CallResult ref = alib::execute_functional(call, a);
+      configs.for_each([&](const alib::KernelBackend& kernels,
+                           const char* config) {
+        SCOPED_TRACE(std::string("[") + config + "] " + call.describe() +
+                     " on " + to_string(size));
+        test::expect_results_equal(ref, kernels.execute(call, a));
+      });
+    }
+    for (const Call& call : test::representative_inter_calls()) {
+      const img::Image a = img::make_test_frame(size, rng.next_u64());
+      const img::Image b = img::make_test_frame(size, rng.next_u64());
+      const alib::CallResult ref = alib::execute_functional(call, a, &b);
+      configs.for_each([&](const alib::KernelBackend& kernels,
+                           const char* config) {
+        SCOPED_TRACE(std::string("[") + config + "] " + call.describe() +
+                     " on " + to_string(size));
+        test::expect_results_equal(ref, kernels.execute(call, a, &b));
+      });
+    }
+  }
+}
+
+// Channel masks that include the 16-bit side channels: the random generator
+// sticks to video masks (the engine suites share it), so the Alfa/Aux write
+// paths of the kernels get explicit coverage here.
+TEST(KernelVsFunctionalMasks, SideChannelMasksAreBitExact) {
+  const ChannelMask all = ChannelMask::all();
+  const ChannelMask side =
+      ChannelMask{ChannelMask::alfa().bits() | ChannelMask::aux().bits()};
+  const ChannelMask y_aux = ChannelMask::y().with(Channel::Aux);
+
+  std::vector<Call> calls;
+  for (const ChannelMask mask : {all, side, y_aux}) {
+    calls.push_back(Call::make_inter(alib::PixelOp::Add, mask, mask));
+    calls.push_back(Call::make_inter(alib::PixelOp::AbsDiff, mask, mask));
+    calls.push_back(Call::make_inter(alib::PixelOp::BitXor, mask, mask));
+    calls.push_back(Call::make_inter(alib::PixelOp::Sad, mask, mask));
+    {
+      alib::OpParams p;
+      p.threshold = 500;  // above the 8-bit range: discriminates 16-bit taps
+      calls.push_back(
+          Call::make_inter(alib::PixelOp::DiffMask, mask, mask, p));
+    }
+    {
+      alib::OpParams p;
+      p.scale_num = 5;
+      p.shift = 1;
+      p.bias = -7;
+      calls.push_back(Call::make_intra(alib::PixelOp::Scale,
+                                       alib::Neighborhood::con0(), mask, mask,
+                                       p));
+    }
+    {
+      alib::OpParams p;
+      p.threshold = 300;
+      calls.push_back(Call::make_intra(alib::PixelOp::Threshold,
+                                       alib::Neighborhood::con0(), mask, mask,
+                                       p));
+    }
+    calls.push_back(Call::make_intra(alib::PixelOp::Median,
+                                     alib::Neighborhood::con8(), mask, mask));
+    calls.push_back(Call::make_intra(alib::PixelOp::Dilate,
+                                     alib::Neighborhood::con4(), mask, mask));
+  }
+
+  Rng rng(0x51DEu);
+  KernelConfigs configs;
+  for (const Call& call : calls) {
+    const Size size{33, 17};
+    const img::Image a = img::make_test_frame(size, rng.next_u64());
+    const img::Image b = img::make_test_frame(size, rng.next_u64());
+    const img::Image* pb = call.mode == alib::Mode::Inter ? &b : nullptr;
+    const alib::CallResult ref = alib::execute_functional(call, a, pb);
+    configs.for_each([&](const alib::KernelBackend& kernels,
+                         const char* config) {
+      SCOPED_TRACE(std::string("[") + config + "] " + call.describe());
+      test::expect_results_equal(ref, kernels.execute(call, a, pb));
+    });
+  }
+}
+
+// ---- engine / farm differentials (tier2) -----------------------------------
 
 class DifferentialSimVsSoftware : public ::testing::TestWithParam<u64> {};
 

@@ -1,0 +1,115 @@
+// Tests for the row-banding worker pool (common/parallel.hpp): exact band
+// coverage, degenerate inputs, exception propagation and concurrent jobs on
+// one pool — the properties the kernel backend's determinism rests on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.hpp"
+
+namespace ae {
+namespace {
+
+TEST(ParallelRows, BandsCoverEveryRowExactlyOnce) {
+  par::ThreadPool pool(4);
+  for (const i32 rows : {1, 5, 16, 37, 100}) {
+    for (const i32 grain : {1, 3, 16, 64}) {
+      std::vector<std::atomic<int>> hits(static_cast<std::size_t>(rows));
+      for (auto& h : hits) h = 0;
+      pool.parallel_rows(rows, grain, [&](i32 y0, i32 y1) {
+        ASSERT_LT(y0, y1);
+        ASSERT_LE(y1 - y0, grain);
+        for (i32 y = y0; y < y1; ++y)
+          hits[static_cast<std::size_t>(y)].fetch_add(1);
+      });
+      for (i32 y = 0; y < rows; ++y)
+        EXPECT_EQ(hits[static_cast<std::size_t>(y)].load(), 1)
+            << "rows=" << rows << " grain=" << grain << " row " << y;
+    }
+  }
+}
+
+TEST(ParallelRows, BandPartitionIsIndependentOfThreadCount) {
+  // The banding must be a pure function of (rows, grain): collect the band
+  // boundaries under different pool sizes and compare.
+  auto bands_of = [](par::ThreadPool& pool, i32 rows, i32 grain) {
+    std::mutex mu;
+    std::set<std::pair<i32, i32>> bands;
+    pool.parallel_rows(rows, grain, [&](i32 y0, i32 y1) {
+      std::lock_guard<std::mutex> lk(mu);
+      bands.insert({y0, y1});
+    });
+    return bands;
+  };
+  par::ThreadPool serial(1);
+  par::ThreadPool wide(8);
+  EXPECT_EQ(bands_of(serial, 37, 5), bands_of(wide, 37, 5));
+  EXPECT_EQ(bands_of(serial, 64, 16), bands_of(wide, 64, 16));
+}
+
+TEST(ParallelRows, ZeroRowsNeverInvokesTheBody) {
+  par::ThreadPool pool(4);
+  bool called = false;
+  pool.parallel_rows(0, 16, [&](i32, i32) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelRows, GrainLargerThanRowsIsOneBand) {
+  par::ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_rows(7, 100, [&](i32 y0, i32 y1) {
+    ++calls;
+    EXPECT_EQ(y0, 0);
+    EXPECT_EQ(y1, 7);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelRows, SerialPoolDegradesToPlainLoop) {
+  par::ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1);
+  std::vector<i32> order;
+  pool.parallel_rows(10, 4, [&](i32 y0, i32) { order.push_back(y0); });
+  EXPECT_EQ(order, (std::vector<i32>{0, 4, 8}));
+}
+
+TEST(ParallelRows, ExceptionPropagatesAfterAllBandsFinish) {
+  par::ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.parallel_rows(40, 4,
+                         [&](i32 y0, i32) {
+                           if (y0 == 20) throw std::runtime_error("band 20");
+                           completed.fetch_add(1);
+                         }),
+      std::runtime_error);
+  // Every band other than the throwing one ran to completion first.
+  EXPECT_EQ(completed.load(), 9);
+}
+
+TEST(ParallelRows, ConcurrentJobsShareOnePool) {
+  par::ThreadPool pool(4);
+  constexpr int kJobs = 4;
+  constexpr i32 kRows = 64;
+  std::vector<std::atomic<i32>> sums(kJobs);
+  for (auto& s : sums) s = 0;
+  std::vector<std::thread> callers;
+  for (int j = 0; j < kJobs; ++j) {
+    callers.emplace_back([&pool, &sums, j] {
+      pool.parallel_rows(kRows, 3, [&sums, j](i32 y0, i32 y1) {
+        for (i32 y = y0; y < y1; ++y) sums[static_cast<std::size_t>(j)] += y;
+      });
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (int j = 0; j < kJobs; ++j)
+    EXPECT_EQ(sums[static_cast<std::size_t>(j)].load(),
+              kRows * (kRows - 1) / 2);
+}
+
+}  // namespace
+}  // namespace ae
