@@ -1,0 +1,94 @@
+#include "analysis/diagnostic.hpp"
+
+#include <sstream>
+
+namespace ae::analysis {
+
+std::string to_string(Severity s) {
+  switch (s) {
+    case Severity::Warning:
+      return "warning";
+    case Severity::Error:
+      return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::format() const {
+  std::ostringstream os;
+  os << to_string(severity) << ' ' << rule_id;
+  if (call_index != kProgramScope) os << " @call " << call_index;
+  os << ": " << message;
+  if (!fix_hint.empty()) os << " (hint: " << fix_hint << ')';
+  return os.str();
+}
+
+void Report::add(Severity severity, std::string rule_id, i32 call_index,
+                 std::string message, std::string fix_hint) {
+  diagnostics_.push_back(Diagnostic{severity, std::move(rule_id), call_index,
+                                    std::move(message), std::move(fix_hint)});
+}
+
+void Report::merge(const Report& other) {
+  diagnostics_.insert(diagnostics_.end(), other.diagnostics_.begin(),
+                      other.diagnostics_.end());
+}
+
+std::size_t Report::error_count() const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics_)
+    if (d.severity == Severity::Error) ++n;
+  return n;
+}
+
+std::size_t Report::warning_count() const {
+  return diagnostics_.size() - error_count();
+}
+
+bool Report::mentions(const std::string& rule_id) const {
+  for (const Diagnostic& d : diagnostics_)
+    if (d.rule_id == rule_id) return true;
+  return false;
+}
+
+std::vector<Diagnostic> Report::by_rule(const std::string& rule_id) const {
+  std::vector<Diagnostic> out;
+  for (const Diagnostic& d : diagnostics_)
+    if (d.rule_id == rule_id) out.push_back(d);
+  return out;
+}
+
+int Report::exit_code(bool strict) const {
+  if (has_errors()) return kExitErrors;
+  if (strict && !empty()) return kExitErrors;
+  return kExitClean;
+}
+
+std::string Report::format() const {
+  std::ostringstream os;
+  for (const Diagnostic& d : diagnostics_) os << d.format() << '\n';
+  os << error_count() << " error(s), " << warning_count() << " warning(s)";
+  return os.str();
+}
+
+namespace {
+
+std::string error_message(const Report& report) {
+  std::ostringstream os;
+  os << "call program failed static verification: ";
+  bool first = true;
+  for (const Diagnostic& d : report.diagnostics()) {
+    if (d.severity != Severity::Error) continue;
+    if (!first) os << "; ";
+    os << d.format();
+    first = false;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+VerificationError::VerificationError(Report report)
+    : InvalidArgument(error_message(report)), report_(std::move(report)) {}
+
+}  // namespace ae::analysis

@@ -1,0 +1,89 @@
+// Structured diagnostics of the static call-program verifier (`aeverify`).
+//
+// Every finding is a `Diagnostic` bound to a rule of the catalog
+// (rules.hpp) and, when applicable, to a call index inside the analyzed
+// program.  A `Report` collects the findings of one verification run and
+// defines the CLI/CI exit-code contract; `VerificationError` is the typed
+// exception the guard layers (EngineSession / ResilientSession / EngineFarm
+// with `validate_before_execute`) throw instead of letting an ill-formed
+// program trip asserts deep inside the simulator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace ae::analysis {
+
+enum class Severity : u8 {
+  Warning,  ///< legal but suspicious; rejected only under --strict
+  Error,    ///< the program violates a hard structural invariant
+};
+
+std::string to_string(Severity s);
+
+/// `call_index` of a diagnostic that concerns the program as a whole (or a
+/// frame declaration) rather than one call.
+inline constexpr i32 kProgramScope = -1;
+
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  std::string rule_id;   ///< catalog id, e.g. "AEV210"
+  i32 call_index = kProgramScope;
+  std::string message;   ///< what is wrong, with the offending values
+  std::string fix_hint;  ///< how a caller would repair the program
+
+  /// One-line rendering: "error AEV210 @call 3: <message> (hint: ...)".
+  std::string format() const;
+};
+
+/// Exit-code contract of `aeverify` (documented in docs/ARCHITECTURE.md):
+///   0 — no diagnostics, or warnings only without --strict
+///   1 — at least one error (or any diagnostic under --strict)
+///   2 — the input could not be parsed / usage error (CLI only)
+inline constexpr int kExitClean = 0;
+inline constexpr int kExitErrors = 1;
+inline constexpr int kExitUsage = 2;
+
+class Report {
+ public:
+  void add(Severity severity, std::string rule_id, i32 call_index,
+           std::string message, std::string fix_hint = "");
+  void merge(const Report& other);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  bool empty() const { return diagnostics_.empty(); }
+  std::size_t error_count() const;
+  std::size_t warning_count() const;
+  bool has_errors() const { return error_count() > 0; }
+
+  /// True if any diagnostic carries the given rule id.
+  bool mentions(const std::string& rule_id) const;
+  /// Diagnostics of one rule (used by the differential precision tests).
+  std::vector<Diagnostic> by_rule(const std::string& rule_id) const;
+
+  /// Exit code under the contract above.
+  int exit_code(bool strict = false) const;
+
+  /// Multi-line human-readable rendering plus a one-line summary.
+  std::string format() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+/// Thrown by the guard layers when a program fails verification.  Derives
+/// from InvalidArgument so existing catch sites treat it as a malformed
+/// call; carries the full report for callers that want the diagnostics.
+class VerificationError : public InvalidArgument {
+ public:
+  explicit VerificationError(Report report);
+  const Report& report() const { return report_; }
+
+ private:
+  Report report_;
+};
+
+}  // namespace ae::analysis

@@ -1,0 +1,434 @@
+#include "analysis/program_text.hpp"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace ae::analysis {
+
+namespace {
+
+using alib::Call;
+using alib::Mode;
+using alib::Neighborhood;
+using alib::PixelOp;
+
+/// Id used for references to frame names never declared: not kNoFrame (that
+/// means "absent on purpose"), and never valid — the verifier reports it as
+/// AEV200.
+constexpr i32 kUnknownFrame = -2;
+
+const std::map<std::string, PixelOp>& op_by_name() {
+  static const std::map<std::string, PixelOp> kMap = [] {
+    std::map<std::string, PixelOp> m;
+    for (u8 i = 0; i <= static_cast<u8>(PixelOp::GmePerspective); ++i) {
+      const auto op = static_cast<PixelOp>(i);
+      m.emplace(alib::to_string(op), op);
+    }
+    return m;
+  }();
+  return kMap;
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) {
+    if (tok[0] == '#') break;
+    out.push_back(tok);
+  }
+  return out;
+}
+
+bool parse_i64(const std::string& s, i64& value) {
+  if (s.empty()) return false;
+  std::size_t pos = 0;
+  try {
+    value = std::stoll(s, &pos);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return pos == s.size();
+}
+
+i64 require_int(int line, const std::string& key, const std::string& s) {
+  i64 v = 0;
+  if (!parse_i64(s, v))
+    throw ParseError(line, "expected an integer for " + key + ", got '" + s +
+                               "'");
+  return v;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : s) {
+    if (c == sep) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+/// "48x32" -> Size{48, 32}.
+Size parse_size(int line, const std::string& s) {
+  const auto parts = split(s, 'x');
+  i64 w = 0;
+  i64 h = 0;
+  if (parts.size() != 2 || !parse_i64(parts[0], w) || !parse_i64(parts[1], h))
+    throw ParseError(line, "expected <W>x<H>, got '" + s + "'");
+  return Size{static_cast<i32>(w), static_cast<i32>(h)};
+}
+
+bool looks_like_neighborhood(const std::string& t) {
+  return t == "con0" || t == "con4" || t == "con8" ||
+         t.rfind("rect", 0) == 0 || t.rfind("vline", 0) == 0 ||
+         t.rfind("hline", 0) == 0;
+}
+
+Neighborhood parse_neighborhood(int line, const std::string& t) {
+  try {
+    if (t == "con0") return Neighborhood::con0();
+    if (t == "con4") return Neighborhood::con4();
+    if (t == "con8") return Neighborhood::con8();
+    if (t.rfind("rect", 0) == 0) {
+      const Size s = parse_size(line, t.substr(4));
+      return Neighborhood::rect(s.width, s.height);
+    }
+    if (t.rfind("vline", 0) == 0)
+      return Neighborhood::vline(
+          static_cast<i32>(require_int(line, "vline", t.substr(5))));
+    if (t.rfind("hline", 0) == 0)
+      return Neighborhood::hline(
+          static_cast<i32>(require_int(line, "hline", t.substr(5))));
+  } catch (const ParseError&) {
+    throw;
+  } catch (const std::exception& e) {
+    // The Neighborhood builders validate shape limits; surface their
+    // message with the line number.
+    throw ParseError(line, std::string("bad neighborhood '") + t +
+                               "': " + e.what());
+  }
+  throw ParseError(line, "unknown neighborhood '" + t + "'");
+}
+
+ChannelMask parse_mask(int line, const std::string& s) {
+  ChannelMask m = ChannelMask::none();
+  for (const std::string& part : split(s, '+')) {
+    if (part == "y")
+      m = ChannelMask{static_cast<u8>(m.bits() | ChannelMask::y().bits())};
+    else if (part == "u")
+      m = m.with(Channel::U);
+    else if (part == "v")
+      m = m.with(Channel::V);
+    else if (part == "yuv")
+      m = ChannelMask{static_cast<u8>(m.bits() | ChannelMask::yuv().bits())};
+    else if (part == "alfa")
+      m = m.with(Channel::Alfa);
+    else if (part == "aux")
+      m = m.with(Channel::Aux);
+    else if (part == "all")
+      m = ChannelMask::all();
+    else if (part == "none")
+      ;  // explicit empty mask — the verifier flags it (AEV103)
+    else
+      throw ParseError(line, "unknown channel mask '" + part + "'");
+  }
+  return m;
+}
+
+/// "(1,2),(3,4)" -> points.
+std::vector<Point> parse_seeds(int line, const std::string& s) {
+  std::vector<Point> seeds;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    if (s[i] != '(')
+      throw ParseError(line, "expected '(' in seed list '" + s + "'");
+    const std::size_t close = s.find(')', i);
+    if (close == std::string::npos)
+      throw ParseError(line, "unterminated seed in '" + s + "'");
+    const auto xy = split(s.substr(i + 1, close - i - 1), ',');
+    i64 x = 0;
+    i64 y = 0;
+    if (xy.size() != 2 || !parse_i64(xy[0], x) || !parse_i64(xy[1], y))
+      throw ParseError(line, "expected (x,y) seed in '" + s + "'");
+    seeds.push_back(Point{static_cast<i32>(x), static_cast<i32>(y)});
+    i = close + 1;
+    if (i < s.size()) {
+      if (s[i] != ',')
+        throw ParseError(line, "expected ',' between seeds in '" + s + "'");
+      ++i;
+    }
+  }
+  return seeds;
+}
+
+void apply_key(int line, Call& call, const std::string& key,
+               const std::string& value) {
+  if (key == "scan") {
+    if (value == "row")
+      call.scan = alib::ScanOrder::RowMajor;
+    else if (value == "col")
+      call.scan = alib::ScanOrder::ColumnMajor;
+    else
+      throw ParseError(line, "scan must be row|col, got '" + value + "'");
+  } else if (key == "border") {
+    if (value == "replicate")
+      call.border = alib::BorderPolicy::Replicate;
+    else if (value == "constant")
+      call.border = alib::BorderPolicy::Constant;
+    else
+      throw ParseError(line,
+                       "border must be replicate|constant, got '" + value +
+                           "'");
+  } else if (key == "bconst") {
+    call.params.border_constant = img::Pixel::gray(
+        static_cast<u8>(require_int(line, key, value) & 0xFF));
+  } else if (key == "in") {
+    call.in_channels = parse_mask(line, value);
+  } else if (key == "out") {
+    call.out_channels = parse_mask(line, value);
+  } else if (key == "shift") {
+    call.params.shift = static_cast<i32>(require_int(line, key, value));
+  } else if (key == "bias") {
+    call.params.bias = static_cast<i32>(require_int(line, key, value));
+  } else if (key == "threshold") {
+    call.params.threshold = static_cast<i32>(require_int(line, key, value));
+  } else if (key == "scale") {
+    call.params.scale_num = static_cast<i32>(require_int(line, key, value));
+  } else if (key == "coeffs") {
+    call.params.coeffs.clear();
+    for (const std::string& c : split(value, ','))
+      call.params.coeffs.push_back(
+          static_cast<i32>(require_int(line, key, c)));
+  } else if (key == "table") {
+    call.params.table.clear();
+    for (const std::string& c : split(value, ','))
+      call.params.table.push_back(
+          static_cast<u16>(require_int(line, key, c)));
+  } else if (key == "warp") {
+    call.params.warp_params.clear();
+    for (const std::string& c : split(value, ',')) {
+      try {
+        call.params.warp_params.push_back(std::stod(c));
+      } catch (const std::exception&) {
+        throw ParseError(line, "expected a number in warp list, got '" + c +
+                                   "'");
+      }
+    }
+  } else if (key == "seeds") {
+    call.segment.seeds = parse_seeds(line, value);
+  } else if (key == "luma") {
+    call.segment.luma_threshold =
+        static_cast<i32>(require_int(line, key, value));
+  } else if (key == "chroma") {
+    call.segment.chroma_threshold =
+        static_cast<i32>(require_int(line, key, value));
+  } else if (key == "conn") {
+    const i64 c = require_int(line, key, value);
+    if (c != 4 && c != 8)
+      throw ParseError(line, "conn must be 4 or 8");
+    call.segment.connectivity =
+        c == 4 ? alib::Connectivity::Four : alib::Connectivity::Eight;
+  } else if (key == "id_base") {
+    call.segment.id_base =
+        static_cast<alib::SegmentId>(require_int(line, key, value));
+  } else if (key == "write_ids") {
+    call.segment.write_ids = require_int(line, key, value) != 0;
+  } else if (key == "respect_labels") {
+    call.segment.respect_existing_labels =
+        require_int(line, key, value) != 0;
+  } else {
+    throw ParseError(line, "unknown key '" + key + "'");
+  }
+}
+
+}  // namespace
+
+CallProgram parse_program(const std::string& text) {
+  CallProgram program;
+  std::map<std::string, i32> frames_by_name;
+  const auto resolve = [&](const std::string& name) {
+    const auto it = frames_by_name.find(name);
+    return it == frames_by_name.end() ? kUnknownFrame : it->second;
+  };
+
+  std::istringstream is(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(is, raw)) {
+    ++line_no;
+    const std::vector<std::string> tok = tokenize(raw);
+    if (tok.empty()) continue;
+
+    if (tok[0] == "input") {
+      if (tok.size() != 3)
+        throw ParseError(line_no, "usage: input <name> <W>x<H>");
+      frames_by_name[tok[1]] =
+          program.add_input(parse_size(line_no, tok[2]), tok[1]);
+    } else if (tok[0] == "output") {
+      if (tok.size() != 2) throw ParseError(line_no, "usage: output <name>");
+      program.mark_output(resolve(tok[1]));
+    } else if (tok[0] == "call") {
+      if (tok.size() < 5 || tok[2] != "=")
+        throw ParseError(line_no,
+                         "usage: call <name> = <mode> <op> [<nbhd>] <frame> "
+                         "[<frame>] [key=value ...]");
+      Call call;
+      if (tok[3] == "inter")
+        call.mode = Mode::Inter;
+      else if (tok[3] == "intra")
+        call.mode = Mode::Intra;
+      else if (tok[3] == "segment")
+        call.mode = Mode::Segment;
+      else
+        throw ParseError(line_no, "unknown mode '" + tok[3] + "'");
+
+      const auto op = op_by_name().find(tok[4]);
+      if (op == op_by_name().end())
+        throw ParseError(line_no, "unknown op '" + tok[4] + "'");
+      call.op = op->second;
+
+      std::size_t next = 5;
+      if (next < tok.size() && looks_like_neighborhood(tok[next]))
+        call.nbhd = parse_neighborhood(line_no, tok[next++]);
+
+      std::vector<i32> inputs;
+      while (next < tok.size() && tok[next].find('=') == std::string::npos) {
+        if (inputs.size() == 2)
+          throw ParseError(line_no, "a call takes at most two input frames");
+        inputs.push_back(resolve(tok[next++]));
+      }
+      if (inputs.empty())
+        throw ParseError(line_no, "a call needs at least one input frame");
+
+      for (; next < tok.size(); ++next) {
+        const std::size_t eq = tok[next].find('=');
+        if (eq == std::string::npos)
+          throw ParseError(line_no,
+                           "expected key=value, got '" + tok[next] + "'");
+        apply_key(line_no, call, tok[next].substr(0, eq),
+                  tok[next].substr(eq + 1));
+      }
+
+      const i32 out = program.add_call(
+          call, inputs[0], inputs.size() == 2 ? inputs[1] : kNoFrame);
+      program.set_frame_name(out, tok[1]);
+      frames_by_name[tok[1]] = out;
+    } else {
+      throw ParseError(line_no, "unknown statement '" + tok[0] + "'");
+    }
+  }
+  return program;
+}
+
+namespace {
+
+std::string mask_text(ChannelMask m) {
+  if (m == ChannelMask::all()) return "all";
+  if (m.empty()) return "none";
+  std::string out;
+  const auto append = [&](const char* s) {
+    if (!out.empty()) out += '+';
+    out += s;
+  };
+  if (m.contains(Channel::Y)) append("y");
+  if (m.contains(Channel::U)) append("u");
+  if (m.contains(Channel::V)) append("v");
+  if (m.contains(Channel::Alfa)) append("alfa");
+  if (m.contains(Channel::Aux)) append("aux");
+  return out;
+}
+
+std::string neighborhood_text(const Neighborhood& n) {
+  if (n == Neighborhood::con0()) return "con0";
+  if (n == Neighborhood::con4()) return "con4";
+  if (n == Neighborhood::con8()) return "con8";
+  // Every remaining builder shape (rect / vline / hline) is a full
+  // rectangle of its bounding box.
+  const Rect b = n.bounding_box();
+  if (static_cast<i64>(n.size()) == b.area() && b.width % 2 == 1 &&
+      b.height % 2 == 1 && n == Neighborhood::rect(b.width, b.height))
+    return "rect" + std::to_string(b.width) + "x" + std::to_string(b.height);
+  // General shapes have no text form; the nearest expressible shape keeps
+  // the output parseable and is marked as an approximation.
+  return "rect1x1 # approximated custom shape";
+}
+
+}  // namespace
+
+std::string format_program(const CallProgram& program) {
+  std::ostringstream os;
+  for (const FrameDecl& f : program.frames()) {
+    if (f.producer != kNoFrame) continue;
+    os << "input " << f.name << ' ' << f.size.width << 'x' << f.size.height
+       << '\n';
+  }
+  for (std::size_t i = 0; i < program.calls().size(); ++i) {
+    const ProgramCall& pc = program.calls()[i];
+    const Call& c = pc.call;
+    os << "call " << program.frame_name(pc.output) << " = ";
+    os << (c.mode == Mode::Inter
+               ? "inter"
+               : (c.mode == Mode::Intra ? "intra" : "segment"));
+    os << ' ' << alib::to_string(c.op);
+    if (c.mode != Mode::Inter) os << ' ' << neighborhood_text(c.nbhd);
+    os << ' ' << program.frame_name(pc.input_a);
+    if (pc.input_b != kNoFrame) os << ' ' << program.frame_name(pc.input_b);
+    if (c.scan != alib::ScanOrder::RowMajor) os << " scan=col";
+    if (c.border != alib::BorderPolicy::Replicate) {
+      os << " border=constant";
+      os << " bconst=" << static_cast<int>(c.params.border_constant.y);
+    }
+    if (!(c.in_channels == ChannelMask::y()))
+      os << " in=" << mask_text(c.in_channels);
+    if (!(c.out_channels == ChannelMask::y()))
+      os << " out=" << mask_text(c.out_channels);
+    if (c.params.shift != 0) os << " shift=" << c.params.shift;
+    if (c.params.bias != 0) os << " bias=" << c.params.bias;
+    if (c.params.threshold != 0) os << " threshold=" << c.params.threshold;
+    if (c.params.scale_num != 1) os << " scale=" << c.params.scale_num;
+    if (!c.params.coeffs.empty()) {
+      os << " coeffs=";
+      for (std::size_t k = 0; k < c.params.coeffs.size(); ++k)
+        os << (k ? "," : "") << c.params.coeffs[k];
+    }
+    if (!c.params.table.empty()) {
+      os << " table=";
+      for (std::size_t k = 0; k < c.params.table.size(); ++k)
+        os << (k ? "," : "") << c.params.table[k];
+    }
+    if (!c.params.warp_params.empty()) {
+      os << " warp=";
+      for (std::size_t k = 0; k < c.params.warp_params.size(); ++k)
+        os << (k ? "," : "") << c.params.warp_params[k];
+    }
+    if (c.mode == Mode::Segment) {
+      if (!c.segment.seeds.empty()) {
+        os << " seeds=";
+        for (std::size_t k = 0; k < c.segment.seeds.size(); ++k)
+          os << (k ? "," : "") << '(' << c.segment.seeds[k].x << ','
+             << c.segment.seeds[k].y << ')';
+      }
+      os << " luma=" << c.segment.luma_threshold;
+      if (c.segment.chroma_threshold >= 0)
+        os << " chroma=" << c.segment.chroma_threshold;
+      if (c.segment.connectivity == alib::Connectivity::Four) os << " conn=4";
+      if (c.segment.id_base != 0)
+        os << " id_base=" << c.segment.id_base;
+      if (!c.segment.write_ids) os << " write_ids=0";
+      if (c.segment.respect_existing_labels) os << " respect_labels=1";
+    }
+    os << '\n';
+  }
+  for (const i32 f : program.outputs())
+    os << "output " << program.frame_name(f) << '\n';
+  return os.str();
+}
+
+}  // namespace ae::analysis

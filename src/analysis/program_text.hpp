@@ -1,0 +1,60 @@
+// Text form of a CallProgram — the `aeverify` CLI input format.
+//
+// One statement per line; '#' starts a comment.  Example:
+//
+//   input  a 48x32
+//   input  b 48x32
+//   call   diff = inter AbsDiff a b
+//   call   grad = intra GradientMag con8 a scan=row
+//   call   seg  = segment Copy con0 a seeds=(1,2),(40,20) luma=16 out=y+alfa
+//   output grad
+//
+// Statements:
+//   input  <name> <W>x<H>
+//   call   <name> = <mode> <op> [<nbhd>] <frame> [<frame>] [key=value ...]
+//   output <name>
+//
+// Modes: inter | intra | segment.  Ops use the catalog spelling of
+// alib::to_string(PixelOp) ("AbsDiff", "GradientMag", ...).  Neighborhoods:
+// con0 | con4 | con8 | rect<W>x<H> | vline<N> | hline<N> (omitted and
+// forced to con0 for inter calls).  Keys:
+//   scan=row|col           border=replicate|constant
+//   in=<mask> out=<mask>   masks: combinations like y, yuv, y+alfa, all
+//   shift= bias= threshold= scale=        (integers)
+//   coeffs=c0,c1,...       table=v0,v1,...  warp=w0,...   (lists)
+//   seeds=(x,y),(x,y)...   luma= chroma= id_base=  conn=4|8
+//   write_ids=0|1          respect_labels=0|1
+//
+// The parser is deliberately forgiving about *semantics* (an unknown frame
+// name or a bad arity still produces a program — the verifier reports it);
+// it is strict about *syntax* and throws ParseError with a line number,
+// which the CLI maps to exit code 2.
+#pragma once
+
+#include <string>
+
+#include "analysis/program.hpp"
+#include "common/error.hpp"
+
+namespace ae::analysis {
+
+class ParseError : public InvalidArgument {
+ public:
+  ParseError(int line, const std::string& what)
+      : InvalidArgument("line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Parses the text form above.  Throws ParseError on malformed syntax;
+/// semantic problems survive into the program for the verifier to report.
+CallProgram parse_program(const std::string& text);
+
+/// Renders a program back to its text form (round-trips through
+/// parse_program for every construct the format can express).
+std::string format_program(const CallProgram& program);
+
+}  // namespace ae::analysis

@@ -1,0 +1,45 @@
+#include "analysis/rules.hpp"
+
+namespace ae::analysis::rules {
+
+const std::vector<RuleInfo>& catalog() {
+  static const std::vector<RuleInfo> kCatalog{
+      {kModeOpMismatch, Severity::Error,
+       "op is not valid for the call's addressing mode"},
+      {kArityMismatch, Severity::Error,
+       "input arity wrong for the mode (inter needs exactly two frames)"},
+      {kFrameSizeMismatch, Severity::Error,
+       "inter inputs must be equally sized"},
+      {kChannelMaskInvalid, Severity::Error,
+       "channel masks violate the op contract"},
+      {kOpParamsInvalid, Severity::Error,
+       "op parameters out of range (shift, coeff arity, table, warp)"},
+      {kWindowExceedsLimit, Severity::Error,
+       "neighborhood taller than the 9-line hardware limit"},
+      {kWindowExceedsFrame, Severity::Warning,
+       "neighborhood bounding box exceeds the frame (all-border kernel)"},
+      {kDegenerateFrame, Severity::Error, "empty or zero-area frame"},
+      {kFrameExceedsConfig, Severity::Error,
+       "frame exceeds line-buffer sizing or ZBT bank capacity"},
+      {kSegmentSpecInvalid, Severity::Error,
+       "segment spec ill-formed (seeds, thresholds, id channel)"},
+      {kSegmentTableOverflow, Severity::Error,
+       "segment id allocation may exceed the 16-bit id space"},
+      {kStripUnaligned, Severity::Warning,
+       "frame not strip-aligned in scan space (short final DMA strip)"},
+      {kIimWindowInfeasible, Severity::Error,
+       "neighborhood line span does not fit the IIM window / strip"},
+      {kUseBeforeWrite, Severity::Error,
+       "call consumes a frame no earlier call produced"},
+      {kDeadResult, Severity::Warning,
+       "produced frame never consumed nor declared a program output"},
+      {kZbtDuplicateSlot, Severity::Error,
+       "inter call reads one frame through both bank pairs "
+       "(duplicate-slot residency aliasing)"},
+      {kSegmentIdOverlap, Severity::Warning,
+       "segment calls allocate overlapping id ranges"},
+  };
+  return kCatalog;
+}
+
+}  // namespace ae::analysis::rules

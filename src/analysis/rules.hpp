@@ -1,0 +1,84 @@
+// Rule catalog of the `aeverify` static verifier.
+//
+// Rules are grouped by scope:
+//   AEV1xx — per-call structural checks (no program context needed),
+//   AEV2xx — whole-program dataflow checks over a call sequence.
+// Ids are stable: CI suppressions, the differential test suite and the docs
+// all key on them.  The catalog is data, not behavior — the checks
+// themselves live in verifier.cpp — so the CLI can print it and the docs
+// table can be diffed against it.
+#pragma once
+
+#include <vector>
+
+#include "analysis/diagnostic.hpp"
+
+namespace ae::analysis::rules {
+
+// ---- per-call (AEV1xx) -----------------------------------------------------
+/// Op is not a member of the call mode's op set (inter op in intra mode, ...).
+inline constexpr const char* kModeOpMismatch = "AEV100";
+/// Input arity wrong for the mode: inter without a second frame, or a
+/// non-inter call given one.
+inline constexpr const char* kArityMismatch = "AEV101";
+/// Inter inputs differ in size (the bank pairs mirror each other).
+inline constexpr const char* kFrameSizeMismatch = "AEV102";
+/// Channel masks violate the op contract (empty masks, Homogeneity /
+/// GradientPack / TableLookup / write_ids channel requirements).
+inline constexpr const char* kChannelMaskInvalid = "AEV103";
+/// Op parameters out of range: shift, coefficient arity, missing lookup
+/// table, warp arity, negative thresholds.
+inline constexpr const char* kOpParamsInvalid = "AEV104";
+/// Neighborhood taller than the 9-line hardware limit.
+inline constexpr const char* kWindowExceedsLimit = "AEV105";
+/// Neighborhood bounding box wider or taller than the frame: every access
+/// is border-resolved, the kernel degenerates to border handling.
+inline constexpr const char* kWindowExceedsFrame = "AEV106";
+/// Degenerate frame: empty or zero-area.
+inline constexpr const char* kDegenerateFrame = "AEV107";
+/// Frame exceeds the engine configuration (line-buffer sizing, ZBT bank
+/// capacity for two inputs + result).
+inline constexpr const char* kFrameExceedsConfig = "AEV108";
+/// Segment spec ill-formed: no seeds, seed outside the frame, negative
+/// luma threshold (write_ids channel requirements are AEV103).
+inline constexpr const char* kSegmentSpecInvalid = "AEV109";
+/// Segment id allocation may exceed the 16-bit id space
+/// (id_base + worst-case new segments > 65535).
+inline constexpr const char* kSegmentTableOverflow = "AEV110";
+/// Scan-space line count is not a multiple of the strip height: the DMA
+/// plan ends in a short strip (legal, but strip-aligned frames transfer
+/// without a partial-strip interrupt).
+inline constexpr const char* kStripUnaligned = "AEV111";
+/// Neighborhood line span does not fit the IIM window / strip height under
+/// the configured scan order — the line buffers cannot hold the working
+/// set the scan needs.
+inline constexpr const char* kIimWindowInfeasible = "AEV112";
+
+// ---- whole-program (AEV2xx) ------------------------------------------------
+/// A call consumes a frame id that no earlier call produced and that is not
+/// a declared external input.
+inline constexpr const char* kUseBeforeWrite = "AEV200";
+/// A produced frame is never consumed and is not a declared program output
+/// (dead store; only checked when the program declares outputs).
+inline constexpr const char* kDeadResult = "AEV201";
+/// ZBT bank-pair duplicate-slot aliasing: an inter call reads the same
+/// frame through both inputs.  The engine needs the frame resident in both
+/// bank pairs; residency accounting that lets one on-board copy satisfy
+/// both claims one slot twice — the exact class of the PR 2 duplicate-slot
+/// bug, rejected before any backend runs.
+inline constexpr const char* kZbtDuplicateSlot = "AEV210";
+/// Two segment calls allocate overlapping id ranges; downstream
+/// segment-indexed table consumers cannot tell the segments apart.
+inline constexpr const char* kSegmentIdOverlap = "AEV211";
+
+struct RuleInfo {
+  const char* id;
+  Severity severity;
+  const char* summary;
+};
+
+/// The full catalog, in id order (printed by `aeverify --rules` and
+/// mirrored by the docs/ARCHITECTURE.md table).
+const std::vector<RuleInfo>& catalog();
+
+}  // namespace ae::analysis::rules

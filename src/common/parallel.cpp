@@ -23,7 +23,7 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    sync::MutexLock lk(mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -35,7 +35,7 @@ ThreadPool& ThreadPool::shared() {
   return pool;
 }
 
-void ThreadPool::run_one_band(Job& job, std::unique_lock<std::mutex>& lk) {
+void ThreadPool::run_one_band(Job& job) {
   const i32 band = job.next++;
   if (job.next >= job.bands) {
     // Last band claimed: nothing left to hand out, retire the job from the
@@ -43,7 +43,7 @@ void ThreadPool::run_one_band(Job& job, std::unique_lock<std::mutex>& lk) {
     const auto it = std::find(jobs_.begin(), jobs_.end(), &job);
     if (it != jobs_.end()) jobs_.erase(it);
   }
-  lk.unlock();
+  mu_.unlock();
   const i32 y0 = band * job.grain;
   const i32 y1 = std::min(job.rows, y0 + job.grain);
   std::exception_ptr error;
@@ -52,20 +52,20 @@ void ThreadPool::run_one_band(Job& job, std::unique_lock<std::mutex>& lk) {
   } catch (...) {
     error = std::current_exception();
   }
-  lk.lock();
+  mu_.lock();
   if (error != nullptr && job.error == nullptr) job.error = error;
   if (++job.done == job.bands) done_cv_.notify_all();
 }
 
 void ThreadPool::worker_loop() {
-  std::unique_lock<std::mutex> lk(mu_);
+  sync::MutexLock lk(mu_);
   for (;;) {
-    work_cv_.wait(lk, [this] { return stop_ || !jobs_.empty(); });
+    while (!stop_ && jobs_.empty()) work_cv_.wait(mu_);
     if (jobs_.empty()) {
       if (stop_) return;
       continue;
     }
-    run_one_band(*jobs_.front(), lk);
+    run_one_band(*jobs_.front());
   }
 }
 
@@ -86,18 +86,18 @@ void ThreadPool::parallel_rows(i32 rows, i32 grain,
   job.grain = grain;
   job.bands = bands;
 
-  std::unique_lock<std::mutex> lk(mu_);
-  jobs_.push_back(&job);
-  work_cv_.notify_all();
-  // The caller is a lane too: claim bands until none remain, then wait for
-  // the workers' stragglers.
-  while (job.next < job.bands) run_one_band(job, lk);
-  done_cv_.wait(lk, [&job] { return job.done == job.bands; });
-  if (job.error != nullptr) {
-    std::exception_ptr error = job.error;
-    lk.unlock();
-    std::rethrow_exception(error);
+  std::exception_ptr error;
+  {
+    sync::MutexLock lk(mu_);
+    jobs_.push_back(&job);
+    work_cv_.notify_all();
+    // The caller is a lane too: claim bands until none remain, then wait
+    // for the workers' stragglers.
+    while (job.next < job.bands) run_one_band(job);
+    while (job.done != job.bands) done_cv_.wait(mu_);
+    error = job.error;
   }
+  if (error != nullptr) std::rethrow_exception(error);
 }
 
 }  // namespace ae::par

@@ -19,10 +19,10 @@
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "common/types.hpp"
 
 namespace ae::par {
@@ -61,6 +61,11 @@ class ThreadPool {
   static ThreadPool& shared();
 
  private:
+  /// A job lives on its caller's stack; `next`, `done` and `error` are
+  /// guarded by the owning pool's mu_ (the analysis cannot express an
+  /// instance-of-enclosing-class relation on a nested type, so the
+  /// contract is enforced through the AE_REQUIRES functions that touch
+  /// them).
   struct Job {
     const std::function<void(i32, i32)>* fn = nullptr;
     i32 rows = 0;
@@ -68,20 +73,20 @@ class ThreadPool {
     i32 bands = 0;
     i32 next = 0;  ///< next band to claim (guarded by mu_)
     i32 done = 0;  ///< bands completed (guarded by mu_)
-    std::exception_ptr error;
+    std::exception_ptr error;  ///< first band failure (guarded by mu_)
   };
 
   void worker_loop();
-  /// Claims and runs one band of `job`.  `lk` must be held; it is released
-  /// while the band runs and re-acquired before returning.
-  void run_one_band(Job& job, std::unique_lock<std::mutex>& lk);
+  /// Claims and runs one band of `job`.  Enters and leaves with mu_ held;
+  /// mu_ is released while the band's body runs.
+  void run_one_band(Job& job) AE_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;  ///< jobs available / stopping
-  std::condition_variable done_cv_;  ///< some job finished a band
-  std::deque<Job*> jobs_;            ///< jobs with unclaimed bands
-  bool stop_ = false;
-  std::vector<std::thread> workers_;
+  mutable sync::Mutex mu_;
+  std::condition_variable_any work_cv_;  ///< jobs available / stopping
+  std::condition_variable_any done_cv_;  ///< some job finished a band
+  std::deque<Job*> jobs_ AE_GUARDED_BY(mu_);  ///< jobs with unclaimed bands
+  bool stop_ AE_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;  ///< written only at construction
 };
 
 }  // namespace ae::par

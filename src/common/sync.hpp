@@ -1,0 +1,84 @@
+// Annotated synchronization primitives.
+//
+// libstdc++'s std::mutex carries no thread-safety annotations, so clang's
+// analysis cannot reason about it.  `sync::Mutex` is a zero-cost annotated
+// wrapper; `MutexLock` is the scoped holder.  Condition waits use
+// std::condition_variable_any directly on the Mutex (it satisfies
+// BasicLockable) with explicit while-loops — predicate lambdas would move
+// the guarded reads into a closure the analysis cannot attribute to the
+// lock.
+//
+// `SingleOwnerChecker` is the runtime complement for structures whose
+// thread-safety story is "one owner at a time, no locks by design"
+// (EngineSession, ResilientSession): it turns a violated ownership contract
+// into an immediate InvariantViolation instead of silent state corruption.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace ae::sync {
+
+/// std::mutex with capability annotations.  Satisfies BasicLockable, so
+/// std::condition_variable_any can wait on it directly.
+class AE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() AE_ACQUIRE() { mu_.lock(); }
+  void unlock() AE_RELEASE() { mu_.unlock(); }
+  bool try_lock() AE_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped lock holder (the only way the annotated code paths take a Mutex).
+class AE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) AE_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() AE_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Runtime enforcement of a single-owner threading contract.  The guarded
+/// object creates one `Scope` per public entry point; overlapping entries
+/// from two threads throw InvariantViolation at the second entry instead of
+/// racing.  One atomic CAS per call — cheap enough to stay on in release.
+class SingleOwnerChecker {
+ public:
+  class Scope {
+   public:
+    explicit Scope(SingleOwnerChecker& checker) : checker_(checker) {
+      std::thread::id expected{};
+      AE_ASSERT(checker_.owner_.compare_exchange_strong(
+                    expected, std::this_thread::get_id()),
+                "single-owner object entered concurrently from a second "
+                "thread; callers must serialize access (see the class's "
+                "threading contract)");
+    }
+    ~Scope() { checker_.owner_.store(std::thread::id{}); }
+
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    SingleOwnerChecker& checker_;
+  };
+
+ private:
+  std::atomic<std::thread::id> owner_{};
+};
+
+}  // namespace ae::sync

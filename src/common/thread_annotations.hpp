@@ -1,0 +1,59 @@
+// Clang thread-safety-analysis annotation macros.
+//
+// Under clang with -Wthread-safety the compiler proves, statically, that
+// every access to a AE_GUARDED_BY member happens with its mutex held and
+// that AE_REQUIRES contracts hold at every call site.  Under every other
+// compiler the macros expand to nothing, so the annotations are free
+// documentation.  The annotated types live in common/sync.hpp; the CI
+// static-analysis job builds the tree with clang to enforce the proofs.
+//
+// Naming follows the modern capability-based spellings of the analysis
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html), prefixed AE_.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define AE_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define AE_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op
+#endif
+
+/// Marks a class as a lockable capability ("mutex").
+#define AE_CAPABILITY(x) AE_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Marks an RAII class whose lifetime acquires/releases a capability.
+#define AE_SCOPED_CAPABILITY AE_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// Data member readable/writable only with the given capability held.
+#define AE_GUARDED_BY(x) AE_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the capability.
+#define AE_PT_GUARDED_BY(x) AE_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Function requires the capability held on entry (and exit).
+#define AE_REQUIRES(...) \
+  AE_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability (not held on entry, held on exit).
+#define AE_ACQUIRE(...) \
+  AE_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (held on entry, not on exit).
+#define AE_RELEASE(...) \
+  AE_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability when it returns the given value.
+#define AE_TRY_ACQUIRE(...) \
+  AE_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the capability held (deadlock guard).
+#define AE_EXCLUDES(...) \
+  AE_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the given capability.
+#define AE_RETURN_CAPABILITY(x) \
+  AE_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Escape hatch for code the analysis cannot follow (use sparingly, with a
+/// comment explaining the manual proof).
+#define AE_NO_THREAD_SAFETY_ANALYSIS \
+  AE_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)

@@ -95,6 +95,12 @@ alib::CallResult ResilientSession::run_software(const alib::Call& call,
 alib::CallResult ResilientSession::execute(const alib::Call& call,
                                            const img::Image& a,
                                            const img::Image* b) {
+  const sync::SingleOwnerChecker::Scope single_owner(owner_);
+  // Guard before any accounting: a statically rejected call must not move
+  // the breaker or retry counters, and must be rejected even while the
+  // breaker serves from software.
+  if (options_.session.validate_before_execute)
+    static_verify_call(session_.config(), call, a, b);
   ++stats_.calls;
   if (breaker_ == BreakerState::Open) {
     if (cooldown_used_ < options_.breaker_cooldown_calls) {

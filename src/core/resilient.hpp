@@ -24,6 +24,7 @@
 
 #include "addresslib/call.hpp"
 #include "addresslib/software_backend.hpp"
+#include "common/sync.hpp"
 #include "core/fault.hpp"
 #include "core/session.hpp"
 #include "core/trace.hpp"
@@ -120,6 +121,12 @@ class ResilientSession : public alib::Backend {
   int consecutive_failed_calls_ = 0;
   int cooldown_used_ = 0;
   EngineTrace* trace_ = nullptr;
+  // Threading contract: like the EngineSession it wraps, a
+  // ResilientSession is single-owner by design — no locks, exactly one
+  // thread inside execute() at a time (the farm pins each instance to one
+  // shard worker).  The checker turns a violation into an immediate
+  // InvariantViolation instead of corrupted breaker/stats state.
+  sync::SingleOwnerChecker owner_;
 };
 
 }  // namespace ae::core

@@ -3,10 +3,31 @@
 #include <algorithm>
 
 #include "addresslib/functional.hpp"
+#include "analysis/verifier.hpp"
 #include "core/engine_sim.hpp"
 #include "core/fault.hpp"
 
 namespace ae::core {
+
+void static_verify_call(const EngineConfig& config, const alib::Call& call,
+                        const img::Image& a, const img::Image* b) {
+  Size b_size{};
+  const Size* b_ptr = nullptr;
+  if (b != nullptr) {
+    b_size = b->size();
+    b_ptr = &b_size;
+  }
+  // Aliasing by identity or by content: one on-board copy can satisfy only
+  // one bank-pair claim (the PR 2 duplicate-slot class, AEV210).
+  bool alias = false;
+  if (call.mode == alib::Mode::Inter && b != nullptr)
+    alias = b == &a || (b->size() == a.size() &&
+                        frame_content_hash(*b) == frame_content_hash(a));
+  analysis::VerifyOptions options;
+  options.config = config;
+  analysis::enforce(
+      analysis::verify_call(call, a.size(), b_ptr, alias, options));
+}
 
 bool is_side_only_op(alib::PixelOp op) {
   switch (op) {
@@ -137,6 +158,8 @@ EngineSession::Residency EngineSession::acquire_input(
 alib::CallResult EngineSession::execute(const alib::Call& call,
                                         const img::Image& a,
                                         const img::Image* b) {
+  if (options_.validate_before_execute)
+    static_verify_call(config_, call, a, b);
   if (fault_ != nullptr && fault_->enabled())
     return execute_simulated(call, a, b);
   alib::SegmentRunInfo seg;

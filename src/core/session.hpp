@@ -34,6 +34,10 @@ class FaultInjector;
 struct SessionOptions {
   bool reuse_resident_frames = true;
   bool skip_side_only_readback = true;
+  /// Run the aeverify static rule set (analysis/verifier.hpp) over every
+  /// call before touching the board; ill-formed calls throw
+  /// analysis::VerificationError instead of tripping asserts mid-flight.
+  bool validate_before_execute = false;
 };
 
 /// Content hash of a frame as the residency tables key it (FNV-1a over the
@@ -74,6 +78,14 @@ struct SessionStats {
 /// True if the host consumes only the side port of this op (the output
 /// image is a by-product).
 bool is_side_only_op(alib::PixelOp op);
+
+/// The `validate_before_execute` guard, shared by EngineSession,
+/// ResilientSession and serve::EngineFarm: statically verifies one call
+/// against `config` (the aeverify rule set, including the duplicate-slot
+/// aliasing check via frame content hashes) and throws
+/// analysis::VerificationError on any error-severity finding.
+void static_verify_call(const EngineConfig& config, const alib::Call& call,
+                        const img::Image& a, const img::Image* b);
 
 class EngineSession : public alib::Backend {
  public:

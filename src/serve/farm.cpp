@@ -69,6 +69,8 @@ std::future<alib::CallResult> EngineFarm::submit(const alib::Call& call,
                                                  const img::Image* b) {
   // Fail malformed calls in the caller's context, not on a worker.
   alib::validate_call(call, a, b);
+  if (options_.validate_before_execute)
+    core::static_verify_call(options_.config, call, a, b);
   Request request;
   request.call = call;
   request.a = &a;
@@ -79,10 +81,9 @@ std::future<alib::CallResult> EngineFarm::submit(const alib::Call& call,
   }
   std::future<alib::CallResult> future = request.promise.get_future();
 
-  std::unique_lock<std::mutex> lock(mu_);
-  space_cv_.wait(lock, [this] {
-    return stop_ || pending_.size() < options_.queue_capacity;
-  });
+  sync::MutexLock lock(mu_);
+  while (!stop_ && pending_.size() >= options_.queue_capacity)
+    space_cv_.wait(mu_);
   AE_EXPECTS(!stop_, "submit() on a farm that is shut down");
   pending_.push_back(std::move(request));
   ++submitted_;
@@ -106,7 +107,7 @@ int EngineFarm::route(const Request& request, bool& affinity_hit) {
       if (hit == affinity_.end()) continue;
       Shard& shard = *shards_[static_cast<std::size_t>(hit->second)];
       {
-        std::lock_guard<std::mutex> lock(shard.mu);
+        sync::MutexLock lock(shard.mu);
         const std::size_t backlog =
             shard.queue.size() + (shard.busy ? 1 : 0);
         if (shard.breaker == core::BreakerState::Closed &&
@@ -117,7 +118,7 @@ int EngineFarm::route(const Request& request, bool& affinity_hit) {
       }
       // Affinity shard convoyed or unhealthy: spill to load balancing.
       {
-        std::lock_guard<std::mutex> farm_lock(mu_);
+        sync::MutexLock farm_lock(mu_);
         ++affinity_spills_;
       }
       break;
@@ -131,7 +132,7 @@ int EngineFarm::route(const Request& request, bool& affinity_hit) {
   u64 best_key[3] = {~0ull, ~0ull, ~0ull};
   for (int s = 0; s < static_cast<int>(shards_.size()); ++s) {
     Shard& shard = *shards_[static_cast<std::size_t>(s)];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    sync::MutexLock lock(shard.mu);
     const u64 key[3] = {
         shard.breaker == core::BreakerState::Closed ? 0ull : 1ull,
         shard.queue.size() + (shard.busy ? 1u : 0u), shard.clock_cycles};
@@ -154,14 +155,14 @@ void EngineFarm::dispatch(Request request, int shard_index,
   Shard& shard = *shards_[static_cast<std::size_t>(shard_index)];
   std::size_t depth = 0;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    sync::MutexLock lock(shard.mu);
     if (affinity_hit) ++shard.affinity_calls;
     shard.queue.push_back(std::move(request));
     depth = shard.queue.size();
     shard.peak_depth = std::max(shard.peak_depth, depth);
   }
   shard.cv.notify_one();
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   if (affinity_hit) ++affinity_hits_;
   if (scheduler_trace_ != nullptr)
     scheduler_trace_->record(dispatch_seq_, core::TraceEvent::ShardOccupancy,
@@ -172,8 +173,8 @@ void EngineFarm::scheduler_loop() {
   for (;;) {
     std::vector<Request> batch;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      sched_cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
+      sync::MutexLock lock(mu_);
+      while (!stop_ && pending_.empty()) sched_cv_.wait(mu_);
       if (pending_.empty()) return;  // stop_ and nothing left to route
       const auto take = std::min(pending_.size(),
                                  static_cast<std::size_t>(options_.max_batch));
@@ -206,9 +207,8 @@ void EngineFarm::worker_loop(Shard& shard) {
     Request request;
     bool can_overlap = false;
     {
-      std::unique_lock<std::mutex> lock(shard.mu);
-      shard.cv.wait(lock,
-                    [&shard] { return shard.stopping || !shard.queue.empty(); });
+      sync::MutexLock lock(shard.mu);
+      while (!shard.stopping && shard.queue.empty()) shard.cv.wait(shard.mu);
       if (shard.queue.empty()) return;  // stopping and drained
       request = std::move(shard.queue.front());
       shard.queue.pop_front();
@@ -234,7 +234,7 @@ void EngineFarm::worker_loop(Shard& shard) {
                                      options_.config.seconds_per_cycle();
       }
       {
-        std::lock_guard<std::mutex> lock(shard.mu);
+        sync::MutexLock lock(shard.mu);
         ++shard.calls;
         shard.clock_cycles += result.stats.cycles;
         shard.overlap_saved += overlap;
@@ -253,51 +253,55 @@ void EngineFarm::worker_loop(Shard& shard) {
       // is a programming error (bad call slipped past validation).  The
       // caller gets the exception; the shard keeps serving.
       {
-        std::lock_guard<std::mutex> lock(shard.mu);
+        sync::MutexLock lock(shard.mu);
         shard.busy = false;
         shard.prev_on_engine = false;
       }
       request.promise.set_exception(std::current_exception());
     }
 
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     ++completed_;
     if (--in_flight_ == 0) idle_cv_.notify_all();
   }
 }
 
 void EngineFarm::drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  sync::MutexLock lock(mu_);
+  while (in_flight_ != 0) idle_cv_.wait(mu_);
 }
 
 void EngineFarm::shutdown() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stop_ && !scheduler_.joinable()) return;  // already shut down
-  }
+  // Serialize the whole teardown: the destructor and explicit shutdown()
+  // callers may race, and std::thread::join() from two threads at once is
+  // undefined behavior.  The previous guard read scheduler_.joinable()
+  // under mu_ while another caller could be join()ing it — both callers
+  // could pass the check and double-join.
+  sync::MutexLock lifecycle(lifecycle_mu_);
+  if (joined_) return;  // already shut down
   drain();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     stop_ = true;
     sched_cv_.notify_all();
     space_cv_.notify_all();
   }
-  if (scheduler_.joinable()) scheduler_.join();
+  scheduler_.join();
   for (auto& shard : shards_) {
     {
-      std::lock_guard<std::mutex> lock(shard->mu);
+      sync::MutexLock lock(shard->mu);
       shard->stopping = true;
     }
     shard->cv.notify_all();
-    if (shard->worker.joinable()) shard->worker.join();
+    shard->worker.join();
   }
+  joined_ = true;
 }
 
 FarmStats EngineFarm::stats() const {
   FarmStats stats;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     stats.submitted = submitted_;
     stats.completed = completed_;
     stats.batches = batches_;
@@ -307,7 +311,7 @@ FarmStats EngineFarm::stats() const {
   }
   stats.shards.reserve(shards_.size());
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    sync::MutexLock lock(shard->mu);
     ShardStats s;
     s.calls = shard->calls;
     s.affinity_calls = shard->affinity_calls;
@@ -324,7 +328,7 @@ FarmStats EngineFarm::stats() const {
 }
 
 void EngineFarm::set_scheduler_trace(core::EngineTrace* trace) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   scheduler_trace_ = trace;
 }
 

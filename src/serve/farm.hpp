@@ -41,12 +41,12 @@
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "addresslib/call.hpp"
+#include "common/sync.hpp"
 #include "core/resilient.hpp"
 
 namespace ae::serve {
@@ -74,6 +74,10 @@ struct FarmOptions {
   std::size_t queue_capacity = 4096;
   /// Calls the scheduler routes per wakeup (one batch).
   int max_batch = 16;
+  /// Run the aeverify static rule set over every submission, in the
+  /// caller's context; ill-formed calls throw analysis::VerificationError
+  /// from submit() instead of failing on a shard worker.
+  bool validate_before_execute = false;
 };
 
 /// Throws InvalidArgument on non-positive shard count / capacities, or more
@@ -173,20 +177,20 @@ class EngineFarm : public alib::Backend {
     core::ResilientSession session;  // worker-thread-only after start
     std::thread worker;
 
-    mutable std::mutex mu;
-    std::condition_variable cv;      // work available / worker stopping
-    std::deque<Request> queue;       // guarded by mu
-    bool busy = false;               // guarded by mu
-    bool stopping = false;           // guarded by mu
-    // Stats below are guarded by mu; the worker publishes after each call.
-    i64 calls = 0;
-    i64 affinity_calls = 0;
-    u64 clock_cycles = 0;            ///< modeled shard clock
-    u64 overlap_saved = 0;
-    std::size_t peak_depth = 0;
-    core::BreakerState breaker = core::BreakerState::Closed;
-    core::ResilientStats resilient;
-    core::SessionStats session_stats;
+    mutable sync::Mutex mu;
+    std::condition_variable_any cv;  // work available / worker stopping
+    std::deque<Request> queue AE_GUARDED_BY(mu);
+    bool busy AE_GUARDED_BY(mu) = false;
+    bool stopping AE_GUARDED_BY(mu) = false;
+    // Stats below: the worker publishes a snapshot after each call.
+    i64 calls AE_GUARDED_BY(mu) = 0;
+    i64 affinity_calls AE_GUARDED_BY(mu) = 0;
+    u64 clock_cycles AE_GUARDED_BY(mu) = 0;  ///< modeled shard clock
+    u64 overlap_saved AE_GUARDED_BY(mu) = 0;
+    std::size_t peak_depth AE_GUARDED_BY(mu) = 0;
+    core::BreakerState breaker AE_GUARDED_BY(mu) = core::BreakerState::Closed;
+    core::ResilientStats resilient AE_GUARDED_BY(mu);
+    core::SessionStats session_stats AE_GUARDED_BY(mu);
 
     // Worker-thread-only pipelining state: phase split of the previous
     // engine-served call (software-fallback calls break the pipeline).
@@ -203,23 +207,30 @@ class EngineFarm : public alib::Backend {
 
   FarmOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::thread scheduler_;
+  std::thread scheduler_;  ///< joined only under lifecycle_mu_
 
-  mutable std::mutex mu_;             // guards everything below
-  std::condition_variable sched_cv_;  // pending work / stop for scheduler
-  std::condition_variable space_cv_;  // submission queue has room
-  std::condition_variable idle_cv_;   // in-flight count reached zero
-  std::deque<Request> pending_;
-  bool stop_ = false;
-  i64 in_flight_ = 0;  ///< accepted but not yet completed
-  i64 submitted_ = 0;
-  i64 completed_ = 0;
-  i64 batches_ = 0;
-  i64 affinity_hits_ = 0;
-  i64 affinity_spills_ = 0;
-  std::size_t peak_queue_depth_ = 0;
-  u64 dispatch_seq_ = 0;  ///< scheduler-trace timestamp domain
-  core::EngineTrace* scheduler_trace_ = nullptr;
+  /// Serializes shutdown: `scheduler_`/`worker` joins and the joined flag
+  /// must be owned by exactly one caller (destructor and explicit
+  /// shutdown() may race).  Ordered before mu_ — shutdown holds it across
+  /// drain().
+  sync::Mutex lifecycle_mu_;
+  bool joined_ AE_GUARDED_BY(lifecycle_mu_) = false;
+
+  mutable sync::Mutex mu_;
+  std::condition_variable_any sched_cv_;  // pending work / stop (scheduler)
+  std::condition_variable_any space_cv_;  // submission queue has room
+  std::condition_variable_any idle_cv_;   // in-flight count reached zero
+  std::deque<Request> pending_ AE_GUARDED_BY(mu_);
+  bool stop_ AE_GUARDED_BY(mu_) = false;
+  i64 in_flight_ AE_GUARDED_BY(mu_) = 0;  ///< accepted, not yet completed
+  i64 submitted_ AE_GUARDED_BY(mu_) = 0;
+  i64 completed_ AE_GUARDED_BY(mu_) = 0;
+  i64 batches_ AE_GUARDED_BY(mu_) = 0;
+  i64 affinity_hits_ AE_GUARDED_BY(mu_) = 0;
+  i64 affinity_spills_ AE_GUARDED_BY(mu_) = 0;
+  std::size_t peak_queue_depth_ AE_GUARDED_BY(mu_) = 0;
+  u64 dispatch_seq_ AE_GUARDED_BY(mu_) = 0;  ///< trace timestamp domain
+  core::EngineTrace* scheduler_trace_ AE_GUARDED_BY(mu_) = nullptr;
 
   // Scheduler-thread-only: frame hash -> shard that last received it.
   std::unordered_map<u64, int> affinity_;

@@ -1,14 +1,16 @@
 // Unit tests for the common substrate: channel masks, geometry, PRNG,
-// formatting and error machinery.
+// formatting, error machinery and the annotated sync primitives.
 #include <gtest/gtest.h>
 
 #include <array>
+#include <thread>
 
 #include "common/error.hpp"
 #include "common/format.hpp"
 #include "common/geometry.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "common/sync.hpp"
 #include "common/types.hpp"
 
 namespace ae {
@@ -220,6 +222,29 @@ TEST(RunningStats, EmptyIsZero) {
   EXPECT_EQ(s.count(), 0u);
   EXPECT_EQ(s.mean(), 0.0);
   EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(SingleOwnerChecker, SequentialOwnersAreFine) {
+  sync::SingleOwnerChecker checker;
+  { sync::SingleOwnerChecker::Scope scope(checker); }
+  { sync::SingleOwnerChecker::Scope scope(checker); }
+  std::thread other([&checker] {
+    EXPECT_NO_THROW(sync::SingleOwnerChecker::Scope scope(checker));
+  });
+  other.join();
+}
+
+// The contract regression behind ResilientSession::execute: a second thread
+// entering a single-owner object while the first is still inside must fail
+// loudly (InvariantViolation) rather than race on the driver state.
+TEST(SingleOwnerChecker, ConcurrentEntryThrows) {
+  sync::SingleOwnerChecker checker;
+  const sync::SingleOwnerChecker::Scope outer(checker);
+  std::thread intruder([&checker] {
+    EXPECT_THROW(sync::SingleOwnerChecker::Scope scope(checker),
+                 InvariantViolation);
+  });
+  intruder.join();
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <future>
+#include <thread>
 #include <vector>
 
 #include "serve/farm.hpp"
@@ -179,6 +180,31 @@ TEST(FarmTest, SubmitAfterShutdownThrows) {
                                      alib::Neighborhood::con0());
   farm.execute(call, a);
   farm.shutdown();
+  EXPECT_THROW(farm.submit(call, a), InvalidArgument);
+}
+
+// Regression: shutdown() used to decide "already joined" from a racy
+// joinable() read under the farm mutex, so two concurrent callers could
+// both reach std::thread::join on the scheduler (undefined behavior).
+// Shutdown is now serialized by a dedicated lifecycle mutex; any number of
+// concurrent callers (plus the destructor) must be safe.
+TEST(FarmTest, ConcurrentShutdownIsSerialized) {
+  FarmOptions options;
+  options.shards = 2;
+  EngineFarm farm(options);
+  const img::Image a = test::small_frame();
+  const Call call = Call::make_intra(PixelOp::Copy,
+                                     alib::Neighborhood::con0());
+  std::vector<std::future<alib::CallResult>> futures;
+  for (int i = 0; i < 8; ++i) futures.push_back(farm.submit(call, a));
+  for (auto& f : futures) f.get();
+
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 4; ++t)
+    callers.emplace_back([&farm] { farm.shutdown(); });
+  for (auto& t : callers) t.join();
+
+  EXPECT_EQ(farm.stats().completed, 8);
   EXPECT_THROW(farm.submit(call, a), InvalidArgument);
 }
 

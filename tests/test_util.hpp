@@ -306,4 +306,139 @@ inline alib::Call random_any_call(Rng& rng, Size size, bool& needs_b) {
   return random_streamed_call(rng, needs_b);
 }
 
+// ---- seeded known-bad call generator ---------------------------------------
+//
+// The flip side of random_any_call: deliberately ill-formed calls, each
+// tagged with the aeverify rule the static verifier must flag as an error.
+// Every case is also rejected dynamically — by validate_call, by the
+// engine's validate_frame, or by segment-id exhaustion mid-expansion — so
+// the differential suite can assert the static pass strictly pre-empts the
+// dynamic failures.
+
+struct BadCall {
+  alib::Call call;
+  Size size{48, 32};         ///< first input frame size
+  Size size_b{48, 32};       ///< second input frame size (when passed)
+  bool pass_b = false;       ///< hand the backend a second frame
+  const char* rule_id = "";  ///< rule aeverify must report as an error
+  const char* what = "";     ///< case label for SCOPED_TRACE
+};
+
+/// One ill-formed call per covered rule (seeded parameter jitter keeps the
+/// exact offending values varying across seeds while every case stays in
+/// its rule class).
+inline std::vector<BadCall> known_bad_calls(Rng& rng) {
+  using alib::Call;
+  using alib::Neighborhood;
+  using alib::OpParams;
+  using alib::PixelOp;
+  std::vector<BadCall> cases;
+
+  {  // Inter-only op forced through intra addressing.
+    BadCall c;
+    c.call = Call::make_intra(PixelOp::AbsDiff, Neighborhood::con0());
+    c.rule_id = "AEV100";
+    c.what = "intra call with an inter-only op";
+    cases.push_back(std::move(c));
+  }
+  {  // Segment expansion over an op outside the intra set.
+    BadCall c;
+    alib::SegmentSpec spec;
+    spec.seeds.push_back({rng.uniform(0, 47), rng.uniform(0, 31)});
+    spec.luma_threshold = rng.uniform(0, 40);
+    c.call = Call::make_segment(PixelOp::Add, Neighborhood::con0(), spec,
+                                ChannelMask::y(),
+                                ChannelMask::y().with(Channel::Alfa));
+    c.rule_id = "AEV100";
+    c.what = "segment call with an inter-only op";
+    cases.push_back(std::move(c));
+  }
+  {  // Inter call starved of its second frame.
+    BadCall c;
+    c.call = Call::make_inter(PixelOp::Add);
+    c.pass_b = false;
+    c.rule_id = "AEV101";
+    c.what = "inter call without a second frame";
+    cases.push_back(std::move(c));
+  }
+  {  // Mismatched bank pairs.
+    BadCall c;
+    c.call = Call::make_inter(PixelOp::AbsDiff);
+    c.pass_b = true;
+    c.size_b = Size{33, 17};
+    c.rule_id = "AEV102";
+    c.what = "inter call with differently sized frames";
+    cases.push_back(std::move(c));
+  }
+  {  // Homogeneity needs the Alfa+Aux output planes.
+    BadCall c;
+    OpParams p;
+    p.threshold = rng.uniform(1, 64);
+    c.call = Call::make_intra(PixelOp::Homogeneity, Neighborhood::con8(),
+                              ChannelMask::yuv(), ChannelMask::y(), p);
+    c.rule_id = "AEV103";
+    c.what = "Homogeneity without the Alfa/Aux output mask";
+    cases.push_back(std::move(c));
+  }
+  {  // Convolve coefficient arity off the neighborhood size.
+    BadCall c;
+    OpParams p;
+    p.coeffs.assign(3, rng.uniform(-4, 4));
+    c.call = Call::make_intra(PixelOp::Convolve, Neighborhood::con8(),
+                              ChannelMask::y(), ChannelMask::y(), p);
+    c.rule_id = "AEV104";
+    c.what = "Convolve with 3 coefficients on CON_8";
+    cases.push_back(std::move(c));
+  }
+  {  // Shift outside the 5-bit barrel-shifter range.
+    BadCall c;
+    OpParams p;
+    p.shift = 32 + static_cast<i32>(rng.bounded(8));
+    c.call = Call::make_inter(PixelOp::Mult, ChannelMask::y(),
+                              ChannelMask::y(), p);
+    c.pass_b = true;
+    c.rule_id = "AEV104";
+    c.what = "shift beyond the barrel shifter";
+    cases.push_back(std::move(c));
+  }
+  {  // Frame wider than the engine's line-buffer sizing.
+    BadCall c;
+    c.call = Call::make_intra(PixelOp::Copy, Neighborhood::con0());
+    c.size = Size{480, 320};
+    c.rule_id = "AEV108";
+    c.what = "frame exceeds the line-buffer sizing";
+    cases.push_back(std::move(c));
+  }
+  {  // Seed outside the frame.
+    BadCall c;
+    c.call = random_segment_call(rng, Size{48, 32});
+    c.call.segment.seeds[0] = Point{48 + rng.uniform(1, 20), 5};
+    c.rule_id = "AEV109";
+    c.what = "segment seed outside the frame";
+    cases.push_back(std::move(c));
+  }
+  {  // Negative luma threshold.
+    BadCall c;
+    c.call = random_segment_call(rng, Size{48, 32});
+    c.call.segment.luma_threshold = -rng.uniform(1, 50);
+    c.rule_id = "AEV109";
+    c.what = "negative segment luma threshold";
+    cases.push_back(std::move(c));
+  }
+  {  // Seeds that can run the 16-bit id space over the top.
+    BadCall c;
+    alib::SegmentSpec spec;
+    spec.seeds = {{0, 0}, {47, 0}, {0, 31}, {47, 31}};
+    spec.luma_threshold = 0;  // random content: every seed labels on its own
+    spec.id_base = static_cast<alib::SegmentId>(0xFFFD);
+    c.call = Call::make_segment(PixelOp::Copy, Neighborhood::con0(), spec,
+                                ChannelMask::y(),
+                                ChannelMask::y().with(Channel::Alfa));
+    c.rule_id = "AEV110";
+    c.what = "segment id allocation past the 16-bit table";
+    cases.push_back(std::move(c));
+  }
+  return cases;
+}
+
 }  // namespace ae::test

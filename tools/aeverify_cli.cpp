@@ -1,0 +1,202 @@
+// aeverify — command-line front end of the static call-program verifier.
+//
+// Usage:
+//   aeverify [options] <program.aep ...|->   verify text-form call programs
+//   aeverify --rules                         print the rule catalog
+//   aeverify --golden                        verify the built-in known-good
+//                                            programs (the CI smoke check)
+//   aeverify --demo-bad                      verify a built-in ill-formed
+//                                            program (expected exit: 1)
+//
+// Options:
+//   --strict    warnings also fail (exit 1)
+//   --quiet     print only the per-file summary line
+//   --echo      print the parsed program back before the report
+//
+// Exit codes (the contract shared with the library, diagnostic.hpp):
+//   0  no diagnostics (warnings allowed unless --strict)
+//   1  at least one error, or any diagnostic under --strict
+//   2  usage error or unparseable input
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/program_text.hpp"
+#include "analysis/rules.hpp"
+#include "analysis/verifier.hpp"
+
+namespace {
+
+using namespace ae;
+using analysis::kExitClean;
+using analysis::kExitErrors;
+using analysis::kExitUsage;
+
+struct CliOptions {
+  bool strict = false;
+  bool quiet = false;
+  bool echo = false;
+  std::vector<std::string> files;
+};
+
+void print_usage(std::ostream& os) {
+  os << "usage: aeverify [--strict] [--quiet] [--echo] <program ...|->\n"
+        "       aeverify --rules | --golden | --demo-bad\n"
+        "exit codes: 0 clean, 1 errors (any finding under --strict), "
+        "2 usage/parse error\n";
+}
+
+void print_rules() {
+  std::cout << "rule     severity  summary\n";
+  for (const analysis::rules::RuleInfo& rule : analysis::rules::catalog()) {
+    std::cout << rule.id << "   " << analysis::to_string(rule.severity)
+              << (rule.severity == analysis::Severity::Error ? "     "
+                                                             : "   ")
+              << rule.summary << "\n";
+  }
+}
+
+// The built-in known-good programs mirror the golden-trace workloads
+// (tests/golden): an inter/intra pipeline and a seeded segmentation.  CI
+// runs `aeverify --golden` as the "no false positives on the canonical
+// workloads" smoke check.
+const char* const kGoldenPrograms[] = {
+    // intra_con8.trace workload: 3x3 gradient over one input frame.
+    "input  frame 48x32\n"
+    "call   grad = intra GradientMag con8 frame\n"
+    "output grad\n",
+    // faulted_dma.trace workload: inter absolute difference.
+    "input  cur 64x48\n"
+    "input  ref 64x48\n"
+    "call   diff = inter AbsDiff cur ref\n"
+    "output diff\n",
+    // Seeded segmentation (ids written to Alfa) with a downstream consumer.
+    "input  frame 48x32\n"
+    "call   seg  = segment Copy con4 frame seeds=(4,4),(30,20) luma=18"
+    " out=y+alfa\n"
+    "call   mask = intra Threshold con0 seg threshold=10\n"
+    "output mask\n",
+};
+
+// The built-in ill-formed program: the PR 2 duplicate-slot class (AEV210)
+// plus a use-before-write (AEV200).  `aeverify --demo-bad` must exit 1;
+// CI asserts that with `! aeverify --demo-bad`.
+const char* const kDemoBadProgram =
+    "input  frame 48x32\n"
+    "call   diff = inter AbsDiff frame frame\n"  // AEV210: both banks, 1 copy
+    "call   mask = intra Threshold con0 ghost\n"  // AEV200: never produced
+    "output diff\n"
+    "output mask\n";
+
+int verify_text(const std::string& label, const std::string& text,
+                const CliOptions& options) {
+  analysis::CallProgram program;
+  try {
+    program = analysis::parse_program(text);
+  } catch (const analysis::ParseError& error) {
+    std::cerr << label << ": parse error: " << error.what() << "\n";
+    return kExitUsage;
+  }
+  if (options.echo) std::cout << analysis::format_program(program);
+  const analysis::Report report = analysis::verify_program(program);
+  if (!options.quiet)
+    for (const analysis::Diagnostic& d : report.diagnostics())
+      std::cout << d.format() << "\n";
+  std::cout << label << ": " << report.error_count() << " error(s), "
+            << report.warning_count() << " warning(s)\n";
+  return report.exit_code(options.strict);
+}
+
+int run_builtin(const CliOptions& options, bool bad) {
+  int worst = kExitClean;
+  if (bad) return verify_text("demo-bad", kDemoBadProgram, options);
+  int index = 0;
+  for (const char* text : kGoldenPrograms) {
+    const int code =
+        verify_text("golden[" + std::to_string(index++) + "]", text, options);
+    worst = std::max(worst, code);
+  }
+  return worst;
+}
+
+std::string read_input(const std::string& path, bool& ok) {
+  std::ostringstream buffer;
+  if (path == "-") {
+    buffer << std::cin.rdbuf();
+    ok = static_cast<bool>(std::cin) || std::cin.eof();
+  } else {
+    std::ifstream file(path);
+    if (!file) {
+      ok = false;
+      return {};
+    }
+    buffer << file.rdbuf();
+    ok = true;
+  }
+  return buffer.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  bool rules = false;
+  bool golden = false;
+  bool demo_bad = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      return kExitClean;
+    } else if (arg == "--rules") {
+      rules = true;
+    } else if (arg == "--golden") {
+      golden = true;
+    } else if (arg == "--demo-bad") {
+      demo_bad = true;
+    } else if (arg == "--strict") {
+      options.strict = true;
+    } else if (arg == "--quiet") {
+      options.quiet = true;
+    } else if (arg == "--echo") {
+      options.echo = true;
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      std::cerr << "aeverify: unknown option '" << arg << "'\n";
+      print_usage(std::cerr);
+      return kExitUsage;
+    } else {
+      options.files.push_back(arg);
+    }
+  }
+
+  if (rules) {
+    print_rules();
+    return kExitClean;
+  }
+  if (golden || demo_bad) {
+    if (!options.files.empty()) {
+      std::cerr << "aeverify: --golden/--demo-bad take no file arguments\n";
+      return kExitUsage;
+    }
+    return run_builtin(options, demo_bad);
+  }
+  if (options.files.empty()) {
+    print_usage(std::cerr);
+    return kExitUsage;
+  }
+
+  int worst = kExitClean;
+  for (const std::string& path : options.files) {
+    bool ok = false;
+    const std::string text = read_input(path, ok);
+    if (!ok) {
+      std::cerr << "aeverify: cannot read '" << path << "'\n";
+      return kExitUsage;
+    }
+    worst = std::max(worst, verify_text(path, text, options));
+  }
+  return worst;
+}
