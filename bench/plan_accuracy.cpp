@@ -1,0 +1,169 @@
+// aeplan prediction accuracy: the static cost envelope against the
+// cycle-accurate simulator over a deterministic corpus spanning all three
+// addressing modes and every frame geometry the test suite fuzzes.
+//
+// Two properties are gated, and the run exits 1 if either fails:
+//
+//   * soundness — every measured cost lands inside the static
+//     [lower, upper] envelope (the property farm admission relies on);
+//   * sharpness — the median relative error of the point estimate
+//     (cycles_estimate vs measured cycles) stays at or under 15% per
+//     addressing mode, so the envelope is useful, not merely true.
+//
+// Results land in BENCH_plan.json next to the working directory, one entry
+// per addressing mode plus the gate verdict, so CI can archive the numbers
+// and a regression in either direction fails the push.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/planner.hpp"
+#include "core/core.hpp"
+#include "image/synth.hpp"
+
+using namespace ae;
+
+namespace {
+
+struct Case {
+  alib::Call call;
+  Size size;
+  u64 seed_a = 1;
+  u64 seed_b = 2;
+  bool needs_b = false;
+};
+
+/// The same frame geometries tests/test_util.hpp fuzzes: strip-aligned,
+/// ragged, tall-narrow and single-strip shapes.
+const Size kSizes[] = {{48, 32}, {33, 17}, {64, 48},
+                       {16, 16}, {21, 40}, {96, 16}};
+
+std::vector<Case> make_corpus() {
+  std::vector<Case> corpus;
+  u64 seed = 0xAEB1;
+  for (const Size size : kSizes) {
+    const auto add = [&](alib::Call call, bool needs_b = false) {
+      Case c;
+      c.call = std::move(call);
+      c.size = size;
+      c.seed_a = ++seed;
+      c.seed_b = ++seed;
+      c.needs_b = needs_b;
+      corpus.push_back(std::move(c));
+    };
+    alib::OpParams threshold;
+    threshold.threshold = 10;
+    add(alib::Call::make_intra(alib::PixelOp::GradientMag,
+                               alib::Neighborhood::con8()));
+    add(alib::Call::make_intra(alib::PixelOp::Median,
+                               alib::Neighborhood::con8()));
+    add(alib::Call::make_intra(alib::PixelOp::Copy,
+                               alib::Neighborhood::con4()));
+    add(alib::Call::make_intra(alib::PixelOp::Threshold,
+                               alib::Neighborhood::con0(), ChannelMask::y(),
+                               ChannelMask::y(), threshold));
+    add(alib::Call::make_inter(alib::PixelOp::AbsDiff), /*needs_b=*/true);
+    add(alib::Call::make_inter(alib::PixelOp::Add), /*needs_b=*/true);
+    // Seeds at the quarter and center points; both connectivities.
+    alib::SegmentSpec spec;
+    spec.seeds = {Point{size.width / 4, size.height / 4},
+                  Point{size.width / 2, size.height / 2}};
+    spec.luma_threshold = 18;
+    const ChannelMask seg_out = ChannelMask::y().with(Channel::Alfa);
+    add(alib::Call::make_segment(alib::PixelOp::Copy,
+                                 alib::Neighborhood::con4(), spec,
+                                 ChannelMask::y(), seg_out));
+    add(alib::Call::make_segment(alib::PixelOp::Copy,
+                                 alib::Neighborhood::con8(), spec,
+                                 ChannelMask::y(), seg_out));
+  }
+  return corpus;
+}
+
+double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t mid = v.size() / 2;
+  return v.size() % 2 == 1 ? v[mid] : 0.5 * (v[mid - 1] + v[mid]);
+}
+
+struct ModeAccuracy {
+  int cases = 0;
+  std::vector<double> rel_errors;
+};
+
+}  // namespace
+
+int main() {
+  constexpr double kMedianGate = 0.15;
+  core::EngineBackend cycle({}, core::EngineMode::CycleAccurate);
+  std::map<std::string, ModeAccuracy> modes;
+  int violations = 0;
+  int cases = 0;
+
+  for (const Case& c : make_corpus()) {
+    const analysis::CostEnvelope env = analysis::plan_call(c.call, c.size);
+    const img::Image a = img::make_test_frame(c.size, c.seed_a);
+    const img::Image b = img::make_test_frame(c.size, c.seed_b);
+    cycle.execute(c.call, a, c.needs_b ? &b : nullptr);
+    const core::EngineRunStats& run = cycle.last_run();
+    ++cases;
+
+    const auto violated = [&](const std::string& what) {
+      ++violations;
+      std::cerr << "VIOLATION: " << c.call.describe() << " on "
+                << to_string(c.size) << ": " << what << "\n";
+    };
+    if (!env.cycles.contains(run.cycles))
+      violated("cycles " + std::to_string(run.cycles) + " outside [" +
+               std::to_string(env.cycles.lower) + ", " +
+               std::to_string(env.cycles.upper) + "]");
+    if (run.words_in != env.dma_words_in || run.words_out != env.dma_words_out)
+      violated("DMA word count mismatch");
+    if (!env.zbt_reads.contains(run.zbt_read_transactions) ||
+        !env.zbt_writes.contains(run.zbt_write_transactions))
+      violated("ZBT transactions outside the bound");
+
+    ModeAccuracy& acc = modes[to_string(c.call.mode)];
+    ++acc.cases;
+    const double measured = static_cast<double>(run.cycles);
+    const double estimate = static_cast<double>(env.cycles_estimate);
+    acc.rel_errors.push_back(measured > 0.0
+                                 ? std::abs(estimate - measured) / measured
+                                 : 0.0);
+  }
+
+  bool sharp = true;
+  std::cout << "aeplan prediction accuracy (" << cases << " cases)\n";
+  std::cout << "mode      cases  median-err  max-err\n";
+  std::string modes_json;
+  for (const auto& [mode, acc] : modes) {
+    const double med = median(acc.rel_errors);
+    const double worst =
+        *std::max_element(acc.rel_errors.begin(), acc.rel_errors.end());
+    sharp = sharp && med <= kMedianGate;
+    std::printf("%-9s %5d  %9.1f%%  %6.1f%%\n", mode.c_str(), acc.cases,
+                100.0 * med, 100.0 * worst);
+    if (!modes_json.empty()) modes_json += ",";
+    modes_json += "\"" + mode + "\":{\"cases\":" + std::to_string(acc.cases) +
+                  ",\"median_rel_error\":" + std::to_string(med) +
+                  ",\"max_rel_error\":" + std::to_string(worst) + "}";
+  }
+  const bool pass = violations == 0 && sharp;
+  std::cout << "envelope violations: " << violations << "\n"
+            << "gate (median <= 15% per mode, zero violations): "
+            << (pass ? "PASS" : "FAIL") << "\n";
+
+  if (std::FILE* f = std::fopen("BENCH_plan.json", "w")) {
+    std::fprintf(f,
+                 "{\"cases\":%d,\"envelope_violations\":%d,\"modes\":{%s},"
+                 "\"gate\":{\"max_median_rel_error\":%.2f,\"pass\":%s}}\n",
+                 cases, violations, modes_json.c_str(), kMedianGate,
+                 pass ? "true" : "false");
+    std::fclose(f);
+  }
+  return pass ? 0 : 1;
+}

@@ -71,6 +71,58 @@ std::string Report::format() const {
   return os.str();
 }
 
+std::string json_quote(const std::string& s) {
+  std::ostringstream os;
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xF]
+             << "0123456789abcdef"[c & 0xF];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+  return os.str();
+}
+
+std::string report_json(const Report& report) {
+  std::ostringstream os;
+  os << "{\"errors\":" << report.error_count()
+     << ",\"warnings\":" << report.warning_count() << ",\"diagnostics\":[";
+  bool first = true;
+  for (const Diagnostic& d : report.diagnostics()) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"rule\":" << json_quote(d.rule_id)
+       << ",\"severity\":" << json_quote(to_string(d.severity))
+       << ",\"call\":" << d.call_index
+       << ",\"message\":" << json_quote(d.message);
+    if (!d.fix_hint.empty()) os << ",\"fix_hint\":" << json_quote(d.fix_hint);
+    os << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
 namespace {
 
 std::string error_message(const Report& report) {

@@ -74,6 +74,19 @@ class Report {
   std::vector<Diagnostic> diagnostics_;
 };
 
+/// JSON string literal: `s` wrapped in double quotes with the JSON escape
+/// set applied (backslash, quote, control characters).  The building block
+/// of every machine-readable rendering in this layer.
+std::string json_quote(const std::string& s);
+
+/// Machine-readable rendering of a report, one line, no trailing newline:
+///   {"errors":E,"warnings":W,"diagnostics":[{"rule":"AEV210",
+///    "severity":"error","call":3,"message":"...","fix_hint":"..."}]}
+/// `call` is the diagnostic's call index or -1 for program scope;
+/// `fix_hint` is omitted when empty.  The schema is pinned by
+/// tests/planner_test.cpp — extend it additively.
+std::string report_json(const Report& report);
+
 /// Thrown by the guard layers when a program fails verification.  Derives
 /// from InvalidArgument so existing catch sites treat it as a malformed
 /// call; carries the full report for callers that want the diagnostics.

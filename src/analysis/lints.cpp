@@ -1,0 +1,211 @@
+#include "analysis/lints.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "analysis/rules.hpp"
+#include "core/scanspace.hpp"
+#include "core/timing_model.hpp"
+
+namespace ae::analysis {
+namespace {
+
+bool is_program_output(const CallProgram& program, i32 frame) {
+  const std::vector<i32>& outs = program.outputs();
+  return std::find(outs.begin(), outs.end(), frame) != outs.end();
+}
+
+/// Call indices (after `producer`) that read `frame`.
+std::vector<i32> consumers_of(const CallProgram& program, i32 frame) {
+  std::vector<i32> out;
+  for (std::size_t i = 0; i < program.calls().size(); ++i) {
+    const ProgramCall& pc = program.calls()[i];
+    if (pc.input_a == frame || pc.input_b == frame)
+      out.push_back(static_cast<i32>(i));
+  }
+  return out;
+}
+
+bool is_pointwise(const alib::Call& call) {
+  return call.mode == alib::Mode::Intra && call.nbhd.size() == 1 &&
+         call.nbhd.contains(Point{0, 0});
+}
+
+// AEW300 — inputs the residency schedule classifies Reused: the cold
+// driver's upload moves words an aware driver provably keeps on board.
+void lint_redundant_reupload(const CallProgram& program,
+                             const ProgramPlan& plan, Report& report) {
+  for (const CallPlan& cp : plan.calls) {
+    for (const InputPlan& ip : cp.inputs) {
+      if (ip.kind != TransferKind::Reused) continue;
+      std::ostringstream os;
+      os << "input '" << program.frame_name(ip.frame)
+         << "' is already resident in an input bank pair; the " << ip.words
+         << "-word PCI upload is avoidable";
+      report.add(Severity::Warning, rules::kRedundantReupload, cp.call_index,
+                 os.str(),
+                 "run the program through a residency-aware session "
+                 "(reuse_resident_frames)");
+    }
+  }
+}
+
+// AEW301 — a result no later call reads and the host never collects, yet
+// a later call overwrites: the store and its readback are dead work.
+void lint_dead_store_overwrite(const CallProgram& program, Report& report) {
+  if (program.outputs().empty()) return;  // liveness unknowable, as AEV201
+  const i32 last = static_cast<i32>(program.calls().size()) - 1;
+  for (std::size_t i = 0; i < program.calls().size(); ++i) {
+    const ProgramCall& pc = program.calls()[i];
+    const i32 index = static_cast<i32>(i);
+    if (index == last) continue;  // nothing overwrites the final result
+    if (is_program_output(program, pc.output)) continue;
+    if (!consumers_of(program, pc.output).empty()) continue;
+    std::ostringstream os;
+    os << "result '" << program.frame_name(pc.output)
+       << "' is never read and call " << index + 1
+       << " overwrites the result banks; the store and readback are dead";
+    report.add(Severity::Warning, rules::kDeadStoreOverwrite, index, os.str(),
+               "drop the call, or declare its result a program output");
+  }
+}
+
+// AEW302 — per-strip DMA busy time below the interrupt overhead: the bus
+// spends more cycles on handshakes than on words.
+void lint_strip_below_break_even(const CallProgram& program,
+                                 const PlanOptions& options, Report& report) {
+  const core::EngineConfig& config = options.config;
+  const double wpc = core::timing_detail::words_per_cycle(config);
+  for (std::size_t i = 0; i < program.calls().size(); ++i) {
+    const ProgramCall& pc = program.calls()[i];
+    if (!program.valid_frame(pc.input_a)) continue;
+    const Size frame =
+        program.frames()[static_cast<std::size_t>(pc.input_a)].size;
+    if (frame.area() <= 0) continue;
+    const core::ScanSpace space(frame, pc.call.scan);
+    const u64 strip_busy = core::timing_detail::ceil_div_words(
+        2.0 * config.strip_lines * space.line_length(), wpc);
+    if (strip_busy >= config.interrupt_overhead_cycles) continue;
+    std::ostringstream os;
+    os << "strip DMA busy time (" << strip_busy
+       << " cycles) is below the per-strip interrupt overhead ("
+       << config.interrupt_overhead_cycles
+       << " cycles); handshakes dominate the transfer";
+    report.add(Severity::Warning, rules::kStripBelowBreakEven,
+               static_cast<i32>(i), os.str(),
+               "widen the scan lines (or scan the long image axis) so each "
+               "strip amortizes its handshake");
+  }
+}
+
+// AEW303 — a result consumed solely by the immediately following pointwise
+// call: the pair is fusable into one pass, saving a readback + re-upload.
+void lint_fusable_pointwise_pair(const CallProgram& program, Report& report) {
+  for (std::size_t i = 0; i + 1 < program.calls().size(); ++i) {
+    const ProgramCall& pc = program.calls()[i];
+    if (is_program_output(program, pc.output)) continue;
+    const std::vector<i32> readers = consumers_of(program, pc.output);
+    if (readers.size() != 1 || readers[0] != static_cast<i32>(i) + 1)
+      continue;
+    const ProgramCall& next = program.calls()[i + 1];
+    if (!is_pointwise(next.call)) continue;
+    std::ostringstream os;
+    os << "result '" << program.frame_name(pc.output)
+       << "' is consumed only by the pointwise call " << i + 1
+       << "; the pair is fusable into one pass";
+    report.add(Severity::Warning, rules::kFusablePointwisePair,
+               static_cast<i32>(i), os.str(),
+               "fold the pointwise op into this call's kernel to save the "
+               "result round trip");
+  }
+}
+
+// AEW304 — a transferred input was resident after an earlier call but got
+// evicted before this use, and hoisting the consumer directly after that
+// call is dependence-legal: a reorder recovers the reuse.
+void lint_reorder_for_reuse(const CallProgram& program,
+                            const ProgramPlan& plan, Report& report) {
+  for (std::size_t j = 0; j < plan.calls.size(); ++j) {
+    const CallPlan& cp = plan.calls[j];
+    for (const InputPlan& ip : cp.inputs) {
+      if (ip.kind != TransferKind::Transferred || ip.frame < 0) continue;
+      // Latest earlier call after which the frame was still on board.
+      i32 resident_at = kNoFrame;
+      for (std::size_t i = 0; i < j; ++i) {
+        const std::vector<i32>& res = plan.calls[i].resident_after;
+        if (std::find(res.begin(), res.end(), ip.frame) != res.end())
+          resident_at = static_cast<i32>(i);
+      }
+      if (resident_at == kNoFrame || resident_at == static_cast<i32>(j) - 1)
+        continue;  // never resident, or the eviction is this call's own doing
+      // Hoisting call j to directly follow `resident_at` is legal iff every
+      // input of j is produced no later than `resident_at` (externals have
+      // producer kNoFrame).
+      bool legal = true;
+      for (const InputPlan& other : cp.inputs) {
+        if (!program.valid_frame(other.frame)) continue;
+        if (program.frames()[static_cast<std::size_t>(other.frame)].producer >
+            resident_at) {
+          legal = false;
+          break;
+        }
+      }
+      if (!legal) continue;
+      std::ostringstream os;
+      os << "input '" << program.frame_name(ip.frame)
+         << "' was resident after call " << resident_at
+         << " but is evicted by the time call " << j
+         << " reads it; moving the call directly after call " << resident_at
+         << " is dependence-legal and recovers the reuse";
+      report.add(Severity::Warning, rules::kReorderForReuse,
+                 static_cast<i32>(j), os.str(),
+                 "reorder the call next to the last resident use of its "
+                 "input");
+    }
+  }
+}
+
+// AEW305 — a segment criterion that admits every neighbor: the expansion
+// floods the frame and the cost envelope degenerates to its worst case.
+void lint_segment_vacuous_criterion(const CallProgram& program,
+                                    Report& report) {
+  for (std::size_t i = 0; i < program.calls().size(); ++i) {
+    const alib::Call& call = program.calls()[i].call;
+    if (call.mode != alib::Mode::Segment) continue;
+    const alib::SegmentSpec& spec = call.segment;
+    const bool luma_vacuous = spec.luma_threshold >= 255;
+    const bool chroma_vacuous =
+        spec.chroma_threshold < 0 || spec.chroma_threshold >= 255;
+    if (!luma_vacuous || !chroma_vacuous) continue;
+    std::ostringstream os;
+    os << "segment criterion admits every neighbor (luma threshold "
+       << spec.luma_threshold << " covers the full 8-bit range"
+       << (spec.chroma_threshold < 0 ? ", chroma test disabled"
+                                     : ", chroma threshold vacuous")
+       << "); the expansion floods the frame";
+    report.add(Severity::Warning, rules::kSegmentVacuousCriterion,
+               static_cast<i32>(i), os.str(),
+               "tighten the luma/chroma thresholds below 255 so the "
+               "criterion can reject");
+  }
+}
+
+}  // namespace
+
+Report lint_program(const CallProgram& program, const ProgramPlan& plan,
+                    const PlanOptions& options) {
+  Report report;
+  lint_redundant_reupload(program, plan, report);
+  lint_dead_store_overwrite(program, report);
+  lint_strip_below_break_even(program, options, report);
+  lint_fusable_pointwise_pair(program, report);
+  lint_reorder_for_reuse(program, plan, report);
+  lint_segment_vacuous_criterion(program, report);
+  return report;
+}
+
+Report lint_program(const CallProgram& program, const PlanOptions& options) {
+  return lint_program(program, plan_program(program, options), options);
+}
+
+}  // namespace ae::analysis

@@ -1,0 +1,32 @@
+// AEW300-series performance lints — findings derived from the static plan.
+//
+// The verifier (verifier.hpp) rejects ill-formed programs; the lints accept
+// a legal program and point at modeled cycles or PCI words it leaves on the
+// table: redundant re-uploads the residency schedule proves avoidable, dead
+// stores, strips too short to amortize their own handshake, fusable
+// pointwise pairs, reorderings that recover bank reuse, and vacuous segment
+// criteria that push the cost envelope to its worst case.
+//
+// Every AEW rule is a Severity::Warning (rules.hpp): the program runs
+// bit-exactly either way, so the default `aeverify` exit code never
+// changes.  The CLI surfaces them behind `--lint`; `--strict` promotes
+// them, like any warning, to a failing exit.
+#pragma once
+
+#include "analysis/diagnostic.hpp"
+#include "analysis/planner.hpp"
+#include "analysis/program.hpp"
+
+namespace ae::analysis {
+
+/// Runs the AEW3xx catalog against `program` using an already-computed
+/// plan (the plan must come from the same program and options — the CLI
+/// prices once and both prints and lints from it).
+Report lint_program(const CallProgram& program, const ProgramPlan& plan,
+                    const PlanOptions& options = {});
+
+/// Convenience overload: prices the program, then lints it.
+Report lint_program(const CallProgram& program,
+                    const PlanOptions& options = {});
+
+}  // namespace ae::analysis

@@ -1,0 +1,308 @@
+#include "analysis/planner.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <sstream>
+
+#include "analysis/diagnostic.hpp"
+#include "core/scanspace.hpp"
+#include "core/timing_model.hpp"
+
+namespace ae::analysis {
+namespace {
+
+u64 widen_down(u64 value, double margin) {
+  return static_cast<u64>(
+      std::floor(static_cast<double>(value) * (1.0 - margin)));
+}
+
+u64 widen_up(u64 value, double margin) {
+  return static_cast<u64>(
+      std::ceil(static_cast<double>(value) * (1.0 + margin)));
+}
+
+CostBound widen(u64 lower, u64 upper, double margin) {
+  return CostBound{widen_down(lower, margin), widen_up(upper, margin)};
+}
+
+i32 line_peak(i32 line_count, i32 capacity_lines) {
+  return std::min(line_count, capacity_lines);
+}
+
+std::string bound_json(const CostBound& b) {
+  std::ostringstream os;
+  os << "{\"lower\":" << b.lower << ",\"upper\":" << b.upper << '}';
+  return os.str();
+}
+
+std::string envelope_json(const CostEnvelope& e) {
+  std::ostringstream os;
+  os << "\"cycles\":{\"lower\":" << e.cycles.lower
+     << ",\"upper\":" << e.cycles.upper
+     << ",\"estimate\":" << e.cycles_estimate << '}'
+     << ",\"dma_words\":{\"in\":" << e.dma_words_in
+     << ",\"out\":" << e.dma_words_out << '}'
+     << ",\"zbt_reads\":" << bound_json(e.zbt_reads)
+     << ",\"zbt_writes\":" << bound_json(e.zbt_writes)
+     << ",\"iim_peak_lines\":" << e.iim_peak_lines
+     << ",\"oim_peak_lines\":" << e.oim_peak_lines;
+  return os.str();
+}
+
+/// The residency machine mirrors EngineSession's driver model: two input
+/// bank pairs plus the result pair, keyed here by frame id (the static
+/// stand-in for the session's content hash).
+struct ResidencySlot {
+  i32 frame = kNoFrame;
+  i32 last_use = -1;
+  bool transient = false;  ///< relocated out of the result banks
+};
+
+class ResidencyMachine {
+ public:
+  /// Classifies one input of call `index`; claims the slot it lands in so
+  /// an inter call's second input cannot share it (the AEV210 invariant).
+  TransferKind place_input(i32 frame, i32 index) {
+    // Invalid references (kNoFrame / out-of-range ids the verifier flags)
+    // never match a slot — and must not claim one.
+    if (frame < 0) return TransferKind::Transferred;
+    for (std::size_t s = 0; s < slots_.size(); ++s) {
+      if (claimed_[s] || slots_[s].frame != frame) continue;
+      claimed_[s] = true;
+      slots_[s].last_use = index;
+      slots_[s].transient = false;
+      return TransferKind::Reused;
+    }
+    const bool from_result = result_frame_ == frame && frame != kNoFrame;
+    const std::size_t victim = pick_victim();
+    claimed_[victim] = true;
+    slots_[victim] = ResidencySlot{frame, index, from_result};
+    return from_result ? TransferKind::Relocated : TransferKind::Transferred;
+  }
+
+  void finish_call(i32 output_frame) {
+    result_frame_ = output_frame;
+    claimed_.fill(false);
+  }
+
+  std::vector<i32> resident() const {
+    std::vector<i32> out;
+    for (const ResidencySlot& slot : slots_)
+      if (slot.frame != kNoFrame) out.push_back(slot.frame);
+    if (result_frame_ != kNoFrame &&
+        std::find(out.begin(), out.end(), result_frame_) == out.end())
+      out.push_back(result_frame_);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  std::size_t pick_victim() const {
+    // Transient relocations first, then least-recently-used, among the
+    // slots this call has not already claimed.
+    std::size_t best = claimed_[0] ? 1 : 0;
+    for (std::size_t s = 0; s < slots_.size(); ++s) {
+      if (claimed_[s]) continue;
+      if (claimed_[best]) {
+        best = s;
+        continue;
+      }
+      if (slots_[s].transient != slots_[best].transient) {
+        if (slots_[s].transient) best = s;
+        continue;
+      }
+      if (slots_[s].last_use < slots_[best].last_use) best = s;
+    }
+    return best;
+  }
+
+  std::array<ResidencySlot, 2> slots_{};
+  std::array<bool, 2> claimed_{};
+  i32 result_frame_ = kNoFrame;
+};
+
+}  // namespace
+
+std::string to_string(TransferKind k) {
+  switch (k) {
+    case TransferKind::Transferred:
+      return "transferred";
+    case TransferKind::Reused:
+      return "reused";
+    case TransferKind::Relocated:
+      return "relocated";
+  }
+  return "?";
+}
+
+CostEnvelope plan_call(const alib::Call& call, Size frame,
+                       const PlanOptions& options) {
+  CostEnvelope e;
+  if (frame.area() <= 0) return e;  // ill-formed; the verifier reports it
+
+  const core::EngineConfig& config = options.config;
+  const double margin = options.margin;
+  const core::ScanSpace space(frame, call.scan);
+  const u64 area = static_cast<u64>(frame.area());
+  const u64 setup = config.call_setup_overhead_cycles;
+
+  e.iim_peak_lines = line_peak(space.line_count(), config.iim_lines);
+  e.oim_peak_lines = line_peak(space.line_count(), config.oim_lines);
+  e.dma_words_out = 2 * area;
+
+  if (call.mode == alib::Mode::Segment) {
+    const u64 conn =
+        call.segment.connectivity == alib::Connectivity::Four ? 4 : 8;
+    // Traversal extremes: no seed admits anything vs. a flood of the whole
+    // frame with every neighbor tested — the same visits/tests pricing the
+    // cycle simulator charges (engine_sim.cpp segment tail).
+    const core::AnalyticTiming t_lo = core::analytic_segment_timing(
+        config, call, frame, /*processed_pixels=*/0, /*criterion_tests=*/0);
+    const core::AnalyticTiming t_hi = core::analytic_segment_timing(
+        config, call, frame, static_cast<i64>(area),
+        static_cast<i64>(area * conn));
+    e.cycles = widen(t_lo.total_cycles + setup, t_hi.total_cycles + setup,
+                     margin);
+    e.cycles_estimate = (t_lo.total_cycles + t_hi.total_cycles) / 2 + setup;
+    e.dma_words_in = 2 * area;
+    e.zbt_reads = CostBound{
+        0, widen_up(area * (static_cast<u64>(call.nbhd.size()) + conn),
+                    margin)};
+    e.zbt_writes = CostBound{0, widen_up(area, margin)};
+    e.input_cycles_estimate =
+        t_lo.input_busy_cycles + t_lo.input_overhead_cycles;
+    return e;
+  }
+
+  const int images = call.mode == alib::Mode::Inter ? 2 : 1;
+  const core::AnalyticTiming t =
+      core::analytic_streamed_timing(config, call, frame);
+  const u64 total = t.total_cycles + setup;
+  e.cycles = widen(total, total, margin);
+  e.cycles_estimate = total;
+  e.dma_words_in = 2 * area * static_cast<u64>(images);
+  // One processing transaction per pixel each way (parallel bank accesses
+  // count once, matching ZbtMemory's transaction accounting).
+  e.zbt_reads = widen(area, area, margin);
+  e.zbt_writes = widen(area, area, margin);
+  e.input_cycles_estimate = t.input_busy_cycles + t.input_overhead_cycles;
+  return e;
+}
+
+ProgramPlan plan_program(const CallProgram& program,
+                         const PlanOptions& options) {
+  ProgramPlan plan;
+  ResidencyMachine residency;
+
+  for (std::size_t i = 0; i < program.calls().size(); ++i) {
+    const ProgramCall& pc = program.calls()[i];
+    CallPlan cp;
+    cp.call_index = static_cast<i32>(i);
+
+    const Size frame = program.valid_frame(pc.input_a)
+                           ? program.frames()[static_cast<std::size_t>(
+                                                  pc.input_a)]
+                                 .size
+                           : Size{};
+    cp.envelope = plan_call(pc.call, frame, options);
+
+    std::array<i32, 2> inputs{pc.input_a, pc.input_b};
+    const std::size_t arity = pc.call.mode == alib::Mode::Inter ? 2 : 1;
+    for (std::size_t k = 0; k < arity; ++k) {
+      const i32 f = inputs[k];
+      InputPlan ip;
+      ip.frame = f;
+      ip.kind = residency.place_input(f, cp.call_index);
+      const Size in_frame =
+          program.valid_frame(f)
+              ? program.frames()[static_cast<std::size_t>(f)].size
+              : Size{};
+      ip.words =
+          in_frame.area() > 0 ? 2 * static_cast<u64>(in_frame.area()) : 0;
+      ++plan.transfers_total;
+      if (ip.kind != TransferKind::Transferred) {
+        ++plan.transfers_avoidable;
+        cp.avoidable_words += ip.words;
+      }
+      cp.inputs.push_back(ip);
+    }
+    residency.finish_call(pc.output);
+    cp.resident_after = residency.resident();
+    plan.avoidable_words += cp.avoidable_words;
+
+    plan.total.cycles.lower += cp.envelope.cycles.lower;
+    plan.total.cycles.upper += cp.envelope.cycles.upper;
+    plan.total.cycles_estimate += cp.envelope.cycles_estimate;
+    plan.total.dma_words_in += cp.envelope.dma_words_in;
+    plan.total.dma_words_out += cp.envelope.dma_words_out;
+    plan.total.zbt_reads.lower += cp.envelope.zbt_reads.lower;
+    plan.total.zbt_reads.upper += cp.envelope.zbt_reads.upper;
+    plan.total.zbt_writes.lower += cp.envelope.zbt_writes.lower;
+    plan.total.zbt_writes.upper += cp.envelope.zbt_writes.upper;
+    plan.total.iim_peak_lines =
+        std::max(plan.total.iim_peak_lines, cp.envelope.iim_peak_lines);
+    plan.total.oim_peak_lines =
+        std::max(plan.total.oim_peak_lines, cp.envelope.oim_peak_lines);
+    plan.total.input_cycles_estimate += cp.envelope.input_cycles_estimate;
+
+    plan.calls.push_back(std::move(cp));
+  }
+  return plan;
+}
+
+std::string ProgramPlan::format(const CallProgram& program) const {
+  std::ostringstream os;
+  for (const CallPlan& cp : calls) {
+    const ProgramCall& pc =
+        program.calls()[static_cast<std::size_t>(cp.call_index)];
+    os << "call " << cp.call_index << " (" << alib::to_string(pc.call.mode)
+       << " -> " << program.frame_name(pc.output) << "): cycles=["
+       << cp.envelope.cycles.lower << ", " << cp.envelope.cycles.upper
+       << "] est=" << cp.envelope.cycles_estimate
+       << " dma=" << cp.envelope.dma_words_in << '/'
+       << cp.envelope.dma_words_out << "w inputs:";
+    for (const InputPlan& ip : cp.inputs)
+      os << ' ' << program.frame_name(ip.frame) << ':'
+         << to_string(ip.kind) << '(' << ip.words << "w)";
+    os << '\n';
+  }
+  os << "total: cycles=[" << total.cycles.lower << ", " << total.cycles.upper
+     << "] est=" << total.cycles_estimate << " dma=" << total.dma_words_in
+     << '/' << total.dma_words_out << "w transfers=" << transfers_total
+     << " avoidable=" << transfers_avoidable << " (" << avoidable_words
+     << "w)";
+  return os.str();
+}
+
+std::string plan_json(const ProgramPlan& plan, const CallProgram& program) {
+  std::ostringstream os;
+  os << "{\"calls\":[";
+  bool first = true;
+  for (const CallPlan& cp : plan.calls) {
+    const ProgramCall& pc =
+        program.calls()[static_cast<std::size_t>(cp.call_index)];
+    if (!first) os << ',';
+    first = false;
+    os << "{\"index\":" << cp.call_index
+       << ",\"output\":" << json_quote(program.frame_name(pc.output))
+       << ",\"mode\":" << json_quote(alib::to_string(pc.call.mode)) << ','
+       << envelope_json(cp.envelope) << ",\"inputs\":[";
+    bool first_in = true;
+    for (const InputPlan& ip : cp.inputs) {
+      if (!first_in) os << ',';
+      first_in = false;
+      os << "{\"frame\":" << json_quote(program.frame_name(ip.frame))
+         << ",\"kind\":" << json_quote(to_string(ip.kind))
+         << ",\"words\":" << ip.words << '}';
+    }
+    os << "],\"avoidable_words\":" << cp.avoidable_words << '}';
+  }
+  os << "],\"total\":{" << envelope_json(plan.total)
+     << "},\"transfers\":{\"total\":" << plan.transfers_total
+     << ",\"avoidable\":" << plan.transfers_avoidable
+     << ",\"avoidable_words\":" << plan.avoidable_words << "}}";
+  return os.str();
+}
+
+}  // namespace ae::analysis

@@ -1,6 +1,7 @@
 #include "analysis/program_text.hpp"
 
 #include <map>
+#include <set>
 #include <sstream>
 #include <vector>
 
@@ -360,26 +361,70 @@ std::string neighborhood_text(const Neighborhood& n) {
   return "rect1x1 # approximated custom shape";
 }
 
+/// True when a frame name cannot survive the text form: tokenize() drops
+/// '#'-leading tokens as comments and splits on whitespace, and '=' makes a
+/// frame reference look like a key=value option.
+bool name_needs_synthesis(const std::string& name) {
+  if (name.empty() || name[0] == '#') return true;
+  for (const char c : name)
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '=')
+      return true;
+  return false;
+}
+
+/// One emitted name per frame id, each parseable and unique, so
+/// parse(format(p)) resolves every reference back to the same frame.
+/// Names set through the builder that the grammar cannot carry (empty,
+/// '#'-leading, whitespace, '=') are replaced by "f<id>"; duplicates get
+/// underscores appended.
+std::vector<std::string> emitted_names(const CallProgram& program,
+                                       std::set<std::string>& used) {
+  std::vector<std::string> names;
+  names.reserve(program.frames().size());
+  for (std::size_t id = 0; id < program.frames().size(); ++id) {
+    std::string n = program.frames()[id].name;
+    if (name_needs_synthesis(n)) n = "f" + std::to_string(id);
+    while (!used.insert(n).second) n += '_';
+    names.push_back(std::move(n));
+  }
+  return names;
+}
+
 }  // namespace
 
 std::string format_program(const CallProgram& program) {
+  std::set<std::string> used;
+  const std::vector<std::string> names = emitted_names(program, used);
+  // References to frames that were never declared (kUnknownFrame or ids out
+  // of range) all map to one stable token no declared frame uses, so the
+  // text form re-parses to the same unknown reference instead of being
+  // dropped as a '#' comment (frame_name's "#<id>" fallback is for humans,
+  // not for the grammar).
+  std::string undeclared = "undeclared";
+  while (used.count(undeclared) != 0) undeclared += '_';
+  const auto ref_name = [&](i32 id) -> const std::string& {
+    return program.valid_frame(id) ? names[static_cast<std::size_t>(id)]
+                                   : undeclared;
+  };
+
   std::ostringstream os;
-  for (const FrameDecl& f : program.frames()) {
+  for (std::size_t id = 0; id < program.frames().size(); ++id) {
+    const FrameDecl& f = program.frames()[id];
     if (f.producer != kNoFrame) continue;
-    os << "input " << f.name << ' ' << f.size.width << 'x' << f.size.height
-       << '\n';
+    os << "input " << names[id] << ' ' << f.size.width << 'x'
+       << f.size.height << '\n';
   }
   for (std::size_t i = 0; i < program.calls().size(); ++i) {
     const ProgramCall& pc = program.calls()[i];
     const Call& c = pc.call;
-    os << "call " << program.frame_name(pc.output) << " = ";
+    os << "call " << ref_name(pc.output) << " = ";
     os << (c.mode == Mode::Inter
                ? "inter"
                : (c.mode == Mode::Intra ? "intra" : "segment"));
     os << ' ' << alib::to_string(c.op);
     if (c.mode != Mode::Inter) os << ' ' << neighborhood_text(c.nbhd);
-    os << ' ' << program.frame_name(pc.input_a);
-    if (pc.input_b != kNoFrame) os << ' ' << program.frame_name(pc.input_b);
+    os << ' ' << ref_name(pc.input_a);
+    if (pc.input_b != kNoFrame) os << ' ' << ref_name(pc.input_b);
     if (c.scan != alib::ScanOrder::RowMajor) os << " scan=col";
     if (c.border != alib::BorderPolicy::Replicate) {
       os << " border=constant";
@@ -427,7 +472,7 @@ std::string format_program(const CallProgram& program) {
     os << '\n';
   }
   for (const i32 f : program.outputs())
-    os << "output " << program.frame_name(f) << '\n';
+    os << "output " << ref_name(f) << '\n';
   return os.str();
 }
 

@@ -38,6 +38,18 @@ const std::vector<RuleInfo>& catalog() {
        "(duplicate-slot residency aliasing)"},
       {kSegmentIdOverlap, Severity::Warning,
        "segment calls allocate overlapping id ranges"},
+      {kRedundantReupload, Severity::Warning,
+       "input re-uploaded although resident in an input bank pair"},
+      {kDeadStoreOverwrite, Severity::Warning,
+       "result overwritten by a later call without ever being read"},
+      {kStripBelowBreakEven, Severity::Warning,
+       "per-strip DMA busy time below the interrupt overhead"},
+      {kFusablePointwisePair, Severity::Warning,
+       "result consumed only by the next pointwise call (fusable pair)"},
+      {kReorderForReuse, Severity::Warning,
+       "input evicted between uses; a legal reorder recovers the reuse"},
+      {kSegmentVacuousCriterion, Severity::Warning,
+       "segment criterion admits every neighbor (worst-case expansion)"},
   };
   return kCatalog;
 }

@@ -2,7 +2,12 @@
 //
 // Rules are grouped by scope:
 //   AEV1xx — per-call structural checks (no program context needed),
-//   AEV2xx — whole-program dataflow checks over a call sequence.
+//   AEV2xx — whole-program dataflow checks over a call sequence,
+//   AEW3xx — performance lints of the static planner (lints.hpp): the
+//            program is legal but leaves modeled cycles or PCI words on the
+//            table.  All AEW rules are warnings; they never change the
+//            default exit code of `aeverify` and are emitted only by
+//            `lint_program` (opt-in via `aeverify --lint`).
 // Ids are stable: CI suppressions, the differential test suite and the docs
 // all key on them.  The catalog is data, not behavior — the checks
 // themselves live in verifier.cpp — so the CLI can print it and the docs
@@ -70,6 +75,33 @@ inline constexpr const char* kZbtDuplicateSlot = "AEV210";
 /// Two segment calls allocate overlapping id ranges; downstream
 /// segment-indexed table consumers cannot tell the segments apart.
 inline constexpr const char* kSegmentIdOverlap = "AEV211";
+
+// ---- performance lints (AEW3xx) --------------------------------------------
+/// A call re-uploads an input frame that the bank-residency schedule keeps
+/// in an input pair from an earlier call — a residency-aware driver skips
+/// the whole PCI transfer (EngineSession's reuse_resident_frames).
+inline constexpr const char* kRedundantReupload = "AEW300";
+/// A call's result is never read by any later call and is not a program
+/// output, yet a later call overwrites the result banks — the store (and
+/// its readback) is dead work.
+inline constexpr const char* kDeadStoreOverwrite = "AEW301";
+/// The per-strip DMA busy time is below the interrupt/handshake overhead:
+/// double-buffered strip transfer cannot amortize its own handshakes, so
+/// the bus spends more cycles on overhead than on words.
+inline constexpr const char* kStripBelowBreakEven = "AEW302";
+/// A call's result is consumed solely by the immediately following
+/// pointwise (con0 intra) call: the pair is fusable into one pass, saving
+/// a full result-readback + re-upload round trip.
+inline constexpr const char* kFusablePointwisePair = "AEW303";
+/// A transferred input was resident on board earlier but got evicted
+/// between its uses, and moving the consumer directly after the last
+/// resident use is dependence-legal — reordering recovers the reuse.
+inline constexpr const char* kReorderForReuse = "AEW304";
+/// A segment call whose admission criterion is vacuous (luma threshold at
+/// or above the 8-bit range, chroma disabled or equally vacuous): every
+/// neighbor is admitted, so the expansion floods the frame and the static
+/// cost envelope degenerates to its worst case.
+inline constexpr const char* kSegmentVacuousCriterion = "AEW305";
 
 struct RuleInfo {
   const char* id;

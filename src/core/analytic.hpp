@@ -11,27 +11,12 @@
 #include "addresslib/call.hpp"
 #include "core/config.hpp"
 #include "core/engine_sim.hpp"
+// AnalyticTiming and the analytic_*_timing formulas moved to the header-only
+// timing_model.hpp (shared with the static planner below the core in the
+// link order); re-exported here so core-side callers are unchanged.
+#include "core/timing_model.hpp"
 
 namespace ae::core {
-
-struct AnalyticTiming {
-  u64 input_busy_cycles = 0;
-  u64 input_overhead_cycles = 0;
-  u64 tail_cycles = 0;  ///< post-input processing not hidden by output DMA
-  u64 output_busy_cycles = 0;
-  u64 output_overhead_cycles = 0;
-  u64 total_cycles = 0;
-};
-
-/// Timing of a streamed (inter/intra) call.
-AnalyticTiming analytic_streamed_timing(const EngineConfig& config,
-                                        const alib::Call& call, Size frame);
-
-/// Timing of a segment call given the traversal counts.
-AnalyticTiming analytic_segment_timing(const EngineConfig& config,
-                                       const alib::Call& call, Size frame,
-                                       i64 processed_pixels,
-                                       i64 criterion_tests);
 
 /// Fills an EngineRunStats (and, derived from it, CallStats-compatible
 /// numbers) from the analytic model.  `processed`/`tests` are only used for

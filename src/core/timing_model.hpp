@@ -1,0 +1,139 @@
+// Closed-form timing formulas of the AddressEngine, header-only.
+//
+// Split out of analytic.{hpp,cpp} so layers that may not link ae_core can
+// still price calls: the static planner (src/analysis/planner.*) sits below
+// the core in the link order — ae_core links ae_analysis back for the
+// validate_before_execute guard — yet needs exactly these formulas to bound
+// a call's cycle cost before any backend exists.  analytic.hpp re-exports
+// everything here, so core-side callers are unchanged.
+//
+// The formulas follow the structure of the design — input DMA, strip
+// interrupts, OIM-limited production, Res-block-gated output DMA — and the
+// test suite checks them against the cycle simulator within a few percent
+// across configurations (engine_timing_test.cpp, AnalyticVsCycle).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "addresslib/call.hpp"
+#include "core/config.hpp"
+#include "core/scanspace.hpp"
+
+namespace ae::core {
+
+struct AnalyticTiming {
+  u64 input_busy_cycles = 0;
+  u64 input_overhead_cycles = 0;
+  u64 tail_cycles = 0;  ///< post-input processing not hidden by output DMA
+  u64 output_busy_cycles = 0;
+  u64 output_overhead_cycles = 0;
+  u64 total_cycles = 0;
+};
+
+namespace timing_detail {
+
+inline double words_per_cycle(const EngineConfig& config) {
+  return config.bus_efficiency * (config.bus_width_bits / 32.0);
+}
+
+inline u64 ceil_div_words(double words, double wpc) {
+  return static_cast<u64>(std::ceil(words / wpc));
+}
+
+}  // namespace timing_detail
+
+/// Timing of a streamed (inter/intra) call.
+inline AnalyticTiming analytic_streamed_timing(const EngineConfig& config,
+                                               const alib::Call& call,
+                                               Size frame) {
+  using timing_detail::ceil_div_words;
+  const ScanSpace space(frame, call.scan);
+  const double wpc = timing_detail::words_per_cycle(config);
+  const auto pixels = static_cast<double>(frame.area());
+  const int images = call.mode == alib::Mode::Inter ? 2 : 1;
+  const i64 strips =
+      (space.line_count() + config.strip_lines - 1) / config.strip_lines;
+
+  AnalyticTiming t;
+  t.input_busy_cycles = ceil_div_words(2.0 * pixels * images, wpc);
+  // One handshake up front plus one per strip chunk (strip x image).
+  t.input_overhead_cycles =
+      static_cast<u64>(strips * images + 1) * config.interrupt_overhead_cycles;
+
+  const i64 strip_pixels =
+      static_cast<i64>(config.strip_lines) * space.line_length();
+  const u64 out_strips = static_cast<u64>(
+      (frame.area() + strip_pixels - 1) / strip_pixels);
+  t.output_busy_cycles = ceil_div_words(2.0 * pixels, wpc);
+  t.output_overhead_cycles = out_strips * config.interrupt_overhead_cycles;
+
+  const bool strict =
+      config.strict_inter_sequencing && call.mode == alib::Mode::Inter;
+  if (strict) {
+    // Nothing is processed before the inputs are resident.  Afterwards
+    // production is OIM-drain limited (2 cycles/pixel); the host reads
+    // Res_block_A while block B is produced, then drains block B.
+    const double produce_all = 2.0 * pixels;
+    const double produce_half = pixels;
+    const double read_half =
+        static_cast<double>(ceil_div_words(pixels, wpc));
+    const double post =
+        std::max(produce_all, produce_half + read_half) + read_half;
+    t.tail_cycles = static_cast<u64>(post) - t.output_busy_cycles;
+    t.total_cycles = t.input_busy_cycles + t.input_overhead_cycles +
+                     static_cast<u64>(post) + t.output_overhead_cycles;
+    return t;
+  }
+
+  // Overlapped operation: production trails the input stream; after the
+  // last input line arrives the process unit still owes the lookahead lines
+  // (drained at the OIM rate of 2 cycles/pixel), which is hidden behind the
+  // block-A output transfer unless it exceeds it.
+  const i32 lines_after =
+      call.mode == alib::Mode::Inter ? 0 : space.lines_after(call.nbhd);
+  const double tail = 2.0 * (lines_after + 1) * space.line_length() +
+                      config.pipeline_stages;
+  const double hidden = static_cast<double>(t.output_busy_cycles) / 2.0;
+  t.tail_cycles = static_cast<u64>(std::max(0.0, tail - hidden));
+  t.total_cycles = t.input_busy_cycles + t.input_overhead_cycles +
+                   t.tail_cycles + t.output_busy_cycles +
+                   t.output_overhead_cycles;
+  return t;
+}
+
+/// Timing of a segment call given the traversal counts.
+inline AnalyticTiming analytic_segment_timing(const EngineConfig& config,
+                                              const alib::Call& call,
+                                              Size frame, i64 processed_pixels,
+                                              i64 criterion_tests) {
+  using timing_detail::ceil_div_words;
+  const ScanSpace space(frame, call.scan);
+  const double wpc = timing_detail::words_per_cycle(config);
+  const auto pixels = static_cast<double>(frame.area());
+  const i64 strips =
+      (space.line_count() + config.strip_lines - 1) / config.strip_lines;
+
+  AnalyticTiming t;
+  t.input_busy_cycles = ceil_div_words(2.0 * pixels, wpc);
+  t.input_overhead_cycles =
+      static_cast<u64>(strips + 1) * config.interrupt_overhead_cycles;
+  // Traversal: neighborhood fetch one pixel-pair per cycle + one kernel
+  // cycle per visit, one cycle per criterion test; nothing overlaps the
+  // geodesic walk.
+  t.tail_cycles = static_cast<u64>(processed_pixels) *
+                      (call.nbhd.size() + 1) +
+                  static_cast<u64>(criterion_tests);
+  const i64 strip_pixels =
+      static_cast<i64>(config.strip_lines) * space.line_length();
+  const u64 out_strips = static_cast<u64>(
+      (frame.area() + strip_pixels - 1) / strip_pixels);
+  t.output_busy_cycles = ceil_div_words(2.0 * pixels, wpc);
+  t.output_overhead_cycles = out_strips * config.interrupt_overhead_cycles;
+  t.total_cycles = t.input_busy_cycles + t.input_overhead_cycles +
+                   t.tail_cycles + t.output_busy_cycles +
+                   t.output_overhead_cycles;
+  return t;
+}
+
+}  // namespace ae::core

@@ -1,9 +1,40 @@
 #include "serve/farm.hpp"
 
 #include <algorithm>
+#include <sstream>
 #include <utility>
 
+#include "analysis/planner.hpp"
+#include "core/timing_model.hpp"
+
 namespace ae::serve {
+namespace {
+
+std::string admission_message(u64 predicted, u64 budget) {
+  std::ostringstream os;
+  os << "call rejected by admission control: planned cycle upper bound "
+     << predicted << " exceeds the budget of " << budget << " cycles";
+  return os.str();
+}
+
+/// Cycles a shard pays to stream one frame it does not hold: the words at
+/// the sustained bus rate plus the per-strip handshakes.
+u64 frame_transfer_cycles(const core::EngineConfig& config, Size frame) {
+  if (frame.area() <= 0) return 0;
+  const double wpc = core::timing_detail::words_per_cycle(config);
+  const i64 lines = frame.height;  // strip count in row-major scan space
+  const i64 strips = (lines + config.strip_lines - 1) / config.strip_lines;
+  return core::timing_detail::ceil_div_words(2.0 * frame.area(), wpc) +
+         static_cast<u64>(strips) * config.interrupt_overhead_cycles;
+}
+
+}  // namespace
+
+AdmissionError::AdmissionError(u64 predicted_upper_cycles, u64 budget_cycles)
+    : InvalidArgument(admission_message(predicted_upper_cycles,
+                                        budget_cycles)),
+      predicted_upper_cycles_(predicted_upper_cycles),
+      budget_cycles_(budget_cycles) {}
 
 void validate_farm_options(const FarmOptions& options) {
   AE_EXPECTS(options.shards > 0, "farm needs at least one shard");
@@ -71,13 +102,34 @@ std::future<alib::CallResult> EngineFarm::submit(const alib::Call& call,
   alib::validate_call(call, a, b);
   if (options_.validate_before_execute)
     core::static_verify_call(options_.config, call, a, b);
+  if (options_.admission_budget_cycles > 0) {
+    // Static admission: the planned upper bound is available before any
+    // backend runs, so an over-budget call never occupies queue space.
+    analysis::PlanOptions plan_options;
+    plan_options.config = options_.config;
+    const analysis::CostEnvelope envelope =
+        analysis::plan_call(call, a.size(), plan_options);
+    if (envelope.cycles.upper > options_.admission_budget_cycles) {
+      {
+        sync::MutexLock lock(mu_);
+        ++admission_rejected_;
+      }
+      throw AdmissionError(envelope.cycles.upper,
+                           options_.admission_budget_cycles);
+    }
+  }
   Request request;
   request.call = call;
   request.a = &a;
   request.b = b;
-  if (options_.affinity_routing) {
+  if (options_.affinity_routing || options_.cost_aware_routing) {
     request.hash_a = core::frame_content_hash(a);
     request.hash_b = b != nullptr ? core::frame_content_hash(*b) : 0;
+  }
+  if (options_.cost_aware_routing) {
+    request.transfer_cost_a = frame_transfer_cycles(options_.config, a.size());
+    request.transfer_cost_b =
+        b != nullptr ? frame_transfer_cycles(options_.config, b->size()) : 0;
   }
   std::future<alib::CallResult> future = request.promise.get_future();
 
@@ -98,6 +150,51 @@ std::future<alib::CallResult> EngineFarm::submit(const alib::Call& call,
 
 int EngineFarm::route(const Request& request, bool& affinity_hit) {
   affinity_hit = false;
+  // Cost-aware routing: minimize the predicted transfer cost — a shard
+  // whose residency (the scheduler-thread affinity map) already holds a
+  // frame is charged nothing for it.  Health and backlog dominate the key
+  // so a broken or convoyed shard never wins on residency alone; backlog
+  // and shard clock break cost ties exactly like the load-balancing path.
+  if (options_.cost_aware_routing) {
+    int best = 0;
+    u64 best_key[5] = {~0ull, ~0ull, ~0ull, ~0ull, ~0ull};
+    u64 best_miss = ~0ull;
+    const u64 full_cost = request.transfer_cost_a + request.transfer_cost_b;
+    const auto holder = [&](u64 hash) {
+      const auto hit = affinity_.find(hash);
+      return hash != 0 && hit != affinity_.end() ? hit->second : -1;
+    };
+    const int holder_a = holder(request.hash_a);
+    const int holder_b = holder(request.hash_b);
+    for (int s = 0; s < static_cast<int>(shards_.size()); ++s) {
+      Shard& shard = *shards_[static_cast<std::size_t>(s)];
+      u64 miss_cost = 0;
+      if (holder_a != s) miss_cost += request.transfer_cost_a;
+      if (holder_b != s) miss_cost += request.transfer_cost_b;
+      sync::MutexLock lock(shard.mu);
+      const u64 backlog = shard.queue.size() + (shard.busy ? 1u : 0u);
+      const u64 key[5] = {
+          shard.breaker == core::BreakerState::Closed ? 0ull : 1ull,
+          backlog >= options_.affinity_spill_depth ? 1ull : 0ull, miss_cost,
+          backlog, shard.clock_cycles};
+      if (std::lexicographical_compare(key, key + 5, best_key,
+                                       best_key + 5)) {
+        std::copy(key, key + 5, best_key);
+        best = s;
+        best_miss = miss_cost;
+      }
+    }
+    // An "affinity hit" in the cost model: the winner holds at least one
+    // of the frames, so part of the transfer cost is predicted away.
+    affinity_hit = best_miss < full_cost;
+    if (!affinity_hit && (holder_a >= 0 || holder_b >= 0)) {
+      // Some shard held a frame but lost on health/backlog: a spill, in
+      // the same sense as the binary affinity path.
+      sync::MutexLock farm_lock(mu_);
+      ++affinity_spills_;
+    }
+    return best;
+  }
   // Affinity first: a shard already holding one of the input frames skips
   // that frame's strip DMA entirely.
   if (options_.affinity_routing) {
@@ -146,7 +243,7 @@ int EngineFarm::route(const Request& request, bool& affinity_hit) {
 
 void EngineFarm::dispatch(Request request, int shard_index,
                           bool affinity_hit) {
-  if (options_.affinity_routing) {
+  if (options_.affinity_routing || options_.cost_aware_routing) {
     // The shard will hold these frames after the call; later submissions
     // with the same content follow them (batch-mates included).
     if (request.hash_a != 0) affinity_[request.hash_a] = shard_index;
@@ -307,6 +404,7 @@ FarmStats EngineFarm::stats() const {
     stats.batches = batches_;
     stats.affinity_hits = affinity_hits_;
     stats.affinity_spills = affinity_spills_;
+    stats.admission_rejected = admission_rejected_;
     stats.peak_queue_depth = peak_queue_depth_;
   }
   stats.shards.reserve(shards_.size());

@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "addresslib/call.hpp"
+#include "common/error.hpp"
 #include "common/sync.hpp"
 #include "core/resilient.hpp"
 
@@ -78,11 +79,38 @@ struct FarmOptions {
   /// caller's context; ill-formed calls throw analysis::VerificationError
   /// from submit() instead of failing on a shard worker.
   bool validate_before_execute = false;
+  /// Cost-aware routing (aeplan): price each submission's input transfers
+  /// statically (analysis::plan_call, no backend involved) and route to the
+  /// shard with the lowest predicted transfer cost — a shard already
+  /// holding a frame is charged nothing for it — breaking ties by backlog
+  /// and shard clock.  Replaces the binary affinity-hit test with a cost
+  /// model; results stay bit-exact (routing only changes placement).
+  bool cost_aware_routing = false;
+  /// Static admission control: when non-zero, submit() rejects any call
+  /// whose planned cycle upper bound (plan_call, setup included) exceeds
+  /// this budget by throwing AdmissionError in the caller's context —
+  /// before the call occupies queue space or a shard.  0 disables.
+  u64 admission_budget_cycles = 0;
 };
 
 /// Throws InvalidArgument on non-positive shard count / capacities, or more
 /// shard fault overrides than shards.
 void validate_farm_options(const FarmOptions& options);
+
+/// Thrown by EngineFarm::submit when `admission_budget_cycles` is set and
+/// the static plan's cycle upper bound exceeds it.  Derives from
+/// InvalidArgument so callers that already reject malformed calls treat an
+/// over-budget call the same way; carries both sides of the comparison.
+class AdmissionError : public InvalidArgument {
+ public:
+  AdmissionError(u64 predicted_upper_cycles, u64 budget_cycles);
+  u64 predicted_upper_cycles() const { return predicted_upper_cycles_; }
+  u64 budget_cycles() const { return budget_cycles_; }
+
+ private:
+  u64 predicted_upper_cycles_;
+  u64 budget_cycles_;
+};
 
 /// Snapshot of one shard, taken under the shard lock.
 struct ShardStats {
@@ -103,6 +131,7 @@ struct FarmStats {
   i64 batches = 0;           ///< scheduler wakeups that routed >= 1 call
   i64 affinity_hits = 0;     ///< routed to the shard holding the frames
   i64 affinity_spills = 0;   ///< affinity shard too deep/unhealthy; rerouted
+  i64 admission_rejected = 0;  ///< submissions refused by the cycle budget
   u64 overlap_cycles_saved = 0;
   std::size_t peak_queue_depth = 0;  ///< pending submissions high-water mark
   std::vector<ShardStats> shards;
@@ -166,6 +195,10 @@ class EngineFarm : public alib::Backend {
     const img::Image* b = nullptr;
     u64 hash_a = 0;  ///< affinity keys (0 when affinity routing is off)
     u64 hash_b = 0;
+    /// Static per-frame transfer-cycle estimates (cost-aware routing only):
+    /// the cycles a shard NOT holding the frame pays to stream it in.
+    u64 transfer_cost_a = 0;
+    u64 transfer_cost_b = 0;
     std::promise<alib::CallResult> promise;
   };
 
@@ -228,6 +261,7 @@ class EngineFarm : public alib::Backend {
   i64 batches_ AE_GUARDED_BY(mu_) = 0;
   i64 affinity_hits_ AE_GUARDED_BY(mu_) = 0;
   i64 affinity_spills_ AE_GUARDED_BY(mu_) = 0;
+  i64 admission_rejected_ AE_GUARDED_BY(mu_) = 0;
   std::size_t peak_queue_depth_ AE_GUARDED_BY(mu_) = 0;
   u64 dispatch_seq_ AE_GUARDED_BY(mu_) = 0;  ///< trace timestamp domain
   core::EngineTrace* scheduler_trace_ AE_GUARDED_BY(mu_) = nullptr;

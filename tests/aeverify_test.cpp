@@ -38,11 +38,16 @@ using analysis::Severity;
 
 TEST(RuleCatalog, IsStableAndUnique) {
   const auto& rules = analysis::rules::catalog();
-  EXPECT_GE(rules.size(), 17u);
+  EXPECT_GE(rules.size(), 23u);
   std::set<std::string> ids;
   for (const auto& rule : rules) {
     EXPECT_TRUE(ids.insert(rule.id).second) << "duplicate id " << rule.id;
-    EXPECT_EQ(std::string(rule.id).substr(0, 3), "AEV");
+    const std::string prefix = std::string(rule.id).substr(0, 3);
+    EXPECT_TRUE(prefix == "AEV" || prefix == "AEW") << rule.id;
+    // AEW lints are advisory by contract: always warnings.
+    if (prefix == "AEW") {
+      EXPECT_EQ(rule.severity, Severity::Warning);
+    }
     EXPECT_FALSE(std::string(rule.summary).empty());
   }
   // Severity spot checks the docs table and the tests key on.
@@ -360,6 +365,126 @@ TEST(ProgramText, RoundTripIsStable) {
   // Both parses verify identically (and cleanly).
   EXPECT_EQ(analysis::verify_program(once).error_count(), 0u);
   EXPECT_EQ(analysis::verify_program(twice).error_count(), 0u);
+}
+
+// Segment-indexed edge cases: an empty seed list (no explicit seed table)
+// and the id range pushed to the top of the 16-bit space must survive the
+// text form unchanged, together with every non-default segment knob.
+TEST(ProgramText, SegmentIndexedEdgeCasesRoundTrip) {
+  CallProgram program;
+  const i32 a = program.add_input(Size{48, 32}, "a");
+
+  alib::SegmentSpec empty_seeds;  // seeded from existing labels, no table
+  empty_seeds.seeds = {};
+  empty_seeds.respect_existing_labels = true;
+  program.add_call(alib::Call::make_segment(
+                       alib::PixelOp::Copy, alib::Neighborhood::con4(),
+                       empty_seeds, ChannelMask::y(),
+                       ChannelMask::y().with(Channel::Alfa)),
+                   a);
+
+  alib::SegmentSpec max_ids;  // id allocation at the top of the u16 space
+  max_ids.seeds = {Point{4, 4}};
+  max_ids.id_base = 65534;
+  max_ids.connectivity = alib::Connectivity::Four;
+  max_ids.chroma_threshold = 12;
+  max_ids.write_ids = false;
+  program.add_call(alib::Call::make_segment(
+                       alib::PixelOp::Copy, alib::Neighborhood::con8(),
+                       max_ids, ChannelMask::y(),
+                       ChannelMask::y().with(Channel::Alfa)),
+                   a);
+
+  const std::string rendered = analysis::format_program(program);
+  const CallProgram reparsed = analysis::parse_program(rendered);
+  EXPECT_EQ(rendered, analysis::format_program(reparsed));
+  ASSERT_EQ(reparsed.calls().size(), 2u);
+  const alib::SegmentSpec& s0 = reparsed.calls()[0].call.segment;
+  EXPECT_TRUE(s0.seeds.empty());
+  EXPECT_TRUE(s0.respect_existing_labels);
+  const alib::SegmentSpec& s1 = reparsed.calls()[1].call.segment;
+  EXPECT_EQ(s1.id_base, 65534);
+  EXPECT_EQ(s1.connectivity, alib::Connectivity::Four);
+  EXPECT_EQ(s1.chroma_threshold, 12);
+  EXPECT_FALSE(s1.write_ids);
+  // The id-space rule still sees the reparsed form: 65534 + new ids may
+  // overflow the 16-bit space, which is AEV110's job to flag.
+  EXPECT_EQ(analysis::verify_program(program).mentions("AEV110"),
+            analysis::verify_program(reparsed).mentions("AEV110"));
+}
+
+// Programs built through the API can reference frames that were never
+// declared (that is exactly what AEV200 flags).  The text form used to
+// render such references as "#<id>", which tokenize() then dropped as a
+// comment — the round trip silently changed the program.  They now render
+// as a reserved "undeclared" name that parses back to an unknown frame.
+TEST(ProgramText, UndeclaredReferencesSurviveTheRoundTrip) {
+  CallProgram program;
+  const i32 a = program.add_input(Size{48, 32}, "a");
+  program.add_call(alib::Call::make_intra(alib::PixelOp::Copy,
+                                          alib::Neighborhood::con0()),
+                   a);
+  program.add_call(alib::Call::make_intra(alib::PixelOp::Copy,
+                                          alib::Neighborhood::con0()),
+                   /*a=*/99);  // never declared
+
+  const std::string rendered = analysis::format_program(program);
+  EXPECT_EQ(rendered.find('#'), std::string::npos)
+      << "invalid refs must not render as comments:\n" << rendered;
+  const CallProgram reparsed = analysis::parse_program(rendered);
+  EXPECT_EQ(rendered, analysis::format_program(reparsed));
+  EXPECT_EQ(reparsed.calls().size(), program.calls().size());
+  // Both forms carry the same defect to the verifier.
+  EXPECT_TRUE(analysis::verify_program(program).mentions(
+      analysis::rules::kUseBeforeWrite));
+  EXPECT_TRUE(analysis::verify_program(reparsed).mentions(
+      analysis::rules::kUseBeforeWrite));
+}
+
+// Names the text grammar cannot express (spaces, '=', '#', empty) are
+// synthesized away instead of corrupting the rendering.
+TEST(ProgramText, UnprintableFrameNamesAreSynthesized) {
+  CallProgram program;
+  const i32 a = program.add_input(Size{48, 32}, "has space");
+  const i32 b = program.add_input(Size{48, 32}, "#looks_like_comment");
+  const i32 c = program.add_input(Size{48, 32}, "");
+  const i32 r = program.add_call(alib::Call::make_inter(alib::PixelOp::Add),
+                                 a, b);
+  program.set_frame_name(r, "key=value");
+  program.add_call(alib::Call::make_intra(alib::PixelOp::Copy,
+                                          alib::Neighborhood::con0()),
+                   c);
+  program.mark_output(r);
+
+  const std::string rendered = analysis::format_program(program);
+  const CallProgram reparsed = analysis::parse_program(rendered);
+  EXPECT_EQ(rendered, analysis::format_program(reparsed));
+  EXPECT_EQ(reparsed.frames().size(), program.frames().size());
+  EXPECT_EQ(reparsed.calls().size(), program.calls().size());
+  EXPECT_EQ(analysis::verify_program(reparsed).error_count(),
+            analysis::verify_program(program).error_count());
+}
+
+// Duplicate names are legal in the API (names are cosmetic there) but
+// ambiguous in text; rendering must uniquify instead of silently rebinding
+// references on the next parse.
+TEST(ProgramText, DuplicateFrameNamesAreUniquified) {
+  CallProgram program;
+  const i32 a = program.add_input(Size{48, 32}, "frame");
+  const i32 b = program.add_input(Size{48, 32}, "frame");
+  const i32 r = program.add_call(alib::Call::make_inter(alib::PixelOp::AbsDiff),
+                                 a, b);
+  program.mark_output(r);
+
+  const std::string rendered = analysis::format_program(program);
+  const CallProgram reparsed = analysis::parse_program(rendered);
+  EXPECT_EQ(rendered, analysis::format_program(reparsed));
+  ASSERT_EQ(reparsed.frames().size(), 3u);
+  EXPECT_NE(reparsed.frame_name(0), reparsed.frame_name(1));
+  // The inter call still reads two distinct frames (no AEV210 aliasing).
+  EXPECT_EQ(reparsed.calls()[0].input_a, 0);
+  EXPECT_EQ(reparsed.calls()[0].input_b, 1);
+  EXPECT_EQ(analysis::verify_program(reparsed).error_count(), 0u);
 }
 
 TEST(ProgramText, SyntaxErrorsCarryLineNumbers) {

@@ -1,0 +1,111 @@
+// aeplan calibration over the full differential-fuzz corpus (tier2).
+//
+// Replays the exact 520 known-good workloads of differential_fuzz_test.cpp
+// (8 seeds x 40 engine-differential calls + the 200-case farm corpus) as
+// one-call programs and asserts, for every one of them, that the measured
+// cost of BOTH engine backends lands inside the planner's static envelope:
+//
+//   * cycle-accurate: cycles in [lower, upper], DMA word counts exact,
+//     ZBT transactions inside the bound, Oim high-water under the
+//     line-occupancy bound (the envelope is in lines, the sim counts
+//     FIFO pixels, so the comparison scales by the line length);
+//   * analytic: cycles in [lower, upper] (the estimate is built from the
+//     same formulas, so this guards the margin, not the formula).
+//
+// This is the "no measured cost ever escapes the envelope" soundness gate
+// the farm admission control and the AEW302 break-even lint lean on.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/planner.hpp"
+#include "core/core.hpp"
+#include "test_util.hpp"
+
+namespace ae {
+namespace {
+
+using alib::Call;
+
+/// One corpus case: plan the call statically, run it on both backends,
+/// assert every measured quantity respects the envelope.
+void expect_cost_inside_envelope(const Call& call, const img::Image& a,
+                                 const img::Image* b,
+                                 core::EngineBackend& cycle,
+                                 core::EngineBackend& analytic) {
+  const analysis::CostEnvelope env = analysis::plan_call(call, a.size());
+
+  cycle.execute(call, a, b);
+  const core::EngineRunStats& run = cycle.last_run();
+  EXPECT_TRUE(env.cycles.contains(run.cycles))
+      << "cycle-accurate cycles " << run.cycles << " outside ["
+      << env.cycles.lower << ", " << env.cycles.upper << "]";
+  EXPECT_EQ(run.words_in, env.dma_words_in);
+  EXPECT_EQ(run.words_out, env.dma_words_out);
+  EXPECT_TRUE(env.zbt_reads.contains(run.zbt_read_transactions))
+      << "zbt reads " << run.zbt_read_transactions << " outside ["
+      << env.zbt_reads.lower << ", " << env.zbt_reads.upper << "]";
+  EXPECT_TRUE(env.zbt_writes.contains(run.zbt_write_transactions))
+      << "zbt writes " << run.zbt_write_transactions << " outside ["
+      << env.zbt_writes.lower << ", " << env.zbt_writes.upper << "]";
+  const core::ScanSpace space(a.size(), call.scan);
+  EXPECT_LE(run.oim_peak, static_cast<u64>(env.oim_peak_lines) *
+                              static_cast<u64>(space.line_length()))
+      << "oim peak (pixels) above the line-occupancy bound";
+
+  analytic.execute(call, a, b);
+  EXPECT_TRUE(env.cycles.contains(analytic.last_run().cycles))
+      << "analytic cycles " << analytic.last_run().cycles << " outside ["
+      << env.cycles.lower << ", " << env.cycles.upper << "]";
+}
+
+// 8 seeds x 40 calls: the engine-differential recipe, replayed verbatim so
+// the planner is calibrated on exactly the workloads the simulator is
+// already proven bit-exact on.
+class PlanCalibrationFuzz : public ::testing::TestWithParam<u64> {};
+
+TEST_P(PlanCalibrationFuzz, MeasuredCostLandsInsideTheEnvelope) {
+  Rng rng(GetParam() * 0x9E3779B97F4A7C15ull);
+  core::EngineBackend cycle({}, core::EngineMode::CycleAccurate);
+  core::EngineBackend analytic({}, core::EngineMode::Analytic);
+
+  int segment_cases = 0;
+  for (int i = 0; i < 40; ++i) {
+    const Size size = test::random_frame_size(rng);
+    bool needs_b = false;
+    const Call call = test::random_any_call(rng, size, needs_b);
+    segment_cases += call.mode == alib::Mode::Segment ? 1 : 0;
+    const img::Image a = img::make_test_frame(size, rng.next_u64());
+    const img::Image b = img::make_test_frame(size, rng.next_u64());
+    SCOPED_TRACE("case " + std::to_string(i) + ": " + call.describe() +
+                 " on " + to_string(size));
+    expect_cost_inside_envelope(call, a, needs_b ? &b : nullptr, cycle,
+                                analytic);
+  }
+  EXPECT_GT(segment_cases, 0);  // the hard (non-deterministic-cost) mode
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanCalibrationFuzz,
+                         ::testing::Range<u64>(1, 9));
+
+// The 200-case farm corpus (repeating content seeds, all addressing modes).
+TEST(PlanCalibrationFarmCorpus, MeasuredCostLandsInsideTheEnvelope) {
+  Rng rng(0xD1FFu);
+  core::EngineBackend cycle({}, core::EngineMode::CycleAccurate);
+  core::EngineBackend analytic({}, core::EngineMode::Analytic);
+
+  for (int i = 0; i < 200; ++i) {
+    const Size size = test::random_frame_size(rng);
+    bool needs_b = false;
+    const Call call = test::random_any_call(rng, size, needs_b);
+    const img::Image a = img::make_test_frame(size, 1 + rng.bounded(6));
+    const img::Image b = img::make_test_frame(size, 201 + rng.bounded(6));
+    SCOPED_TRACE("case " + std::to_string(i) + ": " + call.describe() +
+                 " on " + to_string(size));
+    expect_cost_inside_envelope(call, a, needs_b ? &b : nullptr, cycle,
+                                analytic);
+  }
+}
+
+}  // namespace
+}  // namespace ae

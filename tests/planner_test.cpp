@@ -1,0 +1,477 @@
+// aeplan static planner: cost envelopes, the bank-residency schedule, the
+// AEW300-series performance lints and the machine-readable renderings.
+//
+// The load-bearing property is calibration soundness: for known-good
+// programs the cycle-accurate simulator's measured cost must land inside
+// the static [lower, upper] envelope, and the analytic backend must agree.
+// This file gates it on the golden workloads (tier1);
+// plan_calibration_test.cpp extends the same assertion over the 520-program
+// fuzz corpus (tier2).  Every AEW lint gets a positive and a negative case.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analysis/lints.hpp"
+#include "analysis/planner.hpp"
+#include "analysis/program_text.hpp"
+#include "analysis/rules.hpp"
+#include "analysis/verifier.hpp"
+#include "core/core.hpp"
+#include "test_util.hpp"
+
+namespace ae {
+namespace {
+
+using alib::Call;
+using alib::Neighborhood;
+using alib::PixelOp;
+using analysis::CallPlan;
+using analysis::CallProgram;
+using analysis::CostEnvelope;
+using analysis::PlanOptions;
+using analysis::ProgramPlan;
+using analysis::Report;
+using analysis::TransferKind;
+
+constexpr Size kFrame{48, 32};
+
+Call intra_con8() { return Call::make_intra(PixelOp::GradientMag,
+                                            Neighborhood::con8()); }
+
+Call pointwise() {
+  alib::OpParams params;
+  params.threshold = 10;
+  return Call::make_intra(PixelOp::Threshold, Neighborhood::con0(),
+                          ChannelMask::y(), ChannelMask::y(), params);
+}
+
+// ---- per-call envelopes ----------------------------------------------------
+
+TEST(PlanCall, StreamedEnvelopeBoundsTheAnalyticTiming) {
+  const CostEnvelope e = analysis::plan_call(intra_con8(), kFrame);
+  const u64 area = static_cast<u64>(kFrame.area());
+  EXPECT_EQ(e.dma_words_in, 2 * area);
+  EXPECT_EQ(e.dma_words_out, 2 * area);
+  EXPECT_LT(e.cycles.lower, e.cycles.upper);
+  EXPECT_TRUE(e.cycles.contains(e.cycles_estimate));
+  // The setup overhead alone is 198k cycles; the bound must include it.
+  EXPECT_GT(e.cycles.lower, 150'000u);
+  EXPECT_TRUE(e.zbt_reads.contains(area));
+  EXPECT_TRUE(e.zbt_writes.contains(area));
+  EXPECT_EQ(e.iim_peak_lines, 16);
+  EXPECT_EQ(e.oim_peak_lines, 16);
+  EXPECT_GT(e.input_cycles_estimate, 0u);
+  EXPECT_LT(e.input_cycles_estimate, e.cycles_estimate);
+}
+
+TEST(PlanCall, InterDoublesTheInputWords) {
+  const CostEnvelope e =
+      analysis::plan_call(Call::make_inter(PixelOp::AbsDiff), kFrame);
+  const u64 area = static_cast<u64>(kFrame.area());
+  EXPECT_EQ(e.dma_words_in, 4 * area);
+  EXPECT_EQ(e.dma_words_out, 2 * area);
+}
+
+TEST(PlanCall, SegmentEnvelopeSpansTheTraversalExtremes) {
+  alib::SegmentSpec spec;
+  spec.seeds = {Point{4, 4}};
+  const Call call =
+      Call::make_segment(PixelOp::Copy, Neighborhood::con4(), spec,
+                         ChannelMask::y(), ChannelMask::y().with(Channel::Alfa));
+  const CostEnvelope e = analysis::plan_call(call, kFrame);
+  const CostEnvelope streamed = analysis::plan_call(intra_con8(), kFrame);
+  // The traversal may expand nothing at all: the floor admits zero ZBT work.
+  EXPECT_EQ(e.zbt_reads.lower, 0u);
+  EXPECT_EQ(e.zbt_writes.lower, 0u);
+  EXPECT_GT(e.zbt_reads.upper, 0u);
+  // A full flood prices above any streamed pass of the same frame.
+  EXPECT_GT(e.cycles.upper, streamed.cycles.upper);
+  EXPECT_TRUE(e.cycles.contains(e.cycles_estimate));
+}
+
+TEST(PlanCall, DegenerateFrameYieldsAZeroEnvelope) {
+  const CostEnvelope e = analysis::plan_call(intra_con8(), Size{0, 0});
+  EXPECT_EQ(e.cycles.upper, 0u);
+  EXPECT_EQ(e.dma_words_in, 0u);
+  EXPECT_EQ(e.zbt_reads.upper, 0u);
+}
+
+TEST(PlanCall, WiderMarginWidensTheBound) {
+  PlanOptions narrow;
+  narrow.margin = 0.05;
+  PlanOptions wide;
+  wide.margin = 0.25;
+  const CostEnvelope n = analysis::plan_call(intra_con8(), kFrame, narrow);
+  const CostEnvelope w = analysis::plan_call(intra_con8(), kFrame, wide);
+  EXPECT_LT(w.cycles.lower, n.cycles.lower);
+  EXPECT_GT(w.cycles.upper, n.cycles.upper);
+  EXPECT_EQ(n.cycles_estimate, w.cycles_estimate);
+}
+
+// ---- residency schedule ----------------------------------------------------
+
+TEST(PlanProgram, ClassifiesReuseRelocationAndTransfer) {
+  CallProgram program;
+  const i32 a = program.add_input(kFrame, "a");
+  const i32 b = program.add_input(kFrame, "b");
+  const i32 r0 = program.add_call(Call::make_inter(PixelOp::AbsDiff), a, b);
+  const i32 r1 = program.add_call(intra_con8(), a);   // a still in its pair
+  const i32 r2 = program.add_call(pointwise(), r1);   // r1 sits in result banks
+  program.add_call(intra_con8(), b);                  // b was evicted by r1
+  program.mark_output(r0);
+  program.mark_output(r2);
+
+  const ProgramPlan plan = analysis::plan_program(program);
+  ASSERT_EQ(plan.calls.size(), 4u);
+  EXPECT_EQ(plan.calls[0].inputs[0].kind, TransferKind::Transferred);
+  EXPECT_EQ(plan.calls[0].inputs[1].kind, TransferKind::Transferred);
+  EXPECT_EQ(plan.calls[1].inputs[0].kind, TransferKind::Reused);
+  EXPECT_EQ(plan.calls[2].inputs[0].kind, TransferKind::Relocated);
+  EXPECT_EQ(plan.calls[3].inputs[0].kind, TransferKind::Transferred);
+
+  const u64 words = 2 * static_cast<u64>(kFrame.area());
+  EXPECT_EQ(plan.transfers_total, 5);
+  EXPECT_EQ(plan.transfers_avoidable, 2);
+  EXPECT_EQ(plan.avoidable_words, 2 * words);
+  EXPECT_EQ(plan.calls[1].avoidable_words, words);
+
+  // resident_after tracks the interval ends the reorder lint keys on.
+  const std::vector<i32>& after0 = plan.calls[0].resident_after;
+  EXPECT_NE(std::find(after0.begin(), after0.end(), a), after0.end());
+  EXPECT_NE(std::find(after0.begin(), after0.end(), b), after0.end());
+  EXPECT_NE(std::find(after0.begin(), after0.end(), r0), after0.end());
+}
+
+TEST(PlanProgram, TotalsSumTheCallEnvelopes) {
+  CallProgram program;
+  const i32 a = program.add_input(kFrame, "a");
+  const i32 r0 = program.add_call(intra_con8(), a);
+  program.add_call(pointwise(), r0);
+
+  const ProgramPlan plan = analysis::plan_program(program);
+  u64 lower = 0;
+  u64 upper = 0;
+  u64 in_words = 0;
+  for (const CallPlan& cp : plan.calls) {
+    lower += cp.envelope.cycles.lower;
+    upper += cp.envelope.cycles.upper;
+    in_words += cp.envelope.dma_words_in;
+  }
+  EXPECT_EQ(plan.total.cycles.lower, lower);
+  EXPECT_EQ(plan.total.cycles.upper, upper);
+  EXPECT_EQ(plan.total.dma_words_in, in_words);
+  EXPECT_EQ(plan.total.iim_peak_lines, 16);
+}
+
+TEST(PlanProgram, InvalidFrameReferencesPriceToZeroWithoutThrowing) {
+  CallProgram program;
+  program.add_call(pointwise(), 42);  // undeclared frame id
+  const ProgramPlan plan = analysis::plan_program(program);
+  ASSERT_EQ(plan.calls.size(), 1u);
+  EXPECT_EQ(plan.calls[0].envelope.cycles.upper, 0u);
+  EXPECT_EQ(plan.calls[0].inputs[0].kind, TransferKind::Transferred);
+  EXPECT_EQ(plan.calls[0].inputs[0].words, 0u);
+}
+
+// ---- calibration against the backends (golden workloads, tier1) ------------
+
+/// Executes every call of `program` on the given backend and asserts the
+/// measured cost lands inside the static envelope.  Frame content is
+/// deterministic; outputs feed later calls exactly as a driver would.
+void expect_backend_inside_envelope(const CallProgram& program,
+                                    core::EngineMode mode) {
+  const ProgramPlan plan = analysis::plan_program(program);
+  core::EngineBackend backend({}, mode);
+  std::vector<img::Image> images(program.frames().size());
+  for (std::size_t f = 0; f < program.frames().size(); ++f)
+    if (program.frames()[f].producer == analysis::kNoFrame)
+      images[f] = img::make_test_frame(program.frames()[f].size, 7 + f);
+
+  for (std::size_t i = 0; i < program.calls().size(); ++i) {
+    const analysis::ProgramCall& pc = program.calls()[i];
+    SCOPED_TRACE("call " + std::to_string(i) + " [" + to_string(mode) +
+                 "]: " + pc.call.describe());
+    const img::Image& a = images[static_cast<std::size_t>(pc.input_a)];
+    const img::Image* b =
+        pc.input_b != analysis::kNoFrame
+            ? &images[static_cast<std::size_t>(pc.input_b)]
+            : nullptr;
+    alib::CallResult result = backend.execute(pc.call, a, b);
+    const core::EngineRunStats& run = backend.last_run();
+    const CostEnvelope& env = plan.calls[i].envelope;
+
+    EXPECT_TRUE(env.cycles.contains(run.cycles))
+        << "cycles " << run.cycles << " outside [" << env.cycles.lower
+        << ", " << env.cycles.upper << "]";
+    if (mode == core::EngineMode::CycleAccurate) {
+      EXPECT_EQ(run.words_in, env.dma_words_in);
+      EXPECT_EQ(run.words_out, env.dma_words_out);
+      EXPECT_TRUE(env.zbt_reads.contains(run.zbt_read_transactions))
+          << run.zbt_read_transactions;
+      EXPECT_TRUE(env.zbt_writes.contains(run.zbt_write_transactions))
+          << run.zbt_write_transactions;
+      const core::ScanSpace space(a.size(), pc.call.scan);
+      EXPECT_LE(run.oim_peak,
+                static_cast<u64>(env.oim_peak_lines) *
+                    static_cast<u64>(space.line_length()));
+    }
+    images[static_cast<std::size_t>(pc.output)] = std::move(result.output);
+  }
+}
+
+/// The same three known-good programs `aeverify --golden` checks.
+std::vector<CallProgram> golden_programs() {
+  std::vector<CallProgram> programs;
+  {
+    CallProgram p;
+    const i32 frame = p.add_input(kFrame, "frame");
+    p.mark_output(p.add_call(intra_con8(), frame));
+    programs.push_back(std::move(p));
+  }
+  {
+    CallProgram p;
+    const i32 cur = p.add_input(Size{64, 48}, "cur");
+    const i32 ref = p.add_input(Size{64, 48}, "ref");
+    p.mark_output(p.add_call(Call::make_inter(PixelOp::AbsDiff), cur, ref));
+    programs.push_back(std::move(p));
+  }
+  {
+    CallProgram p;
+    const i32 frame = p.add_input(kFrame, "frame");
+    alib::SegmentSpec spec;
+    spec.seeds = {Point{4, 4}, Point{30, 20}};
+    spec.luma_threshold = 18;
+    const i32 seg = p.add_call(
+        Call::make_segment(PixelOp::Copy, Neighborhood::con4(), spec,
+                           ChannelMask::y(),
+                           ChannelMask::y().with(Channel::Alfa)),
+        frame);
+    p.mark_output(p.add_call(pointwise(), seg));
+    programs.push_back(std::move(p));
+  }
+  return programs;
+}
+
+TEST(PlanCalibration, GoldenProgramsLandInsideTheEnvelopeCycleAccurate) {
+  for (const CallProgram& program : golden_programs())
+    expect_backend_inside_envelope(program, core::EngineMode::CycleAccurate);
+}
+
+TEST(PlanCalibration, GoldenProgramsLandInsideTheEnvelopeAnalytic) {
+  for (const CallProgram& program : golden_programs())
+    expect_backend_inside_envelope(program, core::EngineMode::Analytic);
+}
+
+// ---- AEW lints: one positive and one negative case per rule ----------------
+
+bool fires(const CallProgram& program, const char* rule) {
+  return analysis::lint_program(program).mentions(rule);
+}
+
+TEST(Lints, Aew300RedundantReupload) {
+  CallProgram positive;
+  const i32 a = positive.add_input(kFrame, "a");
+  positive.add_call(intra_con8(), a);
+  positive.add_call(pointwise(), a);  // a still resident: reused
+  EXPECT_TRUE(fires(positive, analysis::rules::kRedundantReupload));
+
+  CallProgram negative;
+  const i32 x = negative.add_input(kFrame, "x");
+  const i32 y = negative.add_input(kFrame, "y");
+  negative.add_call(intra_con8(), x);
+  negative.add_call(intra_con8(), y);  // fresh frame each call: no reuse
+  EXPECT_FALSE(fires(negative, analysis::rules::kRedundantReupload));
+}
+
+TEST(Lints, Aew301DeadStoreOverwrite) {
+  CallProgram positive;
+  const i32 a = positive.add_input(kFrame, "a");
+  positive.add_call(intra_con8(), a);  // result never read, then overwritten
+  const i32 keep = positive.add_call(pointwise(), a);
+  positive.mark_output(keep);
+  EXPECT_TRUE(fires(positive, analysis::rules::kDeadStoreOverwrite));
+
+  CallProgram negative;  // same shape, but the first result is an output
+  const i32 b = negative.add_input(kFrame, "b");
+  const i32 r0 = negative.add_call(intra_con8(), b);
+  const i32 r1 = negative.add_call(pointwise(), b);
+  negative.mark_output(r0);
+  negative.mark_output(r1);
+  EXPECT_FALSE(fires(negative, analysis::rules::kDeadStoreOverwrite));
+}
+
+TEST(Lints, Aew302StripBelowBreakEven) {
+  CallProgram positive;  // 16-pixel lines: 603 busy cycles vs 1320 overhead
+  const i32 a = positive.add_input(Size{16, 16}, "a");
+  positive.mark_output(positive.add_call(pointwise(), a));
+  EXPECT_TRUE(fires(positive, analysis::rules::kStripBelowBreakEven));
+
+  CallProgram negative;  // 96-pixel lines amortize the handshake
+  const i32 b = negative.add_input(Size{96, 16}, "b");
+  negative.mark_output(negative.add_call(pointwise(), b));
+  EXPECT_FALSE(fires(negative, analysis::rules::kStripBelowBreakEven));
+}
+
+TEST(Lints, Aew303FusablePointwisePair) {
+  CallProgram positive;
+  const i32 a = positive.add_input(kFrame, "a");
+  const i32 r0 = positive.add_call(intra_con8(), a);
+  positive.mark_output(positive.add_call(pointwise(), r0));
+  EXPECT_TRUE(fires(positive, analysis::rules::kFusablePointwisePair));
+
+  CallProgram negative;  // consumer has a real neighborhood: not fusable
+  const i32 b = negative.add_input(kFrame, "b");
+  const i32 r1 = negative.add_call(pointwise(), b);
+  negative.mark_output(negative.add_call(intra_con8(), r1));
+  EXPECT_FALSE(fires(negative, analysis::rules::kFusablePointwisePair));
+
+  CallProgram kept;  // intermediate is also a program output: not fusable
+  const i32 c = kept.add_input(kFrame, "c");
+  const i32 r2 = kept.add_call(intra_con8(), c);
+  kept.mark_output(r2);
+  kept.mark_output(kept.add_call(pointwise(), r2));
+  EXPECT_FALSE(fires(kept, analysis::rules::kFusablePointwisePair));
+}
+
+TEST(Lints, Aew304ReorderForReuse) {
+  CallProgram positive;
+  const i32 a = positive.add_input(kFrame, "a");
+  const i32 b = positive.add_input(kFrame, "b");
+  const i32 c = positive.add_input(kFrame, "c");
+  positive.add_call(intra_con8(), a);
+  positive.add_call(Call::make_inter(PixelOp::AbsDiff), b, c);  // evicts a
+  positive.add_call(pointwise(), a);  // hoistable next to call 0
+  EXPECT_TRUE(fires(positive, analysis::rules::kReorderForReuse));
+
+  CallProgram negative;  // the late consumer also needs the evictor's result
+  const i32 x = negative.add_input(kFrame, "x");
+  const i32 y = negative.add_input(kFrame, "y");
+  const i32 z = negative.add_input(kFrame, "z");
+  negative.add_call(intra_con8(), x);
+  const i32 r = negative.add_call(Call::make_inter(PixelOp::AbsDiff), y, z);
+  negative.add_call(Call::make_inter(PixelOp::AbsDiff), x, r);
+  EXPECT_FALSE(fires(negative, analysis::rules::kReorderForReuse));
+}
+
+TEST(Lints, Aew305SegmentVacuousCriterion) {
+  const auto segment_program = [](i32 luma, i32 chroma) {
+    CallProgram p;
+    const i32 frame = p.add_input(kFrame, "frame");
+    alib::SegmentSpec spec;
+    spec.seeds = {Point{4, 4}};
+    spec.luma_threshold = luma;
+    spec.chroma_threshold = chroma;
+    p.mark_output(p.add_call(
+        Call::make_segment(PixelOp::Copy, Neighborhood::con4(), spec,
+                           ChannelMask::y(),
+                           ChannelMask::y().with(Channel::Alfa)),
+        frame));
+    return p;
+  };
+  EXPECT_TRUE(fires(segment_program(255, -1),
+                    analysis::rules::kSegmentVacuousCriterion));
+  EXPECT_TRUE(fires(segment_program(400, 300),
+                    analysis::rules::kSegmentVacuousCriterion));
+  EXPECT_FALSE(fires(segment_program(16, -1),
+                     analysis::rules::kSegmentVacuousCriterion));
+  EXPECT_FALSE(fires(segment_program(255, 20),
+                     analysis::rules::kSegmentVacuousCriterion));
+}
+
+TEST(Lints, EveryAewRuleIsInTheCatalogAsAWarning) {
+  const char* const kAewRules[] = {
+      analysis::rules::kRedundantReupload,
+      analysis::rules::kDeadStoreOverwrite,
+      analysis::rules::kStripBelowBreakEven,
+      analysis::rules::kFusablePointwisePair,
+      analysis::rules::kReorderForReuse,
+      analysis::rules::kSegmentVacuousCriterion,
+  };
+  for (const char* id : kAewRules) {
+    bool found = false;
+    for (const analysis::rules::RuleInfo& rule : analysis::rules::catalog())
+      if (std::string(rule.id) == id) {
+        found = true;
+        EXPECT_EQ(rule.severity, analysis::Severity::Warning) << id;
+      }
+    EXPECT_TRUE(found) << id;
+  }
+}
+
+TEST(Lints, LintsNeverChangeTheDefaultExitCode) {
+  CallProgram program;
+  const i32 a = program.add_input(kFrame, "a");
+  program.add_call(intra_con8(), a);
+  program.add_call(pointwise(), a);  // AEW300 fires
+  Report report = analysis::verify_program(program);
+  report.merge(analysis::lint_program(program));
+  EXPECT_TRUE(report.mentions(analysis::rules::kRedundantReupload));
+  EXPECT_EQ(report.exit_code(/*strict=*/false), analysis::kExitClean);
+  EXPECT_EQ(report.exit_code(/*strict=*/true), analysis::kExitErrors);
+}
+
+// ---- JSON renderings: the schema is pinned here ----------------------------
+
+TEST(Json, QuoteEscapesTheJsonEscapeSet) {
+  EXPECT_EQ(analysis::json_quote("plain"), "\"plain\"");
+  EXPECT_EQ(analysis::json_quote("a\"b\\c"), "\"a\\\"b\\\\c\"");
+  EXPECT_EQ(analysis::json_quote("line\nbreak\tand\rcr"),
+            "\"line\\nbreak\\tand\\rcr\"");
+  EXPECT_EQ(analysis::json_quote(std::string(1, '\x01')), "\"\\u0001\"");
+}
+
+TEST(Json, ReportSchemaIsPinned) {
+  Report report;
+  report.add(analysis::Severity::Error, "AEV200", 3, "msg", "hint");
+  report.add(analysis::Severity::Warning, "AEW300", analysis::kProgramScope,
+             "warn");
+  EXPECT_EQ(analysis::report_json(report),
+            "{\"errors\":1,\"warnings\":1,\"diagnostics\":["
+            "{\"rule\":\"AEV200\",\"severity\":\"error\",\"call\":3,"
+            "\"message\":\"msg\",\"fix_hint\":\"hint\"},"
+            "{\"rule\":\"AEW300\",\"severity\":\"warning\",\"call\":-1,"
+            "\"message\":\"warn\"}]}");
+}
+
+TEST(Json, PlanSchemaIsPinned) {
+  CallProgram program;
+  const i32 a = program.add_input(kFrame, "a");
+  program.mark_output(program.add_call(pointwise(), a));
+  const ProgramPlan plan = analysis::plan_program(program);
+  const std::string json = analysis::plan_json(plan, program);
+  // Structural keys, not values: the numbers move with the cost model, the
+  // schema must not.
+  for (const char* key :
+       {"{\"calls\":[{\"index\":0,\"output\":", "\"mode\":\"intra\"",
+        "\"cycles\":{\"lower\":", "\"estimate\":", "\"dma_words\":{\"in\":",
+        "\"zbt_reads\":{\"lower\":", "\"zbt_writes\":{\"lower\":",
+        "\"iim_peak_lines\":", "\"oim_peak_lines\":",
+        "\"inputs\":[{\"frame\":\"a\",\"kind\":\"transferred\",\"words\":",
+        "\"avoidable_words\":", "\"total\":{", "\"transfers\":{\"total\":1,"
+        "\"avoidable\":0,\"avoidable_words\":0}"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key
+                                                 << " in " << json;
+  }
+}
+
+TEST(Json, TransferKindNames) {
+  EXPECT_EQ(analysis::to_string(TransferKind::Transferred), "transferred");
+  EXPECT_EQ(analysis::to_string(TransferKind::Reused), "reused");
+  EXPECT_EQ(analysis::to_string(TransferKind::Relocated), "relocated");
+}
+
+TEST(Format, PlanTableRendersCallsAndTotals) {
+  CallProgram program;
+  const i32 a = program.add_input(kFrame, "a");
+  program.mark_output(program.add_call(pointwise(), a));
+  const ProgramPlan plan = analysis::plan_program(program);
+  const std::string text = plan.format(program);
+  EXPECT_NE(text.find("call 0"), std::string::npos);
+  EXPECT_NE(text.find("a:transferred"), std::string::npos);
+  EXPECT_NE(text.find("total: cycles=["), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ae

@@ -12,6 +12,9 @@
 //   --strict    warnings also fail (exit 1)
 //   --quiet     print only the per-file summary line
 //   --echo      print the parsed program back before the report
+//   --plan      print the static cost/residency plan (aeplan)
+//   --lint      run the AEW performance lints alongside verification
+//   --json      machine-readable output: one JSON object per input
 //
 // Exit codes (the contract shared with the library, diagnostic.hpp):
 //   0  no diagnostics (warnings allowed unless --strict)
@@ -24,6 +27,8 @@
 #include <string>
 #include <vector>
 
+#include "analysis/lints.hpp"
+#include "analysis/planner.hpp"
 #include "analysis/program_text.hpp"
 #include "analysis/rules.hpp"
 #include "analysis/verifier.hpp"
@@ -39,11 +44,15 @@ struct CliOptions {
   bool strict = false;
   bool quiet = false;
   bool echo = false;
+  bool plan = false;
+  bool lint = false;
+  bool json = false;
   std::vector<std::string> files;
 };
 
 void print_usage(std::ostream& os) {
-  os << "usage: aeverify [--strict] [--quiet] [--echo] <program ...|->\n"
+  os << "usage: aeverify [--strict] [--quiet] [--echo] [--plan] [--lint] "
+        "[--json] <program ...|->\n"
         "       aeverify --rules | --golden | --demo-bad\n"
         "exit codes: 0 clean, 1 errors (any finding under --strict), "
         "2 usage/parse error\n";
@@ -101,10 +110,29 @@ int verify_text(const std::string& label, const std::string& text,
     return kExitUsage;
   }
   if (options.echo) std::cout << analysis::format_program(program);
-  const analysis::Report report = analysis::verify_program(program);
-  if (!options.quiet)
+  analysis::Report report = analysis::verify_program(program);
+
+  analysis::ProgramPlan plan;
+  const bool need_plan = options.plan || options.lint;
+  if (need_plan) plan = analysis::plan_program(program);
+  if (options.lint) report.merge(analysis::lint_program(program, plan));
+
+  if (options.json) {
+    // One object per input so pipelines can stream per-file results:
+    //   {"file":..., "report":{...}[, "plan":{...}]}
+    std::cout << "{\"file\":" << analysis::json_quote(label)
+              << ",\"report\":" << analysis::report_json(report);
+    if (options.plan)
+      std::cout << ",\"plan\":" << analysis::plan_json(plan, program);
+    std::cout << "}\n";
+    return report.exit_code(options.strict);
+  }
+
+  if (!options.quiet) {
     for (const analysis::Diagnostic& d : report.diagnostics())
       std::cout << d.format() << "\n";
+    if (options.plan) std::cout << plan.format(program) << "\n";
+  }
   std::cout << label << ": " << report.error_count() << " error(s), "
             << report.warning_count() << " warning(s)\n";
   return report.exit_code(options.strict);
@@ -163,6 +191,12 @@ int main(int argc, char** argv) {
       options.quiet = true;
     } else if (arg == "--echo") {
       options.echo = true;
+    } else if (arg == "--plan") {
+      options.plan = true;
+    } else if (arg == "--lint") {
+      options.lint = true;
+    } else if (arg == "--json") {
+      options.json = true;
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
       std::cerr << "aeverify: unknown option '" << arg << "'\n";
       print_usage(std::cerr);
