@@ -11,6 +11,8 @@ std::string to_string(FaultKind k) {
     case FaultKind::LostInterrupt: return "lost-interrupt";
     case FaultKind::ZbtBitFlip: return "zbt-bit-flip";
     case FaultKind::ReadbackCorrupt: return "readback-corrupt";
+    case FaultKind::SnapshotCorrupt: return "snapshot-corrupt";
+    case FaultKind::RestoreCorrupt: return "restore-corrupt";
   }
   return "?";
 }
@@ -18,7 +20,9 @@ std::string to_string(FaultKind k) {
 void validate_plan(const FaultPlan& plan) {
   const double rates[] = {plan.dma_corrupt_rate, plan.dma_drop_rate,
                           plan.interrupt_loss_rate, plan.zbt_flip_rate,
-                          plan.readback_corrupt_rate};
+                          plan.readback_corrupt_rate,
+                          plan.snapshot_corrupt_rate,
+                          plan.restore_corrupt_rate};
   for (const double r : rates)
     AE_EXPECTS(r >= 0.0 && r <= 1.0, "fault rates must lie in [0, 1]");
 }
@@ -118,6 +122,25 @@ bool FaultInjector::corrupt_readback_word(u32& value) {
     return false;
   value ^= flip_mask();
   ++counters_.readback_corrupted;
+  return true;
+}
+
+i64 FaultInjector::corrupt_snapshot(std::size_t payload_bytes, u32& flip) {
+  if (!enabled_ || payload_bytes == 0) return -1;
+  if (!fires(FaultKind::SnapshotCorrupt, plan_.snapshot_corrupt_rate))
+    return -1;
+  ++counters_.snapshots_corrupted;
+  flip = 1u << rng_.bounded(8);
+  return static_cast<i64>(
+      rng_.bounded(static_cast<u32>(payload_bytes)));
+}
+
+bool FaultInjector::corrupt_restore_word(u32& value) {
+  if (!enabled_) return false;
+  if (!fires(FaultKind::RestoreCorrupt, plan_.restore_corrupt_rate))
+    return false;
+  value ^= flip_mask();
+  ++counters_.restore_words_corrupted;
   return true;
 }
 

@@ -45,8 +45,10 @@ enum class FaultKind : u8 {
   LostInterrupt,    ///< strip/completion interrupt never reaches the host
   ZbtBitFlip,       ///< SRAM bit flip as a word is stored in a bank
   ReadbackCorrupt,  ///< result word flipped on the bus during readback
+  SnapshotCorrupt,  ///< shard snapshot blob flipped at rest (host memory)
+  RestoreCorrupt,   ///< frame word flipped on the bus during bulk restore
 };
-constexpr int kFaultKinds = 5;
+constexpr int kFaultKinds = 7;
 
 std::string to_string(FaultKind k);
 
@@ -69,12 +71,18 @@ struct FaultPlan {
   double interrupt_loss_rate = 0.0;   ///< per raised interrupt
   double zbt_flip_rate = 0.0;         ///< per word stored in any bank
   double readback_corrupt_rate = 0.0; ///< per result word read back
+  /// Elastic-serving hazards (serve/snapshot.hpp): a snapshot blob rotting
+  /// at rest (per snapshot taken), and bus corruption while a restore
+  /// streams resident frames back onto a board (per restored word).
+  double snapshot_corrupt_rate = 0.0; ///< per snapshot serialized
+  double restore_corrupt_rate = 0.0;  ///< per frame word streamed on restore
   std::vector<ScriptedFault> script;
 
   bool any() const {
     return dma_corrupt_rate > 0.0 || dma_drop_rate > 0.0 ||
            interrupt_loss_rate > 0.0 || zbt_flip_rate > 0.0 ||
-           readback_corrupt_rate > 0.0 || !script.empty();
+           readback_corrupt_rate > 0.0 || snapshot_corrupt_rate > 0.0 ||
+           restore_corrupt_rate > 0.0 || !script.empty();
   }
 };
 
@@ -107,10 +115,13 @@ struct FaultCounters {
   u64 interrupts_lost = 0;
   u64 zbt_bits_flipped = 0;
   u64 readback_corrupted = 0;
+  u64 snapshots_corrupted = 0;
+  u64 restore_words_corrupted = 0;
 
   u64 total() const {
     return words_corrupted + words_dropped + interrupts_lost +
-           zbt_bits_flipped + readback_corrupted;
+           zbt_bits_flipped + readback_corrupted + snapshots_corrupted +
+           restore_words_corrupted;
   }
 };
 
@@ -121,9 +132,12 @@ struct DetectionCounters {
   u64 strip_crc_mismatches = 0;
   u64 readback_mismatches = 0;
   u64 watchdog_fires = 0;
+  u64 snapshot_checksum_mismatches = 0;
+  u64 restore_crc_mismatches = 0;
 
   u64 total() const {
-    return strip_crc_mismatches + readback_mismatches + watchdog_fires;
+    return strip_crc_mismatches + readback_mismatches + watchdog_fires +
+           snapshot_checksum_mismatches + restore_crc_mismatches;
   }
 };
 
@@ -218,6 +232,17 @@ class FaultInjector {
   /// the host receives.  Returns true if flipped.
   bool corrupt_readback_word(u32& value);
 
+  /// Bit rot in a serialized shard snapshot (one opportunity per snapshot
+  /// taken): maybe flips one bit of one payload byte.  Returns the byte
+  /// index to corrupt, or a negative value for "blob stays intact".  The
+  /// caller applies the flip so the injector never needs to see the blob.
+  i64 corrupt_snapshot(std::size_t payload_bytes, u32& flip);
+
+  /// Bus corruption while a restore streams a resident frame back onto the
+  /// board: maybe flips one bit of the word in flight.  Returns true if
+  /// flipped.
+  bool corrupt_restore_word(u32& value);
+
   const FaultCounters& counters() const { return counters_; }
 
   // Detection sites report here so a driver session can account every
@@ -225,6 +250,8 @@ class FaultInjector {
   void note_strip_mismatch() { ++detections_.strip_crc_mismatches; }
   void note_readback_mismatch() { ++detections_.readback_mismatches; }
   void note_watchdog() { ++detections_.watchdog_fires; }
+  void note_snapshot_mismatch() { ++detections_.snapshot_checksum_mismatches; }
+  void note_restore_mismatch() { ++detections_.restore_crc_mismatches; }
   const DetectionCounters& detections() const { return detections_; }
 
  private:

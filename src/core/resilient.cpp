@@ -41,6 +41,24 @@ std::string ResilientSession::name() const {
   return "resilient/" + session_.name();
 }
 
+void ResilientSession::restore_breaker(const BreakerSnapshot& snapshot) {
+  breaker_ = snapshot.state;
+  consecutive_failed_calls_ = snapshot.consecutive_failed_calls;
+  cooldown_used_ = snapshot.cooldown_used;
+}
+
+void ResilientSession::replace_board(const FaultPlan& plan) {
+  validate_plan(plan);
+  options_.plan = plan;
+  injector_.set_plan(plan);
+  // set_fault re-evaluates the analytic-vs-simulated path choice for the
+  // new plan and invalidates residency either way.
+  session_.set_fault(&injector_);
+  breaker_ = BreakerState::Closed;
+  consecutive_failed_calls_ = 0;
+  cooldown_used_ = 0;
+}
+
 void ResilientSession::set_trace(EngineTrace* trace) {
   trace_ = trace;
   session_.set_trace(trace);

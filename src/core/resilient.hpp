@@ -56,6 +56,15 @@ void validate_resilient_options(const ResilientOptions& options);
 enum class BreakerState : u8 { Closed, Open, HalfOpen };
 std::string to_string(BreakerState s);
 
+/// Serializable view of the driver's health state machine — everything a
+/// shard snapshot must carry to resume the breaker/backoff window exactly
+/// where it stopped (serve/snapshot.hpp).
+struct BreakerSnapshot {
+  BreakerState state = BreakerState::Closed;
+  int consecutive_failed_calls = 0;
+  int cooldown_used = 0;
+};
+
 struct ResilientStats {
   i64 calls = 0;              ///< calls answered (engine or software)
   i64 engine_calls = 0;       ///< answered by the engine
@@ -100,6 +109,27 @@ class ResilientSession : public alib::Backend {
   FaultInjector& injector() { return injector_; }
   const FaultInjector& injector() const { return injector_; }
   const EngineSession& session() const { return session_; }
+
+  /// Health state machine as a serializable value (shard checkpointing).
+  BreakerSnapshot breaker_snapshot() const {
+    return {breaker_, consecutive_failed_calls_, cooldown_used_};
+  }
+  /// Installs a previously exported health state.  Must not run
+  /// concurrently with execute() — same single-owner contract.
+  void restore_breaker(const BreakerSnapshot& snapshot);
+
+  /// Models swapping the physical board: the transport adversary is
+  /// replaced by `plan` (reseeded; counters keep accumulating), the breaker
+  /// closes, the failure window clears and all residency is forgotten —
+  /// nothing on a new board is resident yet.  Cumulative stats survive:
+  /// they account the shard's service history, not one board's.
+  void replace_board(const FaultPlan& plan);
+
+  /// Residency of the wrapped session (forwarded; see EngineSession).
+  ResidencySnapshot residency() const { return session_.residency(); }
+  void restore_residency(const ResidencySnapshot& snapshot) {
+    session_.restore_residency(snapshot);
+  }
 
   /// Timeline sink for simulated calls and driver events; may be null.
   void set_trace(EngineTrace* trace);

@@ -55,6 +55,28 @@ void EngineSession::invalidate() {
   result_slot_ = 0;
 }
 
+ResidencySnapshot EngineSession::residency() const {
+  ResidencySnapshot snapshot;
+  for (std::size_t s = 0; s < input_slot_.size(); ++s) {
+    snapshot.input_slots[s].hash = input_slot_[s].hash;
+    snapshot.input_slots[s].last_use = input_slot_[s].last_use;
+    snapshot.input_slots[s].transient = input_slot_[s].transient;
+  }
+  snapshot.result_hash = result_slot_;
+  snapshot.use_clock = use_clock_;
+  return snapshot;
+}
+
+void EngineSession::restore_residency(const ResidencySnapshot& snapshot) {
+  for (std::size_t s = 0; s < input_slot_.size(); ++s) {
+    input_slot_[s].hash = snapshot.input_slots[s].hash;
+    input_slot_[s].last_use = snapshot.input_slots[s].last_use;
+    input_slot_[s].transient = snapshot.input_slots[s].transient;
+  }
+  result_slot_ = snapshot.result_hash;
+  use_clock_ = std::max(use_clock_, snapshot.use_clock);
+}
+
 void EngineSession::set_fault(FaultInjector* fault) {
   fault_ = fault;
   // Board content is untrusted across a mode change either way.

@@ -59,6 +59,27 @@ struct CallPhases {
   u64 total_cycles = 0;
 };
 
+/// Serializable view of the residency tables — what a shard snapshot needs
+/// to rebuild the timing-model state of a board (serve/snapshot.hpp).
+/// Functional results never depend on residency, so restoring this state is
+/// bit-exactness-safe by construction; it only changes what the model
+/// charges for future transfers.
+struct ResidencySnapshot {
+  struct Slot {
+    u64 hash = 0;  ///< frame content hash; 0 means "empty slot"
+    u64 last_use = 0;
+    bool transient = false;
+  };
+  std::array<Slot, 2> input_slots{};
+  u64 result_hash = 0;
+  u64 use_clock = 0;
+
+  bool empty() const {
+    return input_slots[0].hash == 0 && input_slots[1].hash == 0 &&
+           result_hash == 0;
+  }
+};
+
 struct SessionStats {
   i64 calls = 0;
   i64 inputs_transferred = 0;
@@ -103,6 +124,13 @@ class EngineSession : public alib::Backend {
   const CallPhases& last_phases() const { return last_phases_; }
   /// Forgets all residency (e.g. the host reused the buffers).
   void invalidate();
+
+  /// Residency tables as a serializable value (shard checkpointing).
+  ResidencySnapshot residency() const;
+  /// Installs previously exported residency, replacing the current tables.
+  /// The use clock never rewinds — LRU ordering of frames the session
+  /// touched after the snapshot stays ahead of the restored entries.
+  void restore_residency(const ResidencySnapshot& snapshot);
 
   /// Attaches a transport adversary: subsequent calls run through the full
   /// cycle simulator with the injector in the loop and may throw

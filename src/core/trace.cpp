@@ -28,6 +28,11 @@ std::string to_string(TraceEvent e) {
     case TraceEvent::QueueDepth: return "queue-depth";
     case TraceEvent::BatchDispatched: return "batch-dispatched";
     case TraceEvent::ShardOccupancy: return "shard-occupancy";
+    case TraceEvent::SnapshotTaken: return "snapshot-taken";
+    case TraceEvent::ShardKilled: return "shard-killed";
+    case TraceEvent::ShardRestored: return "shard-restored";
+    case TraceEvent::FramesMigrated: return "frames-migrated";
+    case TraceEvent::ShardCountChanged: return "shard-count-changed";
   }
   return "?";
 }

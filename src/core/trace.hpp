@@ -40,6 +40,14 @@ enum class TraceEvent : u8 {
   QueueDepth,          ///< arg = pending submissions after a queue change
   BatchDispatched,     ///< arg = calls routed in this scheduling round
   ShardOccupancy,      ///< arg = shard queue depth at dispatch (per shard)
+
+  // Elastic serving (shard checkpoint/restore, resharding).  Recorded on
+  // the farm's scheduler trace with dispatch-sequence timestamps.
+  SnapshotTaken,       ///< arg = shard whose state was serialized
+  ShardKilled,         ///< arg = shard that lost its board state
+  ShardRestored,       ///< arg = shard; warm (from snapshot) or cold
+  FramesMigrated,      ///< arg = resident frames moved by a rebalance
+  ShardCountChanged,   ///< arg = shard count after a resize
 };
 
 std::string to_string(TraceEvent e);

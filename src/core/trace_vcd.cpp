@@ -147,6 +147,11 @@ void write_vcd(const EngineTrace& trace, std::ostream& os,
       case TraceEvent::QueueDepth:
       case TraceEvent::BatchDispatched:
       case TraceEvent::ShardOccupancy:
+      case TraceEvent::SnapshotTaken:
+      case TraceEvent::ShardKilled:
+      case TraceEvent::ShardRestored:
+      case TraceEvent::FramesMigrated:
+      case TraceEvent::ShardCountChanged:
         break;  // farm-level events carry no per-call waveform signal
     }
     last_cycle = r.cycle;

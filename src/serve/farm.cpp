@@ -24,7 +24,8 @@ u64 frame_transfer_cycles(const core::EngineConfig& config, Size frame) {
   const double wpc = core::timing_detail::words_per_cycle(config);
   const i64 lines = frame.height;  // strip count in row-major scan space
   const i64 strips = (lines + config.strip_lines - 1) / config.strip_lines;
-  return core::timing_detail::ceil_div_words(2.0 * frame.area(), wpc) +
+  return core::timing_detail::ceil_div_words(
+             2.0 * static_cast<double>(frame.area()), wpc) +
          static_cast<u64>(strips) * config.interrupt_overhead_cycles;
 }
 
@@ -77,14 +78,21 @@ EngineFarm::EngineFarm(FarmOptions options) : options_(std::move(options)) {
     shards_.push_back(
         std::make_unique<Shard>(options_.config, shard_options));
   }
-  for (auto& shard : shards_)
-    shard->worker = std::thread([this, &shard] { worker_loop(*shard); });
+  for (auto& shard : shards_) start_worker(*shard);
   scheduler_ = std::thread([this] { scheduler_loop(); });
 }
 
 EngineFarm::~EngineFarm() { shutdown(); }
 
+void EngineFarm::start_worker(Shard& shard) {
+  // Capture the heap object, never the vector slot: resize() may grow
+  // `shards_` (reallocating the slots) while this worker runs.
+  Shard* p = &shard;
+  shard.worker = std::thread([this, p] { worker_loop(*p); });
+}
+
 std::string EngineFarm::name() const {
+  sync::MutexLock lifecycle(lifecycle_mu_);  // resize() mutates shards_
   return "farm/" + std::to_string(shards_.size()) + "x" +
          shards_.front()->session.name();
 }
@@ -122,7 +130,10 @@ std::future<alib::CallResult> EngineFarm::submit(const alib::Call& call,
   request.call = call;
   request.a = &a;
   request.b = b;
-  if (options_.affinity_routing || options_.cost_aware_routing) {
+  if (options_.affinity_routing || options_.cost_aware_routing ||
+      options_.elastic_state_tracking) {
+    // Elastic tracking needs the hashes too: the worker keys its host-side
+    // resident-frame copies by the same content hash.
     request.hash_a = core::frame_content_hash(a);
     request.hash_b = b != nullptr ? core::frame_content_hash(*b) : 0;
   }
@@ -271,7 +282,12 @@ void EngineFarm::scheduler_loop() {
     std::vector<Request> batch;
     {
       sync::MutexLock lock(mu_);
-      while (!stop_ && pending_.empty()) sched_cv_.wait(mu_);
+      // Park point: while waiting here the scheduler touches no shard or
+      // routing state, which is what SchedulerPause waits to observe.
+      scheduler_idle_ = true;
+      pause_cv_.notify_all();
+      while (!stop_ && (pending_.empty() || paused_)) sched_cv_.wait(mu_);
+      scheduler_idle_ = false;
       if (pending_.empty()) return;  // stop_ and nothing left to route
       const auto take = std::min(pending_.size(),
                                  static_cast<std::size_t>(options_.max_batch));
@@ -316,13 +332,20 @@ void EngineFarm::worker_loop(Shard& shard) {
     }
 
     const i64 fallbacks_before = shard.session.stats().fallback_calls;
+    const i64 retries_before = shard.session.stats().call_retries;
     u64 overlap = 0;
     bool on_engine = false;
     try {
       alib::CallResult result =
           shard.session.execute(request.call, *request.a, request.b);
       on_engine = shard.session.stats().fallback_calls == fallbacks_before;
-      if (on_engine && can_overlap) {
+      // A call that needed whole-call retries streamed its inputs more than
+      // once, but the previous call's tail could hide only the *first*
+      // attempt's strips.  Crediting overlap to the surviving attempt would
+      // subtract the same tail twice and understate the shard clock (and
+      // the farm makespan) under faults.
+      const bool retried = shard.session.stats().call_retries != retries_before;
+      if (on_engine && can_overlap && !retried) {
         const core::CallPhases& phases = shard.session.session().last_phases();
         overlap = std::min(phases.input_cycles,
                            shard.prev_phases.post_input_cycles);
@@ -335,15 +358,19 @@ void EngineFarm::worker_loop(Shard& shard) {
         ++shard.calls;
         shard.clock_cycles += result.stats.cycles;
         shard.overlap_saved += overlap;
+        if (on_engine && can_overlap && retried) ++shard.retry_pipeline_breaks;
         shard.breaker = shard.session.breaker();
         shard.resilient = shard.session.stats();
         shard.session_stats = shard.session.session().stats();
+        if (options_.elastic_state_tracking)
+          update_resident_frames(shard, request, result.output);
         shard.busy = false;
         // Pipeline continuity: the *next* call may overlap only if it is
         // already waiting now (otherwise its strips missed this tail).
         shard.prev_on_engine = on_engine && !shard.queue.empty();
         if (on_engine) shard.prev_phases = shard.session.session().last_phases();
       }
+      shard.cv.notify_all();  // elastic operations wait for !busy
       request.promise.set_value(std::move(result));
     } catch (...) {
       // ResilientSession absorbs transport faults; anything arriving here
@@ -354,6 +381,7 @@ void EngineFarm::worker_loop(Shard& shard) {
         shard.busy = false;
         shard.prev_on_engine = false;
       }
+      shard.cv.notify_all();
       request.promise.set_exception(std::current_exception());
     }
 
@@ -396,6 +424,9 @@ void EngineFarm::shutdown() {
 }
 
 FarmStats EngineFarm::stats() const {
+  // Taken before mu_ (documented order); makes the shards_ iteration safe
+  // against a concurrent resize().
+  sync::MutexLock lifecycle(lifecycle_mu_);
   FarmStats stats;
   {
     sync::MutexLock lock(mu_);
@@ -406,6 +437,12 @@ FarmStats EngineFarm::stats() const {
     stats.affinity_spills = affinity_spills_;
     stats.admission_rejected = admission_rejected_;
     stats.peak_queue_depth = peak_queue_depth_;
+    stats.snapshots_taken = snapshots_taken_;
+    stats.restores = restores_;
+    stats.warm_recoveries = warm_recoveries_;
+    stats.cold_recoveries = cold_recoveries_;
+    stats.frames_migrated = frames_migrated_;
+    stats.migration_pci_words = migration_pci_words_;
   }
   stats.shards.reserve(shards_.size());
   for (const auto& shard : shards_) {
@@ -415,6 +452,8 @@ FarmStats EngineFarm::stats() const {
     s.affinity_calls = shard->affinity_calls;
     s.busy_cycles = shard->clock_cycles;
     s.overlap_cycles_saved = shard->overlap_saved;
+    s.elastic_cycles = shard->elastic_cycles;
+    s.retry_pipeline_breaks = shard->retry_pipeline_breaks;
     s.peak_queue_depth = shard->peak_depth;
     s.breaker = shard->breaker;
     s.resilient = shard->resilient;
@@ -428,6 +467,485 @@ FarmStats EngineFarm::stats() const {
 void EngineFarm::set_scheduler_trace(core::EngineTrace* trace) {
   sync::MutexLock lock(mu_);
   scheduler_trace_ = trace;
+}
+
+// --- Elastic control -------------------------------------------------------
+
+EngineFarm::SchedulerPause::SchedulerPause(EngineFarm& farm) : farm_(farm) {
+  sync::MutexLock lock(farm_.mu_);
+  AE_ASSERT(!farm_.paused_, "scheduler already paused");
+  farm_.paused_ = true;
+  // The scheduler may currently be routing a batch (outside mu_): wait
+  // until it comes back to its wait loop and parks.
+  while (!farm_.scheduler_idle_) farm_.pause_cv_.wait(farm_.mu_);
+}
+
+EngineFarm::SchedulerPause::~SchedulerPause() {
+  sync::MutexLock lock(farm_.mu_);
+  farm_.paused_ = false;
+  farm_.sched_cv_.notify_all();
+}
+
+void EngineFarm::wait_shard_idle(Shard& shard) {
+  while (shard.busy) shard.cv.wait(shard.mu);
+}
+
+std::deque<EngineFarm::Request> EngineFarm::steal_backlog(Shard& shard) {
+  std::deque<Request> backlog = std::move(shard.queue);
+  shard.queue.clear();
+  return backlog;
+}
+
+void EngineFarm::requeue_front(std::deque<Request> backlog) {
+  if (backlog.empty()) return;
+  sync::MutexLock lock(mu_);
+  while (!backlog.empty()) {
+    pending_.push_front(std::move(backlog.back()));
+    backlog.pop_back();
+  }
+  peak_queue_depth_ = std::max(peak_queue_depth_, pending_.size());
+  sched_cv_.notify_all();
+}
+
+const core::FaultPlan& EngineFarm::configured_plan(int shard) const {
+  return static_cast<std::size_t>(shard) < options_.shard_faults.size()
+             ? options_.shard_faults[static_cast<std::size_t>(shard)]
+             : options_.resilient.plan;
+}
+
+u64 EngineFarm::bulk_restore_cycles(u64 words) const {
+  if (words == 0) return 0;
+  const double wpc = core::timing_detail::words_per_cycle(options_.config);
+  return core::timing_detail::ceil_div_words(static_cast<double>(words), wpc) +
+         options_.config.interrupt_overhead_cycles;
+}
+
+void EngineFarm::record_elastic_event(core::TraceEvent event, i64 arg) {
+  sync::MutexLock lock(mu_);
+  if (scheduler_trace_ != nullptr)
+    scheduler_trace_->record(dispatch_seq_, event, arg);
+}
+
+void EngineFarm::update_resident_frames(Shard& shard, const Request& request,
+                                        const img::Image& output) {
+  const core::ResidencySnapshot residency = shard.session.residency();
+  const u64 live[3] = {residency.input_slots[0].hash,
+                       residency.input_slots[1].hash, residency.result_hash};
+  const auto is_live = [&](u64 hash) {
+    return hash != 0 &&
+           (hash == live[0] || hash == live[1] || hash == live[2]);
+  };
+  // Drop content of frames the board no longer holds.
+  for (auto it = shard.resident.begin(); it != shard.resident.end();)
+    it = is_live(it->first) ? std::next(it) : shard.resident.erase(it);
+  // Copy in frames that just became resident; the call's own images are
+  // the only candidates.  try_emplace: no copy when already tracked.
+  if (is_live(request.hash_a) && request.a != nullptr)
+    shard.resident.try_emplace(request.hash_a, *request.a);
+  if (is_live(request.hash_b) && request.b != nullptr)
+    shard.resident.try_emplace(request.hash_b, *request.b);
+  if (is_live(residency.result_hash))
+    shard.resident.try_emplace(residency.result_hash, output);
+}
+
+u64 EngineFarm::install_frames(Shard& shard,
+                               const std::vector<ResidentFrame>& frames,
+                               core::ResidencySnapshot& residency) {
+  core::FaultInjector& injector = shard.session.injector();
+  const int max_attempts =
+      1 + shard.session.options().transport.max_strip_retries;
+  u64 words = 0;
+  for (const ResidentFrame& frame : frames) {
+    const u32 want = frame_crc(frame.content);
+    bool installed = false;
+    for (int attempt = 0; attempt < max_attempts && !installed; ++attempt) {
+      // Stream the frame's ZBT words through the (possibly adversarial)
+      // transport, CRC-checking what arrives — same integrity discipline
+      // as per-strip transfers, amortized over the whole frame.
+      core::Crc32 crc;
+      crc.add(static_cast<u32>(frame.content.width()));
+      crc.add(static_cast<u32>(frame.content.height()));
+      for (const img::Pixel& p : frame.content.pixels()) {
+        u32 lower = p.lower_word();
+        u32 upper = p.upper_word();
+        injector.corrupt_restore_word(lower);
+        injector.corrupt_restore_word(upper);
+        crc.add(lower);
+        crc.add(upper);
+      }
+      words += 2 * static_cast<u64>(frame.content.pixel_count());
+      if (crc.value() == want)
+        installed = true;
+      else
+        injector.note_restore_mismatch();
+    }
+    if (installed) {
+      shard.resident.insert_or_assign(frame.hash, frame.content);
+    } else {
+      // Retry budget exhausted: the board never received this frame clean.
+      // It stays cold — prune it from the residency tables so the timing
+      // model re-streams it on first use instead of trusting rotten banks.
+      for (auto& slot : residency.input_slots)
+        if (slot.hash == frame.hash) slot = {};
+      if (residency.result_hash == frame.hash) residency.result_hash = 0;
+    }
+  }
+  return words;
+}
+
+void EngineFarm::install_snapshot(Shard& shard, const ShardSnapshot& snapshot,
+                                  bool with_breaker) {
+  core::ResidencySnapshot residency = snapshot.residency;
+  shard.resident.clear();
+  const u64 words = install_frames(shard, snapshot.frames, residency);
+  // Keep the content map consistent with what the residency tables name.
+  const auto named = [&](u64 hash) {
+    if (hash == 0) return false;
+    if (residency.result_hash == hash) return true;
+    for (const auto& slot : residency.input_slots)
+      if (slot.hash == hash) return true;
+    return false;
+  };
+  for (auto it = shard.resident.begin(); it != shard.resident.end();)
+    it = named(it->first) ? std::next(it) : shard.resident.erase(it);
+  if (with_breaker) shard.session.restore_breaker(snapshot.breaker);
+  shard.session.restore_residency(residency);
+  const u64 cost = bulk_restore_cycles(words);
+  // A restore never rewinds a live clock — service between snapshot and
+  // restore stays counted — and the bulk burst is priced on top.  Every
+  // cycle of clock advance that did not come from serving calls lands in
+  // elastic_cycles, preserving the shard accounting identity
+  //   busy_cycles + overlap_saved == resilient.cycles + elastic_cycles
+  // even when a snapshot fast-forwards a fresh shard's clock.
+  const u64 before = shard.clock_cycles;
+  shard.clock_cycles =
+      std::max(shard.clock_cycles, snapshot.clock_cycles) + cost;
+  shard.elastic_cycles += shard.clock_cycles - before;
+  shard.breaker = shard.session.breaker();
+  shard.prev_on_engine = false;  // the pipeline does not survive a restore
+}
+
+std::vector<u8> EngineFarm::snapshot_shard(int shard_index) {
+  sync::MutexLock lifecycle(lifecycle_mu_);
+  AE_EXPECTS(!joined_, "elastic operation on a farm that is shut down");
+  AE_EXPECTS(shard_index >= 0 &&
+                 shard_index < static_cast<int>(shards_.size()),
+             "shard index out of range");
+  SchedulerPause pause(*this);
+  Shard& shard = *shards_[static_cast<std::size_t>(shard_index)];
+  std::deque<Request> backlog;
+  std::vector<u8> blob;
+  {
+    sync::MutexLock lock(shard.mu);
+    wait_shard_idle(shard);
+    backlog = steal_backlog(shard);
+    ShardSnapshot snapshot;
+    snapshot.shard_index = shard_index;
+    snapshot.clock_cycles = shard.clock_cycles;
+    snapshot.breaker = shard.session.breaker_snapshot();
+    snapshot.residency = shard.session.residency();
+    // Checkpoints carry the input-slot working set only.  The result bank
+    // is transient — the next call overwrites it, and relocation rebuilds
+    // it for free — so carrying its frame would inflate every restore by a
+    // full frame of PCI words for state the board regenerates anyway.
+    snapshot.residency.result_hash = 0;
+    snapshot.frames.reserve(shard.resident.size());
+    for (const auto& [hash, content] : shard.resident) {
+      const bool in_input_slot =
+          snapshot.residency.input_slots[0].hash == hash ||
+          snapshot.residency.input_slots[1].hash == hash;
+      if (in_input_slot) snapshot.frames.push_back({hash, content});
+    }
+    snapshot.queued.reserve(backlog.size());
+    for (const Request& r : backlog) snapshot.queued.push_back(r.call);
+    blob = serialize_snapshot(snapshot, &shard.session.injector());
+    shard.last_snapshot = blob;
+  }
+  requeue_front(std::move(backlog));
+  {
+    sync::MutexLock lock(mu_);
+    ++snapshots_taken_;
+    if (scheduler_trace_ != nullptr)
+      scheduler_trace_->record(dispatch_seq_, core::TraceEvent::SnapshotTaken,
+                               shard_index);
+  }
+  return blob;
+}
+
+void EngineFarm::restore_shard(int shard_index, const std::vector<u8>& blob) {
+  sync::MutexLock lifecycle(lifecycle_mu_);
+  AE_EXPECTS(!joined_, "elastic operation on a farm that is shut down");
+  AE_EXPECTS(shard_index >= 0 &&
+                 shard_index < static_cast<int>(shards_.size()),
+             "shard index out of range");
+  SchedulerPause pause(*this);
+  Shard& shard = *shards_[static_cast<std::size_t>(shard_index)];
+  std::deque<Request> backlog;
+  std::exception_ptr error;
+  {
+    sync::MutexLock lock(shard.mu);
+    wait_shard_idle(shard);
+    backlog = steal_backlog(shard);
+    try {
+      const ShardSnapshot snapshot = parse_snapshot(blob);
+      install_snapshot(shard, snapshot, /*with_breaker=*/true);
+    } catch (const SnapshotCorruption&) {
+      shard.session.injector().note_snapshot_mismatch();
+      error = std::current_exception();
+    } catch (const SnapshotVersionMismatch&) {
+      error = std::current_exception();
+    }
+  }
+  // The backlog goes back even when the blob was bad — rejecting a rotten
+  // snapshot must not drop accepted work.
+  requeue_front(std::move(backlog));
+  if (error) std::rethrow_exception(error);
+  {
+    sync::MutexLock lock(mu_);
+    ++restores_;
+    if (scheduler_trace_ != nullptr)
+      scheduler_trace_->record(dispatch_seq_, core::TraceEvent::ShardRestored,
+                               shard_index);
+  }
+}
+
+void EngineFarm::kill_shard(int shard_index) {
+  sync::MutexLock lifecycle(lifecycle_mu_);
+  AE_EXPECTS(!joined_, "elastic operation on a farm that is shut down");
+  AE_EXPECTS(shard_index >= 0 &&
+                 shard_index < static_cast<int>(shards_.size()),
+             "shard index out of range");
+  SchedulerPause pause(*this);
+  Shard& shard = *shards_[static_cast<std::size_t>(shard_index)];
+  std::deque<Request> backlog;
+  {
+    sync::MutexLock lock(shard.mu);
+    wait_shard_idle(shard);
+    backlog = steal_backlog(shard);
+    // Power loss: every frame on the board is gone, and the driver stops
+    // trusting the slot — the breaker opens hard (as if the failure window
+    // just filled) so service continues from software fallback until
+    // recover_shard() swaps a board in or the cooldown probe succeeds.
+    shard.session.restore_breaker(
+        {core::BreakerState::Open, options_.resilient.breaker_threshold, 0});
+    shard.session.restore_residency({});
+    shard.resident.clear();
+    shard.breaker = shard.session.breaker();
+    shard.prev_on_engine = false;
+  }
+  requeue_front(std::move(backlog));
+  record_elastic_event(core::TraceEvent::ShardKilled, shard_index);
+}
+
+bool EngineFarm::recover_shard(int shard_index) {
+  sync::MutexLock lifecycle(lifecycle_mu_);
+  AE_EXPECTS(!joined_, "elastic operation on a farm that is shut down");
+  AE_EXPECTS(shard_index >= 0 &&
+                 shard_index < static_cast<int>(shards_.size()),
+             "shard index out of range");
+  SchedulerPause pause(*this);
+  Shard& shard = *shards_[static_cast<std::size_t>(shard_index)];
+  std::deque<Request> backlog;
+  bool warm = false;
+  {
+    sync::MutexLock lock(shard.mu);
+    wait_shard_idle(shard);
+    backlog = steal_backlog(shard);
+    // Board swap: a healthy replacement with a clean in-call transport.
+    // Host-side hazards survive the swap — snapshots can still rot at
+    // rest and the restore stream itself crosses the same PCI bus — so
+    // those two rates carry over from the configured plan.
+    const core::FaultPlan& configured = configured_plan(shard_index);
+    core::FaultPlan clean;
+    clean.seed = configured.seed;
+    clean.snapshot_corrupt_rate = configured.snapshot_corrupt_rate;
+    clean.restore_corrupt_rate = configured.restore_corrupt_rate;
+    shard.session.replace_board(clean);
+    shard.resident.clear();
+    if (!shard.last_snapshot.empty()) {
+      try {
+        const ShardSnapshot snapshot = parse_snapshot(shard.last_snapshot);
+        // Warm restore: residency and frames come back; the breaker does
+        // NOT — the replacement board's health history starts clean.
+        install_snapshot(shard, snapshot, /*with_breaker=*/false);
+        warm = true;
+      } catch (const SnapshotCorruption&) {
+        shard.session.injector().note_snapshot_mismatch();
+      } catch (const SnapshotVersionMismatch&) {
+      }
+    }
+    shard.breaker = shard.session.breaker();
+    shard.prev_on_engine = false;
+  }
+  requeue_front(std::move(backlog));
+  {
+    sync::MutexLock lock(mu_);
+    if (warm) {
+      ++warm_recoveries_;
+      ++restores_;
+    } else {
+      ++cold_recoveries_;
+    }
+    if (scheduler_trace_ != nullptr)
+      scheduler_trace_->record(dispatch_seq_, core::TraceEvent::ShardRestored,
+                               shard_index);
+  }
+  return warm;
+}
+
+int EngineFarm::install_migrated(Shard& to, int to_index,
+                                 std::vector<ResidentFrame> frames) {
+  if (frames.empty()) return 0;
+  int moved = 0;
+  u64 words = 0;
+  {
+    sync::MutexLock lock(to.mu);
+    wait_shard_idle(to);
+    core::ResidencySnapshot residency = to.session.residency();
+    const auto holds = [&](u64 hash) {
+      if (residency.result_hash == hash) return true;
+      for (const auto& slot : residency.input_slots)
+        if (slot.hash == hash) return true;
+      return false;
+    };
+    for (ResidentFrame& frame : frames) {
+      if (frame.hash == 0 || holds(frame.hash)) continue;
+      core::ResidencySnapshot::Slot* free = nullptr;
+      for (auto& slot : residency.input_slots)
+        if (slot.hash == 0) {
+          free = &slot;
+          break;
+        }
+      if (free == nullptr) break;  // both input banks occupied: board full
+      free->hash = frame.hash;
+      free->last_use = ++residency.use_clock;
+      free->transient = false;
+      words += 2 * static_cast<u64>(frame.content.pixel_count());
+      to.resident.insert_or_assign(frame.hash, std::move(frame.content));
+      affinity_[frame.hash] = to_index;  // scheduler is parked: safe
+      ++moved;
+    }
+    to.session.restore_residency(residency);
+    const u64 cost = bulk_restore_cycles(words);
+    to.clock_cycles += cost;
+    to.elastic_cycles += cost;
+    to.prev_on_engine = false;
+  }
+  if (moved > 0) {
+    sync::MutexLock lock(mu_);
+    frames_migrated_ += moved;
+    migration_pci_words_ += words;
+    if (scheduler_trace_ != nullptr)
+      scheduler_trace_->record(dispatch_seq_, core::TraceEvent::FramesMigrated,
+                               moved);
+  }
+  return moved;
+}
+
+void EngineFarm::resize(int new_count) {
+  AE_EXPECTS(new_count > 0, "farm needs at least one shard");
+  sync::MutexLock lifecycle(lifecycle_mu_);
+  AE_EXPECTS(!joined_, "elastic operation on a farm that is shut down");
+  SchedulerPause pause(*this);
+  const int old_count = static_cast<int>(shards_.size());
+  if (new_count == old_count) return;
+  if (new_count > old_count) {
+    shards_.reserve(static_cast<std::size_t>(new_count));
+    for (int s = old_count; s < new_count; ++s) {
+      core::ResilientOptions shard_options = options_.resilient;
+      if (static_cast<std::size_t>(s) < options_.shard_faults.size())
+        shard_options.plan =
+            options_.shard_faults[static_cast<std::size_t>(s)];
+      shards_.push_back(
+          std::make_unique<Shard>(options_.config, shard_options));
+      start_worker(*shards_.back());
+    }
+  } else {
+    for (int s = old_count - 1; s >= new_count; --s) {
+      Shard& dying = *shards_[static_cast<std::size_t>(s)];
+      std::deque<Request> backlog;
+      std::vector<ResidentFrame> frames;
+      {
+        sync::MutexLock lock(dying.mu);
+        wait_shard_idle(dying);
+        backlog = steal_backlog(dying);
+        dying.stopping = true;
+        for (auto& [hash, content] : dying.resident)
+          frames.push_back({hash, std::move(content)});
+        dying.resident.clear();
+      }
+      dying.cv.notify_all();
+      dying.worker.join();  // queue is empty: the worker exits immediately
+      requeue_front(std::move(backlog));
+      // The dying board's frames move to a surviving shard (deterministic
+      // target), priced like any migration; what doesn't fit goes cold.
+      install_migrated(*shards_[static_cast<std::size_t>(s % new_count)],
+                       s % new_count, std::move(frames));
+      shards_.pop_back();
+    }
+    // Routing entries still naming removed shards (frames that could not
+    // migrate) must not steer traffic at a dead index.
+    for (auto it = affinity_.begin(); it != affinity_.end();)
+      it = it->second >= new_count ? affinity_.erase(it) : std::next(it);
+  }
+  options_.shards = new_count;
+  record_elastic_event(core::TraceEvent::ShardCountChanged, new_count);
+}
+
+int EngineFarm::rebalance() {
+  sync::MutexLock lifecycle(lifecycle_mu_);
+  AE_EXPECTS(!joined_, "elastic operation on a farm that is shut down");
+  SchedulerPause pause(*this);
+  // Rebalancing considers the whole farm, so it waits for every shard to
+  // drain fully (no queued work, between calls).  The scheduler is parked
+  // and holds whatever is still pending, so the drain terminates.
+  for (auto& shard : shards_) {
+    sync::MutexLock lock(shard->mu);
+    while (shard->busy || !shard->queue.empty()) shard->cv.wait(shard->mu);
+  }
+  int total_moved = 0;
+  for (;;) {
+    // Greedy: move one frame from the frame-richest shard to the poorest.
+    int rich = -1, poor = -1;
+    std::size_t rich_count = 0, poor_count = ~std::size_t{0};
+    for (int s = 0; s < static_cast<int>(shards_.size()); ++s) {
+      Shard& shard = *shards_[static_cast<std::size_t>(s)];
+      sync::MutexLock lock(shard.mu);
+      const std::size_t count = shard.resident.size();
+      if (rich < 0 || count > rich_count) {
+        rich = s;
+        rich_count = count;
+      }
+      if (count < poor_count) {
+        poor = s;
+        poor_count = count;
+      }
+    }
+    if (rich < 0 || poor < 0 || rich == poor || rich_count < poor_count + 2)
+      break;
+    std::vector<ResidentFrame> one;
+    {
+      Shard& source = *shards_[static_cast<std::size_t>(rich)];
+      sync::MutexLock lock(source.mu);
+      if (source.resident.empty()) break;
+      auto it = source.resident.begin();
+      one.push_back({it->first, std::move(it->second)});
+      source.resident.erase(it);
+      // Evict from the source board's residency tables too.
+      core::ResidencySnapshot residency = source.session.residency();
+      for (auto& slot : residency.input_slots)
+        if (slot.hash == one.front().hash) slot = {};
+      if (residency.result_hash == one.front().hash)
+        residency.result_hash = 0;
+      source.session.restore_residency(residency);
+      source.prev_on_engine = false;
+    }
+    const int moved = install_migrated(
+        *shards_[static_cast<std::size_t>(poor)], poor, std::move(one));
+    if (moved == 0) break;  // receiver out of free banks: converged enough
+    total_moved += moved;
+  }
+  return total_moved;
 }
 
 }  // namespace ae::serve

@@ -34,6 +34,18 @@
 // other number in this repo.  Each shard advances its own cycle clock by
 // the modeled latency of the calls it serves (minus pipelining overlap);
 // the farm's makespan is the slowest shard's clock.
+//
+// Elastic control (serve/snapshot.hpp): shards can be checkpointed,
+// killed, restored warm from their last snapshot, migrated and resharded
+// while the farm keeps serving.  Every elastic operation follows one state
+// machine — running -> draining (scheduler parked, shard quiesced) ->
+// snapshotted/mutated -> restoring -> running — and *provably drops no
+// accepted work*: queued-but-unstarted requests are moved back to the
+// front of the farm queue before the shard is touched, in-flight calls
+// finish first (their promises must resolve), and the in_flight_ counter
+// that drain() trusts never decrements for a requeued request.  Restores
+// and migrations are priced onto the receiving shard's clock as bulk PCI
+// bursts so the makespan stays honest about recovery.
 #pragma once
 
 #include <condition_variable>
@@ -49,6 +61,7 @@
 #include "common/error.hpp"
 #include "common/sync.hpp"
 #include "core/resilient.hpp"
+#include "serve/snapshot.hpp"
 
 namespace ae::serve {
 
@@ -91,6 +104,11 @@ struct FarmOptions {
   /// this budget by throwing AdmissionError in the caller's context —
   /// before the call occupies queue space or a shard.  0 disables.
   u64 admission_budget_cycles = 0;
+  /// Keep a host-side copy of each shard's resident frames (content keyed
+  /// by frame hash) so snapshots carry frame content and rebalancing can
+  /// migrate frames between boards.  Frames are copied only when residency
+  /// changes; steady-state reuse costs map lookups per call.
+  bool elastic_state_tracking = true;
 };
 
 /// Throws InvalidArgument on non-positive shard count / capacities, or more
@@ -118,6 +136,11 @@ struct ShardStats {
   i64 affinity_calls = 0;       ///< calls routed here by frame affinity
   u64 busy_cycles = 0;          ///< modeled shard-clock time serving calls
   u64 overlap_cycles_saved = 0; ///< strip-pipelining savings
+  u64 elastic_cycles = 0;       ///< restore/migration bulk-DMA charges
+  /// Calls whose strip-pipelining credit was withheld because the call
+  /// needed whole-call retries: the previous call's tail can hide only the
+  /// first attempt's input strips, so a retried call gets no overlap.
+  i64 retry_pipeline_breaks = 0;
   std::size_t peak_queue_depth = 0;
   core::BreakerState breaker = core::BreakerState::Closed;
   core::ResilientStats resilient;  ///< the shard driver's own accounting
@@ -134,6 +157,13 @@ struct FarmStats {
   i64 admission_rejected = 0;  ///< submissions refused by the cycle budget
   u64 overlap_cycles_saved = 0;
   std::size_t peak_queue_depth = 0;  ///< pending submissions high-water mark
+  // Elastic-serving recovery counters (mirrored as farm trace events).
+  i64 snapshots_taken = 0;   ///< snapshot_shard() blobs serialized
+  i64 restores = 0;          ///< snapshot blobs installed into a shard
+  i64 warm_recoveries = 0;   ///< recover_shard() warmed from a snapshot
+  i64 cold_recoveries = 0;   ///< recover_shard() with no usable snapshot
+  i64 frames_migrated = 0;   ///< resident frames moved by resize/rebalance
+  u64 migration_pci_words = 0;  ///< PCI words those migrations streamed
   std::vector<ShardStats> shards;
 
   /// Modeled makespan: the busiest shard's clock (cycles / seconds).
@@ -184,9 +214,65 @@ class EngineFarm : public alib::Backend {
   FarmStats stats() const;
 
   /// Attaches a timeline sink for scheduler events (QueueDepth,
-  /// BatchDispatched, ShardOccupancy).  Attach while idle; the farm does
-  /// not synchronize trace reconfiguration against in-flight traffic.
+  /// BatchDispatched, ShardOccupancy, and the elastic events SnapshotTaken,
+  /// ShardKilled, ShardRestored, FramesMigrated, ShardCountChanged).
+  /// Attach while idle; the farm does not synchronize trace
+  /// reconfiguration against in-flight traffic.
   void set_scheduler_trace(core::EngineTrace* trace);
+
+  // --- Elastic control ---------------------------------------------------
+  //
+  // Safe to call from any thread while traffic is flowing.  Each operation
+  // serializes against shutdown() and other elastic calls (lifecycle_mu_),
+  // parks the batching scheduler, and quiesces the affected shards behind
+  // their own locks before touching per-shard state, so in-flight calls
+  // never observe a half-mutated farm.  Accepted work is never dropped:
+  // a quiesced shard's queued-but-unstarted requests move back to the
+  // front of the farm queue and are re-routed when the scheduler resumes.
+
+  /// Drains shard `shard` to a call boundary and serializes its state —
+  /// residency tables with frame content, breaker/backoff machine, modeled
+  /// clock, and the descriptors of its requeued backlog — into a versioned,
+  /// checksummed blob.  The blob is returned and also retained as the
+  /// shard's last snapshot (what recover_shard() warms up from).  The
+  /// shard's fault plan gets one SnapshotCorrupt opportunity per call.
+  std::vector<u8> snapshot_shard(int shard);
+
+  /// Full-fidelity restore of a snapshot blob into shard `shard`: breaker
+  /// state, residency and frame content all come back; the shard clock
+  /// never rewinds and is charged one bulk-DMA burst for the streamed
+  /// frames.  Frames stream through the shard's fault injector
+  /// (RestoreCorrupt), retrying per frame up to the transport budget; a
+  /// frame that never arrives clean stays cold.  Throws SnapshotCorruption
+  /// or SnapshotVersionMismatch (after counting the detection) on a bad
+  /// blob, leaving the shard serving with its previous state.
+  void restore_shard(int shard, const std::vector<u8>& blob);
+
+  /// Simulated board power loss: on-board state (residency, frames) is
+  /// gone and the breaker is forced open, so service continues from
+  /// software fallback until recover_shard() swaps a board in (or the
+  /// breaker's own cooldown probe finds the slot healthy again).
+  void kill_shard(int shard);
+
+  /// Board swap + recovery: installs a fresh transport adversary (clean
+  /// plan, breaker closed) and then warms the board from the shard's last
+  /// snapshot if one exists and parses clean — restoring residency and
+  /// streaming frame content back in one priced bulk burst — else the
+  /// board comes up cold.  Returns true for a warm recovery.
+  bool recover_shard(int shard);
+
+  /// Grows or shrinks the shard count under load.  Growth appends fresh
+  /// shards; shrink drains each dying shard, requeues its backlog,
+  /// migrates its resident frames to a surviving shard (priced in PCI
+  /// words) and joins its worker.  Routing state is remapped so no hash
+  /// points at a dead shard.
+  void resize(int shards);
+
+  /// Waits for the farm to go fully idle, then greedily migrates resident
+  /// frames from frame-rich shards to frame-poor ones until counts differ
+  /// by at most one (or boards run out of free banks).  Returns the number
+  /// of frames moved; each move is priced in PCI words on the receiver.
+  int rebalance();
 
  private:
   struct Request {
@@ -224,6 +310,15 @@ class EngineFarm : public alib::Backend {
     core::BreakerState breaker AE_GUARDED_BY(mu) = core::BreakerState::Closed;
     core::ResilientStats resilient AE_GUARDED_BY(mu);
     core::SessionStats session_stats AE_GUARDED_BY(mu);
+    u64 elastic_cycles AE_GUARDED_BY(mu) = 0;
+    i64 retry_pipeline_breaks AE_GUARDED_BY(mu) = 0;
+    /// Host-side copies of the frames currently resident on this board,
+    /// keyed by content hash — maintained by the worker as residency
+    /// changes.  The raw material of snapshots and migration.
+    std::unordered_map<u64, img::Image> resident AE_GUARDED_BY(mu);
+    /// Most recent serialize_snapshot() blob (possibly rotted by the
+    /// injector); what recover_shard() warms up from.
+    std::vector<u8> last_snapshot AE_GUARDED_BY(mu);
 
     // Worker-thread-only pipelining state: phase split of the previous
     // engine-served call (software-fallback calls break the pipeline).
@@ -238,15 +333,82 @@ class EngineFarm : public alib::Backend {
   int route(const Request& request, bool& affinity_hit);
   void dispatch(Request request, int shard_index, bool affinity_hit);
 
+  /// Parks the batching scheduler for the guard's lifetime: sets `paused_`
+  /// and blocks until the scheduler thread is provably inside its wait
+  /// loop, after which shards_, affinity_ and the pending queue may be
+  /// mutated from the owning thread.  Constructed only with lifecycle_mu_
+  /// held (one elastic operation at a time); the destructor resumes
+  /// scheduling, including on exception paths.
+  class SchedulerPause {
+   public:
+    explicit SchedulerPause(EngineFarm& farm);
+    ~SchedulerPause();
+    SchedulerPause(const SchedulerPause&) = delete;
+    SchedulerPause& operator=(const SchedulerPause&) = delete;
+
+   private:
+    EngineFarm& farm_;
+  };
+
+  /// Launches the shard's worker thread.  Captures the shard by raw
+  /// pointer (the heap object, not the vector slot) so resize() growing
+  /// `shards_` cannot dangle a running worker's reference.
+  void start_worker(Shard& shard);
+  /// Blocks (under shard.mu) until the worker is between calls.
+  void wait_shard_idle(Shard& shard) AE_REQUIRES(shard.mu);
+  /// Takes the shard's queued-but-unstarted requests.  They remain
+  /// accepted — in_flight_ still counts them — until requeue_front()
+  /// returns them to the farm queue.
+  std::deque<Request> steal_backlog(Shard& shard) AE_REQUIRES(shard.mu);
+  /// Returns stolen requests to the *front* of the farm queue, preserving
+  /// their order ahead of newer submissions.
+  void requeue_front(std::deque<Request> backlog);
+  /// The fault plan shard `shard` was configured with.
+  const core::FaultPlan& configured_plan(int shard) const;
+  /// Modeled cycles for streaming `words` PCI words as one
+  /// descriptor-chained burst: sustained bus rate plus a single completion
+  /// handshake — no per-strip interrupts, because nothing consumes strips
+  /// during a restore.
+  u64 bulk_restore_cycles(u64 words) const;
+  /// Refreshes the shard's host-side resident-frame copies after a call,
+  /// from the session's residency tables and the call's own images.
+  void update_resident_frames(Shard& shard, const Request& request,
+                              const img::Image& output) AE_REQUIRES(shard.mu);
+  /// Streams snapshot frames onto the shard's board through its injector,
+  /// verifying each frame's CRC and retrying within the transport budget;
+  /// a frame that never streams clean is pruned from `residency` and stays
+  /// cold.  Returns PCI words streamed (including retries).
+  u64 install_frames(Shard& shard, const std::vector<ResidentFrame>& frames,
+                     core::ResidencySnapshot& residency) AE_REQUIRES(shard.mu);
+  /// Installs a parsed snapshot into a quiesced shard: frames, residency,
+  /// optionally the breaker machine; charges the bulk-DMA burst to the
+  /// shard clock (which never rewinds below the live clock).
+  void install_snapshot(Shard& shard, const ShardSnapshot& snapshot,
+                        bool with_breaker) AE_REQUIRES(shard.mu);
+  /// Moves frames into `to`'s free input banks (skipping frames already
+  /// resident there), updates routing, prices the stream.  Returns frames
+  /// actually installed.  Scheduler must be parked.
+  int install_migrated(Shard& to, int to_index,
+                       std::vector<ResidentFrame> frames);
+  /// Records an elastic trace event and lets the caller bump counters.
+  void record_elastic_event(core::TraceEvent event, i64 arg);
+
   FarmOptions options_;
+  /// Shard storage.  Deliberately unannotated: workers and the scheduler
+  /// read it locklessly under a documented protocol — the vector's
+  /// *structure* (size, element pointers) is mutated only by resize() with
+  /// lifecycle_mu_ held AND the scheduler parked AND the affected workers
+  /// joined, so every thread that can touch a Shard holds it alive.
+  /// stats()/name() take lifecycle_mu_ before iterating.
   std::vector<std::unique_ptr<Shard>> shards_;
   std::thread scheduler_;  ///< joined only under lifecycle_mu_
 
-  /// Serializes shutdown: `scheduler_`/`worker` joins and the joined flag
-  /// must be owned by exactly one caller (destructor and explicit
-  /// shutdown() may race).  Ordered before mu_ — shutdown holds it across
-  /// drain().
-  sync::Mutex lifecycle_mu_;
+  /// Serializes shutdown and every elastic operation: `scheduler_`/`worker`
+  /// joins and the joined flag must be owned by exactly one caller
+  /// (destructor and explicit shutdown() may race), and at most one
+  /// elastic operation may reshape the farm at a time.  Ordered before
+  /// mu_ — shutdown holds it across drain().
+  mutable sync::Mutex lifecycle_mu_;
   bool joined_ AE_GUARDED_BY(lifecycle_mu_) = false;
 
   mutable sync::Mutex mu_;
@@ -255,6 +417,11 @@ class EngineFarm : public alib::Backend {
   std::condition_variable_any idle_cv_;   // in-flight count reached zero
   std::deque<Request> pending_ AE_GUARDED_BY(mu_);
   bool stop_ AE_GUARDED_BY(mu_) = false;
+  bool paused_ AE_GUARDED_BY(mu_) = false;  ///< SchedulerPause is active
+  /// True while the scheduler thread is parked inside its wait loop (and
+  /// therefore touching no shard or routing state).
+  bool scheduler_idle_ AE_GUARDED_BY(mu_) = false;
+  std::condition_variable_any pause_cv_;  // scheduler reached its wait loop
   i64 in_flight_ AE_GUARDED_BY(mu_) = 0;  ///< accepted, not yet completed
   i64 submitted_ AE_GUARDED_BY(mu_) = 0;
   i64 completed_ AE_GUARDED_BY(mu_) = 0;
@@ -265,8 +432,17 @@ class EngineFarm : public alib::Backend {
   std::size_t peak_queue_depth_ AE_GUARDED_BY(mu_) = 0;
   u64 dispatch_seq_ AE_GUARDED_BY(mu_) = 0;  ///< trace timestamp domain
   core::EngineTrace* scheduler_trace_ AE_GUARDED_BY(mu_) = nullptr;
+  i64 snapshots_taken_ AE_GUARDED_BY(mu_) = 0;
+  i64 restores_ AE_GUARDED_BY(mu_) = 0;
+  i64 warm_recoveries_ AE_GUARDED_BY(mu_) = 0;
+  i64 cold_recoveries_ AE_GUARDED_BY(mu_) = 0;
+  i64 frames_migrated_ AE_GUARDED_BY(mu_) = 0;
+  u64 migration_pci_words_ AE_GUARDED_BY(mu_) = 0;
 
-  // Scheduler-thread-only: frame hash -> shard that last received it.
+  // Scheduler-thread-only while scheduling; elastic operations may mutate
+  // it with the scheduler parked (the park/resume handshake on mu_ gives
+  // the necessary happens-before edges): frame hash -> shard that last
+  // received it.
   std::unordered_map<u64, int> affinity_;
 };
 

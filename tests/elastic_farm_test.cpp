@@ -1,0 +1,511 @@
+// Elastic farm: shard checkpoint/restore, live resharding, and chaos-gated
+// recovery (serve/snapshot.hpp + the EngineFarm elastic control surface).
+//
+// Tier split (tests/CMakeLists.txt): the snapshot wire-format property
+// tests and the quick elastic-operation tests run as tier1; the chaos
+// differential fuzz — hundreds of random programs racing shard kills,
+// restores and live resharding, every result held bit-exact against the
+// serial software reference — is tier2 (suite name contains "Chaos").
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <future>
+#include <vector>
+
+#include "serve/farm.hpp"
+#include "serve/snapshot.hpp"
+#include "test_util.hpp"
+
+namespace ae {
+namespace {
+
+using alib::Call;
+using alib::PixelOp;
+using serve::EngineFarm;
+using serve::FarmOptions;
+using serve::FarmStats;
+using serve::ResidentFrame;
+using serve::ShardSnapshot;
+
+// The per-shard accounting identity the elastic layer must preserve: the
+// shard clock is exactly the driver's serial cycle sum, minus pipelining
+// savings, plus the priced elastic work (restores, migrations, snapshot
+// clock fast-forwards).
+void expect_shard_identity(const FarmStats& stats) {
+  for (const serve::ShardStats& s : stats.shards)
+    EXPECT_EQ(s.busy_cycles + s.overlap_cycles_saved,
+              s.resilient.cycles + s.elastic_cycles);
+}
+
+ShardSnapshot sample_snapshot(Rng& rng) {
+  ShardSnapshot s;
+  s.shard_index = 3;
+  s.clock_cycles = 123'456'789;
+  s.breaker = {core::BreakerState::HalfOpen, 2, 5};
+  const img::Image f0 = img::make_test_frame(Size{24, 18}, 5);
+  const img::Image f1 = img::make_test_frame(Size{48, 32}, 6);
+  s.residency.input_slots[0] = {0xAAAA, 7, false};
+  s.residency.input_slots[1] = {0xBBBB, 9, true};
+  s.residency.result_hash = 0xCCCC;
+  s.residency.use_clock = 11;
+  s.frames.push_back({0xAAAA, f0});
+  s.frames.push_back({0xBBBB, f1});
+  for (int i = 0; i < 6; ++i) {
+    bool needs_b = false;
+    s.queued.push_back(test::random_any_call(rng, Size{48, 32}, needs_b));
+  }
+  return s;
+}
+
+// --- Snapshot wire format (property tests) ---------------------------------
+
+TEST(SnapshotFormatTest, RoundTripIsIdentity) {
+  Rng rng(0x51A9u);
+  const ShardSnapshot original = sample_snapshot(rng);
+  const std::vector<u8> blob = serve::serialize_snapshot(original);
+
+  const ShardSnapshot parsed = serve::parse_snapshot(blob);
+  EXPECT_EQ(parsed.shard_index, original.shard_index);
+  EXPECT_EQ(parsed.clock_cycles, original.clock_cycles);
+  EXPECT_EQ(parsed.breaker.state, original.breaker.state);
+  EXPECT_EQ(parsed.breaker.consecutive_failed_calls,
+            original.breaker.consecutive_failed_calls);
+  EXPECT_EQ(parsed.breaker.cooldown_used, original.breaker.cooldown_used);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(parsed.residency.input_slots[i].hash,
+              original.residency.input_slots[i].hash);
+    EXPECT_EQ(parsed.residency.input_slots[i].last_use,
+              original.residency.input_slots[i].last_use);
+    EXPECT_EQ(parsed.residency.input_slots[i].transient,
+              original.residency.input_slots[i].transient);
+  }
+  EXPECT_EQ(parsed.residency.result_hash, original.residency.result_hash);
+  EXPECT_EQ(parsed.residency.use_clock, original.residency.use_clock);
+  ASSERT_EQ(parsed.frames.size(), original.frames.size());
+  for (std::size_t i = 0; i < parsed.frames.size(); ++i) {
+    EXPECT_EQ(parsed.frames[i].hash, original.frames[i].hash);
+    test::expect_images_equal(original.frames[i].content,
+                              parsed.frames[i].content);
+  }
+  ASSERT_EQ(parsed.queued.size(), original.queued.size());
+  // Serialize-of-parse reproduces the exact bytes: nothing in any call or
+  // frame field is lossy, reordered or defaulted.
+  EXPECT_EQ(serve::serialize_snapshot(parsed), blob);
+}
+
+TEST(SnapshotFormatTest, DegenerateEmptySnapshotRoundTrips) {
+  const ShardSnapshot empty;
+  const std::vector<u8> blob = serve::serialize_snapshot(empty);
+  const ShardSnapshot parsed = serve::parse_snapshot(blob);
+  EXPECT_EQ(parsed.frames.size(), 0u);
+  EXPECT_EQ(parsed.queued.size(), 0u);
+  EXPECT_EQ(parsed.clock_cycles, 0u);
+  EXPECT_EQ(serve::serialize_snapshot(parsed), blob);
+}
+
+TEST(SnapshotFormatTest, SingleBitCorruptionAnywhereIsRejected) {
+  Rng rng(0x51AAu);
+  const std::vector<u8> blob =
+      serve::serialize_snapshot(sample_snapshot(rng));
+  // Sample byte positions across the whole blob (payload, framing fields
+  // and the CRC trailer all included); flip one bit at each.
+  const std::size_t step = std::max<std::size_t>(1, blob.size() / 64);
+  for (std::size_t at = 0; at < blob.size(); at += step) {
+    if (at == 4 || at == 5 || at == 6 || at == 7) continue;  // version field
+    std::vector<u8> rotten = blob;
+    rotten[at] ^= static_cast<u8>(1u << (at % 8));
+    EXPECT_THROW(serve::parse_snapshot(rotten), serve::SnapshotCorruption)
+        << "bit flip at byte " << at << " was not detected";
+  }
+}
+
+TEST(SnapshotFormatTest, TruncationAndBadFramingAreRejected) {
+  Rng rng(0x51ABu);
+  const std::vector<u8> blob =
+      serve::serialize_snapshot(sample_snapshot(rng));
+  std::vector<u8> truncated = blob;
+  truncated.pop_back();
+  EXPECT_THROW(serve::parse_snapshot(truncated), serve::SnapshotCorruption);
+  EXPECT_THROW(serve::parse_snapshot(std::vector<u8>{}),
+               serve::SnapshotCorruption);
+  std::vector<u8> bad_magic = blob;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_THROW(serve::parse_snapshot(bad_magic), serve::SnapshotCorruption);
+}
+
+TEST(SnapshotFormatTest, VersionMismatchIsItsOwnError) {
+  Rng rng(0x51ACu);
+  std::vector<u8> blob = serve::serialize_snapshot(sample_snapshot(rng));
+  blob[4] = static_cast<u8>(serve::kSnapshotVersion + 1);
+  try {
+    serve::parse_snapshot(blob);
+    FAIL() << "future-versioned blob was accepted";
+  } catch (const serve::SnapshotVersionMismatch& e) {
+    EXPECT_EQ(e.found(), serve::kSnapshotVersion + 1);
+    EXPECT_EQ(e.expected(), serve::kSnapshotVersion);
+  }
+}
+
+TEST(SnapshotFormatTest, InjectorRotIsCountedAndDetected) {
+  Rng rng(0x51ADu);
+  core::FaultPlan plan;
+  plan.snapshot_corrupt_rate = 1.0;
+  core::FaultInjector injector(plan);
+  const std::vector<u8> blob =
+      serve::serialize_snapshot(sample_snapshot(rng), &injector);
+  EXPECT_EQ(injector.counters().snapshots_corrupted, 1u);
+  EXPECT_THROW(serve::parse_snapshot(blob), serve::SnapshotCorruption);
+}
+
+// --- Elastic operations (tier1, quick) -------------------------------------
+
+TEST(ElasticFarmTest, WarmRecoveryRestoresResidencyAfterKill) {
+  FarmOptions options;
+  options.shards = 1;
+  EngineFarm farm(options);
+  alib::SoftwareBackend sw;
+  const img::Image x = test::small_frame(7);
+  const Call call = Call::make_intra(PixelOp::GradientMag,
+                                     alib::Neighborhood::con8());
+  const alib::CallResult ref = sw.execute(call, x);
+
+  test::expect_results_equal(ref, farm.execute(call, x));
+  test::expect_results_equal(ref, farm.execute(call, x));  // x now resident
+  EXPECT_GT(farm.stats().shards[0].session.inputs_reused, 0);
+
+  const std::vector<u8> blob = farm.snapshot_shard(0);
+  EXPECT_FALSE(blob.empty());
+  farm.kill_shard(0);
+  // The dead board still answers — from software fallback, bit-exact.
+  test::expect_results_equal(ref, farm.execute(call, x));
+  const FarmStats dead = farm.stats();
+  EXPECT_EQ(dead.shards[0].breaker, core::BreakerState::Open);
+  EXPECT_GT(dead.shards[0].resilient.fallback_calls, 0);
+
+  EXPECT_TRUE(farm.recover_shard(0));
+  const i64 reused_before = farm.stats().shards[0].session.inputs_reused;
+  test::expect_results_equal(ref, farm.execute(call, x));
+  const FarmStats after = farm.stats();
+  EXPECT_GT(after.shards[0].session.inputs_reused, reused_before)
+      << "warm recovery should bring the frame's residency back";
+  EXPECT_EQ(after.shards[0].breaker, core::BreakerState::Closed);
+  EXPECT_EQ(after.snapshots_taken, 1);
+  EXPECT_EQ(after.warm_recoveries, 1);
+  EXPECT_EQ(after.restores, 1);
+  EXPECT_GT(after.shards[0].elastic_cycles, 0u);
+  expect_shard_identity(after);
+}
+
+TEST(ElasticFarmTest, RecoveryWithoutASnapshotComesUpCold) {
+  FarmOptions options;
+  options.shards = 1;
+  EngineFarm farm(options);
+  const img::Image x = test::small_frame(8);
+  const Call call = Call::make_intra(PixelOp::Copy,
+                                     alib::Neighborhood::con0());
+  farm.execute(call, x);
+  farm.kill_shard(0);
+  EXPECT_FALSE(farm.recover_shard(0));
+  const FarmStats stats = farm.stats();
+  EXPECT_EQ(stats.cold_recoveries, 1);
+  EXPECT_EQ(stats.warm_recoveries, 0);
+  EXPECT_EQ(stats.restores, 0);
+  EXPECT_EQ(stats.shards[0].breaker, core::BreakerState::Closed);
+}
+
+TEST(ElasticFarmTest, ElasticChurnUnderLoadDropsNoAcceptedWork) {
+  FarmOptions options;
+  options.shards = 2;
+  EngineFarm farm(options);
+  alib::SoftwareBackend sw;
+  const img::Image a = test::small_frame();
+  const img::Image b = test::small_frame_b();
+  const Call call = Call::make_inter(PixelOp::AbsDiff);
+  const alib::CallResult ref = sw.execute(call, a, &b);
+
+  std::vector<std::future<alib::CallResult>> futures;
+  for (int i = 0; i < 40; ++i) futures.push_back(farm.submit(call, a, &b));
+  // Elastic churn while the backlog is live: every queued-but-unstarted
+  // request must survive each quiesce/steal/requeue cycle.
+  const std::vector<u8> blob = farm.snapshot_shard(0);
+  farm.restore_shard(0, blob);
+  farm.kill_shard(1);
+  farm.recover_shard(1);
+  for (auto& f : futures) test::expect_results_equal(ref, f.get());
+  farm.drain();
+
+  const FarmStats stats = farm.stats();
+  EXPECT_EQ(stats.submitted, 40);
+  EXPECT_EQ(stats.completed, 40);
+  EXPECT_EQ(stats.snapshots_taken, 1);
+  EXPECT_EQ(stats.restores, 1);     // the explicit restore; recovery was cold
+  EXPECT_EQ(stats.cold_recoveries, 1);
+  expect_shard_identity(stats);
+}
+
+TEST(ElasticFarmTest, ResizeUnderLoadStaysBitExact) {
+  FarmOptions options;
+  options.shards = 2;
+  EngineFarm farm(options);
+  alib::SoftwareBackend sw;
+  const img::Image x = test::small_frame(3);
+  const img::Image y = test::small_frame_b(4);
+  const Call call = Call::make_intra(PixelOp::GradientMag,
+                                     alib::Neighborhood::con8());
+  const alib::CallResult ref_x = sw.execute(call, x);
+  const alib::CallResult ref_y = sw.execute(call, y);
+
+  std::vector<std::future<alib::CallResult>> futures;
+  const auto wave = [&] {
+    for (int i = 0; i < 6; ++i) {
+      futures.push_back(farm.submit(call, x));
+      futures.push_back(farm.submit(call, y));
+    }
+  };
+  wave();
+  farm.resize(4);
+  EXPECT_EQ(farm.shard_count(), 4);
+  wave();
+  farm.resize(1);
+  EXPECT_EQ(farm.shard_count(), 1);
+  wave();
+  for (std::size_t i = 0; i < futures.size(); ++i)
+    test::expect_results_equal(i % 2 == 0 ? ref_x : ref_y, futures[i].get());
+  farm.drain();
+
+  const FarmStats stats = farm.stats();
+  EXPECT_EQ(stats.submitted, 36);
+  EXPECT_EQ(stats.completed, 36);
+  EXPECT_EQ(stats.shards.size(), 1u);
+  expect_shard_identity(stats);
+}
+
+TEST(ElasticFarmTest, RebalanceMigratesResidentFramesToFreshShards) {
+  FarmOptions options;
+  options.shards = 1;
+  EngineFarm farm(options);
+  alib::SoftwareBackend sw;
+  const img::Image x = test::small_frame(5);
+  const img::Image y = test::small_frame_b(6);
+  const Call call = Call::make_intra(PixelOp::GradientMag,
+                                     alib::Neighborhood::con8());
+  farm.execute(call, x);
+  farm.execute(call, y);  // shard 0 now holds several resident frames
+
+  farm.resize(2);         // shard 1 arrives empty
+  const int moved = farm.rebalance();
+  EXPECT_GT(moved, 0);
+  const FarmStats stats = farm.stats();
+  EXPECT_EQ(stats.frames_migrated, moved);
+  EXPECT_GT(stats.migration_pci_words, 0u);
+  EXPECT_GT(stats.shards[1].elastic_cycles, 0u);
+  expect_shard_identity(stats);
+
+  // The farm still answers bit-exactly for both frames after migration.
+  test::expect_results_equal(sw.execute(call, x), farm.execute(call, x));
+  test::expect_results_equal(sw.execute(call, y), farm.execute(call, y));
+}
+
+TEST(ElasticFarmTest, RestoreRejectsRottenBlobAndKeepsServing) {
+  FarmOptions options;
+  options.shards = 1;
+  core::FaultPlan rot;
+  rot.snapshot_corrupt_rate = 1.0;  // every snapshot decays at rest
+  options.shard_faults = {rot};
+  EngineFarm farm(options);
+  alib::SoftwareBackend sw;
+  const img::Image x = test::small_frame(9);
+  const Call call = Call::make_intra(PixelOp::Copy,
+                                     alib::Neighborhood::con0());
+  test::expect_results_equal(sw.execute(call, x), farm.execute(call, x));
+
+  const std::vector<u8> blob = farm.snapshot_shard(0);
+  EXPECT_THROW(farm.restore_shard(0, blob), serve::SnapshotCorruption);
+  // Rejecting the blob left the shard serving with its previous state.
+  test::expect_results_equal(sw.execute(call, x), farm.execute(call, x));
+  const FarmStats stats = farm.stats();
+  EXPECT_EQ(stats.snapshots_taken, 1);
+  EXPECT_EQ(stats.restores, 0);
+  EXPECT_EQ(stats.shards[0].resilient.detections.snapshot_checksum_mismatches,
+            1u);
+}
+
+TEST(ElasticFarmTest, RestoreTimeTransportFaultsDegradeFramesToCold) {
+  FarmOptions options;
+  options.shards = 1;
+  core::FaultPlan noisy;
+  noisy.restore_corrupt_rate = 1.0;  // every restored word flips in flight
+  options.shard_faults = {noisy};
+  EngineFarm farm(options);
+  alib::SoftwareBackend sw;
+  const img::Image x = test::small_frame(10);
+
+  // A hand-built snapshot with one resident frame: the restore streams it
+  // through the shard's adversarial transport, every attempt fails its
+  // frame CRC, and the frame degrades to cold instead of poisoning the
+  // board — the restore itself still succeeds.
+  ShardSnapshot snapshot;
+  const u64 hash = core::frame_content_hash(x);
+  snapshot.residency.input_slots[0] = {hash, 1, false};
+  snapshot.residency.use_clock = 1;
+  snapshot.frames.push_back({hash, x});
+  farm.restore_shard(0, serve::serialize_snapshot(snapshot));
+
+  const Call call = Call::make_intra(PixelOp::Copy,
+                                     alib::Neighborhood::con0());
+  test::expect_results_equal(sw.execute(call, x), farm.execute(call, x));
+  const FarmStats stats = farm.stats();
+  EXPECT_EQ(stats.restores, 1);
+  EXPECT_GT(stats.shards[0].resilient.detections.restore_crc_mismatches, 0u);
+  EXPECT_GT(stats.shards[0].resilient.faults.restore_words_corrupted, 0u);
+  EXPECT_GT(stats.shards[0].elastic_cycles, 0u);  // retries are still priced
+  expect_shard_identity(stats);
+}
+
+TEST(ElasticFarmTest, SchedulerTraceRecordsElasticEvents) {
+  FarmOptions options;
+  options.shards = 2;
+  EngineFarm farm(options);
+  core::EngineTrace trace;
+  farm.set_scheduler_trace(&trace);
+  const img::Image x = test::small_frame(12);
+  const Call call = Call::make_intra(PixelOp::Copy,
+                                     alib::Neighborhood::con0());
+  farm.execute(call, x);
+
+  farm.snapshot_shard(0);
+  farm.kill_shard(0);
+  farm.recover_shard(0);
+  farm.resize(3);
+  farm.resize(1);
+  farm.rebalance();
+
+  EXPECT_EQ(trace.count(core::TraceEvent::SnapshotTaken), 1u);
+  EXPECT_EQ(trace.count(core::TraceEvent::ShardKilled), 1u);
+  EXPECT_EQ(trace.count(core::TraceEvent::ShardRestored), 1u);
+  EXPECT_EQ(trace.count(core::TraceEvent::ShardCountChanged), 2u);
+  farm.set_scheduler_trace(nullptr);
+}
+
+TEST(ElasticFarmTest, ElasticOperationsValidateShardIndices) {
+  FarmOptions options;
+  options.shards = 2;
+  EngineFarm farm(options);
+  EXPECT_THROW(farm.snapshot_shard(-1), InvalidArgument);
+  EXPECT_THROW(farm.kill_shard(2), InvalidArgument);
+  EXPECT_THROW(farm.recover_shard(99), InvalidArgument);
+  EXPECT_THROW(farm.resize(0), InvalidArgument);
+}
+
+// --- Chaos gate (tier2) ----------------------------------------------------
+
+// Differential fuzz with seeded chaos: hundreds of random programs flow
+// through a farm whose shards are snapshotted, killed, warm/cold recovered,
+// restored from (possibly rotten) blobs, resized and rebalanced mid-stream,
+// with one shard on an adversarial transport throughout.  The gate: every
+// accepted program completes (zero drops) and every result is bit-exact
+// against the serial software reference.
+TEST(ElasticChaosTest, DifferentialFuzzSurvivesShardChurn) {
+  Rng rng(0xE1A57Cu);
+  FarmOptions options;
+  options.shards = 3;
+  core::FaultPlan faulty;
+  faulty.seed = 99;
+  faulty.dma_corrupt_rate = 0.002;
+  faulty.readback_corrupt_rate = 0.001;
+  faulty.zbt_flip_rate = 0.0005;
+  faulty.snapshot_corrupt_rate = 0.05;
+  faulty.restore_corrupt_rate = 0.0005;
+  options.shard_faults = {core::FaultPlan{}, faulty};  // shard 1 is the bad board
+  EngineFarm farm(options);
+  alib::SoftwareBackend sw;
+
+  // A small pool of recurring frames keeps residency, affinity and
+  // snapshot content live across the run.
+  std::vector<img::Image> pool;
+  for (u64 i = 0; i < 6; ++i)
+    pool.push_back(img::make_test_frame(Size{48, 32}, 100 + i));
+
+  constexpr int kPrograms = 240;
+  struct Pending {
+    std::future<alib::CallResult> future;
+    alib::CallResult ref;
+  };
+  std::deque<Pending> pending;
+  const auto settle = [&](Pending& p) {
+    test::expect_results_equal(p.ref, p.future.get());
+  };
+
+  i64 snapshots = 0, recovers = 0, restores_applied = 0, corrupt_rejects = 0;
+  std::vector<u8> last_blob;
+  int last_blob_shard = -1;
+  for (int i = 0; i < kPrograms; ++i) {
+    bool needs_b = false;
+    const Call call = test::random_any_call(rng, Size{48, 32}, needs_b);
+    const img::Image& a = pool[rng.bounded(static_cast<u32>(pool.size()))];
+    const img::Image* b =
+        needs_b ? &pool[rng.bounded(static_cast<u32>(pool.size()))] : nullptr;
+    Pending p;
+    p.ref = sw.execute(call, a, b);
+    p.future = farm.submit(call, a, b);
+    pending.push_back(std::move(p));
+
+    if (rng.chance(0.12)) {
+      const int shard =
+          static_cast<int>(rng.bounded(static_cast<u32>(farm.shard_count())));
+      switch (rng.bounded(6)) {
+        case 0:
+          last_blob = farm.snapshot_shard(shard);
+          last_blob_shard = shard;
+          ++snapshots;
+          break;
+        case 1:
+          farm.kill_shard(shard);
+          break;
+        case 2:
+          farm.recover_shard(shard);
+          ++recovers;
+          break;
+        case 3:
+          if (last_blob_shard >= 0 && last_blob_shard < farm.shard_count()) {
+            try {
+              farm.restore_shard(last_blob_shard, last_blob);
+              ++restores_applied;
+            } catch (const serve::SnapshotCorruption&) {
+              ++corrupt_rejects;  // rot at rest, detected — expected
+            }
+          }
+          break;
+        case 4:
+          farm.resize(1 + static_cast<int>(rng.bounded(4)));
+          break;
+        case 5:
+          farm.rebalance();
+          break;
+      }
+    }
+    while (pending.size() > 64) {
+      settle(pending.front());
+      pending.pop_front();
+    }
+  }
+  while (!pending.empty()) {
+    settle(pending.front());
+    pending.pop_front();
+  }
+  farm.drain();
+
+  const FarmStats stats = farm.stats();
+  EXPECT_EQ(stats.submitted, kPrograms);
+  EXPECT_EQ(stats.completed, kPrograms) << "accepted work was dropped";
+  EXPECT_EQ(stats.snapshots_taken, snapshots);
+  EXPECT_EQ(stats.warm_recoveries + stats.cold_recoveries, recovers);
+  EXPECT_EQ(stats.restores, restores_applied + stats.warm_recoveries);
+  expect_shard_identity(stats);
+  // The chaos schedule must actually have exercised the machinery.
+  EXPECT_GT(snapshots, 0);
+  EXPECT_GT(recovers, 0);
+}
+
+}  // namespace
+}  // namespace ae

@@ -133,6 +133,94 @@ TEST(FarmTest, StripPipeliningSavesModeledCycles) {
             stats.shards[0].resilient.cycles);
 }
 
+TEST(FarmTest, RetriedCallsDoNotClaimPipelineOverlap) {
+  // Regression: a call that needs a whole-call retry streams its input
+  // strips more than once, but the previous call's post-input tail could
+  // only hide the FIRST attempt's strips.  Crediting the surviving attempt
+  // with overlap subtracts the same tail twice, deflating the shard clock
+  // and the farm makespan exactly when faults make the farm slower.
+  // A large pilot call keeps the single shard busy while the small calls
+  // queue behind it, so pipeline continuity (`prev_on_engine`) is
+  // deterministic at every call boundary instead of racing the scheduler.
+  const img::Image pilot = img::make_test_frame(Size{176, 144}, 7);
+  const img::Image a = test::small_frame();
+  const Call call = Call::make_intra(PixelOp::Median,
+                                     alib::Neighborhood::con8());
+  constexpr int kSmall = 4;
+
+  // An "inert" plan: the scripted opportunity is unreachable, so the
+  // transport stays clean but the shard runs the same simulated path as
+  // the faulty run below — identical interrupt sequences.
+  core::FaultPlan inert;
+  inert.script.push_back({core::FaultKind::LostInterrupt, u64{1} << 60});
+
+  const auto probe_retries = [&](const core::FaultPlan& plan,
+                                 core::EngineTrace* trace) {
+    core::ResilientOptions probe_options;
+    probe_options.plan = plan;
+    core::ResilientSession probe({}, probe_options);
+    if (trace != nullptr) probe.set_trace(trace);
+    probe.execute(call, pilot);
+    for (int i = 0; i < kSmall; ++i) probe.execute(call, a);
+    return probe.stats().call_retries;
+  };
+
+  // Calibrate the script index.  The trace logs every raised interrupt but
+  // only a subset pass through the injector, so the trace count is an
+  // upper bound on the LostInterrupt opportunities; scan downward for the
+  // last one that actually fires — losing it hangs the final call at its
+  // completion interrupt, trips the watchdog, and retries the call whole.
+  u64 last_opportunity = 0;
+  bool calibrated = false;
+  {
+    core::EngineTrace trace;
+    probe_retries(inert, &trace);
+    const u64 upper = trace.count(core::TraceEvent::Interrupt);
+    ASSERT_GT(upper, 0u);
+    for (u64 k = upper; k-- > 0 && !calibrated;) {
+      core::FaultPlan candidate;
+      candidate.script = {{core::FaultKind::LostInterrupt, k}};
+      if (probe_retries(candidate, nullptr) == 1) {
+        last_opportunity = k;
+        calibrated = true;
+      }
+    }
+  }
+  ASSERT_TRUE(calibrated);
+
+  const auto run = [&](const core::FaultPlan& plan) {
+    FarmOptions options;
+    options.shards = 1;
+    options.shard_faults = {plan};
+    EngineFarm farm(options);
+    std::vector<std::future<alib::CallResult>> futures;
+    futures.push_back(farm.submit(call, pilot));
+    for (int i = 0; i < kSmall; ++i) futures.push_back(farm.submit(call, a));
+    for (auto& f : futures) f.get();
+    farm.drain();
+    return farm.stats();
+  };
+
+  const FarmStats clean = run(inert);
+  core::FaultPlan lose_last = inert;
+  lose_last.script = {{core::FaultKind::LostInterrupt, last_opportunity}};
+  const FarmStats faulty = run(lose_last);
+
+  // The last call hangs at its completion interrupt, trips the watchdog
+  // and is retried whole; the retry breaks the pipeline instead of double
+  // counting the previous tail.
+  EXPECT_EQ(faulty.shards[0].resilient.call_retries, 1);
+  EXPECT_EQ(faulty.shards[0].retry_pipeline_breaks, 1);
+  EXPECT_EQ(clean.shards[0].retry_pipeline_breaks, 0);
+  EXPECT_LT(faulty.overlap_cycles_saved, clean.overlap_cycles_saved);
+  // The makespan accounting identity holds in both runs.
+  for (const FarmStats* stats : {&clean, &faulty})
+    EXPECT_EQ(stats->shards[0].busy_cycles +
+                  stats->shards[0].overlap_cycles_saved,
+              stats->shards[0].resilient.cycles +
+                  stats->shards[0].elastic_cycles);
+}
+
 TEST(FarmTest, SegmentCallsFlowThroughTheFarm) {
   EngineFarm farm;
   alib::SoftwareBackend sw;
