@@ -1,0 +1,205 @@
+// aeopt rewrite gain: the optimizer's claimed savings against the
+// cycle-accurate simulator, one workload per rewrite class plus a mixed
+// pipeline.
+//
+// Two properties are gated, and the run exits 1 if either fails:
+//
+//   * honesty — every workload is rewritten, and the measured modeled-cycle
+//     delta (original minus optimized, summed over the program) lands inside
+//     the RewriteLog's claimed [lower, upper] envelope.  Reorders claim
+//     exactly zero cycles (they trade PCI words, not engine time), so their
+//     measured delta must be exactly zero and their claimed PCI saving
+//     positive.
+//   * gain — at least one rewrite class shows a strictly positive measured
+//     cycle reduction contained in its claim (the ISSUE's acceptance bar).
+//
+// Results land in BENCH_opt.json next to the working directory, one entry
+// per workload plus the gate verdict, so CI can archive the numbers and a
+// regression in either direction fails the push.
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/optimizer.hpp"
+#include "core/core.hpp"
+#include "image/synth.hpp"
+
+using namespace ae;
+
+namespace {
+
+struct Workload {
+  std::string name;
+  std::string kind;  ///< rewrite class the program is built to exercise
+  analysis::CallProgram program;
+  u64 seed = 1;
+};
+
+alib::Call grad_con8() {
+  return alib::Call::make_intra(alib::PixelOp::GradientMag,
+                                alib::Neighborhood::con8());
+}
+
+alib::Call pointwise(alib::PixelOp op, i32 value) {
+  alib::OpParams params;
+  if (op == alib::PixelOp::Threshold) params.threshold = value;
+  if (op == alib::PixelOp::Scale) params.scale_num = value;
+  return alib::Call::make_intra(op, alib::Neighborhood::con0(),
+                                ChannelMask::y(), ChannelMask::y(), params);
+}
+
+std::vector<Workload> make_workloads() {
+  constexpr Size kFrame{64, 48};
+  std::vector<Workload> workloads;
+
+  {
+    // fuse: a gradient feeding a pointwise scale/threshold chain — three
+    // calls fold into one, eliminating two stores and two re-uploads.
+    Workload w;
+    w.name = "fuse_chain";
+    w.kind = "fuse";
+    w.seed = 0x0F1;
+    const i32 a = w.program.add_input(kFrame, "a");
+    i32 f = w.program.add_call(grad_con8(), a);
+    f = w.program.add_call(pointwise(alib::PixelOp::Scale, 3), f);
+    f = w.program.add_call(pointwise(alib::PixelOp::Threshold, 60), f);
+    w.program.mark_output(f);
+    workloads.push_back(std::move(w));
+  }
+  {
+    // dead-elim: two expensive results nothing reads and the host never
+    // collects, next to one live pointwise consumer.
+    Workload w;
+    w.name = "dead_stores";
+    w.kind = "dead-elim";
+    w.seed = 0x0F2;
+    const i32 a = w.program.add_input(kFrame, "a");
+    w.program.add_call(grad_con8(), a);
+    w.program.add_call(alib::Call::make_intra(alib::PixelOp::Median,
+                                              alib::Neighborhood::con8()),
+                       a);
+    w.program.mark_output(
+        w.program.add_call(pointwise(alib::PixelOp::Threshold, 40), a));
+    workloads.push_back(std::move(w));
+  }
+  {
+    // reorder: x is evicted by the unrelated inter call, then re-read —
+    // hoisting its consumer recovers one full-frame PCI upload.  Every
+    // intermediate is a program output, so fuse/dead-elim cannot fire.
+    Workload w;
+    w.name = "reorder_reuse";
+    w.kind = "reorder";
+    w.seed = 0x0F3;
+    const i32 x = w.program.add_input(kFrame, "x");
+    const i32 y = w.program.add_input(kFrame, "y");
+    const i32 z = w.program.add_input(kFrame, "z");
+    w.program.mark_output(w.program.add_call(grad_con8(), x));
+    w.program.mark_output(
+        w.program.add_call(alib::Call::make_inter(alib::PixelOp::AbsDiff), y,
+                           z));
+    w.program.mark_output(
+        w.program.add_call(pointwise(alib::PixelOp::Threshold, 25), x));
+    workloads.push_back(std::move(w));
+  }
+  {
+    // mixed: one dead store, one fusable pair — both classes in one pass.
+    Workload w;
+    w.name = "mixed_pipeline";
+    w.kind = "mixed";
+    w.seed = 0x0F4;
+    const i32 a = w.program.add_input(kFrame, "a");
+    w.program.add_call(grad_con8(), a);  // dead
+    const i32 g = w.program.add_call(grad_con8(), a);
+    w.program.mark_output(
+        w.program.add_call(pointwise(alib::PixelOp::Threshold, 80), g));
+    workloads.push_back(std::move(w));
+  }
+  return workloads;
+}
+
+std::vector<img::Image> inputs_for(const analysis::CallProgram& program,
+                                   u64 seed) {
+  std::vector<img::Image> inputs;
+  for (const analysis::FrameDecl& decl : program.frames())
+    if (decl.producer == analysis::kNoFrame)
+      inputs.push_back(img::make_test_frame(decl.size, ++seed));
+  return inputs;
+}
+
+}  // namespace
+
+int main() {
+  core::EngineBackend engine({}, core::EngineMode::CycleAccurate);
+  int violations = 0;
+  int classes_with_proven_gain = 0;
+  std::string rows_json;
+
+  std::cout << "aeopt rewrite gain (cycle-accurate engine)\n";
+  std::cout << "workload        applied  claimed-est      measured  "
+               "claimed-range             pci-words\n";
+
+  for (Workload& w : make_workloads()) {
+    const analysis::OptimizeResult opt = analysis::optimize_program(w.program);
+    const std::vector<img::Image> inputs = inputs_for(w.program, w.seed);
+    const analysis::ProgramRunResult before =
+        analysis::run_program(w.program, engine, inputs);
+    const analysis::ProgramRunResult after =
+        analysis::run_program(opt.program, engine, inputs);
+    const i64 measured = static_cast<i64>(before.stats.cycles) -
+                         static_cast<i64>(after.stats.cycles);
+    const analysis::CostBound claim = opt.log.claimed_cycles_bound;
+    const bool contained = measured >= static_cast<i64>(claim.lower) &&
+                           measured <= static_cast<i64>(claim.upper);
+
+    const auto violated = [&](const std::string& what) {
+      ++violations;
+      std::cerr << "VIOLATION: " << w.name << ": " << what << "\n";
+    };
+    if (!opt.changed) violated("optimizer left the workload unchanged");
+    if (!contained)
+      violated("measured delta " + std::to_string(measured) +
+               " outside claimed [" + std::to_string(claim.lower) + ", " +
+               std::to_string(claim.upper) + "]");
+    if (w.kind == "reorder" && opt.log.claimed_pci_words_delta <= 0)
+      violated("reorder claimed no PCI saving");
+    if (opt.changed && contained && measured > 0) ++classes_with_proven_gain;
+
+    std::printf("%-15s %7zu  %11lld  %12lld  [%9llu, %9llu]  %9lld\n",
+                w.name.c_str(), opt.log.records.size(),
+                static_cast<long long>(opt.log.claimed_cycles_delta),
+                static_cast<long long>(measured),
+                static_cast<unsigned long long>(claim.lower),
+                static_cast<unsigned long long>(claim.upper),
+                static_cast<long long>(opt.log.claimed_pci_words_delta));
+
+    if (!rows_json.empty()) rows_json += ",";
+    rows_json +=
+        "{\"name\":\"" + w.name + "\",\"kind\":\"" + w.kind +
+        "\",\"applied\":" + std::to_string(opt.log.records.size()) +
+        ",\"claimed_cycles\":" + std::to_string(opt.log.claimed_cycles_delta) +
+        ",\"claimed_lower\":" + std::to_string(claim.lower) +
+        ",\"claimed_upper\":" + std::to_string(claim.upper) +
+        ",\"claimed_pci_words\":" +
+        std::to_string(opt.log.claimed_pci_words_delta) +
+        ",\"measured_cycles\":" + std::to_string(measured) +
+        ",\"contained\":" + (contained ? "true" : "false") + "}";
+  }
+
+  const bool pass = violations == 0 && classes_with_proven_gain >= 1;
+  std::cout << "claim violations: " << violations << "\n"
+            << "workloads with contained positive gain: "
+            << classes_with_proven_gain << "\n"
+            << "gate (zero violations, >=1 proven gain): "
+            << (pass ? "PASS" : "FAIL") << "\n";
+
+  if (std::FILE* f = std::fopen("BENCH_opt.json", "w")) {
+    std::fprintf(f,
+                 "{\"workloads\":[%s],\"claim_violations\":%d,"
+                 "\"proven_gain_workloads\":%d,\"gate\":{\"pass\":%s}}\n",
+                 rows_json.c_str(), violations, classes_with_proven_gain,
+                 pass ? "true" : "false");
+    std::fclose(f);
+  }
+  return pass ? 0 : 1;
+}

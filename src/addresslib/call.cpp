@@ -76,6 +76,7 @@ std::string Call::describe() const {
   if (mode == Mode::Segment)
     os << " seeds=" << segment.seeds.size()
        << " thr=" << segment.luma_threshold;
+  for (const FusedStage& stage : fused) os << " +" << to_string(stage.op);
   return os.str();
 }
 
@@ -113,6 +114,9 @@ void validate_call(const Call& call, const img::Image& a, const img::Image* b) {
     AE_EXPECTS(call.nbhd.height() <= kMaxNeighborhoodLines,
                "neighborhood taller than the hardware limit");
   }
+  AE_EXPECTS(call.fused.empty() || call.mode != Mode::Segment,
+             "fused stages require streamed (inter/intra) addressing");
+  for (const FusedStage& stage : call.fused) validate_fused_stage(stage);
 }
 
 }  // namespace ae::alib

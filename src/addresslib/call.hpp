@@ -137,6 +137,13 @@ struct Call {
   ChannelMask out_channels = ChannelMask::y();
   SegmentSpec segment;
 
+  /// Pointwise stages fused onto this call (aeopt fusion).  Applied, in
+  /// order, to each result pixel before it is stored; streamed (Inter/Intra)
+  /// modes only — segment mode copies unprocessed pixels wholesale, so a
+  /// fused stage would transform pixels the fused-away consumer never
+  /// touched.
+  std::vector<FusedStage> fused;
+
   /// Builders for the common shapes.
   static Call make_inter(PixelOp op, ChannelMask in = ChannelMask::y(),
                          ChannelMask out = ChannelMask::y(),

@@ -21,9 +21,12 @@ CallResult execute_functional(const Call& call, const img::Image& a,
       result.output = img::Image(a.size());
       scan_inter(a, *b, result.output, call.scan,
                  [&](img::Pixel pa, img::Pixel pb, Point pos) {
-                   return apply_inter(call.op, call.params, pa, pb, pos,
-                                      call.in_channels, call.out_channels,
-                                      result.side);
+                   img::Pixel px = apply_inter(call.op, call.params, pa, pb,
+                                               pos, call.in_channels,
+                                               call.out_channels, result.side);
+                   if (!call.fused.empty())
+                     px = apply_fused(call.fused, px, result.side);
+                   return px;
                  });
       result.stats.pixels = a.pixel_count();
       break;
@@ -32,9 +35,12 @@ CallResult execute_functional(const Call& call, const img::Image& a,
       result.output = img::Image(a.size());
       scan_intra(a, result.output, call.scan, call.border,
                  call.params.border_constant, [&](const ImageWindow& window) {
-                   return apply_intra(call.op, call.params, call.nbhd, window,
-                                      call.in_channels, call.out_channels,
-                                      result.side);
+                   img::Pixel px = apply_intra(call.op, call.params, call.nbhd,
+                                               window, call.in_channels,
+                                               call.out_channels, result.side);
+                   if (!call.fused.empty())
+                     px = apply_fused(call.fused, px, result.side);
+                   return px;
                  });
       result.stats.pixels = a.pixel_count();
       break;

@@ -1,0 +1,87 @@
+// Row lowering of fused pointwise stages (aeopt fusion).  A fused stage is
+// a CON_0 op applied to each finished output pixel, so its lowering is a
+// flat in-place sweep over the output row — no taps, no border resolution.
+// The specialized loops mirror apply_intra (ops.hpp) expression for
+// expression; ops without a specialization run the interpreter's own stage
+// arithmetic per pixel, so bit-exactness stays structural either way.
+#include "addresslib/kernels/row_kernels.hpp"
+
+namespace ae::alib::kern {
+namespace {
+
+template <PixelOp Op, Channel C>
+void fused_channel_seg(const FusedStage& stage, img::Pixel* out, i32 n) {
+  for (i32 x = 0; x < n; ++x) {
+    if constexpr (Op == PixelOp::Threshold) {
+      constexpr u16 maxv = img::channel_bits(C) == 8 ? 255 : 0xFFFF;
+      out[x].set(C, out[x].get(C) > stage.params.threshold ? maxv : 0);
+    } else if constexpr (Op == PixelOp::Scale) {
+      const i64 v =
+          ((static_cast<i64>(out[x].get(C)) * stage.params.scale_num) >>
+           stage.params.shift) +
+          stage.params.bias;
+      out[x].set(C, img::clamp_channel(C, v));
+    } else {
+      static_assert(Op == PixelOp::Threshold, "op has no per-channel kernel");
+    }
+  }
+}
+
+template <PixelOp Op>
+void fused_row(const FusedStage& stage, img::Pixel* out, i32 n,
+               SideAccum* side) {
+  if constexpr (Op == PixelOp::Copy) {
+    (void)stage;
+    (void)out;
+    (void)n;
+    (void)side;
+  } else if constexpr (Op == PixelOp::Histogram) {
+    (void)stage;
+    for (i32 x = 0; x < n; ++x) side->histogram[out[x].y] += 1;
+  } else if constexpr (Op == PixelOp::TableLookup) {
+    const std::vector<u16>& table = stage.params.table;
+    for (i32 x = 0; x < n; ++x)
+      if (out[x].alfa < table.size()) out[x].alfa = table[out[x].alfa];
+  } else {
+    (void)side;
+    for_each_mask_channel(stage.out, [&](auto c) {
+      fused_channel_seg<Op, decltype(c)::value>(stage, out, n);
+    });
+  }
+}
+
+/// Degenerate one-pixel window for the generic fallback, identical to the
+/// interpreter's (ops.cpp).
+struct CenterSource {
+  img::Pixel px;
+  img::Pixel at(Point) const { return px; }
+};
+
+void fused_row_generic(const FusedStage& stage, img::Pixel* out, i32 n,
+                       SideAccum* side) {
+  static const Neighborhood con0 = Neighborhood::con0();
+  for (i32 x = 0; x < n; ++x)
+    out[x] = apply_intra(stage.op, stage.params, con0, CenterSource{out[x]},
+                         stage.in, stage.out, *side);
+}
+
+}  // namespace
+
+FusedRowFn lower_fused_row(PixelOp op) {
+  switch (op) {
+    case PixelOp::Copy:
+      return fused_row<PixelOp::Copy>;
+    case PixelOp::Threshold:
+      return fused_row<PixelOp::Threshold>;
+    case PixelOp::Scale:
+      return fused_row<PixelOp::Scale>;
+    case PixelOp::Histogram:
+      return fused_row<PixelOp::Histogram>;
+    case PixelOp::TableLookup:
+      return fused_row<PixelOp::TableLookup>;
+    default:
+      return fused_row_generic;
+  }
+}
+
+}  // namespace ae::alib::kern

@@ -40,6 +40,7 @@ CallResult KernelBackend::execute_inter(const Call& call, const img::Image& a,
   result.output = img::Image(a.size());
 
   const kern::InterRowFn row_fn = kern::lower_inter_row(call.op);
+  const kern::FusedRowPlan fused(call.fused);
   const i32 grain = std::max<i32>(1, options_.row_grain);
   const i32 bands = h > 0 ? (h + grain - 1) / grain : 0;
   std::vector<SideAccum> band_side(static_cast<std::size_t>(bands));
@@ -62,6 +63,7 @@ CallResult KernelBackend::execute_inter(const Call& call, const img::Image& a,
       args.params = &call.params;
       args.side = &side;
       row_fn(args);
+      if (!fused.empty()) fused.run(po + row, w, side);
     }
   });
 
@@ -101,6 +103,7 @@ CallResult KernelBackend::execute_intra(const Call& call,
   const i32 y_hi = std::max(y_lo, std::min(h, h - std::max<i32>(0, max_dy)));
 
   const kern::IntraRowFn row_fn = kern::lower_intra_row(call.op);
+  const kern::FusedRowPlan fused(call.fused);
   const i32 grain = std::max<i32>(1, options_.row_grain);
   const i32 bands = h > 0 ? (h + grain - 1) / grain : 0;
   std::vector<SideAccum> band_side(static_cast<std::size_t>(bands));
@@ -123,20 +126,26 @@ CallResult KernelBackend::execute_intra(const Call& call,
     for (i32 y = y0; y < y1; ++y) {
       if (y < y_lo || y >= y_hi || x_hi <= x_lo) {
         for (i32 x = 0; x < w; ++x) cell(x, y);
-        continue;
+      } else {
+        for (i32 x = 0; x < x_lo; ++x) cell(x, y);
+        const std::size_t base = static_cast<std::size_t>(y) *
+                                     static_cast<std::size_t>(w) +
+                                 static_cast<std::size_t>(x_lo);
+        kern::IntraRowArgs args;
+        args.center = pa + base;
+        args.out = po + base;
+        args.n = x_hi - x_lo;
+        args.plan = &plan;
+        args.side = &side;
+        row_fn(args);
+        for (i32 x = x_hi; x < w; ++x) cell(x, y);
       }
-      for (i32 x = 0; x < x_lo; ++x) cell(x, y);
-      const std::size_t base = static_cast<std::size_t>(y) *
-                                   static_cast<std::size_t>(w) +
-                               static_cast<std::size_t>(x_lo);
-      kern::IntraRowArgs args;
-      args.center = pa + base;
-      args.out = po + base;
-      args.n = x_hi - x_lo;
-      args.plan = &plan;
-      args.side = &side;
-      row_fn(args);
-      for (i32 x = x_hi; x < w; ++x) cell(x, y);
+      // Fused pointwise stages sweep the finished row in place; their side
+      // contributions are commutative sums, so band order is invisible.
+      if (!fused.empty())
+        fused.run(po + static_cast<std::size_t>(y) *
+                           static_cast<std::size_t>(w),
+                  w, side);
     }
   });
 

@@ -66,6 +66,43 @@ using IntraRowFn = void (*)(const IntraRowArgs&);
 /// op has no flat lowering.
 IntraRowFn lower_intra_row(PixelOp op);
 
+/// One fused pointwise stage applied in place to a finished output row
+/// (fused_kernels.cpp).  Stages read nothing but the pixel itself, so the
+/// pass runs after the base row kernel — the same value order the
+/// interpreter's per-pixel chain produces.
+using FusedRowFn = void (*)(const FusedStage& stage, img::Pixel* out, i32 n,
+                            SideAccum* side);
+
+/// The specialized row lowering of a fused stage op; never nullptr (ops
+/// without a flat specialization fall back to a per-pixel kernel that calls
+/// the interpreter's stage arithmetic, keeping bit-exactness structural).
+FusedRowFn lower_fused_row(PixelOp op);
+
+/// Per-call lowering of a call's fused-stage chain: each stage's row
+/// function resolved once, run in order over finished output rows.
+class FusedRowPlan {
+ public:
+  FusedRowPlan() = default;
+  explicit FusedRowPlan(const std::vector<FusedStage>& stages) {
+    rows_.reserve(stages.size());
+    for (const FusedStage& s : stages)
+      rows_.push_back(Lowered{&s, lower_fused_row(s.op)});
+  }
+
+  bool empty() const { return rows_.empty(); }
+
+  void run(img::Pixel* out, i32 n, SideAccum& side) const {
+    for (const Lowered& l : rows_) l.fn(*l.stage, out, n, &side);
+  }
+
+ private:
+  struct Lowered {
+    const FusedStage* stage;
+    FusedRowFn fn;
+  };
+  std::vector<Lowered> rows_;
+};
+
 /// Invokes `f` once per channel present in `m`, passing the channel as a
 /// compile-time constant (std::integral_constant<Channel, C>) so the
 /// per-channel loops fold their channel accessors.

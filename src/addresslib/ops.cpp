@@ -286,4 +286,33 @@ void validate_op(PixelOp op, const OpParams& params, const Neighborhood* nbhd,
   }
 }
 
+namespace {
+
+/// Degenerate one-pixel window: a CON_0 stage reads nothing but the center.
+struct CenterSource {
+  img::Pixel px;
+  img::Pixel at(Point) const { return px; }
+};
+
+}  // namespace
+
+img::Pixel apply_fused(const std::vector<FusedStage>& stages, img::Pixel px,
+                       SideAccum& side) {
+  static const Neighborhood con0 = Neighborhood::con0();
+  for (const FusedStage& stage : stages)
+    px = apply_intra(stage.op, stage.params, con0, CenterSource{px}, stage.in,
+                     stage.out, side);
+  return px;
+}
+
+void validate_fused_stage(const FusedStage& stage) {
+  AE_EXPECTS(is_intra_op(stage.op),
+             "fused stages must be intra (pointwise) ops");
+  static const Neighborhood con0 = Neighborhood::con0();
+  // validate_op against CON_0 rejects every op with a genuine neighborhood
+  // requirement (gradients, Homogeneity, GradientPack) and checks the
+  // stage's own parameters (coeff arity 1, table presence, shift range).
+  validate_op(stage.op, stage.params, &con0, stage.in, stage.out);
+}
+
 }  // namespace ae::alib

@@ -138,6 +138,38 @@ struct SideAccum {
   }
 };
 
+/// One pointwise stage folded onto a producing call (aeopt fusion).  A stage
+/// is an intra op with a degenerate CON_0 neighborhood, applied to the
+/// producing call's intermediate result pixel before that pixel is stored —
+/// exactly the value a separate pointwise consumer call would have read back
+/// from the result banks, which is what makes fusion bit-exact by
+/// construction.  Only ops whose CON_0 form depends on nothing but the
+/// center pixel are legal stages (validate_fused_stage).
+struct FusedStage {
+  PixelOp op = PixelOp::Copy;
+  OpParams params;
+  ChannelMask in = ChannelMask::y();
+  ChannelMask out = ChannelMask::y();
+};
+
+inline bool operator==(const FusedStage& a, const FusedStage& b) {
+  return a.op == b.op && a.in == b.in && a.out == b.out &&
+         a.params.coeffs == b.params.coeffs && a.params.table == b.params.table &&
+         a.params.shift == b.params.shift && a.params.bias == b.params.bias &&
+         a.params.threshold == b.params.threshold &&
+         a.params.scale_num == b.params.scale_num;
+}
+
+/// Applies the fused pointwise stages, in order, to an intermediate result
+/// pixel.  Each stage sees the previous stage's output as its center pixel
+/// (the same value the unfused program would have stored and read back).
+img::Pixel apply_fused(const std::vector<FusedStage>& stages, img::Pixel px,
+                       SideAccum& side);
+
+/// Throws InvalidArgument unless `stage` is a legal pointwise stage: an
+/// intra op valid on a CON_0 neighborhood with the stage's masks.
+void validate_fused_stage(const FusedStage& stage);
+
 namespace detail {
 
 /// Per-channel binary arithmetic shared by the inter kernels.  Inline (and

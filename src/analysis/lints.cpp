@@ -100,15 +100,13 @@ void lint_strip_below_break_even(const CallProgram& program,
 
 // AEW303 — a result consumed solely by the immediately following pointwise
 // call: the pair is fusable into one pass, saving a readback + re-upload.
+// The predicate is shared with the aeopt fuse rewrite
+// (fusable_pointwise_pair below), so the lint never flags a pair the
+// optimizer could not fold bit-exactly.
 void lint_fusable_pointwise_pair(const CallProgram& program, Report& report) {
   for (std::size_t i = 0; i + 1 < program.calls().size(); ++i) {
     const ProgramCall& pc = program.calls()[i];
-    if (is_program_output(program, pc.output)) continue;
-    const std::vector<i32> readers = consumers_of(program, pc.output);
-    if (readers.size() != 1 || readers[0] != static_cast<i32>(i) + 1)
-      continue;
-    const ProgramCall& next = program.calls()[i + 1];
-    if (!is_pointwise(next.call)) continue;
+    if (!fusable_pointwise_pair(program, i)) continue;
     std::ostringstream os;
     os << "result '" << program.frame_name(pc.output)
        << "' is consumed only by the pointwise call " << i + 1
@@ -206,6 +204,40 @@ Report lint_program(const CallProgram& program, const ProgramPlan& plan,
 
 Report lint_program(const CallProgram& program, const PlanOptions& options) {
   return lint_program(program, plan_program(program, options), options);
+}
+
+bool fusable_pointwise_pair(const CallProgram& program, std::size_t i) {
+  if (i + 1 >= program.calls().size()) return false;
+  const ProgramCall& pc = program.calls()[i];
+  // Segment producers are unfusable: the standalone consumer transforms the
+  // wholesale-copied unprocessed pixels and the id-written Alfa plane, which
+  // a fused stage (running on processed pixels, before ids land) never sees.
+  if (pc.call.mode == alib::Mode::Segment) return false;
+  if (is_program_output(program, pc.output)) return false;
+  const std::vector<i32> readers = consumers_of(program, pc.output);
+  if (readers.size() != 1 || readers[0] != static_cast<i32>(i) + 1)
+    return false;
+  const ProgramCall& next = program.calls()[i + 1];
+  if (!is_pointwise(next.call)) return false;
+  // The consumer must read the result through its real input; a reference
+  // through the ignored second input of an intra call is not a dataflow
+  // edge fusion can absorb.
+  if (next.input_a != pc.output || next.input_b != kNoFrame) return false;
+  // The consumer's base op (and any stages already fused onto it) must be a
+  // legal fused stage — a CON_0-valid pointwise op.
+  alib::FusedStage stage;
+  stage.op = next.call.op;
+  stage.params = next.call.params;
+  stage.in = next.call.in_channels;
+  stage.out = next.call.out_channels;
+  try {
+    alib::validate_fused_stage(stage);
+    for (const alib::FusedStage& s : next.call.fused)
+      alib::validate_fused_stage(s);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
 }
 
 }  // namespace ae::analysis

@@ -29,4 +29,14 @@ Report lint_program(const CallProgram& program, const ProgramPlan& plan,
 Report lint_program(const CallProgram& program,
                     const PlanOptions& options = {});
 
+/// Shared predicate of AEW303 and the aeopt fuse rewrite (optimizer.hpp):
+/// call `i`'s result is consumed solely by the immediately following
+/// pointwise (CON_0 intra) call, read through that call's real input, and
+/// folding the consumer onto call `i` as a fused stage is bit-exact.
+/// Segment producers are refused — their output contains wholesale-copied
+/// unprocessed pixels a fused stage would never touch (but the standalone
+/// consumer transforms), and segment ids land in Alfa after the kernel ran,
+/// so a fused stage would read pre-id values.
+bool fusable_pointwise_pair(const CallProgram& program, std::size_t i);
+
 }  // namespace ae::analysis

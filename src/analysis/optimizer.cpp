@@ -1,0 +1,530 @@
+#include "analysis/optimizer.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "analysis/lints.hpp"
+#include "analysis/rules.hpp"
+#include "common/error.hpp"
+
+namespace ae::analysis {
+namespace {
+
+using alib::Call;
+using alib::Mode;
+using alib::PixelOp;
+
+bool is_program_output(const CallProgram& program, i32 frame) {
+  const std::vector<i32>& outs = program.outputs();
+  return std::find(outs.begin(), outs.end(), frame) != outs.end();
+}
+
+std::vector<i32> consumers_of(const CallProgram& program, i32 frame) {
+  std::vector<i32> out;
+  for (std::size_t i = 0; i < program.calls().size(); ++i) {
+    const ProgramCall& pc = program.calls()[i];
+    if (pc.input_a == frame || pc.input_b == frame)
+      out.push_back(static_cast<i32>(i));
+  }
+  return out;
+}
+
+/// Ops whose results escape through the side port: dropping such a call
+/// changes the merged SideAccum even when its output frame is dead.
+bool has_side_port_results(const Call& call) {
+  const auto side_op = [](PixelOp op) {
+    return op == PixelOp::Histogram || op == PixelOp::Sad ||
+           op == PixelOp::GmeAccum || op == PixelOp::GmeAccumAffine ||
+           op == PixelOp::GmePerspective;
+  };
+  if (side_op(call.op)) return true;
+  for (const alib::FusedStage& s : call.fused)
+    if (side_op(s.op)) return true;
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Program surgery: rebuild a CallProgram from a call order + per-call edits.
+// External frames are re-declared first, in their original relative order
+// (run_program keys its inputs on that order), then calls are emitted with
+// every frame reference mapped through the rebuild.
+// ---------------------------------------------------------------------------
+
+struct Surgery {
+  /// Old call indices, in emission order (omitted indices are dropped).
+  std::vector<std::size_t> order;
+  /// Replacement descriptors for emitted calls, keyed by old index.
+  std::map<std::size_t, Call> replace;
+  /// Extra frame aliases: old frame id -> old call index whose (new) output
+  /// satisfies the reference (fusion points the consumer's readers at the
+  /// fused call's result).
+  std::map<i32, std::size_t> alias_to_output_of;
+};
+
+CallProgram apply_surgery(const CallProgram& src, const Surgery& s) {
+  CallProgram out;
+  std::vector<i32> map(src.frames().size(), kNoFrame);
+  for (std::size_t f = 0; f < src.frames().size(); ++f) {
+    const FrameDecl& decl = src.frames()[f];
+    if (decl.producer != kNoFrame) continue;
+    map[f] = out.add_input(decl.size, decl.name);
+  }
+  const auto resolve = [&](i32 frame) {
+    if (!src.valid_frame(frame)) return frame;  // pass bad refs through
+    const auto alias = s.alias_to_output_of.find(frame);
+    if (alias != s.alias_to_output_of.end())
+      return map[static_cast<std::size_t>(
+          src.calls()[alias->second].output)];
+    return map[static_cast<std::size_t>(frame)];
+  };
+  for (const std::size_t ci : s.order) {
+    const ProgramCall& pc = src.calls()[ci];
+    const auto rep = s.replace.find(ci);
+    const Call& call = rep == s.replace.end() ? pc.call : rep->second;
+    const i32 o = out.add_call(call, resolve(pc.input_a),
+                               pc.input_b == kNoFrame ? kNoFrame
+                                                      : resolve(pc.input_b));
+    map[static_cast<std::size_t>(pc.output)] = o;
+    out.set_frame_name(o, src.frames()[static_cast<std::size_t>(pc.output)]
+                              .name);
+  }
+  for (const i32 f : src.outputs()) out.mark_output(resolve(f));
+  return out;
+}
+
+std::vector<std::size_t> identity_order(std::size_t n) {
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  return order;
+}
+
+// ---------------------------------------------------------------------------
+// Dominance proofs
+// ---------------------------------------------------------------------------
+
+bool envelope_equal(const CostEnvelope& a, const CostEnvelope& b) {
+  return a.cycles.lower == b.cycles.lower &&
+         a.cycles.upper == b.cycles.upper &&
+         a.cycles_estimate == b.cycles_estimate &&
+         a.dma_words_in == b.dma_words_in &&
+         a.dma_words_out == b.dma_words_out &&
+         a.zbt_reads.lower == b.zbt_reads.lower &&
+         a.zbt_reads.upper == b.zbt_reads.upper &&
+         a.zbt_writes.lower == b.zbt_writes.lower &&
+         a.zbt_writes.upper == b.zbt_writes.upper;
+}
+
+u64 transferred_words(const ProgramPlan& plan) {
+  u64 words = 0;
+  for (const CallPlan& cp : plan.calls)
+    for (const InputPlan& ip : cp.inputs)
+      if (ip.kind == TransferKind::Transferred) words += ip.words;
+  return words;
+}
+
+u64 total_dma_words(const ProgramPlan& plan) {
+  return plan.total.dma_words_in + plan.total.dma_words_out;
+}
+
+/// The shared acceptance gate: re-verify, re-plan, and prove dominance.
+/// `removed` lists old call indices whose envelopes the structural tier
+/// claims as the saving (empty disables that tier, as for reorders).
+/// Returns true and fills `record` on acceptance.
+struct Candidate {
+  CallProgram program;           // rewritten program
+  std::vector<std::size_t> removed;  // structural-claim call indices
+  bool permutation = false;      // residency tier applies (reorder)
+};
+
+bool prove_and_admit(const CallProgram& original, const ProgramPlan& plan_old,
+                     Candidate&& cand, const OptimizeOptions& options,
+                     RewriteRecord& record, CallProgram& out_program) {
+  // Gate 1 — every emitted program re-passes aeverify.
+  if (verify_program(cand.program, options.verify).has_errors()) return false;
+
+  const ProgramPlan plan_new = plan_program(cand.program, options.plan);
+
+  // Tier "proven": unconditional cycle dominance, margins included.
+  if (plan_new.total.cycles.upper <= plan_old.total.cycles.lower) {
+    record.tier = "proven";
+    record.claimed_cycles_delta =
+        static_cast<i64>(plan_old.total.cycles_estimate) -
+        static_cast<i64>(plan_new.total.cycles_estimate);
+    record.claimed_cycles_bound.lower =
+        plan_old.total.cycles.lower - plan_new.total.cycles.upper;
+    record.claimed_cycles_bound.upper =
+        plan_old.total.cycles.upper - plan_new.total.cycles.lower;
+    record.claimed_pci_words_delta =
+        static_cast<i64>(total_dma_words(plan_old)) -
+        static_cast<i64>(total_dma_words(plan_new));
+    out_program = std::move(cand.program);
+    return true;
+  }
+
+  // Tier "structural" (fuse / dead-elim): the surviving calls' envelopes
+  // must be numerically identical to their originals, so the saving is
+  // exactly the removed calls' envelopes — no margin arithmetic involved.
+  if (!cand.removed.empty()) {
+    if (plan_new.calls.size() + cand.removed.size() != plan_old.calls.size())
+      return false;
+    std::vector<bool> dropped(plan_old.calls.size(), false);
+    for (const std::size_t r : cand.removed)
+      dropped[r] = true;
+    std::size_t j = 0;
+    for (std::size_t i = 0; i < plan_old.calls.size(); ++i) {
+      if (dropped[i]) continue;
+      if (!envelope_equal(plan_old.calls[i].envelope,
+                          plan_new.calls[j].envelope))
+        return false;
+      ++j;
+    }
+    record.tier = "structural";
+    u64 est = 0;
+    u64 lo = 0;
+    u64 hi = 0;
+    u64 dma = 0;
+    for (const std::size_t r : cand.removed) {
+      const CostEnvelope& e = plan_old.calls[r].envelope;
+      est += e.cycles_estimate;
+      lo += e.cycles.lower;
+      hi += e.cycles.upper;
+      dma += e.dma_words_in + e.dma_words_out;
+    }
+    record.claimed_cycles_delta = static_cast<i64>(est);
+    record.claimed_cycles_bound = CostBound{lo, hi};
+    record.claimed_pci_words_delta = static_cast<i64>(dma);
+    out_program = std::move(cand.program);
+    return true;
+  }
+
+  // Tier "residency" (reorder): the program is a permutation — totals must
+  // be identical — and the rewrite is kept only when the residency
+  // schedule's Transferred PCI words strictly decrease.
+  if (cand.permutation) {
+    if (!envelope_equal(plan_old.total, plan_new.total)) return false;
+    const u64 before = transferred_words(plan_old);
+    const u64 after = transferred_words(plan_new);
+    if (after >= before) return false;
+    record.tier = "residency";
+    record.claimed_cycles_delta = 0;
+    record.claimed_cycles_bound = CostBound{0, 0};
+    record.claimed_pci_words_delta = static_cast<i64>(before - after);
+    out_program = std::move(cand.program);
+    return true;
+  }
+
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Rewrite classes
+// ---------------------------------------------------------------------------
+
+/// AEW301 actionable form, stricter than the advisory lint: streamed calls
+/// only, and never a call whose side-port results (Histogram/Sad/Gme*) or
+/// segment records the host can observe.
+bool dead_elim_candidate(const CallProgram& program, std::size_t i) {
+  if (program.outputs().empty()) return false;  // liveness unknowable
+  if (i + 1 >= program.calls().size()) return false;  // final result
+  const ProgramCall& pc = program.calls()[i];
+  if (pc.call.mode == Mode::Segment) return false;
+  if (has_side_port_results(pc.call)) return false;
+  if (is_program_output(program, pc.output)) return false;
+  return consumers_of(program, pc.output).empty();
+}
+
+Candidate make_dead_elim(const CallProgram& program, std::size_t i) {
+  Surgery s;
+  for (std::size_t j = 0; j < program.calls().size(); ++j)
+    if (j != i) s.order.push_back(j);
+  Candidate cand{apply_surgery(program, s), {i}, false};
+  return cand;
+}
+
+Candidate make_fuse(const CallProgram& program, std::size_t i) {
+  const ProgramCall& producer = program.calls()[i];
+  const ProgramCall& consumer = program.calls()[i + 1];
+  Call fused = producer.call;
+  alib::FusedStage stage;
+  stage.op = consumer.call.op;
+  stage.params = consumer.call.params;
+  stage.in = consumer.call.in_channels;
+  stage.out = consumer.call.out_channels;
+  fused.fused.push_back(std::move(stage));
+  for (const alib::FusedStage& extra : consumer.call.fused)
+    fused.fused.push_back(extra);
+
+  Surgery s;
+  for (std::size_t j = 0; j < program.calls().size(); ++j)
+    if (j != i + 1) s.order.push_back(j);
+  s.replace.emplace(i, std::move(fused));
+  // Readers of the consumer's result (and the output declaration) now point
+  // at the fused call's output.
+  s.alias_to_output_of.emplace(consumer.output, i);
+  Candidate cand{apply_surgery(program, s), {i + 1}, false};
+  // The surviving frame should keep the consumer's name: that is the result
+  // the rest of the program (and the host) knows.
+  const ProgramCall& fused_pc = cand.program.calls()[i];
+  cand.program.set_frame_name(
+      fused_pc.output,
+      program.frames()[static_cast<std::size_t>(consumer.output)].name);
+  return cand;
+}
+
+/// AEW304 actionable form: hoist call `j` to directly follow `dest`.
+Candidate make_reorder(const CallProgram& program, std::size_t j, i32 dest) {
+  Surgery s;
+  for (std::size_t k = 0; k < program.calls().size(); ++k) {
+    if (k == j) continue;
+    s.order.push_back(k);
+    if (k == static_cast<std::size_t>(dest)) s.order.push_back(j);
+  }
+  Candidate cand{apply_surgery(program, s), {}, true};
+  return cand;
+}
+
+/// Reorder candidates of one program state: (call index, hoist destination).
+std::vector<std::pair<std::size_t, i32>> reorder_candidates(
+    const CallProgram& program, const ProgramPlan& plan) {
+  std::vector<std::pair<std::size_t, i32>> out;
+  for (std::size_t j = 0; j < plan.calls.size(); ++j) {
+    const CallPlan& cp = plan.calls[j];
+    for (const InputPlan& ip : cp.inputs) {
+      if (ip.kind != TransferKind::Transferred || ip.frame < 0) continue;
+      i32 resident_at = kNoFrame;
+      for (std::size_t i = 0; i < j; ++i) {
+        const std::vector<i32>& res = plan.calls[i].resident_after;
+        if (std::find(res.begin(), res.end(), ip.frame) != res.end())
+          resident_at = static_cast<i32>(i);
+      }
+      if (resident_at == kNoFrame || resident_at == static_cast<i32>(j) - 1)
+        continue;
+      bool legal = true;
+      for (const InputPlan& other : cp.inputs) {
+        if (!program.valid_frame(other.frame)) continue;
+        if (program.frames()[static_cast<std::size_t>(other.frame)].producer >
+            resident_at) {
+          legal = false;
+          break;
+        }
+      }
+      if (legal) out.emplace_back(j, resident_at);
+    }
+  }
+  return out;
+}
+
+void accumulate(RewriteLog& log, const RewriteRecord& record) {
+  log.records.push_back(record);
+  log.claimed_cycles_delta += record.claimed_cycles_delta;
+  log.claimed_cycles_bound.lower += record.claimed_cycles_bound.lower;
+  log.claimed_cycles_bound.upper += record.claimed_cycles_bound.upper;
+  log.claimed_pci_words_delta += record.claimed_pci_words_delta;
+}
+
+}  // namespace
+
+OptimizeResult optimize_program(const CallProgram& program,
+                                const OptimizeOptions& options) {
+  OptimizeResult result{program, {}, false};
+  // The optimizer transforms only what the verifier already accepts.
+  if (verify_program(program, options.verify).has_errors()) return result;
+
+  for (int round = 0; round < options.max_rounds; ++round) {
+    bool progress = false;
+    // Refusals are recounted each round; the surviving value is the set of
+    // candidates still refused at fixpoint.
+    result.log.rejected = 0;
+
+    // Dead-elim first: it shrinks the program other classes then scan.
+    if (options.dead_elim) {
+      for (std::size_t i = 0; i < result.program.calls().size();) {
+        if (!dead_elim_candidate(result.program, i)) {
+          ++i;
+          continue;
+        }
+        const ProgramPlan plan = plan_program(result.program, options.plan);
+        RewriteRecord record;
+        record.rule = rules::kDeadStoreOverwrite;
+        record.kind = "dead-elim";
+        record.calls = {static_cast<i32>(i)};
+        record.note = "dropped dead result '" +
+                      result.program.frame_name(
+                          result.program.calls()[i].output) +
+                      "'";
+        CallProgram next;
+        if (prove_and_admit(result.program, plan,
+                            make_dead_elim(result.program, i), options,
+                            record, next)) {
+          result.program = std::move(next);
+          accumulate(result.log, record);
+          progress = true;
+          // Stay at i: the call list shifted left.
+        } else {
+          ++result.log.rejected;
+          ++i;
+        }
+      }
+    }
+
+    if (options.fuse) {
+      for (std::size_t i = 0; i + 1 < result.program.calls().size();) {
+        if (!fusable_pointwise_pair(result.program, i)) {
+          ++i;
+          continue;
+        }
+        const ProgramPlan plan = plan_program(result.program, options.plan);
+        RewriteRecord record;
+        record.rule = rules::kFusablePointwisePair;
+        record.kind = "fuse";
+        record.calls = {static_cast<i32>(i), static_cast<i32>(i) + 1};
+        record.note =
+            "fused pointwise " +
+            alib::to_string(result.program.calls()[i + 1].call.op) +
+            " onto call " + std::to_string(i);
+        CallProgram next;
+        if (prove_and_admit(result.program, plan,
+                            make_fuse(result.program, i), options, record,
+                            next)) {
+          result.program = std::move(next);
+          accumulate(result.log, record);
+          progress = true;
+          // Stay at i: the fused call may now feed another pointwise call.
+        } else {
+          ++result.log.rejected;
+          ++i;
+        }
+      }
+    }
+
+    if (options.reorder) {
+      // Reorders are monotone in Transferred words (the residency tier only
+      // admits strict decreases), so re-deriving candidates after each
+      // accepted hoist terminates.
+      for (bool moved = true; moved;) {
+        moved = false;
+        const ProgramPlan plan = plan_program(result.program, options.plan);
+        for (const auto& [j, dest] : reorder_candidates(result.program, plan)) {
+          RewriteRecord record;
+          record.rule = rules::kReorderForReuse;
+          record.kind = "reorder";
+          record.calls = {static_cast<i32>(j), dest};
+          record.note = "hoisted call " + std::to_string(j) +
+                        " after call " + std::to_string(dest) +
+                        " to recover bank residency";
+          CallProgram next;
+          if (prove_and_admit(result.program, plan,
+                              make_reorder(result.program, j, dest), options,
+                              record, next)) {
+            result.program = std::move(next);
+            accumulate(result.log, record);
+            progress = true;
+            moved = true;
+            break;  // plan is stale after a hoist; re-derive candidates
+          }
+          ++result.log.rejected;
+        }
+      }
+    }
+
+    if (!progress) break;
+  }
+
+  result.changed = !result.log.records.empty();
+  return result;
+}
+
+std::string rewrite_log_json(const RewriteLog& log) {
+  std::ostringstream os;
+  os << "{\"rewrites\":[";
+  for (std::size_t i = 0; i < log.records.size(); ++i) {
+    const RewriteRecord& r = log.records[i];
+    if (i) os << ',';
+    os << "{\"rule\":" << json_quote(r.rule)
+       << ",\"kind\":" << json_quote(r.kind)
+       << ",\"tier\":" << json_quote(r.tier) << ",\"calls\":[";
+    for (std::size_t c = 0; c < r.calls.size(); ++c)
+      os << (c ? "," : "") << r.calls[c];
+    os << "],\"claimed_cycles\":{\"estimate\":" << r.claimed_cycles_delta
+       << ",\"lower\":" << r.claimed_cycles_bound.lower
+       << ",\"upper\":" << r.claimed_cycles_bound.upper << '}'
+       << ",\"claimed_pci_words\":" << r.claimed_pci_words_delta
+       << ",\"note\":" << json_quote(r.note) << '}';
+  }
+  os << "],\"claimed_cycles\":{\"estimate\":" << log.claimed_cycles_delta
+     << ",\"lower\":" << log.claimed_cycles_bound.lower
+     << ",\"upper\":" << log.claimed_cycles_bound.upper << '}'
+     << ",\"claimed_pci_words\":" << log.claimed_pci_words_delta
+     << ",\"applied\":" << log.records.size()
+     << ",\"rejected\":" << log.rejected << '}';
+  return os.str();
+}
+
+std::string format_rewrite_log(const RewriteLog& log) {
+  std::ostringstream os;
+  os << "aeopt: " << log.records.size() << " rewrite(s) applied, "
+     << log.rejected << " refused; claimed ~" << log.claimed_cycles_delta
+     << " cycles in [" << log.claimed_cycles_bound.lower << ", "
+     << log.claimed_cycles_bound.upper << "], "
+     << log.claimed_pci_words_delta << " PCI words\n";
+  for (const RewriteRecord& r : log.records) {
+    os << "  [" << r.rule << '/' << r.kind << '/' << r.tier << "] calls";
+    for (const i32 c : r.calls) os << ' ' << c;
+    os << ": " << r.note << " (~" << r.claimed_cycles_delta << " cycles, "
+       << r.claimed_pci_words_delta << " PCI words)\n";
+  }
+  return os.str();
+}
+
+ProgramRunResult run_program(const CallProgram& program, alib::Backend& backend,
+                             const std::vector<img::Image>& inputs) {
+  const auto& frames = program.frames();
+  std::vector<img::Image> values(frames.size());
+  std::vector<bool> have(frames.size(), false);
+  std::size_t next_input = 0;
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    if (frames[f].producer != kNoFrame) continue;
+    AE_EXPECTS(next_input < inputs.size(),
+               "run_program: fewer input images than external frames");
+    AE_EXPECTS(inputs[next_input].size() == frames[f].size,
+               "run_program: input image size mismatch for frame '" +
+                   program.frame_name(static_cast<i32>(f)) + "'");
+    values[f] = inputs[next_input++];
+    have[f] = true;
+  }
+  AE_EXPECTS(next_input == inputs.size(),
+             "run_program: more input images than external frames");
+
+  ProgramRunResult out;
+  for (const ProgramCall& pc : program.calls()) {
+    AE_EXPECTS(program.valid_frame(pc.input_a) &&
+                   have[static_cast<std::size_t>(pc.input_a)],
+               "run_program: call reads an unavailable frame");
+    const img::Image* b = nullptr;
+    if (pc.input_b != kNoFrame) {
+      AE_EXPECTS(program.valid_frame(pc.input_b) &&
+                     have[static_cast<std::size_t>(pc.input_b)],
+                 "run_program: call reads an unavailable second frame");
+      b = &values[static_cast<std::size_t>(pc.input_b)];
+    }
+    alib::CallResult r =
+        backend.execute(pc.call, values[static_cast<std::size_t>(pc.input_a)],
+                        b);
+    out.side.merge(r.side);
+    out.stats.merge(r.stats);
+    out.segments.insert(out.segments.end(), r.segments.begin(),
+                        r.segments.end());
+    values[static_cast<std::size_t>(pc.output)] = std::move(r.output);
+    have[static_cast<std::size_t>(pc.output)] = true;
+  }
+  for (const i32 f : program.outputs()) {
+    AE_EXPECTS(program.valid_frame(f) && have[static_cast<std::size_t>(f)],
+               "run_program: declared output was never produced");
+    out.outputs.push_back(values[static_cast<std::size_t>(f)]);
+  }
+  return out;
+}
+
+}  // namespace ae::analysis

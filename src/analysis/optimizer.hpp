@@ -1,0 +1,129 @@
+// aeopt — envelope-proven rewriting of AddressLib call programs.
+//
+// The closing arc of the analysis stack: aeverify proves a program legal,
+// aeplan prices it, the AEW3xx lints point at cycles it leaves on the table
+// — aeopt acts on that knowledge.  Three rewrite classes, each the
+// actionable form of one lint:
+//
+//   * dead-elim (AEW301) — drop streamed calls whose result no later call
+//     reads and the host never collects, provided the call leaves no
+//     side-port results (Histogram/Sad/Gme* accumulators are observable
+//     even when the output frame is dead).
+//   * fuse (AEW303) — fold a pointwise (CON_0 intra) consumer onto its
+//     producer as a FusedStage chain, eliminating the intermediate result's
+//     store, readback and re-upload.  Bit-exact by construction: a fused
+//     stage reads exactly the pixel the consumer would have read back.
+//   * reorder (AEW304) — hoist a call next to the last point its input was
+//     still bank-resident, turning a PCI re-upload into a reuse.
+//
+// Every rewrite must pass a DOMINANCE PROOF before it is kept (see
+// docs/ARCHITECTURE.md "Program optimization (aeopt)"):
+//
+//   proven      rewritten.total.cycles.upper <= original.total.cycles.lower
+//               — unconditional cycle dominance, margins included.
+//   structural  (fuse / dead-elim fallback) the surviving calls' envelopes
+//               are numerically identical to their originals, so the saving
+//               is exactly the removed/absorbed call's envelope.  Holds
+//               because streamed envelopes are op-independent (planner.cpp).
+//   residency   (reorder) the program is a permutation — plan totals are
+//               asserted identical — and the rewrite is kept only if the
+//               residency schedule's Transferred PCI words strictly
+//               decrease.  The cycle claim is zero.
+//
+// A candidate failing its proof is refused and counted, never applied; and
+// every emitted program re-passes aeverify (a rewrite that introduces any
+// error is refused regardless of its proof).  Ill-formed input programs are
+// returned unchanged — the optimizer transforms only what the verifier
+// already accepts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/planner.hpp"
+#include "analysis/verifier.hpp"
+
+namespace ae::analysis {
+
+struct OptimizeOptions {
+  /// Cost model the dominance proofs price against.
+  PlanOptions plan{};
+  /// Verification gate re-run on every candidate program.
+  VerifyOptions verify{};
+  /// Per-class enables.
+  bool dead_elim = true;
+  bool fuse = true;
+  bool reorder = true;
+  /// Bound on pass rounds (each round runs all enabled classes to their
+  /// own fixpoint; rewrites are monotone, so this is a backstop, not a
+  /// tuning knob).
+  int max_rounds = 8;
+};
+
+/// One applied rewrite, machine-readable (the ISSUE's RewriteLog entry).
+struct RewriteRecord {
+  std::string rule;  ///< lint rule the rewrite actions ("AEW301", ...)
+  std::string kind;  ///< "dead-elim" | "fuse" | "reorder"
+  std::string tier;  ///< dominance tier that admitted it
+  /// Call indices touched, valid in the program *as it was* when this
+  /// rewrite applied (earlier records shift later indices).
+  std::vector<i32> calls;
+  /// Claimed modeled-cycle saving: point estimate plus the envelope the
+  /// measured saving must land in (plan-soundness carries over).
+  i64 claimed_cycles_delta = 0;
+  CostBound claimed_cycles_bound;
+  /// Claimed PCI word saving (cold-driver words for structural removals;
+  /// residency-schedule Transferred words for reorders).
+  i64 claimed_pci_words_delta = 0;
+  std::string note;
+};
+
+struct RewriteLog {
+  std::vector<RewriteRecord> records;
+  /// Summed claims across records.
+  i64 claimed_cycles_delta = 0;
+  CostBound claimed_cycles_bound;
+  i64 claimed_pci_words_delta = 0;
+  /// Candidates still refused by their dominance proof (or the re-verify
+  /// gate) at fixpoint — recounted on the final round, so a candidate
+  /// refused every round counts once.
+  int rejected = 0;
+};
+
+struct OptimizeResult {
+  CallProgram program;
+  RewriteLog log;
+  bool changed = false;
+};
+
+/// Rewrites `program` to a fixpoint under the enabled classes.  The result
+/// program is observation-equivalent: declared output frames bit-exact,
+/// merged side-port accumulators equal, segment records preserved (keyed by
+/// id; reorders permute their arrival order).
+OptimizeResult optimize_program(const CallProgram& program,
+                                const OptimizeOptions& options = {});
+
+/// Machine-readable rendering of a rewrite log, one line, no trailing
+/// newline.  Schema pinned by tests/optimizer_test.cpp — extend additively.
+std::string rewrite_log_json(const RewriteLog& log);
+
+/// Human-readable log (one line per record plus a totals line).
+std::string format_rewrite_log(const RewriteLog& log);
+
+/// Reference sequential executor of a CallProgram on any backend: external
+/// frames are taken from `inputs` in frame-declaration order, intermediate
+/// results are held by frame id, and the declared outputs come back in
+/// outputs() order.  Side-port accumulators, stats, and segment records are
+/// merged across all calls — the observation set the optimizer's
+/// equivalence contract is stated over.
+struct ProgramRunResult {
+  std::vector<img::Image> outputs;
+  alib::SideAccum side;
+  alib::CallStats stats;
+  std::vector<alib::SegmentInfo> segments;  ///< concatenated in call order
+};
+
+ProgramRunResult run_program(const CallProgram& program, alib::Backend& backend,
+                             const std::vector<img::Image>& inputs);
+
+}  // namespace ae::analysis

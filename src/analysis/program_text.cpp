@@ -244,6 +244,53 @@ void apply_key(int line, Call& call, const std::string& key,
   } else if (key == "respect_labels") {
     call.segment.respect_existing_labels =
         require_int(line, key, value) != 0;
+  } else if (key == "fuse") {
+    // fuse=<Op>[:k=v...][|<Op>...] — the fused pointwise stage chain.
+    // Stages split on '|', stage fields on ':'; list-valued fields keep
+    // using ',' so the whole chain stays one whitespace-free token.
+    call.fused.clear();
+    for (const std::string& stage_text : split(value, '|')) {
+      const auto fields = split(stage_text, ':');
+      const auto op = op_by_name().find(fields[0]);
+      if (op == op_by_name().end())
+        throw ParseError(line, "unknown fused stage op '" + fields[0] + "'");
+      alib::FusedStage stage;
+      stage.op = op->second;
+      for (std::size_t i = 1; i < fields.size(); ++i) {
+        const std::size_t eq = fields[i].find('=');
+        if (eq == std::string::npos)
+          throw ParseError(line, "expected key=value in fuse stage, got '" +
+                                     fields[i] + "'");
+        const std::string k = fields[i].substr(0, eq);
+        const std::string v = fields[i].substr(eq + 1);
+        if (k == "in") {
+          stage.in = parse_mask(line, v);
+        } else if (k == "out") {
+          stage.out = parse_mask(line, v);
+        } else if (k == "shift") {
+          stage.params.shift = static_cast<i32>(require_int(line, k, v));
+        } else if (k == "bias") {
+          stage.params.bias = static_cast<i32>(require_int(line, k, v));
+        } else if (k == "threshold") {
+          stage.params.threshold = static_cast<i32>(require_int(line, k, v));
+        } else if (k == "scale") {
+          stage.params.scale_num = static_cast<i32>(require_int(line, k, v));
+        } else if (k == "coeffs") {
+          stage.params.coeffs.clear();
+          for (const std::string& c : split(v, ','))
+            stage.params.coeffs.push_back(
+                static_cast<i32>(require_int(line, k, c)));
+        } else if (k == "table") {
+          stage.params.table.clear();
+          for (const std::string& c : split(v, ','))
+            stage.params.table.push_back(
+                static_cast<u16>(require_int(line, k, c)));
+        } else {
+          throw ParseError(line, "unknown fuse stage key '" + k + "'");
+        }
+      }
+      call.fused.push_back(std::move(stage));
+    }
   } else {
     throw ParseError(line, "unknown key '" + key + "'");
   }
@@ -452,6 +499,31 @@ std::string format_program(const CallProgram& program) {
       os << " warp=";
       for (std::size_t k = 0; k < c.params.warp_params.size(); ++k)
         os << (k ? "," : "") << c.params.warp_params[k];
+    }
+    if (!c.fused.empty()) {
+      os << " fuse=";
+      for (std::size_t k = 0; k < c.fused.size(); ++k) {
+        const alib::FusedStage& st = c.fused[k];
+        if (k) os << '|';
+        os << alib::to_string(st.op);
+        if (!(st.in == ChannelMask::y())) os << ":in=" << mask_text(st.in);
+        if (!(st.out == ChannelMask::y())) os << ":out=" << mask_text(st.out);
+        if (st.params.shift != 0) os << ":shift=" << st.params.shift;
+        if (st.params.bias != 0) os << ":bias=" << st.params.bias;
+        if (st.params.threshold != 0)
+          os << ":threshold=" << st.params.threshold;
+        if (st.params.scale_num != 1) os << ":scale=" << st.params.scale_num;
+        if (!st.params.coeffs.empty()) {
+          os << ":coeffs=";
+          for (std::size_t j = 0; j < st.params.coeffs.size(); ++j)
+            os << (j ? "," : "") << st.params.coeffs[j];
+        }
+        if (!st.params.table.empty()) {
+          os << ":table=";
+          for (std::size_t j = 0; j < st.params.table.size(); ++j)
+            os << (j ? "," : "") << st.params.table[j];
+        }
+      }
     }
     if (c.mode == Mode::Segment) {
       if (!c.segment.seeds.empty()) {

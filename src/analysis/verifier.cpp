@@ -139,6 +139,63 @@ void check_structure(const Call& call, i32 idx, Report& r) {
               std::to_string(alib::kMaxNeighborhoodLines),
           "split the operator or rotate it into the scan direction");
 
+  // Fused pointwise stages (aeopt).  AEV100 guards the mode (segment calls
+  // copy unprocessed pixels wholesale, which a stage would corrupt); the
+  // per-stage checks reuse the AEV103/AEV104 contracts on the stage's own
+  // masks and parameters, with the stage's implicit CON_0 neighborhood.
+  if (!call.fused.empty() && call.mode == Mode::Segment)
+    r.add(Severity::Error, rules::kModeOpMismatch, idx,
+          "fused stages require streamed (inter/intra) addressing",
+          "unfuse the stages or switch the call off segment mode");
+  for (const alib::FusedStage& stage : call.fused) {
+    const std::string label = "fused stage " + alib::to_string(stage.op);
+    if (!alib::is_intra_op(stage.op))
+      r.add(Severity::Error, rules::kModeOpMismatch, idx,
+            label + " is not an intra (pointwise) op",
+            "fused stages run the CON_0 form of intra ops");
+    if (stage.op == PixelOp::GradientX || stage.op == PixelOp::GradientY ||
+        stage.op == PixelOp::GradientMag ||
+        stage.op == PixelOp::GradientPack || stage.op == PixelOp::Homogeneity)
+      r.add(Severity::Error, rules::kOpParamsInvalid, idx,
+            label + " needs a real neighborhood; a fused stage sees only "
+                    "the result pixel",
+            "keep neighborhood ops as standalone calls");
+    if (stage.in.empty())
+      r.add(Severity::Error, rules::kChannelMaskInvalid, idx,
+            label + " reads no channel", "select at least one input channel");
+    if (stage.out.empty() && stage.op != PixelOp::Histogram)
+      r.add(Severity::Error, rules::kChannelMaskInvalid, idx,
+            label + " writes no channel",
+            "select an output channel (only Histogram is side-port-only)");
+    if (stage.params.shift < 0 || stage.params.shift >= 32)
+      r.add(Severity::Error, rules::kOpParamsInvalid, idx,
+            label + " shift " + std::to_string(stage.params.shift) +
+                " outside [0, 32)",
+            "the barrel shifter takes 5-bit shift amounts");
+    if (stage.op == PixelOp::Convolve && stage.params.coeffs.size() != 1)
+      r.add(Severity::Error, rules::kOpParamsInvalid, idx,
+            label + " has " + std::to_string(stage.params.coeffs.size()) +
+                " coefficient(s) for the single CON_0 offset",
+            "supply exactly one coefficient");
+    if ((stage.op == PixelOp::Threshold || stage.op == PixelOp::DiffMask) &&
+        stage.params.threshold < 0)
+      r.add(Severity::Error, rules::kOpParamsInvalid, idx,
+            label + " threshold " + std::to_string(stage.params.threshold) +
+                " must be >= 0",
+            "thresholds are unsigned channel distances");
+    if (stage.op == PixelOp::TableLookup) {
+      if (stage.params.table.empty())
+        r.add(Severity::Error, rules::kOpParamsInvalid, idx,
+              label + " needs a translation table",
+              "fill params.table (ids beyond its size pass through)");
+      if (!stage.in.contains(Channel::Alfa) ||
+          !stage.out.contains(Channel::Alfa))
+        r.add(Severity::Error, rules::kChannelMaskInvalid, idx,
+              label + " reads and writes the Alfa channel",
+              "add Alfa to both stage masks");
+    }
+  }
+
   if (call.mode == Mode::Segment) {
     // AEV109 — segment spec shape.
     if (call.segment.seeds.empty())

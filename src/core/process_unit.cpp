@@ -102,6 +102,10 @@ void ProcessUnit::tick() {
                                call_->in_channels, call_->out_channels,
                                *side_);
   }
+  // Fused pointwise stages ride the same stage-3 slot: the datapath chains
+  // CON_0 sub-functions combinationally, so no extra cycles are modeled.
+  if (!call_->fused.empty())
+    result = alib::apply_fused(call_->fused, result, *side_);
 
   // Stage 4: store into the OIM with the host-order address.
   oim_->push(Oim::Entry{result, space_.pixel_addr(center)});

@@ -103,6 +103,26 @@ alib::CallResult EngineFarm::execute(const alib::Call& call,
   return submit(call, a, b).get();
 }
 
+ProgramExecution EngineFarm::execute_program(
+    const analysis::CallProgram& program,
+    const std::vector<img::Image>& inputs) {
+  ProgramExecution out;
+  const analysis::CallProgram* to_run = &program;
+  analysis::CallProgram optimized;
+  if (options_.optimize_on_submit) {
+    analysis::OptimizeResult result = analysis::optimize_program(program);
+    out.log = std::move(result.log);
+    out.optimized = result.changed;
+    optimized = std::move(result.program);
+    to_run = &optimized;
+  }
+  // run_program drives the farm through its Backend face: each call is a
+  // sync submit, so routing, residency affinity and admission control all
+  // apply exactly as for hand-submitted traffic.
+  out.run = analysis::run_program(*to_run, *this, inputs);
+  return out;
+}
+
 std::future<alib::CallResult> EngineFarm::submit(const alib::Call& call,
                                                  const img::Image& a,
                                                  const img::Image* b) {

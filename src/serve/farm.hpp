@@ -58,6 +58,7 @@
 #include <vector>
 
 #include "addresslib/call.hpp"
+#include "analysis/optimizer.hpp"
 #include "common/error.hpp"
 #include "common/sync.hpp"
 #include "core/resilient.hpp"
@@ -104,6 +105,12 @@ struct FarmOptions {
   /// this budget by throwing AdmissionError in the caller's context —
   /// before the call occupies queue space or a shard.  0 disables.
   u64 admission_budget_cycles = 0;
+  /// Run the aeopt rewriter (analysis::optimize_program) over whole
+  /// programs handed to execute_program() before any call is submitted.
+  /// Per-call submit()/execute() traffic is never rewritten — fusion and
+  /// reordering only exist at program granularity.  Results stay bit-exact:
+  /// every rewrite is dominance-proven and re-verified.
+  bool optimize_on_submit = false;
   /// Keep a host-side copy of each shard's resident frames (content keyed
   /// by frame hash) so snapshots carry frame content and rebalancing can
   /// migrate frames between boards.  Frames are copied only when residency
@@ -128,6 +135,15 @@ class AdmissionError : public InvalidArgument {
  private:
   u64 predicted_upper_cycles_;
   u64 budget_cycles_;
+};
+
+/// Result of EngineFarm::execute_program: the reference-executor run result
+/// plus the rewrite log when `optimize_on_submit` rewrote the program
+/// (empty log otherwise — the claims sum to zero).
+struct ProgramExecution {
+  analysis::ProgramRunResult run;
+  analysis::RewriteLog log;
+  bool optimized = false;  ///< at least one rewrite was applied
 };
 
 /// Snapshot of one shard, taken under the shard lock.
@@ -199,6 +215,15 @@ class EngineFarm : public alib::Backend {
   std::future<alib::CallResult> submit(const alib::Call& call,
                                        const img::Image& a,
                                        const img::Image* b = nullptr);
+
+  /// Executes a whole call program against the farm: each call is submitted
+  /// in dependence order (the farm's routing still picks shards, so
+  /// residency affinity applies across the program's intermediate frames).
+  /// When `optimize_on_submit` is set the program first goes through the
+  /// aeopt rewriter; the returned log carries the dominance-proven claims.
+  /// External frames are taken from `inputs` in frame-declaration order.
+  ProgramExecution execute_program(const analysis::CallProgram& program,
+                                   const std::vector<img::Image>& inputs);
 
   /// Waits until every accepted submission has completed.
   void drain();

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "addresslib/addresslib.hpp"
+#include "analysis/program.hpp"
 #include "common/rng.hpp"
 #include "image/compare.hpp"
 #include "image/synth.hpp"
@@ -304,6 +305,82 @@ inline alib::Call random_any_call(Rng& rng, Size size, bool& needs_b) {
     return random_segment_call(rng, size);
   }
   return random_streamed_call(rng, needs_b);
+}
+
+// ---- fusion-biased program generator ---------------------------------------
+//
+// Multi-call CallPrograms whose dataflow is biased toward chains of
+// pointwise (CON_0 intra) calls over shared frames — the shapes the aeopt
+// fuse rewrite (analysis::optimize_program) targets — while still mixing in
+// wide-neighborhood producers, inter calls, segment calls, dead results and
+// host-collected intermediates so the optimizer's refusal paths run too.
+// Deterministic per seed; every generated program passes aeverify clean.
+
+/// Random pointwise (CON_0 intra) call: the consumer shapes fusion can
+/// absorb as fused stages.  Histogram is included deliberately — it is
+/// fusable (a CON_0 intra op) but makes the producing call ineligible for
+/// dead-store elimination afterwards.
+inline alib::Call random_pointwise_call(Rng& rng) {
+  using alib::Call;
+  using alib::Neighborhood;
+  using alib::OpParams;
+  using alib::PixelOp;
+  static const PixelOp ops[] = {PixelOp::Copy, PixelOp::Threshold,
+                                PixelOp::Scale, PixelOp::Histogram};
+  const PixelOp op = ops[rng.bounded(4)];
+  OpParams p;
+  p.threshold = rng.uniform(0, 255);
+  if (op == PixelOp::Scale) {
+    p.scale_num = rng.uniform(1, 5);
+    p.shift = rng.uniform(0, 2);
+    p.bias = rng.uniform(-30, 30);
+  }
+  const ChannelMask mask = random_video_mask(rng);
+  return Call::make_intra(op, Neighborhood::con0(), mask, mask, p);
+}
+
+/// A random verifier-clean program of 2..max_calls calls over one frame
+/// size, ~2/3 of whose calls extend a pointwise chain off the previous
+/// result.  Occasionally marks a mid-chain result as a program output —
+/// a frame the fuse rewrite must then refuse to absorb.
+inline analysis::CallProgram random_fusion_biased_program(Rng& rng,
+                                                          int max_calls = 8) {
+  analysis::CallProgram program;
+  const Size size = random_frame_size(rng);
+  std::vector<i32> frames;
+  frames.push_back(program.add_input(size, "a"));
+  if (rng.chance(0.5)) frames.push_back(program.add_input(size, "b"));
+  const int n = 2 + static_cast<int>(rng.bounded(
+                        static_cast<u32>(max_calls > 2 ? max_calls - 1 : 1)));
+  i32 prev = frames.front();
+  for (int i = 0; i < n; ++i) {
+    if (rng.chance(0.65)) {
+      prev = program.add_call(random_pointwise_call(rng), prev);
+    } else {
+      bool needs_b = false;
+      alib::Call call = random_any_call(rng, size, needs_b);
+      const i32 a = frames[rng.bounded(static_cast<u32>(frames.size()))];
+      i32 b = analysis::kNoFrame;
+      if (needs_b) {
+        if (frames.size() < 2) {
+          call = random_pointwise_call(rng);  // no distinct second frame yet
+        } else {
+          do {
+            b = frames[rng.bounded(static_cast<u32>(frames.size()))];
+          } while (b == a);  // same-frame inter pairs are AEV210 errors
+        }
+      }
+      prev = program.add_call(std::move(call), a, b);
+    }
+    frames.push_back(prev);
+  }
+  program.mark_output(prev);
+  // Occasionally the host also collects a mid-chain result, breaking that
+  // link's fusability (program outputs are observable).
+  if (rng.chance(0.3) && frames.size() > 3)
+    program.mark_output(
+        frames[1 + rng.bounded(static_cast<u32>(frames.size()) - 2)]);
+  return program;
 }
 
 // ---- seeded known-bad call generator ---------------------------------------

@@ -14,6 +14,10 @@
 //   --echo      print the parsed program back before the report
 //   --plan      print the static cost/residency plan (aeplan)
 //   --lint      run the AEW performance lints alongside verification
+//   --opt       run the aeopt rewriter on clean programs and print the
+//               rewrite log plus the optimized program
+//   --opt-json  like --opt, but the per-file JSON object grows an "opt"
+//               member (implies --json)
 //   --json      machine-readable output: one JSON object per input
 //
 // Exit codes (the contract shared with the library, diagnostic.hpp):
@@ -28,6 +32,7 @@
 #include <vector>
 
 #include "analysis/lints.hpp"
+#include "analysis/optimizer.hpp"
 #include "analysis/planner.hpp"
 #include "analysis/program_text.hpp"
 #include "analysis/rules.hpp"
@@ -46,13 +51,14 @@ struct CliOptions {
   bool echo = false;
   bool plan = false;
   bool lint = false;
+  bool opt = false;
   bool json = false;
   std::vector<std::string> files;
 };
 
 void print_usage(std::ostream& os) {
   os << "usage: aeverify [--strict] [--quiet] [--echo] [--plan] [--lint] "
-        "[--json] <program ...|->\n"
+        "[--opt] [--opt-json] [--json] <program ...|->\n"
         "       aeverify --rules | --golden | --demo-bad\n"
         "exit codes: 0 clean, 1 errors (any finding under --strict), "
         "2 usage/parse error\n";
@@ -117,13 +123,26 @@ int verify_text(const std::string& label, const std::string& text,
   if (need_plan) plan = analysis::plan_program(program);
   if (options.lint) report.merge(analysis::lint_program(program, plan));
 
+  // aeopt runs only on programs the verifier accepts: rewriting an
+  // ill-formed program is meaningless (and optimize_program refuses it).
+  analysis::OptimizeResult opt;
+  const bool ran_opt = options.opt && !report.has_errors();
+  if (ran_opt) opt = analysis::optimize_program(program);
+
   if (options.json) {
     // One object per input so pipelines can stream per-file results:
-    //   {"file":..., "report":{...}[, "plan":{...}]}
+    //   {"file":..., "report":{...}[, "plan":{...}][, "opt":{...}]}
     std::cout << "{\"file\":" << analysis::json_quote(label)
               << ",\"report\":" << analysis::report_json(report);
     if (options.plan)
       std::cout << ",\"plan\":" << analysis::plan_json(plan, program);
+    if (ran_opt)
+      std::cout << ",\"opt\":{\"log\":" << analysis::rewrite_log_json(opt.log)
+                << ",\"changed\":" << (opt.changed ? "true" : "false")
+                << ",\"program\":"
+                << analysis::json_quote(
+                       analysis::format_program(opt.program))
+                << '}';
     std::cout << "}\n";
     return report.exit_code(options.strict);
   }
@@ -132,6 +151,10 @@ int verify_text(const std::string& label, const std::string& text,
     for (const analysis::Diagnostic& d : report.diagnostics())
       std::cout << d.format() << "\n";
     if (options.plan) std::cout << plan.format(program) << "\n";
+    if (ran_opt) {
+      std::cout << analysis::format_rewrite_log(opt.log);
+      if (opt.changed) std::cout << analysis::format_program(opt.program);
+    }
   }
   std::cout << label << ": " << report.error_count() << " error(s), "
             << report.warning_count() << " warning(s)\n";
@@ -195,6 +218,11 @@ int main(int argc, char** argv) {
       options.plan = true;
     } else if (arg == "--lint") {
       options.lint = true;
+    } else if (arg == "--opt") {
+      options.opt = true;
+    } else if (arg == "--opt-json") {
+      options.opt = true;
+      options.json = true;
     } else if (arg == "--json") {
       options.json = true;
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
