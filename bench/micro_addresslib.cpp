@@ -44,6 +44,31 @@ const img::Image& cif_b() {
   return b;
 }
 
+// CIF frame built for a bounded flood: a bright disk (radius 60, ~11% of
+// the frame) on a dark background.  A seed inside the disk with a small
+// luma threshold expands to exactly the disk — the sparse-mask case the
+// frontier traversal and reachability pre-pass exist for.
+const img::Image& cif_sparse() {
+  static const img::Image s = [] {
+    img::Image m(img::formats::kCif);
+    const i32 cx = 176;
+    const i32 cy = 144;
+    for (i32 y = 0; y < m.height(); ++y) {
+      for (i32 x = 0; x < m.width(); ++x) {
+        img::Pixel& p = m.ref(x, y);
+        const i64 dx = x - cx;
+        const i64 dy = y - cy;
+        const bool in_disk = dx * dx + dy * dy <= 60 * 60;
+        p.y = in_disk ? 200 : 16;
+        p.u = 128;
+        p.v = 128;
+      }
+    }
+    return m;
+  }();
+  return s;
+}
+
 void BM_InterAbsDiff(benchmark::State& state) {
   alib::SoftwareBackend be;
   const alib::Call call = alib::Call::make_inter(alib::PixelOp::AbsDiff);
@@ -131,13 +156,22 @@ BENCHMARK(BM_ScanIntraDriver);
 //
 // One CIF call per workload; "_Interp" runs execute_functional, "_Kernel_T1"
 // and "_Kernel_T4" run the kernel backend on pools of 1 and 4 lanes.  The
-// segment workload has no kernel lowering, so its pair documents fallback
-// parity instead of a speedup.
+// flood workloads come in a dense/sparse pair: dense (luma 255) floods the
+// whole frame — the traversal-bound worst case — while sparse expands a
+// bright disk out of a dark frame, the case the reachability pre-pass
+// bounds.  Two of the pairs are gated (enforce_gates below): this binary
+// exits 1 when the sorting-network median or the sparse frontier flood
+// loses its claimed speedup.
 
 struct KernWorkload {
   std::string name;
   alib::Call call;
   bool needs_b = false;
+  /// Input frame; cif_a() when null.
+  const img::Image& (*frame)() = nullptr;
+  /// speedup_t1 measured before the PR 8 fast paths (PR 3 fused kernels),
+  /// recorded in the JSON as the honest before/after pair.
+  double speedup_t1_before = 0.0;
 };
 
 std::vector<KernWorkload>& kern_workloads() {
@@ -147,11 +181,12 @@ std::vector<KernWorkload>& kern_workloads() {
     using alib::OpParams;
     using alib::PixelOp;
     std::vector<KernWorkload> v;
-    v.push_back({"InterAbsDiff", Call::make_inter(PixelOp::AbsDiff), true});
+    v.push_back({"InterAbsDiff", Call::make_inter(PixelOp::AbsDiff), true,
+                 nullptr, 6.20});
     v.push_back({"InterSad",
                  Call::make_inter(PixelOp::Sad, ChannelMask::yuv(),
                                   ChannelMask::yuv()),
-                 true});
+                 true, nullptr, 1.49});
     {
       OpParams p;
       p.coeffs.assign(9, 1);
@@ -159,46 +194,70 @@ std::vector<KernWorkload>& kern_workloads() {
       v.push_back({"IntraConvolve",
                    Call::make_intra(PixelOp::Convolve, Neighborhood::con8(),
                                     ChannelMask::y(), ChannelMask::y(), p),
-                   false});
+                   false, nullptr, 4.92});
     }
     v.push_back({"IntraErode",
                  Call::make_intra(PixelOp::Erode, Neighborhood::con8()),
-                 false});
+                 false, nullptr, 10.00});
     v.push_back({"IntraMedian",
                  Call::make_intra(PixelOp::Median, Neighborhood::con8()),
-                 false});
+                 false, nullptr, 1.32});
     {
       alib::SegmentSpec spec;
       spec.seeds = {{176, 144}};
       spec.luma_threshold = 255;  // floods the frame: worst-case traversal
-      v.push_back({"SegmentFlood",
+      v.push_back({"SegmentFloodDense",
                    Call::make_segment(PixelOp::Copy, Neighborhood::con0(),
                                       spec, ChannelMask::y(),
                                       ChannelMask::y().with(Channel::Alfa)),
-                   false});
+                   false, nullptr, 1.05});
+    }
+    {
+      // Sparse flood: the seed expands over the bright disk of cif_sparse()
+      // (~11% of the frame) and the op is a 5x5 median — the denoise-inside-
+      // a-segment shape this backend targets, where per-visit op cost
+      // rivals the traversal.  The pair measures probe + traversal + batched
+      // op application (deferred runs hit the 8-wide sorting network; the
+      // interpreter pays a window gather + nth_element per visit).  Before
+      // this path existed the backend fell back to the interpreter: the
+      // "before" speedup is fallback parity, 1.00.
+      alib::SegmentSpec spec;
+      spec.seeds = {{176, 144}};
+      spec.luma_threshold = 10;
+      v.push_back({"SegmentFloodSparse",
+                   Call::make_segment(PixelOp::Median, Neighborhood::rect(5, 5),
+                                      spec, ChannelMask::y(),
+                                      ChannelMask::y().with(Channel::Alfa)),
+                   false, &cif_sparse, 1.00});
     }
     return v;
   }();
   return w;
 }
 
+const img::Image& workload_frame(const KernWorkload& w) {
+  return w.frame != nullptr ? w.frame() : cif_a();
+}
+
 void run_kern_interp(benchmark::State& state, const KernWorkload& w) {
+  const img::Image& a = workload_frame(w);
   const img::Image* b = w.needs_b ? &cif_b() : nullptr;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(alib::execute_functional(w.call, cif_a(), b));
+    benchmark::DoNotOptimize(alib::execute_functional(w.call, a, b));
   }
-  state.SetItemsProcessed(state.iterations() * cif_a().pixel_count());
+  state.SetItemsProcessed(state.iterations() * a.pixel_count());
 }
 
 void run_kern_kernel(benchmark::State& state, const KernWorkload& w,
                      int threads) {
   par::ThreadPool pool(threads);
   alib::KernelBackend backend({&pool, 16});
+  const img::Image& a = workload_frame(w);
   const img::Image* b = w.needs_b ? &cif_b() : nullptr;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(backend.execute(w.call, cif_a(), b));
+    benchmark::DoNotOptimize(backend.execute(w.call, a, b));
   }
-  state.SetItemsProcessed(state.iterations() * cif_a().pixel_count());
+  state.SetItemsProcessed(state.iterations() * a.pixel_count());
 }
 
 void register_kern_benchmarks() {
@@ -269,6 +328,7 @@ void write_kernels_json(const std::map<std::string, double>& rates) {
     std::fprintf(f, " \"interp_pixels_per_s\": %.0f,", interp);
     std::fprintf(f, " \"kernel_t1_pixels_per_s\": %.0f,", t1);
     std::fprintf(f, " \"kernel_t4_pixels_per_s\": %.0f,", t4);
+    std::fprintf(f, " \"speedup_t1_before\": %.2f,", w.speedup_t1_before);
     std::fprintf(f, " \"speedup_t1\": %.2f,", t1 / interp);
     std::fprintf(f, " \"speedup_t4\": %.2f,", t4 / interp);
     std::fprintf(f, " \"scaling_t4_over_t1\": %.2f}", t4 / t1);
@@ -276,6 +336,35 @@ void write_kernels_json(const std::map<std::string, double>& rates) {
   std::fprintf(f, "\n  ]\n}\n");
   std::fclose(f);
   std::printf("wrote BENCH_kernels.json\n");
+}
+
+/// Self-gate: the two PR 8 fast paths must keep their claimed single-thread
+/// speedups.  A pair whose benchmarks were filtered out of the run is
+/// skipped (partial runs stay usable for profiling); a pair that ran and
+/// regressed fails the binary.
+bool enforce_gates(const std::map<std::string, double>& rates) {
+  struct Gate {
+    const char* workload;
+    double min_speedup_t1;
+  };
+  constexpr Gate kGates[] = {
+      {"IntraMedian", 4.0},        // sorting-network median vs nth_element
+      {"SegmentFloodSparse", 2.0}, // frontier flood vs full-frame reference
+  };
+  bool ok = true;
+  for (const Gate& g : kGates) {
+    const std::string base = std::string("BM_Kern_") + g.workload;
+    const double interp = rate_of(rates, base + "_Interp");
+    const double t1 = rate_of(rates, base + "_Kernel_T1");
+    if (interp <= 0.0 || t1 <= 0.0) continue;
+    const double speedup = t1 / interp;
+    const bool pass = speedup >= g.min_speedup_t1;
+    std::printf("gate %-18s t1 speedup %5.2fx (need >= %.2fx): %s\n",
+                g.workload, speedup, g.min_speedup_t1,
+                pass ? "ok" : "FAIL");
+    ok = ok && pass;
+  }
+  return ok;
 }
 
 }  // namespace
@@ -287,5 +376,5 @@ int main(int argc, char** argv) {
   RateCaptureReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   write_kernels_json(reporter.rates());
-  return 0;
+  return enforce_gates(reporter.rates()) ? 0 : 1;
 }

@@ -8,10 +8,116 @@
 #include <array>
 #include <cstdlib>
 #include <cstring>
+#include <utility>
+#include <vector>
 
 #include "addresslib/kernels/row_kernels.hpp"
+#include "addresslib/kernels/simd.hpp"
+#include "common/error.hpp"
 
 namespace ae::alib::kern {
+namespace {
+
+constexpr i32 kMaxTaps = kMaxNeighborhoodLines * kMaxNeighborhoodLines;
+
+// Batcher's merge-exchange sorting network (Knuth 5.2.2, Algorithm M) for
+// arbitrary n: O(n log^2 n) compare-exchanges, data-independent, valid for
+// any input.  Used as the base network for every tap count without a
+// hand-tuned median network.
+std::vector<MedianStep> batcher_exchanges(i32 n) {
+  std::vector<MedianStep> ce;
+  if (n < 2) return ce;
+  i32 t = 0;
+  while ((1 << t) < n) ++t;
+  for (i32 p = 1 << (t - 1); p > 0; p >>= 1) {
+    i32 q = 1 << (t - 1);
+    i32 r = 0;
+    i32 d = p;
+    while (true) {
+      for (i32 i = 0; i + d < n; ++i)
+        if ((i & p) == r)
+          ce.push_back(MedianStep{static_cast<u8>(i),
+                                  static_cast<u8>(i + d),
+                                  MedianStepKind::Exchange});
+      if (q == p) break;
+      d = q - p;
+      q >>= 1;
+      r = p;
+    }
+  }
+  return ce;
+}
+
+// The classic 19-exchange median-of-9 network (Devillard / Paeth): a
+// selection network, not a full sort — only p[4] holds a defined order
+// statistic afterwards.  Pairs are (min target, max target) positions.
+std::vector<MedianStep> median9_exchanges() {
+  constexpr u8 kPairs[19][2] = {
+      {1, 2}, {4, 5}, {7, 8}, {0, 1}, {3, 4}, {6, 7}, {1, 2},
+      {4, 5}, {7, 8}, {0, 3}, {5, 8}, {4, 7}, {3, 6}, {1, 4},
+      {2, 5}, {4, 7}, {4, 2}, {6, 4}, {4, 2}};
+  std::vector<MedianStep> ce;
+  ce.reserve(19);
+  for (const auto& p : kPairs)
+    ce.push_back(MedianStep{p[0], p[1], MedianStepKind::Exchange});
+  return ce;
+}
+
+// Reverse live-set pruning: walk the exchanges backwards keeping only the
+// ones that can still influence the median output.  An exchange with one
+// dead output degrades to its surviving half (MinInto / MaxInto); one with
+// two dead outputs is dropped.  Both rewrites preserve every live value,
+// so the pruned network selects the same median as the full one.
+std::vector<MedianStep> prune_to_median(std::vector<MedianStep> full,
+                                        i32 median_index) {
+  std::array<bool, kMaxTaps> live{};
+  live[static_cast<std::size_t>(median_index)] = true;
+  std::vector<MedianStep> kept;
+  kept.reserve(full.size());
+  for (auto it = full.rbegin(); it != full.rend(); ++it) {
+    const bool lo_live = live[it->lo];
+    const bool hi_live = live[it->hi];
+    if (!lo_live && !hi_live) continue;
+    MedianStep s = *it;
+    s.kind = lo_live && hi_live
+                 ? MedianStepKind::Exchange
+                 : (lo_live ? MedianStepKind::MinInto
+                            : MedianStepKind::MaxInto);
+    live[s.lo] = true;
+    live[s.hi] = true;
+    kept.push_back(s);
+  }
+  std::reverse(kept.begin(), kept.end());
+  return kept;
+}
+
+}  // namespace
+
+MedianNetwork build_median_network(i32 taps) {
+  AE_EXPECTS(taps >= 1 && taps <= kMaxTaps,
+             "median network tap count out of range");
+  MedianNetwork net;
+  net.taps = taps;
+  net.median_index = taps / 2;
+  net.steps = prune_to_median(
+      taps == 9 ? median9_exchanges() : batcher_exchanges(taps),
+      net.median_index);
+  return net;
+}
+
+const MedianNetwork& median_network(i32 taps) {
+  // Built once for every supported size; magic-static, so thread-safe.
+  static const std::vector<MedianNetwork> table = [] {
+    std::vector<MedianNetwork> t(static_cast<std::size_t>(kMaxTaps) + 1);
+    for (i32 n = 1; n <= kMaxTaps; ++n)
+      t[static_cast<std::size_t>(n)] = build_median_network(n);
+    return t;
+  }();
+  AE_EXPECTS(taps >= 1 && taps <= kMaxTaps,
+             "median network tap count out of range");
+  return table[static_cast<std::size_t>(taps)];
+}
+
 namespace {
 
 // 3x3 Sobel responses via raw stride offsets; identical tap weights and
@@ -87,13 +193,6 @@ void intra_channel_seg(const IntraRowArgs& args) {
         hi = v > hi ? v : hi;
       }
       out[x].set(C, static_cast<u16>(hi));
-    } else if constexpr (Op == PixelOp::Median) {
-      std::array<u16, kMaxNeighborhoodLines * kMaxNeighborhoodLines> buf{};
-      for (std::size_t i = 0; i < taps; ++i) buf[i] = p[flat[i]].get(C);
-      const auto mid = buf.begin() + static_cast<i64>(taps / 2);
-      std::nth_element(buf.begin(), mid,
-                       buf.begin() + static_cast<i64>(taps));
-      out[x].set(C, *mid);
     } else if constexpr (Op == PixelOp::Threshold) {
       constexpr u16 maxv = img::channel_bits(C) == 8 ? 255 : 0xFFFF;
       out[x].set(C, p->get(C) > params.threshold ? maxv : 0);
@@ -105,6 +204,75 @@ void intra_channel_seg(const IntraRowArgs& args) {
     } else {
       static_assert(Op == PixelOp::Convolve, "op has no per-channel kernel");
     }
+  }
+}
+
+// One scalar median-network step; mirrors the vector form bit for bit
+// (min/max of u16 is the same value either way, so this is trivially true).
+inline void median_step_scalar(u16* v, MedianStep st) {
+  u16& a = v[st.lo];
+  u16& b = v[st.hi];
+  if (st.kind == MedianStepKind::Exchange) {
+    const u16 mn = a < b ? a : b;
+    b = a < b ? b : a;
+    a = mn;
+  } else if (st.kind == MedianStepKind::MinInto) {
+    a = a < b ? a : b;
+  } else {
+    b = a < b ? b : a;
+  }
+}
+
+// Branch-free sorting-network median: 8 output pixels at a time, each
+// network register holding one tap of all 8 lanes, min/max exchanges on
+// u16 SIMD lanes.  The network selects the value std::nth_element places
+// at taps/2, so the result is bit-exact with apply_intra by construction
+// (a median is a value, not an index — ties cannot diverge).
+template <Channel C>
+void median_channel_seg(const IntraRowArgs& args) {
+  const IntraPlan& plan = *args.plan;
+  const img::Pixel* center = args.center;
+  img::Pixel* out = args.out;
+  const i32* flat = plan.flat.data();
+  const i32 taps = static_cast<i32>(plan.flat.size());
+  const MedianNetwork& net =
+      plan.median != nullptr ? *plan.median : median_network(taps);
+  const MedianStep* steps = net.steps.data();
+  const std::size_t n_steps = net.steps.size();
+
+  i32 x = 0;
+  alignas(16) u16 lane[simd::kU16Lanes];
+  simd::U16x8 v[kMaxTaps];
+  for (; x + simd::kU16Lanes <= args.n; x += simd::kU16Lanes) {
+    const img::Pixel* p = center + x;
+    for (i32 i = 0; i < taps; ++i) {
+      const img::Pixel* q = p + flat[i];
+      for (i32 j = 0; j < simd::kU16Lanes; ++j) lane[j] = q[j].get(C);
+      v[i] = simd::load(lane);
+    }
+    for (std::size_t s = 0; s < n_steps; ++s) {
+      const MedianStep st = steps[s];
+      if (st.kind == MedianStepKind::Exchange) {
+        const simd::U16x8 mn = simd::min(v[st.lo], v[st.hi]);
+        v[st.hi] = simd::max(v[st.lo], v[st.hi]);
+        v[st.lo] = mn;
+      } else if (st.kind == MedianStepKind::MinInto) {
+        v[st.lo] = simd::min(v[st.lo], v[st.hi]);
+      } else {
+        v[st.hi] = simd::max(v[st.lo], v[st.hi]);
+      }
+    }
+    simd::store(lane, v[net.median_index]);
+    for (i32 j = 0; j < simd::kU16Lanes; ++j) out[x + j].set(C, lane[j]);
+  }
+  // Remainder columns: the same network on scalars.
+  for (; x < args.n; ++x) {
+    u16 s[kMaxTaps];
+    const img::Pixel* p = center + x;
+    for (i32 i = 0; i < taps; ++i) s[i] = p[flat[i]].get(C);
+    for (std::size_t k = 0; k < n_steps; ++k)
+      median_step_scalar(s, steps[k]);
+    out[x].set(C, s[net.median_index]);
   }
 }
 
@@ -152,6 +320,10 @@ void intra_row(const IntraRowArgs& args) {
       args.out[x].aux = img::clamp_u16(sobel_gy<Channel::Y>(p, s) +
                                        kGradBias);
     }
+  } else if constexpr (Op == PixelOp::Median) {
+    for_each_mask_channel(plan.mask, [&](auto tag) {
+      median_channel_seg<decltype(tag)::value>(args);
+    });
   } else {
     for_each_mask_channel(plan.mask, [&](auto tag) {
       intra_channel_seg<Op, decltype(tag)::value>(args);

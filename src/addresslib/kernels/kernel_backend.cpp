@@ -5,8 +5,45 @@
 
 #include "addresslib/kernels/row_kernels.hpp"
 #include "addresslib/scan.hpp"
+#include "addresslib/segment_flood.hpp"
 
 namespace ae::alib {
+namespace {
+
+// The per-call lowering shared by the intra and segment paths: canonical
+// neighborhood offsets -> flat strides, plus the median network when the op
+// needs one.
+kern::IntraPlan build_intra_plan(const Call& call, i32 stride) {
+  kern::IntraPlan plan;
+  plan.stride = stride;
+  plan.mask = call.out_channels;
+  plan.params = &call.params;
+  plan.flat.reserve(call.nbhd.size());
+  for (const Point o : call.nbhd.offsets()) {
+    const i32 f = o.y * stride + o.x;
+    plan.flat.push_back(f);
+    if (!(o == Point{0, 0})) plan.flat_neighbors.push_back(f);
+  }
+  if (call.op == PixelOp::Median)
+    plan.median = &kern::median_network(static_cast<i32>(plan.flat.size()));
+  return plan;
+}
+
+// Interior rectangle: every tap of every pixel inside it is in-bounds.
+Rect interior_rect(const Neighborhood& nbhd, i32 w, i32 h) {
+  const Rect bbox = nbhd.bounding_box();
+  const i32 min_dx = bbox.x;
+  const i32 max_dx = bbox.x + bbox.width - 1;
+  const i32 min_dy = bbox.y;
+  const i32 max_dy = bbox.y + bbox.height - 1;
+  const i32 x_lo = std::min(w, std::max<i32>(0, -min_dx));
+  const i32 x_hi = std::max(x_lo, std::min(w, w - std::max<i32>(0, max_dx)));
+  const i32 y_lo = std::min(h, std::max<i32>(0, -min_dy));
+  const i32 y_hi = std::max(y_lo, std::min(h, h - std::max<i32>(0, max_dy)));
+  return Rect{x_lo, y_lo, x_hi - x_lo, y_hi - y_lo};
+}
+
+}  // namespace
 
 bool KernelBackend::supports(const Call& call) {
   switch (call.mode) {
@@ -15,9 +52,9 @@ bool KernelBackend::supports(const Call& call) {
     case Mode::Intra:
       return kern::lower_intra_row(call.op) != nullptr;
     case Mode::Segment:
-      // Segment expansion is an inherently sequential frontier traversal;
-      // it stays on the interpreter.
-      return false;
+      // The traversal is sequential either way; the fast path needs only
+      // the per-visit op lowering.
+      return kern::lower_intra_row(call.op) != nullptr;
   }
   return false;
 }
@@ -29,6 +66,7 @@ CallResult KernelBackend::execute(const Call& call, const img::Image& a,
   validate_call(call, a, b);
   info = SegmentRunInfo{};
   if (call.mode == Mode::Inter) return execute_inter(call, a, *b);
+  if (call.mode == Mode::Segment) return execute_segment(call, a, info);
   return execute_intra(call, a);
 }
 
@@ -80,27 +118,13 @@ CallResult KernelBackend::execute_intra(const Call& call,
   result.output = img::Image(a.size());
 
   // Lower the neighborhood once: canonical offsets -> flat strides.
-  kern::IntraPlan plan;
-  plan.stride = w;
-  plan.mask = call.out_channels;
-  plan.params = &call.params;
-  plan.flat.reserve(call.nbhd.size());
-  for (const Point o : call.nbhd.offsets()) {
-    const i32 f = o.y * w + o.x;
-    plan.flat.push_back(f);
-    if (!(o == Point{0, 0})) plan.flat_neighbors.push_back(f);
-  }
+  const kern::IntraPlan plan = build_intra_plan(call, w);
 
-  // Interior rectangle: every tap of every pixel inside it is in-bounds.
-  const Rect bbox = call.nbhd.bounding_box();
-  const i32 min_dx = bbox.x;
-  const i32 max_dx = bbox.x + bbox.width - 1;
-  const i32 min_dy = bbox.y;
-  const i32 max_dy = bbox.y + bbox.height - 1;
-  const i32 x_lo = std::min(w, std::max<i32>(0, -min_dx));
-  const i32 x_hi = std::max(x_lo, std::min(w, w - std::max<i32>(0, max_dx)));
-  const i32 y_lo = std::min(h, std::max<i32>(0, -min_dy));
-  const i32 y_hi = std::max(y_lo, std::min(h, h - std::max<i32>(0, max_dy)));
+  const Rect interior = interior_rect(call.nbhd, w, h);
+  const i32 x_lo = interior.x;
+  const i32 x_hi = interior.x + interior.width;
+  const i32 y_lo = interior.y;
+  const i32 y_hi = interior.y + interior.height;
 
   const kern::IntraRowFn row_fn = kern::lower_intra_row(call.op);
   const kern::FusedRowPlan fused(call.fused);
@@ -151,6 +175,112 @@ CallResult KernelBackend::execute_intra(const Call& call,
 
   for (const SideAccum& s : band_side) result.side.merge(s);
   result.stats.pixels = a.pixel_count();
+  return result;
+}
+
+CallResult KernelBackend::execute_segment(const Call& call,
+                                          const img::Image& a,
+                                          SegmentRunInfo& info) const {
+  const i32 w = a.width();
+  CallResult result;
+  result.output = a;
+  // Fresh labelings start from a clean Alfa plane; incremental calls
+  // (respect_existing_labels) keep the labels they grow around.
+  if (call.segment.write_ids && !call.segment.respect_existing_labels)
+    result.output.fill_channel(Channel::Alfa, 0);
+
+  // Reachability pre-pass: the exact flood below allocates its claim map
+  // over reach.region instead of the frame, so a sparse flood touches
+  // memory proportional to the segment, not the image.
+  const SegmentReachability reach = probe_segment_reachability(a, call.segment);
+  const Rect region = reach.region;
+
+  const kern::IntraPlan plan = build_intra_plan(call, w);
+  const kern::IntraRowFn row_fn = kern::lower_intra_row(call.op);
+  const Rect interior = interior_rect(call.nbhd, w, a.height());
+  ImageWindow window(a, call.border, call.params.border_constant);
+  const img::Pixel* pa = a.pixels().data();
+  img::Pixel* po = result.output.pixels().data();
+
+  // Pass 1 — traversal only.  The visitor records each claim into a
+  // region-local id plane and nothing else, so the flood loop stays tight.
+  std::vector<SegmentId> ids(static_cast<std::size_t>(region.width) *
+                                 static_cast<std::size_t>(region.height),
+                             0);
+  SegmentTable<SegmentInfo> table;
+  const SegmentTraversalStats traversal = detail::flood_segments(
+      a, call.segment, table, region, [&](const SegmentVisit& v) {
+        ids[static_cast<std::size_t>(v.position.y - region.y) *
+                static_cast<std::size_t>(region.width) +
+            static_cast<std::size_t>(v.position.x - region.x)] = v.segment;
+      });
+
+  // Pass 2 — deferred op application over maximal claimed runs.  The op
+  // reads only the input image and each visited pixel is written exactly
+  // once, so batching is invisible to the result; interior spans hit the
+  // vectorized row kernels (n == run length) instead of per-pixel n == 1
+  // calls, and border pixels run the exact interpreter path.
+  const i32 run_y_end = region.y + region.height;
+  const i32 run_x_end = region.x + region.width;
+  for (i32 y = region.y; y < run_y_end; ++y) {
+    const SegmentId* row_ids =
+        ids.data() + static_cast<std::size_t>(y - region.y) *
+                         static_cast<std::size_t>(region.width);
+    const std::size_t row_base =
+        static_cast<std::size_t>(y) * static_cast<std::size_t>(w);
+    const bool interior_row =
+        y >= interior.y && y < interior.y + interior.height;
+    i32 x = region.x;
+    while (x < run_x_end) {
+      if (row_ids[x - region.x] == 0) {
+        ++x;
+        continue;
+      }
+      i32 run_end = x + 1;
+      while (run_end < run_x_end && row_ids[run_end - region.x] != 0)
+        ++run_end;
+      i32 mid_lo = run_end;
+      i32 mid_hi = run_end;
+      if (interior_row && interior.width > 0) {
+        mid_lo = std::min(std::max(x, interior.x), run_end);
+        mid_hi = std::max(mid_lo,
+                          std::min(run_end, interior.x + interior.width));
+      }
+      const auto cell = [&](i32 cx) {
+        window.move_to(Point{cx, y});
+        po[row_base + static_cast<std::size_t>(cx)] =
+            apply_intra(call.op, call.params, call.nbhd, window,
+                        call.in_channels, call.out_channels, result.side);
+      };
+      for (i32 cx = x; cx < mid_lo; ++cx) cell(cx);
+      if (mid_hi > mid_lo) {
+        kern::IntraRowArgs args;
+        args.center = pa + row_base + static_cast<std::size_t>(mid_lo);
+        args.out = po + row_base + static_cast<std::size_t>(mid_lo);
+        args.n = mid_hi - mid_lo;
+        args.plan = &plan;
+        args.side = &result.side;
+        row_fn(args);
+      }
+      for (i32 cx = mid_hi; cx < run_end; ++cx) cell(cx);
+      if (call.segment.write_ids) {
+        for (i32 cx = x; cx < run_end; ++cx)
+          po[row_base + static_cast<std::size_t>(cx)].alfa =
+              row_ids[cx - region.x];
+      }
+      x = run_end;
+    }
+  }
+  result.segments = table.records();
+  result.stats.pixels = traversal.processed_pixels;
+  // The seed copy above touched every input pixel; report it so the
+  // backends can price the traffic (it is not free just because no
+  // kernel ran on it).
+  result.stats.passthrough_pixels = a.pixel_count();
+  result.stats.table_reads = table.reads();
+  result.stats.table_writes = table.writes();
+  info.processed_pixels = traversal.processed_pixels;
+  info.criterion_tests = traversal.criterion_tests;
   return result;
 }
 

@@ -11,8 +11,22 @@
 // Rows are banded across a par::ThreadPool; the band partition depends only
 // on (rows, grain) and per-band side accumulators are merged in band order,
 // so the output — pixels AND side accumulators — is bit-exact with
-// execute_functional for any thread count.  Calls with no lowering (segment
-// mode, the Gme* accumulators) transparently fall back to the interpreter.
+// execute_functional for any thread count.
+//
+// Segment calls take a third path in two passes.  First a relaxed
+// reachability pre-pass (probe_segment_reachability) bounds the region the
+// exact flood can touch, and the shared frontier core (segment_flood.hpp)
+// runs with a region-local claim map and a visitor that only records each
+// claim into a region-local id plane — the traversal loop carries no op
+// work.  Then the op is applied over maximal claimed runs row by row:
+// interior spans go through the same flat-offset row kernel the intra path
+// uses with n == run length (so sorting-network medians run 8-wide), border
+// pixels through the exact interpreter window.  Deferral is invisible in
+// the result: the op reads only the input frame, each visited pixel is
+// written exactly once, and side accumulators are commutative sums.  The
+// traversal is inherently sequential, so it does not band across the pool;
+// the win is sparsity and batching, not threads.  Calls with no lowering
+// (the Gme* accumulators) transparently fall back to the interpreter.
 #pragma once
 
 #include "addresslib/functional.hpp"
@@ -39,8 +53,7 @@ class KernelBackend {
   static bool supports(const Call& call);
 
   /// Executes one call, bit-exact with execute_functional.  Validates the
-  /// call; reports segment traversal stats (only the fallback path can
-  /// produce non-zero values, since segment mode has no lowering).
+  /// call; reports segment traversal stats.
   CallResult execute(const Call& call, const img::Image& a,
                      const img::Image* b, SegmentRunInfo& info) const;
 
@@ -56,6 +69,8 @@ class KernelBackend {
   CallResult execute_inter(const Call& call, const img::Image& a,
                            const img::Image& b) const;
   CallResult execute_intra(const Call& call, const img::Image& a) const;
+  CallResult execute_segment(const Call& call, const img::Image& a,
+                             SegmentRunInfo& info) const;
   par::ThreadPool& pool() const {
     return options_.pool ? *options_.pool : par::ThreadPool::shared();
   }

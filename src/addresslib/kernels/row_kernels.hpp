@@ -40,6 +40,40 @@ using InterRowFn = void (*)(const InterRowArgs&);
 /// flat lowering (the Gme* normal-equation accumulators).
 InterRowFn lower_inter_row(PixelOp op);
 
+/// One compare step of a median selection network.  `lo`/`hi` are tap
+/// indices; the step kinds are the pruned forms of a compare-exchange
+/// (lo <- min, hi <- max): when only one output is still live on the path
+/// to the median, the dead half of the exchange is dropped.
+enum class MedianStepKind : u8 {
+  Exchange,  ///< v[lo] <- min, v[hi] <- max
+  MinInto,   ///< v[lo] <- min(v[lo], v[hi])
+  MaxInto,   ///< v[hi] <- max(v[lo], v[hi])
+};
+struct MedianStep {
+  u8 lo = 0;
+  u8 hi = 0;
+  MedianStepKind kind = MedianStepKind::Exchange;
+};
+
+/// A branch-free selection network: running `steps` over the tap values
+/// leaves the median (the value std::nth_element puts at taps/2) in
+/// v[median_index].  Every step is a min/max pair, so the same step list
+/// runs on scalars and on SIMD lanes.
+struct MedianNetwork {
+  i32 taps = 0;
+  i32 median_index = 0;
+  std::vector<MedianStep> steps;
+};
+
+/// Builds the selection network for `taps` values: the hand-tuned
+/// 19-exchange median-of-9 network for 3x3 windows, a Batcher
+/// merge-exchange sorting network pruned to the median output for every
+/// other size.  `taps` must be in [1, kMaxNeighborhoodLines^2].
+MedianNetwork build_median_network(i32 taps);
+
+/// Cached per-size networks (built once, thread-safe).
+const MedianNetwork& median_network(i32 taps);
+
 /// Per-call lowering of an intra op: the neighborhood resolved to flat
 /// pixel offsets from the row stride, plus the parameters the interior loop
 /// reads.  Built once per call by the KernelBackend.
@@ -49,6 +83,7 @@ struct IntraPlan {
   i32 stride = 0;                   ///< input row stride in pixels
   ChannelMask mask;                 ///< output channel mask
   const OpParams* params = nullptr;
+  const MedianNetwork* median = nullptr;  ///< set when op == Median
 };
 
 /// One interior row segment: every neighborhood tap of every pixel in

@@ -1,0 +1,90 @@
+// Portable 8-lane u16 SIMD vector for the row kernels.
+//
+// Every AddressLib channel widens to u16 (image/pixel.hpp), so one vector
+// type covers the whole op set: SSE2 on x86-64 (part of the baseline ISA —
+// no AE_NATIVE required), NEON on aarch64, and a scalar struct everywhere
+// else that compilers auto-vectorize or at worst unroll.  Only the
+// operations the sorting-network median needs are provided; grow it when
+// another kernel wants lanes.
+//
+// SSE2 has no unsigned 16-bit min/max (those arrive with SSE4.1), but
+// saturating subtraction gives both exactly:
+//   subs(a,b) = a - min(a,b)   =>   min = a - subs(a,b),  max = b + subs(a,b)
+// with no overflow in either correction (the sum/difference stays in u16).
+#pragma once
+
+#include "common/types.hpp"
+
+#if defined(__SSE2__) || defined(_M_X64) || \
+    (defined(_M_IX86_FP) && _M_IX86_FP >= 2)
+#define AE_SIMD_SSE2 1
+#include <emmintrin.h>
+#elif defined(__ARM_NEON) || defined(__ARM_NEON__)
+#define AE_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace ae::alib::kern::simd {
+
+inline constexpr i32 kU16Lanes = 8;
+
+#if defined(AE_SIMD_SSE2)
+
+struct U16x8 {
+  __m128i v;
+};
+
+inline U16x8 load(const u16* p) {
+  return {_mm_loadu_si128(reinterpret_cast<const __m128i*>(p))};
+}
+inline void store(u16* p, U16x8 a) {
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(p), a.v);
+}
+inline U16x8 min(U16x8 a, U16x8 b) {
+  return {_mm_sub_epi16(a.v, _mm_subs_epu16(a.v, b.v))};
+}
+inline U16x8 max(U16x8 a, U16x8 b) {
+  return {_mm_add_epi16(b.v, _mm_subs_epu16(a.v, b.v))};
+}
+
+#elif defined(AE_SIMD_NEON)
+
+struct U16x8 {
+  uint16x8_t v;
+};
+
+inline U16x8 load(const u16* p) { return {vld1q_u16(p)}; }
+inline void store(u16* p, U16x8 a) { vst1q_u16(p, a.v); }
+inline U16x8 min(U16x8 a, U16x8 b) { return {vminq_u16(a.v, b.v)}; }
+inline U16x8 max(U16x8 a, U16x8 b) { return {vmaxq_u16(a.v, b.v)}; }
+
+#else
+
+struct U16x8 {
+  u16 v[kU16Lanes];
+};
+
+inline U16x8 load(const u16* p) {
+  U16x8 r;
+  for (i32 i = 0; i < kU16Lanes; ++i) r.v[i] = p[i];
+  return r;
+}
+inline void store(u16* p, U16x8 a) {
+  for (i32 i = 0; i < kU16Lanes; ++i) p[i] = a.v[i];
+}
+inline U16x8 min(U16x8 a, U16x8 b) {
+  U16x8 r;
+  for (i32 i = 0; i < kU16Lanes; ++i) r.v[i] = a.v[i] < b.v[i] ? a.v[i]
+                                                               : b.v[i];
+  return r;
+}
+inline U16x8 max(U16x8 a, U16x8 b) {
+  U16x8 r;
+  for (i32 i = 0; i < kU16Lanes; ++i) r.v[i] = a.v[i] > b.v[i] ? a.v[i]
+                                                               : b.v[i];
+  return r;
+}
+
+#endif
+
+}  // namespace ae::alib::kern::simd

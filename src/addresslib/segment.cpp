@@ -1,7 +1,8 @@
 #include "addresslib/segment.hpp"
 
 #include <cstdlib>
-#include <deque>
+
+#include "addresslib/segment_flood.hpp"
 
 namespace ae::alib {
 
@@ -9,95 +10,118 @@ SegmentTraversalStats expand_segments(
     const img::Image& image, const SegmentSpec& spec,
     SegmentTable<SegmentInfo>& table,
     const std::function<void(const SegmentVisit&)>& visit) {
+  // The reference instantiation of the flood core: full-frame claim map,
+  // type-erased visitor.  The kernel backend runs the same core over the
+  // probed reachable region with an inlined visitor (kernel_backend.cpp).
+  AE_EXPECTS(!image.empty(), "segment expansion needs a non-empty image");
+  return detail::flood_segments(
+      image, spec, table, Rect{0, 0, image.width(), image.height()}, visit);
+}
+
+SegmentReachability probe_segment_reachability(const img::Image& image,
+                                               const SegmentSpec& spec) {
   AE_EXPECTS(!image.empty(), "segment expansion needs a non-empty image");
   AE_EXPECTS(!spec.seeds.empty(), "segment expansion needs seeds");
   AE_EXPECTS(spec.luma_threshold >= 0, "luma threshold must be >= 0");
 
-  SegmentTraversalStats stats;
-  const i32 width = image.width();
-  const i32 height = image.height();
-  // claimed_by[i] == 0 means unvisited.
-  std::vector<SegmentId> claimed_by(
-      static_cast<std::size_t>(width) * static_cast<std::size_t>(height), 0);
-  auto index = [width](Point p) {
-    return static_cast<std::size_t>(p.y) * static_cast<std::size_t>(width) +
-           static_cast<std::size_t>(p.x);
-  };
-  if (spec.respect_existing_labels) {
-    for (i32 y = 0; y < height; ++y)
-      for (i32 x = 0; x < width; ++x)
-        if (image.ref(x, y).alfa != 0)
-          claimed_by[index(Point{x, y})] = image.ref(x, y).alfa;
-  }
+  const i32 w = image.width();
+  const i32 h = image.height();
+  const std::size_t area =
+      static_cast<std::size_t>(w) * static_cast<std::size_t>(h);
 
-  struct Item {
-    Point pos;
-    SegmentId id;
+  SegmentReachability out;
+  i32 min_x = w;
+  i32 min_y = h;
+  i32 max_x = -1;
+  i32 max_y = -1;
+  const auto include = [&](i32 x, i32 y) {
+    min_x = x < min_x ? x : min_x;
+    min_y = y < min_y ? y : min_y;
+    max_x = x > max_x ? x : max_x;
+    max_y = y > max_y ? y : max_y;
   };
-  std::deque<Item> frontier;
+  const auto blocked = [&](i32 x, i32 y) {
+    return spec.respect_existing_labels && image.ref(x, y).alfa != 0;
+  };
 
+  // Reachability is monotone, so visit order is free: a byte visited map
+  // and a LIFO work list keep the inner loop to one load per already-seen
+  // neighbor — the relaxed walk costs no more than the exact flood's claim
+  // traversal it bounds.
+  std::vector<u8> visited(area, 0);
+  std::vector<u32> work;
+
+  // Seed admission replicates the exact flood's rule (in-image checked,
+  // labels block, duplicates of an earlier admitted seed are dropped), so
+  // `pushed_seeds` equals the number of seeds the exact flood enqueues.
+  // Every seed position enters the region even when not admitted: the exact
+  // flood still reads its claim slot.
   for (const Point seed : spec.seeds) {
     AE_EXPECTS(image.contains(seed), "seed outside the image");
-    SegmentInfo info;
-    info.seed = seed;
-    info.bbox = Rect{seed.x, seed.y, 1, 1};
-    const SegmentId local = table.allocate(info);
-    const auto global = static_cast<SegmentId>(spec.id_base + local);
-    AE_EXPECTS(global > spec.id_base, "segment id space exhausted");
-    table.modify(local).id = global;
-    // A seed may fall on a pixel already claimed by an earlier seed (or an
-    // existing label); that seed's segment then stays empty (deterministic,
-    // documented).
-    if (claimed_by[index(seed)] == 0) {
-      claimed_by[index(seed)] = global;
-      frontier.push_back({seed, local});
-    }
+    include(seed.x, seed.y);
+    if (blocked(seed.x, seed.y)) continue;
+    const std::size_t i = static_cast<std::size_t>(seed.y) *
+                              static_cast<std::size_t>(w) +
+                          static_cast<std::size_t>(seed.x);
+    if (visited[i] != 0) continue;
+    visited[i] = 1;
+    work.push_back(static_cast<u32>(i));
+    ++out.pushed_seeds;
+    ++out.reachable_pixels;
+  }
+
+  // Vacuous criterion (the AEW305 condition: luma admits everything and
+  // chroma is disabled or saturated): every in-bounds neighbor passes, so
+  // the reachable set is statically the whole frame — skip the walk instead
+  // of running it.  This keeps the pre-pass free on dense worst-case floods
+  // while still computing the exact pushed-seed lower bound above.
+  const bool luma_vacuous = spec.luma_threshold >= 255;
+  const bool chroma_vacuous =
+      spec.chroma_threshold < 0 || spec.chroma_threshold >= 255;
+  if (luma_vacuous && chroma_vacuous && out.pushed_seeds > 0) {
+    out.region = Rect{0, 0, w, h};
+    out.reachable_pixels = static_cast<i64>(area);
+    return out;
   }
 
   const auto& neighbor_offsets = connectivity_offsets(spec.connectivity);
-  i32 distance = 0;
-  while (!frontier.empty()) {
-    std::deque<Item> next;
-    for (const Item& item : frontier) {
-      // Process: deliver the visit in geodesic order.
-      const auto global = static_cast<SegmentId>(spec.id_base + item.id);
-      visit(SegmentVisit{item.pos, global, distance});
-      ++stats.processed_pixels;
-      stats.max_distance = distance;
-
-      // Segment-indexed update of the per-segment record.
-      SegmentInfo& rec = table.modify(item.id);
-      rec.pixel_count += 1;
-      rec.sum_y += image.ref(item.pos.x, item.pos.y).y;
-      rec.bbox = rec.bbox.unite(Rect{item.pos.x, item.pos.y, 1, 1});
-      rec.geodesic_radius = distance;
-
-      // Expand: test unclaimed neighbors against the local criterion
-      // (luma always; chroma when enabled — the paper's full
-      // luminance/chrominance homogeneity check).
-      const img::Pixel& own = image.ref(item.pos.x, item.pos.y);
-      for (const Point off : neighbor_offsets) {
-        const Point n = item.pos + off;
-        if (!image.contains(n)) continue;
-        if (claimed_by[index(n)] != 0) continue;
-        ++stats.criterion_tests;
-        const img::Pixel& cand = image.ref(n.x, n.y);
-        if (std::abs(static_cast<i32>(cand.y) - own.y) >
-            spec.luma_threshold)
-          continue;
-        if (spec.chroma_threshold >= 0) {
-          const i32 du = std::abs(static_cast<i32>(cand.u) - own.u);
-          const i32 dv = std::abs(static_cast<i32>(cand.v) - own.v);
-          if (std::max(du, dv) > spec.chroma_threshold) continue;
-        }
-        claimed_by[index(n)] = global;
-        next.push_back({n, item.id});
+  while (!work.empty()) {
+    const std::size_t i = work.back();
+    work.pop_back();
+    const i32 x = static_cast<i32>(i % static_cast<std::size_t>(w));
+    const i32 y = static_cast<i32>(i / static_cast<std::size_t>(w));
+    const img::Pixel& own = image.ref(x, y);
+    for (const Point off : neighbor_offsets) {
+      const Point n = Point{x + off.x, y + off.y};
+      if (!image.contains(n)) continue;
+      const std::size_t ni = static_cast<std::size_t>(n.y) *
+                                 static_cast<std::size_t>(w) +
+                             static_cast<std::size_t>(n.x);
+      if (visited[ni] != 0) continue;
+      if (blocked(n.x, n.y)) continue;
+      const img::Pixel& cand = image.ref(n.x, n.y);
+      if (std::abs(static_cast<i32>(cand.y) - own.y) > spec.luma_threshold)
+        continue;
+      if (spec.chroma_threshold >= 0) {
+        const i32 du = std::abs(static_cast<i32>(cand.u) - own.u);
+        const i32 dv = std::abs(static_cast<i32>(cand.v) - own.v);
+        if (std::max(du, dv) > spec.chroma_threshold) continue;
       }
+      visited[ni] = 1;
+      work.push_back(static_cast<u32>(ni));
+      include(n.x, n.y);
+      ++out.reachable_pixels;
     }
-    frontier = std::move(next);
-    ++distance;
   }
-  return stats;
+
+  // 1-pixel pad, clamped: every in-bounds neighbor the exact flood can test
+  // sits inside the region, so the region-local claim map never misses.
+  const i32 x0 = min_x > 0 ? min_x - 1 : 0;
+  const i32 y0 = min_y > 0 ? min_y - 1 : 0;
+  const i32 x1 = max_x + 2 < w ? max_x + 2 : w;
+  const i32 y1 = max_y + 2 < h ? max_y + 2 : h;
+  out.region = Rect{x0, y0, x1 - x0, y1 - y0};
+  return out;
 }
 
 img::Image label_segments(const img::Image& image, const SegmentSpec& spec,

@@ -37,6 +37,34 @@ struct SegmentTraversalStats {
   i32 max_distance = 0;
 };
 
+/// Content-derived bounds on a segment expansion, computed by the relaxed
+/// reachability pre-pass (probe_segment_reachability) without running the
+/// exact traversal:
+///
+///   pushed_seeds <= processed_pixels <= reachable_pixels
+///   criterion_tests <= reachable_pixels * connectivity
+///
+/// and every pixel the exact flood visits or tests lies inside `region`.
+struct SegmentReachability {
+  Rect region;               ///< 1-px-padded bbox of the reachable set
+  i64 reachable_pixels = 0;  ///< size of the relaxed reachable superset
+  i64 pushed_seeds = 0;      ///< seeds admitted at queue time (lower bound)
+};
+
+/// Relaxed single-class flood over `image`: a pixel is reachable when ANY
+/// reachable neighbor admits it under the spec's luma/chroma criterion,
+/// ignoring segment identity and claim order (existing labels still block
+/// when respect_existing_labels is set).  Because the exact traversal only
+/// ever admits a pixel through that same criterion from a visited neighbor,
+/// the relaxed set is a superset of the exact visited set — so the returned
+/// region and counts bound the exact flood from above, and `pushed_seeds`
+/// (which replicates the exact seed-admission rule: in-image, unlabeled,
+/// not a duplicate) bounds it from below.  Monotone, so the walk is
+/// order-free: a flat visited map and LIFO frontier keep its cost at or
+/// below the exact flood's own traversal.
+SegmentReachability probe_segment_reachability(const img::Image& image,
+                                               const SegmentSpec& spec);
+
 /// Runs the segment expansion over `image`.
 ///
 /// * `visit` is called exactly once per admitted pixel, in geodesic order.

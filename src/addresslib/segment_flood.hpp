@@ -1,0 +1,133 @@
+// Internal frontier-based segment flood core.
+//
+// One traversal, two instantiations: `expand_segments` (segment.cpp) runs it
+// over the full frame with the public std::function visitor — the obviously
+// correct reference — and `KernelBackend::execute_segment` runs it over the
+// region bounded by the reachability pre-pass with an inlined visitor.  The
+// traversal itself is identical either way: multi-source BFS in geodesic
+// waves, claims at push time, ties resolved to the earlier-queued claim
+// (wave items processed in queue order, neighbors pushed in canonical
+// connectivity order), criterion tests counted for every unclaimed in-bounds
+// neighbor.  Restricting the claim map to `region` is sound only when every
+// in-bounds neighbor of every visited pixel lies inside `region` — exactly
+// what probe_segment_reachability's 1-pixel-padded bounding box guarantees —
+// and the AE_ASSERT below turns any violation of that contract into a typed
+// error instead of an out-of-bounds write.
+//
+// Not part of the public AddressLib API; include segment.hpp instead.
+#pragma once
+
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include "addresslib/segment.hpp"
+#include "common/error.hpp"
+
+namespace ae::alib::detail {
+
+template <typename Visit>
+SegmentTraversalStats flood_segments(const img::Image& image,
+                                     const SegmentSpec& spec,
+                                     SegmentTable<SegmentInfo>& table,
+                                     Rect region, Visit&& visit) {
+  AE_EXPECTS(!image.empty(), "segment expansion needs a non-empty image");
+  AE_EXPECTS(!spec.seeds.empty(), "segment expansion needs seeds");
+  AE_EXPECTS(spec.luma_threshold >= 0, "luma threshold must be >= 0");
+  AE_EXPECTS(!region.empty(), "segment flood region must be non-empty");
+
+  SegmentTraversalStats stats;
+  const i32 rx = region.x;
+  const i32 ry = region.y;
+  const i32 rw = region.width;
+  const i32 rh = region.height;
+  // claimed_by[i] == 0 means unvisited.  Region-local: the only allocation
+  // and zeroing proportional to the flood, not the frame.
+  std::vector<SegmentId> claimed_by(
+      static_cast<std::size_t>(rw) * static_cast<std::size_t>(rh), 0);
+  auto index = [&](Point p) {
+    return static_cast<std::size_t>(p.y - ry) * static_cast<std::size_t>(rw) +
+           static_cast<std::size_t>(p.x - rx);
+  };
+  if (spec.respect_existing_labels) {
+    for (i32 y = ry; y < ry + rh; ++y)
+      for (i32 x = rx; x < rx + rw; ++x)
+        if (image.ref(x, y).alfa != 0)
+          claimed_by[index(Point{x, y})] = image.ref(x, y).alfa;
+  }
+
+  struct Item {
+    Point pos;
+    SegmentId id;
+  };
+  std::vector<Item> frontier;
+  std::vector<Item> next;
+
+  for (const Point seed : spec.seeds) {
+    AE_EXPECTS(image.contains(seed), "seed outside the image");
+    AE_ASSERT(region.contains(seed), "segment flood region excludes a seed");
+    SegmentInfo info;
+    info.seed = seed;
+    info.bbox = Rect{seed.x, seed.y, 1, 1};
+    const SegmentId local = table.allocate(info);
+    const auto global = static_cast<SegmentId>(spec.id_base + local);
+    AE_EXPECTS(global > spec.id_base, "segment id space exhausted");
+    table.modify(local).id = global;
+    // A seed may fall on a pixel already claimed by an earlier seed (or an
+    // existing label); that seed's segment then stays empty (deterministic,
+    // documented).
+    if (claimed_by[index(seed)] == 0) {
+      claimed_by[index(seed)] = global;
+      frontier.push_back({seed, local});
+    }
+  }
+
+  const auto& neighbor_offsets = connectivity_offsets(spec.connectivity);
+  i32 distance = 0;
+  while (!frontier.empty()) {
+    next.clear();
+    for (const Item& item : frontier) {
+      // Process: deliver the visit in geodesic order.
+      const auto global = static_cast<SegmentId>(spec.id_base + item.id);
+      visit(SegmentVisit{item.pos, global, distance});
+      ++stats.processed_pixels;
+      stats.max_distance = distance;
+
+      // Segment-indexed update of the per-segment record.
+      SegmentInfo& rec = table.modify(item.id);
+      rec.pixel_count += 1;
+      rec.sum_y += image.ref(item.pos.x, item.pos.y).y;
+      rec.bbox = rec.bbox.unite(Rect{item.pos.x, item.pos.y, 1, 1});
+      rec.geodesic_radius = distance;
+
+      // Expand: test unclaimed neighbors against the local criterion
+      // (luma always; chroma when enabled — the paper's full
+      // luminance/chrominance homogeneity check).
+      const img::Pixel& own = image.ref(item.pos.x, item.pos.y);
+      for (const Point off : neighbor_offsets) {
+        const Point n = item.pos + off;
+        if (!image.contains(n)) continue;
+        AE_ASSERT(region.contains(n),
+                  "segment flood region excludes a tested neighbor");
+        if (claimed_by[index(n)] != 0) continue;
+        ++stats.criterion_tests;
+        const img::Pixel& cand = image.ref(n.x, n.y);
+        if (std::abs(static_cast<i32>(cand.y) - own.y) >
+            spec.luma_threshold)
+          continue;
+        if (spec.chroma_threshold >= 0) {
+          const i32 du = std::abs(static_cast<i32>(cand.u) - own.u);
+          const i32 dv = std::abs(static_cast<i32>(cand.v) - own.v);
+          if (std::max(du, dv) > spec.chroma_threshold) continue;
+        }
+        claimed_by[index(n)] = global;
+        next.push_back({n, item.id});
+      }
+    }
+    std::swap(frontier, next);
+    ++distance;
+  }
+  return stats;
+}
+
+}  // namespace ae::alib::detail

@@ -180,7 +180,9 @@ void lint_segment_vacuous_criterion(const CallProgram& program,
        << spec.luma_threshold << " covers the full 8-bit range"
        << (spec.chroma_threshold < 0 ? ", chroma test disabled"
                                      : ", chroma threshold vacuous")
-       << "); the expansion floods the frame";
+       << "); the expansion floods the frame and the reachability "
+          "pre-pass cannot tighten the envelope below the full-frame "
+          "extreme";
     report.add(Severity::Warning, rules::kSegmentVacuousCriterion,
                static_cast<i32>(i), os.str(),
                "tighten the luma/chroma thresholds below 255 so the "

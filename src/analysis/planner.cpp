@@ -136,6 +136,50 @@ std::string to_string(TransferKind k) {
   return "?";
 }
 
+namespace {
+
+// Segment envelope between traversal extremes [visits_lo, visits_hi]: the
+// content-free call sites use [0, frame area] (no seed admits anything vs.
+// a flood of the whole frame); the content-aware overload substitutes the
+// reachability probe's [pushed_seeds, reachable_pixels].  Both price the
+// same visits/tests formulas the cycle simulator charges (engine_sim.cpp
+// segment tail): cycles' tail is visits*(nbhd+1) + tests, ZBT reads are
+// visits*nbhd + tests, ZBT writes are visits — all monotone in visits and
+// tests, so any sound visit interval yields a sound envelope.
+CostEnvelope plan_segment_call(const alib::Call& call, Size frame,
+                               const PlanOptions& options, CostEnvelope e,
+                               u64 visits_lo, u64 visits_hi) {
+  const core::EngineConfig& config = options.config;
+  const double margin = options.margin;
+  const u64 area = static_cast<u64>(frame.area());
+  const u64 setup = config.call_setup_overhead_cycles;
+  const u64 conn =
+      call.segment.connectivity == alib::Connectivity::Four ? 4 : 8;
+  const u64 nbhd = static_cast<u64>(call.nbhd.size());
+  // The lower extreme performs its visits but may test no neighbor (every
+  // neighbor can already be claimed at queue time); the upper extreme tests
+  // the full connectivity of every visit.
+  const core::AnalyticTiming t_lo = core::analytic_segment_timing(
+      config, call, frame, static_cast<i64>(visits_lo),
+      /*criterion_tests=*/0);
+  const core::AnalyticTiming t_hi = core::analytic_segment_timing(
+      config, call, frame, static_cast<i64>(visits_hi),
+      static_cast<i64>(visits_hi * conn));
+  e.cycles = widen(t_lo.total_cycles + setup, t_hi.total_cycles + setup,
+                   margin);
+  e.cycles_estimate = (t_lo.total_cycles + t_hi.total_cycles) / 2 + setup;
+  e.dma_words_in = 2 * area;
+  e.zbt_reads = CostBound{widen_down(visits_lo * nbhd, margin),
+                          widen_up(visits_hi * (nbhd + conn), margin)};
+  e.zbt_writes = CostBound{widen_down(visits_lo, margin),
+                           widen_up(visits_hi, margin)};
+  e.input_cycles_estimate =
+      t_lo.input_busy_cycles + t_lo.input_overhead_cycles;
+  return e;
+}
+
+}  // namespace
+
 CostEnvelope plan_call(const alib::Call& call, Size frame,
                        const PlanOptions& options) {
   CostEnvelope e;
@@ -151,29 +195,9 @@ CostEnvelope plan_call(const alib::Call& call, Size frame,
   e.oim_peak_lines = line_peak(space.line_count(), config.oim_lines);
   e.dma_words_out = 2 * area;
 
-  if (call.mode == alib::Mode::Segment) {
-    const u64 conn =
-        call.segment.connectivity == alib::Connectivity::Four ? 4 : 8;
-    // Traversal extremes: no seed admits anything vs. a flood of the whole
-    // frame with every neighbor tested — the same visits/tests pricing the
-    // cycle simulator charges (engine_sim.cpp segment tail).
-    const core::AnalyticTiming t_lo = core::analytic_segment_timing(
-        config, call, frame, /*processed_pixels=*/0, /*criterion_tests=*/0);
-    const core::AnalyticTiming t_hi = core::analytic_segment_timing(
-        config, call, frame, static_cast<i64>(area),
-        static_cast<i64>(area * conn));
-    e.cycles = widen(t_lo.total_cycles + setup, t_hi.total_cycles + setup,
-                     margin);
-    e.cycles_estimate = (t_lo.total_cycles + t_hi.total_cycles) / 2 + setup;
-    e.dma_words_in = 2 * area;
-    e.zbt_reads = CostBound{
-        0, widen_up(area * (static_cast<u64>(call.nbhd.size()) + conn),
-                    margin)};
-    e.zbt_writes = CostBound{0, widen_up(area, margin)};
-    e.input_cycles_estimate =
-        t_lo.input_busy_cycles + t_lo.input_overhead_cycles;
-    return e;
-  }
+  if (call.mode == alib::Mode::Segment)
+    return plan_segment_call(call, frame, options, e, /*visits_lo=*/0,
+                             /*visits_hi=*/area);
 
   const int images = call.mode == alib::Mode::Inter ? 2 : 1;
   const core::AnalyticTiming t =
@@ -188,6 +212,23 @@ CostEnvelope plan_call(const alib::Call& call, Size frame,
   e.zbt_writes = widen(area, area, margin);
   e.input_cycles_estimate = t.input_busy_cycles + t.input_overhead_cycles;
   return e;
+}
+
+CostEnvelope plan_call(const alib::Call& call, Size frame,
+                       const PlanOptions& options,
+                       const alib::SegmentReachability& reach) {
+  if (call.mode != alib::Mode::Segment || frame.area() <= 0)
+    return plan_call(call, frame, options);
+
+  CostEnvelope e = plan_call(call, frame, options);
+  const u64 area = static_cast<u64>(frame.area());
+  // Clamp against the static extremes so a reach computed for a different
+  // frame can tighten but never unsoundly exceed the content-free envelope.
+  const u64 visits_hi =
+      std::min(area, static_cast<u64>(std::max<i64>(0, reach.reachable_pixels)));
+  const u64 visits_lo =
+      std::min(visits_hi, static_cast<u64>(std::max<i64>(0, reach.pushed_seeds)));
+  return plan_segment_call(call, frame, options, e, visits_lo, visits_hi);
 }
 
 ProgramPlan plan_program(const CallProgram& program,

@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "addresslib/segment.hpp"
 #include "analysis/program.hpp"
 #include "core/config.hpp"
 
@@ -117,6 +118,18 @@ struct ProgramPlan {
 /// planner, reports it.
 CostEnvelope plan_call(const alib::Call& call, Size frame,
                        const PlanOptions& options = {});
+
+/// Content-aware refinement for segment calls: substitutes the reachability
+/// probe's [pushed_seeds, reachable_pixels] visit interval for the static
+/// [0, frame area] extremes, shrinking the envelope by orders of magnitude
+/// on sparse masks while staying sound (the probe's counts provably bracket
+/// the exact traversal; see alib::probe_segment_reachability).  `reach` must
+/// come from probing the call's actual input frame.  Non-segment calls
+/// ignore `reach` and price identically to the content-free overload —
+/// their cost is already content-independent.
+CostEnvelope plan_call(const alib::Call& call, Size frame,
+                       const PlanOptions& options,
+                       const alib::SegmentReachability& reach);
 
 /// Prices a whole program and computes its bank-residency schedule.  The
 /// plan is meaningful for programs that verify clean; ill-formed calls

@@ -133,10 +133,18 @@ std::future<alib::CallResult> EngineFarm::submit(const alib::Call& call,
   if (options_.admission_budget_cycles > 0) {
     // Static admission: the planned upper bound is available before any
     // backend runs, so an over-budget call never occupies queue space.
+    // Segment calls refine the envelope with the reachability probe — the
+    // image is in hand here, the probe costs a fraction of the expansion the
+    // worker runs anyway, and the content-free bound (a full-frame flood)
+    // would reject every sparse segment call under a tight budget.
     analysis::PlanOptions plan_options;
     plan_options.config = options_.config;
     const analysis::CostEnvelope envelope =
-        analysis::plan_call(call, a.size(), plan_options);
+        call.mode == alib::Mode::Segment
+            ? analysis::plan_call(
+                  call, a.size(), plan_options,
+                  alib::probe_segment_reachability(a, call.segment))
+            : analysis::plan_call(call, a.size(), plan_options);
     if (envelope.cycles.upper > options_.admission_budget_cycles) {
       {
         sync::MutexLock lock(mu_);

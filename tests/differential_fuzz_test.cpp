@@ -169,6 +169,32 @@ TEST(KernelVsFunctionalMasks, SideChannelMasksAreBitExact) {
   }
 }
 
+// Adversarial flood masks (test_util.hpp): content chosen to stress the
+// traversal structurally — checkerboard claim-tie storms, a spiral corridor
+// at maximal geodesic depth, an all-seed frame, a label barrier with a
+// blocked seed.  Beyond results, the traversal accounting (processed
+// pixels, criterion tests) must also match: the engine cost models price
+// from those counters.
+TEST(KernelVsFunctionalAdversarial, FloodMasksAreBitExact) {
+  KernelConfigs configs;
+  for (const test::AdversarialFloodCase& c : test::adversarial_flood_cases()) {
+    alib::SegmentRunInfo ref_info;
+    const alib::CallResult ref =
+        alib::execute_functional(c.call, c.frame, nullptr, ref_info);
+    configs.for_each([&](const alib::KernelBackend& kernels,
+                         const char* config) {
+      SCOPED_TRACE(std::string(c.name) + " [" + config + "]: " +
+                   c.call.describe());
+      alib::SegmentRunInfo info;
+      test::expect_results_equal(ref,
+                                 kernels.execute(c.call, c.frame, nullptr,
+                                                 info));
+      EXPECT_EQ(ref_info.processed_pixels, info.processed_pixels);
+      EXPECT_EQ(ref_info.criterion_tests, info.criterion_tests);
+    });
+  }
+}
+
 // ---- engine / farm differentials (tier2) -----------------------------------
 
 class DifferentialSimVsSoftware : public ::testing::TestWithParam<u64> {};

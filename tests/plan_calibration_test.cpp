@@ -57,6 +57,39 @@ void expect_cost_inside_envelope(const Call& call, const img::Image& a,
   EXPECT_TRUE(env.cycles.contains(analytic.last_run().cycles))
       << "analytic cycles " << analytic.last_run().cycles << " outside ["
       << env.cycles.lower << ", " << env.cycles.upper << "]";
+
+  // Segment calls additionally get the content-aware refinement: the
+  // reachability probe's visit interval must yield an envelope NESTED in
+  // the static one (refinement only ever shrinks) that still contains
+  // every measured quantity — the "never excluding measured cycles" side
+  // of the tightening bargain.
+  if (call.mode != alib::Mode::Segment) return;
+  const alib::SegmentReachability reach =
+      alib::probe_segment_reachability(a, call.segment);
+  const analysis::CostEnvelope fine =
+      analysis::plan_call(call, a.size(), {}, reach);
+  EXPECT_GE(fine.cycles.lower, env.cycles.lower);
+  EXPECT_LE(fine.cycles.upper, env.cycles.upper);
+  EXPECT_GE(fine.zbt_reads.lower, env.zbt_reads.lower);
+  EXPECT_LE(fine.zbt_reads.upper, env.zbt_reads.upper);
+  EXPECT_GE(fine.zbt_writes.lower, env.zbt_writes.lower);
+  EXPECT_LE(fine.zbt_writes.upper, env.zbt_writes.upper);
+  EXPECT_TRUE(fine.cycles.contains(run.cycles))
+      << "cycle-accurate cycles " << run.cycles
+      << " outside the refined [" << fine.cycles.lower << ", "
+      << fine.cycles.upper << "]";
+  EXPECT_TRUE(fine.zbt_reads.contains(run.zbt_read_transactions))
+      << "zbt reads " << run.zbt_read_transactions
+      << " outside the refined [" << fine.zbt_reads.lower << ", "
+      << fine.zbt_reads.upper << "]";
+  EXPECT_TRUE(fine.zbt_writes.contains(run.zbt_write_transactions))
+      << "zbt writes " << run.zbt_write_transactions
+      << " outside the refined [" << fine.zbt_writes.lower << ", "
+      << fine.zbt_writes.upper << "]";
+  EXPECT_TRUE(fine.cycles.contains(analytic.last_run().cycles))
+      << "analytic cycles " << analytic.last_run().cycles
+      << " outside the refined [" << fine.cycles.lower << ", "
+      << fine.cycles.upper << "]";
 }
 
 // 8 seeds x 40 calls: the engine-differential recipe, replayed verbatim so
@@ -87,6 +120,60 @@ TEST_P(PlanCalibrationFuzz, MeasuredCostLandsInsideTheEnvelope) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PlanCalibrationFuzz,
                          ::testing::Range<u64>(1, 9));
+
+// The point of the refinement, measured: on a sparse mask (one bright disk
+// in a flat frame, tight luma criterion) the refined segment envelope is
+// strictly narrower than the static one — by the full area ratio on the
+// ZBT bounds, which carry no constant term — while the cycle simulator's
+// measured cost still lands inside it.
+TEST(PlanCalibrationSparseSegment, RefinedEnvelopeShrinksAroundMeasuredCost) {
+  const Size size{64, 48};
+  img::Image a = test::checkerboard_frame(size, 16, 16);  // flat background
+  i64 disk = 0;
+  for (i32 y = 0; y < size.height; ++y)
+    for (i32 x = 0; x < size.width; ++x) {
+      const i32 dx = x - 32;
+      const i32 dy = y - 24;
+      if (dx * dx + dy * dy > 10 * 10) continue;
+      a.ref(x, y).y = 200;
+      ++disk;
+    }
+  alib::SegmentSpec spec;
+  spec.seeds = {Point{32, 24}};
+  spec.luma_threshold = 10;
+  const Call call =
+      Call::make_segment(alib::PixelOp::Median, alib::Neighborhood::con8(),
+                         spec, ChannelMask::y(),
+                         ChannelMask::y().with(Channel::Alfa));
+
+  const analysis::CostEnvelope coarse = analysis::plan_call(call, size);
+  const alib::SegmentReachability reach =
+      alib::probe_segment_reachability(a, call.segment);
+  EXPECT_GE(reach.reachable_pixels, disk);
+  EXPECT_LT(reach.reachable_pixels, static_cast<i64>(size.area()) / 4);
+  const analysis::CostEnvelope fine =
+      analysis::plan_call(call, size, {}, reach);
+
+  core::EngineBackend cycle({}, core::EngineMode::CycleAccurate);
+  cycle.execute(call, a, nullptr);
+  const core::EngineRunStats& run = cycle.last_run();
+
+  EXPECT_LT(fine.cycles.upper - fine.cycles.lower,
+            coarse.cycles.upper - coarse.cycles.lower);
+  EXPECT_LT(fine.zbt_reads.upper - fine.zbt_reads.lower,
+            (coarse.zbt_reads.upper - coarse.zbt_reads.lower) / 4);
+  EXPECT_LT(fine.zbt_writes.upper - fine.zbt_writes.lower,
+            (coarse.zbt_writes.upper - coarse.zbt_writes.lower) / 4);
+  EXPECT_TRUE(fine.cycles.contains(run.cycles))
+      << run.cycles << " outside [" << fine.cycles.lower << ", "
+      << fine.cycles.upper << "]";
+  EXPECT_TRUE(fine.zbt_reads.contains(run.zbt_read_transactions));
+  EXPECT_TRUE(fine.zbt_writes.contains(run.zbt_write_transactions));
+
+  core::EngineBackend analytic({}, core::EngineMode::Analytic);
+  analytic.execute(call, a, nullptr);
+  EXPECT_TRUE(fine.cycles.contains(analytic.last_run().cycles));
+}
 
 // The 200-case farm corpus (repeating content seeds, all addressing modes).
 TEST(PlanCalibrationFarmCorpus, MeasuredCostLandsInsideTheEnvelope) {

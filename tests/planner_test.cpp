@@ -91,6 +91,90 @@ TEST(PlanCall, SegmentEnvelopeSpansTheTraversalExtremes) {
   EXPECT_TRUE(e.cycles.contains(e.cycles_estimate));
 }
 
+TEST(PlanCall, ContentAwareSegmentEnvelopeIsNestedInStatic) {
+  // A sparse flood (single bright disk, tight luma criterion): the probe's
+  // visit interval replaces the static [0, area] extremes.  Refinement may
+  // only shrink — every refined bound must nest inside the static one —
+  // and on this content it must shrink a lot.
+  const Size size{48, 32};
+  img::Image a = test::checkerboard_frame(size, 16, 16);  // flat background
+  for (i32 y = 10; y < 20; ++y)
+    for (i32 x = 10; x < 20; ++x) a.ref(x, y).y = 200;
+  alib::SegmentSpec spec;
+  spec.seeds = {Point{12, 12}};
+  spec.luma_threshold = 10;
+  const Call call =
+      Call::make_segment(PixelOp::Copy, Neighborhood::con4(), spec,
+                         ChannelMask::y(), ChannelMask::y().with(Channel::Alfa));
+
+  const CostEnvelope coarse = analysis::plan_call(call, size);
+  const alib::SegmentReachability reach =
+      alib::probe_segment_reachability(a, call.segment);
+  const CostEnvelope fine = analysis::plan_call(call, size, {}, reach);
+
+  EXPECT_GE(fine.cycles.lower, coarse.cycles.lower);
+  EXPECT_LE(fine.cycles.upper, coarse.cycles.upper);
+  EXPECT_GE(fine.zbt_reads.lower, coarse.zbt_reads.lower);
+  EXPECT_LE(fine.zbt_reads.upper, coarse.zbt_reads.upper);
+  EXPECT_GE(fine.zbt_writes.lower, coarse.zbt_writes.lower);
+  EXPECT_LE(fine.zbt_writes.upper, coarse.zbt_writes.upper);
+  // DMA traffic is content-independent: the whole frame still transfers.
+  EXPECT_EQ(fine.dma_words_in, coarse.dma_words_in);
+  EXPECT_EQ(fine.dma_words_out, coarse.dma_words_out);
+  // The 100-pixel segment prices far below the full-frame extreme.  The
+  // cycles width shrinks but keeps the margin on the constant setup and
+  // streaming terms; the ZBT widths carry no constant and collapse by
+  // roughly the area ratio.
+  EXPECT_LT(fine.cycles.upper - fine.cycles.lower,
+            coarse.cycles.upper - coarse.cycles.lower);
+  EXPECT_LT(fine.zbt_reads.upper - fine.zbt_reads.lower,
+            (coarse.zbt_reads.upper - coarse.zbt_reads.lower) / 4);
+  EXPECT_LT(fine.zbt_writes.upper - fine.zbt_writes.lower,
+            (coarse.zbt_writes.upper - coarse.zbt_writes.lower) / 4);
+  EXPECT_TRUE(fine.cycles.contains(fine.cycles_estimate));
+}
+
+TEST(PlanCall, VacuousCriterionRefinesToTheStaticEnvelope) {
+  // AEW305 territory: a criterion that admits everything makes the probe
+  // report the whole frame, so content-aware refinement degenerates to the
+  // static envelope's upper extremes — the lint, not the planner, is the
+  // only help there.
+  const Size size{48, 32};
+  const img::Image a = img::make_test_frame(size, 11);
+  alib::SegmentSpec spec;
+  spec.seeds = {Point{4, 4}};
+  spec.luma_threshold = 255;
+  const Call call =
+      Call::make_segment(PixelOp::Copy, Neighborhood::con4(), spec,
+                         ChannelMask::y(), ChannelMask::y().with(Channel::Alfa));
+  const CostEnvelope coarse = analysis::plan_call(call, size);
+  const alib::SegmentReachability reach =
+      alib::probe_segment_reachability(a, call.segment);
+  EXPECT_EQ(reach.reachable_pixels, static_cast<i64>(size.area()));
+  const CostEnvelope fine = analysis::plan_call(call, size, {}, reach);
+  EXPECT_EQ(fine.cycles.upper, coarse.cycles.upper);
+  EXPECT_EQ(fine.zbt_reads.upper, coarse.zbt_reads.upper);
+  EXPECT_EQ(fine.zbt_writes.upper, coarse.zbt_writes.upper);
+  // The one admitted seed survives as the probe's lower extreme, though
+  // the margin's floor rounds the priced bound back to zero.
+  EXPECT_EQ(reach.pushed_seeds, 1);
+  EXPECT_GE(fine.zbt_writes.lower, coarse.zbt_writes.lower);
+}
+
+TEST(PlanCall, NonSegmentCallsIgnoreReachability) {
+  alib::SegmentReachability reach;
+  reach.region = Rect{0, 0, 4, 4};
+  reach.reachable_pixels = 7;
+  reach.pushed_seeds = 1;
+  const CostEnvelope base = analysis::plan_call(intra_con8(), kFrame);
+  const CostEnvelope with_reach =
+      analysis::plan_call(intra_con8(), kFrame, {}, reach);
+  EXPECT_EQ(base.cycles.lower, with_reach.cycles.lower);
+  EXPECT_EQ(base.cycles.upper, with_reach.cycles.upper);
+  EXPECT_EQ(base.cycles_estimate, with_reach.cycles_estimate);
+  EXPECT_EQ(base.zbt_reads.upper, with_reach.zbt_reads.upper);
+}
+
 TEST(PlanCall, DegenerateFrameYieldsAZeroEnvelope) {
   const CostEnvelope e = analysis::plan_call(intra_con8(), Size{0, 0});
   EXPECT_EQ(e.cycles.upper, 0u);

@@ -7,6 +7,7 @@
 
 #include "addresslib/segment.hpp"
 #include "image/synth.hpp"
+#include "test_util.hpp"
 
 namespace ae::alib {
 namespace {
@@ -275,6 +276,111 @@ TEST(SegmentExpansion, InputValidation) {
   EXPECT_THROW(
       expand_segments(a, bad_seed, table, [](const SegmentVisit&) {}),
       InvalidArgument);
+}
+
+// ---- adversarial flood masks (test_util.hpp) --------------------------------
+
+TEST(SegmentExpansionAdversarial, CheckerboardConn8InterleavesTwoLattices) {
+  // Two opposite-color seeds: each color class is one diagonally connected
+  // lattice, so the two segments partition the whole frame and nearly every
+  // admission races a diagonal tie.  The partition must be an exact split.
+  const Size size{48, 32};
+  const img::Image a = test::checkerboard_frame(size);
+  SegmentSpec spec;
+  spec.seeds = {{0, 0}, {1, 0}};
+  spec.luma_threshold = 10;
+  SegmentTable<SegmentInfo> table;
+  const SegmentTraversalStats stats =
+      expand_segments(a, spec, table, [](const SegmentVisit&) {});
+  EXPECT_EQ(stats.processed_pixels, a.pixel_count());
+  ASSERT_EQ(table.records().size(), 2u);
+  EXPECT_EQ(table.records()[0].pixel_count, a.pixel_count() / 2);
+  EXPECT_EQ(table.records()[1].pixel_count, a.pixel_count() / 2);
+}
+
+TEST(SegmentExpansionAdversarial, CheckerboardConn4IsolatesEverySeed) {
+  const img::Image a = test::checkerboard_frame(Size{48, 32});
+  SegmentSpec spec;
+  spec.seeds = {{0, 0}, {5, 7}, {47, 31}, {20, 0}};
+  spec.luma_threshold = 10;
+  spec.connectivity = Connectivity::Four;
+  SegmentTable<SegmentInfo> table;
+  const SegmentTraversalStats stats =
+      expand_segments(a, spec, table, [](const SegmentVisit&) {});
+  EXPECT_EQ(stats.processed_pixels, 4);
+  ASSERT_EQ(table.records().size(), 4u);
+  for (const SegmentInfo& s : table.records()) {
+    EXPECT_EQ(s.pixel_count, 1);
+    EXPECT_EQ(s.geodesic_radius, 0);
+  }
+}
+
+TEST(SegmentExpansionAdversarial, SpiralCorridorRecoveredAtFullDepth) {
+  // The carve is one connected walk, so the flood must recover exactly the
+  // carved pixels, and the corridor coils far deeper than any straight-line
+  // crossing of the frame.
+  const Size size{48, 32};
+  i32 carved = 0;
+  const img::Image a = test::spiral_frame(size, &carved);
+  SegmentSpec spec;
+  spec.seeds = {{0, 0}};
+  spec.luma_threshold = 10;
+  SegmentTable<SegmentInfo> table;
+  const SegmentTraversalStats stats =
+      expand_segments(a, spec, table, [](const SegmentVisit&) {});
+  EXPECT_EQ(stats.processed_pixels, carved);
+  ASSERT_EQ(table.records().size(), 1u);
+  EXPECT_EQ(table.records()[0].pixel_count, carved);
+  EXPECT_GT(carved, a.pixel_count() / 3);
+  EXPECT_GT(table.records()[0].geodesic_radius,
+            std::max(size.width, size.height));
+}
+
+TEST(SegmentExpansionAdversarial, AllSeedFloodExpandsNothing) {
+  // Every pixel is claimed at seed-admission time: zero criterion tests,
+  // and the duplicate trailing seed yields an empty segment.  Table writes
+  // stay at the pinned 2-per-seed (allocate + final record) plus 1 per
+  // visit accounting.
+  const Size size{24, 16};
+  const img::Image a = img::make_test_frame(size, 0xADF5u);
+  SegmentSpec spec;
+  spec.seeds = test::all_pixel_seeds(size);
+  spec.seeds.push_back({0, 0});
+  spec.luma_threshold = 255;
+  SegmentTable<SegmentInfo> table;
+  const SegmentTraversalStats stats =
+      expand_segments(a, spec, table, [](const SegmentVisit&) {});
+  EXPECT_EQ(stats.processed_pixels, a.pixel_count());
+  EXPECT_EQ(stats.criterion_tests, 0);
+  EXPECT_EQ(stats.max_distance, 0);
+  ASSERT_EQ(table.records().size(), spec.seeds.size());
+  EXPECT_EQ(table.records().back().pixel_count, 0);
+  EXPECT_EQ(table.writes(),
+            2 * spec.seeds.size() +
+                static_cast<std::size_t>(a.pixel_count()));
+}
+
+TEST(SegmentReachability, BoundsBracketExactTraversalOnAdversarialCorpus) {
+  // The probe's contract (segment.hpp): pushed_seeds <= processed_pixels <=
+  // reachable_pixels, criterion_tests <= reachable * connectivity, and
+  // every visit falls inside the returned region.
+  for (const test::AdversarialFloodCase& c : test::adversarial_flood_cases()) {
+    SCOPED_TRACE(c.name);
+    const SegmentSpec& spec = c.call.segment;
+    const SegmentReachability reach =
+        probe_segment_reachability(c.frame, spec);
+    SegmentTable<SegmentInfo> table;
+    bool all_inside = true;
+    const SegmentTraversalStats stats =
+        expand_segments(c.frame, spec, table, [&](const SegmentVisit& v) {
+          all_inside = all_inside && reach.region.contains(v.position);
+        });
+    EXPECT_TRUE(all_inside);
+    EXPECT_LE(reach.pushed_seeds, stats.processed_pixels);
+    EXPECT_GE(reach.reachable_pixels, stats.processed_pixels);
+    const i64 conn = spec.connectivity == Connectivity::Four ? 4 : 8;
+    EXPECT_LE(stats.criterion_tests, reach.reachable_pixels * conn);
+  }
 }
 
 }  // namespace

@@ -307,6 +307,168 @@ inline alib::Call random_any_call(Rng& rng, Size size, bool& needs_b) {
   return random_streamed_call(rng, needs_b);
 }
 
+// ---- adversarial flood masks ------------------------------------------------
+//
+// Frame content shaped to hit the segment traversal's structural worst
+// cases instead of random noise: claim-tie storms, maximal geodesic depth,
+// zero-expansion floods, label barriers.  Shared by the segment unit tests
+// and the kernel-vs-functional differential suite.
+
+/// Checkerboard: adjacent pixels alternate between two luma values.  Under
+/// 8-connectivity each color class is one diagonally connected lattice, so
+/// seeds of opposite color interleave their claims across the whole frame
+/// — nearly every admission is a tie between diagonal parents.  Under
+/// 4-connectivity every like-valued pixel is isolated.
+inline img::Image checkerboard_frame(Size size, u8 lo = 16, u8 hi = 200) {
+  img::Image f(size);
+  for (i32 y = 0; y < size.height; ++y) {
+    for (i32 x = 0; x < size.width; ++x) {
+      img::Pixel& p = f.ref(x, y);
+      p.y = ((x ^ y) & 1) != 0 ? hi : lo;
+      p.u = 128;
+      p.v = 128;
+    }
+  }
+  return f;
+}
+
+/// Spiral corridor: a single one-pixel-wide passable path carved inward
+/// from (0, 0), arms separated by walls the luma criterion cannot cross.
+/// A flood from the corridor mouth runs with a frontier of ~1 pixel to a
+/// geodesic depth far beyond the frame dimensions.  The walk carves one
+/// connected path, so its pixel count (returned through `path_pixels`) is
+/// exactly the segment the flood must recover.
+inline img::Image spiral_frame(Size size, i32* path_pixels = nullptr,
+                               u8 path = 200, u8 wall = 16) {
+  img::Pixel wall_px;
+  wall_px.y = wall;
+  wall_px.u = 128;
+  wall_px.v = 128;
+  img::Image f(size, wall_px);
+  const auto carved = [&](Point p) { return f.ref(p.x, p.y).y == path; };
+  static constexpr Point kDirs[4] = {{1, 0}, {0, 1}, {-1, 0}, {0, -1}};
+  Point pos{0, 0};
+  f.ref(0, 0).y = path;
+  i32 count = 1;
+  i32 dir = 0;
+  i32 turns = 0;
+  while (turns < 4) {
+    const Point d = kDirs[dir];
+    const Point n{pos.x + d.x, pos.y + d.y};
+    const Point n2{pos.x + 2 * d.x, pos.y + 2 * d.y};
+    // Advance while the next cell is free and the cell beyond it is not an
+    // earlier arm — that keeps a one-pixel wall between windings.
+    if (!f.contains(n) || carved(n) || (f.contains(n2) && carved(n2))) {
+      dir = (dir + 1) & 3;
+      ++turns;
+      continue;
+    }
+    turns = 0;
+    pos = n;
+    f.ref(n.x, n.y).y = path;
+    ++count;
+  }
+  if (path_pixels != nullptr) *path_pixels = count;
+  return f;
+}
+
+/// Every pixel of `size` as a seed, in scan order: the flood claims the
+/// whole frame at seed-admission time and expands nothing.
+inline std::vector<Point> all_pixel_seeds(Size size) {
+  std::vector<Point> seeds;
+  seeds.reserve(static_cast<std::size_t>(size.width) *
+                static_cast<std::size_t>(size.height));
+  for (i32 y = 0; y < size.height; ++y)
+    for (i32 x = 0; x < size.width; ++x) seeds.push_back({x, y});
+  return seeds;
+}
+
+/// A named adversarial segment call plus the frame that triggers it.
+struct AdversarialFloodCase {
+  const char* name;
+  img::Image frame;
+  alib::Call call;
+};
+
+/// The adversarial corpus: checkerboard tie storms under both
+/// connectivities, the spiral corridor, an all-seed frame (with a
+/// duplicate seed), and a label-barrier flood with a blocked seed.
+inline std::vector<AdversarialFloodCase> adversarial_flood_cases() {
+  using alib::Call;
+  using alib::Connectivity;
+  using alib::Neighborhood;
+  using alib::PixelOp;
+  using alib::SegmentSpec;
+  std::vector<AdversarialFloodCase> cases;
+  const Size size{48, 32};
+  const ChannelMask out = ChannelMask::y().with(Channel::Alfa);
+  {
+    // Two opposite-color seeds interleave two lattice segments; the median
+    // op exercises the sorting-network per-visit path on every claim.
+    SegmentSpec spec;
+    spec.seeds = {{0, 0}, {1, 0}};
+    spec.luma_threshold = 10;
+    spec.connectivity = Connectivity::Eight;
+    cases.push_back({"checkerboard_con8_ties", checkerboard_frame(size),
+                     Call::make_segment(PixelOp::Median, Neighborhood::con8(),
+                                        spec, ChannelMask::y(), out)});
+  }
+  {
+    // Under 4-connectivity every like-valued pixel is isolated: each seed
+    // yields a single-pixel segment.
+    SegmentSpec spec;
+    spec.seeds = {{0, 0}, {5, 7}, {47, 31}, {20, 0}};
+    spec.luma_threshold = 10;
+    spec.connectivity = Connectivity::Four;
+    cases.push_back({"checkerboard_con4_single_pixels",
+                     checkerboard_frame(size),
+                     Call::make_segment(PixelOp::Copy, Neighborhood::con0(),
+                                        spec, ChannelMask::y(), out)});
+  }
+  {
+    // Corridor flood: deep geodesic distances, tiny frontier, and claimed
+    // runs of length ~1 — the deferred-apply splitter's worst case.  The
+    // 5x5 median makes most of the small frame border-handled.
+    SegmentSpec spec;
+    spec.seeds = {{0, 0}};
+    spec.luma_threshold = 10;
+    cases.push_back({"spiral_corridor", spiral_frame(size),
+                     Call::make_segment(PixelOp::Median,
+                                        Neighborhood::rect(5, 5), spec,
+                                        ChannelMask::y(), out)});
+  }
+  {
+    // Every pixel a seed (plus one duplicate, which must yield an empty
+    // segment) under a vacuous criterion: zero expansions, maximal
+    // seed-admission and table-write traffic.
+    SegmentSpec spec;
+    spec.seeds = all_pixel_seeds(size);
+    spec.seeds.push_back({0, 0});
+    spec.luma_threshold = 255;
+    cases.push_back({"all_pixels_seeded",
+                     img::make_test_frame(size, 0xADF5u),
+                     Call::make_segment(PixelOp::Copy, Neighborhood::con0(),
+                                        spec, ChannelMask::y(), out)});
+  }
+  {
+    // Incremental labeling: a pre-labeled stripe walls off the left edge
+    // and blocks one seed outright (empty segment); the other seed floods
+    // the rest of its lattice around the barrier.
+    img::Image frame = checkerboard_frame(size);
+    for (i32 y = 0; y < size.height; ++y)
+      for (i32 x = 8; x < 10; ++x) frame.ref(x, y).alfa = 7;
+    SegmentSpec spec;
+    spec.seeds = {{8, 4}, {20, 10}};
+    spec.luma_threshold = 10;
+    spec.respect_existing_labels = true;
+    spec.id_base = 7;
+    cases.push_back({"label_barrier", std::move(frame),
+                     Call::make_segment(PixelOp::Median, Neighborhood::con8(),
+                                        spec, ChannelMask::y(), out)});
+  }
+  return cases;
+}
+
 // ---- fusion-biased program generator ---------------------------------------
 //
 // Multi-call CallPrograms whose dataflow is biased toward chains of
