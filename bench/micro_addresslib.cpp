@@ -9,6 +9,7 @@
 // the machine-readable record of the host-path optimization.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <string>
@@ -16,6 +17,8 @@
 
 #include "addresslib/addresslib.hpp"
 #include "addresslib/kernels/kernel_backend.hpp"
+#include "analysis/domain.hpp"
+#include "analysis/program.hpp"
 #include "common/parallel.hpp"
 #include "image/synth.hpp"
 
@@ -279,6 +282,95 @@ void register_kern_benchmarks() {
   }
 }
 
+// ---- clamp elision: proven clamp-free kernels vs their clamped twins -------
+//
+// Each pair runs the SAME call through the kernel backend at one thread,
+// once untouched (every store goes through img::clamp_channel) and once
+// with Call::clamp_free stamped by the aedom value-interval analysis — the
+// hint is derived, not asserted: the call is wrapped in a one-call program,
+// analyze_domain proves the raw result range, and apply_domain_hints writes
+// the mask back.  The gate below (>= 1.15x on at least one pair) is the
+// measured claim that the proof pays for itself.
+
+struct ClampWorkload {
+  std::string name;
+  alib::Call clamped;  ///< baseline: Call::clamp_free left empty
+  alib::Call hinted;   ///< same call, clamp_free proven by analyze_domain
+  bool needs_b = false;
+};
+
+/// Runs `call` through a one-call program so analyze_domain can prove its
+/// raw result ranges, and returns the call with Call::clamp_free stamped.
+alib::Call domain_hinted(const alib::Call& call, bool needs_b) {
+  analysis::CallProgram p;
+  const i32 a = p.add_input(cif_a().size());
+  const i32 b = needs_b ? p.add_input(cif_a().size()) : analysis::kNoFrame;
+  p.mark_output(p.add_call(call, a, b));
+  analysis::apply_domain_hints(p, analysis::analyze_domain(p));
+  return p.calls()[0].call;
+}
+
+std::vector<ClampWorkload>& clamp_workloads() {
+  static std::vector<ClampWorkload> w = [] {
+    using alib::Call;
+    using alib::Neighborhood;
+    using alib::OpParams;
+    using alib::PixelOp;
+    std::vector<ClampWorkload> v;
+    {
+      // Multiplicative blend, (a * b) >> 8 on all three video channels:
+      // the raw product of two 8-bit values shifted by 8 is provably
+      // <= 254, so the domain proves Y/U/V clamp-free and the backend's
+      // 8-lane u16 multiply path replaces the widened i64 scalar loop.
+      OpParams p;
+      p.shift = 8;
+      const Call c = Call::make_inter(PixelOp::Mult, ChannelMask::yuv(),
+                                      ChannelMask::yuv(), p);
+      v.push_back({"InterMultBlend", c, domain_hinted(c, true), true});
+    }
+    {
+      // Pointwise halving scale, (v * 1) >> 1: raw result provably
+      // <= 127, so the per-pixel clamp is elided on the scalar path.
+      OpParams p;
+      p.scale_num = 1;
+      p.shift = 1;
+      const Call c =
+          Call::make_intra(PixelOp::Scale, Neighborhood::con0(),
+                           ChannelMask::yuv(), ChannelMask::yuv(), p);
+      v.push_back({"IntraScaleHalf", c, domain_hinted(c, false), false});
+    }
+    return v;
+  }();
+  return w;
+}
+
+void run_clamp_kernel(benchmark::State& state, const alib::Call& call,
+                      bool needs_b) {
+  par::ThreadPool pool(1);
+  alib::KernelBackend backend({&pool, 16});
+  const img::Image& a = cif_a();
+  const img::Image* b = needs_b ? &cif_b() : nullptr;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(backend.execute(call, a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * a.pixel_count());
+}
+
+void register_clamp_benchmarks() {
+  for (const ClampWorkload& w : clamp_workloads()) {
+    benchmark::RegisterBenchmark(
+        ("BM_Clamp_" + w.name + "_Clamped_T1").c_str(),
+        [&w](benchmark::State& s) { run_clamp_kernel(s, w.clamped,
+                                                     w.needs_b); })
+        ->UseRealTime();
+    benchmark::RegisterBenchmark(
+        ("BM_Clamp_" + w.name + "_NoClamp_T1").c_str(),
+        [&w](benchmark::State& s) { run_clamp_kernel(s, w.hinted,
+                                                     w.needs_b); })
+        ->UseRealTime();
+  }
+}
+
 // Captures every run's items_per_second on top of the normal console output.
 class RateCaptureReporter : public benchmark::ConsoleReporter {
  public:
@@ -333,6 +425,26 @@ void write_kernels_json(const std::map<std::string, double>& rates) {
     std::fprintf(f, " \"speedup_t4\": %.2f,", t4 / interp);
     std::fprintf(f, " \"scaling_t4_over_t1\": %.2f}", t4 / t1);
   }
+  std::fprintf(f, "\n  ],\n");
+  // Clamp-elision pairs: the clamped baseline is the "before", the
+  // domain-hinted clamp-free twin the "after".
+  std::fprintf(f, "  \"clamp_elision\": [");
+  first = true;
+  for (const ClampWorkload& w : clamp_workloads()) {
+    const double clamped =
+        rate_of(rates, "BM_Clamp_" + w.name + "_Clamped_T1");
+    const double noclamp =
+        rate_of(rates, "BM_Clamp_" + w.name + "_NoClamp_T1");
+    if (clamped <= 0.0 || noclamp <= 0.0) continue;
+    std::fprintf(f, "%s\n    {\"name\": \"%s\",", first ? "" : ",",
+                 w.name.c_str());
+    first = false;
+    std::fprintf(f, " \"clamp_free\": \"%s\",",
+                 to_string(w.hinted.clamp_free).c_str());
+    std::fprintf(f, " \"clamped_t1_pixels_per_s\": %.0f,", clamped);
+    std::fprintf(f, " \"noclamp_t1_pixels_per_s\": %.0f,", noclamp);
+    std::fprintf(f, " \"speedup_t1\": %.2f}", noclamp / clamped);
+  }
   std::fprintf(f, "\n  ]\n}\n");
   std::fclose(f);
   std::printf("wrote BENCH_kernels.json\n");
@@ -364,6 +476,27 @@ bool enforce_gates(const std::map<std::string, double>& rates) {
                 pass ? "ok" : "FAIL");
     ok = ok && pass;
   }
+  // Clamp-elision gate: at least one proven clamp-free pointwise kernel
+  // must beat its clamped twin by >= 1.15x single-threaded.  Pairs that
+  // were filtered out of the run are skipped, as above.
+  double best = 0.0;
+  bool any_pair = false;
+  for (const ClampWorkload& w : clamp_workloads()) {
+    const double clamped =
+        rate_of(rates, "BM_Clamp_" + w.name + "_Clamped_T1");
+    const double noclamp =
+        rate_of(rates, "BM_Clamp_" + w.name + "_NoClamp_T1");
+    if (clamped <= 0.0 || noclamp <= 0.0) continue;
+    any_pair = true;
+    best = std::max(best, noclamp / clamped);
+  }
+  if (any_pair) {
+    const bool pass = best >= 1.15;
+    std::printf("gate %-18s best noclamp/clamped %5.2fx "
+                "(need >= 1.15x on one pair): %s\n",
+                "ClampElision", best, pass ? "ok" : "FAIL");
+    ok = ok && pass;
+  }
   return ok;
 }
 
@@ -371,6 +504,7 @@ bool enforce_gates(const std::map<std::string, double>& rates) {
 
 int main(int argc, char** argv) {
   register_kern_benchmarks();
+  register_clamp_benchmarks();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   RateCaptureReporter reporter;

@@ -144,6 +144,15 @@ struct Call {
   /// touched.
   std::vector<FusedStage> fused;
 
+  /// Advisory proof-carrying hint, set by analysis::apply_domain_hints:
+  /// for each channel in the mask, the base op's raw pre-clamp result is
+  /// proven inside [0, channel max] for every pixel, so a backend may lower
+  /// to a clamp-free kernel variant (bit-exact by the proof).  Backends are
+  /// free to ignore it; the functional interpreter always clamps.  Not
+  /// serialized — re-derivable from the program, and dropping it only costs
+  /// the specialization, never correctness.
+  ChannelMask clamp_free = ChannelMask::none();
+
   /// Builders for the common shapes.
   static Call make_inter(PixelOp op, ChannelMask in = ChannelMask::y(),
                          ChannelMask out = ChannelMask::y(),

@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "addresslib/kernels/row_kernels.hpp"
+#include "addresslib/kernels/simd.hpp"
 
 namespace ae::alib::kern {
 namespace {
@@ -24,13 +25,76 @@ void inter_channel_row(const InterRowArgs& args) {
   }
 }
 
+/// Clamp-free lowering, taken only when the channel is in args.no_clamp:
+/// the raw op result is proven in [0, channel max] for every pixel
+/// (Call::clamp_free, stamped by analysis::apply_domain_hints), so u16
+/// wrapping arithmetic is exact — Add cannot carry past 2^16, Sub cannot
+/// borrow, and the final clamp is a proven no-op.  Mult's 8-bit-channel
+/// product fits u16 before the shift (255 * 255 < 2^16) so the SIMD low
+/// multiply is exact; 16-bit channels widen to u32 on the scalar tail path.
+template <PixelOp Op, Channel C>
+void inter_channel_row_nc(const InterRowArgs& args) {
+  const img::Pixel* a = args.a;
+  const img::Pixel* b = args.b;
+  img::Pixel* out = args.out;
+  const i32 shift = static_cast<i32>(args.params->shift);
+  constexpr bool kSimdOk =
+      Op == PixelOp::Add || Op == PixelOp::Sub ||
+      (Op == PixelOp::Mult && img::channel_bits(C) == 8);
+  i32 i = 0;
+  if constexpr (kSimdOk) {
+    alignas(16) u16 la[simd::kU16Lanes];
+    alignas(16) u16 lb[simd::kU16Lanes];
+    alignas(16) u16 lr[simd::kU16Lanes];
+    for (; i + simd::kU16Lanes <= args.n; i += simd::kU16Lanes) {
+      for (i32 l = 0; l < simd::kU16Lanes; ++l) {
+        la[l] = a[i + l].get(C);
+        lb[l] = b[i + l].get(C);
+      }
+      const simd::U16x8 va = simd::load(la);
+      const simd::U16x8 vb = simd::load(lb);
+      simd::U16x8 vr;
+      if constexpr (Op == PixelOp::Add) {
+        vr = simd::add(va, vb);
+      } else if constexpr (Op == PixelOp::Sub) {
+        vr = simd::sub(va, vb);
+      } else {
+        vr = simd::shr(simd::mullo(va, vb), shift);
+      }
+      simd::store(lr, vr);
+      for (i32 l = 0; l < simd::kU16Lanes; ++l) out[i + l].set(C, lr[l]);
+    }
+  }
+  for (; i < args.n; ++i) {
+    const u32 av = a[i].get(C);
+    const u32 bv = b[i].get(C);
+    u32 v;
+    if constexpr (Op == PixelOp::Add) {
+      v = av + bv;
+    } else if constexpr (Op == PixelOp::Sub) {
+      v = av - bv;
+    } else {
+      v = (av * bv) >> shift;
+    }
+    out[i].set(C, static_cast<u16>(v));
+  }
+}
+
 template <PixelOp Op>
 void inter_row(const InterRowArgs& args) {
   // Pass-through baseline, exactly apply_inter's `result = a`.
   std::memcpy(args.out, args.a,
               sizeof(img::Pixel) * static_cast<std::size_t>(args.n));
   for_each_mask_channel(args.mask, [&](auto tag) {
-    inter_channel_row<Op, decltype(tag)::value>(args);
+    constexpr Channel kC = decltype(tag)::value;
+    if constexpr (Op == PixelOp::Add || Op == PixelOp::Sub ||
+                  Op == PixelOp::Mult) {
+      if (args.no_clamp.contains(kC)) {
+        inter_channel_row_nc<Op, kC>(args);
+        return;
+      }
+    }
+    inter_channel_row<Op, kC>(args);
   });
   if constexpr (Op == PixelOp::Sad) {
     // Side accumulator: sum of |a - b| over the masked video channels.

@@ -139,7 +139,17 @@ inline i64 sobel_gy(const img::Pixel* p, i32 s) {
           p[-s + 1].get(C));
 }
 
-template <PixelOp Op, Channel C>
+/// Final store of a per-channel result.  NoClamp is taken only when the
+/// channel is in plan.no_clamp: the raw value is proven in
+/// [0, channel max] for every pixel (Call::clamp_free), so the clamp is a
+/// proven no-op and the narrowing cast is exact.
+template <Channel C, bool NoClamp>
+inline u16 settle(i64 v) {
+  if constexpr (NoClamp) return static_cast<u16>(v);
+  return img::clamp_channel(C, v);
+}
+
+template <PixelOp Op, Channel C, bool NoClamp = false>
 void intra_channel_seg(const IntraRowArgs& args) {
   const IntraPlan& plan = *args.plan;
   const OpParams& params = *plan.params;
@@ -157,7 +167,7 @@ void intra_channel_seg(const IntraRowArgs& args) {
         acc += static_cast<i64>(params.coeffs[i]) * p[flat[i]].get(C);
       acc >>= params.shift;
       acc += params.bias;
-      out[x].set(C, img::clamp_channel(C, acc));
+      out[x].set(C, settle<C, NoClamp>(acc));
     } else if constexpr (Op == PixelOp::GradientX) {
       const i64 g = sobel_gx<C>(p, s);
       out[x].set(C, img::clamp_channel(C, (g < 0 ? -g : g) >> params.shift));
@@ -200,7 +210,7 @@ void intra_channel_seg(const IntraRowArgs& args) {
       const i64 v = ((static_cast<i64>(p->get(C)) * params.scale_num) >>
                      params.shift) +
                     params.bias;
-      out[x].set(C, img::clamp_channel(C, v));
+      out[x].set(C, settle<C, NoClamp>(v));
     } else {
       static_assert(Op == PixelOp::Convolve, "op has no per-channel kernel");
     }
@@ -326,7 +336,14 @@ void intra_row(const IntraRowArgs& args) {
     });
   } else {
     for_each_mask_channel(plan.mask, [&](auto tag) {
-      intra_channel_seg<Op, decltype(tag)::value>(args);
+      constexpr Channel kC = decltype(tag)::value;
+      if constexpr (Op == PixelOp::Convolve || Op == PixelOp::Scale) {
+        if (plan.no_clamp.contains(kC)) {
+          intra_channel_seg<Op, kC, true>(args);
+          return;
+        }
+      }
+      intra_channel_seg<Op, kC>(args);
     });
   }
 }

@@ -12,11 +12,16 @@ namespace {
 
 // The per-call lowering shared by the intra and segment paths: canonical
 // neighborhood offsets -> flat strides, plus the median network when the op
-// needs one.
-kern::IntraPlan build_intra_plan(const Call& call, i32 stride) {
+// needs one.  `no_clamp` forwards Call::clamp_free on the streamed intra
+// path only; the segment path passes none() — its per-visit op runs through
+// the flood's deferred-apply path, which the clamp-free proof does not
+// cover.
+kern::IntraPlan build_intra_plan(const Call& call, i32 stride,
+                                 ChannelMask no_clamp) {
   kern::IntraPlan plan;
   plan.stride = stride;
   plan.mask = call.out_channels;
+  plan.no_clamp = no_clamp;
   plan.params = &call.params;
   plan.flat.reserve(call.nbhd.size());
   for (const Point o : call.nbhd.offsets()) {
@@ -98,6 +103,7 @@ CallResult KernelBackend::execute_inter(const Call& call, const img::Image& a,
       args.out = po + row;
       args.n = w;
       args.mask = call.out_channels;
+      args.no_clamp = call.clamp_free;
       args.params = &call.params;
       args.side = &side;
       row_fn(args);
@@ -118,7 +124,7 @@ CallResult KernelBackend::execute_intra(const Call& call,
   result.output = img::Image(a.size());
 
   // Lower the neighborhood once: canonical offsets -> flat strides.
-  const kern::IntraPlan plan = build_intra_plan(call, w);
+  const kern::IntraPlan plan = build_intra_plan(call, w, call.clamp_free);
 
   const Rect interior = interior_rect(call.nbhd, w, h);
   const i32 x_lo = interior.x;
@@ -195,7 +201,7 @@ CallResult KernelBackend::execute_segment(const Call& call,
   const SegmentReachability reach = probe_segment_reachability(a, call.segment);
   const Rect region = reach.region;
 
-  const kern::IntraPlan plan = build_intra_plan(call, w);
+  const kern::IntraPlan plan = build_intra_plan(call, w, ChannelMask::none());
   const kern::IntraRowFn row_fn = kern::lower_intra_row(call.op);
   const Rect interior = interior_rect(call.nbhd, w, a.height());
   ImageWindow window(a, call.border, call.params.border_constant);

@@ -31,6 +31,9 @@ struct InterRowArgs {
   img::Pixel* out = nullptr;
   i32 n = 0;
   ChannelMask mask;                  ///< output channel mask
+  /// Channels whose raw op result is proven in [0, channel max] for every
+  /// pixel (Call::clamp_free) — the kernel may take a clamp-free lowering.
+  ChannelMask no_clamp;
   const OpParams* params = nullptr;
   SideAccum* side = nullptr;
 };
@@ -82,6 +85,9 @@ struct IntraPlan {
   std::vector<i32> flat_neighbors;  ///< flat without the center offset
   i32 stride = 0;                   ///< input row stride in pixels
   ChannelMask mask;                 ///< output channel mask
+  /// Channels whose raw op result is proven in [0, channel max] for every
+  /// pixel (Call::clamp_free) — the kernel may take a clamp-free lowering.
+  ChannelMask no_clamp;
   const OpParams* params = nullptr;
   const MedianNetwork* median = nullptr;  ///< set when op == Median
 };

@@ -3,9 +3,14 @@
 // Every AddressLib channel widens to u16 (image/pixel.hpp), so one vector
 // type covers the whole op set: SSE2 on x86-64 (part of the baseline ISA —
 // no AE_NATIVE required), NEON on aarch64, and a scalar struct everywhere
-// else that compilers auto-vectorize or at worst unroll.  Only the
-// operations the sorting-network median needs are provided; grow it when
-// another kernel wants lanes.
+// else that compilers auto-vectorize or at worst unroll.  Grown on demand:
+// the sorting-network median wants min/max, the clamp-free pointwise
+// kernels (inter_kernels.cpp) want wrapping/saturating add/sub, a low
+// multiply and a runtime right shift.
+//
+// Defining AE_SIMD_FORCE_SCALAR selects the scalar struct regardless of the
+// host ISA — the boundary-value suite builds the same tests twice and
+// cross-checks the vector and scalar lowerings at the domain extremes.
 //
 // SSE2 has no unsigned 16-bit min/max (those arrive with SSE4.1), but
 // saturating subtraction gives both exactly:
@@ -15,7 +20,9 @@
 
 #include "common/types.hpp"
 
-#if defined(__SSE2__) || defined(_M_X64) || \
+#if defined(AE_SIMD_FORCE_SCALAR)
+// scalar fallback selected explicitly
+#elif defined(__SSE2__) || defined(_M_X64) || \
     (defined(_M_IX86_FP) && _M_IX86_FP >= 2)
 #define AE_SIMD_SSE2 1
 #include <emmintrin.h>
@@ -46,6 +53,20 @@ inline U16x8 min(U16x8 a, U16x8 b) {
 inline U16x8 max(U16x8 a, U16x8 b) {
   return {_mm_add_epi16(b.v, _mm_subs_epu16(a.v, b.v))};
 }
+/// Wrapping (mod 2^16) lane add/sub — exact only when the caller proves the
+/// true result fits u16 (the clamp-free kernels' precondition).
+inline U16x8 add(U16x8 a, U16x8 b) { return {_mm_add_epi16(a.v, b.v)}; }
+inline U16x8 sub(U16x8 a, U16x8 b) { return {_mm_sub_epi16(a.v, b.v)}; }
+/// Saturating lane add/sub (clamp to [0, 0xFFFF]).
+inline U16x8 adds(U16x8 a, U16x8 b) { return {_mm_adds_epu16(a.v, b.v)}; }
+inline U16x8 subs(U16x8 a, U16x8 b) { return {_mm_subs_epu16(a.v, b.v)}; }
+/// Low 16 bits of the lane product — exact when the full product fits u16
+/// (always true for two 8-bit channel values: 255 * 255 < 2^16).
+inline U16x8 mullo(U16x8 a, U16x8 b) { return {_mm_mullo_epi16(a.v, b.v)}; }
+/// Logical lane right shift by a runtime count in [0, 15].
+inline U16x8 shr(U16x8 a, i32 count) {
+  return {_mm_srl_epi16(a.v, _mm_cvtsi32_si128(count))};
+}
 
 #elif defined(AE_SIMD_NEON)
 
@@ -57,6 +78,14 @@ inline U16x8 load(const u16* p) { return {vld1q_u16(p)}; }
 inline void store(u16* p, U16x8 a) { vst1q_u16(p, a.v); }
 inline U16x8 min(U16x8 a, U16x8 b) { return {vminq_u16(a.v, b.v)}; }
 inline U16x8 max(U16x8 a, U16x8 b) { return {vmaxq_u16(a.v, b.v)}; }
+inline U16x8 add(U16x8 a, U16x8 b) { return {vaddq_u16(a.v, b.v)}; }
+inline U16x8 sub(U16x8 a, U16x8 b) { return {vsubq_u16(a.v, b.v)}; }
+inline U16x8 adds(U16x8 a, U16x8 b) { return {vqaddq_u16(a.v, b.v)}; }
+inline U16x8 subs(U16x8 a, U16x8 b) { return {vqsubq_u16(a.v, b.v)}; }
+inline U16x8 mullo(U16x8 a, U16x8 b) { return {vmulq_u16(a.v, b.v)}; }
+inline U16x8 shr(U16x8 a, i32 count) {
+  return {vshlq_u16(a.v, vdupq_n_s16(static_cast<i16>(-count)))};
+}
 
 #else
 
@@ -82,6 +111,44 @@ inline U16x8 max(U16x8 a, U16x8 b) {
   U16x8 r;
   for (i32 i = 0; i < kU16Lanes; ++i) r.v[i] = a.v[i] > b.v[i] ? a.v[i]
                                                                : b.v[i];
+  return r;
+}
+inline U16x8 add(U16x8 a, U16x8 b) {
+  U16x8 r;
+  for (i32 i = 0; i < kU16Lanes; ++i)
+    r.v[i] = static_cast<u16>(static_cast<u32>(a.v[i]) + b.v[i]);
+  return r;
+}
+inline U16x8 sub(U16x8 a, U16x8 b) {
+  U16x8 r;
+  for (i32 i = 0; i < kU16Lanes; ++i)
+    r.v[i] = static_cast<u16>(static_cast<u32>(a.v[i]) - b.v[i]);
+  return r;
+}
+inline U16x8 adds(U16x8 a, U16x8 b) {
+  U16x8 r;
+  for (i32 i = 0; i < kU16Lanes; ++i) {
+    const u32 s = static_cast<u32>(a.v[i]) + b.v[i];
+    r.v[i] = s > 0xFFFFu ? u16{0xFFFF} : static_cast<u16>(s);
+  }
+  return r;
+}
+inline U16x8 subs(U16x8 a, U16x8 b) {
+  U16x8 r;
+  for (i32 i = 0; i < kU16Lanes; ++i)
+    r.v[i] = a.v[i] > b.v[i] ? static_cast<u16>(a.v[i] - b.v[i]) : u16{0};
+  return r;
+}
+inline U16x8 mullo(U16x8 a, U16x8 b) {
+  U16x8 r;
+  for (i32 i = 0; i < kU16Lanes; ++i)
+    r.v[i] = static_cast<u16>(static_cast<u32>(a.v[i]) * b.v[i]);
+  return r;
+}
+inline U16x8 shr(U16x8 a, i32 count) {
+  U16x8 r;
+  for (i32 i = 0; i < kU16Lanes; ++i)
+    r.v[i] = static_cast<u16>(a.v[i] >> count);
   return r;
 }
 

@@ -1,0 +1,730 @@
+#include "analysis/domain.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "analysis/diagnostic.hpp"
+#include "image/pixel.hpp"
+
+namespace ae::analysis {
+namespace {
+
+using alib::BorderPolicy;
+using alib::Call;
+using alib::Mode;
+using alib::Neighborhood;
+using alib::OpParams;
+using alib::PixelOp;
+
+u16 channel_max(Channel c) {
+  return img::channel_bits(c) == 8 ? 255 : 0xFFFF;
+}
+
+/// An interval of the RAW (pre-clamp) op result, in the i64 arithmetic the
+/// kernels compute in.  `uniform` claims every pixel yields the same value.
+struct RawBound {
+  i64 lo = 0;
+  i64 hi = 0;
+  bool uniform = false;
+};
+
+/// Normalizing constructor: a one-point interval is uniform by definition
+/// (every pixel's value is that point).
+ChannelInterval make_interval(u16 lo, u16 hi, bool uniform) {
+  return ChannelInterval{lo, hi, uniform || lo == hi};
+}
+
+/// The clamp's transfer function: clamp_channel is monotone, so clamping
+/// the raw endpoints bounds the clamped values; equal pixels stay equal.
+ChannelInterval clamped(Channel c, const RawBound& r) {
+  return make_interval(img::clamp_channel(c, r.lo), img::clamp_channel(c, r.hi),
+                       r.uniform);
+}
+
+/// True when the clamp is proven a no-op: every raw value already lies in
+/// the channel's range.  This is the clamp_free proof obligation.
+bool raw_in_range(Channel c, const RawBound& r) {
+  return r.lo >= 0 && r.hi <= static_cast<i64>(channel_max(c));
+}
+
+/// Smallest all-ones value >= v — the tightest power-of-two-minus-one upper
+/// bound on bitwise OR/XOR results.
+i64 ones_up(i64 v) {
+  i64 r = 0;
+  while (r < v) r = (r << 1) | 1;
+  return r;
+}
+
+RawBound absdiff_raw(const ChannelInterval& ia, const ChannelInterval& ib,
+                     bool uniform) {
+  i64 lo = 0;
+  if (static_cast<i64>(ia.lo) > ib.hi) lo = static_cast<i64>(ia.lo) - ib.hi;
+  if (static_cast<i64>(ib.lo) > ia.hi) lo = static_cast<i64>(ib.lo) - ia.hi;
+  const i64 hi = std::max(static_cast<i64>(ia.hi) - ib.lo,
+                          static_cast<i64>(ib.hi) - ia.lo);
+  return RawBound{lo, std::max(lo, hi), uniform};
+}
+
+/// Raw transfer of one inter-op channel; mirrors
+/// alib::detail::inter_channel_value case for case.
+RawBound inter_raw(PixelOp op, const OpParams& params, Channel c,
+                   const ChannelInterval& ia, const ChannelInterval& ib) {
+  const bool uni = ia.uniform && ib.uniform;
+  // Two proven constants evaluate exactly through the real kernel — one
+  // code path, zero transfer drift.
+  if (ia.constant() && ib.constant()) {
+    const i64 v = alib::detail::inter_channel_value(op, params, c, ia.lo, ib.lo);
+    return RawBound{v, v, true};
+  }
+  switch (op) {
+    case PixelOp::Copy:
+      return RawBound{ia.lo, ia.hi, ia.uniform};
+    case PixelOp::Add:
+      return RawBound{static_cast<i64>(ia.lo) + ib.lo,
+                      static_cast<i64>(ia.hi) + ib.hi, uni};
+    case PixelOp::Sub:
+      return RawBound{static_cast<i64>(ia.lo) - ib.hi,
+                      static_cast<i64>(ia.hi) - ib.lo, uni};
+    case PixelOp::AbsDiff:
+    case PixelOp::Sad:
+      return absdiff_raw(ia, ib, uni);
+    case PixelOp::Mult:
+      return RawBound{(static_cast<i64>(ia.lo) * ib.lo) >> params.shift,
+                      (static_cast<i64>(ia.hi) * ib.hi) >> params.shift, uni};
+    case PixelOp::Min:
+      return RawBound{std::min<i64>(ia.lo, ib.lo), std::min<i64>(ia.hi, ib.hi),
+                      uni};
+    case PixelOp::Max:
+      return RawBound{std::max<i64>(ia.lo, ib.lo), std::max<i64>(ia.hi, ib.hi),
+                      uni};
+    case PixelOp::Average:
+      return RawBound{(static_cast<i64>(ia.lo) + ib.lo + 1) / 2,
+                      (static_cast<i64>(ia.hi) + ib.hi + 1) / 2, uni};
+    case PixelOp::DiffMask: {
+      const RawBound d = absdiff_raw(ia, ib, uni);
+      const i64 maxv = channel_max(c);
+      if (d.lo > params.threshold) return RawBound{maxv, maxv, true};
+      if (d.hi <= params.threshold) return RawBound{0, 0, true};
+      return RawBound{0, maxv, uni};
+    }
+    case PixelOp::BitAnd:
+      return RawBound{0, std::min<i64>(ia.hi, ib.hi), uni};
+    case PixelOp::BitOr:
+      return RawBound{std::max<i64>(ia.lo, ib.lo),
+                      ones_up(std::max<i64>(ia.hi, ib.hi)), uni};
+    case PixelOp::BitXor:
+      return RawBound{0, ones_up(std::max<i64>(ia.hi, ib.hi)), uni};
+    default:
+      break;
+  }
+  return RawBound{0, channel_max(c), false};  // sound fallback
+}
+
+bool is_gme_op(PixelOp op) {
+  return op == PixelOp::GmeAccum || op == PixelOp::GmeAccumAffine ||
+         op == PixelOp::GmePerspective;
+}
+
+/// True when the op accumulates into the side port — results a pure
+/// frame-identity proof cannot cover.
+bool has_side_port(PixelOp op) {
+  return op == PixelOp::Sad || op == PixelOp::Histogram || is_gme_op(op);
+}
+
+/// The Sobel-family ops read the fixed 3x3 window regardless of the
+/// declared neighborhood, so the border is always reachable for them.
+bool reads_sobel_window(PixelOp op) {
+  return op == PixelOp::GradientX || op == PixelOp::GradientY ||
+         op == PixelOp::GradientMag || op == PixelOp::GradientPack;
+}
+
+/// Abstract value any neighborhood tap can read: the frame interval, joined
+/// with the border constant when off-center taps can reach outside the
+/// frame under BorderPolicy::Constant.  Replicate borders re-read frame
+/// pixels, so they preserve both the interval and uniformity.
+ChannelInterval window_interval(const Call& call, const Neighborhood& nbhd,
+                                const FrameDomain& a, Channel c) {
+  const ChannelInterval& iv = a.of(c);
+  bool off_center = reads_sobel_window(call.op);
+  if (!off_center) {
+    for (const Point o : nbhd.offsets()) {
+      if (o == Point{0, 0}) continue;
+      off_center = true;
+      break;
+    }
+  }
+  if (!off_center || call.border != BorderPolicy::Constant) return iv;
+  return join(iv, ChannelInterval::exact(call.params.border_constant.get(c)));
+}
+
+void merge_clamp_free(ChannelMask& mask, Channel c, const RawBound& r) {
+  if (raw_in_range(c, r)) mask = mask.with(c);
+}
+
+/// Transfer of one intra-style op application (also the per-visit op of
+/// segment calls and, with a CON_0 neighborhood, fused stages): mirrors
+/// alib::apply_intra.  `a` abstracts the frame the window reads;
+/// pass-through channels keep the center's interval.
+CallDomain intra_transfer(const Call& call, PixelOp op, const OpParams& params,
+                          const Neighborhood& nbhd, ChannelMask out,
+                          const FrameDomain& a) {
+  CallDomain r;
+  r.result = a;  // result starts as the center pixel
+
+  const auto for_each_out = [&](auto&& fn) {
+    for (int ci = 0; ci < kChannelCount; ++ci) {
+      const auto c = static_cast<Channel>(ci);
+      if (out.contains(c)) fn(c);
+    }
+  };
+  const auto window = [&](Channel c) {
+    return window_interval(call, nbhd, a, c);
+  };
+
+  switch (op) {
+    case PixelOp::Copy:
+      break;
+    case PixelOp::Convolve:
+      for_each_out([&](Channel c) {
+        const ChannelInterval w = window(c);
+        i64 acc_lo = 0;
+        i64 acc_hi = 0;
+        for (const i32 coeff : params.coeffs) {
+          if (coeff >= 0) {
+            acc_lo += static_cast<i64>(coeff) * w.lo;
+            acc_hi += static_cast<i64>(coeff) * w.hi;
+          } else {
+            acc_lo += static_cast<i64>(coeff) * w.hi;
+            acc_hi += static_cast<i64>(coeff) * w.lo;
+          }
+        }
+        // Arithmetic shift is monotone, so shifting the endpoints bounds
+        // every shifted accumulator.
+        const RawBound raw{(acc_lo >> params.shift) + params.bias,
+                           (acc_hi >> params.shift) + params.bias, w.uniform};
+        r.result.of(c) = clamped(c, raw);
+        merge_clamp_free(r.clamp_free, c, raw);
+      });
+      break;
+    case PixelOp::GradientX:
+    case PixelOp::GradientY:
+    case PixelOp::GradientMag:
+      for_each_out([&](Channel c) {
+        const ChannelInterval w = window(c);
+        // |sobel| <= 4 * (largest pixel difference in the window): the
+        // positive taps weigh 4 in total, as do the negative ones.  A
+        // uniform window cancels exactly.
+        const i64 hi = w.uniform ? 0 : (4 * w.width()) >> params.shift;
+        r.result.of(c) = clamped(c, RawBound{0, hi, w.uniform});
+      });
+      break;
+    case PixelOp::MorphGradient:
+      for_each_out([&](Channel c) {
+        const ChannelInterval w = window(c);
+        const i64 hi = w.uniform ? 0 : w.width();
+        r.result.of(c) = clamped(c, RawBound{0, hi, w.uniform});
+      });
+      break;
+    case PixelOp::Erode:
+    case PixelOp::Dilate:
+    case PixelOp::Median:
+      // Order statistics of the window never leave the window's interval,
+      // and a uniform window has only one value to pick.
+      for_each_out([&](Channel c) { r.result.of(c) = window(c); });
+      break;
+    case PixelOp::Threshold:
+      for_each_out([&](Channel c) {
+        const ChannelInterval& ctr = a.of(c);
+        const u16 maxv = channel_max(c);
+        if (static_cast<i64>(ctr.lo) > params.threshold)
+          r.result.of(c) = ChannelInterval::exact(maxv);
+        else if (static_cast<i64>(ctr.hi) <= params.threshold)
+          r.result.of(c) = ChannelInterval::exact(0);
+        else
+          r.result.of(c) = make_interval(0, maxv, ctr.uniform);
+      });
+      break;
+    case PixelOp::Scale:
+      for_each_out([&](Channel c) {
+        const ChannelInterval& ctr = a.of(c);
+        const auto f = [&](i64 v) {
+          return ((v * params.scale_num) >> params.shift) + params.bias;
+        };
+        // f is monotone for scale_num >= 0 and antitone below; either way
+        // the extreme values sit at the interval endpoints.
+        const i64 e0 = f(ctr.lo);
+        const i64 e1 = f(ctr.hi);
+        const RawBound raw{std::min(e0, e1), std::max(e0, e1), ctr.uniform};
+        r.result.of(c) = clamped(c, raw);
+        merge_clamp_free(r.clamp_free, c, raw);
+      });
+      break;
+    case PixelOp::Homogeneity: {
+      // Writes Aux (max center/neighbor channel distance) and Alfa (the
+      // verdict) regardless of the out mask; video channels pass through.
+      bool any_neighbor = false;
+      for (const Point o : nbhd.offsets())
+        if (!(o == Point{0, 0})) any_neighbor = true;
+      i64 diff_hi = 0;
+      bool uni = true;
+      if (any_neighbor) {
+        for (const Channel c : {Channel::Y, Channel::U, Channel::V}) {
+          const ChannelInterval w = window(c);
+          if (!w.uniform) uni = false;
+          diff_hi = std::max(diff_hi, w.width());
+        }
+        if (uni) diff_hi = 0;  // neighbors proven equal to the center
+      }
+      r.result.of(Channel::Aux) =
+          clamped(Channel::Aux, RawBound{0, diff_hi, !any_neighbor || uni});
+      if (diff_hi <= params.threshold)
+        r.result.of(Channel::Alfa) = ChannelInterval::exact(1);
+      else if (params.threshold < 0)
+        r.result.of(Channel::Alfa) = ChannelInterval::exact(0);
+      else
+        r.result.of(Channel::Alfa) = ChannelInterval::range(0, 1);
+      break;
+    }
+    case PixelOp::Histogram:
+      break;  // result = center; the histogram lives on the side port
+    case PixelOp::TableLookup: {
+      // Alfa only: ids inside the table map through it, ids at or beyond
+      // its size pass through unchanged.
+      if (params.table.empty()) break;
+      const ChannelInterval& ca = a.of(Channel::Alfa);
+      const i64 size = static_cast<i64>(params.table.size());
+      ChannelInterval acc;
+      bool have = false;
+      if (ca.lo < size) {
+        const i64 last = std::min<i64>(ca.hi, size - 1);
+        u16 mn = 0xFFFF;
+        u16 mx = 0;
+        for (i64 i = ca.lo; i <= last; ++i) {
+          mn = std::min(mn, params.table[static_cast<std::size_t>(i)]);
+          mx = std::max(mx, params.table[static_cast<std::size_t>(i)]);
+        }
+        acc = ChannelInterval::range(mn, mx);
+        have = true;
+      }
+      if (static_cast<i64>(ca.hi) >= size) {
+        const ChannelInterval pass = ChannelInterval::range(
+            static_cast<u16>(std::max<i64>(ca.lo, size)), ca.hi);
+        acc = have ? join(acc, pass) : pass;
+      }
+      // A uniform Alfa plane maps every pixel through the same table slot.
+      r.result.of(Channel::Alfa) = make_interval(acc.lo, acc.hi, ca.uniform);
+      break;
+    }
+    case PixelOp::GradientPack: {
+      // Signed Y Sobel gradients biased by kGradBias into Alfa/Aux,
+      // regardless of the out mask.
+      const ChannelInterval w = window(Channel::Y);
+      const i64 spread = w.uniform ? 0 : 4 * w.width();
+      const RawBound raw{alib::kGradBias - spread, alib::kGradBias + spread,
+                         w.uniform};
+      const u16 lo = img::clamp_u16(raw.lo);
+      const u16 hi = img::clamp_u16(raw.hi);
+      r.result.of(Channel::Alfa) = make_interval(lo, hi, raw.uniform);
+      r.result.of(Channel::Aux) = make_interval(lo, hi, raw.uniform);
+      break;
+    }
+    default:
+      // Not an intra op (misrouted inter op in an ill-formed program):
+      // widen the claimed channels to top and stay sound.
+      for_each_out([&](Channel c) { r.result.of(c) = ChannelInterval::top(c); });
+      break;
+  }
+  return r;
+}
+
+CallDomain inter_transfer(const Call& call, const FrameDomain& a,
+                          const FrameDomain& b) {
+  CallDomain r;
+  r.result = a;  // channels outside the out mask pass through from a
+
+  if (is_gme_op(call.op)) {
+    // Gme* writes Y = clamp_u8(|a.y - b.y|) unconditionally; the normal
+    // equations accumulate on the side port.
+    const RawBound d = absdiff_raw(a.of(Channel::Y), b.of(Channel::Y),
+                                   a.of(Channel::Y).uniform &&
+                                       b.of(Channel::Y).uniform);
+    r.result.of(Channel::Y) = clamped(Channel::Y, d);
+    return r;
+  }
+
+  for (int ci = 0; ci < kChannelCount; ++ci) {
+    const auto c = static_cast<Channel>(ci);
+    if (!call.out_channels.contains(c)) continue;
+    const RawBound raw = inter_raw(call.op, call.params, c, a.of(c), b.of(c));
+    r.result.of(c) = clamped(c, raw);
+    if (call.op == PixelOp::Add || call.op == PixelOp::Sub ||
+        call.op == PixelOp::Mult)
+      merge_clamp_free(r.clamp_free, c, raw);
+  }
+  return r;
+}
+
+CallDomain segment_transfer(const Call& call, const FrameDomain& a) {
+  // The output starts as a copy of the input; visited pixels get the op
+  // result (and their segment id when write_ids).  With no visit count in
+  // hand, every pixel may be either — join both sides.
+  const CallDomain op = intra_transfer(call, call.op, call.params, call.nbhd,
+                                       call.out_channels, a);
+  CallDomain r;
+  for (int ci = 0; ci < kChannelCount; ++ci) {
+    const auto c = static_cast<Channel>(ci);
+    r.result.of(c) = join(a.of(c), op.result.of(c));
+  }
+
+  const alib::SegmentSpec& spec = call.segment;
+  ChannelInterval ids{};
+  bool have_ids = false;
+  if (!spec.seeds.empty()) {
+    const i64 lo_id = static_cast<i64>(spec.id_base) + 1;
+    const i64 hi_id = static_cast<i64>(spec.id_base) +
+                      static_cast<i64>(spec.seeds.size());
+    // SegmentId is u16; an id space overflowing it wraps unpredictably.
+    ids = hi_id <= 0xFFFF
+              ? ChannelInterval::range(static_cast<u16>(lo_id),
+                                       static_cast<u16>(hi_id))
+              : ChannelInterval::top(Channel::Alfa);
+    have_ids = true;
+  }
+  if (spec.write_ids) {
+    // Visited pixels carry an id; unvisited ones keep 0 (fresh labeling
+    // zeroes the plane first) or their prior label (respect mode).
+    ChannelInterval base = spec.respect_existing_labels
+                               ? a.of(Channel::Alfa)
+                               : ChannelInterval::exact(0);
+    r.result.of(Channel::Alfa) = have_ids ? join(base, ids) : base;
+  } else {
+    r.result.of(Channel::Alfa) =
+        join(a.of(Channel::Alfa), op.result.of(Channel::Alfa));
+  }
+  // No clamp_free for segment calls: the hint machinery targets the
+  // streamed row kernels only (apply_domain_hints clears it there too).
+  return r;
+}
+
+}  // namespace
+
+ChannelInterval ChannelInterval::top(Channel c) {
+  return ChannelInterval{0, channel_max(c), false};
+}
+
+ChannelInterval join(const ChannelInterval& a, const ChannelInterval& b) {
+  const u16 lo = std::min(a.lo, b.lo);
+  const u16 hi = std::max(a.hi, b.hi);
+  // Two proofs of "all pixels equal value v" survive a join only when they
+  // pin the SAME v; anything else may mix two populations.
+  const bool uniform =
+      a.uniform && b.uniform && a.constant() && b.constant() && a.lo == b.lo;
+  return make_interval(lo, hi, uniform);
+}
+
+FrameDomain FrameDomain::top() {
+  FrameDomain d;
+  for (int ci = 0; ci < kChannelCount; ++ci) {
+    const auto c = static_cast<Channel>(ci);
+    d.of(c) = ChannelInterval::top(c);
+  }
+  return d;
+}
+
+CallDomain transfer_call(const alib::Call& call, const FrameDomain& a,
+                         const FrameDomain* b) {
+  static const FrameDomain kTop = FrameDomain::top();
+  CallDomain r;
+  switch (call.mode) {
+    case Mode::Inter:
+      r = inter_transfer(call, a, b != nullptr ? *b : kTop);
+      break;
+    case Mode::Intra:
+      r = intra_transfer(call, call.op, call.params, call.nbhd,
+                         call.out_channels, a);
+      break;
+    case Mode::Segment:
+      r = segment_transfer(call, a);
+      break;
+  }
+  // Fused stages transform the stored pixel after the base op; the
+  // clamp_free mask keeps describing the BASE op's raw result (the fused
+  // rows run on stored values, after the elidable clamp).
+  for (const alib::FusedStage& stage : call.fused) {
+    r.result = intra_transfer(call, stage.op, stage.params,
+                              Neighborhood::con0(), stage.out, r.result)
+                   .result;
+  }
+  return r;
+}
+
+ProgramDomain analyze_domain(const CallProgram& program) {
+  ProgramDomain d;
+  d.frames.assign(program.frames().size(), FrameDomain::top());
+  d.calls.reserve(program.calls().size());
+  for (const ProgramCall& pc : program.calls()) {
+    // Unresolvable references (the builder is permissive; the verifier
+    // diagnoses them) read as top — forward references too: their producer
+    // has not run yet, so the initialization still stands, and any value
+    // is inside top.
+    const FrameDomain& a = program.valid_frame(pc.input_a)
+                               ? d.frames[static_cast<std::size_t>(pc.input_a)]
+                               : FrameDomain::top();
+    const FrameDomain* b =
+        pc.call.mode == Mode::Inter && program.valid_frame(pc.input_b)
+            ? &d.frames[static_cast<std::size_t>(pc.input_b)]
+            : nullptr;
+    CallDomain cd = transfer_call(pc.call, a, b);
+    if (program.valid_frame(pc.output))
+      d.frames[static_cast<std::size_t>(pc.output)] = cd.result;
+    d.calls.push_back(std::move(cd));
+  }
+  return d;
+}
+
+void apply_domain_hints(CallProgram& program, const ProgramDomain& domain) {
+  if (domain.calls.size() != program.calls().size()) return;
+  for (std::size_t i = 0; i < program.calls().size(); ++i) {
+    const bool streamed = program.calls()[i].call.mode != Mode::Segment;
+    program.set_call_clamp_free(
+        static_cast<i32>(i),
+        streamed ? domain.calls[i].clamp_free : ChannelMask::none());
+  }
+}
+
+bool segment_criterion_vacuous(const alib::SegmentSpec& spec,
+                               const FrameDomain& input) {
+  // The largest |difference| two pixels of a channel can show is the
+  // interval width — and 0 when the channel is proven uniform.
+  const auto crit_width = [](const ChannelInterval& iv) {
+    return iv.uniform ? i64{0} : iv.width();
+  };
+  if (crit_width(input.of(Channel::Y)) > spec.luma_threshold) return false;
+  if (spec.chroma_threshold < 0) return true;
+  return crit_width(input.of(Channel::U)) <= spec.chroma_threshold &&
+         crit_width(input.of(Channel::V)) <= spec.chroma_threshold;
+}
+
+std::optional<SegmentVisitInterval> proven_segment_visits(
+    const alib::Call& call, const FrameDomain& input, Size frame) {
+  if (call.mode != Mode::Segment || frame.area() <= 0) return std::nullopt;
+  const alib::SegmentSpec& spec = call.segment;
+  if (spec.seeds.empty()) return std::nullopt;
+  for (const Point s : spec.seeds) {
+    // An out-of-frame seed makes execution throw; nothing to prove.
+    if (s.x < 0 || s.y < 0 || s.x >= frame.width || s.y >= frame.height)
+      return std::nullopt;
+  }
+  const ChannelInterval& alfa = input.of(Channel::Alfa);
+  if (spec.respect_existing_labels && alfa.lo >= 1) {
+    // Every pixel is proven pre-labeled: seeds are blocked at admission,
+    // the expansion never starts.
+    return SegmentVisitInterval{0, 0};
+  }
+  if (!segment_criterion_vacuous(spec, input)) return std::nullopt;
+  if (spec.respect_existing_labels && alfa.hi != 0) {
+    // The criterion admits everything, but unknown labels may block
+    // arbitrary subsets — no exact count.
+    return std::nullopt;
+  }
+  // Every neighbor test passes and no label blocks: the flood visits
+  // exactly the frame, once per pixel, regardless of content.
+  const u64 area = static_cast<u64>(frame.area());
+  return SegmentVisitInterval{area, area};
+}
+
+std::vector<std::optional<SegmentVisitInterval>> domain_visit_hints(
+    const CallProgram& program, const ProgramDomain& domain) {
+  std::vector<std::optional<SegmentVisitInterval>> hints(
+      program.calls().size());
+  if (domain.frames.size() != program.frames().size()) return hints;
+  for (std::size_t i = 0; i < program.calls().size(); ++i) {
+    const ProgramCall& pc = program.calls()[i];
+    if (pc.call.mode != Mode::Segment) continue;
+    if (!program.valid_frame(pc.input_a)) continue;
+    const Size frame =
+        program.frames()[static_cast<std::size_t>(pc.input_a)].size;
+    const FrameDomain& in =
+        domain.frames[static_cast<std::size_t>(pc.input_a)];
+    hints[i] = proven_segment_visits(pc.call, in, frame);
+  }
+  return hints;
+}
+
+bool range_identity_call(const CallProgram& program, i32 call_index,
+                         const ProgramDomain& domain, std::string* why) {
+  if (call_index < 0 ||
+      call_index >= static_cast<i32>(program.calls().size()))
+    return false;
+  if (domain.calls.size() != program.calls().size() ||
+      domain.frames.size() != program.frames().size())
+    return false;
+  const ProgramCall& pc = program.calls()[static_cast<std::size_t>(call_index)];
+  const Call& call = pc.call;
+  if (call.mode == Mode::Segment) return false;  // segment table + labels
+  if (!call.fused.empty()) return false;
+  if (has_side_port(call.op)) return false;  // dropping loses side results
+  if (!program.valid_frame(pc.input_a) || !program.valid_frame(pc.output))
+    return false;
+
+  const FrameDomain& da =
+      domain.frames[static_cast<std::size_t>(pc.input_a)];
+  const FrameDomain& dr =
+      domain.calls[static_cast<std::size_t>(call_index)].result;
+  static const FrameDomain kTop = FrameDomain::top();
+  const FrameDomain& db =
+      call.mode == Mode::Inter && program.valid_frame(pc.input_b)
+          ? domain.frames[static_cast<std::size_t>(pc.input_b)]
+          : kTop;
+
+  // Whole-call structural identities.
+  if (call.op == PixelOp::Copy) {
+    if (why != nullptr) *why = "Copy is the identity";
+    return true;
+  }
+  if (call.mode == Mode::Intra && call.op == PixelOp::Scale &&
+      call.params.scale_num == 1 && call.params.shift == 0 &&
+      call.params.bias == 0) {
+    if (why != nullptr) *why = "Scale(x1 >>0 +0) is the identity";
+    return true;
+  }
+  if (call.mode == Mode::Intra && call.op == PixelOp::TableLookup &&
+      call.params.table.empty()) {
+    if (why != nullptr) *why = "TableLookup with an empty table never writes";
+    return true;
+  }
+
+  // Channels the op actually writes: the out mask, except for the ops that
+  // write fixed channels unconditionally.
+  ChannelMask written = call.out_channels;
+  if (call.op == PixelOp::Homogeneity || call.op == PixelOp::GradientPack)
+    written = ChannelMask::alfa().with(Channel::Aux);
+  if (call.op == PixelOp::TableLookup) written = ChannelMask::alfa();
+
+  std::string reasons;
+  for (int ci = 0; ci < kChannelCount; ++ci) {
+    const auto c = static_cast<Channel>(ci);
+    if (!written.contains(c)) continue;
+    const ChannelInterval& ia = da.of(c);
+    const ChannelInterval& ra = dr.of(c);
+    std::string reason;
+
+    // Proven-constant match: the input holds one value everywhere and the
+    // result is proven to hold the same one.
+    if (ia.constant() && ra.constant() && ia.lo == ra.lo) {
+      reason = "const " + std::to_string(ia.lo) + " preserved";
+    } else if (call.mode == Mode::Inter) {
+      const ChannelInterval& ib = db.of(c);
+      switch (call.op) {
+        case PixelOp::Add:
+        case PixelOp::Sub:
+        case PixelOp::AbsDiff:
+        case PixelOp::BitOr:
+        case PixelOp::BitXor:
+          // x (+|-|xor|or|absdiff) 0 == x, raw stays in range.
+          if (ib.constant() && ib.lo == 0) reason = "b proven == 0";
+          break;
+        case PixelOp::BitAnd:
+          if (ib.constant() &&
+              (ones_up(ia.hi) & ~static_cast<i64>(ib.lo)) == 0)
+            reason = "b covers every reachable bit of a";
+          break;
+        case PixelOp::Mult:
+          if (ib.constant() &&
+              static_cast<i64>(ib.lo) == (i64{1} << call.params.shift))
+            reason = "b proven == 1<<shift";
+          break;
+        case PixelOp::Min:
+          if (ia.hi <= ib.lo) reason = "a proven <= b";
+          break;
+        case PixelOp::Max:
+          if (ia.lo >= ib.hi) reason = "a proven >= b";
+          break;
+        default:
+          break;
+      }
+    }
+    if (reason.empty()) return false;
+    if (!reasons.empty()) reasons += "; ";
+    reasons += std::string(to_string(c)) + ": " + reason;
+  }
+  if (reasons.empty()) return false;  // writes nothing we can name? be safe
+  if (why != nullptr) *why = reasons;
+  return true;
+}
+
+namespace {
+
+std::string interval_text(const ChannelInterval& iv) {
+  if (iv.constant()) return "=" + std::to_string(iv.lo);
+  std::string out = iv.uniform ? "~[" : "[";
+  out += std::to_string(iv.lo);
+  out += ',';
+  out += std::to_string(iv.hi);
+  out += ']';
+  return out;
+}
+
+}  // namespace
+
+std::string format_domain(const CallProgram& program,
+                          const ProgramDomain& domain) {
+  std::ostringstream os;
+  os << "domain:\n";
+  for (std::size_t f = 0; f < domain.frames.size(); ++f) {
+    const FrameDecl& decl = program.frames()[f];
+    os << "  " << program.frame_name(static_cast<i32>(f)) << ' '
+       << to_string(decl.size) << ':';
+    for (int ci = 0; ci < kChannelCount; ++ci) {
+      const auto c = static_cast<Channel>(ci);
+      os << ' ' << to_string(c) << interval_text(domain.frames[f].of(c));
+    }
+    os << '\n';
+  }
+  const auto hints = domain_visit_hints(program, domain);
+  for (std::size_t i = 0; i < domain.calls.size(); ++i) {
+    if (!domain.calls[i].clamp_free.empty())
+      os << "  call " << i
+         << " clamp-free: " << to_string(domain.calls[i].clamp_free) << '\n';
+    if (i < hints.size() && hints[i].has_value())
+      os << "  call " << i << " segment visits: [" << hints[i]->lo << ", "
+         << hints[i]->hi << "]\n";
+  }
+  return os.str();
+}
+
+std::string domain_json(const CallProgram& program,
+                        const ProgramDomain& domain) {
+  std::ostringstream os;
+  os << "{\"frames\":[";
+  for (std::size_t f = 0; f < domain.frames.size(); ++f) {
+    if (f != 0) os << ',';
+    os << "{\"id\":" << f << ",\"name\":"
+       << json_quote(program.frame_name(static_cast<i32>(f)))
+       << ",\"channels\":[";
+    for (int ci = 0; ci < kChannelCount; ++ci) {
+      const auto c = static_cast<Channel>(ci);
+      const ChannelInterval& iv = domain.frames[f].of(c);
+      if (ci != 0) os << ',';
+      os << "{\"channel\":" << json_quote(std::string(to_string(c)))
+         << ",\"lo\":" << iv.lo << ",\"hi\":" << iv.hi
+         << ",\"uniform\":" << (iv.uniform ? "true" : "false") << '}';
+    }
+    os << "]}";
+  }
+  os << "],\"calls\":[";
+  const auto hints = domain_visit_hints(program, domain);
+  for (std::size_t i = 0; i < domain.calls.size(); ++i) {
+    if (i != 0) os << ',';
+    os << "{\"index\":" << i << ",\"clamp_free\":"
+       << json_quote(to_string(domain.calls[i].clamp_free));
+    if (i < hints.size() && hints[i].has_value())
+      os << ",\"segment_visits\":{\"lo\":" << hints[i]->lo
+         << ",\"hi\":" << hints[i]->hi << '}';
+    os << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace ae::analysis

@@ -1,0 +1,177 @@
+// aedom — per-channel value-interval abstract interpretation of call
+// programs.
+//
+// The third static layer next to aeverify (legality) and aeplan (cost):
+// aedom answers "what VALUES can each frame hold?" — with no pixel data, by
+// propagating a per-channel interval lattice through the program.  An
+// abstract frame is five `ChannelInterval`s, one per pixel channel; every
+// pixel op gets a sound transfer function (saturating arithmetic models the
+// clamp, Convolve splits its coefficients by sign, Erode/Dilate/Median are
+// order statistics, Threshold/DiffMask branch on the proven predicate).
+//
+// The lattice carries one refinement beyond plain intervals: `uniform`
+// marks a channel proven to hold the SAME (possibly unknown) value at every
+// pixel.  Constants are the uniform intervals with lo == hi.  Uniformity is
+// what makes neighborhood ops precise — a gradient of a uniform channel is
+// exactly 0, and a segment criterion over a uniform channel never rejects.
+//
+// Three layers consume the proofs:
+//   * kernels — when an op's raw pre-clamp result is proven inside
+//     [0, channel max], `apply_domain_hints` stamps `Call::clamp_free` and
+//     the kernel backend lowers to clamp-free SIMD row variants
+//     (bit-exact: the clamp the variant skips is proven a no-op);
+//   * aeopt — `range_identity_call` proves a call writes back exactly its
+//     first input, licensing the optimizer's `range` rewrite tier
+//     (optimizer.hpp) to drop it;
+//   * aeplan — `proven_segment_visits` collapses a segment call's visit
+//     envelope statically (criterion proven always-true => the flood visits
+//     exactly the frame; seeds proven label-blocked => zero visits) without
+//     the runtime reachability probe.
+//
+// Soundness contract: for every channel of every frame, every pixel value
+// any backend ever materializes lies inside the computed interval.  Gated
+// by tests/domain_fuzz_test.cpp replaying the 520-program differential-fuzz
+// corpus, plus per-op property tests in tests/domain_test.cpp.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/planner.hpp"
+#include "analysis/program.hpp"
+
+namespace ae::analysis {
+
+/// Abstract value of one pixel channel: every pixel's value lies in
+/// [lo, hi]; `uniform` additionally proves all pixels equal (one unknown
+/// shared value).  A constant is a uniform interval with lo == hi.
+struct ChannelInterval {
+  u16 lo = 0;
+  u16 hi = 0;
+  bool uniform = false;
+
+  bool constant() const { return lo == hi; }
+  /// hi - lo as a wide type; the largest |difference| between two pixels of
+  /// the channel is width() in general and 0 when uniform.
+  i64 width() const { return static_cast<i64>(hi) - lo; }
+  bool contains(u16 v) const { return lo <= v && v <= hi; }
+
+  /// The proven-constant interval {v}.
+  static ChannelInterval exact(u16 v) { return ChannelInterval{v, v, true}; }
+  /// Plain interval [lo, hi], no uniformity claim.
+  static ChannelInterval range(u16 lo, u16 hi) {
+    return ChannelInterval{lo, hi, false};
+  }
+  /// The full channel range: [0, 255] for video, [0, 65535] for side.
+  static ChannelInterval top(Channel c);
+
+  friend bool operator==(const ChannelInterval&,
+                         const ChannelInterval&) = default;
+};
+
+/// Least upper bound: the smallest interval containing both; uniform only
+/// survives when both sides are the same proven constant.
+ChannelInterval join(const ChannelInterval& a, const ChannelInterval& b);
+
+/// Abstract value of one frame: one interval per channel.
+struct FrameDomain {
+  std::array<ChannelInterval, kChannelCount> channels{};
+
+  const ChannelInterval& of(Channel c) const {
+    return channels[static_cast<std::size_t>(c)];
+  }
+  ChannelInterval& of(Channel c) {
+    return channels[static_cast<std::size_t>(c)];
+  }
+
+  /// All five channels at their full range — the abstraction of an
+  /// arbitrary external input frame.
+  static FrameDomain top();
+};
+
+/// Transfer result for one call: the output frame's domain plus the
+/// clamp-elision proof mask (for each channel in the mask, the BASE op's
+/// raw pre-clamp value is proven inside [0, channel max] for every pixel —
+/// fused stages run after the base row on stored values, so the mask stays
+/// meaningful on fused calls).
+struct CallDomain {
+  FrameDomain result;
+  ChannelMask clamp_free = ChannelMask::none();
+};
+
+/// Sound transfer function of one call: given the input frame domains
+/// (`b` non-null only for inter calls; null falls back to top), bounds the
+/// output frame.  This is the single source of range truth — the per-op
+/// cases mirror ops.hpp's arithmetic exactly.
+CallDomain transfer_call(const alib::Call& call, const FrameDomain& a,
+                         const FrameDomain* b);
+
+/// Whole-program fixpoint-free analysis result (programs are DAGs in
+/// declaration order, so one forward pass is the fixpoint).
+struct ProgramDomain {
+  /// One domain per program frame, aligned with CallProgram::frames().
+  /// External inputs and ill-formed references stay top.
+  std::vector<FrameDomain> frames;
+  /// One transfer result per call, aligned with CallProgram::calls().
+  std::vector<CallDomain> calls;
+};
+
+/// Runs the abstract interpreter over a program.  Ill-formed programs
+/// (invalid or forward frame references) degrade soundly: any reference
+/// that cannot be resolved reads as top.
+ProgramDomain analyze_domain(const CallProgram& program);
+
+/// Writes the clamp-elision proofs back onto the program: every streamed
+/// (inter/intra) call's `Call::clamp_free` is overwritten with its
+/// CallDomain mask.  Segment calls are left unhinted — their per-visit op
+/// runs on traversal order, and the streamed proof machinery is not wired
+/// through the flood's deferred-apply path.
+void apply_domain_hints(CallProgram& program, const ProgramDomain& domain);
+
+/// True when the segment expansion criterion is proven to admit EVERY
+/// neighbor of the input frame: the largest possible luma step (the Y
+/// interval width, 0 when uniform) is within the luma threshold, and the
+/// chroma test is disabled or equally saturated by the U/V widths.  On top
+/// inputs this degenerates to the AEW305 syntactic condition
+/// (luma >= 255 and chroma disabled or >= 255).
+bool segment_criterion_vacuous(const alib::SegmentSpec& spec,
+                               const FrameDomain& input);
+
+/// Statically proven visit bracket of a segment call on an input abstracted
+/// by `input`:
+///   * criterion vacuous + at least one seed admissible  => the flood
+///     visits exactly the frame: [area, area];
+///   * respect_existing_labels with Alfa proven >= 1 everywhere => every
+///     seed is label-blocked: [0, 0].
+/// nullopt when the domain proves neither (or the call is not a segment
+/// call / the geometry is degenerate).
+std::optional<SegmentVisitInterval> proven_segment_visits(
+    const alib::Call& call, const FrameDomain& input, Size frame);
+
+/// Per-call visit hints for plan_program's hinted overload: entry i is the
+/// proven visit interval of call i when one exists.
+std::vector<std::optional<SegmentVisitInterval>> domain_visit_hints(
+    const CallProgram& program, const ProgramDomain& domain);
+
+/// True when call `call_index` is proven to write back exactly its first
+/// input, pixel for pixel — the proof behind the AEW306 lint and the
+/// optimizer's `range` rewrite tier.  Streamed calls only, no fused stages,
+/// no side-port accumulation (dropping a Sad/Histogram/Gme call would lose
+/// its side results even though the frames match).  When `why` is non-null
+/// it receives a one-line proof sketch.
+bool range_identity_call(const CallProgram& program, i32 call_index,
+                         const ProgramDomain& domain,
+                         std::string* why = nullptr);
+
+/// Human-readable interval table: one line per frame, one per hinted call.
+std::string format_domain(const CallProgram& program,
+                          const ProgramDomain& domain);
+
+/// Machine-readable rendering, one line, no trailing newline.  Schema
+/// pinned by tests/domain_test.cpp — extend it additively.
+std::string domain_json(const CallProgram& program,
+                        const ProgramDomain& domain);
+
+}  // namespace ae::analysis

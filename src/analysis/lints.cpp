@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "analysis/domain.hpp"
 #include "analysis/rules.hpp"
 #include "core/scanspace.hpp"
 #include "core/timing_model.hpp"
@@ -163,30 +164,62 @@ void lint_reorder_for_reuse(const CallProgram& program,
   }
 }
 
-// AEW305 — a segment criterion that admits every neighbor: the expansion
-// floods the frame and the cost envelope degenerates to its worst case.
+// AEW305 — a segment criterion the value domain proves admits every
+// neighbor of its actual input: the expansion floods the frame and the cost
+// envelope degenerates to its worst case.  The predicate is
+// analysis::segment_criterion_vacuous — on unconstrained (top) inputs it
+// degenerates to the syntactic form this lint originally checked (luma
+// threshold >= 255, chroma disabled or >= 255), and on analyzed inputs it
+// additionally catches criteria that are only vacuous because the input's
+// value intervals are narrow.
 void lint_segment_vacuous_criterion(const CallProgram& program,
+                                    const ProgramDomain& domain,
                                     Report& report) {
+  const bool aligned = domain.frames.size() == program.frames().size();
   for (std::size_t i = 0; i < program.calls().size(); ++i) {
-    const alib::Call& call = program.calls()[i].call;
+    const ProgramCall& pc = program.calls()[i];
+    const alib::Call& call = pc.call;
     if (call.mode != alib::Mode::Segment) continue;
+    const FrameDomain input =
+        aligned && program.valid_frame(pc.input_a)
+            ? domain.frames[static_cast<std::size_t>(pc.input_a)]
+            : FrameDomain::top();
+    if (!segment_criterion_vacuous(call.segment, input)) continue;
     const alib::SegmentSpec& spec = call.segment;
-    const bool luma_vacuous = spec.luma_threshold >= 255;
-    const bool chroma_vacuous =
-        spec.chroma_threshold < 0 || spec.chroma_threshold >= 255;
-    if (!luma_vacuous || !chroma_vacuous) continue;
+    const ChannelInterval& y = input.of(Channel::Y);
     std::ostringstream os;
-    os << "segment criterion admits every neighbor (luma threshold "
-       << spec.luma_threshold << " covers the full 8-bit range"
+    os << "segment criterion admits every neighbor of this input (largest "
+          "possible luma step "
+       << (y.uniform ? i64{0} : y.width()) << " is within luma threshold "
+       << spec.luma_threshold
        << (spec.chroma_threshold < 0 ? ", chroma test disabled"
-                                     : ", chroma threshold vacuous")
+                                     : ", chroma test equally saturated")
        << "); the expansion floods the frame and the reachability "
           "pre-pass cannot tighten the envelope below the full-frame "
           "extreme";
     report.add(Severity::Warning, rules::kSegmentVacuousCriterion,
                static_cast<i32>(i), os.str(),
-               "tighten the luma/chroma thresholds below 255 so the "
-               "criterion can reject");
+               "tighten the luma/chroma thresholds below the input's value "
+               "spread so the criterion can reject");
+  }
+}
+
+// AEW306 — a streamed call the value domain proves writes back exactly its
+// first input, pixel for pixel: the store and readback are pure overhead,
+// and the aeopt `range` tier can drop the call bit-exactly.
+void lint_range_identity_op(const CallProgram& program,
+                            const ProgramDomain& domain, Report& report) {
+  for (std::size_t i = 0; i < program.calls().size(); ++i) {
+    std::string why;
+    if (!range_identity_call(program, static_cast<i32>(i), domain, &why))
+      continue;
+    std::ostringstream os;
+    os << "call writes back exactly its input (" << why
+       << "); the whole pass is droppable bit-exactly";
+    report.add(Severity::Warning, rules::kRangeIdentityOp,
+               static_cast<i32>(i), os.str(),
+               "drop the call, or run the program through aeopt's range "
+               "tier");
   }
 }
 
@@ -200,7 +233,9 @@ Report lint_program(const CallProgram& program, const ProgramPlan& plan,
   lint_strip_below_break_even(program, options, report);
   lint_fusable_pointwise_pair(program, report);
   lint_reorder_for_reuse(program, plan, report);
-  lint_segment_vacuous_criterion(program, report);
+  const ProgramDomain domain = analyze_domain(program);
+  lint_segment_vacuous_criterion(program, domain, report);
+  lint_range_identity_op(program, domain, report);
   return report;
 }
 

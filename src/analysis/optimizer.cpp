@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "analysis/domain.hpp"
 #include "analysis/lints.hpp"
 #include "analysis/rules.hpp"
 #include "common/error.hpp"
@@ -61,6 +62,11 @@ struct Surgery {
   /// satisfies the reference (fusion points the consumer's readers at the
   /// fused call's result).
   std::map<i32, std::size_t> alias_to_output_of;
+  /// Frame-to-frame aliases: old frame id -> old frame id that satisfies
+  /// the reference (range drops point the dropped call's readers at its
+  /// input).  Resolved to a fixpoint — chained drops compose — before
+  /// alias_to_output_of.
+  std::map<i32, i32> alias_to_frame;
 };
 
 CallProgram apply_surgery(const CallProgram& src, const Surgery& s) {
@@ -73,11 +79,15 @@ CallProgram apply_surgery(const CallProgram& src, const Surgery& s) {
   }
   const auto resolve = [&](i32 frame) {
     if (!src.valid_frame(frame)) return frame;  // pass bad refs through
-    const auto alias = s.alias_to_output_of.find(frame);
+    i32 f = frame;
+    for (auto fa = s.alias_to_frame.find(f); fa != s.alias_to_frame.end();
+         fa = s.alias_to_frame.find(f))
+      f = fa->second;
+    const auto alias = s.alias_to_output_of.find(f);
     if (alias != s.alias_to_output_of.end())
       return map[static_cast<std::size_t>(
           src.calls()[alias->second].output)];
-    return map[static_cast<std::size_t>(frame)];
+    return map[static_cast<std::size_t>(f)];
   };
   for (const std::size_t ci : s.order) {
     const ProgramCall& pc = src.calls()[ci];
@@ -243,6 +253,20 @@ Candidate make_dead_elim(const CallProgram& program, std::size_t i) {
   return cand;
 }
 
+/// AEW306 actionable form: drop a call the value domain proves writes back
+/// exactly its first input, pointing its readers (and any output
+/// declaration) at that input.  Bit-exactness is the identity proof itself;
+/// the pass re-stamps the admitting record with the dedicated "range" tier.
+Candidate make_range_drop(const CallProgram& program, std::size_t i) {
+  const ProgramCall& pc = program.calls()[i];
+  Surgery s;
+  for (std::size_t j = 0; j < program.calls().size(); ++j)
+    if (j != i) s.order.push_back(j);
+  s.alias_to_frame.emplace(pc.output, pc.input_a);
+  Candidate cand{apply_surgery(program, s), {i}, false};
+  return cand;
+}
+
 Candidate make_fuse(const CallProgram& program, std::size_t i) {
   const ProgramCall& producer = program.calls()[i];
   const ProgramCall& consumer = program.calls()[i + 1];
@@ -369,6 +393,51 @@ OptimizeResult optimize_program(const CallProgram& program,
       }
     }
 
+    // Range drops next: the value domain is recomputed after each applied
+    // drop (frame ids shift), and a dropped identity often exposes a fuse
+    // or dead-elim opportunity the next round picks up.
+    if (options.range) {
+      for (std::size_t i = 0; i < result.program.calls().size();) {
+        const ProgramDomain domain = analyze_domain(result.program);
+        std::string why;
+        // Declared outputs stay: re-pointing a host-visible result at an
+        // external input frame is out of surgery's contract.
+        if (is_program_output(result.program,
+                              result.program.calls()[i].output) ||
+            !range_identity_call(result.program, static_cast<i32>(i), domain,
+                                 &why)) {
+          ++i;
+          continue;
+        }
+        const ProgramPlan plan = plan_program(result.program, options.plan);
+        RewriteRecord record;
+        record.rule = rules::kRangeIdentityOp;
+        record.kind = "range";
+        record.calls = {static_cast<i32>(i)};
+        record.note = "dropped proven-identity result '" +
+                      result.program.frame_name(
+                          result.program.calls()[i].output) +
+                      "' (" + why + ")";
+        CallProgram next;
+        if (prove_and_admit(result.program, plan,
+                            make_range_drop(result.program, i), options,
+                            record, next)) {
+          // The dominance numbers come from whichever proof admitted the
+          // drop (usually outright cycle dominance); the tier is stamped
+          // `range` so the log separates savings that rest on a
+          // value-domain identity proof from plain structural removals.
+          record.tier = "range";
+          result.program = std::move(next);
+          accumulate(result.log, record);
+          progress = true;
+          // Stay at i: the call list shifted left.
+        } else {
+          ++result.log.rejected;
+          ++i;
+        }
+      }
+    }
+
     if (options.fuse) {
       for (std::size_t i = 0; i + 1 < result.program.calls().size();) {
         if (!fusable_pointwise_pair(result.program, i)) {
@@ -431,6 +500,12 @@ OptimizeResult optimize_program(const CallProgram& program,
 
     if (!progress) break;
   }
+
+  // Advisory clamp-elision hints ride on the final program: proofs computed
+  // on the emitted call sequence, so every bit-exact rewrite above is
+  // already reflected in the intervals.
+  if (options.domain_hints)
+    apply_domain_hints(result.program, analyze_domain(result.program));
 
   result.changed = !result.log.records.empty();
   return result;

@@ -9,6 +9,10 @@
 //     reads and the host never collects, provided the call leaves no
 //     side-port results (Histogram/Sad/Gme* accumulators are observable
 //     even when the output frame is dead).
+//   * range (AEW306) — drop streamed calls the value domain (aedom,
+//     domain.hpp) proves write back exactly their first input pixel for
+//     pixel; the interval proof is recorded in the RewriteRecord note and
+//     the saving is admitted under the dedicated `range` dominance tier.
 //   * fuse (AEW303) — fold a pointwise (CON_0 intra) consumer onto its
 //     producer as a FusedStage chain, eliminating the intermediate result's
 //     store, readback and re-upload.  Bit-exact by construction: a fused
@@ -21,6 +25,10 @@
 //
 //   proven      rewritten.total.cycles.upper <= original.total.cycles.lower
 //               — unconditional cycle dominance, margins included.
+//   range       (range drops) the same proven/structural arithmetic carries
+//               the numbers, but the record's tier reads `range` so the log
+//               separates savings licensed by a value-domain identity proof
+//               from plain dataflow removals.
 //   structural  (fuse / dead-elim fallback) the surviving calls' envelopes
 //               are numerically identical to their originals, so the saving
 //               is exactly the removed/absorbed call's envelope.  Holds
@@ -52,8 +60,13 @@ struct OptimizeOptions {
   VerifyOptions verify{};
   /// Per-class enables.
   bool dead_elim = true;
+  bool range = true;
   bool fuse = true;
   bool reorder = true;
+  /// Stamp Call::clamp_free on the final program from the value-domain
+  /// analysis (analysis/domain.hpp) so kernel backends may lower to
+  /// clamp-free row variants.  Advisory only — does not count as a rewrite.
+  bool domain_hints = true;
   /// Bound on pass rounds (each round runs all enabled classes to their
   /// own fixpoint; rewrites are monotone, so this is a backstop, not a
   /// tuning knob).
@@ -63,8 +76,8 @@ struct OptimizeOptions {
 /// One applied rewrite, machine-readable (the ISSUE's RewriteLog entry).
 struct RewriteRecord {
   std::string rule;  ///< lint rule the rewrite actions ("AEW301", ...)
-  std::string kind;  ///< "dead-elim" | "fuse" | "reorder"
-  std::string tier;  ///< dominance tier that admitted it
+  std::string kind;  ///< "dead-elim" | "range" | "fuse" | "reorder"
+  std::string tier;  ///< "proven" | "range" | "structural" | "residency"
   /// Call indices touched, valid in the program *as it was* when this
   /// rewrite applied (earlier records shift later indices).
   std::vector<i32> calls;

@@ -231,8 +231,30 @@ CostEnvelope plan_call(const alib::Call& call, Size frame,
   return plan_segment_call(call, frame, options, e, visits_lo, visits_hi);
 }
 
+CostEnvelope plan_call(const alib::Call& call, Size frame,
+                       const PlanOptions& options,
+                       SegmentVisitInterval visits) {
+  if (call.mode != alib::Mode::Segment || frame.area() <= 0)
+    return plan_call(call, frame, options);
+
+  CostEnvelope e = plan_call(call, frame, options);
+  const u64 area = static_cast<u64>(frame.area());
+  // Clamp against the static extremes, exactly like the reachability
+  // overload: a proof computed for a different frame can tighten but never
+  // unsoundly exceed the content-free envelope.
+  const u64 visits_hi = std::min(area, visits.hi);
+  const u64 visits_lo = std::min(visits_hi, visits.lo);
+  return plan_segment_call(call, frame, options, e, visits_lo, visits_hi);
+}
+
 ProgramPlan plan_program(const CallProgram& program,
                          const PlanOptions& options) {
+  return plan_program(program, options, {});
+}
+
+ProgramPlan plan_program(
+    const CallProgram& program, const PlanOptions& options,
+    const std::vector<std::optional<SegmentVisitInterval>>& visit_hints) {
   ProgramPlan plan;
   ResidencyMachine residency;
 
@@ -246,7 +268,9 @@ ProgramPlan plan_program(const CallProgram& program,
                                                   pc.input_a)]
                                  .size
                            : Size{};
-    cp.envelope = plan_call(pc.call, frame, options);
+    cp.envelope = i < visit_hints.size() && visit_hints[i].has_value()
+                      ? plan_call(pc.call, frame, options, *visit_hints[i])
+                      : plan_call(pc.call, frame, options);
 
     std::array<i32, 2> inputs{pc.input_a, pc.input_b};
     const std::size_t arity = pc.call.mode == alib::Mode::Inter ? 2 : 1;

@@ -29,6 +29,7 @@
 // live in lints.hpp so the warning catalog stays in one place.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -131,6 +132,26 @@ CostEnvelope plan_call(const alib::Call& call, Size frame,
                        const PlanOptions& options,
                        const alib::SegmentReachability& reach);
 
+/// Inclusive static bracket on a segment call's traversal visit count,
+/// proven without pixel data (analysis/domain.hpp derives them from the
+/// value-interval domain: a criterion proven always-true floods the frame,
+/// seeds proven label-blocked visit nothing).  The same role as the
+/// reachability probe's [pushed_seeds, reachable_pixels] but free of the
+/// runtime pre-pass.
+struct SegmentVisitInterval {
+  u64 lo = 0;
+  u64 hi = 0;
+};
+
+/// Prices a segment call through a proven visit interval instead of the
+/// static [0, frame area] extremes.  `visits` is clamped against the static
+/// extremes, so an interval proven for a different frame can tighten but
+/// never unsoundly exceed the content-free envelope.  Non-segment calls
+/// ignore it and price identically to the content-free overload.
+CostEnvelope plan_call(const alib::Call& call, Size frame,
+                       const PlanOptions& options,
+                       SegmentVisitInterval visits);
+
 /// Prices a whole program and computes its bank-residency schedule.  The
 /// plan is meaningful for programs that verify clean; ill-formed calls
 /// (invalid frame references, degenerate geometry) contribute zero
@@ -138,6 +159,14 @@ CostEnvelope plan_call(const alib::Call& call, Size frame,
 /// cannot hold an ill-formed program cannot report on one".
 ProgramPlan plan_program(const CallProgram& program,
                          const PlanOptions& options = {});
+
+/// Like plan_program, but prices call `i` through `visit_hints[i]` when
+/// present (analysis::domain_visit_hints supplies proven segment visit
+/// intervals).  Hints beyond the call count are ignored; a call without a
+/// hint prices content-free.
+ProgramPlan plan_program(
+    const CallProgram& program, const PlanOptions& options,
+    const std::vector<std::optional<SegmentVisitInterval>>& visit_hints);
 
 /// Machine-readable rendering of a plan, one line, no trailing newline.
 /// Schema pinned by tests/planner_test.cpp — extend it additively.

@@ -26,6 +26,11 @@ i32 CallProgram::add_call(alib::Call call, i32 a, i32 b) {
 
 void CallProgram::mark_output(i32 frame) { outputs_.push_back(frame); }
 
+void CallProgram::set_call_clamp_free(i32 index, ChannelMask mask) {
+  if (index < 0 || index >= static_cast<i32>(calls_.size())) return;
+  calls_[static_cast<std::size_t>(index)].call.clamp_free = mask;
+}
+
 void CallProgram::set_frame_name(i32 id, std::string name) {
   if (valid_frame(id)) frames_[static_cast<std::size_t>(id)].name =
       std::move(name);

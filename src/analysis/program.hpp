@@ -64,6 +64,12 @@ class CallProgram {
   /// Renames a frame (used by the text form to keep declared names).
   void set_frame_name(i32 id, std::string name);
 
+  /// Overwrites call `index`'s clamp-free hint mask (the only call field
+  /// mutable after add_call — analysis::apply_domain_hints writes the
+  /// proofs it derived back onto the program).  Out-of-range indices are
+  /// ignored.
+  void set_call_clamp_free(i32 index, ChannelMask mask);
+
  private:
   std::vector<FrameDecl> frames_;
   std::vector<ProgramCall> calls_;

@@ -50,6 +50,9 @@ const std::vector<RuleInfo>& catalog() {
        "input evicted between uses; a legal reorder recovers the reuse"},
       {kSegmentVacuousCriterion, Severity::Warning,
        "segment criterion admits every neighbor (worst-case expansion)"},
+      {kRangeIdentityOp, Severity::Warning,
+       "call is a proven per-pixel identity under the value domain "
+       "(droppable)"},
   };
   return kCatalog;
 }

@@ -103,6 +103,11 @@ inline constexpr const char* kReorderForReuse = "AEW304";
 /// cost envelope degenerates to its worst case.
 inline constexpr const char* kSegmentVacuousCriterion = "AEW305";
 
+/// A streamed call the value-domain analysis (analysis/domain.hpp) proves
+/// writes back exactly its first input, pixel for pixel: the whole call is
+/// dead weight the aeopt `range` tier can drop bit-exactly.
+inline constexpr const char* kRangeIdentityOp = "AEW306";
+
 struct RuleInfo {
   const char* id;
   Severity severity;

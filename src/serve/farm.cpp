@@ -4,6 +4,7 @@
 #include <sstream>
 #include <utility>
 
+#include "analysis/domain.hpp"
 #include "analysis/planner.hpp"
 #include "core/timing_model.hpp"
 
@@ -133,18 +134,29 @@ std::future<alib::CallResult> EngineFarm::submit(const alib::Call& call,
   if (options_.admission_budget_cycles > 0) {
     // Static admission: the planned upper bound is available before any
     // backend runs, so an over-budget call never occupies queue space.
-    // Segment calls refine the envelope with the reachability probe — the
-    // image is in hand here, the probe costs a fraction of the expansion the
-    // worker runs anyway, and the content-free bound (a full-frame flood)
-    // would reject every sparse segment call under a tight budget.
+    // Segment calls first try the value-domain proof — a criterion proven
+    // vacuous (or seeds proven label-blocked) collapses the visit envelope
+    // with no pixel reads at all — and only fall back to the runtime
+    // reachability probe when the domain proves neither: the image is in
+    // hand here, the probe costs a fraction of the expansion the worker
+    // runs anyway, and the content-free bound (a full-frame flood) would
+    // reject every sparse segment call under a tight budget.
     analysis::PlanOptions plan_options;
     plan_options.config = options_.config;
-    const analysis::CostEnvelope envelope =
-        call.mode == alib::Mode::Segment
-            ? analysis::plan_call(
-                  call, a.size(), plan_options,
-                  alib::probe_segment_reachability(a, call.segment))
-            : analysis::plan_call(call, a.size(), plan_options);
+    analysis::CostEnvelope envelope;
+    if (call.mode == alib::Mode::Segment) {
+      const std::optional<analysis::SegmentVisitInterval> proven =
+          analysis::proven_segment_visits(call, analysis::FrameDomain::top(),
+                                          a.size());
+      envelope =
+          proven.has_value()
+              ? analysis::plan_call(call, a.size(), plan_options, *proven)
+              : analysis::plan_call(
+                    call, a.size(), plan_options,
+                    alib::probe_segment_reachability(a, call.segment));
+    } else {
+      envelope = analysis::plan_call(call, a.size(), plan_options);
+    }
     if (envelope.cycles.upper > options_.admission_budget_cycles) {
       {
         sync::MutexLock lock(mu_);

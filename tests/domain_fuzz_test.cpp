@@ -1,0 +1,205 @@
+// aedom calibration (tier2): the value-interval domain's soundness contract
+// replayed over the full 520-program differential-fuzz corpus — the exact
+// seeds and recipes of differential_fuzz_test.cpp's kernel sweep (8x40) and
+// farm sweep (200 cases).  For every case, every pixel any backend
+// materializes must lie inside the computed interval (zero escapes), a
+// claimed-uniform channel must hold one value everywhere, and every
+// clamp-free hint must leave the hinted kernel bit-exact against the
+// always-clamping functional interpreter.
+//
+// Suites are prefixed DomainFuzz so tests/CMakeLists.txt and CI's deep-test
+// job can select them (-R DomainFuzz under ASan).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "addresslib/functional.hpp"
+#include "addresslib/kernels/kernel_backend.hpp"
+#include "analysis/domain.hpp"
+#include "analysis/optimizer.hpp"
+#include "analysis/verifier.hpp"
+#include "common/parallel.hpp"
+#include "test_util.hpp"
+
+namespace ae {
+namespace {
+
+using alib::Call;
+using analysis::analyze_domain;
+using analysis::CallProgram;
+using analysis::ChannelInterval;
+using analysis::FrameDomain;
+using analysis::kNoFrame;
+using analysis::ProgramDomain;
+
+/// Every pixel of `out` must lie inside `d`, channel by channel; uniform
+/// claims must hold exactly.  Counts escapes instead of aborting so one
+/// corpus case reports every violated channel at once.
+void expect_image_in_domain(const img::Image& out, const FrameDomain& d) {
+  for (i32 y = 0; y < out.size().height; ++y) {
+    for (i32 x = 0; x < out.size().width; ++x) {
+      for (int ci = 0; ci < kChannelCount; ++ci) {
+        const auto c = static_cast<Channel>(ci);
+        const ChannelInterval& iv = d.of(c);
+        const u16 v = out.at(x, y).get(c);
+        ASSERT_TRUE(iv.contains(v))
+            << to_string(c) << "=" << v << " escapes [" << iv.lo << ", "
+            << iv.hi << "] at (" << x << ", " << y << ")";
+        if (iv.uniform) {
+          ASSERT_EQ(v, out.at(0, 0).get(c))
+              << to_string(c) << " claimed uniform, differs at (" << x
+              << ", " << y << ")";
+        }
+      }
+    }
+  }
+}
+
+/// One corpus case: wrap the call as a single-call program, analyze, run
+/// the functional interpreter (ground truth), and check
+///   (1) the output image never escapes its frame's interval,
+///   (2) the clamp-free hinted call is bit-exact on the kernel backend.
+void replay_domain_case(const Call& call, Size size, bool needs_b,
+                        alib::KernelBackend& kernels, Rng& rng) {
+  CallProgram program;
+  const i32 fa = program.add_input(size, "a");
+  const i32 fb = needs_b ? program.add_input(size, "b") : kNoFrame;
+  program.mark_output(program.add_call(call, fa, fb));
+  if (analysis::verify_program(program).has_errors()) return;
+
+  const ProgramDomain domain = analyze_domain(program);
+  const img::Image a = img::make_test_frame(size, rng.next_u64());
+  const img::Image b = img::make_test_frame(size, rng.next_u64());
+
+  const alib::CallResult ref =
+      alib::execute_functional(call, a, needs_b ? &b : nullptr);
+  expect_image_in_domain(
+      ref.output,
+      domain.frames[static_cast<std::size_t>(program.calls()[0].output)]);
+
+  analysis::apply_domain_hints(program, domain);
+  const Call hinted = program.calls()[0].call;
+  test::expect_results_equal(
+      ref, kernels.execute(hinted, a, needs_b ? &b : nullptr));
+}
+
+class DomainFuzzCorpus : public ::testing::TestWithParam<u64> {};
+
+// The differential sweep half of the corpus: 8 seeds x 40 calls.
+TEST_P(DomainFuzzCorpus, DifferentialCorpusNeverEscapesItsIntervals) {
+  Rng rng(GetParam() * 0x9E3779B97F4A7C15ull);
+  par::ThreadPool pool(2);
+  alib::KernelBackend kernels({&pool, 8});
+  for (int i = 0; i < 40; ++i) {
+    const Size size = test::random_frame_size(rng);
+    bool needs_b = false;
+    const Call call = test::random_any_call(rng, size, needs_b);
+    SCOPED_TRACE("case " + std::to_string(i) + ": " + call.describe());
+    replay_domain_case(call, size, needs_b, kernels, rng);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DomainFuzzCorpus, ::testing::Range<u64>(1, 9));
+
+// The farm-sweep half: 200 more cases complete the 520-program corpus.
+TEST(DomainFuzzFarmCorpus, FarmCorpusNeverEscapesItsIntervals) {
+  Rng rng(0xD1FFu);
+  par::ThreadPool pool(2);
+  alib::KernelBackend kernels({&pool, 8});
+  for (int i = 0; i < 200; ++i) {
+    const Size size = test::random_frame_size(rng);
+    bool needs_b = false;
+    const Call call = test::random_any_call(rng, size, needs_b);
+    SCOPED_TRACE("case " + std::to_string(i) + ": " + call.describe());
+    replay_domain_case(call, size, needs_b, kernels, rng);
+  }
+}
+
+// The corpus generator keeps segment luma thresholds below 81, so the
+// flood-proof path (criterion proven vacuous) never triggers above; the
+// adversarial flood cases cover it, including the all-pixels-seeded and
+// label-barrier shapes.
+TEST(DomainFuzzSegments, AdversarialFloodCasesStayInsideTheirIntervals) {
+  for (const test::AdversarialFloodCase& fc :
+       test::adversarial_flood_cases()) {
+    SCOPED_TRACE(fc.name);
+    CallProgram program;
+    const i32 fa = program.add_input(fc.frame.size(), "a");
+    program.mark_output(program.add_call(fc.call, fa));
+    const ProgramDomain domain = analyze_domain(program);
+    const alib::CallResult ref = alib::execute_functional(fc.call, fc.frame);
+    expect_image_in_domain(
+        ref.output,
+        domain.frames[static_cast<std::size_t>(program.calls()[0].output)]);
+    // The proven visit bracket, when one exists, must contain the real
+    // traversal's visit count.
+    const auto hints = analysis::domain_visit_hints(program, domain);
+    if (!hints.empty() && hints[0].has_value()) {
+      u64 visited = 0;
+      for (const alib::SegmentInfo& s : ref.segments)
+        visited += static_cast<u64>(s.pixel_count);
+      EXPECT_GE(visited, hints[0]->lo) << fc.name;
+      EXPECT_LE(visited, hints[0]->hi) << fc.name;
+    }
+  }
+}
+
+// Multi-call programs: the interval chain must stay sound through produced
+// (non-top) frames, and the hinted program as a whole must stay bit-exact
+// on the kernel backend.
+TEST(DomainFuzzPrograms, FusionBiasedProgramsStaySoundAndBitExact) {
+  par::ThreadPool pool(4);
+  alib::KernelBackend raw_kernels({&pool, 4});
+  for (u64 seed = 1; seed <= 30; ++seed) {
+    Rng rng(seed * 0x9E3779B97F4A7C15ull + 0xAED0u);
+    const CallProgram program = test::random_fusion_biased_program(rng);
+    if (analysis::verify_program(program).has_errors()) continue;
+    SCOPED_TRACE("seed " + std::to_string(seed));
+
+    std::vector<img::Image> inputs;
+    for (const analysis::FrameDecl& decl : program.frames())
+      if (decl.producer == kNoFrame)
+        inputs.push_back(img::make_test_frame(decl.size, rng.next_u64()));
+
+    class Adapter : public alib::Backend {
+     public:
+      explicit Adapter(alib::KernelBackend& k) : k_(k) {}
+      std::string name() const override { return "kernels"; }
+      alib::CallResult execute(const alib::Call& call, const img::Image& a,
+                               const img::Image* b = nullptr) override {
+        return k_.execute(call, a, b);
+      }
+
+     private:
+      alib::KernelBackend& k_;
+    } backend(raw_kernels);
+
+    const analysis::ProgramRunResult ref =
+        analysis::run_program(program, backend, inputs);
+
+    // Soundness: every intermediate the run materialized is inside its
+    // frame's interval.  run_program exposes declared outputs only, so the
+    // check walks those (every frame is an output candidate in the
+    // fusion-biased generator's tail).
+    const ProgramDomain domain = analyze_domain(program);
+    for (std::size_t o = 0; o < program.outputs().size(); ++o) {
+      const i32 frame = program.outputs()[o];
+      SCOPED_TRACE("output " + std::to_string(o));
+      expect_image_in_domain(ref.outputs[o],
+                             domain.frames[static_cast<std::size_t>(frame)]);
+    }
+
+    // Hinted program: stamping clamp-free proofs must not change one bit.
+    CallProgram hinted = program;
+    analysis::apply_domain_hints(hinted, domain);
+    const analysis::ProgramRunResult out =
+        analysis::run_program(hinted, backend, inputs);
+    ASSERT_EQ(ref.outputs.size(), out.outputs.size());
+    for (std::size_t o = 0; o < ref.outputs.size(); ++o)
+      test::expect_images_equal(ref.outputs[o], out.outputs[o]);
+  }
+}
+
+}  // namespace
+}  // namespace ae

@@ -1,0 +1,561 @@
+// aedom — the per-channel value-interval abstract interpreter
+// (analysis/domain.hpp).
+//
+// Covers the lattice (join, normalization, top), pinned transfer precision
+// for the decided cases (thresholds, clamp-elision proofs, uniformity),
+// per-op soundness property tests (random calls, every materialized pixel
+// inside its computed interval), the domain-based AEW305/AEW306 lints, the
+// proven segment-visit brackets and their planner pricing, the
+// clamp-free kernel hints, and the --domain-json schema pin.
+//
+// The heavyweight soundness gate — the full 520-program differential-fuzz
+// corpus replayed through the domain — lives in tests/domain_fuzz_test.cpp
+// (tier2).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "addresslib/functional.hpp"
+#include "addresslib/kernels/kernel_backend.hpp"
+#include "analysis/domain.hpp"
+#include "analysis/lints.hpp"
+#include "analysis/planner.hpp"
+#include "analysis/rules.hpp"
+#include "common/parallel.hpp"
+#include "test_util.hpp"
+
+namespace ae {
+namespace {
+
+using alib::Call;
+using alib::Neighborhood;
+using alib::PixelOp;
+using analysis::analyze_domain;
+using analysis::CallDomain;
+using analysis::CallProgram;
+using analysis::ChannelInterval;
+using analysis::FrameDomain;
+using analysis::join;
+using analysis::ProgramDomain;
+using analysis::SegmentVisitInterval;
+using analysis::transfer_call;
+
+constexpr Size kFrame{48, 32};
+
+Call scale_call(i32 scale_num, i32 shift, i32 bias) {
+  alib::OpParams p;
+  p.scale_num = scale_num;
+  p.shift = shift;
+  p.bias = bias;
+  return Call::make_intra(PixelOp::Scale, Neighborhood::con0(),
+                          ChannelMask::y(), ChannelMask::y(), p);
+}
+
+Call threshold_call(i32 threshold) {
+  alib::OpParams p;
+  p.threshold = threshold;
+  return Call::make_intra(PixelOp::Threshold, Neighborhood::con0(),
+                          ChannelMask::y(), ChannelMask::y(), p);
+}
+
+Call mult_call(i32 shift) {
+  alib::OpParams p;
+  p.shift = shift;
+  return Call::make_inter(PixelOp::Mult, ChannelMask::y(), ChannelMask::y(),
+                          p);
+}
+
+Call segment_call(i32 luma, i32 chroma,
+                  bool respect_existing_labels = false) {
+  alib::SegmentSpec spec;
+  spec.seeds = {Point{4, 4}};
+  spec.luma_threshold = luma;
+  spec.chroma_threshold = chroma;
+  spec.respect_existing_labels = respect_existing_labels;
+  return Call::make_segment(PixelOp::Copy, Neighborhood::con4(), spec,
+                            ChannelMask::y(),
+                            ChannelMask::y().with(Channel::Alfa));
+}
+
+bool fires(const CallProgram& program, const char* rule) {
+  return analysis::lint_program(program).mentions(rule);
+}
+
+/// Asserts the soundness contract on one executed result: every channel of
+/// every pixel lies inside the computed interval, and a claimed-uniform
+/// channel really holds one value everywhere.
+void expect_result_in_domain(const img::Image& out, const FrameDomain& d) {
+  for (i32 y = 0; y < out.size().height; ++y) {
+    for (i32 x = 0; x < out.size().width; ++x) {
+      for (int ci = 0; ci < kChannelCount; ++ci) {
+        const auto c = static_cast<Channel>(ci);
+        const ChannelInterval& iv = d.of(c);
+        const u16 v = out.at(x, y).get(c);
+        ASSERT_TRUE(iv.contains(v))
+            << to_string(c) << "=" << v << " escapes [" << iv.lo << ", "
+            << iv.hi << "] at (" << x << ", " << y << ")";
+        if (iv.uniform) {
+          ASSERT_EQ(v, out.at(0, 0).get(c))
+              << to_string(c) << " claimed uniform but differs at (" << x
+              << ", " << y << ")";
+        }
+      }
+    }
+  }
+}
+
+// ---- lattice ---------------------------------------------------------------
+
+TEST(ChannelIntervalLattice, ConstructorsAndPredicates) {
+  const ChannelInterval c = ChannelInterval::exact(7);
+  EXPECT_TRUE(c.constant());
+  EXPECT_TRUE(c.uniform);
+  EXPECT_EQ(c.width(), 0);
+  EXPECT_TRUE(c.contains(7));
+  EXPECT_FALSE(c.contains(8));
+
+  const ChannelInterval r = ChannelInterval::range(3, 9);
+  EXPECT_FALSE(r.constant());
+  EXPECT_FALSE(r.uniform);
+  EXPECT_EQ(r.width(), 6);
+  EXPECT_TRUE(r.contains(3));
+  EXPECT_TRUE(r.contains(9));
+  EXPECT_FALSE(r.contains(10));
+
+  // Video channels top out at 255, side channels at 65535.
+  EXPECT_EQ(ChannelInterval::top(Channel::Y),
+            ChannelInterval::range(0, 255));
+  EXPECT_EQ(ChannelInterval::top(Channel::V),
+            ChannelInterval::range(0, 255));
+  EXPECT_EQ(ChannelInterval::top(Channel::Alfa),
+            ChannelInterval::range(0, 65535));
+  EXPECT_EQ(ChannelInterval::top(Channel::Aux),
+            ChannelInterval::range(0, 65535));
+}
+
+TEST(ChannelIntervalLattice, JoinIsTheHull) {
+  // Same constant twice: the proof survives.
+  EXPECT_EQ(join(ChannelInterval::exact(5), ChannelInterval::exact(5)),
+            ChannelInterval::exact(5));
+  // Two different constants: hull, uniformity lost (two populations).
+  const ChannelInterval mixed =
+      join(ChannelInterval::exact(5), ChannelInterval::exact(9));
+  EXPECT_EQ(mixed, ChannelInterval::range(5, 9));
+  EXPECT_FALSE(mixed.uniform);
+  // Plain ranges: hull.
+  EXPECT_EQ(join(ChannelInterval::range(3, 9), ChannelInterval::range(7, 20)),
+            ChannelInterval::range(3, 20));
+  // A non-constant uniform claim does not survive joining with a constant:
+  // the two sides may pin different shared values.
+  const ChannelInterval u{3, 9, true};
+  EXPECT_FALSE(join(u, ChannelInterval::exact(5)).uniform);
+  // Join with top is top.
+  EXPECT_EQ(join(ChannelInterval::exact(40), ChannelInterval::top(Channel::Y)),
+            ChannelInterval::top(Channel::Y));
+}
+
+// ---- pinned transfer precision ---------------------------------------------
+
+TEST(DomainTransfer, ThresholdDecidesOnProvenIntervals) {
+  const FrameDomain top = FrameDomain::top();
+  // threshold >= 255: no u8 luma can exceed it — proven constant 0.
+  EXPECT_EQ(transfer_call(threshold_call(255), top, nullptr)
+                .result.of(Channel::Y),
+            ChannelInterval::exact(0));
+  // threshold < 0: every luma exceeds it — proven constant 255.
+  EXPECT_EQ(transfer_call(threshold_call(-1), top, nullptr)
+                .result.of(Channel::Y),
+            ChannelInterval::exact(255));
+  // Undecided: both branch values possible.
+  EXPECT_EQ(transfer_call(threshold_call(10), top, nullptr)
+                .result.of(Channel::Y),
+            ChannelInterval::range(0, 255));
+  // Channels outside the out mask pass through untouched.
+  EXPECT_EQ(transfer_call(threshold_call(255), top, nullptr)
+                .result.of(Channel::U),
+            ChannelInterval::top(Channel::U));
+}
+
+TEST(DomainTransfer, ClampFreeProofsFollowTheRawRange) {
+  const FrameDomain top = FrameDomain::top();
+  // Mult >> 8 on 8-bit luma: raw peak 255*255 >> 8 = 254 — clamp-free.
+  const CallDomain mult = transfer_call(mult_call(8), top, &top);
+  EXPECT_TRUE(mult.clamp_free.contains(Channel::Y));
+  EXPECT_EQ(mult.result.of(Channel::Y), ChannelInterval::range(0, 254));
+  // Mult >> 4 can reach 4064: the clamp is live.
+  EXPECT_FALSE(
+      transfer_call(mult_call(4), top, &top).clamp_free.contains(Channel::Y));
+  // Add on unconstrained inputs can reach 510: the clamp is live.
+  EXPECT_FALSE(transfer_call(Call::make_inter(PixelOp::Add), top, &top)
+                   .clamp_free.contains(Channel::Y));
+  // Add with the second operand proven 0 never leaves [0, 255].
+  FrameDomain zero = FrameDomain::top();
+  zero.of(Channel::Y) = ChannelInterval::exact(0);
+  const CallDomain add0 =
+      transfer_call(Call::make_inter(PixelOp::Add), top, &zero);
+  EXPECT_TRUE(add0.clamp_free.contains(Channel::Y));
+  EXPECT_EQ(add0.result.of(Channel::Y), ChannelInterval::top(Channel::Y));
+  // Scale x1 >> 1: raw peak 127 — clamp-free, interval halved.
+  const CallDomain half = transfer_call(scale_call(1, 1, 0), top, nullptr);
+  EXPECT_TRUE(half.clamp_free.contains(Channel::Y));
+  EXPECT_EQ(half.result.of(Channel::Y), ChannelInterval::range(0, 127));
+}
+
+TEST(DomainTransfer, UniformityMakesNeighborhoodOpsExact) {
+  FrameDomain uni = FrameDomain::top();
+  uni.of(Channel::Y) = ChannelInterval{10, 90, true};  // one unknown value
+  // A gradient of a uniform channel cancels exactly.
+  const Call grad =
+      Call::make_intra(PixelOp::GradientMag, Neighborhood::con8());
+  EXPECT_EQ(transfer_call(grad, uni, nullptr).result.of(Channel::Y),
+            ChannelInterval::exact(0));
+  // On an unconstrained channel the same op spans the full range.
+  EXPECT_EQ(transfer_call(grad, FrameDomain::top(), nullptr)
+                .result.of(Channel::Y),
+            ChannelInterval::top(Channel::Y));
+  // Order statistics of a uniform window keep the uniformity proof.
+  const Call median = Call::make_intra(PixelOp::Median, Neighborhood::con8());
+  EXPECT_EQ(transfer_call(median, uni, nullptr).result.of(Channel::Y),
+            (ChannelInterval{10, 90, true}));
+}
+
+TEST(DomainTransfer, AnalyzeDomainChainsThroughPrograms) {
+  // in -> z = Threshold(255)  (Y proven 0) -> s = Add(in, z)  (identity).
+  CallProgram p;
+  const i32 in = p.add_input(kFrame, "in");
+  const i32 z = p.add_call(threshold_call(255), in);
+  const i32 s = p.add_call(Call::make_inter(PixelOp::Add), in, z);
+  p.mark_output(s);
+
+  const ProgramDomain d = analyze_domain(p);
+  ASSERT_EQ(d.frames.size(), 3u);
+  ASSERT_EQ(d.calls.size(), 2u);
+  EXPECT_EQ(d.frames[static_cast<std::size_t>(in)].of(Channel::Y),
+            ChannelInterval::top(Channel::Y));
+  EXPECT_EQ(d.frames[static_cast<std::size_t>(z)].of(Channel::Y),
+            ChannelInterval::exact(0));
+  EXPECT_EQ(d.frames[static_cast<std::size_t>(s)].of(Channel::Y),
+            ChannelInterval::top(Channel::Y));
+  // The Add's raw result is proven within [0, 255]: clamp-free.
+  EXPECT_TRUE(d.calls[1].clamp_free.contains(Channel::Y));
+  // And the call is a proven identity.
+  std::string why;
+  EXPECT_TRUE(analysis::range_identity_call(p, 1, d, &why));
+  EXPECT_NE(why.find("b proven == 0"), std::string::npos) << why;
+}
+
+// ---- per-op soundness property ---------------------------------------------
+
+// Random streamed and segment calls on random frames: no pixel any backend
+// materializes may escape the interval computed from top inputs.  The full
+// 520-program corpus replay is tier2 (domain_fuzz_test.cpp).
+TEST(DomainSoundness, RandomCallsStayInsideTheirIntervals) {
+  Rng rng(0xD0Eu);
+  for (int i = 0; i < 60; ++i) {
+    const Size size = test::random_frame_size(rng);
+    bool needs_b = false;
+    const Call call = test::random_any_call(rng, size, needs_b);
+    SCOPED_TRACE("case " + std::to_string(i) + ": " + call.describe());
+    const img::Image a = img::make_test_frame(size, rng.next_u64());
+    const img::Image b = img::make_test_frame(size, rng.next_u64());
+    const FrameDomain top = FrameDomain::top();
+    const CallDomain d = transfer_call(call, top, needs_b ? &top : nullptr);
+    const alib::CallResult ref =
+        alib::execute_functional(call, a, needs_b ? &b : nullptr);
+    expect_result_in_domain(ref.output, d.result);
+  }
+}
+
+// ---- AEW305 (vacuous segment criterion) on the domain ----------------------
+
+TEST(DomainLints, Aew305SyntacticPinsStillHoldOnTopInputs) {
+  const auto program = [](i32 luma, i32 chroma) {
+    CallProgram p;
+    const i32 frame = p.add_input(kFrame, "frame");
+    p.mark_output(p.add_call(segment_call(luma, chroma), frame));
+    return p;
+  };
+  EXPECT_TRUE(fires(program(255, -1),
+                    analysis::rules::kSegmentVacuousCriterion));
+  EXPECT_TRUE(fires(program(400, 300),
+                    analysis::rules::kSegmentVacuousCriterion));
+  EXPECT_FALSE(fires(program(16, -1),
+                     analysis::rules::kSegmentVacuousCriterion));
+  EXPECT_FALSE(fires(program(255, 20),
+                     analysis::rules::kSegmentVacuousCriterion));
+}
+
+TEST(DomainLints, Aew305CatchesCriteriaVacuousOnlyOnTheActualInput) {
+  // Segmenting a thresholded frame: Y is proven constant, so even a tight
+  // luma threshold admits every neighbor.  The old syntactic predicate
+  // (threshold >= 255) cannot see this.
+  CallProgram narrow;
+  const i32 a = narrow.add_input(kFrame, "a");
+  const i32 flat = narrow.add_call(threshold_call(255), a);
+  narrow.mark_output(narrow.add_call(segment_call(5, -1), flat));
+  EXPECT_TRUE(fires(narrow, analysis::rules::kSegmentVacuousCriterion));
+
+  // The same call on the unconstrained external frame stays quiet.
+  CallProgram wide;
+  const i32 b = wide.add_input(kFrame, "b");
+  wide.mark_output(wide.add_call(segment_call(5, -1), b));
+  EXPECT_FALSE(fires(wide, analysis::rules::kSegmentVacuousCriterion));
+}
+
+TEST(DomainLints, SegmentCriterionVacuousPredicate) {
+  FrameDomain top = FrameDomain::top();
+  alib::SegmentSpec spec;
+  spec.luma_threshold = 10;
+  spec.chroma_threshold = -1;
+  EXPECT_FALSE(analysis::segment_criterion_vacuous(spec, top));
+  spec.luma_threshold = 255;
+  EXPECT_TRUE(analysis::segment_criterion_vacuous(spec, top));
+  spec.chroma_threshold = 100;  // U/V can spread by 255: not vacuous
+  EXPECT_FALSE(analysis::segment_criterion_vacuous(spec, top));
+  spec.chroma_threshold = 255;
+  EXPECT_TRUE(analysis::segment_criterion_vacuous(spec, top));
+
+  // A uniform channel has zero spread regardless of its interval width.
+  FrameDomain uni = FrameDomain::top();
+  uni.of(Channel::Y) = ChannelInterval{0, 255, true};
+  spec.luma_threshold = 0;
+  spec.chroma_threshold = -1;
+  EXPECT_TRUE(analysis::segment_criterion_vacuous(spec, uni));
+}
+
+// ---- AEW306 (proven identity op) -------------------------------------------
+
+TEST(DomainLints, Aew306FiresOnProvenIdentities) {
+  // Whole-call structural identity: Scale x1 >> 0 + 0.
+  CallProgram ident;
+  const i32 a = ident.add_input(kFrame, "a");
+  ident.mark_output(ident.add_call(scale_call(1, 0, 0), a));
+  EXPECT_TRUE(fires(ident, analysis::rules::kRangeIdentityOp));
+
+  // A scale that actually transforms stays quiet.
+  CallProgram real;
+  const i32 b = real.add_input(kFrame, "b");
+  real.mark_output(real.add_call(scale_call(3, 1, 7), b));
+  EXPECT_FALSE(fires(real, analysis::rules::kRangeIdentityOp));
+
+  // Copy is the identity in any mode.
+  CallProgram copy;
+  const i32 c = copy.add_input(kFrame, "c");
+  copy.mark_output(copy.add_call(
+      Call::make_intra(PixelOp::Copy, Neighborhood::con0()), c));
+  EXPECT_TRUE(fires(copy, analysis::rules::kRangeIdentityOp));
+
+  // Sad matches frames like Copy but accumulates on the side port:
+  // dropping it would lose results, so the lint must stay quiet.
+  CallProgram sad;
+  const i32 x = sad.add_input(kFrame, "x");
+  const i32 y = sad.add_input(kFrame, "y");
+  sad.mark_output(sad.add_call(Call::make_inter(PixelOp::Sad), x, y));
+  EXPECT_FALSE(fires(sad, analysis::rules::kRangeIdentityOp));
+}
+
+// ---- proven segment visit brackets -----------------------------------------
+
+TEST(DomainSegments, ProvenVisitsCollapseTheEnvelope) {
+  const u64 area = static_cast<u64>(kFrame.area());
+  const FrameDomain top = FrameDomain::top();
+
+  // Vacuous criterion, fresh labels: the flood visits exactly the frame.
+  const auto flood = analysis::proven_segment_visits(
+      segment_call(255, -1), top, kFrame);
+  ASSERT_TRUE(flood.has_value());
+  EXPECT_EQ(flood->lo, area);
+  EXPECT_EQ(flood->hi, area);
+
+  // Selective criterion: nothing provable without pixels.
+  EXPECT_FALSE(analysis::proven_segment_visits(segment_call(16, -1), top,
+                                               kFrame)
+                   .has_value());
+
+  // respect_existing_labels with unconstrained Alfa: labels may block
+  // arbitrary subsets — nothing provable even under a vacuous criterion.
+  EXPECT_FALSE(analysis::proven_segment_visits(
+                   segment_call(255, -1, /*respect=*/true), top, kFrame)
+                   .has_value());
+
+  // ... but Alfa proven clear restores the exact flood.
+  FrameDomain clear = FrameDomain::top();
+  clear.of(Channel::Alfa) = ChannelInterval::exact(0);
+  const auto cleared = analysis::proven_segment_visits(
+      segment_call(255, -1, /*respect=*/true), clear, kFrame);
+  ASSERT_TRUE(cleared.has_value());
+  EXPECT_EQ(cleared->lo, area);
+
+  // ... and Alfa proven >= 1 everywhere blocks every seed: zero visits.
+  FrameDomain labeled = FrameDomain::top();
+  labeled.of(Channel::Alfa) = ChannelInterval::range(1, 65535);
+  const auto blocked = analysis::proven_segment_visits(
+      segment_call(255, -1, /*respect=*/true), labeled, kFrame);
+  ASSERT_TRUE(blocked.has_value());
+  EXPECT_EQ(blocked->lo, 0u);
+  EXPECT_EQ(blocked->hi, 0u);
+
+  // Degenerate geometry: an out-of-frame seed throws at execution, so
+  // nothing is provable; no seeds, same.
+  EXPECT_FALSE(analysis::proven_segment_visits(segment_call(255, -1), top,
+                                               Size{2, 2})
+                   .has_value());
+  Call no_seeds = segment_call(255, -1);
+  no_seeds.segment.seeds.clear();
+  EXPECT_FALSE(
+      analysis::proven_segment_visits(no_seeds, top, kFrame).has_value());
+}
+
+TEST(DomainSegments, VisitBracketsTightenThePlan) {
+  const analysis::PlanOptions options;
+  const Call call = segment_call(255, -1);
+  const analysis::CostEnvelope free =
+      analysis::plan_call(call, kFrame, options);
+
+  // The exact-flood bracket pins the traversal: the lower bound rises to
+  // meet the (unchanged) worst case.
+  const u64 area = static_cast<u64>(kFrame.area());
+  const analysis::CostEnvelope exact = analysis::plan_call(
+      call, kFrame, options, SegmentVisitInterval{area, area});
+  EXPECT_GT(exact.cycles.lower, free.cycles.lower);
+  EXPECT_LE(exact.cycles.upper, free.cycles.upper);
+
+  // The zero-visit bracket collapses the upper bound.
+  const analysis::CostEnvelope none = analysis::plan_call(
+      call, kFrame, options, SegmentVisitInterval{0, 0});
+  EXPECT_LT(none.cycles.upper, free.cycles.upper);
+
+  // The bracket is clamped against the static extremes: an overclaimed
+  // interval cannot push the envelope above the content-free bound.
+  const analysis::CostEnvelope wild = analysis::plan_call(
+      call, kFrame, options, SegmentVisitInterval{0, 100 * area});
+  EXPECT_LE(wild.cycles.upper, free.cycles.upper);
+
+  // Non-segment calls ignore the hint entirely.
+  const Call scale = scale_call(3, 1, 7);
+  const analysis::CostEnvelope plain =
+      analysis::plan_call(scale, kFrame, options);
+  const analysis::CostEnvelope hinted = analysis::plan_call(
+      scale, kFrame, options, SegmentVisitInterval{0, 0});
+  EXPECT_EQ(plain.cycles.lower, hinted.cycles.lower);
+  EXPECT_EQ(plain.cycles.upper, hinted.cycles.upper);
+}
+
+TEST(DomainSegments, HintedProgramPlanPricesProvenCalls) {
+  CallProgram p;
+  const i32 frame = p.add_input(kFrame, "frame");
+  p.mark_output(p.add_call(segment_call(255, -1), frame));
+
+  const analysis::PlanOptions options;
+  const ProgramDomain domain = analyze_domain(p);
+  const auto hints = analysis::domain_visit_hints(p, domain);
+  ASSERT_EQ(hints.size(), 1u);
+  ASSERT_TRUE(hints[0].has_value());
+  EXPECT_EQ(hints[0]->lo, static_cast<u64>(kFrame.area()));
+
+  const analysis::ProgramPlan free = analysis::plan_program(p, options);
+  const analysis::ProgramPlan hinted =
+      analysis::plan_program(p, options, hints);
+  EXPECT_GT(hinted.total.cycles.lower, free.total.cycles.lower);
+  EXPECT_LE(hinted.total.cycles.upper, free.total.cycles.upper);
+}
+
+// ---- clamp-free kernel hints -----------------------------------------------
+
+TEST(DomainHints, StampsClampFreeOnStreamedCallsOnly) {
+  CallProgram p;
+  const i32 in = p.add_input(kFrame, "in");
+  const i32 half = p.add_call(scale_call(1, 1, 0), in);  // raw peak 127
+  p.mark_output(p.add_call(segment_call(255, -1), half));
+
+  analysis::apply_domain_hints(p, analyze_domain(p));
+  EXPECT_TRUE(p.calls()[0].call.clamp_free.contains(Channel::Y));
+  // Segment calls stay unhinted: the flood's deferred-apply path does not
+  // carry the streamed clamp-free lowering.
+  EXPECT_TRUE(p.calls()[1].call.clamp_free.empty());
+}
+
+TEST(DomainHints, HintedKernelsStayBitExact) {
+  par::ThreadPool pool(2);
+  const alib::KernelBackend kernels({&pool, 8});
+  Rng rng(0xBEEFu);
+  const img::Image a = img::make_test_frame(kFrame, rng.next_u64());
+  const img::Image b = img::make_test_frame(kFrame, rng.next_u64());
+
+  const struct {
+    Call call;
+    bool needs_b;
+  } cases[] = {
+      {mult_call(8), true},         // inter Mult, SIMD clamp-free path
+      {scale_call(1, 1, 0), false}, // intra Scale, scalar clamp-free path
+  };
+  for (const auto& [call, needs_b] : cases) {
+    SCOPED_TRACE(call.describe());
+    CallProgram p;
+    const i32 fa = p.add_input(kFrame, "a");
+    const i32 fb = needs_b ? p.add_input(kFrame, "b") : analysis::kNoFrame;
+    p.mark_output(p.add_call(call, fa, fb));
+    analysis::apply_domain_hints(p, analyze_domain(p));
+    const Call hinted = p.calls()[0].call;
+    ASSERT_TRUE(hinted.clamp_free.contains(Channel::Y));
+
+    const alib::CallResult ref =
+        alib::execute_functional(call, a, needs_b ? &b : nullptr);
+    test::expect_results_equal(
+        ref, kernels.execute(hinted, a, needs_b ? &b : nullptr));
+  }
+}
+
+// ---- renderers -------------------------------------------------------------
+
+TEST(DomainRender, JsonSchemaIsPinned) {
+  CallProgram p;
+  const i32 in = p.add_input(Size{4, 3}, "in");
+  const i32 out = p.add_call(scale_call(1, 1, 0), in);
+  p.set_frame_name(out, "half");
+  p.mark_output(out);
+
+  EXPECT_EQ(
+      analysis::domain_json(p, analyze_domain(p)),
+      "{\"frames\":["
+      "{\"id\":0,\"name\":\"in\",\"channels\":["
+      "{\"channel\":\"Y\",\"lo\":0,\"hi\":255,\"uniform\":false},"
+      "{\"channel\":\"U\",\"lo\":0,\"hi\":255,\"uniform\":false},"
+      "{\"channel\":\"V\",\"lo\":0,\"hi\":255,\"uniform\":false},"
+      "{\"channel\":\"Alfa\",\"lo\":0,\"hi\":65535,\"uniform\":false},"
+      "{\"channel\":\"Aux\",\"lo\":0,\"hi\":65535,\"uniform\":false}]},"
+      "{\"id\":1,\"name\":\"half\",\"channels\":["
+      "{\"channel\":\"Y\",\"lo\":0,\"hi\":127,\"uniform\":false},"
+      "{\"channel\":\"U\",\"lo\":0,\"hi\":255,\"uniform\":false},"
+      "{\"channel\":\"V\",\"lo\":0,\"hi\":255,\"uniform\":false},"
+      "{\"channel\":\"Alfa\",\"lo\":0,\"hi\":65535,\"uniform\":false},"
+      "{\"channel\":\"Aux\",\"lo\":0,\"hi\":65535,\"uniform\":false}]}],"
+      "\"calls\":[{\"index\":0,\"clamp_free\":\"Y\"}]}");
+}
+
+TEST(DomainRender, JsonReportsSegmentVisitBrackets) {
+  CallProgram p;
+  const i32 frame = p.add_input(kFrame, "frame");
+  p.mark_output(p.add_call(segment_call(255, -1), frame));
+  const std::string json = analysis::domain_json(p, analyze_domain(p));
+  EXPECT_NE(json.find("\"segment_visits\":{\"lo\":1536,\"hi\":1536}"),
+            std::string::npos)
+      << json;
+  // Segment calls carry no clamp-free mask.
+  EXPECT_NE(json.find("\"clamp_free\":\"-\""), std::string::npos) << json;
+}
+
+TEST(DomainRender, TextTableNamesFramesAndProofs) {
+  CallProgram p;
+  const i32 in = p.add_input(kFrame, "in");
+  p.mark_output(p.add_call(scale_call(1, 1, 0), in));
+  const std::string text = analysis::format_domain(p, analyze_domain(p));
+  EXPECT_NE(text.find("domain:"), std::string::npos);
+  EXPECT_NE(text.find("in 48x32"), std::string::npos) << text;
+  EXPECT_NE(text.find("Y[0,127]"), std::string::npos) << text;
+  EXPECT_NE(text.find("call 0 clamp-free: Y"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace ae

@@ -325,6 +325,125 @@ TEST(DeadElim, KeepsSegmentCalls) {
   EXPECT_FALSE(opt.changed);
 }
 
+// ---- range (AEW306) --------------------------------------------------------
+
+/// in -> flat = Threshold(255) (Y proven 0) -> sum = Add(in, flat): the
+/// value domain proves the Add writes back exactly `in`.
+Call threshold_const_zero() { return pointwise_threshold(255); }
+
+TEST(Range, DropsAProvenIdentityBitExactly) {
+  CallProgram program;
+  const i32 a = program.add_input(kFrame, "a");
+  const i32 flat = program.add_call(threshold_const_zero(), a);
+  const i32 sum = program.add_call(Call::make_inter(PixelOp::Add), a, flat);
+  program.mark_output(program.add_call(pointwise_scale(), sum));
+
+  const OptimizeResult opt = analysis::optimize_program(program);
+  ASSERT_TRUE(opt.changed);
+  // The identity Add is dropped by the range tier; the then-dead Threshold
+  // falls to dead-elim.  The scale consumer survives, re-pointed at the
+  // external input.
+  ASSERT_EQ(opt.program.calls().size(), 1u);
+  EXPECT_EQ(opt.program.calls()[0].call.op, PixelOp::Scale);
+  EXPECT_EQ(opt.program.calls()[0].input_a, a);
+  bool saw_range = false;
+  for (const RewriteRecord& r : opt.log.records) {
+    if (r.kind != "range") continue;
+    saw_range = true;
+    EXPECT_EQ(r.rule, analysis::rules::kRangeIdentityOp);
+    EXPECT_EQ(r.tier, "range");
+    EXPECT_EQ(r.calls, (std::vector<i32>{1}));
+    EXPECT_NE(r.note.find("b proven == 0"), std::string::npos) << r.note;
+  }
+  EXPECT_TRUE(saw_range);
+  EXPECT_EQ(analysis::verify_program(opt.program).error_count(), 0u);
+
+  Rng rng(0xA306u);
+  par::ThreadPool pool(2);
+  KernelBackendAdapter kernels({&pool, 4});
+  expect_bit_exact(program, opt, kernels, rng);
+  core::EngineBackend engine({}, core::EngineMode::CycleAccurate);
+  expect_bit_exact(program, opt, engine, rng, /*check_claims=*/true);
+}
+
+TEST(Range, StackedIdentitiesCollapseThroughTheAliasChain) {
+  CallProgram program;
+  const i32 a = program.add_input(kFrame, "a");
+  const i32 flat = program.add_call(threshold_const_zero(), a);
+  const i32 s1 = program.add_call(Call::make_inter(PixelOp::Add), a, flat);
+  const i32 s2 = program.add_call(Call::make_inter(PixelOp::Add), s1, flat);
+  program.mark_output(program.add_call(pointwise_scale(), s2));
+
+  const OptimizeResult opt = analysis::optimize_program(program);
+  ASSERT_TRUE(opt.changed);
+  ASSERT_EQ(opt.program.calls().size(), 1u);
+  EXPECT_EQ(opt.program.calls()[0].call.op, PixelOp::Scale);
+  // Both drops re-point their consumers through the frame-alias chain all
+  // the way back to the external input.
+  EXPECT_EQ(opt.program.calls()[0].input_a, a);
+  int range_drops = 0;
+  for (const RewriteRecord& r : opt.log.records)
+    if (r.kind == "range") ++range_drops;
+  EXPECT_EQ(range_drops, 2);
+
+  Rng rng(0xA307u);
+  par::ThreadPool pool(2);
+  KernelBackendAdapter kernels({&pool, 4});
+  expect_bit_exact(program, opt, kernels, rng);
+}
+
+TEST(Range, KeepsAHostCollectedIdentity) {
+  // The identity's result IS a declared output: re-pointing a host-visible
+  // result at an external input frame is out of surgery's contract.
+  CallProgram program;
+  const i32 a = program.add_input(kFrame, "a");
+  program.mark_output(program.add_call(
+      Call::make_intra(PixelOp::Copy, Neighborhood::con0()), a));
+
+  const OptimizeResult opt = analysis::optimize_program(program);
+  EXPECT_FALSE(opt.changed);
+  EXPECT_EQ(opt.program.calls().size(), 1u);
+}
+
+TEST(Range, CanBeDisabled) {
+  CallProgram program;
+  const i32 a = program.add_input(kFrame, "a");
+  const i32 flat = program.add_call(threshold_const_zero(), a);
+  const i32 sum = program.add_call(Call::make_inter(PixelOp::Add), a, flat);
+  program.mark_output(program.add_call(pointwise_scale(), sum));
+
+  OptimizeOptions no_range;
+  no_range.range = false;
+  const OptimizeResult opt = analysis::optimize_program(program, no_range);
+  for (const RewriteRecord& r : opt.log.records) EXPECT_NE(r.kind, "range");
+  bool add_survives = false;
+  for (const analysis::ProgramCall& pc : opt.program.calls())
+    add_survives = add_survives || pc.call.op == PixelOp::Add;
+  EXPECT_TRUE(add_survives);
+}
+
+TEST(Range, DomainHintsStampClampFreeOnTheFinalProgram) {
+  CallProgram program;
+  const i32 a = program.add_input(kFrame, "a");
+  const i32 b = program.add_input(kFrame, "b");
+  alib::OpParams mult;
+  mult.shift = 8;  // raw peak 255*255 >> 8 = 254: proven clamp-free
+  program.mark_output(program.add_call(
+      Call::make_inter(PixelOp::Mult, ChannelMask::y(), ChannelMask::y(),
+                       mult),
+      a, b));
+
+  const OptimizeResult opt = analysis::optimize_program(program);
+  EXPECT_FALSE(opt.changed);  // hints are advisory, not a rewrite
+  EXPECT_TRUE(opt.program.calls()[0].call.clamp_free.contains(Channel::Y));
+
+  OptimizeOptions no_hints;
+  no_hints.domain_hints = false;
+  EXPECT_TRUE(analysis::optimize_program(program, no_hints)
+                  .program.calls()[0]
+                  .call.clamp_free.empty());
+}
+
 // ---- reorder (AEW304) ------------------------------------------------------
 
 TEST(Reorder, HoistsARecoverableReuse) {
@@ -501,7 +620,7 @@ TEST(Options, ClassesCanBeDisabledIndependently) {
   EXPECT_EQ(opt.program.calls().size(), 2u);  // the dead call survives
 
   OptimizeOptions none;
-  none.dead_elim = none.fuse = none.reorder = false;
+  none.dead_elim = none.range = none.fuse = none.reorder = false;
   EXPECT_FALSE(analysis::optimize_program(program, none).changed);
 }
 

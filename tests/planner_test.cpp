@@ -472,6 +472,7 @@ TEST(Lints, EveryAewRuleIsInTheCatalogAsAWarning) {
       analysis::rules::kFusablePointwisePair,
       analysis::rules::kReorderForReuse,
       analysis::rules::kSegmentVacuousCriterion,
+      analysis::rules::kRangeIdentityOp,
   };
   for (const char* id : kAewRules) {
     bool found = false;

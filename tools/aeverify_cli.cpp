@@ -18,6 +18,10 @@
 //               rewrite log plus the optimized program
 //   --opt-json  like --opt, but the per-file JSON object grows an "opt"
 //               member (implies --json)
+//   --domain    run the aedom value-interval analysis and print the
+//               per-frame interval table plus the per-call proofs
+//   --domain-json  like --domain, but the per-file JSON object grows a
+//               "domain" member (implies --json)
 //   --json      machine-readable output: one JSON object per input
 //
 // Exit codes (the contract shared with the library, diagnostic.hpp):
@@ -31,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/domain.hpp"
 #include "analysis/lints.hpp"
 #include "analysis/optimizer.hpp"
 #include "analysis/planner.hpp"
@@ -52,13 +57,15 @@ struct CliOptions {
   bool plan = false;
   bool lint = false;
   bool opt = false;
+  bool domain = false;
   bool json = false;
   std::vector<std::string> files;
 };
 
 void print_usage(std::ostream& os) {
   os << "usage: aeverify [--strict] [--quiet] [--echo] [--plan] [--lint] "
-        "[--opt] [--opt-json] [--json] <program ...|->\n"
+        "[--opt] [--opt-json] [--domain] [--domain-json] [--json] "
+        "<program ...|->\n"
         "       aeverify --rules | --golden | --demo-bad\n"
         "exit codes: 0 clean, 1 errors (any finding under --strict), "
         "2 usage/parse error\n";
@@ -129,9 +136,13 @@ int verify_text(const std::string& label, const std::string& text,
   const bool ran_opt = options.opt && !report.has_errors();
   if (ran_opt) opt = analysis::optimize_program(program);
 
+  analysis::ProgramDomain domain;
+  if (options.domain) domain = analysis::analyze_domain(program);
+
   if (options.json) {
     // One object per input so pipelines can stream per-file results:
-    //   {"file":..., "report":{...}[, "plan":{...}][, "opt":{...}]}
+    //   {"file":..., "report":{...}[, "plan":{...}][, "opt":{...}]
+    //    [, "domain":{...}]}
     std::cout << "{\"file\":" << analysis::json_quote(label)
               << ",\"report\":" << analysis::report_json(report);
     if (options.plan)
@@ -143,6 +154,8 @@ int verify_text(const std::string& label, const std::string& text,
                 << analysis::json_quote(
                        analysis::format_program(opt.program))
                 << '}';
+    if (options.domain)
+      std::cout << ",\"domain\":" << analysis::domain_json(program, domain);
     std::cout << "}\n";
     return report.exit_code(options.strict);
   }
@@ -155,6 +168,7 @@ int verify_text(const std::string& label, const std::string& text,
       std::cout << analysis::format_rewrite_log(opt.log);
       if (opt.changed) std::cout << analysis::format_program(opt.program);
     }
+    if (options.domain) std::cout << analysis::format_domain(program, domain);
   }
   std::cout << label << ": " << report.error_count() << " error(s), "
             << report.warning_count() << " warning(s)\n";
@@ -222,6 +236,11 @@ int main(int argc, char** argv) {
       options.opt = true;
     } else if (arg == "--opt-json") {
       options.opt = true;
+      options.json = true;
+    } else if (arg == "--domain") {
+      options.domain = true;
+    } else if (arg == "--domain-json") {
+      options.domain = true;
       options.json = true;
     } else if (arg == "--json") {
       options.json = true;
