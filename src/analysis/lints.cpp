@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "analysis/alloc.hpp"
 #include "analysis/domain.hpp"
 #include "analysis/rules.hpp"
 #include "core/scanspace.hpp"
@@ -223,6 +224,40 @@ void lint_range_identity_op(const CallProgram& program,
   }
 }
 
+// AEW307 — an input the LRU schedule transfers but the static allocator
+// (same call order, Belady eviction) proves can be Reused/Relocated: the
+// upload is avoidable purely through better eviction decisions.  Distinct
+// from AEW300 (the LRU driver already reuses it) and AEW304 (recovery needs
+// a reorder): this one needs neither a rewrite nor luck — just a plan.
+void lint_allocatable_residency(const CallProgram& program,
+                                const ProgramPlan& plan,
+                                const PlanOptions& options, Report& report) {
+  AllocOptions alloc_options;
+  alloc_options.plan = options;
+  alloc_options.schedule = false;  // identity order: aligns with plan.calls
+  const ResidencyPlan alloc = allocate_residency(program, alloc_options);
+  if (alloc.words_saved == 0) return;  // allocator fell back to the LRU plan
+  for (std::size_t i = 0; i < plan.calls.size(); ++i) {
+    const CallPlan& cp = plan.calls[i];
+    const CallAssignment& ca = alloc.assignments[i];
+    for (std::size_t k = 0;
+         k < cp.inputs.size() && k < ca.inputs.size(); ++k) {
+      if (cp.inputs[k].kind != TransferKind::Transferred) continue;
+      if (ca.inputs[k].kind == TransferKind::Transferred) continue;
+      std::ostringstream os;
+      os << "input '" << program.frame_name(cp.inputs[k].frame)
+         << "' is transferred under LRU eviction but "
+         << to_string(ca.inputs[k].kind)
+         << " under the static allocator; the " << cp.inputs[k].words
+         << "-word PCI upload is avoidable in place";
+      report.add(Severity::Warning, rules::kAllocatableResidency,
+                 cp.call_index, os.str(),
+                 "run the program through plan-directed execution "
+                 "(EngineFarm residency_plan / aealloc)");
+    }
+  }
+}
+
 }  // namespace
 
 Report lint_program(const CallProgram& program, const ProgramPlan& plan,
@@ -236,6 +271,7 @@ Report lint_program(const CallProgram& program, const ProgramPlan& plan,
   const ProgramDomain domain = analyze_domain(program);
   lint_segment_vacuous_criterion(program, domain, report);
   lint_range_identity_op(program, domain, report);
+  lint_allocatable_residency(program, plan, options, report);
   return report;
 }
 

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "analysis/alloc.hpp"
 #include "analysis/domain.hpp"
 #include "analysis/lints.hpp"
 #include "analysis/rules.hpp"
@@ -494,6 +495,40 @@ OptimizeResult optimize_program(const CallProgram& program,
             break;  // plan is stale after a hoist; re-derive candidates
           }
           ++result.log.rejected;
+        }
+      }
+      // The aealloc schedule hint, tried only once the local hoist search
+      // is dry: the allocator's Belady-policy order is a single whole-
+      // program permutation candidate, admitted by the same residency
+      // proof — its objective (offline-optimal eviction) and the proof's
+      // (the driver's actual LRU) differ, so a hint can be refused.
+      if (options.alloc_schedule) {
+        AllocOptions alloc_options;
+        alloc_options.plan = options.plan;
+        const ResidencyPlan hint =
+            allocate_residency(result.program, alloc_options);
+        if (hint.reordered) {
+          Surgery s;
+          s.order.assign(hint.schedule.begin(), hint.schedule.end());
+          RewriteRecord record;
+          record.rule = rules::kReorderForReuse;
+          record.kind = "reorder";
+          record.calls.assign(hint.schedule.begin(), hint.schedule.end());
+          record.note =
+              "adopted aealloc schedule hint (whole-order permutation)";
+          const ProgramPlan plan = plan_program(result.program, options.plan);
+          CallProgram next;
+          if (prove_and_admit(result.program, plan,
+                              Candidate{apply_surgery(result.program, s),
+                                        {},
+                                        /*permutation=*/true},
+                              options, record, next)) {
+            result.program = std::move(next);
+            accumulate(result.log, record);
+            progress = true;
+          } else {
+            ++result.log.rejected;
+          }
         }
       }
     }

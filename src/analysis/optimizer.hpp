@@ -63,6 +63,13 @@ struct OptimizeOptions {
   bool range = true;
   bool fuse = true;
   bool reorder = true;
+  /// Let the reorder tier also consider the aealloc schedule hint
+  /// (analysis/alloc.hpp): when the allocator's Belady-policy search finds
+  /// a strictly better order, the whole permutation is tried as one
+  /// candidate — after the local hoist search reaches its fixpoint, and
+  /// admitted only by the same residency dominance proof (the allocator
+  /// proposes, the prover disposes).  No effect unless `reorder` is set.
+  bool alloc_schedule = true;
   /// Stamp Call::clamp_free on the final program from the value-domain
   /// analysis (analysis/domain.hpp) so kernel backends may lower to
   /// clamp-free row variants.  Advisory only — does not count as a rewrite.

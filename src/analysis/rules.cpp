@@ -53,6 +53,9 @@ const std::vector<RuleInfo>& catalog() {
       {kRangeIdentityOp, Severity::Warning,
        "call is a proven per-pixel identity under the value domain "
        "(droppable)"},
+      {kAllocatableResidency, Severity::Warning,
+       "transferred input has a legal resident assignment under the static "
+       "allocator (aealloc)"},
   };
   return kCatalog;
 }

@@ -108,6 +108,12 @@ inline constexpr const char* kSegmentVacuousCriterion = "AEW305";
 /// dead weight the aeopt `range` tier can drop bit-exactly.
 inline constexpr const char* kRangeIdentityOp = "AEW306";
 
+/// An input the LRU residency schedule classifies Transferred has a legal
+/// Reused/Relocated assignment under the static allocator
+/// (analysis/alloc.hpp, same order, Belady eviction): the upload is
+/// avoidable without touching the program — only the eviction decisions.
+inline constexpr const char* kAllocatableResidency = "AEW307";
+
 struct RuleInfo {
   const char* id;
   Severity severity;

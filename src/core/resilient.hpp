@@ -130,6 +130,10 @@ class ResilientSession : public alib::Backend {
   void restore_residency(const ResidencySnapshot& snapshot) {
     session_.restore_residency(snapshot);
   }
+  /// Advisory frame pins of the wrapped session (forwarded).
+  void pin_frames(const std::vector<u64>& hashes) {
+    session_.pin_frames(hashes);
+  }
 
   /// Timeline sink for simulated calls and driver events; may be null.
   void set_trace(EngineTrace* trace);

@@ -53,6 +53,18 @@ std::string EngineSession::name() const {
 void EngineSession::invalidate() {
   input_slot_ = {};
   result_slot_ = 0;
+  pinned_.clear();
+}
+
+void EngineSession::pin_frames(const std::vector<u64>& hashes) {
+  pinned_.clear();
+  for (const u64 hash : hashes)
+    if (hash != 0) pinned_.push_back(hash);
+}
+
+bool EngineSession::is_pinned(u64 hash) const {
+  return hash != 0 &&
+         std::find(pinned_.begin(), pinned_.end(), hash) != pinned_.end();
 }
 
 ResidencySnapshot EngineSession::residency() const {
@@ -115,22 +127,30 @@ std::size_t EngineSession::victim_slot(
     const std::array<bool, 2>& claimed) const {
   // Transient frames (relocated results, typically consumed once) go
   // first; ties and the rest by least recent use.  Slots already feeding
-  // the current call are never victims.
-  std::size_t best = input_slot_.size();
-  for (std::size_t s = 0; s < input_slot_.size(); ++s) {
-    if (claimed[s]) continue;
-    if (best == input_slot_.size()) {
-      best = s;
-      continue;
+  // the current call are never victims; pinned frames are spared on the
+  // first pass, but pins are advisory — when every unclaimed slot is
+  // pinned the second pass ignores them so a call always finds a victim.
+  const auto scan = [&](bool respect_pins) {
+    std::size_t best = input_slot_.size();
+    for (std::size_t s = 0; s < input_slot_.size(); ++s) {
+      if (claimed[s]) continue;
+      if (respect_pins && is_pinned(input_slot_[s].hash)) continue;
+      if (best == input_slot_.size()) {
+        best = s;
+        continue;
+      }
+      const InputSlot& cand = input_slot_[s];
+      const InputSlot& cur = input_slot_[best];
+      if (cand.transient != cur.transient) {
+        if (cand.transient) best = s;
+      } else if (cand.last_use < cur.last_use) {
+        best = s;
+      }
     }
-    const InputSlot& cand = input_slot_[s];
-    const InputSlot& cur = input_slot_[best];
-    if (cand.transient != cur.transient) {
-      if (cand.transient) best = s;
-    } else if (cand.last_use < cur.last_use) {
-      best = s;
-    }
-  }
+    return best;
+  };
+  std::size_t best = scan(/*respect_pins=*/true);
+  if (best == input_slot_.size()) best = scan(/*respect_pins=*/false);
   AE_ASSERT(best < input_slot_.size(),
             "no free input pair: both slots claimed by the current call");
   return best;

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <array>
+#include <vector>
 
 #include "addresslib/call.hpp"
 #include "core/analytic.hpp"
@@ -122,8 +123,18 @@ class EngineSession : public alib::Backend {
   /// Residency reuse is already folded in: a call whose inputs were all
   /// resident reports `input_cycles == 0`.
   const CallPhases& last_phases() const { return last_phases_; }
-  /// Forgets all residency (e.g. the host reused the buffers).
+  /// Forgets all residency (e.g. the host reused the buffers).  Also drops
+  /// any active pins — pinned content is gone with the slots.
   void invalidate();
+
+  /// Replaces the set of pinned frame hashes.  A pinned frame resident in
+  /// an input pair is spared by victim selection while any unpinned slot is
+  /// available; the pin is ADVISORY — when every evictable slot is pinned,
+  /// LRU applies as if nothing were pinned (a call must always find a
+  /// victim), so pins can never wedge a session.  Plan-directed execution
+  /// (serve::EngineFarm residency plans, analysis/alloc.hpp keep sets) pins
+  /// per call and clears with an empty vector; zero hashes are ignored.
+  void pin_frames(const std::vector<u64>& hashes);
 
   /// Residency tables as a serializable value (shard checkpointing).
   ResidencySnapshot residency() const;
@@ -156,8 +167,10 @@ class EngineSession : public alib::Backend {
   Residency acquire_input(u64 hash, std::array<bool, 2>& claimed);
 
   /// Picks the input pair to overwrite among unclaimed slots: transient
-  /// (relocated result) frames first, then least recently used.
+  /// (relocated result) frames first, then least recently used.  Pinned
+  /// frames are spared unless every unclaimed slot is pinned.
   std::size_t victim_slot(const std::array<bool, 2>& claimed) const;
+  bool is_pinned(u64 hash) const;
   void touch(std::size_t slot, bool transient);
 
   // Threading contract: an EngineSession (and the SessionStats it
@@ -177,6 +190,7 @@ class EngineSession : public alib::Backend {
   std::array<InputSlot, 2> input_slot_{};
   u64 result_slot_ = 0;
   u64 use_clock_ = 0;
+  std::vector<u64> pinned_;
   FaultInjector* fault_ = nullptr;
   EngineTrace* trace_ = nullptr;
 };

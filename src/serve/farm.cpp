@@ -117,6 +117,20 @@ ProgramExecution EngineFarm::execute_program(
     optimized = std::move(result.program);
     to_run = &optimized;
   }
+  if (options_.residency_plan) {
+    // Plan-directed execution: the aealloc pass decides the schedule and
+    // which frames each call must leave resident; the whole program shares
+    // one shard so the planned residency is physical, not statistical.
+    analysis::AllocOptions alloc_options;
+    alloc_options.plan.config = options_.config;
+    out.residency = analysis::allocate_residency(*to_run, alloc_options);
+    out.allocated = true;
+    out.run = run_planned(*to_run, out.residency, inputs);
+    sync::MutexLock lock(mu_);
+    ++planned_programs_;
+    planned_words_saved_ += out.residency.words_saved;
+    return out;
+  }
   // run_program drives the farm through its Backend face: each call is a
   // sync submit, so routing, residency affinity and admission control all
   // apply exactly as for hand-submitted traffic.
@@ -124,9 +138,99 @@ ProgramExecution EngineFarm::execute_program(
   return out;
 }
 
+int EngineFarm::pick_program_shard() {
+  // lifecycle_mu_ makes the shards_ iteration safe against resize(), same
+  // as stats(); released before any submission blocks on queue space.
+  sync::MutexLock lifecycle(lifecycle_mu_);
+  int best = 0;
+  u64 best_key[3] = {~0ull, ~0ull, ~0ull};
+  for (int s = 0; s < static_cast<int>(shards_.size()); ++s) {
+    Shard& shard = *shards_[static_cast<std::size_t>(s)];
+    sync::MutexLock lock(shard.mu);
+    const u64 key[3] = {
+        shard.breaker == core::BreakerState::Closed ? 0ull : 1ull,
+        shard.queue.size() + (shard.busy ? 1u : 0u), shard.clock_cycles};
+    if (std::lexicographical_compare(key, key + 3, best_key, best_key + 3)) {
+      std::copy(key, key + 3, best_key);
+      best = s;
+    }
+  }
+  return best;
+}
+
+analysis::ProgramRunResult EngineFarm::run_planned(
+    const analysis::CallProgram& program, const analysis::ResidencyPlan& plan,
+    const std::vector<img::Image>& inputs) {
+  // Same contract as analysis::run_program — external frames from `inputs`
+  // in declaration order, outputs in outputs() order — but calls execute in
+  // the plan's schedule (dependence-preserving by construction) and each
+  // call pins its keep set.  Segment records therefore concatenate in
+  // SCHEDULE order; consumers key them by id, never by arrival position.
+  const auto& frames = program.frames();
+  std::vector<img::Image> values(frames.size());
+  std::vector<bool> have(frames.size(), false);
+  std::size_t next_input = 0;
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    if (frames[f].producer != analysis::kNoFrame) continue;
+    AE_EXPECTS(next_input < inputs.size(),
+               "execute_program: fewer input images than external frames");
+    AE_EXPECTS(inputs[next_input].size() == frames[f].size,
+               "execute_program: input image size mismatch for frame '" +
+                   program.frame_name(static_cast<i32>(f)) + "'");
+    values[f] = inputs[next_input++];
+    have[f] = true;
+  }
+  AE_EXPECTS(next_input == inputs.size(),
+             "execute_program: more input images than external frames");
+
+  const int home = pick_program_shard();
+  analysis::ProgramRunResult out;
+  for (std::size_t p = 0; p < plan.schedule.size(); ++p) {
+    const analysis::ProgramCall& pc =
+        program.calls()[static_cast<std::size_t>(plan.schedule[p])];
+    AE_EXPECTS(program.valid_frame(pc.input_a) &&
+                   have[static_cast<std::size_t>(pc.input_a)],
+               "execute_program: call reads an unavailable frame");
+    const img::Image* b = nullptr;
+    if (pc.input_b != analysis::kNoFrame) {
+      AE_EXPECTS(program.valid_frame(pc.input_b) &&
+                     have[static_cast<std::size_t>(pc.input_b)],
+                 "execute_program: call reads an unavailable second frame");
+      b = &values[static_cast<std::size_t>(pc.input_b)];
+    }
+    std::vector<u64> pins;
+    for (const i32 kept : plan.assignments[p].keep)
+      if (program.valid_frame(kept) && have[static_cast<std::size_t>(kept)])
+        pins.push_back(
+            core::frame_content_hash(values[static_cast<std::size_t>(kept)]));
+    alib::CallResult r =
+        submit_request(pc.call, values[static_cast<std::size_t>(pc.input_a)],
+                       b, home, std::move(pins))
+            .get();
+    out.side.merge(r.side);
+    out.stats.merge(r.stats);
+    out.segments.insert(out.segments.end(), r.segments.begin(),
+                        r.segments.end());
+    values[static_cast<std::size_t>(pc.output)] = std::move(r.output);
+    have[static_cast<std::size_t>(pc.output)] = true;
+  }
+  for (const i32 f : program.outputs()) {
+    AE_EXPECTS(program.valid_frame(f) && have[static_cast<std::size_t>(f)],
+               "execute_program: declared output was never produced");
+    out.outputs.push_back(values[static_cast<std::size_t>(f)]);
+  }
+  return out;
+}
+
 std::future<alib::CallResult> EngineFarm::submit(const alib::Call& call,
                                                  const img::Image& a,
                                                  const img::Image* b) {
+  return submit_request(call, a, b, /*forced_shard=*/-1, /*pin_hashes=*/{});
+}
+
+std::future<alib::CallResult> EngineFarm::submit_request(
+    const alib::Call& call, const img::Image& a, const img::Image* b,
+    int forced_shard, std::vector<u64> pin_hashes) {
   // Fail malformed calls in the caller's context, not on a worker.
   alib::validate_call(call, a, b);
   if (options_.validate_before_execute)
@@ -170,6 +274,8 @@ std::future<alib::CallResult> EngineFarm::submit(const alib::Call& call,
   request.call = call;
   request.a = &a;
   request.b = b;
+  request.forced_shard = forced_shard;
+  request.pin_hashes = std::move(pin_hashes);
   if (options_.affinity_routing || options_.cost_aware_routing ||
       options_.elastic_state_tracking) {
     // Elastic tracking needs the hashes too: the worker keys its host-side
@@ -201,6 +307,12 @@ std::future<alib::CallResult> EngineFarm::submit(const alib::Call& call,
 
 int EngineFarm::route(const Request& request, bool& affinity_hit) {
   affinity_hit = false;
+  // Plan-directed requests go exactly where the program's home shard is:
+  // a residency plan holds only if every call shares the board.  Clamped
+  // because a resize() may have shrunk the farm since the pick.
+  if (request.forced_shard >= 0)
+    return std::min(request.forced_shard,
+                    static_cast<int>(shards_.size()) - 1);
   // Cost-aware routing: minimize the predicted transfer cost — a shard
   // whose residency (the scheduler-thread affinity map) already holds a
   // frame is charged nothing for it.  Health and backlog dominate the key
@@ -376,6 +488,10 @@ void EngineFarm::worker_loop(Shard& shard) {
     u64 overlap = 0;
     bool on_engine = false;
     try {
+      // Pins are per-request: a plan-directed call installs its keep set,
+      // ordinary traffic (empty vector) clears any previous pins — so a
+      // plan's pins never outlive the call they were computed for.
+      shard.session.pin_frames(request.pin_hashes);
       alib::CallResult result =
           shard.session.execute(request.call, *request.a, request.b);
       on_engine = shard.session.stats().fallback_calls == fallbacks_before;
@@ -483,6 +599,8 @@ FarmStats EngineFarm::stats() const {
     stats.cold_recoveries = cold_recoveries_;
     stats.frames_migrated = frames_migrated_;
     stats.migration_pci_words = migration_pci_words_;
+    stats.planned_programs = planned_programs_;
+    stats.planned_words_saved = planned_words_saved_;
   }
   stats.shards.reserve(shards_.size());
   for (const auto& shard : shards_) {

@@ -58,6 +58,7 @@
 #include <vector>
 
 #include "addresslib/call.hpp"
+#include "analysis/alloc.hpp"
 #include "analysis/optimizer.hpp"
 #include "common/error.hpp"
 #include "common/sync.hpp"
@@ -111,6 +112,15 @@ struct FarmOptions {
   /// reordering only exist at program granularity.  Results stay bit-exact:
   /// every rewrite is dominance-proven and re-verified.
   bool optimize_on_submit = false;
+  /// Plan-directed whole-program execution: execute_program() runs the
+  /// aealloc pass (analysis::allocate_residency) and executes the program
+  /// on ONE shard in the plan's schedule order, pinning each call's `keep`
+  /// frames (core::EngineSession::pin_frames) so incidental eviction cannot
+  /// undo the planned residency.  Results stay bit-exact — residency only
+  /// changes what the timing model charges; the plan's savings land in
+  /// FarmStats::planned_words_saved.  Per-call submit()/execute() traffic
+  /// is unaffected.
+  bool residency_plan = false;
   /// Keep a host-side copy of each shard's resident frames (content keyed
   /// by frame hash) so snapshots carry frame content and rebalancing can
   /// migrate frames between boards.  Frames are copied only when residency
@@ -144,6 +154,11 @@ struct ProgramExecution {
   analysis::ProgramRunResult run;
   analysis::RewriteLog log;
   bool optimized = false;  ///< at least one rewrite was applied
+  /// Residency-plan-directed execution (FarmOptions::residency_plan): the
+  /// allocation the program ran under.  `residency` is meaningful only when
+  /// `allocated` is set.
+  bool allocated = false;
+  analysis::ResidencyPlan residency;
 };
 
 /// Snapshot of one shard, taken under the shard lock.
@@ -180,6 +195,9 @@ struct FarmStats {
   i64 cold_recoveries = 0;   ///< recover_shard() with no usable snapshot
   i64 frames_migrated = 0;   ///< resident frames moved by resize/rebalance
   u64 migration_pci_words = 0;  ///< PCI words those migrations streamed
+  // Residency-plan execution counters (FarmOptions::residency_plan).
+  i64 planned_programs = 0;     ///< programs run under an aealloc plan
+  u64 planned_words_saved = 0;  ///< PCI words those plans claim saved
   std::vector<ShardStats> shards;
 
   /// Modeled makespan: the busiest shard's clock (cycles / seconds).
@@ -310,6 +328,13 @@ class EngineFarm : public alib::Backend {
     /// the cycles a shard NOT holding the frame pays to stream it in.
     u64 transfer_cost_a = 0;
     u64 transfer_cost_b = 0;
+    /// Plan-directed execution: route to exactly this shard (bypassing
+    /// affinity/cost routing) when >= 0 — a residency plan is only worth
+    /// anything if the whole program shares one board.
+    int forced_shard = -1;
+    /// Frame hashes pinned on the serving session for this call (empty for
+    /// ordinary traffic, which also clears any previous pins).
+    std::vector<u64> pin_hashes;
     std::promise<alib::CallResult> promise;
   };
 
@@ -353,6 +378,22 @@ class EngineFarm : public alib::Backend {
 
   void scheduler_loop();
   void worker_loop(Shard& shard);
+  /// The submission path behind submit(): validation, admission, hashing,
+  /// then enqueue.  `forced_shard`/`pin_hashes` carry the plan-directed
+  /// extras (-1 / empty for ordinary traffic).
+  std::future<alib::CallResult> submit_request(const alib::Call& call,
+                                               const img::Image& a,
+                                               const img::Image* b,
+                                               int forced_shard,
+                                               std::vector<u64> pin_hashes);
+  /// Home shard for a plan-directed program: least-loaded healthy shard
+  /// (same key as the load-balancing route), chosen once per program.
+  int pick_program_shard();
+  /// Executes `program` in `plan`'s schedule order on one shard, pinning
+  /// each call's keep set.  Mirrors analysis::run_program's contract.
+  analysis::ProgramRunResult run_planned(const analysis::CallProgram& program,
+                                         const analysis::ResidencyPlan& plan,
+                                         const std::vector<img::Image>& inputs);
   /// Picks the shard for a request; sets `affinity_hit` when the choice
   /// came from frame residency rather than load balancing.
   int route(const Request& request, bool& affinity_hit);
@@ -463,6 +504,8 @@ class EngineFarm : public alib::Backend {
   i64 cold_recoveries_ AE_GUARDED_BY(mu_) = 0;
   i64 frames_migrated_ AE_GUARDED_BY(mu_) = 0;
   u64 migration_pci_words_ AE_GUARDED_BY(mu_) = 0;
+  i64 planned_programs_ AE_GUARDED_BY(mu_) = 0;
+  u64 planned_words_saved_ AE_GUARDED_BY(mu_) = 0;
 
   // Scheduler-thread-only while scheduling; elastic operations may mutate
   // it with the scheduler parked (the park/resume handshake on mu_ gives

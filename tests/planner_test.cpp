@@ -473,6 +473,7 @@ TEST(Lints, EveryAewRuleIsInTheCatalogAsAWarning) {
       analysis::rules::kReorderForReuse,
       analysis::rules::kSegmentVacuousCriterion,
       analysis::rules::kRangeIdentityOp,
+      analysis::rules::kAllocatableResidency,
   };
   for (const char* id : kAewRules) {
     bool found = false;

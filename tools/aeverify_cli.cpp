@@ -22,6 +22,10 @@
 //               per-frame interval table plus the per-call proofs
 //   --domain-json  like --domain, but the per-file JSON object grows a
 //               "domain" member (implies --json)
+//   --alloc     run the aealloc static residency allocator and print the
+//               per-call placement plan (liveness, bank assignment)
+//   --alloc-json  like --alloc, but the per-file JSON object grows an
+//               "alloc" member (implies --json)
 //   --json      machine-readable output: one JSON object per input
 //
 // Exit codes (the contract shared with the library, diagnostic.hpp):
@@ -35,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/alloc.hpp"
 #include "analysis/domain.hpp"
 #include "analysis/lints.hpp"
 #include "analysis/optimizer.hpp"
@@ -58,14 +63,15 @@ struct CliOptions {
   bool lint = false;
   bool opt = false;
   bool domain = false;
+  bool alloc = false;
   bool json = false;
   std::vector<std::string> files;
 };
 
 void print_usage(std::ostream& os) {
   os << "usage: aeverify [--strict] [--quiet] [--echo] [--plan] [--lint] "
-        "[--opt] [--opt-json] [--domain] [--domain-json] [--json] "
-        "<program ...|->\n"
+        "[--opt] [--opt-json] [--domain] [--domain-json] [--alloc] "
+        "[--alloc-json] [--json] <program ...|->\n"
         "       aeverify --rules | --golden | --demo-bad\n"
         "exit codes: 0 clean, 1 errors (any finding under --strict), "
         "2 usage/parse error\n";
@@ -139,10 +145,17 @@ int verify_text(const std::string& label, const std::string& text,
   analysis::ProgramDomain domain;
   if (options.domain) domain = analysis::analyze_domain(program);
 
+  // Like aeopt, the allocator only makes sense over programs the verifier
+  // accepts (allocate_residency prices via the planner, which assumes a
+  // well-formed call sequence).
+  analysis::ResidencyPlan alloc;
+  const bool ran_alloc = options.alloc && !report.has_errors();
+  if (ran_alloc) alloc = analysis::allocate_residency(program);
+
   if (options.json) {
     // One object per input so pipelines can stream per-file results:
     //   {"file":..., "report":{...}[, "plan":{...}][, "opt":{...}]
-    //    [, "domain":{...}]}
+    //    [, "domain":{...}][, "alloc":{...}]}
     std::cout << "{\"file\":" << analysis::json_quote(label)
               << ",\"report\":" << analysis::report_json(report);
     if (options.plan)
@@ -156,6 +169,8 @@ int verify_text(const std::string& label, const std::string& text,
                 << '}';
     if (options.domain)
       std::cout << ",\"domain\":" << analysis::domain_json(program, domain);
+    if (ran_alloc)
+      std::cout << ",\"alloc\":" << analysis::alloc_json(alloc, program);
     std::cout << "}\n";
     return report.exit_code(options.strict);
   }
@@ -169,6 +184,7 @@ int verify_text(const std::string& label, const std::string& text,
       if (opt.changed) std::cout << analysis::format_program(opt.program);
     }
     if (options.domain) std::cout << analysis::format_domain(program, domain);
+    if (ran_alloc) std::cout << alloc.format(program) << "\n";
   }
   std::cout << label << ": " << report.error_count() << " error(s), "
             << report.warning_count() << " warning(s)\n";
@@ -241,6 +257,11 @@ int main(int argc, char** argv) {
       options.domain = true;
     } else if (arg == "--domain-json") {
       options.domain = true;
+      options.json = true;
+    } else if (arg == "--alloc") {
+      options.alloc = true;
+    } else if (arg == "--alloc-json") {
+      options.alloc = true;
       options.json = true;
     } else if (arg == "--json") {
       options.json = true;
